@@ -1,0 +1,85 @@
+// EXP-9 — Chapter 5: daemon sensitivity.
+//   "DFTNO ... assumes an underlying depth-first token circulation
+//    protocol which runs using a fair daemon.  STNO, on the other hand,
+//    requires an underlying protocol which maintains a spanning tree of
+//    the network with an unfair daemon."
+//
+// Regenerates the comparison: stabilization cost of both protocols under
+// central / distributed / synchronous / round-robin daemons, and the
+// unfair adversarial daemon for STNO (DFTNO is exempt there — see the
+// model-checked fairness analysis in tests/dftc_modelcheck_test.cpp).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace ssno::bench {
+namespace {
+
+constexpr int kTrials = 10;
+
+void tables() {
+  printHeader("EXP-9  stabilization cost by daemon",
+              "DFTNO needs a fair daemon; STNO tolerates an unfair one");
+  const Graph g = Graph::grid(4, 5);
+
+  std::printf("DFTNO on grid(4x5), moves to L_NO (mean / p95):\n");
+  std::printf("%-14s %14s %14s %10s\n", "daemon", "mean", "p95", "ok");
+  for (DaemonKind kind :
+       {DaemonKind::kCentral, DaemonKind::kDistributed,
+        DaemonKind::kSynchronous, DaemonKind::kRoundRobin}) {
+    const DftnoCost cost = measureDftno(g, kind, kTrials, 0xDAE);
+    std::printf("%-14s %14.1f %14.1f %10s\n",
+                daemonKindName(kind).c_str(),
+                cost.substrateMoves.mean + cost.overlayMoves.mean,
+                cost.substrateMoves.p95 + cost.overlayMoves.p95,
+                cost.allConverged ? "10/10" : "FAILED");
+  }
+  std::printf("  (adversarial daemon omitted: weak fairness is required "
+              "— proven by exhaustive model checking)\n");
+
+  std::printf("\nSTNO on grid(4x5), moves to silence (mean / p95):\n");
+  std::printf("%-14s %14s %14s %10s\n", "daemon", "mean", "p95", "ok");
+  for (DaemonKind kind :
+       {DaemonKind::kCentral, DaemonKind::kDistributed,
+        DaemonKind::kSynchronous, DaemonKind::kRoundRobin,
+        DaemonKind::kAdversarial}) {
+    const StnoCost cost = measureStno(g, kind, kTrials, 0xDAE);
+    std::printf("%-14s %14.1f %14.1f %10s\n",
+                daemonKindName(kind).c_str(),
+                cost.treeMoves.mean + cost.overlayMoves.mean,
+                cost.treeMoves.p95 + cost.overlayMoves.p95,
+                cost.allConverged ? "10/10" : "FAILED");
+  }
+}
+
+void BM_DftnoByDaemon(::benchmark::State& state) {
+  const Graph g = Graph::ring(32);
+  const auto kind = static_cast<DaemonKind>(state.range(0));
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    Dftno dftno(g);
+    Rng rng(seed++);
+    dftno.randomize(rng);
+    auto daemon = makeDaemon(kind);
+    Simulator sim(dftno, *daemon, rng);
+    const RunStats stats = sim.runUntil(
+        [&dftno] { return dftno.isLegitimate(); }, 200'000'000);
+    if (!stats.converged) state.SkipWithError("no convergence");
+  }
+}
+BENCHMARK(BM_DftnoByDaemon)
+    ->Arg(static_cast<int>(ssno::DaemonKind::kCentral))
+    ->Arg(static_cast<int>(ssno::DaemonKind::kDistributed))
+    ->Arg(static_cast<int>(ssno::DaemonKind::kSynchronous))
+    ->Arg(static_cast<int>(ssno::DaemonKind::kRoundRobin))
+    ->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssno::bench
+
+int main(int argc, char** argv) {
+  ssno::bench::tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

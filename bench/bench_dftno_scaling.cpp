@@ -1,0 +1,96 @@
+// EXP-1 — §3.2.3: "After the token circulation protocol stabilizes, the
+// DFTNO takes O(n) steps to stabilize."
+//
+// Regenerates the scaling series: orientation-layer moves (and rounds)
+// from the moment L_TC first holds until the composed system is
+// legitimate, as a function of n, on bounded-degree families (ring,
+// path, binary tree, caterpillar) and on denser families where the cost
+// is Θ(m) = Θ(n·Δ) (the token walks every edge once per round; on
+// bounded degree that is still O(n)).  A least-squares fit against n
+// checks linearity (R² close to 1, per-node cost flat).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace ssno::bench {
+namespace {
+
+constexpr int kTrials = 10;
+
+void runSeries(const char* family, const std::vector<int>& sizes,
+               const std::function<Graph(int)>& make) {
+  std::vector<double> xs, ys, rys;
+  std::printf("%-12s %6s %8s %14s %14s %12s\n", "family", "n", "m",
+              "subst.moves", "orient.moves", "moves/n");
+  for (int n : sizes) {
+    const Graph g = make(n);
+    const DftnoCost cost =
+        measureDftno(g, DaemonKind::kRoundRobin, kTrials, 0xA11CE);
+    std::printf("%-12s %6d %8d %14.1f %14.1f %12.2f\n", family, n,
+                g.edgeCount(), cost.substrateMoves.mean,
+                cost.overlayMoves.mean, cost.overlayMoves.mean / n);
+    xs.push_back(n);
+    ys.push_back(cost.overlayMoves.mean);
+  }
+  printFit("orient.moves vs n", fitLinear(xs, ys));
+}
+
+void tables() {
+  printHeader("EXP-1  DFTNO stabilization after L_TC vs n",
+              "O(n) steps after the token circulation stabilizes");
+  runSeries("ring", {8, 16, 32, 64, 128},
+            [](int n) { return Graph::ring(n); });
+  runSeries("path", {8, 16, 32, 64, 128},
+            [](int n) { return Graph::path(n); });
+  runSeries("binarytree", {7, 15, 31, 63, 127},
+            [](int n) { return Graph::kAryTree(n, 2); });
+  runSeries("caterpillar", {9, 18, 36, 72},
+            [](int n) { return Graph::caterpillar(n / 3, 2); });
+  // Dense family: cost is Θ(m); report m-normalized to show the token-
+  // walk origin of the constant.
+  std::printf("\ndense families (cost tracks m = |E|):\n");
+  std::printf("%-12s %6s %8s %14s %12s\n", "family", "n", "m",
+              "orient.moves", "moves/m");
+  std::vector<double> xs, ys;
+  for (int n : {6, 9, 12, 16, 20}) {
+    const Graph g = Graph::complete(n);
+    const DftnoCost cost =
+        measureDftno(g, DaemonKind::kRoundRobin, kTrials, 0xA11CE);
+    std::printf("%-12s %6d %8d %14.1f %12.2f\n", "complete", n,
+                g.edgeCount(), cost.overlayMoves.mean,
+                cost.overlayMoves.mean / g.edgeCount());
+    xs.push_back(g.edgeCount());
+    ys.push_back(cost.overlayMoves.mean);
+  }
+  printFit("orient.moves vs m", fitLinear(xs, ys));
+}
+
+void BM_DftnoStabilizeRing(::benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = Graph::ring(n);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    Dftno dftno(g);
+    Rng rng(seed++);
+    dftno.randomize(rng);
+    RoundRobinDaemon daemon;
+    Simulator sim(dftno, daemon, rng);
+    const RunStats stats =
+        sim.runUntil([&dftno] { return dftno.isLegitimate(); },
+                     200'000'000);
+    if (!stats.converged) state.SkipWithError("did not converge");
+    state.counters["moves"] = static_cast<double>(stats.moves);
+  }
+}
+BENCHMARK(BM_DftnoStabilizeRing)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssno::bench
+
+int main(int argc, char** argv) {
+  ssno::bench::tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

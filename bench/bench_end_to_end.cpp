@@ -1,0 +1,96 @@
+// EXP-7 — Theorems 3.2.3 / 4.2.3 (and the abstract): end-to-end
+// self-stabilization.  From FULLY arbitrary configurations (substrate
+// and orientation layer both scrambled), both protocols reach a
+// legitimate orientation with probability 1; total cost split per layer.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace ssno::bench {
+namespace {
+
+constexpr int kTrials = 10;
+
+void tables() {
+  printHeader("EXP-7  end-to-end stabilization from arbitrary states",
+              "starting from an arbitrary state, a legitimate "
+              "orientation is reached in finite time (Thm 3.2.3/4.2.3)");
+
+  Rng topo(21);
+  struct Case { const char* name; Graph g; };
+  std::vector<Case> cases;
+  cases.push_back({"ring(24)", Graph::ring(24)});
+  cases.push_back({"grid(4x6)", Graph::grid(4, 6)});
+  cases.push_back({"complete(10)", Graph::complete(10)});
+  cases.push_back({"lollipop(6,12)", Graph::lollipop(6, 12)});
+  cases.push_back({"random(24,.15)", Graph::randomConnected(24, 0.15, topo)});
+  cases.push_back({"hypercube(4)", Graph::hypercube(4)});
+
+  std::printf("DFTNO (round-robin daemon):\n");
+  std::printf("%-16s %6s | %12s %12s | %10s\n", "graph", "n", "subst.moves",
+              "orient.moves", "converged");
+  for (const Case& c : cases) {
+    const DftnoCost cost =
+        measureDftno(c.g, DaemonKind::kRoundRobin, kTrials, 0xE2E);
+    std::printf("%-16s %6d | %12.1f %12.1f | %10s\n", c.name,
+                c.g.nodeCount(), cost.substrateMoves.mean,
+                cost.overlayMoves.mean,
+                cost.allConverged ? "10/10" : "FAILED");
+  }
+
+  std::printf("\nSTNO (distributed daemon):\n");
+  std::printf("%-16s %6s | %12s %12s | %10s\n", "graph", "n", "tree moves",
+              "orient.moves", "converged");
+  for (const Case& c : cases) {
+    const StnoCost cost =
+        measureStno(c.g, DaemonKind::kDistributed, kTrials, 0xE2E);
+    std::printf("%-16s %6d | %12.1f %12.1f | %10s\n", c.name,
+                c.g.nodeCount(), cost.treeMoves.mean,
+                cost.overlayMoves.mean,
+                cost.allConverged ? "10/10" : "FAILED");
+  }
+}
+
+void BM_EndToEndDftno(::benchmark::State& state) {
+  const Graph g = Graph::grid(4, static_cast<int>(state.range(0)) / 4);
+  std::uint64_t seed = 3;
+  for (auto _ : state) {
+    Dftno dftno(g);
+    Rng rng(seed++);
+    dftno.randomize(rng);
+    RoundRobinDaemon daemon;
+    Simulator sim(dftno, daemon, rng);
+    const RunStats stats =
+        sim.runUntil([&dftno] { return dftno.isLegitimate(); },
+                     200'000'000);
+    if (!stats.converged) state.SkipWithError("no convergence");
+  }
+}
+BENCHMARK(BM_EndToEndDftno)->Arg(16)->Arg(32)
+    ->Unit(::benchmark::kMillisecond);
+
+void BM_EndToEndStno(::benchmark::State& state) {
+  const Graph g = Graph::grid(4, static_cast<int>(state.range(0)) / 4);
+  std::uint64_t seed = 5;
+  for (auto _ : state) {
+    Stno stno(g);
+    Rng rng(seed++);
+    stno.randomize(rng);
+    DistributedDaemon daemon;
+    Simulator sim(stno, daemon, rng);
+    const RunStats stats = sim.runToQuiescence(200'000'000);
+    if (!stats.terminal) state.SkipWithError("no convergence");
+  }
+}
+BENCHMARK(BM_EndToEndStno)->Arg(16)->Arg(32)
+    ->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssno::bench
+
+int main(int argc, char** argv) {
+  ssno::bench::tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

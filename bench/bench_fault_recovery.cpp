@@ -1,0 +1,111 @@
+// EXP-10 — §1.2 motivation: self-stabilization as fault tolerance.
+//   "A fault occurring at a process may cause an illegal global state,
+//    but the system will detect such a state, and correct itself in
+//    finite time" — without restart or external intervention.
+//
+// Regenerates fault-containment curves: moves to re-stabilize after
+// corrupting k of n processors, for k = 1..n, for both protocols; plus
+// crash-and-reset recovery.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/fault.hpp"
+
+namespace ssno::bench {
+namespace {
+
+constexpr int kTrials = 12;
+
+template <typename Protocol, typename LegitFn>
+Summary recoveryCost(Protocol& proto, LegitFn legit, int k, Rng& rng) {
+  std::vector<double> moves;
+  RoundRobinDaemon daemon;
+  Simulator sim(proto, daemon, rng);
+  for (int t = 0; t < kTrials; ++t) {
+    // Ensure we start legitimate, inject, then measure recovery.
+    (void)sim.runUntil(legit, 200'000'000);
+    FaultInjector inj(proto);
+    inj.corruptK(k, rng);
+    const RunStats stats = sim.runUntil(legit, 200'000'000);
+    if (stats.converged) moves.push_back(static_cast<double>(stats.moves));
+  }
+  return summarize(std::move(moves));
+}
+
+void tables() {
+  printHeader("EXP-10  recovery cost vs number of corrupted processors",
+              "recovery from any transient fault in finite time, no "
+              "restart procedure (§1.2)");
+  const Graph g = Graph::grid(4, 4);
+
+  std::printf("DFTNO on grid(4x4):\n");
+  std::printf("%4s %14s %14s %14s\n", "k", "mean moves", "p50", "p95");
+  {
+    Dftno dftno(g);
+    Rng rng(0xFA17);
+    auto legit = [&dftno] { return dftno.isLegitimate(); };
+    for (int k : {1, 2, 4, 8, 16}) {
+      const Summary s = recoveryCost(dftno, legit, k, rng);
+      std::printf("%4d %14.1f %14.1f %14.1f\n", k, s.mean, s.p50, s.p95);
+    }
+  }
+
+  std::printf("\nSTNO on grid(4x4):\n");
+  std::printf("%4s %14s %14s %14s\n", "k", "mean moves", "p50", "p95");
+  {
+    Stno stno(g);
+    Rng rng(0xFA18);
+    auto legit = [&stno] { return stno.isLegitimate(); };
+    for (int k : {1, 2, 4, 8, 16}) {
+      const Summary s = recoveryCost(stno, legit, k, rng);
+      std::printf("%4d %14.1f %14.1f %14.1f\n", k, s.mean, s.p50, s.p95);
+    }
+  }
+
+  std::printf("\ncrash-and-reset of a single processor (all-zero local "
+              "state), STNO on grid(4x4):\n");
+  {
+    Stno stno(g);
+    Rng rng(0xFA19);
+    RoundRobinDaemon daemon;
+    Simulator sim(stno, daemon, rng);
+    (void)sim.runToQuiescence(200'000'000);
+    std::vector<double> moves;
+    FaultInjector inj(stno);
+    for (NodeId victim = 0; victim < g.nodeCount(); ++victim) {
+      inj.crashReset(victim);
+      const RunStats stats = sim.runToQuiescence(200'000'000);
+      if (stats.terminal) moves.push_back(static_cast<double>(stats.moves));
+    }
+    const Summary s = summarize(std::move(moves));
+    std::printf("  victims=%d  mean=%.1f  max=%.1f moves\n", s.count,
+                s.mean, s.max);
+  }
+}
+
+void BM_RecoverOneFault(::benchmark::State& state) {
+  const Graph g = Graph::grid(4, 4);
+  Dftno dftno(g);
+  Rng rng(0xFA20);
+  RoundRobinDaemon daemon;
+  Simulator sim(dftno, daemon, rng);
+  auto legit = [&dftno] { return dftno.isLegitimate(); };
+  (void)sim.runUntil(legit, 200'000'000);
+  FaultInjector inj(dftno);
+  for (auto _ : state) {
+    inj.corruptK(1, rng);
+    const RunStats stats = sim.runUntil(legit, 200'000'000);
+    if (!stats.converged) state.SkipWithError("no recovery");
+  }
+}
+BENCHMARK(BM_RecoverOneFault)->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ssno::bench
+
+int main(int argc, char** argv) {
+  ssno::bench::tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

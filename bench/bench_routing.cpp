@@ -1,0 +1,91 @@
+// EXP-12 — §1.3/§1.4 motivation (Santoro [21], Flocchini et al.):
+//   "the availability of an orientation decreases the message
+//    complexity of important computations" / "the labels can be used in
+//    many applications, such as routing and traversal in networks."
+//
+// Regenerates the message-complexity comparison: traversal/broadcast
+// with the chordal sense of direction (2(n−1) messages) vs without
+// (2m), with the gap growing with edge density; unicast routing message
+// counts (greedy chordal vs flooding an unoriented network); routing
+// stretch tables.
+#include <benchmark/benchmark.h>
+
+#include "apps/broadcast.hpp"
+#include "apps/routing.hpp"
+#include "bench_util.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace ssno::bench {
+namespace {
+
+Orientation canonical(const Graph& g) {
+  return inducedChordalOrientation(g, portOrderDfsPreorder(g),
+                                   g.nodeCount());
+}
+
+void tables() {
+  printHeader("EXP-12  message complexity with vs without orientation",
+              "an orientation decreases communication complexity "
+              "(traversal: 2(n−1) vs 2m messages)");
+
+  std::printf("traversal (token visits all nodes):\n");
+  std::printf("%-16s %6s %7s | %12s %12s %8s\n", "graph", "n", "m",
+              "with SoD", "without", "ratio");
+  Rng topo(51);
+  struct Case { const char* name; Graph g; };
+  std::vector<Case> cases;
+  cases.push_back({"tree(31)", Graph::kAryTree(31, 2)});
+  cases.push_back({"ring(32)", Graph::ring(32)});
+  cases.push_back({"grid(6x6)", Graph::grid(6, 6)});
+  cases.push_back({"torus(6x6)", Graph::torus(6, 6)});
+  cases.push_back({"hypercube(6)", Graph::hypercube(6)});
+  cases.push_back({"random(32,.3)", Graph::randomConnected(32, 0.3, topo)});
+  cases.push_back({"complete(32)", Graph::complete(32)});
+  for (const Case& c : cases) {
+    const Orientation o = canonical(c.g);
+    const int with = traverseWithOrientation(o, c.g.root()).messages;
+    const int without = traverseWithoutOrientation(c.g, c.g.root()).messages;
+    std::printf("%-16s %6d %7d | %12d %12d %8.2f\n", c.name,
+                c.g.nodeCount(), c.g.edgeCount(), with, without,
+                static_cast<double>(without) / with);
+  }
+
+  std::printf("\nunicast: greedy chordal routing vs flooding "
+              "(messages to reach one destination):\n");
+  std::printf("%-16s | %10s %10s %10s | %10s\n", "graph", "delivered",
+              "meanHops", "maxStretch", "flood");
+  for (const Case& c : cases) {
+    const Orientation o = canonical(c.g);
+    const RoutingStats rs = evaluateRouting(o, 2);
+    std::printf("%-16s | %9.1f%% %10.2f %10.2f | %10d\n", c.name,
+                100.0 * rs.delivered / rs.pairs, rs.meanHops, rs.maxStretch,
+                floodMessages(c.g, c.g.root()));
+  }
+  std::printf("  (greedy uses path-length messages when it delivers; an\n"
+              "   unoriented network must flood: Θ(m) messages per query)\n");
+}
+
+void BM_TraverseWithSoD(::benchmark::State& state) {
+  const Graph g = Graph::complete(static_cast<int>(state.range(0)));
+  const Orientation o = canonical(g);
+  for (auto _ : state)
+    ::benchmark::DoNotOptimize(traverseWithOrientation(o, 0).messages);
+}
+BENCHMARK(BM_TraverseWithSoD)->Arg(16)->Arg(64);
+
+void BM_TraverseWithoutSoD(::benchmark::State& state) {
+  const Graph g = Graph::complete(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    ::benchmark::DoNotOptimize(traverseWithoutOrientation(g, 0).messages);
+}
+BENCHMARK(BM_TraverseWithoutSoD)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace ssno::bench
+
+int main(int argc, char** argv) {
+  ssno::bench::tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

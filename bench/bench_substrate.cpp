@@ -1,0 +1,133 @@
+// EXP-11 — Chapter 3 substrate contract: the depth-first token
+// circulation visits every node exactly once per round in deterministic
+// order ("No node gets the token more than once during a round ...
+// every node has to get the token exactly once").
+//
+// Regenerates: round length decomposition (Forwards = n−1, Advances ≈
+// tree+non-tree backtracks), substrate stabilization cost from scrambled
+// states, and the BFS-tree substrate's round cost — the two "assumed"
+// protocols measured head to head.
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "bench_util.hpp"
+#include "sptree/bfs_tree.hpp"
+
+namespace ssno::bench {
+namespace {
+
+struct RoundProfile {
+  int forwards = 0;
+  int advances = 0;
+  int total = 0;
+};
+
+RoundProfile profileOneCleanRound(const Graph& g) {
+  Dftc dftc(g);
+  dftc.resetClean();
+  RoundProfile prof;
+  int rounds = 0;
+  TokenHooks hooks;
+  hooks.onRoundStart = [&rounds](NodeId) { ++rounds; };
+  hooks.onForward = [&](NodeId, NodeId) {
+    if (rounds == 1) ++prof.forwards;
+  };
+  hooks.onBacktrack = [&](NodeId, NodeId) {
+    if (rounds == 1) ++prof.advances;
+  };
+  dftc.setHooks(std::move(hooks));
+  while (rounds < 2) {
+    const auto moves = dftc.enabledMoves();
+    dftc.execute(moves.front().node, moves.front().action);
+    if (rounds == 1) ++prof.total;
+  }
+  --prof.total;  // the Start of round 2 was counted
+  return prof;
+}
+
+void tables() {
+  printHeader("EXP-11  substrate costs (token circulation & BFS tree)",
+              "each node receives the token exactly once per round; "
+              "circulation order is deterministic DFS");
+
+  std::printf("clean round decomposition:\n");
+  std::printf("%-14s %6s %6s | %9s %9s %9s\n", "graph", "n", "m",
+              "forwards", "advances", "total");
+  Rng topo(41);
+  struct Case { const char* name; Graph g; };
+  std::vector<Case> cases;
+  cases.push_back({"ring(16)", Graph::ring(16)});
+  cases.push_back({"path(16)", Graph::path(16)});
+  cases.push_back({"complete(8)", Graph::complete(8)});
+  cases.push_back({"grid(4x4)", Graph::grid(4, 4)});
+  cases.push_back({"random(16)", Graph::randomConnected(16, 0.3, topo)});
+  for (const Case& c : cases) {
+    const RoundProfile prof = profileOneCleanRound(c.g);
+    std::printf("%-14s %6d %6d | %9d %9d %9d\n", c.name, c.g.nodeCount(),
+                c.g.edgeCount(), prof.forwards, prof.advances, prof.total);
+  }
+  std::printf("  (forwards = n−1 always; the token walk is linear in m)\n");
+
+  std::printf("\nsubstrate stabilization from scrambled states "
+              "(round-robin daemon, 10 trials):\n");
+  std::printf("%-14s %6s | %14s %14s\n", "graph", "n", "DFTC moves",
+              "BFS-tree moves");
+  for (const Case& c : cases) {
+    std::vector<double> dftcMoves, bfsMoves;
+    for (int t = 0; t < 10; ++t) {
+      {
+        Dftc dftc(c.g);
+        Rng rng(100 + static_cast<std::uint64_t>(t));
+        dftc.randomize(rng);
+        RoundRobinDaemon daemon;
+        Simulator sim(dftc, daemon, rng);
+        const RunStats stats = sim.runUntil(
+            [&dftc] { return dftc.isLegitimate(); }, 200'000'000);
+        if (stats.converged)
+          dftcMoves.push_back(static_cast<double>(stats.moves));
+      }
+      {
+        BfsTree tree(c.g);
+        Rng rng(200 + static_cast<std::uint64_t>(t));
+        tree.randomize(rng);
+        RoundRobinDaemon daemon;
+        Simulator sim(tree, daemon, rng);
+        const RunStats stats = sim.runToQuiescence(200'000'000);
+        if (stats.terminal)
+          bfsMoves.push_back(static_cast<double>(stats.moves));
+      }
+    }
+    std::printf("%-14s %6d | %14.1f %14.1f\n", c.name, c.g.nodeCount(),
+                summarize(dftcMoves).mean, summarize(bfsMoves).mean);
+  }
+}
+
+void BM_TokenRound(::benchmark::State& state) {
+  const Graph g = Graph::ring(static_cast<int>(state.range(0)));
+  Dftc dftc(g);
+  dftc.resetClean();
+  for (auto _ : state) {
+    // Execute one full round of the legitimate circulation.
+    int starts = 0;
+    TokenHooks hooks;
+    hooks.onRoundStart = [&starts](NodeId) { ++starts; };
+    dftc.setHooks(std::move(hooks));
+    while (starts < 2) {
+      const auto moves = dftc.enabledMoves();
+      dftc.execute(moves.front().node, moves.front().action);
+    }
+    dftc.setHooks(TokenHooks{});
+  }
+}
+BENCHMARK(BM_TokenRound)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace ssno::bench
+
+int main(int argc, char** argv) {
+  ssno::bench::tables();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared helpers for the experiment harness.  Each bench binary
+// regenerates one experiment from DESIGN.md's index (EXP-1..EXP-12):
+// it prints a paper-style table of rows to stdout and registers
+// google-benchmark timings for the underlying simulations.
+#ifndef SSNO_BENCH_BENCH_UTIL_HPP
+#define SSNO_BENCH_BENCH_UTIL_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/graph.hpp"
+#include "core/rng.hpp"
+#include "core/scheduler.hpp"
+#include "core/stats.hpp"
+#include "orientation/dftno.hpp"
+#include "orientation/stno.hpp"
+
+namespace ssno::bench {
+
+/// Cost of stabilizing DFTNO split at the substrate boundary, averaged
+/// over `trials` scrambled starts.
+struct DftnoCost {
+  Summary substrateMoves;  ///< moves until L_TC
+  Summary overlayMoves;    ///< further moves until L_NO
+  Summary overlayRounds;
+  bool allConverged = true;
+};
+
+inline DftnoCost measureDftno(const Graph& g, DaemonKind kind, int trials,
+                              std::uint64_t seed,
+                              StepCount budget = 200'000'000) {
+  DftnoCost cost;
+  std::vector<double> sub, over, rounds;
+  for (int t = 0; t < trials; ++t) {
+    Dftno dftno(g);
+    Rng rng(seed + static_cast<std::uint64_t>(t) * 101);
+    dftno.randomize(rng);
+    auto daemon = makeDaemon(kind);
+    Simulator sim(dftno, *daemon, rng);
+    const RunStats s1 = sim.runUntil(
+        [&dftno] { return dftno.substrateLegitimate(); }, budget);
+    const RunStats s2 =
+        sim.runUntil([&dftno] { return dftno.isLegitimate(); }, budget);
+    if (!s1.converged || !s2.converged) {
+      cost.allConverged = false;
+      continue;
+    }
+    sub.push_back(static_cast<double>(s1.moves));
+    over.push_back(static_cast<double>(s2.moves));
+    rounds.push_back(static_cast<double>(s2.rounds));
+  }
+  cost.substrateMoves = summarize(std::move(sub));
+  cost.overlayMoves = summarize(std::move(over));
+  cost.overlayRounds = summarize(std::move(rounds));
+  return cost;
+}
+
+/// Cost of stabilizing STNO split at the tree boundary.
+struct StnoCost {
+  Summary treeMoves;      ///< moves until L_ST
+  Summary overlayMoves;   ///< further moves until silent
+  Summary overlayRounds;  ///< further rounds until silent
+  bool allConverged = true;
+};
+
+inline StnoCost measureStno(const Graph& g, DaemonKind kind, int trials,
+                            std::uint64_t seed,
+                            StepCount budget = 200'000'000) {
+  StnoCost cost;
+  std::vector<double> tree, over, rounds;
+  for (int t = 0; t < trials; ++t) {
+    Stno stno(g);
+    Rng rng(seed + static_cast<std::uint64_t>(t) * 77);
+    stno.randomize(rng);
+    auto daemon = makeDaemon(kind);
+    Simulator sim(stno, *daemon, rng);
+    const RunStats s1 = sim.runUntil(
+        [&stno] { return stno.substrateLegitimate(); }, budget);
+    const RunStats s2 = sim.runToQuiescence(budget);
+    if (!s1.converged || !s2.terminal) {
+      cost.allConverged = false;
+      continue;
+    }
+    tree.push_back(static_cast<double>(s1.moves));
+    over.push_back(static_cast<double>(s2.moves));
+    rounds.push_back(static_cast<double>(s2.rounds));
+  }
+  cost.treeMoves = summarize(std::move(tree));
+  cost.overlayMoves = summarize(std::move(over));
+  cost.overlayRounds = summarize(std::move(rounds));
+  return cost;
+}
+
+inline void printHeader(const std::string& experiment,
+                        const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void printFit(const char* label, const LinearFit& fit) {
+  std::printf("  fit[%s]: y = %.3f x + %.1f   (R^2 = %.4f)\n", label,
+              fit.slope, fit.intercept, fit.r2);
+}
+
+}  // namespace ssno::bench
+
+#endif  // SSNO_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,190 @@
+// ssno_cli — run any protocol on any topology from the command line.
+//
+//   ssno_cli [--topo ring:12 | path:8 | star:9 | complete:6 | grid:3x4 |
+//             torus:3x4 | hypercube:4 | lollipop:4x5 | random:16x0.2]
+//            [--protocol dftno | stno | stno-dfs]
+//            [--daemon central|distributed|synchronous|roundrobin|adversarial]
+//            [--seed N] [--faults K] [--budget MOVES] [--dot] [--trace]
+//
+// Scrambles the configuration, stabilizes, prints the orientation (and
+// optionally a Graphviz DOT rendering with the assigned names), injects
+// K random faults and re-stabilizes.
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/daemon.hpp"
+#include "core/fault.hpp"
+#include "core/graph.hpp"
+#include "core/graph_algo.hpp"
+#include "core/scheduler.hpp"
+#include "core/trace.hpp"
+#include "orientation/dftno.hpp"
+#include "orientation/stno.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace {
+
+using namespace ssno;
+
+struct Options {
+  std::string topo = "grid:3x3";
+  std::string protocol = "dftno";
+  std::string daemon = "roundrobin";
+  std::uint64_t seed = 1;
+  int faults = 0;
+  StepCount budget = 50'000'000;
+  bool dot = false;
+  bool trace = false;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--topo T] [--protocol dftno|stno|stno-dfs] "
+               "[--daemon D] [--seed N] [--faults K] [--budget M] [--dot] "
+               "[--trace]\n",
+               argv0);
+  std::exit(2);
+}
+
+Graph parseTopology(const std::string& spec, Rng& rng) {
+  const auto colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  const std::string arg = colon == std::string::npos ? "" : spec.substr(colon + 1);
+  auto two = [&arg](char sep) {
+    const auto x = arg.find(sep);
+    return std::pair<int, int>{std::stoi(arg.substr(0, x)),
+                               std::stoi(arg.substr(x + 1))};
+  };
+  if (kind == "ring") return Graph::ring(std::stoi(arg));
+  if (kind == "path") return Graph::path(std::stoi(arg));
+  if (kind == "star") return Graph::star(std::stoi(arg));
+  if (kind == "complete") return Graph::complete(std::stoi(arg));
+  if (kind == "hypercube") return Graph::hypercube(std::stoi(arg));
+  if (kind == "grid") {
+    const auto [r, c] = two('x');
+    return Graph::grid(r, c);
+  }
+  if (kind == "torus") {
+    const auto [r, c] = two('x');
+    return Graph::torus(r, c);
+  }
+  if (kind == "lollipop") {
+    const auto [a, b] = two('x');
+    return Graph::lollipop(a, b);
+  }
+  if (kind == "random") {
+    const auto x = arg.find('x');
+    return Graph::randomConnected(std::stoi(arg.substr(0, x)),
+                                  std::stod(arg.substr(x + 1)), rng);
+  }
+  std::fprintf(stderr, "unknown topology '%s'\n", spec.c_str());
+  std::exit(2);
+}
+
+DaemonKind parseDaemon(const std::string& name) {
+  if (name == "central") return DaemonKind::kCentral;
+  if (name == "distributed") return DaemonKind::kDistributed;
+  if (name == "synchronous") return DaemonKind::kSynchronous;
+  if (name == "roundrobin") return DaemonKind::kRoundRobin;
+  if (name == "adversarial") return DaemonKind::kAdversarial;
+  std::fprintf(stderr, "unknown daemon '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (a == "--topo") opt.topo = next();
+    else if (a == "--protocol") opt.protocol = next();
+    else if (a == "--daemon") opt.daemon = next();
+    else if (a == "--seed") opt.seed = std::stoull(next());
+    else if (a == "--faults") opt.faults = std::stoi(next());
+    else if (a == "--budget") opt.budget = std::stoll(next());
+    else if (a == "--dot") opt.dot = true;
+    else if (a == "--trace") opt.trace = true;
+    else usage(argv[0]);
+  }
+
+  Rng rng(opt.seed);
+  const Graph g = parseTopology(opt.topo, rng);
+  std::printf("topology %s: n=%d m=%d Δ=%d diameter=%d\n",
+              opt.topo.c_str(), g.nodeCount(), g.edgeCount(),
+              g.maxDegree(), diameter(g));
+
+  std::unique_ptr<Protocol> proto;
+  std::function<bool()> legit;
+  std::function<Orientation()> orient;
+  if (opt.protocol == "dftno") {
+    auto p = std::make_unique<Dftno>(g);
+    auto* raw = p.get();
+    legit = [raw] { return raw->isLegitimate(); };
+    orient = [raw] { return raw->orientation(); };
+    proto = std::move(p);
+  } else if (opt.protocol == "stno") {
+    auto p = std::make_unique<Stno>(g);
+    auto* raw = p.get();
+    legit = [raw] { return raw->isLegitimate(); };
+    orient = [raw] { return raw->orientation(); };
+    proto = std::move(p);
+  } else if (opt.protocol == "stno-dfs") {
+    auto p = std::make_unique<Stno>(g, portOrderDfsTree(g));
+    auto* raw = p.get();
+    legit = [raw] { return raw->isLegitimate(); };
+    orient = [raw] { return raw->orientation(); };
+    proto = std::move(p);
+  } else {
+    usage(argv[0]);
+  }
+
+  auto daemon = makeDaemon(parseDaemon(opt.daemon));
+  proto->randomize(rng);
+  Simulator sim(*proto, *daemon, rng);
+  TraceRecorder trace(*proto);
+  if (opt.trace)
+    sim.setMoveObserver([&trace](const Move& m) { trace.record(m); });
+
+  const RunStats stats = sim.runUntil(legit, opt.budget);
+  if (!stats.converged) {
+    std::printf("did NOT converge within %lld moves\n",
+                static_cast<long long>(opt.budget));
+    return 1;
+  }
+  std::printf("stabilized: %lld moves, %lld steps, %lld rounds under %s\n",
+              static_cast<long long>(stats.moves),
+              static_cast<long long>(stats.steps),
+              static_cast<long long>(stats.rounds),
+              daemon->name().c_str());
+  const Orientation o = orient();
+  std::printf("%s", renderOrientation(o).c_str());
+  std::printf("SP1=%d SP2=%d locallyOriented=%d edgeSymmetry=%d\n",
+              satisfiesSP1(o), satisfiesSP2(o), isLocallyOriented(o),
+              hasEdgeSymmetry(o));
+
+  if (opt.faults > 0) {
+    FaultInjector inj(*proto);
+    inj.corruptK(opt.faults, rng);
+    const RunStats rec = sim.runUntil(legit, opt.budget);
+    std::printf("after %d-node fault: %s in %lld moves\n", opt.faults,
+                rec.converged ? "recovered" : "NOT recovered",
+                static_cast<long long>(rec.moves));
+  }
+
+  if (opt.dot) {
+    std::vector<std::string> labels;
+    labels.reserve(static_cast<std::size_t>(g.nodeCount()));
+    for (NodeId p = 0; p < g.nodeCount(); ++p)
+      labels.push_back(std::to_string(o.nameOf(p)));
+    std::printf("%s", toDot(g, labels).c_str());
+  }
+  if (opt.trace) std::printf("%s", trace.render().c_str());
+  return 0;
+}

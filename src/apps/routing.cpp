@@ -1,0 +1,107 @@
+#include "apps/routing.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+
+#include "core/assert.hpp"
+#include "core/graph_algo.hpp"
+
+namespace ssno {
+
+int neighborNameViaLabel(const Orientation& o, NodeId p, Port l) {
+  // π_p[l] = (η_p − η_q) mod N  ⇒  η_q = (η_p − π_p[l]) mod N.
+  return chordalDistance(o.nameOf(p), o.labelAt(p, l), o.modulus);
+}
+
+RouteResult routeGreedyChordal(const Orientation& o, NodeId src,
+                               int targetName) {
+  return routeGreedyWithDetours(o, src, targetName, 0);
+}
+
+RouteResult routeGreedyWithDetours(const Orientation& o, NodeId src,
+                                   int targetName, int maxDetours) {
+  const Graph& g = *o.graph;
+  RouteResult r;
+  r.path.push_back(src);
+  NodeId cur = src;
+  int detoursLeft = maxDetours;
+  std::set<NodeId> detoured;  // nodes already used for a non-improving hop
+  while (o.nameOf(cur) != targetName) {
+    const int here = chordalDistance(targetName, o.nameOf(cur), o.modulus);
+    // Cyclic distance still to cover; pick the port minimizing it.
+    Port bestPort = kNoPort;
+    int bestDist = here;
+    for (Port l = 0; l < g.degree(cur); ++l) {
+      const int nbName = neighborNameViaLabel(o, cur, l);
+      const int d = chordalDistance(targetName, nbName, o.modulus);
+      if (d < bestDist) {
+        bestDist = d;
+        bestPort = l;
+      }
+    }
+    if (bestPort == kNoPort) {
+      // Greedy dead end: optionally spend a detour on the smallest-label
+      // port (deterministic), at most once per node.
+      if (detoursLeft <= 0 || detoured.contains(cur)) return r;
+      detoured.insert(cur);
+      --detoursLeft;
+      int bestLabel = o.modulus;
+      for (Port l = 0; l < g.degree(cur); ++l) {
+        if (o.labelAt(cur, l) < bestLabel) {
+          bestLabel = o.labelAt(cur, l);
+          bestPort = l;
+        }
+      }
+    }
+    cur = g.neighborAt(cur, bestPort);
+    r.path.push_back(cur);
+    ++r.hops;
+  }
+  r.delivered = true;
+  return r;
+}
+
+int floodMessages(const Graph& g, NodeId src) {
+  // Synchronous flood: a processor that receives the query for the first
+  // time forwards it on every other port; an anonymous, unoriented
+  // network cannot tell which neighbors were already reached, so every
+  // forward is a real message.  src sends on all ports.
+  std::vector<int> dist = bfsDistances(g, src);
+  int messages = g.degree(src);
+  for (NodeId p = 0; p < g.nodeCount(); ++p) {
+    if (p == src || dist[static_cast<std::size_t>(p)] < 0) continue;
+    messages += g.degree(p) - 1;  // forwards to all but the receive port
+  }
+  return messages;
+}
+
+RoutingStats evaluateRouting(const Orientation& o, int maxDetours) {
+  const Graph& g = *o.graph;
+  RoutingStats st;
+  double stretchSum = 0, hopsSum = 0;
+  for (NodeId s = 0; s < g.nodeCount(); ++s) {
+    const std::vector<int> dist = bfsDistances(g, s);
+    for (NodeId t = 0; t < g.nodeCount(); ++t) {
+      if (s == t) continue;
+      ++st.pairs;
+      const RouteResult r =
+          routeGreedyWithDetours(o, s, o.nameOf(t), maxDetours);
+      if (!r.delivered) continue;
+      ++st.delivered;
+      const int sp = dist[static_cast<std::size_t>(t)];
+      SSNO_ASSERT(sp > 0);
+      const double stretch = static_cast<double>(r.hops) / sp;
+      stretchSum += stretch;
+      hopsSum += r.hops;
+      st.maxStretch = std::max(st.maxStretch, stretch);
+    }
+  }
+  if (st.delivered > 0) {
+    st.meanStretch = stretchSum / st.delivered;
+    st.meanHops = hopsSum / st.delivered;
+  }
+  return st;
+}
+
+}  // namespace ssno

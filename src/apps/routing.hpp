@@ -1,0 +1,74 @@
+// Chordal-sense-of-direction routing (paper §1.3/§1.4 motivation:
+// Santoro [21] — an orientation decreases the message complexity of
+// important computations; edge labels "can be used in many applications,
+// such as routing and traversal").
+//
+// With a chordal orientation every processor knows, for each incident
+// port l, the *name* of the neighbor behind it: η_q = (η_p − π_p[l]) mod
+// N.  Greedy chordal routing repeatedly forwards to the neighbor whose
+// name is cyclically closest to the destination name, strictly
+// decreasing the remaining chordal distance.  On rings with canonical
+// names this is exactly shortest-path routing; on arbitrary graphs it is
+// a heuristic whose success/stretch the benches measure against true
+// shortest paths.
+#ifndef SSNO_APPS_ROUTING_HPP
+#define SSNO_APPS_ROUTING_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "orientation/chordal.hpp"
+
+namespace ssno {
+
+struct RouteResult {
+  bool delivered = false;
+  std::vector<NodeId> path;  ///< src..dst inclusive when delivered
+  int hops = 0;
+
+  /// Messages used: one per hop.
+  [[nodiscard]] int messages() const { return hops; }
+};
+
+/// The name of the neighbor behind port l, derived purely from local
+/// knowledge (η_p and π_p[l]).
+[[nodiscard]] int neighborNameViaLabel(const Orientation& o, NodeId p, Port l);
+
+/// Greedy chordal routing from `src` to the node *named* `targetName`.
+/// Forwards along the port minimizing the cyclic distance to the target,
+/// but only while that distance strictly decreases (guaranteeing
+/// termination without a TTL).
+[[nodiscard]] RouteResult routeGreedyChordal(const Orientation& o, NodeId src,
+                                             int targetName);
+
+/// Same, but with a deterministic tie-breaking "detour" allowance: up to
+/// `maxDetours` non-improving hops (smallest-label port not yet used from
+/// that node) are permitted, which rescues greedy dead ends on sparse
+/// graphs.  Still terminates: at most maxDetours non-improving hops.
+[[nodiscard]] RouteResult routeGreedyWithDetours(const Orientation& o,
+                                                 NodeId src, int targetName,
+                                                 int maxDetours);
+
+/// Baseline: messages needed to reach `dst` by flooding in a network
+/// WITHOUT an orientation (every processor forwards the query on every
+/// other port; duplicate deliveries are counted, as an anonymous network
+/// cannot suppress them locally).  Returns total messages sent until the
+/// flood has fully propagated.
+[[nodiscard]] int floodMessages(const Graph& g, NodeId src);
+
+/// Aggregate routing quality over all (src, dst) pairs.
+struct RoutingStats {
+  int pairs = 0;
+  int delivered = 0;
+  double meanStretch = 0;  ///< hops / shortest-path, over delivered pairs
+  double maxStretch = 0;
+  double meanHops = 0;
+};
+
+[[nodiscard]] RoutingStats evaluateRouting(const Orientation& o,
+                                           int maxDetours);
+
+}  // namespace ssno
+
+#endif  // SSNO_APPS_ROUTING_HPP

@@ -1,0 +1,40 @@
+// Lightweight contract-checking macros (Core Guidelines I.6/I.8 style).
+//
+// SSNO_EXPECTS / SSNO_ENSURES abort with a diagnostic on violation; they are
+// active in all build types because the simulator's correctness arguments
+// (single token, pointer-chain consistency, ...) rely on them during
+// development and model checking, and their cost is negligible next to the
+// state-space exploration itself.
+#ifndef SSNO_CORE_ASSERT_HPP
+#define SSNO_CORE_ASSERT_HPP
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssno::detail {
+
+[[noreturn]] inline void contract_violation(const char* kind, const char* expr,
+                                            const char* file, int line) {
+  std::fprintf(stderr, "ssno: %s violation: (%s) at %s:%d\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace ssno::detail
+
+#define SSNO_EXPECTS(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ssno::detail::contract_violation("precondition", #cond,   \
+                                               __FILE__, __LINE__))
+
+#define SSNO_ENSURES(cond)                                               \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ssno::detail::contract_violation("postcondition", #cond,  \
+                                               __FILE__, __LINE__))
+
+#define SSNO_ASSERT(cond)                                                \
+  ((cond) ? static_cast<void>(0)                                         \
+          : ::ssno::detail::contract_violation("invariant", #cond,      \
+                                               __FILE__, __LINE__))
+
+#endif  // SSNO_CORE_ASSERT_HPP

@@ -1,0 +1,535 @@
+#include "core/checker.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "core/assert.hpp"
+#include "core/scheduler.hpp"
+
+namespace ssno {
+namespace {
+
+/// Mixed-radix index <-> per-node code vector.
+class ConfigIndexer {
+ public:
+  explicit ConfigIndexer(const Protocol& p) {
+    radices_.reserve(static_cast<std::size_t>(p.graph().nodeCount()));
+    total_ = 1;
+    overflow_ = false;
+    for (NodeId q = 0; q < p.graph().nodeCount(); ++q) {
+      const std::uint64_t r = p.localStateCount(q);
+      SSNO_EXPECTS(r >= 1);
+      radices_.push_back(r);
+      if (total_ > UINT64_MAX / r) overflow_ = true;
+      if (!overflow_) total_ *= r;
+    }
+  }
+
+  [[nodiscard]] bool overflow() const { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  void decodeInto(Protocol& p, std::uint64_t index) const {
+    for (std::size_t q = 0; q < radices_.size(); ++q) {
+      p.decodeNode(static_cast<NodeId>(q), index % radices_[q]);
+      index /= radices_[q];
+    }
+  }
+
+  [[nodiscard]] std::uint64_t encodeFrom(const Protocol& p) const {
+    std::uint64_t index = 0;
+    for (std::size_t q = radices_.size(); q-- > 0;) {
+      index = index * radices_[q] + p.encodeNode(static_cast<NodeId>(q));
+    }
+    return index;
+  }
+
+ private:
+  std::vector<std::uint64_t> radices_;
+  std::uint64_t total_ = 1;
+  bool overflow_ = false;
+};
+
+std::string describeConfig(const Protocol& p) {
+  std::ostringstream out;
+  for (NodeId q = 0; q < p.graph().nodeCount(); ++q)
+    out << "  node " << q << ": " << p.dumpNode(q) << '\n';
+  return out.str();
+}
+
+/// Bitmask of enabled (processor, action) pairs: bit = node·A + action.
+/// Fairness constraints are tracked at action granularity — a processor
+/// serving one action does not discharge the obligation to eventually
+/// serve another that stays enabled.
+std::uint64_t enabledPairMask(const Protocol& p) {
+  std::uint64_t mask = 0;
+  const int actions = p.actionCount();
+  for (NodeId q = 0; q < p.graph().nodeCount(); ++q)
+    for (int a = 0; a < actions; ++a)
+      if (p.enabled(q, a))
+        mask |= (1ULL << (q * actions + a));
+  return mask;
+}
+
+/// Transition system over an explicit set of (illegitimate) states.
+/// States are dense local ids; edges carry the acting (node, action) pair.
+struct IllegitGraph {
+  struct Edge {
+    int to;
+    int actorPair;  // node·actionCount + action
+  };
+  std::vector<std::vector<Edge>> adj;     // per illegit state
+  std::vector<std::uint64_t> enabledMask; // per illegit state
+};
+
+/// SCC-wise fairness feasibility (see header).  Returns the local id of a
+/// state inside a fair-feasible illegitimate cycle, or -1 if none.
+/// Weak fairness forbids cycles starving an ALWAYS-enabled action;
+/// strong fairness forbids cycles starving an EVER-enabled action.
+int findFairCycle(const IllegitGraph& g, Fairness fairness) {
+  const int n = static_cast<int>(g.adj.size());
+  // Iterative Tarjan.
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<int> sccOf(static_cast<std::size_t>(n), -1);
+  std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+  std::vector<int> tarjanStack;
+  int nextIndex = 0;
+  int sccCount = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  std::vector<Frame> callStack;
+  for (int start = 0; start < n; ++start) {
+    if (index[static_cast<std::size_t>(start)] != -1) continue;
+    callStack.push_back({start, 0});
+    index[static_cast<std::size_t>(start)] =
+        low[static_cast<std::size_t>(start)] = nextIndex++;
+    tarjanStack.push_back(start);
+    onStack[static_cast<std::size_t>(start)] = true;
+    while (!callStack.empty()) {
+      Frame& f = callStack.back();
+      const auto& edges = g.adj[static_cast<std::size_t>(f.v)];
+      if (f.child < edges.size()) {
+        const int w = edges[f.child++].to;
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] =
+              low[static_cast<std::size_t>(w)] = nextIndex++;
+          tarjanStack.push_back(w);
+          onStack[static_cast<std::size_t>(w)] = true;
+          callStack.push_back({w, 0});
+        } else if (onStack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        const int v = f.v;
+        callStack.pop_back();
+        if (!callStack.empty()) {
+          const int parent = callStack.back().v;
+          low[static_cast<std::size_t>(parent)] =
+              std::min(low[static_cast<std::size_t>(parent)],
+                       low[static_cast<std::size_t>(v)]);
+        }
+        if (low[static_cast<std::size_t>(v)] ==
+            index[static_cast<std::size_t>(v)]) {
+          while (true) {
+            const int w = tarjanStack.back();
+            tarjanStack.pop_back();
+            onStack[static_cast<std::size_t>(w)] = false;
+            sccOf[static_cast<std::size_t>(w)] = sccCount;
+            if (w == v) break;
+          }
+          ++sccCount;
+        }
+      }
+    }
+  }
+
+  // Per-SCC aggregates.
+  std::vector<std::uint64_t> enabledAll(static_cast<std::size_t>(sccCount),
+                                        ~0ULL);
+  std::vector<std::uint64_t> enabledAny(static_cast<std::size_t>(sccCount), 0);
+  std::vector<std::uint64_t> actsInside(static_cast<std::size_t>(sccCount), 0);
+  std::vector<bool> hasInternalEdge(static_cast<std::size_t>(sccCount), false);
+  std::vector<int> representative(static_cast<std::size_t>(sccCount), -1);
+  for (int v = 0; v < n; ++v) {
+    const int s = sccOf[static_cast<std::size_t>(v)];
+    enabledAll[static_cast<std::size_t>(s)] &=
+        g.enabledMask[static_cast<std::size_t>(v)];
+    enabledAny[static_cast<std::size_t>(s)] |=
+        g.enabledMask[static_cast<std::size_t>(v)];
+    representative[static_cast<std::size_t>(s)] = v;
+    for (const auto& e : g.adj[static_cast<std::size_t>(v)]) {
+      if (sccOf[static_cast<std::size_t>(e.to)] == s) {
+        hasInternalEdge[static_cast<std::size_t>(s)] = true;
+        actsInside[static_cast<std::size_t>(s)] |= (1ULL << e.actorPair);
+      }
+    }
+  }
+
+  for (int s = 0; s < sccCount; ++s) {
+    if (!hasInternalEdge[static_cast<std::size_t>(s)]) continue;
+    // The SCC hosts a fair infinite execution iff no action that the
+    // fairness notion protects is starved inside it.  (enabledAll is an
+    // AND over configuration masks, so stray high bits vanish.)
+    const std::uint64_t protectedPairs =
+        fairness == Fairness::kStronglyFair
+            ? enabledAny[static_cast<std::size_t>(s)]
+            : enabledAll[static_cast<std::size_t>(s)];
+    const std::uint64_t starved =
+        protectedPairs & ~actsInside[static_cast<std::size_t>(s)];
+    if (starved == 0) return representative[static_cast<std::size_t>(s)];
+  }
+  return -1;
+}
+
+}  // namespace
+
+CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
+                                          Fairness fairness) {
+  CheckResult res;
+  const ConfigIndexer ix(protocol_);
+  if (ix.overflow() || ix.total() > maxConfigs) {
+    res.failure = "state space too large for exhaustive check";
+    return res;
+  }
+  if (fairness != Fairness::kNone &&
+      protocol_.graph().nodeCount() * protocol_.actionCount() > 64) {
+    res.failure = "fairness-aware check limited to 64 (node, action) pairs";
+    return res;
+  }
+  const std::uint64_t total = ix.total();
+
+  std::vector<std::uint8_t> isLegit(total, 0);
+  for (std::uint64_t c = 0; c < total; ++c) {
+    ix.decodeInto(protocol_, c);
+    isLegit[c] = legit_() ? 1 : 0;
+  }
+
+  auto successors = [&](std::uint64_t c) {
+    std::vector<std::pair<std::uint64_t, int>> succ;  // (config, actor)
+    ix.decodeInto(protocol_, c);
+    const std::vector<Move> moves = protocol_.enabledMoves();
+    succ.reserve(moves.size());
+    const int actions = protocol_.actionCount();
+    for (const Move& m : moves) {
+      ix.decodeInto(protocol_, c);
+      protocol_.execute(m.node, m.action);
+      succ.emplace_back(ix.encodeFrom(protocol_), m.node * actions + m.action);
+    }
+    return succ;
+  };
+
+  // Pass 1: deadlock + closure; assign dense ids to illegitimate configs.
+  std::vector<std::uint64_t> illegitIds(total, UINT64_MAX);
+  std::uint64_t illegitCount = 0;
+  for (std::uint64_t c = 0; c < total; ++c) {
+    ++res.configsExplored;
+    const auto succ = successors(c);
+    if (isLegit[c]) {
+      for (const auto& [s, actor] : succ) {
+        if (!isLegit[s]) {
+          ix.decodeInto(protocol_, c);
+          res.failure = "closure violated; legitimate configuration:\n" +
+                        describeConfig(protocol_);
+          return res;
+        }
+      }
+      continue;
+    }
+    if (succ.empty()) {
+      ix.decodeInto(protocol_, c);
+      res.failure = "illegitimate terminal (deadlocked) configuration:\n" +
+                    describeConfig(protocol_);
+      return res;
+    }
+    illegitIds[c] = illegitCount++;
+  }
+
+  if (fairness != Fairness::kNone) {
+    // Materialize the illegitimate sub-digraph with actors and
+    // enabled-processor masks, then look for a fair-feasible cycle.
+    IllegitGraph g;
+    g.adj.resize(illegitCount);
+    g.enabledMask.resize(illegitCount);
+    std::vector<std::uint64_t> localToGlobal(illegitCount);
+    for (std::uint64_t c = 0; c < total; ++c) {
+      if (isLegit[c]) continue;
+      const std::uint64_t id = illegitIds[c];
+      localToGlobal[id] = c;
+      for (const auto& [s, actor] : successors(c)) {
+        if (!isLegit[s])
+          g.adj[id].push_back({static_cast<int>(illegitIds[s]), actor});
+      }
+      ix.decodeInto(protocol_, c);
+      g.enabledMask[id] = enabledPairMask(protocol_);
+    }
+    const int bad = findFairCycle(g, fairness);
+    if (bad >= 0) {
+      ix.decodeInto(protocol_, localToGlobal[static_cast<std::size_t>(bad)]);
+      res.failure =
+          "convergence violated: fair-feasible cycle through "
+          "illegitimate configuration:\n" +
+          describeConfig(protocol_);
+      return res;
+    }
+    res.ok = true;
+    return res;
+  }
+
+  // Strict mode: the illegitimate sub-digraph must be acyclic.
+  // (0=white, 1=gray, 2=black; successors recomputed on demand to keep
+  // memory at one byte per configuration.)
+  std::vector<std::uint8_t> color(total, 0);
+  std::vector<std::uint64_t> stack;
+  std::vector<std::size_t> stackPos;
+  std::vector<std::vector<std::pair<std::uint64_t, int>>> stackSucc;
+  for (std::uint64_t start = 0; start < total; ++start) {
+    if (isLegit[start] || color[start] != 0) continue;
+    stack.assign(1, start);
+    stackSucc.assign(1, successors(start));
+    stackPos.assign(1, 0);
+    color[start] = 1;
+    while (!stack.empty()) {
+      bool descended = false;
+      while (stackPos.back() < stackSucc.back().size()) {
+        const std::uint64_t next = stackSucc.back()[stackPos.back()++].first;
+        if (isLegit[next]) continue;
+        if (color[next] == 1) {
+          ix.decodeInto(protocol_, next);
+          res.failure =
+              "convergence violated: cycle through illegitimate "
+              "configuration:\n" +
+              describeConfig(protocol_);
+          return res;
+        }
+        if (color[next] == 0) {
+          color[next] = 1;
+          stack.push_back(next);
+          stackSucc.push_back(successors(next));
+          stackPos.push_back(0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && stackPos.back() >= stackSucc.back().size()) {
+        color[stack.back()] = 2;
+        stack.pop_back();
+        stackSucc.pop_back();
+        stackPos.pop_back();
+      }
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+CheckResult ModelChecker::verifyReachable(
+    const std::vector<std::vector<std::uint64_t>>& seeds,
+    std::uint64_t maxConfigs, Fairness fairness) {
+  CheckResult res;
+  if (fairness != Fairness::kNone &&
+      protocol_.graph().nodeCount() * protocol_.actionCount() > 64) {
+    res.failure = "fairness-aware check limited to 64 (node, action) pairs";
+    return res;
+  }
+  struct VecHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& v) const {
+      std::uint64_t h = 0xCBF29CE484222325ULL;
+      for (std::uint64_t x : v) {
+        h ^= x;
+        h *= 0x100000001B3ULL;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  std::unordered_map<std::vector<std::uint64_t>, int, VecHash> id;
+  std::vector<std::vector<std::uint64_t>> configs;
+  std::vector<std::uint8_t> isLegit;
+  std::vector<std::uint64_t> enabledMask;
+
+  auto intern = [&](const std::vector<std::uint64_t>& code) -> int {
+    auto [it, inserted] =
+        id.try_emplace(code, static_cast<int>(configs.size()));
+    if (inserted) {
+      configs.push_back(code);
+      protocol_.decodeConfiguration(code);
+      isLegit.push_back(legit_() ? 1 : 0);
+      enabledMask.push_back(enabledPairMask(protocol_));
+    }
+    return it->second;
+  };
+
+  struct OutEdge {
+    int to;
+    int actorPair;
+  };
+  std::vector<std::vector<OutEdge>> adj;
+  std::vector<std::uint8_t> explored;
+
+  std::vector<int> frontier;
+  for (const auto& s : seeds) frontier.push_back(intern(s));
+  for (std::size_t head = 0; head < frontier.size(); ++head) {
+    const int c = frontier[head];
+    while (static_cast<int>(adj.size()) <= c) {
+      adj.emplace_back();
+      explored.push_back(0);
+    }
+    if (explored[static_cast<std::size_t>(c)]) continue;
+    explored[static_cast<std::size_t>(c)] = 1;
+    protocol_.decodeConfiguration(configs[static_cast<std::size_t>(c)]);
+    const std::vector<Move> moves = protocol_.enabledMoves();
+    if (moves.empty() && !isLegit[static_cast<std::size_t>(c)]) {
+      res.failure = "illegitimate terminal (deadlocked) configuration:\n" +
+                    describeConfig(protocol_);
+      return res;
+    }
+    for (const Move& m : moves) {
+      protocol_.decodeConfiguration(configs[static_cast<std::size_t>(c)]);
+      protocol_.execute(m.node, m.action);
+      const int s = intern(protocol_.encodeConfiguration());
+      if (configs.size() > maxConfigs) {
+        res.failure = "reachable space exceeded maxConfigs";
+        return res;
+      }
+      if (isLegit[static_cast<std::size_t>(c)] &&
+          !isLegit[static_cast<std::size_t>(s)]) {
+        protocol_.decodeConfiguration(configs[static_cast<std::size_t>(c)]);
+        res.failure = "closure violated; legitimate configuration:\n" +
+                      describeConfig(protocol_);
+        return res;
+      }
+      adj[static_cast<std::size_t>(c)].push_back(
+          {s, m.node * protocol_.actionCount() + m.action});
+      frontier.push_back(s);
+    }
+  }
+  res.configsExplored = configs.size();
+  const int total = static_cast<int>(configs.size());
+
+  if (fairness != Fairness::kNone) {
+    // Project to the illegitimate sub-digraph.
+    std::vector<int> localId(static_cast<std::size_t>(total), -1);
+    IllegitGraph g;
+    std::vector<int> localToGlobal;
+    for (int c = 0; c < total; ++c) {
+      if (isLegit[static_cast<std::size_t>(c)]) continue;
+      localId[static_cast<std::size_t>(c)] =
+          static_cast<int>(localToGlobal.size());
+      localToGlobal.push_back(c);
+    }
+    g.adj.resize(localToGlobal.size());
+    g.enabledMask.resize(localToGlobal.size());
+    for (int c = 0; c < total; ++c) {
+      const int lc = localId[static_cast<std::size_t>(c)];
+      if (lc < 0) continue;
+      g.enabledMask[static_cast<std::size_t>(lc)] =
+          enabledMask[static_cast<std::size_t>(c)];
+      for (const auto& e : adj[static_cast<std::size_t>(c)]) {
+        const int lt = localId[static_cast<std::size_t>(e.to)];
+        if (lt >= 0)
+          g.adj[static_cast<std::size_t>(lc)].push_back({lt, e.actorPair});
+      }
+    }
+    const int bad = findFairCycle(g, fairness);
+    if (bad >= 0) {
+      protocol_.decodeConfiguration(
+          configs[static_cast<std::size_t>(
+              localToGlobal[static_cast<std::size_t>(bad)])]);
+      res.failure =
+          "convergence violated: fair-feasible cycle through "
+          "illegitimate configuration:\n" +
+          describeConfig(protocol_);
+      return res;
+    }
+    res.ok = true;
+    return res;
+  }
+
+  // Strict mode: cycle detection on the illegitimate subgraph.
+  std::vector<std::uint8_t> color(static_cast<std::size_t>(total), 0);
+  std::vector<int> stack, pos;
+  for (int start = 0; start < total; ++start) {
+    if (isLegit[static_cast<std::size_t>(start)] ||
+        color[static_cast<std::size_t>(start)] != 0)
+      continue;
+    stack.assign(1, start);
+    pos.assign(1, 0);
+    color[static_cast<std::size_t>(start)] = 1;
+    while (!stack.empty()) {
+      const int cur = stack.back();
+      const auto& succ = adj[static_cast<std::size_t>(cur)];
+      bool descended = false;
+      while (pos.back() < static_cast<int>(succ.size())) {
+        const int next = succ[static_cast<std::size_t>(pos.back()++)].to;
+        if (isLegit[static_cast<std::size_t>(next)]) continue;
+        if (color[static_cast<std::size_t>(next)] == 1) {
+          protocol_.decodeConfiguration(
+              configs[static_cast<std::size_t>(next)]);
+          res.failure =
+              "convergence violated: cycle through illegitimate "
+              "configuration:\n" +
+              describeConfig(protocol_);
+          return res;
+        }
+        if (color[static_cast<std::size_t>(next)] == 0) {
+          color[static_cast<std::size_t>(next)] = 1;
+          stack.push_back(next);
+          pos.push_back(0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended && pos.back() >= static_cast<int>(succ.size())) {
+        color[static_cast<std::size_t>(cur)] = 2;
+        stack.pop_back();
+        pos.pop_back();
+      }
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+CheckResult ModelChecker::monteCarlo(Daemon& daemon, Rng& rng, int trials,
+                                     StepCount maxMoves,
+                                     StepCount closureMoves) {
+  CheckResult res;
+  for (int t = 0; t < trials; ++t) {
+    protocol_.randomize(rng);
+    Simulator sim(protocol_, daemon, rng);
+    const RunStats stats = sim.runUntil([this] { return legit_(); }, maxMoves);
+    ++res.configsExplored;
+    if (!stats.converged) {
+      std::ostringstream msg;
+      msg << "trial " << t << " failed to converge within " << maxMoves
+          << " moves under " << daemon.name() << " daemon; configuration:\n"
+          << describeConfig(protocol_);
+      res.failure = msg.str();
+      return res;
+    }
+    // Closure spot check: legitimacy persists.
+    StepCount done = 0;
+    while (done < closureMoves) {
+      const std::vector<Move> executed = sim.stepOnce();
+      if (executed.empty()) break;
+      done += static_cast<StepCount>(executed.size());
+      if (!legit_()) {
+        std::ostringstream msg;
+        msg << "trial " << t << ": closure violated after convergence under "
+            << daemon.name() << " daemon; configuration:\n"
+            << describeConfig(protocol_);
+        res.failure = msg.str();
+        return res;
+      }
+    }
+  }
+  res.ok = true;
+  return res;
+}
+
+}  // namespace ssno

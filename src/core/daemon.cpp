@@ -1,0 +1,108 @@
+#include "core/daemon.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+std::vector<Move> Daemon::onePerNode(const std::vector<Move>& enabled,
+                                     Rng& rng) {
+  // Reservoir-sample one action per node so that every enabled action has
+  // equal probability of representing its processor.
+  std::map<NodeId, Move> chosen;
+  std::map<NodeId, int> seen;
+  for (const Move& m : enabled) {
+    const int k = ++seen[m.node];
+    if (k == 1 || rng.below(k) == 0) chosen[m.node] = m;
+  }
+  std::vector<Move> out;
+  out.reserve(chosen.size());
+  for (const auto& [node, move] : chosen) out.push_back(move);
+  return out;
+}
+
+std::vector<Move> CentralDaemon::select(const std::vector<Move>& enabled,
+                                        Rng& rng) {
+  SSNO_EXPECTS(!enabled.empty());
+  return {enabled[static_cast<std::size_t>(
+      rng.below(static_cast<int>(enabled.size())))]};
+}
+
+std::vector<Move> DistributedDaemon::select(const std::vector<Move>& enabled,
+                                            Rng& rng) {
+  SSNO_EXPECTS(!enabled.empty());
+  std::vector<Move> perNode = onePerNode(enabled, rng);
+  std::vector<Move> out;
+  for (const Move& m : perNode)
+    if (rng.chance(0.5)) out.push_back(m);
+  if (out.empty())
+    out.push_back(perNode[static_cast<std::size_t>(
+        rng.below(static_cast<int>(perNode.size())))]);
+  return out;
+}
+
+std::vector<Move> SynchronousDaemon::select(const std::vector<Move>& enabled,
+                                            Rng& rng) {
+  SSNO_EXPECTS(!enabled.empty());
+  return onePerNode(enabled, rng);
+}
+
+std::vector<Move> RoundRobinDaemon::select(const std::vector<Move>& enabled,
+                                           Rng& /*rng*/) {
+  SSNO_EXPECTS(!enabled.empty());
+  // Serve the enabled (node, action) pair that follows the last served
+  // pair in cyclic lexicographic order: every continuously enabled pair
+  // is reached within one sweep (weak fairness at action granularity).
+  auto follows = [this](const Move& m) {
+    return m.node > last_.node ||
+           (m.node == last_.node && m.action > last_.action);
+  };
+  auto lexLess = [](const Move& a, const Move& b) {
+    return a.node < b.node || (a.node == b.node && a.action < b.action);
+  };
+  const Move* best = nullptr;
+  const Move* wrap = nullptr;  // smallest pair overall (used on wrap-around)
+  for (const Move& m : enabled) {
+    if (follows(m) && (best == nullptr || lexLess(m, *best))) best = &m;
+    if (wrap == nullptr || lexLess(m, *wrap)) wrap = &m;
+  }
+  if (best == nullptr) best = wrap;
+  last_ = *best;
+  return {*best};
+}
+
+std::vector<Move> AdversarialDaemon::select(const std::vector<Move>& enabled,
+                                            Rng& /*rng*/) {
+  SSNO_EXPECTS(!enabled.empty());
+  const Move* best = &enabled.front();
+  for (const Move& m : enabled)
+    if (m.node < best->node ||
+        (m.node == best->node && m.action < best->action))
+      best = &m;
+  return {*best};
+}
+
+std::unique_ptr<Daemon> makeDaemon(DaemonKind kind) {
+  switch (kind) {
+    case DaemonKind::kCentral:
+      return std::make_unique<CentralDaemon>();
+    case DaemonKind::kDistributed:
+      return std::make_unique<DistributedDaemon>();
+    case DaemonKind::kSynchronous:
+      return std::make_unique<SynchronousDaemon>();
+    case DaemonKind::kRoundRobin:
+      return std::make_unique<RoundRobinDaemon>();
+    case DaemonKind::kAdversarial:
+      return std::make_unique<AdversarialDaemon>();
+  }
+  SSNO_ASSERT(false);
+  return nullptr;
+}
+
+std::string daemonKindName(DaemonKind kind) {
+  return makeDaemon(kind)->name();
+}
+
+}  // namespace ssno

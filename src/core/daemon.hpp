@@ -1,0 +1,107 @@
+// Daemons (schedulers / adversaries) — paper §2.1.2.
+//
+// A computation step takes the set of enabled moves and selects a
+// non-empty subset, at most one move per processor (the *distributed
+// daemon*).  Special cases: the central daemon picks exactly one move; the
+// synchronous daemon picks one move at every enabled processor.  The
+// paper's DFTNO assumes a weakly fair daemon; STNO tolerates an unfair
+// one.  RoundRobinDaemon realizes weak fairness deterministically;
+// AdversarialDaemon greedily tries to starve progress (it prefers moves
+// that keep the system away from quiescence) and is *unfair*.
+#ifndef SSNO_CORE_DAEMON_HPP
+#define SSNO_CORE_DAEMON_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/rng.hpp"
+
+namespace ssno {
+
+class Daemon {
+ public:
+  virtual ~Daemon() = default;
+
+  /// Selects the moves to execute this computation step.
+  /// Precondition: `enabled` is non-empty and contains at most
+  /// actionCount() moves per node.  Postcondition: result non-empty, at
+  /// most one move per processor, and a subset of `enabled`.
+  [[nodiscard]] virtual std::vector<Move> select(
+      const std::vector<Move>& enabled, Rng& rng) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+ protected:
+  /// Utility: keep at most one (uniformly chosen) move per processor.
+  static std::vector<Move> onePerNode(const std::vector<Move>& enabled,
+                                      Rng& rng);
+};
+
+/// Central daemon: exactly one enabled processor acts per step.
+class CentralDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
+                                         Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "central"; }
+};
+
+/// Distributed daemon: a uniformly random non-empty subset of processors,
+/// one enabled action each.
+class DistributedDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
+                                         Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "distributed"; }
+};
+
+/// Synchronous daemon: every enabled processor acts (one action each).
+class SynchronousDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
+                                         Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "synchronous"; }
+};
+
+/// Deterministic weakly fair central daemon: cycles through (processor,
+/// action) pairs in lexicographic order and serves the next enabled pair
+/// after the last served.  Fairness at action granularity matters: a
+/// node-level rotation that picks the lowest enabled action can starve a
+/// continuously enabled correction action behind a busy substrate action
+/// (e.g. DFTNO's EdgeLabel at a star hub behind token moves).
+class RoundRobinDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
+                                         Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+
+ private:
+  Move last_{-1, 1 << 20};  // sentinel: before every real pair
+};
+
+/// Unfair adversary: repeatedly serves the lowest-numbered enabled
+/// processor (so a continuously enabled high-numbered processor can be
+/// starved for as long as others stay enabled).
+class AdversarialDaemon final : public Daemon {
+ public:
+  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
+                                         Rng& rng) override;
+  [[nodiscard]] std::string name() const override { return "adversarial"; }
+};
+
+/// Factory used by parameterized tests and benches.
+enum class DaemonKind {
+  kCentral,
+  kDistributed,
+  kSynchronous,
+  kRoundRobin,
+  kAdversarial,
+};
+
+[[nodiscard]] std::unique_ptr<Daemon> makeDaemon(DaemonKind kind);
+[[nodiscard]] std::string daemonKindName(DaemonKind kind);
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_DAEMON_HPP

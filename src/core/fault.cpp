@@ -1,0 +1,24 @@
+#include "core/fault.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+std::vector<NodeId> FaultInjector::corruptK(int k, Rng& rng) {
+  const int n = protocol_.graph().nodeCount();
+  SSNO_EXPECTS(k >= 0 && k <= n);
+  std::vector<NodeId> ids(static_cast<std::size_t>(n));
+  std::iota(ids.begin(), ids.end(), 0);
+  // Partial Fisher-Yates: the first k entries become the victim set.
+  for (int i = 0; i < k; ++i)
+    std::swap(ids[static_cast<std::size_t>(i)],
+              ids[static_cast<std::size_t>(rng.between(i, n - 1))]);
+  ids.resize(static_cast<std::size_t>(k));
+  for (NodeId p : ids) protocol_.randomizeNode(p, rng);
+  return ids;
+}
+
+}  // namespace ssno

@@ -1,0 +1,40 @@
+// Transient-fault injection (paper §1.2: self-stabilization as the
+// unified fault-tolerance approach — the system must recover from *any*
+// state, so faults are modeled as adversarial writes to process memory).
+#ifndef SSNO_CORE_FAULT_HPP
+#define SSNO_CORE_FAULT_HPP
+
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/rng.hpp"
+
+namespace ssno {
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(Protocol& protocol) : protocol_(protocol) {}
+
+  /// Sets every processor to a uniformly random local state — the
+  /// "arbitrary initial configuration" of Definition 2.1.2.
+  void scrambleAll(Rng& rng) { protocol_.randomize(rng); }
+
+  /// Corrupts exactly k distinct processors chosen uniformly; returns the
+  /// victims (for fault-containment measurements).
+  std::vector<NodeId> corruptK(int k, Rng& rng);
+
+  /// Corrupts one given processor.
+  void corruptNode(NodeId p, Rng& rng) { protocol_.randomizeNode(p, rng); }
+
+  /// Simulates a crash-and-reset of processor p: local state is set to the
+  /// all-zero (freshly booted) local state, which is *not* necessarily
+  /// consistent with the neighbors — recovery is the protocol's job.
+  void crashReset(NodeId p) { protocol_.decodeNode(p, 0); }
+
+ private:
+  Protocol& protocol_;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_FAULT_HPP

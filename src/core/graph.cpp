@@ -1,0 +1,216 @@
+#include "core/graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+Graph::Graph(int n, const std::vector<std::pair<NodeId, NodeId>>& edges,
+             NodeId root)
+    : adj_(static_cast<std::size_t>(n)), root_(root) {
+  if (n <= 0) throw std::invalid_argument("Graph: need at least one node");
+  if (root < 0 || root >= n) throw std::invalid_argument("Graph: bad root");
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= n || v < 0 || v >= n)
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    if (u == v) throw std::invalid_argument("Graph: self-loop");
+    const auto key = std::minmax(u, v);
+    if (!seen.insert({key.first, key.second}).second)
+      throw std::invalid_argument("Graph: duplicate edge");
+    adj_[static_cast<std::size_t>(u)].push_back(v);
+    adj_[static_cast<std::size_t>(v)].push_back(u);
+    ++edge_count_;
+  }
+}
+
+int Graph::maxDegree() const {
+  int d = 0;
+  for (NodeId p = 0; p < nodeCount(); ++p) d = std::max(d, degree(p));
+  return d;
+}
+
+Port Graph::portOf(NodeId p, NodeId q) const {
+  const auto& nbrs = adj_[static_cast<std::size_t>(p)];
+  for (std::size_t i = 0; i < nbrs.size(); ++i)
+    if (nbrs[i] == q) return static_cast<Port>(i);
+  return kNoPort;
+}
+
+bool Graph::isConnected() const {
+  std::vector<bool> seen(static_cast<std::size_t>(nodeCount()), false);
+  std::vector<NodeId> stack{root_};
+  seen[static_cast<std::size_t>(root_)] = true;
+  int visited = 0;
+  while (!stack.empty()) {
+    const NodeId p = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (NodeId q : neighbors(p)) {
+      if (!seen[static_cast<std::size_t>(q)]) {
+        seen[static_cast<std::size_t>(q)] = true;
+        stack.push_back(q);
+      }
+    }
+  }
+  return visited == nodeCount();
+}
+
+Graph Graph::ring(int n) {
+  SSNO_EXPECTS(n >= 3);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  e.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) e.emplace_back(i, (i + 1) % n);
+  return Graph(n, e);
+}
+
+Graph Graph::path(int n) {
+  SSNO_EXPECTS(n >= 1);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int i = 0; i + 1 < n; ++i) e.emplace_back(i, i + 1);
+  return Graph(n, e);
+}
+
+Graph Graph::star(int n) {
+  SSNO_EXPECTS(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int i = 1; i < n; ++i) e.emplace_back(0, i);
+  return Graph(n, e);
+}
+
+Graph Graph::complete(int n) {
+  SSNO_EXPECTS(n >= 2);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) e.emplace_back(i, j);
+  return Graph(n, e);
+}
+
+Graph Graph::grid(int rows, int cols) {
+  SSNO_EXPECTS(rows >= 1 && cols >= 1 && rows * cols >= 2);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) e.emplace_back(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) e.emplace_back(id(r, c), id(r + 1, c));
+    }
+  }
+  return Graph(rows * cols, e);
+}
+
+Graph Graph::torus(int rows, int cols) {
+  SSNO_EXPECTS(rows >= 3 && cols >= 3);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      e.emplace_back(id(r, c), id(r, (c + 1) % cols));
+      e.emplace_back(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return Graph(rows * cols, e);
+}
+
+Graph Graph::hypercube(int dim) {
+  SSNO_EXPECTS(dim >= 1 && dim <= 20);
+  const int n = 1 << dim;
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int u = 0; u < n; ++u)
+    for (int b = 0; b < dim; ++b)
+      if (const int v = u ^ (1 << b); u < v) e.emplace_back(u, v);
+  return Graph(n, e);
+}
+
+Graph Graph::lollipop(int cliqueSize, int tailLen) {
+  SSNO_EXPECTS(cliqueSize >= 2 && tailLen >= 1);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int i = 0; i < cliqueSize; ++i)
+    for (int j = i + 1; j < cliqueSize; ++j) e.emplace_back(i, j);
+  // Tail hangs off the last clique node.
+  int prev = cliqueSize - 1;
+  for (int t = 0; t < tailLen; ++t) {
+    e.emplace_back(prev, cliqueSize + t);
+    prev = cliqueSize + t;
+  }
+  return Graph(cliqueSize + tailLen, e);
+}
+
+Graph Graph::kAryTree(int n, int k) {
+  SSNO_EXPECTS(n >= 1 && k >= 1);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int i = 1; i < n; ++i) e.emplace_back((i - 1) / k, i);
+  return Graph(n, e);
+}
+
+Graph Graph::caterpillar(int spine, int legs) {
+  SSNO_EXPECTS(spine >= 1 && legs >= 0);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int i = 0; i + 1 < spine; ++i) e.emplace_back(i, i + 1);
+  int next = spine;
+  for (int i = 0; i < spine; ++i)
+    for (int l = 0; l < legs; ++l) e.emplace_back(i, next++);
+  return Graph(spine + spine * legs, e);
+}
+
+Graph Graph::randomTree(int n, Rng& rng) {
+  SSNO_EXPECTS(n >= 1);
+  if (n == 1) return Graph(1, {});
+  if (n == 2) return Graph(2, {{0, 1}});
+  // Prüfer decoding yields a uniform random labelled tree.
+  std::vector<int> pruefer(static_cast<std::size_t>(n - 2));
+  for (auto& x : pruefer) x = rng.below(n);
+  std::vector<int> deg(static_cast<std::size_t>(n), 1);
+  for (int x : pruefer) ++deg[static_cast<std::size_t>(x)];
+  std::set<int> leaves;
+  for (int i = 0; i < n; ++i)
+    if (deg[static_cast<std::size_t>(i)] == 1) leaves.insert(i);
+  std::vector<std::pair<NodeId, NodeId>> e;
+  for (int x : pruefer) {
+    const int leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    e.emplace_back(leaf, x);
+    if (--deg[static_cast<std::size_t>(x)] == 1) leaves.insert(x);
+  }
+  SSNO_ASSERT(leaves.size() == 2);
+  const int a = *leaves.begin();
+  const int b = *std::next(leaves.begin());
+  e.emplace_back(a, b);
+  return Graph(n, e);
+}
+
+Graph Graph::randomConnected(int n, double extraEdgeProb, Rng& rng) {
+  SSNO_EXPECTS(n >= 1);
+  if (n == 1) return Graph(1, {});
+  // Random recursive spanning tree for connectivity...
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (int i = 1; i < n; ++i) {
+    const int j = rng.below(i);
+    edges.insert(std::minmax(i, j));
+  }
+  // ...plus independent extra edges.
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (rng.chance(extraEdgeProb)) edges.insert({i, j});
+  std::vector<std::pair<NodeId, NodeId>> e(edges.begin(), edges.end());
+  return Graph(n, e);
+}
+
+Graph Graph::figure311() {
+  // r=0, a=1, b=2, c=3, d=4.  Port order at the root lists b before a so
+  // that the deterministic DFS reproduces the visit order of Figure 3.1.1:
+  // r(0), b(1), d(2), c(3), backtrack to r, a(4).
+  return Graph(5, {{0, 2}, {0, 1}, {2, 4}, {4, 3}});
+}
+
+Graph Graph::figure221() {
+  // A 5-node cycle with one chord, as in the chordal-sense-of-direction
+  // illustration: edge labels are distances along the cyclic order 0..4.
+  return Graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {0, 2}});
+}
+
+}  // namespace ssno

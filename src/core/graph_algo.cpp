@@ -1,0 +1,126 @@
+#include "core/graph_algo.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+std::vector<int> bfsDistances(const Graph& g, NodeId src) {
+  std::vector<int> dist(static_cast<std::size_t>(g.nodeCount()), -1);
+  std::deque<NodeId> q{src};
+  dist[static_cast<std::size_t>(src)] = 0;
+  while (!q.empty()) {
+    const NodeId p = q.front();
+    q.pop_front();
+    for (NodeId nb : g.neighbors(p)) {
+      if (dist[static_cast<std::size_t>(nb)] < 0) {
+        dist[static_cast<std::size_t>(nb)] =
+            dist[static_cast<std::size_t>(p)] + 1;
+        q.push_back(nb);
+      }
+    }
+  }
+  return dist;
+}
+
+int eccentricity(const Graph& g, NodeId src) {
+  const auto dist = bfsDistances(g, src);
+  int ecc = 0;
+  for (int d : dist) {
+    SSNO_EXPECTS(d >= 0);
+    ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+int diameter(const Graph& g) {
+  int dia = 0;
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    dia = std::max(dia, eccentricity(g, p));
+  return dia;
+}
+
+std::vector<NodeId> shortestPath(const Graph& g, NodeId src, NodeId dst) {
+  std::vector<NodeId> pred(static_cast<std::size_t>(g.nodeCount()), kNoNode);
+  std::vector<bool> seen(static_cast<std::size_t>(g.nodeCount()), false);
+  std::deque<NodeId> q{src};
+  seen[static_cast<std::size_t>(src)] = true;
+  while (!q.empty()) {
+    const NodeId p = q.front();
+    q.pop_front();
+    if (p == dst) break;
+    for (NodeId nb : g.neighbors(p)) {
+      if (!seen[static_cast<std::size_t>(nb)]) {
+        seen[static_cast<std::size_t>(nb)] = true;
+        pred[static_cast<std::size_t>(nb)] = p;
+        q.push_back(nb);
+      }
+    }
+  }
+  if (!seen[static_cast<std::size_t>(dst)]) return {};
+  std::vector<NodeId> rev;
+  for (NodeId cur = dst; cur != kNoNode; cur = pred[static_cast<std::size_t>(cur)])
+    rev.push_back(cur);
+  std::reverse(rev.begin(), rev.end());
+  SSNO_ENSURES(rev.front() == src && rev.back() == dst);
+  return rev;
+}
+
+bool isSpanningTree(const Graph& g, const std::vector<NodeId>& parent) {
+  const int n = g.nodeCount();
+  if (static_cast<int>(parent.size()) != n) return false;
+  if (parent[static_cast<std::size_t>(g.root())] != kNoNode) return false;
+  for (NodeId p = 0; p < n; ++p) {
+    if (p == g.root()) continue;
+    const NodeId par = parent[static_cast<std::size_t>(p)];
+    if (par == kNoNode || !g.adjacent(p, par)) return false;
+    // Walk to the root; more than n hops means a cycle.
+    NodeId cur = p;
+    for (int hops = 0; cur != g.root(); ++hops) {
+      if (hops > n) return false;
+      cur = parent[static_cast<std::size_t>(cur)];
+      if (cur == kNoNode) return false;
+    }
+  }
+  return true;
+}
+
+int treeHeight(const Graph& g, const std::vector<NodeId>& parent) {
+  if (!isSpanningTree(g, parent)) return -1;
+  int height = 0;
+  for (NodeId p = 0; p < g.nodeCount(); ++p) {
+    int depth = 0;
+    for (NodeId cur = p; cur != g.root();
+         cur = parent[static_cast<std::size_t>(cur)])
+      ++depth;
+    height = std::max(height, depth);
+  }
+  return height;
+}
+
+std::string toDot(const Graph& g, const std::vector<std::string>& nodeLabels) {
+  std::ostringstream out;
+  out << "graph S {\n";
+  for (NodeId p = 0; p < g.nodeCount(); ++p) {
+    out << "  n" << p;
+    if (p == g.root()) {
+      out << " [shape=doublecircle";
+      if (static_cast<int>(nodeLabels.size()) > p)
+        out << ",label=\"" << nodeLabels[static_cast<std::size_t>(p)] << "\"";
+      out << "]";
+    } else if (static_cast<int>(nodeLabels.size()) > p) {
+      out << " [label=\"" << nodeLabels[static_cast<std::size_t>(p)] << "\"]";
+    }
+    out << ";\n";
+  }
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    for (NodeId q : g.neighbors(p))
+      if (p < q) out << "  n" << p << " -- n" << q << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace ssno

@@ -1,0 +1,45 @@
+// Classic centralized graph algorithms used for verification and reporting
+// (never by the distributed protocols themselves, which see only their
+// local neighborhoods).
+#ifndef SSNO_CORE_GRAPH_ALGO_HPP
+#define SSNO_CORE_GRAPH_ALGO_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+/// BFS distances from `src`; unreachable nodes get -1.
+[[nodiscard]] std::vector<int> bfsDistances(const Graph& g, NodeId src);
+
+/// Eccentricity of `src` (max BFS distance); requires connectivity.
+[[nodiscard]] int eccentricity(const Graph& g, NodeId src);
+
+/// Exact diameter via all-pairs BFS (fine at simulator scales).
+[[nodiscard]] int diameter(const Graph& g);
+
+/// Hop-by-hop shortest path src -> dst (inclusive); empty if unreachable.
+[[nodiscard]] std::vector<NodeId> shortestPath(const Graph& g, NodeId src,
+                                               NodeId dst);
+
+/// Height of the tree described by `parent` (parent[root] == kNoNode),
+/// i.e. the max root-to-node depth.  Returns -1 if `parent` is not a
+/// spanning tree of g rooted at g.root().
+[[nodiscard]] int treeHeight(const Graph& g, const std::vector<NodeId>& parent);
+
+/// True iff `parent` encodes a spanning tree of g rooted at g.root():
+/// parent[root] == kNoNode, every other node's parent is a neighbor, and
+/// following parents reaches the root without cycles.
+[[nodiscard]] bool isSpanningTree(const Graph& g,
+                                  const std::vector<NodeId>& parent);
+
+/// Graphviz DOT rendering; optional per-node labels (e.g. assigned names).
+[[nodiscard]] std::string toDot(const Graph& g,
+                                const std::vector<std::string>& nodeLabels = {});
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_GRAPH_ALGO_HPP

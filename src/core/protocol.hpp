@@ -1,0 +1,108 @@
+// The guarded-command protocol abstraction (paper §2.1.2).
+//
+// A protocol is a finite set of actions per processor, each of the form
+//     <label> :: <guard> --> <statement>
+// where the guard reads the processor's own variables and those of its
+// neighbors, and the statement writes only the processor's own variables.
+// Guard evaluation and statement execution are one atomic step.
+//
+// Implementations expose:
+//  * the enabled-action relation (for daemons),
+//  * atomic execution,
+//  * state randomization (arbitrary initial configurations, Def. 2.1.2),
+//  * a canonical per-node state codec so the exhaustive model checker can
+//    enumerate and hash the full configuration space C,
+//  * human-readable dumps for traces.
+#ifndef SSNO_CORE_PROTOCOL_HPP
+#define SSNO_CORE_PROTOCOL_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+/// One enabled (processor, action) pair, as offered to a daemon.
+struct Move {
+  NodeId node = kNoNode;
+  int action = -1;
+
+  friend bool operator==(const Move&, const Move&) = default;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+  /// Number of distinct action labels (identifiers 0..actionCount()-1).
+  [[nodiscard]] virtual int actionCount() const = 0;
+  [[nodiscard]] virtual std::string actionName(int action) const = 0;
+
+  /// Enable(A, p, γ): is action `action` enabled at processor p in the
+  /// current configuration?
+  [[nodiscard]] virtual bool enabled(NodeId p, int action) const = 0;
+
+  /// Atomically executes `action` at p.  Precondition: enabled(p, action).
+  virtual void execute(NodeId p, int action) = 0;
+
+  /// Replaces every processor's state with a uniformly arbitrary one
+  /// (transient-fault model: the adversary may set all variables).
+  virtual void randomize(Rng& rng) {
+    for (NodeId p = 0; p < graph_.nodeCount(); ++p) randomizeNode(p, rng);
+  }
+
+  /// Arbitrary state for a single processor (k-fault injection).
+  virtual void randomizeNode(NodeId p, Rng& rng) = 0;
+
+  /// ---- Canonical state codec (model checking / hashing) ---------------
+  /// Size of processor p's local state space; local states are indexed
+  /// 0..localStateCount(p)-1.  Only meaningful at model-checking scales:
+  /// for high-degree processors the count may exceed 64 bits, in which
+  /// case the codec must not be used (the ModelChecker detects overflow;
+  /// the simulator and legitimacy orbits use the raw-values API below).
+  [[nodiscard]] virtual std::uint64_t localStateCount(NodeId p) const = 0;
+  [[nodiscard]] virtual std::uint64_t encodeNode(NodeId p) const = 0;
+  virtual void decodeNode(NodeId p, std::uint64_t code) = 0;
+
+  /// ---- Raw state snapshot (overflow-safe, any graph size) -------------
+  /// The processor's variables as a flat int vector (protocol-defined
+  /// order, fixed length per processor).
+  [[nodiscard]] virtual std::vector<int> rawNode(NodeId p) const = 0;
+  virtual void setRawNode(NodeId p, const std::vector<int>& values) = 0;
+
+  /// Whole-configuration raw snapshot (concatenated per-node vectors).
+  [[nodiscard]] std::vector<int> rawConfiguration() const;
+  void setRawConfiguration(const std::vector<int>& values);
+
+  /// Debug rendering of p's variables, e.g. "S=->2 col=1 d=3".
+  [[nodiscard]] virtual std::string dumpNode(NodeId p) const = 0;
+
+  /// All moves enabled in the current configuration (node-major order).
+  [[nodiscard]] std::vector<Move> enabledMoves() const;
+
+  /// Whole-configuration encode/decode helpers built on the node codec.
+  [[nodiscard]] std::vector<std::uint64_t> encodeConfiguration() const;
+  void decodeConfiguration(const std::vector<std::uint64_t>& codes);
+
+  /// FNV-1a hash of the canonical encoding (for visited-set bookkeeping).
+  [[nodiscard]] std::uint64_t configurationHash() const;
+
+ protected:
+  explicit Protocol(Graph graph) : graph_(std::move(graph)) {}
+
+ private:
+  Graph graph_;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_PROTOCOL_HPP

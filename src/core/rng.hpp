@@ -1,0 +1,56 @@
+// Deterministic pseudo-random source for daemons, fault injection and
+// topology generation.  A thin wrapper over std::mt19937_64 that provides
+// the handful of draw shapes the library needs and supports cheap stream
+// splitting so that independent components (daemon vs. fault injector)
+// never share a sequence.
+#ifndef SSNO_CORE_RNG_HPP
+#define SSNO_CORE_RNG_HPP
+
+#include <cstdint>
+#include <random>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  int below(int bound) {
+    SSNO_EXPECTS(bound > 0);
+    return static_cast<int>(engine_() % static_cast<std::uint64_t>(bound));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int between(int lo, int hi) {
+    SSNO_EXPECTS(lo <= hi);
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  std::uint64_t next() { return engine_(); }
+
+  /// Derive an independent stream; mixing the label keeps sibling streams
+  /// decorrelated even for adjacent labels.
+  [[nodiscard]] Rng split(std::uint64_t label) {
+    const std::uint64_t mixed =
+        (engine_() ^ (label * 0x9E3779B97F4A7C15ULL)) + 0xD1B54A32D192ED03ULL;
+    return Rng(mixed);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_RNG_HPP

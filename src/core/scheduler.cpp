@@ -1,0 +1,111 @@
+#include "core/scheduler.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+std::vector<Move> Simulator::stepOnce() {
+  const std::vector<Move> enabled = protocol_.enabledMoves();
+  if (enabled.empty()) return {};
+  std::vector<Move> selected = daemon_.select(enabled, rng_);
+  SSNO_ASSERT(!selected.empty());
+  if (selected.size() == 1) {
+    protocol_.execute(selected.front().node, selected.front().action);
+  } else {
+    executeSimultaneously(selected);
+  }
+  if (observer_) {
+    for (const Move& m : selected) observer_(m);
+  }
+  accountRound(selected);
+  return selected;
+}
+
+void Simulator::executeSimultaneously(const std::vector<Move>& moves) {
+  // Shared-memory semantics: every statement reads the pre-step
+  // configuration.  Execute each move against a restored pre-state, collect
+  // the post-state of the acting processor, then apply all writes at once
+  // (each processor writes only its own variables, so writes commute).
+  const std::vector<int> pre = protocol_.rawConfiguration();
+  std::vector<std::vector<int>> post(moves.size());
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    protocol_.setRawConfiguration(pre);
+    SSNO_ASSERT(protocol_.enabled(moves[i].node, moves[i].action));
+    protocol_.execute(moves[i].node, moves[i].action);
+    post[i] = protocol_.rawNode(moves[i].node);
+  }
+  protocol_.setRawConfiguration(pre);
+  for (std::size_t i = 0; i < moves.size(); ++i)
+    protocol_.setRawNode(moves[i].node, post[i]);
+}
+
+void Simulator::accountRound(const std::vector<Move>& executed) {
+  const int n = protocol_.graph().nodeCount();
+  if (!roundActive_) {
+    pending_.assign(static_cast<std::size_t>(n), false);
+    bool any = false;
+    // A round opens with the set of processors currently enabled...
+    // (computed lazily below from the enabled moves *before* this step was
+    // taken; as an operational simplification we open the round with the
+    // processors that executed or remain enabled now).
+    for (const Move& m : executed) {
+      pending_[static_cast<std::size_t>(m.node)] = true;
+      any = true;
+    }
+    for (const Move& m : protocol_.enabledMoves()) {
+      pending_[static_cast<std::size_t>(m.node)] = true;
+      any = true;
+    }
+    roundActive_ = any;
+  }
+  // Processors that executed have served the round.
+  for (const Move& m : executed)
+    pending_[static_cast<std::size_t>(m.node)] = false;
+  // Processors no longer enabled are neutralized.
+  std::vector<bool> enabledNow(static_cast<std::size_t>(n), false);
+  for (const Move& m : protocol_.enabledMoves())
+    enabledNow[static_cast<std::size_t>(m.node)] = true;
+  bool anyPending = false;
+  for (int p = 0; p < n; ++p) {
+    if (pending_[static_cast<std::size_t>(p)] &&
+        !enabledNow[static_cast<std::size_t>(p)])
+      pending_[static_cast<std::size_t>(p)] = false;
+    anyPending = anyPending || pending_[static_cast<std::size_t>(p)];
+  }
+  if (roundActive_ && !anyPending) {
+    ++roundsDone_;
+    roundActive_ = false;
+  }
+}
+
+RunStats Simulator::runUntil(const Predicate& goal, StepCount maxMoves) {
+  RunStats stats;
+  roundsDone_ = 0;
+  roundActive_ = false;
+  while (stats.moves < maxMoves) {
+    if (goal && goal()) {
+      stats.converged = true;
+      break;
+    }
+    const std::vector<Move> executed = stepOnce();
+    if (executed.empty()) {
+      stats.terminal = true;
+      stats.converged = goal && goal();
+      break;
+    }
+    stats.moves += static_cast<StepCount>(executed.size());
+    ++stats.steps;
+  }
+  if (!stats.converged && !stats.terminal && goal && goal())
+    stats.converged = true;
+  stats.rounds = roundsDone_;
+  return stats;
+}
+
+RunStats Simulator::runToQuiescence(StepCount maxMoves) {
+  return runUntil(nullptr, maxMoves);
+}
+
+}  // namespace ssno

@@ -1,0 +1,76 @@
+// Simulator: drives a Protocol under a Daemon and accounts for cost.
+//
+// Cost metrics:
+//  * moves  — individual processor actions executed (the paper's "steps";
+//             complexity bounds O(n), O(h) are stated in these units),
+//  * steps  — computation steps of the daemon (a step may contain several
+//             simultaneous moves under the distributed/synchronous daemon),
+//  * rounds — asynchronous rounds: a round ends once every processor that
+//             was continuously enabled since the round began has executed
+//             or been neutralized (the standard measure of time in
+//             self-stabilization).
+//
+// Simultaneous moves follow the shared-memory distributed-daemon
+// semantics: all guards and statement right-hand sides are evaluated
+// against the configuration at the beginning of the step.
+#ifndef SSNO_CORE_SCHEDULER_HPP
+#define SSNO_CORE_SCHEDULER_HPP
+
+#include <functional>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/protocol.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+struct RunStats {
+  StepCount moves = 0;
+  StepCount steps = 0;
+  StepCount rounds = 0;
+  bool converged = false;   ///< predicate became true within the budget
+  bool terminal = false;    ///< reached a configuration with no enabled move
+};
+
+class Simulator {
+ public:
+  using Predicate = std::function<bool()>;
+  /// Observer invoked after every executed move (for traces/statistics).
+  using MoveObserver = std::function<void(const Move&)>;
+
+  Simulator(Protocol& protocol, Daemon& daemon, Rng& rng)
+      : protocol_(protocol), daemon_(daemon), rng_(rng) {}
+
+  /// Runs until `goal` holds (checked before every step), the protocol is
+  /// terminal, or `maxMoves` moves have executed.
+  RunStats runUntil(const Predicate& goal, StepCount maxMoves);
+
+  /// Runs until no action is enabled (silent protocols) or budget spent.
+  RunStats runToQuiescence(StepCount maxMoves);
+
+  /// Executes exactly one daemon step (if any move is enabled).
+  /// Returns the moves executed.
+  std::vector<Move> stepOnce();
+
+  void setMoveObserver(MoveObserver obs) { observer_ = std::move(obs); }
+
+ private:
+  void executeSimultaneously(const std::vector<Move>& moves);
+  void accountRound(const std::vector<Move>& executed);
+
+  Protocol& protocol_;
+  Daemon& daemon_;
+  Rng& rng_;
+  MoveObserver observer_;
+
+  // Round bookkeeping.
+  std::vector<bool> pending_;  // processors owing a move this round
+  bool roundActive_ = false;
+  StepCount roundsDone_ = 0;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_SCHEDULER_HPP

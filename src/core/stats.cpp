@@ -1,0 +1,67 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = static_cast<int>(samples.size());
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = samples.size() > 1
+                 ? std::sqrt(var / static_cast<double>(samples.size() - 1))
+                 : 0.0;
+  auto quantile = [&samples](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1 - frac) + samples[hi] * frac;
+  };
+  s.p50 = quantile(0.50);
+  s.p95 = quantile(0.95);
+  return s;
+}
+
+LinearFit fitLinear(const std::vector<double>& x, const std::vector<double>& y) {
+  SSNO_EXPECTS(x.size() == y.size() && x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) {
+    f.slope = 0;
+    f.intercept = sy / n;
+  } else {
+    f.slope = (n * sxy - sx * sy) / denom;
+    f.intercept = (sy - f.slope * sx) / n;
+  }
+  double ssRes = 0, ssTot = 0;
+  const double meanY = sy / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = f.slope * x[i] + f.intercept;
+    ssRes += (y[i] - pred) * (y[i] - pred);
+    ssTot += (y[i] - meanY) * (y[i] - meanY);
+  }
+  f.r2 = ssTot == 0 ? 1.0 : 1.0 - ssRes / ssTot;
+  return f;
+}
+
+}  // namespace ssno

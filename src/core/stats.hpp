@@ -1,0 +1,30 @@
+// Small statistics helpers for the benchmark harness: summary statistics
+// over repeated runs and a least-squares linear fit used to check the
+// paper's O(n) / O(h) scaling claims empirically.
+#ifndef SSNO_CORE_STATS_HPP
+#define SSNO_CORE_STATS_HPP
+
+#include <vector>
+
+namespace ssno {
+
+struct Summary {
+  double min = 0, max = 0, mean = 0, stddev = 0, p50 = 0, p95 = 0;
+  int count = 0;
+};
+
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y ≈ slope·x + intercept.  Needs ≥ 2 points.
+[[nodiscard]] LinearFit fitLinear(const std::vector<double>& x,
+                                  const std::vector<double>& y);
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_STATS_HPP

@@ -1,0 +1,37 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssno {
+
+void TraceRecorder::record(const Move& move) {
+  TraceEvent ev;
+  ev.index = static_cast<StepCount>(events_.size());
+  ev.node = move.node;
+  ev.action = protocol_.actionName(move.action);
+  ev.stateAfter = protocol_.dumpNode(move.node);
+  events_.push_back(std::move(ev));
+}
+
+std::string TraceRecorder::render() const {
+  std::ostringstream out;
+  for (const TraceEvent& ev : events_) {
+    out << '#' << ev.index << "  node " << ev.node << "  " << ev.action
+        << "  " << ev.stateAfter << '\n';
+  }
+  return out.str();
+}
+
+std::string TraceRecorder::renderFiltered(
+    const std::vector<std::string>& actions) const {
+  std::ostringstream out;
+  for (const TraceEvent& ev : events_) {
+    if (std::find(actions.begin(), actions.end(), ev.action) != actions.end())
+      out << '#' << ev.index << "  node " << ev.node << "  " << ev.action
+          << "  " << ev.stateAfter << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ssno

@@ -1,0 +1,48 @@
+// Execution trace recording and rendering.  Used by the tests for
+// debugging and by examples/figure_traces to regenerate the paper's
+// Figures 3.1.1 and 4.1.1 step by step.
+#ifndef SSNO_CORE_TRACE_HPP
+#define SSNO_CORE_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+struct TraceEvent {
+  StepCount index = 0;        ///< move sequence number
+  NodeId node = kNoNode;
+  std::string action;         ///< action label
+  std::string stateAfter;     ///< dumpNode(node) after the move
+};
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(const Protocol& protocol) : protocol_(protocol) {}
+
+  /// Records one executed move; call from a Simulator move observer.
+  void record(const Move& move);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+  /// Tabular ASCII rendering ("#12 node 3  Forward   S=->1 col=0 ...").
+  [[nodiscard]] std::string render() const;
+
+  /// Renders only events whose action label matches one of `actions`.
+  [[nodiscard]] std::string renderFiltered(
+      const std::vector<std::string>& actions) const;
+
+ private:
+  const Protocol& protocol_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_TRACE_HPP

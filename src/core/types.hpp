@@ -1,0 +1,26 @@
+// Common scalar types used across the library.
+#ifndef SSNO_CORE_TYPES_HPP
+#define SSNO_CORE_TYPES_HPP
+
+#include <cstdint>
+
+namespace ssno {
+
+/// Identifier of a processor (index into the Graph's node array).
+using NodeId = int;
+
+/// Local port number at a processor: index into its adjacency list.
+/// Ports give each processor a stable, local ordering of its incident
+/// links; the deterministic DFS order of the token circulation and the
+/// child ordering of STNO's Distribute macro are both port order.
+using Port = int;
+
+/// Number of individual processor actions executed (paper: "steps").
+using StepCount = std::int64_t;
+
+inline constexpr NodeId kNoNode = -1;
+inline constexpr Port kNoPort = -1;
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_TYPES_HPP

@@ -1,0 +1,296 @@
+#include "dftc/dftc.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+Dftc::Dftc(Graph graph) : Protocol(std::move(graph)) {
+  SSNO_EXPECTS(this->graph().nodeCount() >= 2);
+  SSNO_EXPECTS(this->graph().isConnected());
+  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
+  s_.assign(n, kIdle);
+  col_.assign(n, 0);
+  d_.assign(n, 0);
+  par_.assign(n, 0);
+}
+
+std::string Dftc::actionName(int action) const {
+  switch (action) {
+    case kStart:
+      return "Start";
+    case kResume:
+      return "Resume";
+    case kForward:
+      return "Forward";
+    case kAdvance:
+      return "Advance";
+    case kStaleChild:
+      return "StaleChild";
+    case kError:
+      return "Error";
+    default:
+      return "?";
+  }
+}
+
+Port Dftc::firstUnvisitedPort(NodeId p) const {
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    const NodeId q = graph().neighborAt(p, l);
+    if (col_[idx(q)] != col_[idx(p)] && s_[idx(q)] == kIdle) return l;
+  }
+  return kNoPort;
+}
+
+Port Dftc::firstOfferingParentPort(NodeId p) const {
+  // A neighbor at depth N−1 can never legitimately offer the token: its
+  // chain would already contain all N processors, leaving nobody
+  // unvisited.  Ignoring such offers is therefore free in clean rounds,
+  // and essential for stabilization: the depth cap would otherwise let a
+  // corrupt deep pointer be re-adopted over and over (a weakly-fair
+  // livelock the model checker found on the diamond graph — the
+  // adopting node reproduces d = min((N−1)+1, N−1) = N−1 and the same
+  // corrupt configuration recurs).
+  const int maxDepth = graph().nodeCount() - 1;
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    const NodeId q = graph().neighborAt(p, l);
+    if (s_[idx(q)] != kIdle && target(q) == p &&
+        col_[idx(q)] != col_[idx(p)] && depth(q) < maxDepth)
+      return l;
+  }
+  return kNoPort;
+}
+
+bool Dftc::validParent(NodeId p) const {
+  SSNO_EXPECTS(p != graph().root());
+  const Port pp = par_[idx(p)];
+  if (pp < 0 || pp >= graph().degree(p)) return false;
+  const NodeId w = graph().neighborAt(p, pp);
+  return s_[idx(w)] != kIdle && target(w) == p &&
+         depth(w) == depth(p) - 1 && col_[idx(w)] == col_[idx(p)];
+}
+
+bool Dftc::enabled(NodeId p, int action) const {
+  const bool isRoot = (p == graph().root());
+  switch (action) {
+    case kStart: {
+      // Round over: idle root, every neighbor already carries our color.
+      if (!isRoot || s_[idx(p)] != kIdle) return false;
+      for (NodeId q : graph().neighbors(p))
+        if (col_[idx(q)] != col_[idx(p)]) return false;
+      return true;
+    }
+    case kResume: {
+      // Error escape: idle root facing an unvisited-looking neighbor
+      // while its own Start guard is blocked by mixed colors.
+      if (!isRoot || s_[idx(p)] != kIdle) return false;
+      if (enabled(p, kStart)) return false;
+      return firstUnvisitedPort(p) != kNoPort;
+    }
+    case kForward: {
+      if (isRoot || s_[idx(p)] != kIdle) return false;
+      return firstOfferingParentPort(p) != kNoPort;
+    }
+    case kAdvance: {
+      if (s_[idx(p)] == kIdle) return false;
+      if (!isRoot && !validParent(p)) return false;
+      const NodeId x = target(p);
+      return s_[idx(x)] == kIdle && col_[idx(x)] == col_[idx(p)];
+    }
+    case kStaleChild: {
+      // p waits on a pointer-holding target that never adopted p (or on
+      // the root, which adopts nobody): the wait would never resolve.
+      if (s_[idx(p)] == kIdle) return false;
+      if (!isRoot && !validParent(p)) return false;
+      const NodeId x = target(p);
+      if (s_[idx(x)] == kIdle) return false;
+      if (x == graph().root()) return true;
+      return graph().neighborAt(x, par_[idx(x)]) != p;
+    }
+    case kError: {
+      if (isRoot || s_[idx(p)] == kIdle) return false;
+      return !validParent(p);
+    }
+    default:
+      return false;
+  }
+}
+
+void Dftc::execute(NodeId p, int action) {
+  SSNO_EXPECTS(enabled(p, action));
+  switch (action) {
+    case kStart: {
+      col_[idx(p)] ^= 1;
+      // All neighbors are now differently colored; in a corrupt state
+      // they might all hold pointers, in which case the root stays idle
+      // until they unravel (the color flip still made progress).
+      const Port l = firstUnvisitedPort(p);
+      s_[idx(p)] = l == kNoPort ? kIdle : l;
+      if (hooks_.onRoundStart) hooks_.onRoundStart(p);
+      break;
+    }
+    case kResume: {
+      s_[idx(p)] = firstUnvisitedPort(p);
+      break;
+    }
+    case kForward: {
+      const Port fromPort = firstOfferingParentPort(p);
+      const NodeId parent = graph().neighborAt(p, fromPort);
+      par_[idx(p)] = fromPort;
+      col_[idx(p)] = col_[idx(parent)];
+      const int cap = graph().nodeCount() - 1;
+      d_[idx(p)] = std::min(depth(parent) + 1, cap);
+      const Port next = firstUnvisitedPort(p);
+      s_[idx(p)] = next == kNoPort ? kIdle : next;
+      if (hooks_.onForward) hooks_.onForward(p, parent);
+      break;
+    }
+    case kAdvance: {
+      const NodeId finishedChild = target(p);
+      const Port next = firstUnvisitedPort(p);
+      s_[idx(p)] = next == kNoPort ? kIdle : next;
+      if (hooks_.onBacktrack) hooks_.onBacktrack(p, finishedChild);
+      break;
+    }
+    case kStaleChild: {
+      // Advance past the stale target; firstUnvisitedPort skips pointer-
+      // holding neighbors, so the same target cannot be re-selected.
+      const Port next = firstUnvisitedPort(p);
+      s_[idx(p)] = next == kNoPort ? kIdle : next;
+      break;
+    }
+    case kError: {
+      s_[idx(p)] = kIdle;
+      break;
+    }
+    default:
+      SSNO_ASSERT(false);
+  }
+}
+
+bool Dftc::holdsToken(NodeId p) const {
+  for (int a = 0; a < kActionCount; ++a)
+    if (enabled(p, a)) return true;
+  return false;
+}
+
+void Dftc::randomizeNode(NodeId p, Rng& rng) {
+  // Variable-wise draws (localStateCount may exceed int range on large
+  // high-degree graphs).
+  s_[idx(p)] = rng.below(graph().degree(p) + 1) - 1;
+  col_[idx(p)] = rng.below(2);
+  if (p == graph().root()) return;
+  d_[idx(p)] = rng.below(graph().nodeCount());
+  par_[idx(p)] = rng.below(graph().degree(p));
+}
+
+std::vector<int> Dftc::rawNode(NodeId p) const {
+  return {s_[idx(p)], col_[idx(p)], d_[idx(p)], par_[idx(p)]};
+}
+
+void Dftc::setRawNode(NodeId p, const std::vector<int>& values) {
+  SSNO_EXPECTS(values.size() == 4);
+  s_[idx(p)] = values[0];
+  col_[idx(p)] = values[1];
+  // The root's depth/parent are semantically fixed; keep the stored
+  // representation canonical so raw-configuration identity is exact.
+  const bool isRoot = (p == graph().root());
+  d_[idx(p)] = isRoot ? 0 : values[2];
+  par_[idx(p)] = isRoot ? 0 : values[3];
+}
+
+std::uint64_t Dftc::localStateCount(NodeId p) const {
+  const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
+  const std::uint64_t n = static_cast<std::uint64_t>(graph().nodeCount());
+  if (p == graph().root()) return (deg + 1) * 2;  // s, col
+  return (deg + 1) * 2 * n * deg;                 // s, col, d, par
+}
+
+std::uint64_t Dftc::encodeNode(NodeId p) const {
+  const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
+  const std::uint64_t sCode = static_cast<std::uint64_t>(s_[idx(p)] + 1);
+  const std::uint64_t colCode = static_cast<std::uint64_t>(col_[idx(p)]);
+  if (p == graph().root()) return sCode + (deg + 1) * colCode;
+  const std::uint64_t n = static_cast<std::uint64_t>(graph().nodeCount());
+  const std::uint64_t dCode = static_cast<std::uint64_t>(d_[idx(p)]);
+  const std::uint64_t parCode = static_cast<std::uint64_t>(par_[idx(p)]);
+  return sCode + (deg + 1) * (colCode + 2 * (dCode + n * parCode));
+}
+
+void Dftc::decodeNode(NodeId p, std::uint64_t code) {
+  SSNO_EXPECTS(code < localStateCount(p));
+  const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
+  s_[idx(p)] = static_cast<int>(code % (deg + 1)) - 1;
+  code /= (deg + 1);
+  col_[idx(p)] = static_cast<int>(code % 2);
+  code /= 2;
+  if (p == graph().root()) {
+    d_[idx(p)] = 0;
+    par_[idx(p)] = 0;
+    return;
+  }
+  const std::uint64_t n = static_cast<std::uint64_t>(graph().nodeCount());
+  d_[idx(p)] = static_cast<int>(code % n);
+  code /= n;
+  par_[idx(p)] = static_cast<int>(code);
+}
+
+std::string Dftc::dumpNode(NodeId p) const {
+  std::ostringstream out;
+  out << "S=";
+  if (s_[idx(p)] == kIdle)
+    out << 'C';
+  else
+    out << "->" << target(p);
+  out << " col=" << col_[idx(p)];
+  if (p != graph().root())
+    out << " d=" << d_[idx(p)] << " par=" << graph().neighborAt(p, par_[idx(p)]);
+  return out.str();
+}
+
+void Dftc::resetClean() {
+  for (NodeId p = 0; p < graph().nodeCount(); ++p) {
+    s_[idx(p)] = kIdle;
+    col_[idx(p)] = 0;
+    d_[idx(p)] = 0;
+    par_[idx(p)] = 0;
+  }
+}
+
+void Dftc::buildOrbitIfNeeded() {
+  if (orbit_.has_value()) return;
+  // Walk the deterministic legitimate cycle from the clean boundary,
+  // with hooks suppressed and the observable state restored afterwards.
+  const std::vector<int> saved = rawConfiguration();
+  TokenHooks savedHooks = std::move(hooks_);
+  hooks_ = TokenHooks{};
+  resetClean();
+  orbit_.emplace();
+  while (true) {
+    std::vector<int> code = rawConfiguration();
+    if (!orbit_->insert(std::move(code)).second) break;  // cycle closed
+    const std::vector<Move> moves = enabledMoves();
+    // The legitimate execution is deterministic: exactly one enabled move.
+    SSNO_ASSERT(moves.size() == 1);
+    execute(moves.front().node, moves.front().action);
+  }
+  hooks_ = std::move(savedHooks);
+  setRawConfiguration(saved);
+}
+
+bool Dftc::isLegitimate() {
+  buildOrbitIfNeeded();
+  return orbit_->contains(rawConfiguration());
+}
+
+double Dftc::stateBits(NodeId p) const {
+  const double deg = graph().degree(p);
+  const double n = graph().nodeCount();
+  double bits = std::log2(deg + 1) + 1;  // S + col
+  if (p != graph().root()) bits += std::log2(n) + std::log2(std::max(deg, 1.0));
+  return bits;
+}
+
+}  // namespace ssno

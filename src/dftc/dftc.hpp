@@ -1,0 +1,193 @@
+// Self-stabilizing depth-first token circulation on arbitrary rooted
+// networks — the substrate assumed by the paper's DFTNO protocol
+// (standing in for Datta-Johnen-Petit-Villain, SIROCCO'98 [10]).
+//
+// A single token perpetually traverses the network in deterministic
+// depth-first (port) order, rooted at r.  One traversal = one *round*;
+// in a legitimate round every processor receives the token exactly once
+// (`Forward`), and the token returns to each processor once per incident
+// tree edge (`Advance`, the paper's Backtrack).
+//
+// Per-processor variables (all written only by their owner):
+//   S   ∈ {C} ∪ {0..Δp−1}  idle, or pointer to the port being explored
+//   col ∈ {0,1}            round parity; "visited this round" ⇔ col equals
+//                          the color the root chose at round start
+//   d   ∈ {0..N−1}         depth on the token chain (root implicitly 0)
+//   par ∈ {0..Δp−1}        port of the adopted parent (non-root only)
+//
+// Legitimate behaviour (clean round, color b_old everywhere):
+//   Start    (root) flips col_r to b_new and points at its first port.
+//   Forward  (p)    an unvisited processor pointed at by a differently
+//                   colored neighbor adopts it as parent (smallest such
+//                   port), takes color/depth from it, and points at its
+//                   first unvisited neighbor — or stays C if none
+//                   (the token immediately bounces back).
+//   Advance  (p)    when p's current child is idle again with p's color
+//                   (finished), p points at its next unvisited neighbor,
+//                   or retracts to C (backtracks) if none remain.
+// When the root retracts and sees no unvisited neighbor, the round is
+// over; all colors equal b_new, which is exactly Start's guard for the
+// next round.  The color flip doubles as the cleaning wave, so no
+// separate "done" state is needed.
+//
+// Stabilization.  Arbitrary initial states may contain orphan pointer
+// chains, pointer cycles, and aliased colors.  Three mechanisms repair
+// them:
+//   * Error(p): a non-root p whose adopted parent is not pointing at p
+//     with depth d_p−1 and p's color retracts to C.  Depth consistency
+//     strictly increases along valid parent links, so a pointer cycle
+//     cannot be consistently deep — some member is always in Error — and
+//     every maximal valid chain is anchored at the root (only the root
+//     may sit at depth 0).  Since the root has a single pointer, the
+//     valid chain is unique; all bogus structure unravels.
+//   * A processor pointed at by a stale pointer simply looks visited (or
+//     gets legitimately adopted); its pointer owner advances past it.
+//   * Color aliasing at worst causes processors to be skipped during the
+//     first complete round; that round still uniformizes all colors, so
+//     every subsequent round is perfect.
+//   * Resume(root): an idle root that still sees an unvisited-looking
+//     neighbor re-extends the chain without flipping its color.  In a
+//     clean execution the root only retracts once the whole network is
+//     visited, so Resume is never enabled legitimately; it exists to
+//     escape corrupt all-idle configurations with mixed colors, which
+//     would otherwise deadlock (Start requires uniformly colored
+//     neighbors).
+//   * StaleChild(p): a processor pointing at a neighbor that holds a
+//     pointer but never adopted p as its parent (or at the root, which
+//     adopts nobody) advances past it.  Without this rule, corrupt
+//     mutual-point configurations (p→x and x→p with consistent colors)
+//     deadlock.  To keep the rule from re-selecting the same stale
+//     target, the "first unvisited neighbor" choice skips neighbors that
+//     currently hold pointers — harmless in clean rounds, where an
+//     unvisited neighbor is always idle.
+//
+// Like the substrate it stands in for ([10]; see Chapter 5 of the
+// paper), stabilization is guaranteed under a *weakly fair* daemon: a
+// node whose correction action stays enabled must eventually be served.
+// The model checker verifies exactly this (Fairness::kWeaklyFair): no
+// illegitimate configuration is terminal, and no illegitimate cycle is
+// weakly-fair-feasible.
+// The composed system is verified mechanically: exhaustive model checking
+// on small graphs (tests/dftc_modelcheck_test.cpp) and Monte-Carlo stress
+// on larger ones.
+//
+// The set of legitimate configurations L_TC is the *orbit* of the clean
+// round-boundary configuration (all S=C, uniform color): the legitimate
+// execution is deterministic (exactly one substrate action enabled), so
+// the orbit is a finite cycle computed once and membership is a hash
+// lookup.
+#ifndef SSNO_DFTC_DFTC_HPP
+#define SSNO_DFTC_DFTC_HPP
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+/// Observer hooks by which an overlay protocol (DFTNO) attaches its macros
+/// atomically to substrate actions, as in the paper's composition.
+struct TokenHooks {
+  /// Root generated a fresh token (action Start).
+  std::function<void(NodeId root)> onRoundStart;
+  /// p received the token for the first time this round from `parent`.
+  std::function<void(NodeId p, NodeId parent)> onForward;
+  /// The token returned to p from its finished child `child`.
+  std::function<void(NodeId p, NodeId child)> onBacktrack;
+};
+
+class Dftc final : public Protocol {
+ public:
+  enum Action : int {
+    kStart = 0,
+    kResume = 1,
+    kForward = 2,
+    kAdvance = 3,
+    kStaleChild = 4,
+    kError = 5,
+  };
+  static constexpr int kActionCount = 6;
+
+  explicit Dftc(Graph graph);
+
+  // ---- Protocol interface ----
+  [[nodiscard]] int actionCount() const override { return kActionCount; }
+  [[nodiscard]] std::string actionName(int action) const override;
+  [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  void execute(NodeId p, int action) override;
+  void randomizeNode(NodeId p, Rng& rng) override;
+  [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
+  [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
+  void decodeNode(NodeId p, std::uint64_t code) override;
+  [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  void setRawNode(NodeId p, const std::vector<int>& values) override;
+  [[nodiscard]] std::string dumpNode(NodeId p) const override;
+
+  // ---- Substrate-specific API ----
+  void setHooks(TokenHooks hooks) { hooks_ = std::move(hooks); }
+
+  /// Any substrate action enabled at p — the paper's Token(p) predicate
+  /// (p currently holds, or is about to act on, the token).
+  [[nodiscard]] bool holdsToken(NodeId p) const;
+
+  /// L_TC: current configuration lies on the legitimate orbit.
+  /// (Non-const only because orbit computation temporarily walks the
+  /// protocol through the clean cycle; the observable state is restored.)
+  [[nodiscard]] bool isLegitimate();
+
+  /// Resets to the clean round boundary: all S=C, col=0, d=0, par=0.
+  void resetClean();
+
+  /// Raw variable access (used by tests and by DFTNO's parent queries).
+  [[nodiscard]] bool isIdle(NodeId p) const { return s_[idx(p)] == kIdle; }
+  [[nodiscard]] Port pointer(NodeId p) const {
+    return s_[idx(p)] == kIdle ? kNoPort : s_[idx(p)];
+  }
+  [[nodiscard]] int color(NodeId p) const { return col_[idx(p)]; }
+  [[nodiscard]] int depth(NodeId p) const {
+    return p == graph().root() ? 0 : d_[idx(p)];
+  }
+  [[nodiscard]] Port parentPort(NodeId p) const { return par_[idx(p)]; }
+
+  /// Number of variable bits per processor (space-complexity reporting):
+  /// S: log(Δp+1), col: 1, d: log N, par: log Δp  (non-root).
+  [[nodiscard]] double stateBits(NodeId p) const;
+
+ private:
+  static constexpr int kIdle = -1;
+
+  [[nodiscard]] static std::size_t idx(NodeId p) {
+    return static_cast<std::size_t>(p);
+  }
+  [[nodiscard]] NodeId target(NodeId p) const {
+    return graph().neighborAt(p, s_[idx(p)]);
+  }
+  /// First port of p whose neighbor looks unvisited: differently colored
+  /// AND idle (a pointer-holding neighbor is skipped so that corrective
+  /// advances cannot re-select a stale target; in clean rounds unvisited
+  /// neighbors are always idle).
+  [[nodiscard]] Port firstUnvisitedPort(NodeId p) const;
+  /// Smallest port of a neighbor that points at p with a different color.
+  [[nodiscard]] Port firstOfferingParentPort(NodeId p) const;
+  [[nodiscard]] bool validParent(NodeId p) const;
+
+  void buildOrbitIfNeeded();
+
+  std::vector<int> s_;     // kIdle or port
+  std::vector<int> col_;   // 0/1
+  std::vector<int> d_;     // 0..N-1 (root entry unused, kept 0)
+  std::vector<int> par_;   // port (root entry unused, kept 0)
+  TokenHooks hooks_;
+  // Exact raw configurations of the legitimate orbit (computed once).
+  std::optional<std::set<std::vector<int>>> orbit_;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_DFTC_DFTC_HPP

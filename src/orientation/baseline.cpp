@@ -1,0 +1,149 @@
+#include "orientation/baseline.hpp"
+
+#include <sstream>
+
+#include "core/assert.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace ssno {
+
+InitBasedOrientation::InitBasedOrientation(Graph graph)
+    : Protocol(std::move(graph)) {
+  preorder_ = portOrderDfsPreorder(this->graph());
+  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
+  done_.assign(n, 0);
+  numbered_.assign(n, 0);
+  eta_.assign(n, 0);
+  pi_.resize(n);
+  for (NodeId p = 0; p < this->graph().nodeCount(); ++p)
+    pi_[idx(p)].assign(static_cast<std::size_t>(this->graph().degree(p)), 0);
+}
+
+std::string InitBasedOrientation::actionName(int action) const {
+  return action == kNumber ? "Number" : "Label";
+}
+
+bool InitBasedOrientation::enabled(NodeId p, int action) const {
+  // The initialization wave: processors number themselves in DFS
+  // preorder (the wave order is fixed by the topology), then label once
+  // all neighbors are numbered.  A `done` processor NEVER acts again —
+  // that is the whole point of this baseline.
+  if (done_[idx(p)]) return false;
+  if (action == kNumber) {
+    if (numbered_[idx(p)]) return false;
+    if (p == graph().root()) return true;
+    // Wave: my preorder predecessor is already numbered.
+    for (NodeId q = 0; q < graph().nodeCount(); ++q)
+      if (preorder_[static_cast<std::size_t>(q)] ==
+          preorder_[static_cast<std::size_t>(p)] - 1)
+        return numbered_[idx(q)] != 0;
+    return false;
+  }
+  if (!numbered_[idx(p)]) return false;
+  for (NodeId q : graph().neighbors(p))
+    if (!numbered_[idx(q)]) return false;
+  return true;
+}
+
+void InitBasedOrientation::execute(NodeId p, int action) {
+  SSNO_EXPECTS(enabled(p, action));
+  if (action == kNumber) {
+    eta_[idx(p)] = preorder_[static_cast<std::size_t>(p)];
+    numbered_[idx(p)] = 1;
+    return;
+  }
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    const NodeId q = graph().neighborAt(p, l);
+    pi_[idx(p)][static_cast<std::size_t>(l)] =
+        chordalDistance(eta_[idx(p)], eta_[idx(q)], modulus());
+  }
+  done_[idx(p)] = 1;
+}
+
+void InitBasedOrientation::randomizeNode(NodeId p, Rng& rng) {
+  done_[idx(p)] = rng.below(2);
+  numbered_[idx(p)] = rng.below(2);
+  eta_[idx(p)] = rng.below(modulus());
+  for (auto& v : pi_[idx(p)]) v = rng.below(modulus());
+}
+
+std::uint64_t InitBasedOrientation::localStateCount(NodeId p) const {
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  std::uint64_t count = 4 * nn;  // done, numbered, eta
+  for (Port l = 0; l < graph().degree(p); ++l) count *= nn;
+  return count;
+}
+
+std::uint64_t InitBasedOrientation::encodeNode(NodeId p) const {
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  std::uint64_t code = static_cast<std::uint64_t>(done_[idx(p)]);
+  code = code * 2 + static_cast<std::uint64_t>(numbered_[idx(p)]);
+  code = code * nn + static_cast<std::uint64_t>(eta_[idx(p)]);
+  for (int v : pi_[idx(p)]) code = code * nn + static_cast<std::uint64_t>(v);
+  return code;
+}
+
+void InitBasedOrientation::decodeNode(NodeId p, std::uint64_t code) {
+  SSNO_EXPECTS(code < localStateCount(p));
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  for (Port l = graph().degree(p) - 1; l >= 0; --l) {
+    pi_[idx(p)][static_cast<std::size_t>(l)] = static_cast<int>(code % nn);
+    code /= nn;
+  }
+  eta_[idx(p)] = static_cast<int>(code % nn);
+  code /= nn;
+  numbered_[idx(p)] = static_cast<int>(code % 2);
+  code /= 2;
+  done_[idx(p)] = static_cast<int>(code);
+}
+
+std::vector<int> InitBasedOrientation::rawNode(NodeId p) const {
+  std::vector<int> out{done_[idx(p)], numbered_[idx(p)], eta_[idx(p)]};
+  out.insert(out.end(), pi_[idx(p)].begin(), pi_[idx(p)].end());
+  return out;
+}
+
+void InitBasedOrientation::setRawNode(NodeId p,
+                                      const std::vector<int>& values) {
+  SSNO_EXPECTS(values.size() ==
+               3 + static_cast<std::size_t>(graph().degree(p)));
+  done_[idx(p)] = values[0];
+  numbered_[idx(p)] = values[1];
+  eta_[idx(p)] = values[2];
+  for (Port l = 0; l < graph().degree(p); ++l)
+    pi_[idx(p)][static_cast<std::size_t>(l)] =
+        values[3 + static_cast<std::size_t>(l)];
+}
+
+std::string InitBasedOrientation::dumpNode(NodeId p) const {
+  std::ostringstream out;
+  out << "done=" << done_[idx(p)] << " num=" << numbered_[idx(p)]
+      << " eta=" << eta_[idx(p)];
+  return out.str();
+}
+
+Orientation InitBasedOrientation::orientation() const {
+  Orientation o;
+  o.graph = &graph();
+  o.modulus = modulus();
+  o.name = eta_;
+  o.label = pi_;
+  return o;
+}
+
+void InitBasedOrientation::initializeAll() {
+  for (NodeId p = 0; p < graph().nodeCount(); ++p) {
+    done_[idx(p)] = 0;
+    numbered_[idx(p)] = 0;
+    eta_[idx(p)] = 0;
+    for (auto& v : pi_[idx(p)]) v = 0;
+  }
+}
+
+bool InitBasedOrientation::isCorrect() const {
+  for (int d : done_)
+    if (!d) return false;
+  return satisfiesSpec(orientation());
+}
+
+}  // namespace ssno

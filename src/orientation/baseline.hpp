@@ -1,0 +1,76 @@
+// Non-self-stabilizing baseline: orientation by explicit initialization.
+//
+// The paper's §1.2 motivates self-stabilization against the classical
+// alternative — initialize correctly once and hope: "No startup or
+// initialization procedures are necessary since the system converges to
+// legal state from any arbitrary state."  This baseline is that
+// alternative, made concrete so the benches can quantify the difference:
+// a one-shot distributed wave protocol that computes the same canonical
+// DFS-preorder chordal orientation as DFTNO, but whose actions only fire
+// when the per-node `done` flag is clear.  After any transient fault
+// that corrupts a `done` processor, NOTHING is enabled there — the
+// corruption is permanent until an external operator resets the system.
+//
+// (The wave itself is a standard non-stabilizing DFS numbering: each
+// processor is numbered by its parent wave message; here realized in the
+// same guarded-command model with an explicit visited flag.)
+#ifndef SSNO_ORIENTATION_BASELINE_HPP
+#define SSNO_ORIENTATION_BASELINE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "orientation/chordal.hpp"
+
+namespace ssno {
+
+class InitBasedOrientation final : public Protocol {
+ public:
+  enum Action : int { kNumber = 0, kLabel = 1 };
+  static constexpr int kActionCount = 2;
+
+  explicit InitBasedOrientation(Graph graph);
+
+  // ---- Protocol interface ----
+  [[nodiscard]] int actionCount() const override { return kActionCount; }
+  [[nodiscard]] std::string actionName(int action) const override;
+  [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  void execute(NodeId p, int action) override;
+  void randomizeNode(NodeId p, Rng& rng) override;
+  [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
+  [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
+  void decodeNode(NodeId p, std::uint64_t code) override;
+  [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  void setRawNode(NodeId p, const std::vector<int>& values) override;
+  [[nodiscard]] std::string dumpNode(NodeId p) const override;
+
+  // ---- Orientation API ----
+  [[nodiscard]] int modulus() const { return graph().nodeCount(); }
+  [[nodiscard]] int name(NodeId p) const { return eta_[idx(p)]; }
+  [[nodiscard]] Orientation orientation() const;
+
+  /// The operator's reset button: the explicit initialization procedure
+  /// self-stabilizing protocols do not need.
+  void initializeAll();
+
+  /// Correct result reached (and, absent faults, kept).
+  [[nodiscard]] bool isCorrect() const;
+
+ private:
+  [[nodiscard]] static std::size_t idx(NodeId p) {
+    return static_cast<std::size_t>(p);
+  }
+
+  // The wave order, fixed by the topology (cached DFS preorder).
+  std::vector<int> preorder_;
+  // done: this processor finished both phases and will never act again.
+  std::vector<int> done_;
+  std::vector<int> numbered_;
+  std::vector<int> eta_;
+  std::vector<std::vector<int>> pi_;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_ORIENTATION_BASELINE_HPP

@@ -1,0 +1,87 @@
+// Chordal sense of direction (paper §2.2) and the network-orientation
+// specification SP_NO (paper §2.3).
+//
+// A *labeling* assigns, at every node, labels to that node's incident
+// edges.  An *orientation* is a labeling for which every node p also has
+// a unique name η_p ∈ {0..N−1} and the edge from p to q is labeled
+// (η_p − η_q) mod N at p — the chordal labeling induced by the cyclic
+// ordering ψ of the names.  SP_NO:
+//   SP1: every node has a unique name η_p ∈ {0..N−1};
+//   SP2: ∀p, ∀l ∈ E_{p,q}: π_p[l] = (η_p − η_q) mod N.
+//
+// This module provides the label arithmetic, the specification checkers,
+// and the classic labeling-quality predicates from §1.3 (local
+// orientation, edge symmetry, local symmetric orientation).
+#ifndef SSNO_ORIENTATION_CHORDAL_HPP
+#define SSNO_ORIENTATION_CHORDAL_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+/// A snapshot of node names and per-port edge labels over a graph.
+/// `modulus` is N, the (upper bound on the) number of processors that all
+/// nodes are assumed to know (§2.2).
+struct Orientation {
+  const Graph* graph = nullptr;
+  std::vector<int> name;               ///< η_p, one per node
+  std::vector<std::vector<int>> label; ///< π_p[l], per node per port
+  int modulus = 0;
+
+  [[nodiscard]] int nameOf(NodeId p) const {
+    return name[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] int labelAt(NodeId p, Port l) const {
+    return label[static_cast<std::size_t>(p)][static_cast<std::size_t>(l)];
+  }
+};
+
+/// (a − b) mod m, always in 0..m−1.
+[[nodiscard]] constexpr int chordalDistance(int a, int b, int m) {
+  const int d = (a - b) % m;
+  return d < 0 ? d + m : d;
+}
+
+/// SP1: names are a set of distinct values within 0..N−1.
+[[nodiscard]] bool satisfiesSP1(const Orientation& o);
+
+/// SP2: every edge label equals the chordal distance of the endpoint names.
+[[nodiscard]] bool satisfiesSP2(const Orientation& o);
+
+/// The full specification SP_NO = SP1 ∧ SP2.
+[[nodiscard]] bool satisfiesSpec(const Orientation& o);
+
+/// Local orientation: at each node, the labeling is injective.
+[[nodiscard]] bool isLocallyOriented(const Orientation& o);
+
+/// Edge symmetry for chordal labelings: for edge (p,q),
+/// π_p + π_q ≡ 0 (mod N) — each side is the inverse of the other.
+[[nodiscard]] bool hasEdgeSymmetry(const Orientation& o);
+
+/// Locally symmetric orientation = local orientation ∧ edge symmetry.
+[[nodiscard]] bool isLocallySymmetric(const Orientation& o);
+
+/// The canonical chordal labeling induced by a name assignment: fills in
+/// π from η (the "ground truth" the protocols must converge to).
+[[nodiscard]] Orientation inducedChordalOrientation(const Graph& g,
+                                                    std::vector<int> names,
+                                                    int modulus);
+
+/// The successor function ψ of the cyclic ordering: the node named
+/// (η_p + 1) mod N.  Requires SP1.  Used by tests to validate §2.2's
+/// δ(p,q) = smallest k with ψ^k(p) = q against the edge labels.
+[[nodiscard]] NodeId psiSuccessor(const Orientation& o, NodeId p);
+
+/// δ(p,q): chordal distance between two nodes' names.
+[[nodiscard]] int deltaDistance(const Orientation& o, NodeId p, NodeId q);
+
+/// Human-readable table of names and labels (used by examples/benches).
+[[nodiscard]] std::string renderOrientation(const Orientation& o);
+
+}  // namespace ssno
+
+#endif  // SSNO_ORIENTATION_CHORDAL_HPP

@@ -1,0 +1,220 @@
+#include "orientation/dftno.hpp"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+Dftno::Dftno(Graph graph, EdgeLabelGuard guard)
+    : Protocol(graph), dftc_(graph), guard_(guard) {
+  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
+  eta_.assign(n, 0);
+  max_.assign(n, 0);
+  pi_.resize(n);
+  for (NodeId p = 0; p < this->graph().nodeCount(); ++p)
+    pi_[idx(p)].assign(static_cast<std::size_t>(this->graph().degree(p)), 0);
+  installHooks();
+}
+
+void Dftno::installHooks() {
+  TokenHooks hooks;
+  // Nodelabel at the root happens when it generates the token.
+  hooks.onRoundStart = [this](NodeId r) {
+    eta_[idx(r)] = 0;
+    max_[idx(r)] = 0;
+  };
+  // Nodelabel at a non-root: next free name, after consulting the parent.
+  hooks.onForward = [this](NodeId p, NodeId parent) {
+    eta_[idx(p)] = (max_[idx(parent)] + 1) % modulus();
+    max_[idx(p)] = eta_[idx(p)];
+  };
+  // UpdateMax: the backtracked token carries the child's maximum.
+  hooks.onBacktrack = [this](NodeId p, NodeId child) {
+    max_[idx(p)] = max_[idx(child)];
+  };
+  dftc_.setHooks(std::move(hooks));
+}
+
+std::string Dftno::actionName(int action) const {
+  if (action < Dftc::kActionCount) return dftc_.actionName(action);
+  return "EdgeLabel";
+}
+
+bool Dftno::invalidEdgeLabel(NodeId p) const {
+  for (Port l = 0; l < graph().degree(p); ++l)
+    if (pi_[idx(p)][static_cast<std::size_t>(l)] !=
+        chordal(p, graph().neighborAt(p, l)))
+      return true;
+  return false;
+}
+
+bool Dftno::enabled(NodeId p, int action) const {
+  if (action < Dftc::kActionCount) return dftc_.enabled(p, action);
+  if (action != kEdgeLabel) return false;
+  // Paper: ¬Forward(p) ∧ ¬Backtrack(p) ∧ InvalidEdgelabel(p) — only a
+  // processor not currently involved with the token corrects its labels.
+  // The default kContinuous guard drops the token conjunct so the action
+  // stays continuously enabled (see EdgeLabelGuard).
+  if (guard_ == EdgeLabelGuard::kPaperFaithful && dftc_.holdsToken(p))
+    return false;
+  return invalidEdgeLabel(p);
+}
+
+void Dftno::execute(NodeId p, int action) {
+  SSNO_EXPECTS(enabled(p, action));
+  if (action < Dftc::kActionCount) {
+    dftc_.execute(p, action);  // hooks apply Nodelabel/UpdateMax atomically
+    return;
+  }
+  for (Port l = 0; l < graph().degree(p); ++l)
+    pi_[idx(p)][static_cast<std::size_t>(l)] =
+        chordal(p, graph().neighborAt(p, l));
+}
+
+void Dftno::randomizeNode(NodeId p, Rng& rng) {
+  dftc_.randomizeNode(p, rng);
+  eta_[idx(p)] = rng.below(modulus());
+  max_[idx(p)] = rng.below(modulus());
+  for (auto& v : pi_[idx(p)]) v = rng.below(modulus());
+}
+
+std::uint64_t Dftno::localStateCount(NodeId p) const {
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  std::uint64_t overlay = nn * nn;  // η, Max
+  for (Port l = 0; l < graph().degree(p); ++l) overlay *= nn;  // π entries
+  return dftc_.localStateCount(p) * overlay;
+}
+
+std::uint64_t Dftno::encodeNode(NodeId p) const {
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  std::uint64_t overlay = static_cast<std::uint64_t>(eta_[idx(p)]);
+  overlay = overlay * nn + static_cast<std::uint64_t>(max_[idx(p)]);
+  for (Port l = 0; l < graph().degree(p); ++l)
+    overlay =
+        overlay * nn +
+        static_cast<std::uint64_t>(pi_[idx(p)][static_cast<std::size_t>(l)]);
+  return dftc_.encodeNode(p) + dftc_.localStateCount(p) * overlay;
+}
+
+void Dftno::decodeNode(NodeId p, std::uint64_t code) {
+  SSNO_EXPECTS(code < localStateCount(p));
+  const std::uint64_t base = dftc_.localStateCount(p);
+  dftc_.decodeNode(p, code % base);
+  std::uint64_t overlay = code / base;
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  for (Port l = graph().degree(p) - 1; l >= 0; --l) {
+    pi_[idx(p)][static_cast<std::size_t>(l)] = static_cast<int>(overlay % nn);
+    overlay /= nn;
+  }
+  max_[idx(p)] = static_cast<int>(overlay % nn);
+  overlay /= nn;
+  eta_[idx(p)] = static_cast<int>(overlay);
+}
+
+std::string Dftno::dumpNode(NodeId p) const {
+  std::ostringstream out;
+  out << dftc_.dumpNode(p) << " eta=" << eta_[idx(p)] << " max=" << max_[idx(p)]
+      << " pi=[";
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    if (l) out << ' ';
+    out << pi_[idx(p)][static_cast<std::size_t>(l)];
+  }
+  out << ']';
+  return out.str();
+}
+
+Orientation Dftno::orientation() const {
+  Orientation o;
+  o.graph = &graph();
+  o.modulus = modulus();
+  o.name = eta_;
+  o.label = pi_;
+  return o;
+}
+
+bool Dftno::satisfiesSpecNow() const {
+  const Orientation o = orientation();
+  return satisfiesSpec(o);
+}
+
+std::vector<int> Dftno::rawNode(NodeId p) const {
+  std::vector<int> out = dftc_.rawNode(p);
+  out.push_back(eta_[idx(p)]);
+  out.push_back(max_[idx(p)]);
+  out.insert(out.end(), pi_[idx(p)].begin(), pi_[idx(p)].end());
+  return out;
+}
+
+void Dftno::setRawNode(NodeId p, const std::vector<int>& values) {
+  const std::size_t subLen = dftc_.rawNode(p).size();
+  SSNO_EXPECTS(values.size() ==
+               subLen + 2 + static_cast<std::size_t>(graph().degree(p)));
+  dftc_.setRawNode(
+      p, std::vector<int>(values.begin(),
+                          values.begin() + static_cast<long>(subLen)));
+  eta_[idx(p)] = values[subLen];
+  max_[idx(p)] = values[subLen + 1];
+  for (Port l = 0; l < graph().degree(p); ++l)
+    pi_[idx(p)][static_cast<std::size_t>(l)] =
+        values[subLen + 2 + static_cast<std::size_t>(l)];
+}
+
+void Dftno::buildOrbitIfNeeded() {
+  if (orbit_.has_value()) return;
+  const std::vector<int> saved = rawConfiguration();
+  // Bootstrap from a clean substrate boundary with a zeroed overlay and
+  // run a deterministic fair schedule (edge-label corrections first, then
+  // the unique token move) until a configuration repeats; the repeating
+  // suffix is the steady-state orbit.
+  dftc_.resetClean();
+  for (NodeId p = 0; p < graph().nodeCount(); ++p) {
+    eta_[idx(p)] = 0;
+    max_[idx(p)] = 0;
+    for (auto& v : pi_[idx(p)]) v = 0;
+  }
+  std::map<std::vector<int>, int> seen;
+  std::vector<std::vector<int>> sequence;
+  while (true) {
+    std::vector<int> code = rawConfiguration();
+    const auto [it, inserted] =
+        seen.try_emplace(code, static_cast<int>(sequence.size()));
+    if (!inserted) {
+      orbit_.emplace();
+      for (std::size_t i = static_cast<std::size_t>(it->second);
+           i < sequence.size(); ++i)
+        orbit_->insert(std::move(sequence[i]));
+      break;
+    }
+    sequence.push_back(std::move(code));
+    const std::vector<Move> moves = enabledMoves();
+    SSNO_ASSERT(!moves.empty());
+    const Move* pick = &moves.front();
+    for (const Move& m : moves) {
+      if (m.action == kEdgeLabel) {
+        pick = &m;
+        break;
+      }
+    }
+    execute(pick->node, pick->action);
+  }
+  setRawConfiguration(saved);
+}
+
+bool Dftno::isLegitimate() {
+  buildOrbitIfNeeded();
+  return orbit_->contains(rawConfiguration());
+}
+
+double Dftno::stateBits(NodeId p) const {
+  return dftc_.stateBits(p) + orientationBits(p);
+}
+
+double Dftno::orientationBits(NodeId p) const {
+  const double logN = std::log2(static_cast<double>(modulus()));
+  return (2.0 + graph().degree(p)) * logN;  // η + Max + Δp π-entries
+}
+
+}  // namespace ssno

@@ -1,0 +1,140 @@
+// DFTNO — network orientation using depth-first token passing
+// (the paper's Algorithm 3.1.1, Chapter 3).
+//
+// Layered on the Dftc substrate.  The circulating token acts as a counter:
+//   Nodelabel_p  = { η_p := 0; Max_p := 0                     if p = root
+//                    η_p := Max_{A_p} + 1; Max_p := η_p       otherwise }
+//   UpdateMax_p  = { Max_p := Max_{D_p} }
+//   Edgelabel_p  = { ∀l ∈ E_{p,q} with π_p[l] ≠ (η_p − η_q) mod N ::
+//                    π_p[l] := (η_p − η_q) mod N }
+// composed with the substrate as:
+//   Forward(p)   --> Nodelabel_p                (token arrives first time)
+//   Backtrack(p) --> UpdateMax_p                (token returns from child)
+//   ¬Token(p) ∧ InvalidEdgelabel(p) --> Edgelabel_p
+//
+// The macros run in the same atomic step as the substrate action, so the
+// composed protocol's action set is the substrate's five actions plus the
+// EdgeLabel correction.  Stabilizes in O(n) steps after L_TC holds: the
+// next full round renames every node with its DFS preorder index (which is
+// the same every round — the traversal is deterministic), after which the
+// edge labels are corrected locally and never change again.
+//
+// Space: η, Max (log N bits each) + π (Δp·log N) + substrate O(log N)
+// = O(Δ·log N) per node, the paper's bound.
+#ifndef SSNO_ORIENTATION_DFTNO_HPP
+#define SSNO_ORIENTATION_DFTNO_HPP
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "dftc/dftc.hpp"
+#include "orientation/chordal.hpp"
+
+namespace ssno {
+
+/// Guard used for the EdgeLabel correction action.
+///
+/// The paper's guard is ¬Token(p) ∧ InvalidEdgelabel(p).  The ¬Token
+/// conjunct disables the action for a moment every round (whenever the
+/// token visits p), so it is never *continuously* enabled — under the
+/// paper's own weakly fair daemon the daemon may serve only token moves
+/// forever and the labeling never completes.  This liveness gap was
+/// found mechanically by the model checker (see DESIGN.md erratum 4):
+/// the paper-faithful guard converges only under strong fairness.
+/// kContinuous drops the conjunct; the action then stays enabled until
+/// served and weak fairness suffices.  Both variants are verified in
+/// tests/dftc_modelcheck_test.cpp.
+enum class EdgeLabelGuard {
+  kContinuous,     ///< InvalidEdgelabel(p)                 (default, fixed)
+  kPaperFaithful,  ///< ¬Token(p) ∧ InvalidEdgelabel(p)     (needs strong fairness)
+};
+
+class Dftno final : public Protocol {
+ public:
+  /// Action ids 0..5 are the substrate's (Dftc::Action); 6 is EdgeLabel.
+  static constexpr int kEdgeLabel = Dftc::kActionCount;
+  static constexpr int kActionCount = Dftc::kActionCount + 1;
+
+  explicit Dftno(Graph graph,
+                 EdgeLabelGuard guard = EdgeLabelGuard::kContinuous);
+
+  // ---- Protocol interface ----
+  [[nodiscard]] int actionCount() const override { return kActionCount; }
+  [[nodiscard]] std::string actionName(int action) const override;
+  [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  void execute(NodeId p, int action) override;
+  void randomizeNode(NodeId p, Rng& rng) override;
+  [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
+  [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
+  void decodeNode(NodeId p, std::uint64_t code) override;
+  [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  void setRawNode(NodeId p, const std::vector<int>& values) override;
+  [[nodiscard]] std::string dumpNode(NodeId p) const override;
+
+  // ---- Orientation API ----
+  /// The modulus N every node knows (here: the exact node count).
+  [[nodiscard]] int modulus() const { return graph().nodeCount(); }
+
+  [[nodiscard]] int name(NodeId p) const { return eta_[idx(p)]; }
+  [[nodiscard]] int maxSeen(NodeId p) const { return max_[idx(p)]; }
+  [[nodiscard]] int edgeLabel(NodeId p, Port l) const {
+    return pi_[idx(p)][static_cast<std::size_t>(l)];
+  }
+
+  /// Snapshot of the current names/labels for the chordal checkers.
+  [[nodiscard]] Orientation orientation() const;
+
+  /// SP_NO = SP1 ∧ SP2 on the current names/labels (paper §2.3).
+  [[nodiscard]] bool satisfiesSpecNow() const;
+
+  /// L_NO: the configuration lies on the steady-state orbit of the
+  /// composed system — the token circulates legitimately AND the names
+  /// are the canonical DFS preorder with chordal labels and round-
+  /// consistent Max values.
+  ///
+  /// Note a subtlety the paper glosses over: its predicate
+  /// "L_TC ∧ SP1 ∧ SP2" is NOT closed — any non-canonical permutation
+  /// satisfies SP1/SP2, but the next token round re-labels nodes with
+  /// their preorder numbers and transiently breaks SP1 along the way
+  /// (found mechanically by the model checker; see DESIGN.md).  The
+  /// steady-state orbit is the largest closed legitimate set, and
+  /// SP1 ∧ SP2 hold everywhere on it (asserted by the tests).
+  [[nodiscard]] bool isLegitimate();
+  /// L_TC alone (substrate stabilized).
+  [[nodiscard]] bool substrateLegitimate() { return dftc_.isLegitimate(); }
+
+  /// Direct access to the substrate (tests, benches, DFS-tree adapter).
+  [[nodiscard]] Dftc& substrate() { return dftc_; }
+  [[nodiscard]] const Dftc& substrate() const { return dftc_; }
+
+  /// Per-node variable bits including the substrate (space reporting).
+  [[nodiscard]] double stateBits(NodeId p) const;
+  /// Bits of the orientation layer only (η + Max + π).
+  [[nodiscard]] double orientationBits(NodeId p) const;
+
+ private:
+  [[nodiscard]] static std::size_t idx(NodeId p) {
+    return static_cast<std::size_t>(p);
+  }
+  [[nodiscard]] int chordal(NodeId p, NodeId q) const {
+    return chordalDistance(eta_[idx(p)], eta_[idx(q)], modulus());
+  }
+  [[nodiscard]] bool invalidEdgeLabel(NodeId p) const;
+  void installHooks();
+  void buildOrbitIfNeeded();
+
+  Dftc dftc_;
+  EdgeLabelGuard guard_;
+  std::vector<int> eta_;               // η_p ∈ 0..N−1
+  std::vector<int> max_;               // Max_p ∈ 0..N−1
+  std::vector<std::vector<int>> pi_;   // π_p[l] ∈ 0..N−1
+  // Exact raw configurations of the composed steady-state orbit.
+  std::optional<std::set<std::vector<int>>> orbit_;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_ORIENTATION_DFTNO_HPP

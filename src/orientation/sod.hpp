@@ -1,0 +1,76 @@
+// Sense of Direction (SoD) on top of the chordal orientation — the
+// paper's Chapter-5 outlook:
+//
+//   "An important property of SoD is that it allows processors to refer
+//    to the other processors by locally unique names, which are derived
+//    from the shortest path between the processors and can be
+//    translated from one processor to the other."
+//
+// Following the Flocchini-Mans-Santoro formalization the paper cites
+// [14], a labeling λ has a sense of direction when there is a *coding
+// function* c mapping the label sequence of any walk to a value that
+// identifies the endpoint consistently: two walks from p reach the same
+// node iff their codes are equal.  For the chordal labeling the coding
+// function is simply the label sum mod N:
+//
+//     c(l_1 .. l_k) = (Σ l_i) mod N  =  (η_p − η_q) mod N
+//
+// because each hop contributes (η_u − η_v).  The *decoding* (translation)
+// function shifts a code across one hop: what p calls x, its neighbor
+// behind port l calls x ⊖ π_p[l]... precisely:
+//     translate(code-at-p, hop label λ at q toward p) = code + λ
+// so references can be handed along a path without global knowledge.
+//
+// This module implements the coding/decoding pair, walk-code evaluation,
+// and checkers for the two defining consistency properties; the tests
+// sweep them over arbitrary graphs, which is exactly the "self-
+// stabilizing SoD" artifact the paper points to as future work: the
+// protocols of Chapters 3/4 stabilize the labels, and these functions
+// are then a correct SoD for free.
+#ifndef SSNO_ORIENTATION_SOD_HPP
+#define SSNO_ORIENTATION_SOD_HPP
+
+#include <optional>
+#include <vector>
+
+#include "core/graph.hpp"
+#include "orientation/chordal.hpp"
+
+namespace ssno {
+
+/// Code of a walk starting at `from`, given as a sequence of ports
+/// (each port taken at the node the walk has reached).  Returns
+/// std::nullopt if a port is out of range at some step.
+/// For a chordal orientation the code equals (η_from − η_end) mod N.
+[[nodiscard]] std::optional<int> walkCode(const Orientation& o, NodeId from,
+                                          const std::vector<Port>& ports);
+
+/// The node a walk reaches (for test oracles).
+[[nodiscard]] std::optional<NodeId> walkEnd(const Graph& g, NodeId from,
+                                            const std::vector<Port>& ports);
+
+/// The name of the node a code refers to, from p's point of view:
+/// code = (η_p − η_target) mod N  ⇒  η_target = (η_p − code) mod N.
+[[nodiscard]] int nameFromCode(const Orientation& o, NodeId p, int code);
+
+/// Translation across one hop: p refers to some target with `code`;
+/// the neighbor q behind p's port l refers to the same target with the
+/// returned code.  (q's code = (η_q − η_t) = code − π_p[l] seen from q's
+/// side, i.e. code + π_q[l'] where l' is q's port back to p.)
+[[nodiscard]] int translateCode(const Orientation& o, NodeId p, Port l,
+                                int code);
+
+/// Consistency property 1 (coding): for every pair of walks with the
+/// same origin, codes agree iff endpoints agree.  Exhaustive over all
+/// walks up to `maxLen` hops from every node (exponential — use small
+/// maxLen / graphs).
+[[nodiscard]] bool hasConsistentCoding(const Orientation& o, int maxLen);
+
+/// Consistency property 2 (translation): for every edge (p,q) and every
+/// target t, translating p's code for t across the edge yields q's code
+/// for t.
+[[nodiscard]] bool hasConsistentTranslation(const Orientation& o);
+
+}  // namespace ssno
+
+#endif  // SSNO_ORIENTATION_SOD_HPP

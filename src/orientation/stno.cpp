@@ -1,0 +1,295 @@
+#include "orientation/stno.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+namespace {
+std::vector<std::vector<int>> perPort(const Graph& g, int fill) {
+  std::vector<std::vector<int>> v(static_cast<std::size_t>(g.nodeCount()));
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    v[static_cast<std::size_t>(p)].assign(
+        static_cast<std::size_t>(g.degree(p)), fill);
+  return v;
+}
+}  // namespace
+
+Stno::Stno(Graph graph) : Protocol(graph) {
+  bfs_ = std::make_unique<BfsTree>(graph);
+  view_ = bfs_.get();
+  weight_.assign(static_cast<std::size_t>(this->graph().nodeCount()), 1);
+  eta_.assign(static_cast<std::size_t>(this->graph().nodeCount()), 0);
+  start_ = perPort(this->graph(), 0);
+  pi_ = perPort(this->graph(), 0);
+}
+
+Stno::Stno(Graph graph, std::vector<NodeId> fixedParents) : Protocol(graph) {
+  fixed_ = std::make_unique<FixedTree>(this->graph(), std::move(fixedParents));
+  view_ = fixed_.get();
+  weight_.assign(static_cast<std::size_t>(this->graph().nodeCount()), 1);
+  eta_.assign(static_cast<std::size_t>(this->graph().nodeCount()), 0);
+  start_ = perPort(this->graph(), 0);
+  pi_ = perPort(this->graph(), 0);
+}
+
+std::string Stno::actionName(int action) const {
+  switch (action) {
+    case kTreeFix:
+      return "TreeFix";
+    case kNodeLabel:
+      return "NodeLabel";
+    case kEdgeLabel:
+      return "EdgeLabel";
+    case kWeight:
+      return "Weight";
+    default:
+      return "?";
+  }
+}
+
+bool Stno::isChild(NodeId p, NodeId q) const {
+  return q != graph().root() && view_->parentOf(q) == p;
+}
+
+int Stno::expectedWeight(NodeId p) const {
+  int sum = 1;  // the node itself
+  for (NodeId q : graph().neighbors(p))
+    if (isChild(p, q)) sum += weight_[idx(q)];
+  return std::min(sum, graph().nodeCount());
+}
+
+int Stno::startFromParent(NodeId p) const {
+  const NodeId a = view_->parentOf(p);
+  SSNO_EXPECTS(a != kNoNode);
+  const Port l = graph().portOf(a, p);
+  SSNO_ASSERT(l != kNoPort);
+  return start_[idx(a)][static_cast<std::size_t>(l)];
+}
+
+bool Stno::startInconsistent(NodeId p) const {
+  // Erratum fix 1: validate p's own Start entries against Distribute's
+  // computation from η_p and the children's Weight variables.
+  int given = eta_[idx(p)];
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    const NodeId q = graph().neighborAt(p, l);
+    if (!isChild(p, q)) continue;
+    const int expected = (given + 1) % modulus();
+    if (start_[idx(p)][static_cast<std::size_t>(l)] != expected) return true;
+    given = (given + weight_[idx(q)]) % modulus();
+  }
+  return false;
+}
+
+bool Stno::invalidNodeLabel(NodeId p) const {
+  if (p == graph().root()) return eta_[idx(p)] != 0 || startInconsistent(p);
+  bool leaf = true;
+  for (NodeId q : graph().neighbors(p)) {
+    if (isChild(p, q)) {
+      leaf = false;
+      break;
+    }
+  }
+  if (leaf) return eta_[idx(p)] != startFromParent(p);
+  return eta_[idx(p)] != startFromParent(p) || startInconsistent(p);
+}
+
+bool Stno::invalidEdgeLabel(NodeId p) const {
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    const NodeId q = graph().neighborAt(p, l);
+    if (pi_[idx(p)][static_cast<std::size_t>(l)] !=
+        chordalDistance(eta_[idx(p)], eta_[idx(q)], modulus()))
+      return true;
+  }
+  return false;
+}
+
+bool Stno::enabled(NodeId p, int action) const {
+  switch (action) {
+    case kTreeFix:
+      return bfs_ != nullptr && bfs_->enabled(p, BfsTree::kFix);
+    case kNodeLabel:
+      return invalidNodeLabel(p);
+    case kEdgeLabel:
+      return !invalidNodeLabel(p) && invalidEdgeLabel(p);
+    case kWeight:
+      return weight_[idx(p)] != expectedWeight(p);
+    default:
+      return false;
+  }
+}
+
+void Stno::applyDistribute(NodeId p) {
+  int given = eta_[idx(p)];
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    const NodeId q = graph().neighborAt(p, l);
+    if (!isChild(p, q)) continue;
+    start_[idx(p)][static_cast<std::size_t>(l)] = (given + 1) % modulus();
+    given = (given + weight_[idx(q)]) % modulus();
+  }
+}
+
+void Stno::applyEdgeLabels(NodeId p) {
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    const NodeId q = graph().neighborAt(p, l);
+    pi_[idx(p)][static_cast<std::size_t>(l)] =
+        chordalDistance(eta_[idx(p)], eta_[idx(q)], modulus());
+  }
+}
+
+void Stno::execute(NodeId p, int action) {
+  SSNO_EXPECTS(enabled(p, action));
+  switch (action) {
+    case kTreeFix:
+      bfs_->execute(p, BfsTree::kFix);
+      break;
+    case kNodeLabel:
+      eta_[idx(p)] = view_->roleOf(p) == TreeRole::kRoot
+                         ? 0
+                         : startFromParent(p);
+      applyDistribute(p);   // no-op for leaves (no children)
+      applyEdgeLabels(p);
+      break;
+    case kEdgeLabel:
+      applyEdgeLabels(p);
+      break;
+    case kWeight:
+      weight_[idx(p)] = expectedWeight(p);
+      break;
+    default:
+      SSNO_ASSERT(false);
+  }
+}
+
+void Stno::randomizeNode(NodeId p, Rng& rng) {
+  if (bfs_ != nullptr) bfs_->randomizeNode(p, rng);
+  weight_[idx(p)] = rng.between(1, graph().nodeCount());
+  eta_[idx(p)] = rng.below(modulus());
+  for (auto& v : start_[idx(p)]) v = rng.below(modulus());
+  for (auto& v : pi_[idx(p)]) v = rng.below(modulus());
+}
+
+std::vector<int> Stno::rawNode(NodeId p) const {
+  std::vector<int> out = bfs_ ? bfs_->rawNode(p) : std::vector<int>{};
+  out.push_back(weight_[idx(p)]);
+  out.push_back(eta_[idx(p)]);
+  out.insert(out.end(), start_[idx(p)].begin(), start_[idx(p)].end());
+  out.insert(out.end(), pi_[idx(p)].begin(), pi_[idx(p)].end());
+  return out;
+}
+
+void Stno::setRawNode(NodeId p, const std::vector<int>& values) {
+  const std::size_t subLen = bfs_ ? bfs_->rawNode(p).size() : 0;
+  const std::size_t deg = static_cast<std::size_t>(graph().degree(p));
+  SSNO_EXPECTS(values.size() == subLen + 2 + 2 * deg);
+  if (bfs_)
+    bfs_->setRawNode(
+        p, std::vector<int>(values.begin(),
+                            values.begin() + static_cast<long>(subLen)));
+  weight_[idx(p)] = values[subLen];
+  eta_[idx(p)] = values[subLen + 1];
+  for (std::size_t l = 0; l < deg; ++l) {
+    start_[idx(p)][l] = values[subLen + 2 + l];
+    pi_[idx(p)][l] = values[subLen + 2 + deg + l];
+  }
+}
+
+std::uint64_t Stno::localStateCount(NodeId p) const {
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  std::uint64_t overlay = nn * nn;  // Weight, η
+  for (Port l = 0; l < graph().degree(p); ++l) overlay *= nn * nn;  // Start, π
+  const std::uint64_t base = bfs_ ? bfs_->localStateCount(p) : 1;
+  return base * overlay;
+}
+
+std::uint64_t Stno::encodeNode(NodeId p) const {
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  std::uint64_t overlay = static_cast<std::uint64_t>(weight_[idx(p)] - 1);
+  overlay = overlay * nn + static_cast<std::uint64_t>(eta_[idx(p)]);
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    overlay = overlay * nn +
+              static_cast<std::uint64_t>(
+                  start_[idx(p)][static_cast<std::size_t>(l)]);
+    overlay =
+        overlay * nn +
+        static_cast<std::uint64_t>(pi_[idx(p)][static_cast<std::size_t>(l)]);
+  }
+  const std::uint64_t base = bfs_ ? bfs_->localStateCount(p) : 1;
+  const std::uint64_t sub = bfs_ ? bfs_->encodeNode(p) : 0;
+  return sub + base * overlay;
+}
+
+void Stno::decodeNode(NodeId p, std::uint64_t code) {
+  SSNO_EXPECTS(code < localStateCount(p));
+  const std::uint64_t base = bfs_ ? bfs_->localStateCount(p) : 1;
+  if (bfs_ != nullptr) bfs_->decodeNode(p, code % base);
+  std::uint64_t overlay = code / base;
+  const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
+  for (Port l = graph().degree(p) - 1; l >= 0; --l) {
+    pi_[idx(p)][static_cast<std::size_t>(l)] = static_cast<int>(overlay % nn);
+    overlay /= nn;
+    start_[idx(p)][static_cast<std::size_t>(l)] =
+        static_cast<int>(overlay % nn);
+    overlay /= nn;
+  }
+  eta_[idx(p)] = static_cast<int>(overlay % nn);
+  overlay /= nn;
+  weight_[idx(p)] = static_cast<int>(overlay) + 1;
+}
+
+std::string Stno::dumpNode(NodeId p) const {
+  std::ostringstream out;
+  if (bfs_ != nullptr) out << bfs_->dumpNode(p) << ' ';
+  out << "W=" << weight_[idx(p)] << " eta=" << eta_[idx(p)] << " start=[";
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    if (l) out << ' ';
+    out << start_[idx(p)][static_cast<std::size_t>(l)];
+  }
+  out << "] pi=[";
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    if (l) out << ' ';
+    out << pi_[idx(p)][static_cast<std::size_t>(l)];
+  }
+  out << ']';
+  return out.str();
+}
+
+Orientation Stno::orientation() const {
+  Orientation o;
+  o.graph = &graph();
+  o.modulus = modulus();
+  o.name = eta_;
+  o.label = pi_;
+  return o;
+}
+
+bool Stno::substrateLegitimate() const {
+  return bfs_ == nullptr || bfs_->isLegitimate();
+}
+
+bool Stno::isLegitimate() const {
+  if (!substrateLegitimate()) return false;
+  for (NodeId p = 0; p < graph().nodeCount(); ++p)
+    for (int a = kNodeLabel; a <= kWeight; ++a)
+      if (enabled(p, a)) return false;
+  return true;
+}
+
+double Stno::stateBits(NodeId p) const {
+  return substrateBits(p) + orientationBits(p);
+}
+
+double Stno::orientationBits(NodeId p) const {
+  const double logN = std::log2(static_cast<double>(modulus()));
+  // Weight + η + Δp Start entries + Δp π entries.
+  return (2.0 + 2.0 * graph().degree(p)) * logN;
+}
+
+double Stno::substrateBits(NodeId p) const {
+  return bfs_ ? bfs_->stateBits(p) : 0.0;
+}
+
+}  // namespace ssno

@@ -1,0 +1,140 @@
+// STNO — network orientation using a spanning tree protocol
+// (the paper's Algorithm 4.1.2, Chapter 4).
+//
+// Layered on a rooted spanning tree (self-stabilizing BFS tree, or any
+// fixed tree such as a DFS tree for the Chapter-5 ablation).  Subtree
+// weights flow bottom-up; the root then hands out non-overlapping name
+// intervals top-down; finally every node labels all incident edges (tree
+// and non-tree) with the chordal distance of the endpoint names.
+//
+// Macros (paper, with port-order children):
+//   CalcWeight_p = { Weight_p := 1 + Σ_{q∈D_p} Weight_q }
+//   Distribute_p = { given := η_p;
+//                    ∀q ∈ D_p: Start_p[q] := given + 1;
+//                              given := given + Weight_q }
+//   Edgelabel_p  = { ∀l ∈ E_{p,q}: π_p[l] := (η_p − η_q) mod N }
+//
+// Actions (collapsing the paper's role-split IN/IE/IW, RN/RE/RW,
+// LN/LE/LW tables into three role-aware actions; roles are read from the
+// tree substrate as in the paper):
+//   NodeLabel(p): InvalidNodelabel(p) --> η_p := Start_{A_p}[p] (root: 0);
+//                                         Distribute_p; Edgelabel_p
+//   EdgeLabel(p): ¬InvalidNodelabel(p) ∧ InvalidEdgelabel(p)
+//                                     --> Edgelabel_p
+//   Weight(p)   : InvalidWeight(p)    --> CalcWeight_p  (leaf: := 1)
+//
+// Paper errata applied (see DESIGN.md):
+//  1. InvalidNodelabel(p) additionally flags a Start_p array inconsistent
+//     with Distribute's computation; without this, corrupt Start arrays
+//     at correctly-named nodes are a stable SP1 violation.
+//  2. InvalidWeight / InvalidEdgelabel use the intended Σ / ∃ forms.
+//  3. Interval arithmetic is taken mod N so corrupt values stay in domain.
+//
+// The protocol is silent: the unique terminal configuration (for a fixed
+// legitimate tree) has correct weights, the canonical preorder-interval
+// names, and chordal edge labels — SP1 ∧ SP2 hold there (proved by the
+// tests, mechanically model-checked on small instances).  Stabilizes in
+// O(h) rounds after the tree does; works under an unfair daemon.
+#ifndef SSNO_ORIENTATION_STNO_HPP
+#define SSNO_ORIENTATION_STNO_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "orientation/chordal.hpp"
+#include "sptree/bfs_tree.hpp"
+#include "sptree/tree_view.hpp"
+
+namespace ssno {
+
+class Stno final : public Protocol {
+ public:
+  enum Action : int {
+    kTreeFix = 0,   ///< substrate action (disabled in fixed-tree mode)
+    kNodeLabel = 1,
+    kEdgeLabel = 2,
+    kWeight = 3,
+  };
+  static constexpr int kActionCount = 4;
+
+  /// STNO over the self-stabilizing BFS spanning tree substrate.
+  explicit Stno(Graph graph);
+
+  /// STNO over a fixed spanning tree (parent[root] == kNoNode); used for
+  /// the DFS-tree ablation and for model checking the orientation layer.
+  Stno(Graph graph, std::vector<NodeId> fixedParents);
+
+  // ---- Protocol interface ----
+  [[nodiscard]] int actionCount() const override { return kActionCount; }
+  [[nodiscard]] std::string actionName(int action) const override;
+  [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  void execute(NodeId p, int action) override;
+  void randomizeNode(NodeId p, Rng& rng) override;
+  [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
+  [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
+  void decodeNode(NodeId p, std::uint64_t code) override;
+  [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  void setRawNode(NodeId p, const std::vector<int>& values) override;
+  [[nodiscard]] std::string dumpNode(NodeId p) const override;
+
+  // ---- Orientation API ----
+  [[nodiscard]] int modulus() const { return graph().nodeCount(); }
+  [[nodiscard]] int name(NodeId p) const { return eta_[idx(p)]; }
+  [[nodiscard]] int weight(NodeId p) const { return weight_[idx(p)]; }
+  [[nodiscard]] int startAt(NodeId p, Port l) const {
+    return start_[idx(p)][static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] int edgeLabel(NodeId p, Port l) const {
+    return pi_[idx(p)][static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] Orientation orientation() const;
+
+  /// The tree the orientation layer currently reads.
+  [[nodiscard]] const TreeView& tree() const { return *view_; }
+  [[nodiscard]] bool usesFixedTree() const { return bfs_ == nullptr; }
+
+  /// L_ST: substrate stabilized (always true in fixed-tree mode).
+  [[nodiscard]] bool substrateLegitimate() const;
+
+  /// L_NO: substrate legitimate and the orientation layer silent (the
+  /// terminal configuration is unique and satisfies SP1 ∧ SP2).
+  [[nodiscard]] bool isLegitimate() const;
+
+  /// Per-node variable bits including the tree substrate.
+  [[nodiscard]] double stateBits(NodeId p) const;
+  /// Orientation layer only: Weight + η + Start (Δp) + π (Δp).
+  [[nodiscard]] double orientationBits(NodeId p) const;
+  /// Tree substrate only (the extra O(Δ·log N) of Chapter 5's comparison
+  /// is the *children* knowledge; our BFS tree stores parent+dist).
+  [[nodiscard]] double substrateBits(NodeId p) const;
+
+ private:
+  [[nodiscard]] static std::size_t idx(NodeId p) {
+    return static_cast<std::size_t>(p);
+  }
+  /// Allocation-free child test used by the hot guard paths.
+  [[nodiscard]] bool isChild(NodeId p, NodeId q) const;
+  [[nodiscard]] int expectedWeight(NodeId p) const;
+  /// Start_{A_p}[p]: the parent's Start entry for p (kNoPort-safe).
+  [[nodiscard]] int startFromParent(NodeId p) const;
+  [[nodiscard]] bool startInconsistent(NodeId p) const;
+  [[nodiscard]] bool invalidNodeLabel(NodeId p) const;
+  [[nodiscard]] bool invalidEdgeLabel(NodeId p) const;
+  void applyDistribute(NodeId p);
+  void applyEdgeLabels(NodeId p);
+
+  std::unique_ptr<BfsTree> bfs_;        // null in fixed-tree mode
+  std::unique_ptr<FixedTree> fixed_;    // null in substrate mode
+  TreeView* view_ = nullptr;
+
+  std::vector<int> weight_;             // 1..N
+  std::vector<int> eta_;                // 0..N−1
+  std::vector<std::vector<int>> start_; // per port, 0..N−1
+  std::vector<std::vector<int>> pi_;    // per port, 0..N−1
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_ORIENTATION_STNO_HPP

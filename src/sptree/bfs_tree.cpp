@@ -1,0 +1,137 @@
+#include "sptree/bfs_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/assert.hpp"
+#include "core/graph_algo.hpp"
+
+namespace ssno {
+
+BfsTree::BfsTree(Graph graph) : Protocol(std::move(graph)) {
+  SSNO_EXPECTS(this->graph().nodeCount() >= 2);
+  SSNO_EXPECTS(this->graph().isConnected());
+  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
+  dist_.assign(n, 1);
+  par_.assign(n, 0);
+  // A deterministic (still possibly illegitimate) initial state; tests
+  // that need adversarial states call randomize().
+}
+
+std::string BfsTree::actionName(int action) const {
+  SSNO_EXPECTS(action == kFix);
+  return "TreeFix";
+}
+
+int BfsTree::minNeighborDist(NodeId p) const {
+  int best = graph().nodeCount();  // above any stored value
+  for (NodeId q : graph().neighbors(p)) best = std::min(best, distOf(q));
+  return best;
+}
+
+Port BfsTree::firstMinPort(NodeId p) const {
+  const int m = minNeighborDist(p);
+  for (Port l = 0; l < graph().degree(p); ++l)
+    if (distOf(graph().neighborAt(p, l)) == m) return l;
+  SSNO_ASSERT(false);
+  return kNoPort;
+}
+
+bool BfsTree::enabled(NodeId p, int action) const {
+  if (action != kFix || p == graph().root()) return false;
+  const int m = minNeighborDist(p);
+  const int want = std::min(m + 1, graph().nodeCount() - 1);
+  if (dist_[static_cast<std::size_t>(p)] != want) return true;
+  const NodeId parent =
+      graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+  return distOf(parent) != m;
+}
+
+void BfsTree::execute(NodeId p, int action) {
+  SSNO_EXPECTS(enabled(p, action));
+  const int m = minNeighborDist(p);
+  dist_[static_cast<std::size_t>(p)] =
+      std::min(m + 1, graph().nodeCount() - 1);
+  par_[static_cast<std::size_t>(p)] = firstMinPort(p);
+}
+
+void BfsTree::randomizeNode(NodeId p, Rng& rng) {
+  if (p == graph().root()) return;
+  dist_[static_cast<std::size_t>(p)] = rng.between(1, graph().nodeCount() - 1);
+  par_[static_cast<std::size_t>(p)] = rng.below(graph().degree(p));
+}
+
+std::vector<int> BfsTree::rawNode(NodeId p) const {
+  if (p == graph().root()) return {};
+  return {dist_[static_cast<std::size_t>(p)],
+          par_[static_cast<std::size_t>(p)]};
+}
+
+void BfsTree::setRawNode(NodeId p, const std::vector<int>& values) {
+  if (p == graph().root()) {
+    SSNO_EXPECTS(values.empty());
+    return;
+  }
+  SSNO_EXPECTS(values.size() == 2);
+  dist_[static_cast<std::size_t>(p)] = values[0];
+  par_[static_cast<std::size_t>(p)] = values[1];
+}
+
+std::uint64_t BfsTree::localStateCount(NodeId p) const {
+  if (p == graph().root()) return 1;  // the root stores nothing
+  // dist ∈ {1..N−1}, par ∈ {0..Δp−1}
+  return static_cast<std::uint64_t>(graph().nodeCount() - 1) *
+         static_cast<std::uint64_t>(graph().degree(p));
+}
+
+std::uint64_t BfsTree::encodeNode(NodeId p) const {
+  if (p == graph().root()) return 0;
+  const std::uint64_t dCode =
+      static_cast<std::uint64_t>(dist_[static_cast<std::size_t>(p)] - 1);
+  const std::uint64_t parCode =
+      static_cast<std::uint64_t>(par_[static_cast<std::size_t>(p)]);
+  return dCode + static_cast<std::uint64_t>(graph().nodeCount() - 1) * parCode;
+}
+
+void BfsTree::decodeNode(NodeId p, std::uint64_t code) {
+  SSNO_EXPECTS(code < localStateCount(p));
+  if (p == graph().root()) return;
+  const std::uint64_t base = static_cast<std::uint64_t>(graph().nodeCount() - 1);
+  dist_[static_cast<std::size_t>(p)] = static_cast<int>(code % base) + 1;
+  par_[static_cast<std::size_t>(p)] = static_cast<int>(code / base);
+}
+
+std::string BfsTree::dumpNode(NodeId p) const {
+  if (p == graph().root()) return "root(dist=0)";
+  std::ostringstream out;
+  out << "dist=" << dist_[static_cast<std::size_t>(p)] << " par="
+      << graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+  return out.str();
+}
+
+NodeId BfsTree::parentOf(NodeId p) const {
+  if (p == graph().root()) return kNoNode;
+  return graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+}
+
+bool BfsTree::isLegitimate() const {
+  for (NodeId p = 0; p < graph().nodeCount(); ++p)
+    if (enabled(p, kFix)) return false;
+  return true;
+}
+
+int BfsTree::currentHeight() const {
+  std::vector<NodeId> parent(static_cast<std::size_t>(graph().nodeCount()));
+  for (NodeId p = 0; p < graph().nodeCount(); ++p)
+    parent[static_cast<std::size_t>(p)] = parentOf(p);
+  return treeHeight(graph(), parent);
+}
+
+double BfsTree::stateBits(NodeId p) const {
+  if (p == graph().root()) return 0.0;
+  return std::log2(static_cast<double>(graph().nodeCount())) +
+         std::log2(std::max(1.0, static_cast<double>(graph().degree(p))));
+}
+
+}  // namespace ssno

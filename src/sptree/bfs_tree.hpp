@@ -1,0 +1,79 @@
+// Self-stabilizing BFS spanning tree — the substrate assumed by STNO
+// (standing in for the spanning-tree constructions of [1, 2, 8, 12]).
+//
+// The classic silent distance protocol: the root is fixed at distance 0
+// (and stores nothing); every other processor p maintains
+//   dist_p ∈ {1..N−1}   its believed hop distance to the root,
+//   par_p  ∈ {0..Δp−1}  the port of its chosen parent,
+// and runs the single correction action
+//   Fix(p):  dist_p ≠ 1 + min_q distOf(q)  ∨  distOf(parent) ≠ min
+//            -->  dist_p := min(1 + min_q distOf(q), N−1);
+//                 par_p := first port attaining the min.
+// With the domain bounded by N−1 and the root pinned at 0, fictitious
+// distances rise monotonically until corrected, and the protocol is
+// silent exactly when dist equals the true BFS distance everywhere and
+// every parent attains the minimum — a spanning tree of shortest paths.
+// Convergence holds under any (even unfair) daemon, which is what lets
+// the paper run STNO with an unfair daemon.
+#ifndef SSNO_SPTREE_BFS_TREE_HPP
+#define SSNO_SPTREE_BFS_TREE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "sptree/tree_view.hpp"
+
+namespace ssno {
+
+class BfsTree final : public Protocol, public TreeView {
+ public:
+  static constexpr int kFix = 0;
+  static constexpr int kActionCount = 1;
+
+  explicit BfsTree(Graph graph);
+
+  // ---- Protocol interface ----
+  [[nodiscard]] int actionCount() const override { return kActionCount; }
+  [[nodiscard]] std::string actionName(int action) const override;
+  [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  void execute(NodeId p, int action) override;
+  void randomizeNode(NodeId p, Rng& rng) override;
+  [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
+  [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
+  void decodeNode(NodeId p, std::uint64_t code) override;
+  [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  void setRawNode(NodeId p, const std::vector<int>& values) override;
+  [[nodiscard]] std::string dumpNode(NodeId p) const override;
+
+  // ---- TreeView interface ----
+  [[nodiscard]] NodeId parentOf(NodeId p) const override;
+  [[nodiscard]] const Graph& treeGraph() const override { return graph(); }
+
+  // ---- Substrate-specific API ----
+  [[nodiscard]] int distOf(NodeId p) const {
+    return p == graph().root() ? 0 : dist_[static_cast<std::size_t>(p)];
+  }
+
+  /// L_ST: dist equals the true BFS distance everywhere and every parent
+  /// attains it (equivalently: no action enabled — the protocol is
+  /// silent — and the parent pointers form a BFS spanning tree).
+  [[nodiscard]] bool isLegitimate() const;
+
+  /// Height of the current parent structure; -1 if not a spanning tree.
+  [[nodiscard]] int currentHeight() const;
+
+  /// Per-node variable bits: log N (dist) + log Δp (par).
+  [[nodiscard]] double stateBits(NodeId p) const;
+
+ private:
+  [[nodiscard]] int minNeighborDist(NodeId p) const;
+  [[nodiscard]] Port firstMinPort(NodeId p) const;
+
+  std::vector<int> dist_;  // root entry unused (kept 0)
+  std::vector<int> par_;   // port; root entry unused (kept 0)
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_SPTREE_BFS_TREE_HPP

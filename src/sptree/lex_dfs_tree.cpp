@@ -1,0 +1,219 @@
+#include "sptree/lex_dfs_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+LexDfsTree::LexDfsTree(Graph graph) : Protocol(std::move(graph)) {
+  SSNO_EXPECTS(this->graph().nodeCount() >= 2);
+  SSNO_EXPECTS(this->graph().isConnected());
+  maxDegree_ = this->graph().maxDegree();
+  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
+  word_.assign(n, std::nullopt);
+  par_.assign(n, 0);
+  word_[static_cast<std::size_t>(this->graph().root())] =
+      std::vector<Port>{};  // the root's word is ε, permanently
+}
+
+std::string LexDfsTree::actionName(int action) const {
+  SSNO_EXPECTS(action == kFix);
+  return "LexFix";
+}
+
+bool LexDfsTree::lexLess(const std::optional<std::vector<Port>>& a,
+                         const std::optional<std::vector<Port>>& b) {
+  if (!a.has_value()) return false;  // ⊤ is never smaller
+  if (!b.has_value()) return true;   // anything < ⊤
+  return std::lexicographical_compare(a->begin(), a->end(), b->begin(),
+                                      b->end());
+}
+
+std::optional<std::vector<Port>> LexDfsTree::candidateVia(NodeId p,
+                                                          Port l) const {
+  const NodeId q = graph().neighborAt(p, l);
+  const auto& wq = word_[static_cast<std::size_t>(q)];
+  if (!wq.has_value()) return std::nullopt;
+  if (static_cast<int>(wq->size()) + 1 > graph().nodeCount() - 1)
+    return std::nullopt;  // longer than any simple path: ⊤
+  std::vector<Port> cand = *wq;
+  cand.push_back(graph().portOf(q, p));
+  return cand;
+}
+
+LexDfsTree::Best LexDfsTree::bestCandidate(NodeId p) const {
+  Best best;  // starts at ⊤
+  for (Port l = 0; l < graph().degree(p); ++l) {
+    auto cand = candidateVia(p, l);
+    if (lexLess(cand, best.word)) {
+      best.word = std::move(cand);
+      best.port = l;
+    }
+  }
+  return best;
+}
+
+bool LexDfsTree::enabled(NodeId p, int action) const {
+  if (action != kFix || p == graph().root()) return false;
+  const Best best = bestCandidate(p);
+  if (word_[static_cast<std::size_t>(p)] != best.word) return true;
+  // Word already minimal; the recorded parent must attain it.
+  return best.word.has_value() && par_[static_cast<std::size_t>(p)] != best.port;
+}
+
+void LexDfsTree::execute(NodeId p, int action) {
+  SSNO_EXPECTS(enabled(p, action));
+  Best best = bestCandidate(p);
+  word_[static_cast<std::size_t>(p)] = std::move(best.word);
+  par_[static_cast<std::size_t>(p)] =
+      best.port == kNoPort ? 0 : best.port;
+}
+
+void LexDfsTree::randomizeNode(NodeId p, Rng& rng) {
+  if (p == graph().root()) return;  // the root's word is hard-wired
+  // Random word: random length 0..n−1 (or ⊤), random alphabet entries.
+  const int n = graph().nodeCount();
+  if (rng.chance(0.15)) {
+    word_[static_cast<std::size_t>(p)] = std::nullopt;
+  } else {
+    const int len = rng.below(n);
+    std::vector<Port> w(static_cast<std::size_t>(len));
+    for (auto& x : w) x = rng.below(std::max(1, maxDegree_));
+    word_[static_cast<std::size_t>(p)] = std::move(w);
+  }
+  par_[static_cast<std::size_t>(p)] = rng.below(graph().degree(p));
+}
+
+std::uint64_t LexDfsTree::localStateCount(NodeId p) const {
+  if (p == graph().root()) return 1;
+  // Words of length 0..n−1 over the max-degree alphabet, plus ⊤, times
+  // the parent port.  (Exhaustive checking is only feasible on tiny
+  // graphs, as for the other protocols.)
+  const std::uint64_t a = static_cast<std::uint64_t>(std::max(1, maxDegree_));
+  std::uint64_t words = 1;  // ⊤
+  std::uint64_t lenCount = 1;
+  for (int k = 0; k < graph().nodeCount(); ++k) {
+    words += lenCount;
+    lenCount *= a;
+  }
+  return words * static_cast<std::uint64_t>(graph().degree(p));
+}
+
+std::uint64_t LexDfsTree::encodeNode(NodeId p) const {
+  if (p == graph().root()) return 0;
+  const std::uint64_t a = static_cast<std::uint64_t>(std::max(1, maxDegree_));
+  // Word index: 0 = ⊤; otherwise 1 + Σ_{k<len} a^k + value-as-base-a.
+  std::uint64_t widx = 0;
+  const auto& w = word_[static_cast<std::size_t>(p)];
+  if (w.has_value()) {
+    widx = 1;
+    std::uint64_t lenCount = 1;
+    for (std::size_t k = 0; k < w->size(); ++k) {
+      widx += lenCount;
+      lenCount *= a;
+    }
+    std::uint64_t value = 0;
+    for (Port x : *w) value = value * a + static_cast<std::uint64_t>(x);
+    widx += value;  // offset within the length block
+  }
+  return widx * static_cast<std::uint64_t>(graph().degree(p)) +
+         static_cast<std::uint64_t>(par_[static_cast<std::size_t>(p)]);
+}
+
+void LexDfsTree::decodeNode(NodeId p, std::uint64_t code) {
+  SSNO_EXPECTS(code < localStateCount(p));
+  if (p == graph().root()) return;
+  const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
+  par_[static_cast<std::size_t>(p)] = static_cast<Port>(code % deg);
+  std::uint64_t widx = code / deg;
+  if (widx == 0) {
+    word_[static_cast<std::size_t>(p)] = std::nullopt;
+    return;
+  }
+  --widx;
+  const std::uint64_t a = static_cast<std::uint64_t>(std::max(1, maxDegree_));
+  std::uint64_t lenCount = 1;
+  int len = 0;
+  while (widx >= lenCount) {
+    widx -= lenCount;
+    lenCount *= a;
+    ++len;
+  }
+  std::vector<Port> w(static_cast<std::size_t>(len));
+  for (int k = len - 1; k >= 0; --k) {
+    w[static_cast<std::size_t>(k)] = static_cast<Port>(widx % a);
+    widx /= a;
+  }
+  word_[static_cast<std::size_t>(p)] = std::move(w);
+}
+
+std::vector<int> LexDfsTree::rawNode(NodeId p) const {
+  // Layout: [par, hasWord, len, entries...] padded to fixed length n+2.
+  const int n = graph().nodeCount();
+  std::vector<int> out(static_cast<std::size_t>(n) + 3, 0);
+  out[0] = par_[static_cast<std::size_t>(p)];
+  const auto& w = word_[static_cast<std::size_t>(p)];
+  out[1] = w.has_value() ? 1 : 0;
+  if (w.has_value()) {
+    out[2] = static_cast<int>(w->size());
+    for (std::size_t k = 0; k < w->size(); ++k) out[3 + k] = (*w)[k];
+  }
+  return out;
+}
+
+void LexDfsTree::setRawNode(NodeId p, const std::vector<int>& values) {
+  SSNO_EXPECTS(values.size() ==
+               static_cast<std::size_t>(graph().nodeCount()) + 3);
+  if (p == graph().root()) return;  // hard-wired ε
+  par_[static_cast<std::size_t>(p)] = values[0];
+  if (values[1] == 0) {
+    word_[static_cast<std::size_t>(p)] = std::nullopt;
+    return;
+  }
+  const int len = values[2];
+  std::vector<Port> w(static_cast<std::size_t>(len));
+  for (int k = 0; k < len; ++k) w[static_cast<std::size_t>(k)] = values[3 + static_cast<std::size_t>(k)];
+  word_[static_cast<std::size_t>(p)] = std::move(w);
+}
+
+std::string LexDfsTree::dumpNode(NodeId p) const {
+  std::ostringstream out;
+  const auto& w = word_[static_cast<std::size_t>(p)];
+  out << "w=";
+  if (!w.has_value()) {
+    out << "T";
+  } else {
+    out << '(';
+    for (std::size_t k = 0; k < w->size(); ++k) {
+      if (k) out << ',';
+      out << (*w)[k];
+    }
+    out << ')';
+  }
+  if (p != graph().root())
+    out << " par=" << graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+  return out.str();
+}
+
+NodeId LexDfsTree::parentOf(NodeId p) const {
+  if (p == graph().root()) return kNoNode;
+  return graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+}
+
+bool LexDfsTree::isLegitimate() const {
+  for (NodeId p = 0; p < graph().nodeCount(); ++p)
+    if (enabled(p, kFix)) return false;
+  return true;
+}
+
+double LexDfsTree::stateBits(NodeId p) const {
+  if (p == graph().root()) return 0.0;
+  const double logA = std::max(1.0, std::log2(std::max(2, maxDegree_)));
+  return (graph().nodeCount() - 1) * logA +
+         std::log2(std::max(2, graph().degree(p)));
+}
+
+}  // namespace ssno

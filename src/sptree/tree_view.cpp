@@ -1,0 +1,26 @@
+#include "sptree/tree_view.hpp"
+
+#include "core/assert.hpp"
+#include "core/graph_algo.hpp"
+
+namespace ssno {
+
+std::vector<NodeId> TreeView::childrenOf(NodeId p) const {
+  std::vector<NodeId> kids;
+  const Graph& g = treeGraph();
+  for (NodeId q : g.neighbors(p))
+    if (q != g.root() && parentOf(q) == p) kids.push_back(q);
+  return kids;
+}
+
+TreeRole TreeView::roleOf(NodeId p) const {
+  if (p == treeGraph().root()) return TreeRole::kRoot;
+  return childrenOf(p).empty() ? TreeRole::kLeaf : TreeRole::kInternal;
+}
+
+FixedTree::FixedTree(const Graph& graph, std::vector<NodeId> parent)
+    : graph_(&graph), parent_(std::move(parent)) {
+  SSNO_EXPECTS(isSpanningTree(graph, parent_));
+}
+
+}  // namespace ssno

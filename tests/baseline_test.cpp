@@ -1,0 +1,138 @@
+// Tests for the non-self-stabilizing baseline: it computes the same
+// orientation as DFTNO when properly initialized, but any fault after
+// completion is PERMANENT — the quantitative backdrop for §1.2.
+#include "orientation/baseline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/daemon.hpp"
+#include "core/fault.hpp"
+#include "core/graph.hpp"
+#include "core/scheduler.hpp"
+#include "orientation/dftno.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(Baseline, ComputesCanonicalOrientationFromCleanInit) {
+  for (const Graph& g :
+       {Graph::ring(6), Graph::grid(3, 3), Graph::figure311()}) {
+    InitBasedOrientation base(g);
+    base.initializeAll();
+    RoundRobinDaemon daemon;
+    Rng rng(1);
+    Simulator sim(base, daemon, rng);
+    const RunStats stats = sim.runToQuiescence(1'000'000);
+    EXPECT_TRUE(stats.terminal);
+    EXPECT_TRUE(base.isCorrect());
+    const auto pre = portOrderDfsPreorder(g);
+    for (NodeId p = 0; p < g.nodeCount(); ++p)
+      EXPECT_EQ(base.name(p), pre[static_cast<std::size_t>(p)]);
+    EXPECT_TRUE(satisfiesSpec(base.orientation()));
+  }
+}
+
+TEST(Baseline, MatchesDftnoNames) {
+  const Graph g = Graph::grid(2, 4);
+  InitBasedOrientation base(g);
+  base.initializeAll();
+  RoundRobinDaemon daemon;
+  Rng rng(2);
+  Simulator sim(base, daemon, rng);
+  (void)sim.runToQuiescence(1'000'000);
+
+  Dftno dftno(g);
+  Rng rng2(3);
+  dftno.randomize(rng2);
+  RoundRobinDaemon d2;
+  Simulator sim2(dftno, d2, rng2);
+  ASSERT_TRUE(
+      sim2.runUntil([&dftno] { return dftno.isLegitimate(); }, 20'000'000)
+          .converged);
+  EXPECT_EQ(base.orientation().name, dftno.orientation().name);
+}
+
+TEST(Baseline, FaultAfterCompletionIsPermanent) {
+  const Graph g = Graph::ring(6);
+  InitBasedOrientation base(g);
+  base.initializeAll();
+  RoundRobinDaemon daemon;
+  Rng rng(4);
+  Simulator sim(base, daemon, rng);
+  (void)sim.runToQuiescence(1'000'000);
+  ASSERT_TRUE(base.isCorrect());
+
+  // Corrupt one completed processor's name: the done flag stays set, so
+  // nothing is ever enabled again — the damage is permanent.
+  auto raw = base.rawNode(2);
+  raw[2] = (raw[2] + 1) % 6;  // eta
+  base.setRawNode(2, raw);
+  EXPECT_FALSE(base.isCorrect());
+  const RunStats after = sim.runToQuiescence(1'000'000);
+  EXPECT_TRUE(after.terminal);
+  EXPECT_EQ(after.moves, 0);  // no action ever fires
+  EXPECT_FALSE(base.isCorrect());
+}
+
+TEST(Baseline, ScrambleLeavesSystemBrokenButDftnoRecovers) {
+  const Graph g = Graph::grid(3, 3);
+  Rng rng(5);
+
+  InitBasedOrientation base(g);
+  base.initializeAll();
+  {
+    RoundRobinDaemon daemon;
+    Simulator sim(base, daemon, rng);
+    (void)sim.runToQuiescence(1'000'000);
+  }
+  FaultInjector inj(base);
+  inj.corruptK(3, rng);
+  {
+    RoundRobinDaemon daemon;
+    Simulator sim(base, daemon, rng);
+    (void)sim.runToQuiescence(1'000'000);
+  }
+  EXPECT_FALSE(base.isCorrect()) << "baseline must not self-repair";
+
+  Dftno dftno(g);
+  FaultInjector inj2(dftno);
+  RoundRobinDaemon daemon;
+  Simulator sim(dftno, daemon, rng);
+  ASSERT_TRUE(
+      sim.runUntil([&dftno] { return dftno.isLegitimate(); }, 20'000'000)
+          .converged);
+  inj2.corruptK(3, rng);
+  EXPECT_TRUE(
+      sim.runUntil([&dftno] { return dftno.isLegitimate(); }, 20'000'000)
+          .converged)
+      << "the self-stabilizing protocol recovers from the same fault";
+}
+
+TEST(Baseline, ResetButtonRepairs) {
+  const Graph g = Graph::path(5);
+  InitBasedOrientation base(g);
+  Rng rng(6);
+  base.randomize(rng);
+  base.initializeAll();  // the external intervention
+  RoundRobinDaemon daemon;
+  Simulator sim(base, daemon, rng);
+  (void)sim.runToQuiescence(1'000'000);
+  EXPECT_TRUE(base.isCorrect());
+}
+
+TEST(Baseline, CodecRoundTrips) {
+  InitBasedOrientation base(Graph::figure311());
+  Rng rng(7);
+  for (int t = 0; t < 50; ++t) {
+    base.randomize(rng);
+    const auto codes = base.encodeConfiguration();
+    InitBasedOrientation other(Graph::figure311());
+    other.decodeConfiguration(codes);
+    EXPECT_EQ(other.encodeConfiguration(), codes);
+    EXPECT_EQ(other.rawConfiguration(), base.rawConfiguration());
+  }
+}
+
+}  // namespace
+}  // namespace ssno

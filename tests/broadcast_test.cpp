@@ -1,0 +1,73 @@
+// Tests for oriented vs unoriented traversal/broadcast — the message-
+// complexity gap the paper's §1.4 cites (Santoro [21]): with a sense of
+// direction the token walks 2(n−1) edges; without it, 2m.
+#include "apps/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "orientation/chordal.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace ssno {
+namespace {
+
+Orientation canonicalOrientation(const Graph& g) {
+  return inducedChordalOrientation(g, portOrderDfsPreorder(g),
+                                   g.nodeCount());
+}
+
+TEST(OrientedTraversal, Uses2NMinus2Messages) {
+  Rng rng(1);
+  for (const Graph& g :
+       {Graph::ring(8), Graph::complete(6), Graph::grid(3, 4),
+        Graph::randomConnected(15, 0.4, rng)}) {
+    const Orientation o = canonicalOrientation(g);
+    const TraversalResult res = traverseWithOrientation(o, g.root());
+    EXPECT_TRUE(res.coveredAll(g));
+    EXPECT_EQ(res.messages, 2 * (g.nodeCount() - 1));
+  }
+}
+
+TEST(UnorientedTraversal, Uses2MMessages) {
+  Rng rng(2);
+  for (const Graph& g :
+       {Graph::ring(8), Graph::complete(6), Graph::grid(3, 4),
+        Graph::randomConnected(15, 0.4, rng)}) {
+    const TraversalResult res = traverseWithoutOrientation(g, g.root());
+    EXPECT_TRUE(res.coveredAll(g));
+    EXPECT_EQ(res.messages, 2 * g.edgeCount());
+  }
+}
+
+TEST(Traversal, GapGrowsWithDensity) {
+  // On trees the two coincide (m = n−1); on the complete graph the
+  // unoriented cost is Θ(n²) while the oriented one stays 2(n−1).
+  const Graph tree = Graph::kAryTree(15, 2);
+  EXPECT_EQ(traverseWithOrientation(canonicalOrientation(tree), 0).messages,
+            traverseWithoutOrientation(tree, 0).messages);
+  const Graph dense = Graph::complete(12);
+  const int with = traverseWithOrientation(canonicalOrientation(dense), 0)
+                       .messages;
+  const int without = traverseWithoutOrientation(dense, 0).messages;
+  EXPECT_EQ(with, 22);
+  EXPECT_EQ(without, 132);
+}
+
+TEST(Traversal, VisitOrderIsDfsPreorder) {
+  const Graph g = Graph::figure311();
+  const Orientation o = canonicalOrientation(g);
+  const TraversalResult res = traverseWithOrientation(o, 0);
+  EXPECT_EQ(res.visitOrder, (std::vector<NodeId>{0, 2, 4, 3, 1}));
+}
+
+TEST(Traversal, WorksFromNonRootSource) {
+  const Graph g = Graph::grid(3, 3);
+  const Orientation o = canonicalOrientation(g);
+  const TraversalResult res = traverseWithOrientation(o, 4);
+  EXPECT_TRUE(res.coveredAll(g));
+  EXPECT_EQ(res.visitOrder.front(), 4);
+}
+
+}  // namespace
+}  // namespace ssno

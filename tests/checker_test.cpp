@@ -1,0 +1,104 @@
+// Tests for the model checker itself, on toy protocols with known
+// verdicts: a correct self-stabilizing protocol passes; protocols with a
+// planted livelock (illegitimate cycle) or deadlock (illegitimate
+// terminal) are caught with a counterexample.
+#include "core/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "toy_protocols.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(FullSpace, AcceptsSelfStabilizingToy) {
+  ZeroProtocol proto(Graph::path(3), 3);
+  ModelChecker mc(proto, [&proto] { return proto.allZero(); });
+  const CheckResult res = mc.verifyFullSpace(1'000'000);
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.configsExplored, 27u);  // 3^3 configurations
+}
+
+TEST(FullSpace, DetectsIllegitimateCycle) {
+  OscillateProtocol proto(Graph::path(2));
+  ModelChecker mc(proto, [&proto] { return proto.allZero(); });
+  const CheckResult res = mc.verifyFullSpace(1'000'000);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("cycle"), std::string::npos) << res.failure;
+}
+
+TEST(FullSpace, DetectsIllegitimateDeadlock) {
+  StuckProtocol proto(Graph::path(2));
+  ModelChecker mc(proto, [&proto] { return proto.allZero(); });
+  const CheckResult res = mc.verifyFullSpace(1'000'000);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("terminal"), std::string::npos) << res.failure;
+}
+
+TEST(FullSpace, RefusesOversizedSpace) {
+  ZeroProtocol proto(Graph::path(3), 100);  // 10^6 configurations
+  ModelChecker mc(proto, [&proto] { return proto.allZero(); });
+  const CheckResult res = mc.verifyFullSpace(1000);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("too large"), std::string::npos);
+}
+
+// Closure violation: declare (1,1) legitimate even though node 0's move
+// leads to the illegitimate (0,1).  The all-zero terminal is also kept
+// legitimate so the deadlock check cannot mask the closure defect.
+TEST(FullSpace, DetectsClosureViolation) {
+  ZeroProtocol proto(Graph::path(2), 2);
+  ModelChecker mc(proto, [&proto] {
+    return proto.value(0) == 1 ||
+           (proto.value(0) == 0 && proto.value(1) == 0);
+  });
+  const CheckResult res = mc.verifyFullSpace(1'000'000);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("closure"), std::string::npos) << res.failure;
+}
+
+TEST(Reachable, ExploresOnlySeededRegion) {
+  ZeroProtocol proto(Graph::path(3), 3);
+  ModelChecker mc(proto, [&proto] { return proto.allZero(); });
+  // Seed one specific configuration; only its downward cone is explored.
+  proto.setValue(0, 2);
+  proto.setValue(1, 1);
+  proto.setValue(2, 0);
+  const CheckResult res = mc.verifyReachable({proto.encodeConfiguration()},
+                                             1'000'000);
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_LT(res.configsExplored, 27u);
+  EXPECT_GE(res.configsExplored, 4u);  // at least the 2x2 sub-lattice
+}
+
+TEST(Reachable, DetectsCycleFromSeeds) {
+  OscillateProtocol proto(Graph::path(2));
+  ModelChecker mc(proto, [&proto] { return proto.allZero(); });
+  proto.decodeConfiguration({1, 0});
+  const CheckResult res =
+      mc.verifyReachable({proto.encodeConfiguration()}, 1'000'000);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("cycle"), std::string::npos) << res.failure;
+}
+
+TEST(MonteCarlo, PassesOnSelfStabilizingToy) {
+  ZeroProtocol proto(Graph::ring(6), 4);
+  ModelChecker mc(proto, [&proto] { return proto.allZero(); });
+  DistributedDaemon daemon;
+  Rng rng(5);
+  const CheckResult res = mc.monteCarlo(daemon, rng, 50, 10'000, 100);
+  EXPECT_TRUE(res.ok) << res.failure;
+}
+
+TEST(MonteCarlo, FailsOnLivelockedToy) {
+  OscillateProtocol proto(Graph::path(2));
+  ModelChecker mc(proto, [&proto] { return proto.allZero(); });
+  CentralDaemon daemon;
+  Rng rng(6);
+  const CheckResult res = mc.monteCarlo(daemon, rng, 5, 1000, 10);
+  EXPECT_FALSE(res.ok);
+}
+
+}  // namespace
+}  // namespace ssno

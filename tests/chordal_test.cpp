@@ -1,0 +1,129 @@
+// Unit tests for the chordal sense-of-direction math and the SP_NO
+// specification checkers (paper §2.2, §2.3, Figure 2.2.1).
+#include "orientation/chordal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "core/graph.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(ChordalDistance, Basics) {
+  EXPECT_EQ(chordalDistance(3, 1, 5), 2);
+  EXPECT_EQ(chordalDistance(1, 3, 5), 3);  // wraps
+  EXPECT_EQ(chordalDistance(0, 0, 5), 0);
+  EXPECT_EQ(chordalDistance(0, 4, 5), 1);
+}
+
+Orientation canonicalRing(int n) {
+  const static Graph* g = nullptr;
+  static std::unique_ptr<Graph> holder;
+  holder = std::make_unique<Graph>(Graph::ring(n));
+  g = holder.get();
+  std::vector<int> names(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) names[static_cast<std::size_t>(i)] = i;
+  return inducedChordalOrientation(*g, names, n);
+}
+
+TEST(InducedOrientation, SatisfiesFullSpec) {
+  const Orientation o = canonicalRing(7);
+  EXPECT_TRUE(satisfiesSP1(o));
+  EXPECT_TRUE(satisfiesSP2(o));
+  EXPECT_TRUE(satisfiesSpec(o));
+}
+
+TEST(InducedOrientation, RingLabelsAreOneAndNMinusOne) {
+  const Orientation o = canonicalRing(5);
+  // Node i has successor i+1 (label N−1 toward it: (i − (i+1)) mod 5 = 4)
+  // and predecessor i−1 (label 1).
+  for (NodeId p = 0; p < 5; ++p) {
+    std::multiset<int> labels;
+    for (Port l = 0; l < 2; ++l) labels.insert(o.labelAt(p, l));
+    EXPECT_EQ(labels, (std::multiset<int>{1, 4}));
+  }
+}
+
+TEST(SP1, RejectsDuplicateNames) {
+  const Graph g = Graph::path(3);
+  Orientation o = inducedChordalOrientation(g, {0, 1, 1}, 3);
+  EXPECT_FALSE(satisfiesSP1(o));
+}
+
+TEST(SP1, RejectsOutOfRangeNames) {
+  const Graph g = Graph::path(3);
+  Orientation o = inducedChordalOrientation(g, {0, 1, 5}, 3);
+  EXPECT_FALSE(satisfiesSP1(o));
+}
+
+TEST(SP2, RejectsWrongLabel) {
+  const Graph g = Graph::path(3);
+  Orientation o = inducedChordalOrientation(g, {0, 1, 2}, 3);
+  o.label[0][0] = (o.label[0][0] + 1) % 3;
+  EXPECT_TRUE(satisfiesSP1(o));
+  EXPECT_FALSE(satisfiesSP2(o));
+}
+
+TEST(LocalOrientation, UniqueNamesGiveLocallyUniqueLabels) {
+  // The paper's §2.3 remark: SP1 guarantees local orientation of the
+  // labels computed per SP2.
+  const Graph g = Graph::complete(6);
+  std::vector<int> names{3, 0, 5, 1, 4, 2};
+  const Orientation o = inducedChordalOrientation(g, names, 6);
+  EXPECT_TRUE(isLocallyOriented(o));
+}
+
+TEST(LocalOrientation, DetectsDuplicateLabels) {
+  const Graph g = Graph::path(3);
+  Orientation o = inducedChordalOrientation(g, {0, 1, 2}, 3);
+  // Force node 1's two labels equal.
+  o.label[1][0] = o.label[1][1];
+  EXPECT_FALSE(isLocallyOriented(o));
+}
+
+TEST(EdgeSymmetry, ChordalLabelsAreInverses) {
+  // §2.2: if the link is labeled d at p, it is labeled N−d at q.
+  const Graph g = Graph::figure221();
+  const Orientation o = inducedChordalOrientation(g, {0, 1, 2, 3, 4}, 5);
+  EXPECT_TRUE(hasEdgeSymmetry(o));
+  EXPECT_TRUE(isLocallySymmetric(o));
+  // Check one pair explicitly: edge 0-2 (the chord).
+  const Port at0 = g.portOf(0, 2);
+  const Port at2 = g.portOf(2, 0);
+  EXPECT_EQ(o.labelAt(0, at0), 3);  // (0−2) mod 5
+  EXPECT_EQ(o.labelAt(2, at2), 2);  // (2−0) mod 5
+}
+
+TEST(Psi, SuccessorWalksTheCycle) {
+  const Orientation o = canonicalRing(5);
+  NodeId cur = 0;
+  std::vector<NodeId> walk;
+  for (int i = 0; i < 5; ++i) {
+    walk.push_back(cur);
+    cur = psiSuccessor(o, cur);
+  }
+  EXPECT_EQ(cur, 0);  // ψ^N = identity
+  EXPECT_EQ(walk, (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Delta, MatchesEdgeLabelsOnEdges) {
+  // §2.2: π_p(p,q) = δ(p,q) for a chordal labeling.
+  const Graph g = Graph::figure221();
+  const Orientation o = inducedChordalOrientation(g, {2, 3, 4, 0, 1}, 5);
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    for (Port l = 0; l < g.degree(p); ++l)
+      EXPECT_EQ(o.labelAt(p, l), deltaDistance(o, g.neighborAt(p, l), p));
+}
+
+TEST(Render, MentionsEveryNode) {
+  const Orientation o = canonicalRing(4);
+  const std::string text = renderOrientation(o);
+  for (NodeId p = 0; p < 4; ++p)
+    EXPECT_NE(text.find("node " + std::to_string(p)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,138 @@
+// Unit tests for the daemon implementations (paper §2.1.2 execution
+// models): selection contracts, fairness, adversarial starvation.
+#include "core/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/rng.hpp"
+
+namespace ssno {
+namespace {
+
+std::vector<Move> threeNodesEnabled() {
+  return {Move{0, 0}, Move{0, 1}, Move{1, 0}, Move{2, 0}};
+}
+
+void expectSubsetOnePerNode(const std::vector<Move>& selected,
+                            const std::vector<Move>& enabled) {
+  ASSERT_FALSE(selected.empty());
+  std::set<NodeId> nodes;
+  for (const Move& m : selected) {
+    EXPECT_TRUE(nodes.insert(m.node).second) << "two moves for one node";
+    bool found = false;
+    for (const Move& e : enabled) found = found || (e == m);
+    EXPECT_TRUE(found) << "selected move was not enabled";
+  }
+}
+
+TEST(CentralDaemon, SelectsExactlyOne) {
+  CentralDaemon d;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto sel = d.select(threeNodesEnabled(), rng);
+    EXPECT_EQ(sel.size(), 1u);
+    expectSubsetOnePerNode(sel, threeNodesEnabled());
+  }
+}
+
+TEST(CentralDaemon, EventuallySelectsEveryMove) {
+  CentralDaemon d;
+  Rng rng(2);
+  std::set<std::pair<NodeId, int>> seen;
+  for (int i = 0; i < 400; ++i)
+    for (const Move& m : d.select(threeNodesEnabled(), rng))
+      seen.insert({m.node, m.action});
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(DistributedDaemon, NonEmptySubsetOnePerNode) {
+  DistributedDaemon d;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i)
+    expectSubsetOnePerNode(d.select(threeNodesEnabled(), rng),
+                           threeNodesEnabled());
+}
+
+TEST(DistributedDaemon, SometimesSelectsMultiple) {
+  DistributedDaemon d;
+  Rng rng(4);
+  bool sawMulti = false;
+  for (int i = 0; i < 100; ++i)
+    sawMulti = sawMulti || d.select(threeNodesEnabled(), rng).size() > 1;
+  EXPECT_TRUE(sawMulti);
+}
+
+TEST(SynchronousDaemon, SelectsEveryEnabledNode) {
+  SynchronousDaemon d;
+  Rng rng(5);
+  const auto sel = d.select(threeNodesEnabled(), rng);
+  EXPECT_EQ(sel.size(), 3u);  // nodes 0, 1, 2
+  expectSubsetOnePerNode(sel, threeNodesEnabled());
+}
+
+TEST(RoundRobinDaemon, CyclesThroughActionPairs) {
+  RoundRobinDaemon d;
+  Rng rng(6);
+  std::vector<std::pair<NodeId, int>> order;
+  for (int i = 0; i < 8; ++i) {
+    const Move m = d.select(threeNodesEnabled(), rng).front();
+    order.emplace_back(m.node, m.action);
+  }
+  const std::vector<std::pair<NodeId, int>> want{
+      {0, 0}, {0, 1}, {1, 0}, {2, 0}, {0, 0}, {0, 1}, {1, 0}, {2, 0}};
+  EXPECT_EQ(order, want);
+}
+
+TEST(RoundRobinDaemon, IsWeaklyFairAtActionGranularity) {
+  // Every continuously enabled (node, action) pair is served within one
+  // sweep — in particular node 0's SECOND action is not starved by its
+  // first one.
+  RoundRobinDaemon d;
+  Rng rng(7);
+  std::map<std::pair<NodeId, int>, int> served;
+  for (int i = 0; i < 32; ++i) {
+    const Move m = d.select(threeNodesEnabled(), rng).front();
+    served[{m.node, m.action}]++;
+  }
+  EXPECT_EQ((served[{0, 0}]), 8);
+  EXPECT_EQ((served[{0, 1}]), 8);
+  EXPECT_EQ((served[{1, 0}]), 8);
+  EXPECT_EQ((served[{2, 0}]), 8);
+}
+
+TEST(RoundRobinDaemon, SkipsDisabledPairs) {
+  RoundRobinDaemon d;
+  Rng rng(8);
+  (void)d.select(threeNodesEnabled(), rng);  // serves (0,0)
+  // Now only node 2 is enabled: the rotation must jump to it.
+  const Move m = d.select({Move{2, 0}}, rng).front();
+  EXPECT_EQ(m.node, 2);
+}
+
+TEST(AdversarialDaemon, StarvesHighNodesWhileLowEnabled) {
+  AdversarialDaemon d;
+  Rng rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const auto sel = d.select(threeNodesEnabled(), rng);
+    ASSERT_EQ(sel.size(), 1u);
+    EXPECT_EQ(sel.front().node, 0);  // node 2 never runs
+    EXPECT_EQ(sel.front().action, 0);
+  }
+}
+
+TEST(MakeDaemon, CoversAllKinds) {
+  for (DaemonKind k :
+       {DaemonKind::kCentral, DaemonKind::kDistributed,
+        DaemonKind::kSynchronous, DaemonKind::kRoundRobin,
+        DaemonKind::kAdversarial}) {
+    const auto d = makeDaemon(k);
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->name(), daemonKindName(k));
+  }
+}
+
+}  // namespace
+}  // namespace ssno

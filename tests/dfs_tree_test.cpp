@@ -1,0 +1,68 @@
+// Tests for DFS spanning trees: the centralized port-order reference,
+// preorder numbering, and extraction from the live token circulation.
+#include "sptree/dfs_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "core/graph_algo.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(PortOrderDfs, TreeOnFigure311) {
+  const Graph g = Graph::figure311();
+  const auto parent = portOrderDfsTree(g);
+  EXPECT_TRUE(isSpanningTree(g, parent));
+  // DFS from r(0) in port order: b(2) under r, d(4) under b, c(3) under
+  // d, a(1) under r.
+  EXPECT_EQ(parent[2], 0);
+  EXPECT_EQ(parent[4], 2);
+  EXPECT_EQ(parent[3], 4);
+  EXPECT_EQ(parent[1], 0);
+}
+
+TEST(PortOrderDfs, PreorderOnFigure311) {
+  const auto pre = portOrderDfsPreorder(Graph::figure311());
+  EXPECT_EQ(pre, (std::vector<int>{0, 4, 1, 3, 2}));
+}
+
+TEST(PortOrderDfs, PreorderIsPermutation) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = Graph::randomConnected(12, 0.3, rng);
+    const auto pre = portOrderDfsPreorder(g);
+    std::vector<bool> seen(12, false);
+    for (int v : pre) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, 12);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+    EXPECT_EQ(pre[static_cast<std::size_t>(g.root())], 0);
+  }
+}
+
+TEST(PortOrderDfs, TreeEdgesAreGraphEdges) {
+  Rng rng(12);
+  const Graph g = Graph::randomConnected(15, 0.2, rng);
+  const auto parent = portOrderDfsTree(g);
+  EXPECT_TRUE(isSpanningTree(g, parent));
+}
+
+TEST(DfsTreeFromCirculation, MatchesCentralizedReference) {
+  Rng rng(13);
+  for (auto g : {Graph::ring(6), Graph::figure311(), Graph::grid(2, 4),
+                 Graph::complete(4),
+                 Graph::randomConnected(10, 0.25, rng)}) {
+    Dftc dftc(g);
+    Rng scramble(17);
+    dftc.randomize(scramble);  // extraction must first re-stabilize it
+    const auto fromToken = dfsTreeFromCirculation(dftc, 2'000'000);
+    const auto reference = portOrderDfsTree(g);
+    EXPECT_EQ(fromToken, reference) << "n=" << g.nodeCount();
+  }
+}
+
+}  // namespace
+}  // namespace ssno

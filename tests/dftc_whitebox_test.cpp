@@ -1,0 +1,163 @@
+// White-box tests for the token-circulation correction rules: each
+// stabilization mechanism (Error, Resume, StaleChild, pointer-skipping)
+// is driven directly from a hand-built corrupt configuration, pinning
+// the counterexamples that shaped the design (see dftc.hpp header).
+//
+// Raw layout per node: {S (−1=idle, else port), col, d, par}.
+#include "dftc/dftc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(DftcWhitebox, OrphanPointerTriggersError) {
+  // Node 2 on a 5-ring points at node 3 but nobody points at node 2
+  // with the right depth/color: Error must be the only action there.
+  Dftc dftc(Graph::ring(5));
+  dftc.resetClean();
+  // node 2's ports: 0 -> node 1, 1 -> node 3.
+  dftc.setRawNode(2, {1, 0, 2, 0});
+  EXPECT_TRUE(dftc.enabled(2, Dftc::kError));
+  EXPECT_FALSE(dftc.enabled(2, Dftc::kAdvance));
+  EXPECT_FALSE(dftc.enabled(2, Dftc::kStaleChild));
+  dftc.execute(2, Dftc::kError);
+  EXPECT_TRUE(dftc.isIdle(2));
+}
+
+TEST(DftcWhitebox, DepthInconsistentParentTriggersError) {
+  // Chain root->1->2 but node 2's depth is wrong (3 instead of 2).
+  Dftc dftc(Graph::path(4));
+  dftc.resetClean();
+  dftc.setRawNode(0, {0, 1, 0, 0});      // root points at 1, col flipped
+  dftc.setRawNode(1, {1, 1, 1, 0});      // node1 -> node2, d=1, par=root
+  dftc.setRawNode(2, {1, 1, 3, 0});      // node2 -> node3, d=3 (wrong)
+  EXPECT_TRUE(dftc.enabled(2, Dftc::kError));
+  // Node 1 is validly parented and waits for its child (no action).
+  EXPECT_FALSE(dftc.enabled(1, Dftc::kError));
+}
+
+TEST(DftcWhitebox, ColorInconsistentParentTriggersError) {
+  Dftc dftc(Graph::path(3));
+  dftc.resetClean();
+  dftc.setRawNode(0, {0, 1, 0, 0});  // root col 1 points at node1
+  dftc.setRawNode(1, {1, 0, 1, 0});  // node1 col 0 (≠ parent) with pointer
+  EXPECT_TRUE(dftc.enabled(1, Dftc::kError));
+}
+
+TEST(DftcWhitebox, MixedColorsAllIdleResumesAtRoot) {
+  // The deadlock that motivated Resume: everything idle, colors mixed.
+  Dftc dftc(Graph::path(3));
+  dftc.resetClean();
+  dftc.setRawNode(1, {-1, 1, 0, 0});  // middle node colored differently
+  EXPECT_FALSE(dftc.enabled(0, Dftc::kStart));
+  EXPECT_TRUE(dftc.enabled(0, Dftc::kResume));
+  dftc.execute(0, Dftc::kResume);
+  EXPECT_EQ(dftc.pointer(0), 0);  // extends toward the unvisited node
+  EXPECT_EQ(dftc.color(0), 0);    // without flipping the round color
+}
+
+TEST(DftcWhitebox, MutualPointWithRootResolvedByStaleChild) {
+  // The deadlock that motivated StaleChild (found by the model checker
+  // on path-2): root -> leaf and leaf -> root with consistent colors.
+  Dftc dftc(Graph::path(2));
+  dftc.setRawNode(0, {0, 0, 0, 0});
+  dftc.setRawNode(1, {0, 0, 1, 0});
+  // The leaf is validly parented but waits on the root, which never
+  // adopts anyone: StaleChild must fire.
+  EXPECT_TRUE(dftc.enabled(1, Dftc::kStaleChild));
+  dftc.execute(1, Dftc::kStaleChild);
+  EXPECT_TRUE(dftc.isIdle(1));
+  // Now the root can advance past its finished "child" and restart.
+  EXPECT_TRUE(dftc.enabled(0, Dftc::kAdvance));
+}
+
+TEST(DftcWhitebox, StaleChildWhenTargetAdoptedAnotherParent) {
+  // Triangle: root points at node 2, but node 2's par designates node 1.
+  Dftc dftc(Graph::ring(3));
+  dftc.resetClean();
+  // root ports: 0 -> node1, 1 -> node2.  node2 ports: 0 -> node1? ring(3)
+  // adjacency of node 2: edges (1,2) then (2,0): port0 -> 1, port1 -> 0.
+  dftc.setRawNode(0, {1, 1, 0, 0});  // root col 1 -> node2
+  dftc.setRawNode(1, {1, 1, 1, 0});  // node1 col 1 -> node2
+  // node2 holds a pointer adopted from node1 (par port 0 -> node 1).
+  dftc.setRawNode(2, {1, 1, 2, 0});
+  // node2's par port 0 at node2 leads to node 1, not the root: the root
+  // waits on a child that never acknowledged it.
+  EXPECT_TRUE(dftc.enabled(0, Dftc::kStaleChild));
+}
+
+TEST(DftcWhitebox, PointerHoldingNeighborIsNotReSelected) {
+  // firstUnvisitedPort must skip pointer-holding neighbors: on a star,
+  // the hub with a stale differently-colored but pointer-holding leaf
+  // advances past it rather than re-targeting it.
+  Dftc dftc(Graph::star(4));
+  dftc.resetClean();
+  dftc.setRawNode(0, {0, 1, 0, 0});   // hub -> leaf1 (port 0)
+  dftc.setRawNode(1, {-1, 1, 1, 0});  // leaf1 finished (same color)
+  dftc.setRawNode(2, {0, 0, 3, 0});   // leaf2: unvisited color BUT holds a
+                                      // (bogus) pointer back to the hub
+  dftc.setRawNode(3, {-1, 1, 1, 0});  // leaf3 finished
+  ASSERT_TRUE(dftc.enabled(0, Dftc::kAdvance));
+  dftc.execute(0, Dftc::kAdvance);
+  // leaf2 was skipped: with every other leaf finished the hub retracts.
+  EXPECT_TRUE(dftc.isIdle(0));
+}
+
+TEST(DftcWhitebox, DepthCappedOfferIsIgnored) {
+  // The diamond-graph livelock (model-checker counterexample): a corrupt
+  // pointer-holder at depth N−1 offers the token; adopting it would
+  // reproduce d = min((N−1)+1, N−1) = N−1 and the corrupt configuration
+  // recurs under a weakly fair schedule.  Forward must ignore the offer.
+  // Diamond: edges 0-1, 0-2, 1-2, 1-3, 2-3.
+  Dftc dftc(Graph(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}}));
+  dftc.resetClean();
+  // node 3 (ports: 0 -> node1, 1 -> node2) points at node 1 with d=3.
+  dftc.setRawNode(3, {0, 0, 3, 1});
+  dftc.setRawNode(1, {-1, 1, 1, 0});  // node 1 idle, differently colored
+  EXPECT_FALSE(dftc.enabled(1, Dftc::kForward))
+      << "offer from a depth-capped neighbor must not be adoptable";
+  // A root offer (depth 0) IS adoptable in the same situation.
+  dftc.setRawNode(0, {0, 0, 0, 0});  // root points at node 1, col 0 != 1
+  EXPECT_TRUE(dftc.enabled(1, Dftc::kForward));
+}
+
+TEST(DftcWhitebox, RootStartAfterUniformColors) {
+  Dftc dftc(Graph::ring(4));
+  dftc.resetClean();
+  EXPECT_TRUE(dftc.enabled(0, Dftc::kStart));
+  dftc.execute(0, Dftc::kStart);
+  EXPECT_EQ(dftc.color(0), 1);
+  EXPECT_EQ(dftc.pointer(0), 0);
+  EXPECT_FALSE(dftc.enabled(0, Dftc::kStart));
+}
+
+TEST(DftcWhitebox, AtMostOneSubstrateActionPerNode) {
+  // The action guards are mutually exclusive (this is what makes
+  // processor-level and action-level fairness coincide for the
+  // substrate).  Fuzz over random configurations.
+  Dftc dftc(Graph::figure311());
+  Rng rng(0xFEED);
+  for (int t = 0; t < 2000; ++t) {
+    dftc.randomize(rng);
+    for (NodeId p = 0; p < dftc.graph().nodeCount(); ++p) {
+      int enabled = 0;
+      for (int a = 0; a < Dftc::kActionCount; ++a)
+        enabled += dftc.enabled(p, a) ? 1 : 0;
+      EXPECT_LE(enabled, 1) << "node " << p << ": " << dftc.dumpNode(p);
+    }
+  }
+}
+
+TEST(DftcWhitebox, RootRawStateIsCanonicalized) {
+  Dftc dftc(Graph::path(3));
+  dftc.setRawNode(0, {-1, 0, 7, 9});  // junk depth/par on the root
+  const auto raw = dftc.rawNode(0);
+  EXPECT_EQ(raw[2], 0);
+  EXPECT_EQ(raw[3], 0);
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,158 @@
+// Property-based sweeps for DFTNO (Theorem 3.2.3): from arbitrary
+// configurations, under every (fair) daemon, on a spectrum of
+// topologies, the system converges to a legitimate orientation; after
+// convergence the orientation satisfies the full §2.3 specification and
+// legitimacy is closed.  Also checks the O(n)-after-L_TC shape of the
+// stabilization cost on bounded-degree families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "core/daemon.hpp"
+#include "core/graph.hpp"
+#include "core/scheduler.hpp"
+#include "orientation/dftno.hpp"
+
+namespace ssno {
+namespace {
+
+enum class Topology {
+  kRing,
+  kPath,
+  kStar,
+  kComplete,
+  kGrid,
+  kBinaryTree,
+  kRandomSparse,
+  kRandomDense,
+  kHypercube,
+  kCaterpillar,
+};
+
+
+std::string daemonTag(DaemonKind kind) {
+  std::string s = daemonKindName(kind);
+  s.erase(std::remove(s.begin(), s.end(), '-'), s.end());
+  return s;
+}
+
+std::string topologyName(Topology t) {
+  switch (t) {
+    case Topology::kRing: return "Ring";
+    case Topology::kPath: return "Path";
+    case Topology::kStar: return "Star";
+    case Topology::kComplete: return "Complete";
+    case Topology::kGrid: return "Grid";
+    case Topology::kBinaryTree: return "BinaryTree";
+    case Topology::kRandomSparse: return "RandomSparse";
+    case Topology::kRandomDense: return "RandomDense";
+    case Topology::kHypercube: return "Hypercube";
+    case Topology::kCaterpillar: return "Caterpillar";
+  }
+  return "?";
+}
+
+Graph makeTopology(Topology t, int scale, Rng& rng) {
+  switch (t) {
+    case Topology::kRing: return Graph::ring(3 + scale * 3);
+    case Topology::kPath: return Graph::path(2 + scale * 3);
+    case Topology::kStar: return Graph::star(3 + scale * 3);
+    case Topology::kComplete: return Graph::complete(3 + scale);
+    case Topology::kGrid: return Graph::grid(2 + scale, 3);
+    case Topology::kBinaryTree: return Graph::kAryTree(3 + scale * 4, 2);
+    case Topology::kRandomSparse:
+      return Graph::randomConnected(5 + scale * 4, 0.1, rng);
+    case Topology::kRandomDense:
+      return Graph::randomConnected(5 + scale * 3, 0.5, rng);
+    case Topology::kHypercube: return Graph::hypercube(2 + scale);
+    case Topology::kCaterpillar: return Graph::caterpillar(2 + scale, 2);
+  }
+  return Graph::ring(3);
+}
+
+class DftnoProperty
+    : public ::testing::TestWithParam<std::tuple<Topology, int, DaemonKind>> {
+};
+
+TEST_P(DftnoProperty, ConvergesAndSatisfiesSpec) {
+  const auto [topo, seed, kind] = GetParam();
+  Rng topoRng(static_cast<std::uint64_t>(seed) * 7919 + 3);
+  const Graph g = makeTopology(topo, 1 + seed % 3, topoRng);
+  Dftno dftno(g);
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 + 17);
+  dftno.randomize(rng);
+  auto daemon = makeDaemon(kind);
+  Simulator sim(dftno, *daemon, rng);
+  const RunStats stats =
+      sim.runUntil([&dftno] { return dftno.isLegitimate(); }, 20'000'000);
+  ASSERT_TRUE(stats.converged)
+      << topologyName(topo) << " n=" << g.nodeCount() << " under "
+      << daemon->name();
+
+  // The converged orientation satisfies SP1 ∧ SP2 and the §1.3 labeling
+  // quality predicates.
+  const Orientation o = dftno.orientation();
+  EXPECT_TRUE(satisfiesSpec(o));
+  EXPECT_TRUE(isLocallyOriented(o));
+  EXPECT_TRUE(hasEdgeSymmetry(o));
+
+  // Closure: legitimacy persists over further execution.
+  for (int i = 0; i < 50; ++i) {
+    (void)sim.stepOnce();
+    ASSERT_TRUE(dftno.isLegitimate()) << "closure broken at step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DftnoProperty,
+    ::testing::Combine(
+        ::testing::Values(Topology::kRing, Topology::kPath, Topology::kStar,
+                          Topology::kComplete, Topology::kGrid,
+                          Topology::kBinaryTree, Topology::kRandomSparse,
+                          Topology::kRandomDense, Topology::kHypercube,
+                          Topology::kCaterpillar),
+        ::testing::Range(0, 4),
+        ::testing::Values(DaemonKind::kCentral, DaemonKind::kDistributed,
+                          DaemonKind::kSynchronous, DaemonKind::kRoundRobin)),
+    [](const auto& info) {
+      return topologyName(std::get<0>(info.param)) + "_s" +
+             std::to_string(std::get<1>(info.param)) + "_" +
+             daemonTag(std::get<2>(info.param));
+    });
+
+// O(n) shape (§3.2.3): once the substrate is legitimate, the number of
+// orientation-layer moves (Nodelabel/UpdateMax piggybacked on token moves
+// plus EdgeLabel corrections) to reach L_NO is bounded linearly on
+// bounded-degree families.
+TEST(DftnoScalingShape, MovesAfterSubstrateLegitAreLinearOnRings) {
+  std::vector<double> xs, ys;
+  for (int n : {6, 12, 24, 48}) {
+    Dftno dftno(Graph::ring(n));
+    Rng rng(42);
+    dftno.randomize(rng);
+    RoundRobinDaemon daemon;
+    Simulator sim(dftno, daemon, rng);
+    // Phase 1: substrate stabilization.
+    const RunStats s1 = sim.runUntil(
+        [&dftno] { return dftno.substrateLegitimate(); }, 20'000'000);
+    ASSERT_TRUE(s1.converged);
+    // Phase 2: orientation stabilization.
+    const RunStats s2 =
+        sim.runUntil([&dftno] { return dftno.isLegitimate(); }, 20'000'000);
+    ASSERT_TRUE(s2.converged);
+    xs.push_back(n);
+    ys.push_back(static_cast<double>(s2.moves));
+  }
+  // Linearity: moves per node stays within a constant band.
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double perNode = ys[i] / xs[i];
+    EXPECT_LT(perNode, 12.0) << "n=" << xs[i];
+  }
+}
+
+}  // namespace
+}  // namespace ssno

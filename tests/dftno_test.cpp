@@ -1,0 +1,159 @@
+// Behavioral tests for DFTNO (Algorithm 3.1.1): naming matches the DFS
+// preorder (Figure 3.1.1), edge labels form the chordal sense of
+// direction, names are stable across subsequent token rounds, legitimacy
+// implies the specification SP_NO.
+#include "orientation/dftno.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/daemon.hpp"
+#include "core/graph.hpp"
+#include "core/scheduler.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace ssno {
+namespace {
+
+/// Stabilizes the protocol under a weakly fair daemon.
+void stabilize(Dftno& dftno, std::uint64_t seed = 1) {
+  RoundRobinDaemon daemon;
+  Rng rng(seed);
+  Simulator sim(dftno, daemon, rng);
+  const RunStats stats =
+      sim.runUntil([&dftno] { return dftno.isLegitimate(); }, 5'000'000);
+  ASSERT_TRUE(stats.converged);
+}
+
+TEST(Dftno, Figure311Names) {
+  // Figure 3.1.1: r=0, b=1, d=2, c=3, a=4.
+  Dftno dftno(Graph::figure311());
+  Rng rng(2);
+  dftno.randomize(rng);
+  stabilize(dftno);
+  EXPECT_EQ(dftno.name(0), 0);  // r
+  EXPECT_EQ(dftno.name(2), 1);  // b
+  EXPECT_EQ(dftno.name(4), 2);  // d
+  EXPECT_EQ(dftno.name(3), 3);  // c
+  EXPECT_EQ(dftno.name(1), 4);  // a
+}
+
+TEST(Dftno, NamesAreDfsPreorder) {
+  Rng topo(3);
+  for (auto g : {Graph::ring(7), Graph::grid(3, 3), Graph::complete(5),
+                 Graph::randomConnected(10, 0.3, topo)}) {
+    Dftno dftno(g);
+    Rng rng(4);
+    dftno.randomize(rng);
+    stabilize(dftno);
+    const auto pre = portOrderDfsPreorder(g);
+    for (NodeId p = 0; p < g.nodeCount(); ++p)
+      EXPECT_EQ(dftno.name(p), pre[static_cast<std::size_t>(p)])
+          << "node " << p;
+  }
+}
+
+TEST(Dftno, LegitimacyImpliesSpec) {
+  // SP1 ∧ SP2 are theorems on the steady-state orbit: walk the whole
+  // orbit and assert the spec at every configuration.
+  Dftno dftno(Graph::figure311());
+  Rng rng(5);
+  dftno.randomize(rng);
+  stabilize(dftno);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(dftno.isLegitimate());
+    EXPECT_TRUE(dftno.satisfiesSpecNow()) << "orbit position " << i;
+    const Orientation o = dftno.orientation();
+    EXPECT_TRUE(isLocallyOriented(o));
+    EXPECT_TRUE(hasEdgeSymmetry(o));
+    const auto moves = dftno.enabledMoves();
+    ASSERT_FALSE(moves.empty());
+    dftno.execute(moves.front().node, moves.front().action);
+  }
+}
+
+TEST(Dftno, NamesStableAcrossRounds) {
+  Dftno dftno(Graph::grid(2, 3));
+  Rng rng(6);
+  dftno.randomize(rng);
+  stabilize(dftno);
+  const Orientation before = dftno.orientation();
+  // Run several more full rounds.
+  RoundRobinDaemon daemon;
+  Simulator sim(dftno, daemon, rng);
+  for (int i = 0; i < 500; ++i) (void)sim.stepOnce();
+  const Orientation after = dftno.orientation();
+  EXPECT_EQ(before.name, after.name);
+  EXPECT_EQ(before.label, after.label);
+}
+
+TEST(Dftno, EdgeLabelsAreChordalDistances) {
+  Dftno dftno(Graph::figure221());
+  Rng rng(7);
+  dftno.randomize(rng);
+  stabilize(dftno);
+  const Graph& g = dftno.graph();
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    for (Port l = 0; l < g.degree(p); ++l)
+      EXPECT_EQ(dftno.edgeLabel(p, l),
+                chordalDistance(dftno.name(p),
+                                dftno.name(g.neighborAt(p, l)), 5));
+}
+
+TEST(Dftno, MaxReachesNodeCountAtRootBetweenRounds) {
+  // "At the end of the round, the [max] value ... is clearly the total
+  // number of nodes in the system" (§3.1) — i.e. n−1 with 0-based names.
+  Dftno dftno(Graph::figure311());
+  Rng rng(8);
+  dftno.randomize(rng);
+  stabilize(dftno);
+  bool sawBoundary = false;
+  for (int i = 0; i < 400; ++i) {
+    if (dftno.substrate().isIdle(0) &&
+        dftno.substrate().enabled(0, Dftc::kStart)) {
+      EXPECT_EQ(dftno.maxSeen(0), dftno.graph().nodeCount() - 1);
+      sawBoundary = true;
+    }
+    const auto moves = dftno.enabledMoves();
+    dftno.execute(moves.front().node, moves.front().action);
+  }
+  EXPECT_TRUE(sawBoundary);
+}
+
+TEST(Dftno, ConvergesWithPaperFaithfulGuardUnderPracticalDaemons) {
+  // The paper guard's weak-fairness gap (see dftc_modelcheck_test) is an
+  // adversarial corner; practical randomized daemons converge fine.
+  Dftno dftno(Graph::ring(6), EdgeLabelGuard::kPaperFaithful);
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    dftno.randomize(rng);
+    DistributedDaemon daemon;
+    Simulator sim(dftno, daemon, rng);
+    const RunStats stats =
+        sim.runUntil([&dftno] { return dftno.isLegitimate(); }, 5'000'000);
+    EXPECT_TRUE(stats.converged) << "trial " << trial;
+  }
+}
+
+TEST(Dftno, OrientationBitsMatchFormula) {
+  Dftno dftno(Graph::star(9));  // N = 9, hub degree 8
+  // Hub: (2 + 8)·log2(9); leaf: (2 + 1)·log2(9).
+  EXPECT_NEAR(dftno.orientationBits(0), 10 * std::log2(9.0), 1e-9);
+  EXPECT_NEAR(dftno.orientationBits(1), 3 * std::log2(9.0), 1e-9);
+}
+
+TEST(Dftno, CodecRoundTripsOnRandomStates) {
+  Dftno dftno(Graph::figure311());
+  Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    dftno.randomize(rng);
+    const auto codes = dftno.encodeConfiguration();
+    Dftno other(Graph::figure311());
+    other.decodeConfiguration(codes);
+    EXPECT_EQ(other.encodeConfiguration(), codes);
+  }
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,75 @@
+// Unit tests for transient-fault injection.
+#include "core/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/graph.hpp"
+#include "toy_protocols.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(FaultInjector, ScrambleAllReachesNonZeroStates) {
+  ZeroProtocol proto(Graph::path(6), 5);
+  for (NodeId p = 0; p < 6; ++p) proto.setValue(p, 0);
+  FaultInjector inj(proto);
+  Rng rng(1);
+  inj.scrambleAll(rng);
+  bool anyNonZero = false;
+  for (NodeId p = 0; p < 6; ++p) anyNonZero = anyNonZero || proto.value(p) != 0;
+  EXPECT_TRUE(anyNonZero);  // 5^-6 chance of a false failure
+}
+
+TEST(FaultInjector, CorruptKTouchesExactlyKDistinctNodes) {
+  ZeroProtocol proto(Graph::ring(10), 50);
+  FaultInjector inj(proto);
+  Rng rng(2);
+  for (int k : {0, 1, 3, 10}) {
+    const std::vector<NodeId> victims = inj.corruptK(k, rng);
+    EXPECT_EQ(static_cast<int>(victims.size()), k);
+    const std::set<NodeId> uniq(victims.begin(), victims.end());
+    EXPECT_EQ(static_cast<int>(uniq.size()), k);
+    for (NodeId v : victims) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 10);
+    }
+  }
+}
+
+TEST(FaultInjector, CorruptKLeavesOthersUntouched) {
+  ZeroProtocol proto(Graph::path(8), 9);
+  for (NodeId p = 0; p < 8; ++p) proto.setValue(p, 0);
+  FaultInjector inj(proto);
+  Rng rng(3);
+  const std::vector<NodeId> victims = inj.corruptK(2, rng);
+  const std::set<NodeId> hit(victims.begin(), victims.end());
+  for (NodeId p = 0; p < 8; ++p) {
+    if (!hit.contains(p)) {
+      EXPECT_EQ(proto.value(p), 0);
+    }
+  }
+}
+
+TEST(FaultInjector, CrashResetZeroesLocalState) {
+  ZeroProtocol proto(Graph::path(3), 7);
+  proto.setValue(1, 5);
+  FaultInjector inj(proto);
+  inj.crashReset(1);
+  EXPECT_EQ(proto.value(1), 0);
+}
+
+TEST(FaultInjector, CorruptNodeStaysInDomain) {
+  ZeroProtocol proto(Graph::path(3), 4);
+  FaultInjector inj(proto);
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    inj.corruptNode(0, rng);
+    EXPECT_GE(proto.value(0), 0);
+    EXPECT_LT(proto.value(0), 4);
+  }
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,98 @@
+// Unit tests for the centralized verification algorithms.
+#include "core/graph_algo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(BfsDistances, Path) {
+  const Graph g = Graph::path(5);
+  const auto d = bfsDistances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(d[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BfsDistances, Ring) {
+  const Graph g = Graph::ring(6);
+  const auto d = bfsDistances(g, 0);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[5], 1);
+}
+
+TEST(Eccentricity, Star) {
+  const Graph g = Graph::star(7);
+  EXPECT_EQ(eccentricity(g, 0), 1);
+  EXPECT_EQ(eccentricity(g, 1), 2);
+}
+
+TEST(Diameter, KnownValues) {
+  EXPECT_EQ(diameter(Graph::path(6)), 5);
+  EXPECT_EQ(diameter(Graph::ring(8)), 4);
+  EXPECT_EQ(diameter(Graph::complete(5)), 1);
+  EXPECT_EQ(diameter(Graph::hypercube(4)), 4);
+}
+
+TEST(ShortestPath, EndpointsAndLength) {
+  const Graph g = Graph::grid(3, 3);
+  const auto path = shortestPath(g, 0, 8);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 8);
+  EXPECT_EQ(static_cast<int>(path.size()) - 1, 4);
+  for (std::size_t i = 0; i + 1 < path.size(); ++i)
+    EXPECT_TRUE(g.adjacent(path[i], path[i + 1]));
+}
+
+TEST(ShortestPath, TrivialSrcEqualsDst) {
+  const Graph g = Graph::path(3);
+  const auto path = shortestPath(g, 1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1);
+}
+
+TEST(IsSpanningTree, AcceptsValidTree) {
+  const Graph g = Graph::ring(4);
+  // Parents 1<-0, 2<-1, 3<-0 form a spanning tree of the ring.
+  EXPECT_TRUE(isSpanningTree(g, {kNoNode, 0, 1, 0}));
+}
+
+TEST(IsSpanningTree, RejectsCycle) {
+  const Graph g = Graph::ring(4);
+  EXPECT_FALSE(isSpanningTree(g, {kNoNode, 2, 1, 2}));  // 1<->2 cycle
+}
+
+TEST(IsSpanningTree, RejectsNonNeighborParent) {
+  const Graph g = Graph::path(4);
+  EXPECT_FALSE(isSpanningTree(g, {kNoNode, 0, 0, 2}));  // 2's parent is 0
+}
+
+TEST(IsSpanningTree, RejectsParentOnRoot) {
+  const Graph g = Graph::path(3);
+  EXPECT_FALSE(isSpanningTree(g, {1, 0, 1}));
+}
+
+TEST(TreeHeight, PathAndStar) {
+  const Graph path = Graph::path(5);
+  EXPECT_EQ(treeHeight(path, {kNoNode, 0, 1, 2, 3}), 4);
+  const Graph star = Graph::star(5);
+  EXPECT_EQ(treeHeight(star, {kNoNode, 0, 0, 0, 0}), 1);
+}
+
+TEST(TreeHeight, InvalidTreeGivesMinusOne) {
+  const Graph g = Graph::ring(4);
+  EXPECT_EQ(treeHeight(g, {kNoNode, 2, 1, 2}), -1);
+}
+
+TEST(ToDot, ContainsNodesAndEdges) {
+  const Graph g = Graph::path(3);
+  const std::string dot = toDot(g, {"r", "x", "y"});
+  EXPECT_NE(dot.find("n0 -- n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -- n2"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"x\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssno

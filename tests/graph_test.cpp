@@ -1,0 +1,166 @@
+// Unit tests for the rooted-network Graph and its topology builders.
+#include "core/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(Graph, BasicConstruction) {
+  const Graph g(3, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.nodeCount(), 3);
+  EXPECT_EQ(g.edgeCount(), 2);
+  EXPECT_EQ(g.root(), 0);
+  EXPECT_TRUE(g.adjacent(0, 1));
+  EXPECT_TRUE(g.adjacent(1, 0));
+  EXPECT_FALSE(g.adjacent(0, 2));
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(Graph, PortNumberingFollowsInsertionOrder) {
+  const Graph g(4, {{0, 2}, {0, 1}, {0, 3}});
+  EXPECT_EQ(g.neighborAt(0, 0), 2);
+  EXPECT_EQ(g.neighborAt(0, 1), 1);
+  EXPECT_EQ(g.neighborAt(0, 2), 3);
+  EXPECT_EQ(g.portOf(0, 1), 1);
+  EXPECT_EQ(g.portOf(1, 0), 0);
+  EXPECT_EQ(g.portOf(1, 2), kNoPort);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  EXPECT_THROW(Graph(2, {{0, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsDuplicateEdge) {
+  EXPECT_THROW(Graph(2, {{0, 1}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(Graph(2, {{0, 2}}), std::invalid_argument);
+}
+
+TEST(Graph, RejectsBadRoot) {
+  EXPECT_THROW(Graph(2, {{0, 1}}, 5), std::invalid_argument);
+}
+
+TEST(Graph, DisconnectedDetected) {
+  const Graph g(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(g.isConnected());
+}
+
+TEST(GraphBuilders, Ring) {
+  const Graph g = Graph::ring(5);
+  EXPECT_EQ(g.nodeCount(), 5);
+  EXPECT_EQ(g.edgeCount(), 5);
+  EXPECT_TRUE(g.isConnected());
+  for (NodeId p = 0; p < 5; ++p) EXPECT_EQ(g.degree(p), 2);
+}
+
+TEST(GraphBuilders, Path) {
+  const Graph g = Graph::path(4);
+  EXPECT_EQ(g.edgeCount(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 1);
+}
+
+TEST(GraphBuilders, Star) {
+  const Graph g = Graph::star(6);
+  EXPECT_EQ(g.degree(0), 5);
+  for (NodeId p = 1; p < 6; ++p) EXPECT_EQ(g.degree(p), 1);
+  EXPECT_EQ(g.maxDegree(), 5);
+}
+
+TEST(GraphBuilders, Complete) {
+  const Graph g = Graph::complete(5);
+  EXPECT_EQ(g.edgeCount(), 10);
+  for (NodeId p = 0; p < 5; ++p) EXPECT_EQ(g.degree(p), 4);
+}
+
+TEST(GraphBuilders, Grid) {
+  const Graph g = Graph::grid(3, 4);
+  EXPECT_EQ(g.nodeCount(), 12);
+  EXPECT_EQ(g.edgeCount(), 3 * 3 + 2 * 4);  // horizontal + vertical
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GraphBuilders, Torus) {
+  const Graph g = Graph::torus(3, 3);
+  EXPECT_EQ(g.nodeCount(), 9);
+  EXPECT_EQ(g.edgeCount(), 18);
+  for (NodeId p = 0; p < 9; ++p) EXPECT_EQ(g.degree(p), 4);
+}
+
+TEST(GraphBuilders, Hypercube) {
+  const Graph g = Graph::hypercube(3);
+  EXPECT_EQ(g.nodeCount(), 8);
+  EXPECT_EQ(g.edgeCount(), 12);
+  for (NodeId p = 0; p < 8; ++p) EXPECT_EQ(g.degree(p), 3);
+}
+
+TEST(GraphBuilders, Lollipop) {
+  const Graph g = Graph::lollipop(4, 3);
+  EXPECT_EQ(g.nodeCount(), 7);
+  EXPECT_EQ(g.edgeCount(), 6 + 3);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(g.degree(6), 1);  // tail end
+}
+
+TEST(GraphBuilders, KAryTree) {
+  const Graph g = Graph::kAryTree(7, 2);  // complete binary tree
+  EXPECT_EQ(g.edgeCount(), 6);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_EQ(g.degree(1), 3);
+  EXPECT_EQ(g.degree(3), 1);
+}
+
+TEST(GraphBuilders, Caterpillar) {
+  const Graph g = Graph::caterpillar(3, 2);
+  EXPECT_EQ(g.nodeCount(), 9);
+  EXPECT_EQ(g.edgeCount(), 8);
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GraphBuilders, RandomTreeIsSpanningTree) {
+  Rng rng(42);
+  for (int n : {1, 2, 3, 10, 50}) {
+    const Graph g = Graph::randomTree(n, rng);
+    EXPECT_EQ(g.nodeCount(), n);
+    EXPECT_EQ(g.edgeCount(), n - 1);
+    EXPECT_TRUE(g.isConnected());
+  }
+}
+
+TEST(GraphBuilders, RandomConnectedIsConnected) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = Graph::randomConnected(20, 0.1, rng);
+    EXPECT_TRUE(g.isConnected());
+    EXPECT_GE(g.edgeCount(), 19);
+  }
+}
+
+TEST(GraphBuilders, Figure311MatchesPaperTrace) {
+  // r=0, a=1, b=2, c=3, d=4; DFS in port order must visit r,b,d,c then a.
+  const Graph g = Graph::figure311();
+  EXPECT_EQ(g.nodeCount(), 5);
+  EXPECT_EQ(g.neighborAt(0, 0), 2);  // the root explores b before a
+  EXPECT_EQ(g.neighborAt(0, 1), 1);
+  EXPECT_TRUE(g.adjacent(2, 4));
+  EXPECT_TRUE(g.adjacent(4, 3));
+  EXPECT_TRUE(g.isConnected());
+}
+
+TEST(GraphBuilders, Figure221HasChord) {
+  const Graph g = Graph::figure221();
+  EXPECT_EQ(g.nodeCount(), 5);
+  EXPECT_EQ(g.edgeCount(), 6);
+  EXPECT_TRUE(g.adjacent(0, 2));
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,61 @@
+// Tests for the Protocol base-class helpers shared by all protocols.
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+#include "toy_protocols.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(Protocol, EnabledMovesNodeMajorOrder) {
+  ZeroProtocol proto(Graph::path(3), 2);
+  proto.setValue(0, 1);
+  proto.setValue(1, 0);
+  proto.setValue(2, 1);
+  const auto moves = proto.enabledMoves();
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0], (Move{0, 0}));
+  EXPECT_EQ(moves[1], (Move{2, 0}));
+}
+
+TEST(Protocol, EncodeDecodeConfiguration) {
+  ZeroProtocol proto(Graph::path(4), 5);
+  Rng rng(1);
+  proto.randomize(rng);
+  const auto codes = proto.encodeConfiguration();
+  ZeroProtocol other(Graph::path(4), 5);
+  other.decodeConfiguration(codes);
+  for (NodeId p = 0; p < 4; ++p)
+    EXPECT_EQ(other.value(p), proto.value(p));
+}
+
+TEST(Protocol, RawConfigurationRoundTrips) {
+  ZeroProtocol proto(Graph::ring(5), 7);
+  Rng rng(2);
+  proto.randomize(rng);
+  const std::vector<int> raw = proto.rawConfiguration();
+  EXPECT_EQ(raw.size(), 5u);
+  ZeroProtocol other(Graph::ring(5), 7);
+  other.setRawConfiguration(raw);
+  EXPECT_EQ(other.rawConfiguration(), raw);
+}
+
+TEST(Protocol, ConfigurationHashDistinguishesStates) {
+  ZeroProtocol a(Graph::path(3), 4), b(Graph::path(3), 4);
+  a.setValue(0, 1);
+  b.setValue(0, 2);
+  EXPECT_NE(a.configurationHash(), b.configurationHash());
+  b.setValue(0, 1);
+  EXPECT_EQ(a.configurationHash(), b.configurationHash());
+}
+
+TEST(Protocol, GraphAccessor) {
+  ZeroProtocol proto(Graph::star(4), 2);
+  EXPECT_EQ(proto.graph().nodeCount(), 4);
+  EXPECT_EQ(proto.graph().root(), 0);
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,69 @@
+// Unit tests for the deterministic random source.
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ssno {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool anyDiff = false;
+  for (int i = 0; i < 16; ++i) anyDiff = anyDiff || (a.next() != b.next());
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.below(7);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 7);
+  }
+}
+
+TEST(Rng, BelowCoversAllValues) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.between(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng parent(77);
+  Rng s1 = parent.split(1);
+  Rng s2 = parent.split(2);
+  bool anyDiff = false;
+  for (int i = 0; i < 16; ++i) anyDiff = anyDiff || (s1.next() != s2.next());
+  EXPECT_TRUE(anyDiff);
+}
+
+}  // namespace
+}  // namespace ssno

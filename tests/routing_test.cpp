@@ -1,0 +1,128 @@
+// Tests for chordal-sense-of-direction routing (§1.3 application).
+#include "apps/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/daemon.hpp"
+#include "core/graph.hpp"
+#include "core/graph_algo.hpp"
+#include "core/scheduler.hpp"
+#include "orientation/dftno.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace ssno {
+namespace {
+
+Orientation canonicalOrientation(const Graph& g) {
+  std::vector<int> names(static_cast<std::size_t>(g.nodeCount()));
+  const auto pre = portOrderDfsPreorder(g);
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    names[static_cast<std::size_t>(p)] = pre[static_cast<std::size_t>(p)];
+  return inducedChordalOrientation(g, names, g.nodeCount());
+}
+
+TEST(NeighborName, DerivedFromLabelOnly) {
+  const Graph g = Graph::figure221();
+  const Orientation o = canonicalOrientation(g);
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    for (Port l = 0; l < g.degree(p); ++l)
+      EXPECT_EQ(neighborNameViaLabel(o, p, l),
+                o.nameOf(g.neighborAt(p, l)));
+}
+
+TEST(GreedyRouting, RingFollowsCyclicDirection) {
+  // On a ring with canonical (cyclic) names, greedy chordal routing
+  // always delivers: it walks the cyclic direction (hops = cyclic
+  // distance), except for the immediate predecessor, reached directly.
+  const Graph g = Graph::ring(9);
+  const Orientation o = canonicalOrientation(g);
+  for (NodeId s = 0; s < 9; ++s) {
+    for (NodeId t = 0; t < 9; ++t) {
+      if (s == t) continue;
+      const RouteResult r = routeGreedyChordal(o, s, o.nameOf(t));
+      ASSERT_TRUE(r.delivered) << s << "->" << t;
+      const int cyc = chordalDistance(o.nameOf(t), o.nameOf(s), 9);
+      EXPECT_EQ(r.hops, cyc == 8 ? 1 : cyc);
+      EXPECT_EQ(r.path.back(), t);
+    }
+  }
+}
+
+TEST(GreedyRouting, CompleteGraphIsOneHop) {
+  const Graph g = Graph::complete(7);
+  const Orientation o = canonicalOrientation(g);
+  for (NodeId s = 0; s < 7; ++s)
+    for (NodeId t = 0; t < 7; ++t) {
+      if (s == t) continue;
+      const RouteResult r = routeGreedyChordal(o, s, o.nameOf(t));
+      ASSERT_TRUE(r.delivered);
+      EXPECT_EQ(r.hops, 1);
+    }
+}
+
+TEST(GreedyRouting, PathEndpointsTraverseWholePath) {
+  const Graph g = Graph::path(8);
+  const Orientation o = canonicalOrientation(g);
+  const RouteResult r = routeGreedyChordal(o, 0, o.nameOf(7));
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 7);
+}
+
+TEST(GreedyRouting, ReportsFailureOnDeadEnd) {
+  // Craft an orientation where greedy gets stuck: on a star, route
+  // between two leaves whose names put the hub "behind" the target.
+  // Hub named 0; leaves 1..4.  From leaf named 1 to target named 2:
+  // the only neighbor (hub, name 0) has cyclic distance (2-0)=2 equal
+  // to... from s: (2-1)=1; hub: 2 -> not an improvement -> dead end.
+  const Graph g = Graph::star(5);
+  const Orientation o = inducedChordalOrientation(g, {0, 1, 2, 3, 4}, 5);
+  const RouteResult r = routeGreedyChordal(o, 1, 2);
+  EXPECT_FALSE(r.delivered);
+  EXPECT_EQ(r.hops, 0);
+}
+
+TEST(GreedyRouting, DetourRescuesStarDeadEnd) {
+  const Graph g = Graph::star(5);
+  const Orientation o = inducedChordalOrientation(g, {0, 1, 2, 3, 4}, 5);
+  const RouteResult r = routeGreedyWithDetours(o, 1, 2, 1);
+  ASSERT_TRUE(r.delivered);
+  EXPECT_EQ(r.hops, 2);  // leaf -> hub -> leaf
+}
+
+TEST(GreedyRouting, StabilizedDftnoOrientationRoutesOnRing) {
+  // End-to-end: self-stabilize DFTNO on a ring, then route on the
+  // resulting labels.
+  Dftno dftno(Graph::ring(8));
+  Rng rng(1);
+  dftno.randomize(rng);
+  RoundRobinDaemon daemon;
+  Simulator sim(dftno, daemon, rng);
+  const RunStats stats =
+      sim.runUntil([&dftno] { return dftno.isLegitimate(); }, 10'000'000);
+  ASSERT_TRUE(stats.converged);
+  const Orientation o = dftno.orientation();
+  const RoutingStats rs = evaluateRouting(o, 0);
+  EXPECT_EQ(rs.pairs, 8 * 7);
+  EXPECT_EQ(rs.delivered, rs.pairs);
+}
+
+TEST(FloodBaseline, CountsForKnownTopologies) {
+  // Flood: src sends deg(src); every other node forwards deg−1.
+  EXPECT_EQ(floodMessages(Graph::ring(6), 0), 2 + 5 * 1);
+  EXPECT_EQ(floodMessages(Graph::complete(5), 0), 4 + 4 * 3);
+  EXPECT_EQ(floodMessages(Graph::star(5), 0), 4 + 4 * 0);
+}
+
+TEST(RoutingStats, StretchIsAtLeastOne) {
+  Rng rng(2);
+  const Graph g = Graph::randomConnected(12, 0.3, rng);
+  const Orientation o = canonicalOrientation(g);
+  const RoutingStats rs = evaluateRouting(o, 2);
+  EXPECT_EQ(rs.pairs, 12 * 11);
+  EXPECT_GT(rs.delivered, 0);
+  EXPECT_GE(rs.meanStretch, 1.0);
+  EXPECT_GE(rs.maxStretch, rs.meanStretch);
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,135 @@
+// Tests for the sense-of-direction layer (Chapter 5 outlook, [14]):
+// walk coding, cross-hop translation, and the consistency properties on
+// stabilized orientations.
+#include "orientation/sod.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/daemon.hpp"
+#include "core/graph.hpp"
+#include "core/scheduler.hpp"
+#include "orientation/dftno.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace ssno {
+namespace {
+
+Orientation canonical(const Graph& g) {
+  return inducedChordalOrientation(g, portOrderDfsPreorder(g),
+                                   g.nodeCount());
+}
+
+TEST(WalkCode, EmptyWalkIsZero) {
+  const Graph g = Graph::ring(5);
+  const Orientation o = canonical(g);
+  EXPECT_EQ(walkCode(o, 2, {}), 0);
+}
+
+TEST(WalkCode, EqualsNameDifference) {
+  Rng rng(1);
+  const Graph g = Graph::randomConnected(12, 0.3, rng);
+  const Orientation o = canonical(g);
+  // Random walks of random length: code must equal η_from − η_end mod N.
+  for (int trial = 0; trial < 200; ++trial) {
+    const NodeId from = rng.below(12);
+    std::vector<Port> ports;
+    NodeId cur = from;
+    const int len = rng.below(8);
+    for (int i = 0; i < len; ++i) {
+      const Port l = rng.below(g.degree(cur));
+      ports.push_back(l);
+      cur = g.neighborAt(cur, l);
+    }
+    const auto code = walkCode(o, from, ports);
+    ASSERT_TRUE(code.has_value());
+    EXPECT_EQ(*code, chordalDistance(o.nameOf(from), o.nameOf(cur),
+                                     o.modulus));
+    EXPECT_EQ(nameFromCode(o, from, *code), o.nameOf(cur));
+    EXPECT_EQ(walkEnd(g, from, ports), cur);
+  }
+}
+
+TEST(WalkCode, RejectsBadPort) {
+  const Graph g = Graph::path(3);
+  const Orientation o = canonical(g);
+  EXPECT_FALSE(walkCode(o, 0, {5}).has_value());
+  EXPECT_FALSE(walkEnd(g, 0, {5}).has_value());
+}
+
+TEST(Translate, MatchesDirectCode) {
+  const Graph g = Graph::figure221();
+  const Orientation o = canonical(g);
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    for (Port l = 0; l < g.degree(p); ++l)
+      for (NodeId t = 0; t < g.nodeCount(); ++t) {
+        const int atP = chordalDistance(o.nameOf(p), o.nameOf(t), o.modulus);
+        const NodeId q = g.neighborAt(p, l);
+        const int atQ = chordalDistance(o.nameOf(q), o.nameOf(t), o.modulus);
+        EXPECT_EQ(translateCode(o, p, l, atP), atQ);
+      }
+}
+
+TEST(Consistency, HoldsOnCanonicalOrientations) {
+  Rng rng(2);
+  for (const Graph& g :
+       {Graph::ring(6), Graph::complete(5), Graph::grid(2, 4),
+        Graph::figure221(), Graph::randomConnected(9, 0.3, rng)}) {
+    const Orientation o = canonical(g);
+    EXPECT_TRUE(hasConsistentCoding(o, 4)) << "n=" << g.nodeCount();
+    EXPECT_TRUE(hasConsistentTranslation(o)) << "n=" << g.nodeCount();
+  }
+}
+
+TEST(Consistency, DetectsDuplicateNames) {
+  const Graph g = Graph::path(3);
+  // Duplicate names break the walk-code bijection.
+  const Orientation bad = inducedChordalOrientation(g, {0, 1, 0}, 3);
+  EXPECT_FALSE(hasConsistentCoding(bad, 3));
+}
+
+TEST(Consistency, DetectsCorruptLabel) {
+  const Graph g = Graph::ring(5);
+  Orientation o = canonical(g);
+  o.label[2][1] = (o.label[2][1] + 1) % 5;
+  EXPECT_FALSE(hasConsistentCoding(o, 3));
+}
+
+TEST(SelfStabilizedSoD, DftnoOrientationIsASenseOfDirection) {
+  // The Chapter-5 payoff: after DFTNO stabilizes (from an arbitrary
+  // configuration), the resulting labels ARE a consistent chordal sense
+  // of direction — i.e. a self-stabilizing SoD.
+  Dftno dftno(Graph::grid(3, 3));
+  Rng rng(3);
+  dftno.randomize(rng);
+  RoundRobinDaemon daemon;
+  Simulator sim(dftno, daemon, rng);
+  ASSERT_TRUE(
+      sim.runUntil([&dftno] { return dftno.isLegitimate(); }, 20'000'000)
+          .converged);
+  const Orientation o = dftno.orientation();
+  EXPECT_TRUE(hasConsistentCoding(o, 4));
+  EXPECT_TRUE(hasConsistentTranslation(o));
+}
+
+TEST(SelfStabilizedSoD, ReferencePassingAlongAPath) {
+  // A reference to node t, created at s, handed hop by hop along any
+  // path, still denotes t at the far end.
+  Rng rng(4);
+  const Graph g = Graph::randomConnected(10, 0.35, rng);
+  const Orientation o = canonical(g);
+  for (int trial = 0; trial < 100; ++trial) {
+    const NodeId s = rng.below(10);
+    const NodeId t = rng.below(10);
+    int code = chordalDistance(o.nameOf(s), o.nameOf(t), o.modulus);
+    NodeId cur = s;
+    for (int hop = 0; hop < 6; ++hop) {
+      const Port l = rng.below(g.degree(cur));
+      code = translateCode(o, cur, l, code);
+      cur = g.neighborAt(cur, l);
+      EXPECT_EQ(nameFromCode(o, cur, code), o.nameOf(t));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,69 @@
+// Unit tests for the statistics helpers used by the bench harness.
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssno {
+namespace {
+
+TEST(Summarize, Empty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0);
+}
+
+TEST(Summarize, SingleValue) {
+  const Summary s = summarize({4.0});
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownDistribution) {
+  const Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(Summarize, QuantileInterpolation) {
+  const Summary s = summarize({0, 10});
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.p95, 9.5);
+}
+
+TEST(FitLinear, PerfectLine) {
+  const LinearFit f = fitLinear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(FitLinear, ConstantY) {
+  const LinearFit f = fitLinear({1, 2, 3}, {4, 4, 4});
+  EXPECT_NEAR(f.slope, 0.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 4.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);  // degenerate: model explains everything
+}
+
+TEST(FitLinear, NoisyLineHighR2) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 * i + ((i % 2) ? 0.5 : -0.5));
+  }
+  const LinearFit f = fitLinear(x, y);
+  EXPECT_NEAR(f.slope, 3.0, 0.01);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+TEST(FitLinear, VerticalDataZeroSlope) {
+  const LinearFit f = fitLinear({2, 2, 2}, {1, 5, 9});
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 5.0);
+}
+
+}  // namespace
+}  // namespace ssno

@@ -1,0 +1,137 @@
+// White-box tests for STNO's guards and macros on hand-built
+// configurations (fixed legitimate trees so the substrate is inert).
+//
+// Raw layout per node (fixed-tree mode): {W, eta, start[0..Δ), pi[0..Δ)}.
+#include "orientation/stno.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.hpp"
+
+namespace ssno {
+namespace {
+
+// Path 0-1-2 with the natural tree (parents 0 <- 1 <- 2).
+Stno makePath3() { return Stno(Graph::path(3), {kNoNode, 0, 1}); }
+
+TEST(StnoWhitebox, LeafWeightGuard) {
+  Stno stno = makePath3();
+  // Node 2 (leaf): weight must be 1.
+  stno.setRawNode(2, {3, 2, 0, 0});
+  EXPECT_TRUE(stno.enabled(2, Stno::kWeight));
+  stno.execute(2, Stno::kWeight);
+  EXPECT_EQ(stno.weight(2), 1);
+  EXPECT_FALSE(stno.enabled(2, Stno::kWeight));
+}
+
+TEST(StnoWhitebox, InternalWeightSumsChildren) {
+  Stno stno = makePath3();
+  stno.setRawNode(2, {1, 2, 0, 0});
+  stno.setRawNode(1, {1, 1, 0, 2, 0, 0});  // wrong W=1; should be 1+1=2
+  EXPECT_TRUE(stno.enabled(1, Stno::kWeight));
+  stno.execute(1, Stno::kWeight);
+  EXPECT_EQ(stno.weight(1), 2);
+}
+
+TEST(StnoWhitebox, WeightCapsAtN) {
+  Stno stno = makePath3();
+  stno.setRawNode(2, {3, 2, 0, 0});  // corrupt leaf claims weight 3
+  stno.setRawNode(1, {1, 1, 0, 2, 0, 0});
+  stno.execute(1, Stno::kWeight);    // 1 + 3 = 4 > N=3 -> capped
+  EXPECT_EQ(stno.weight(1), 3);
+}
+
+TEST(StnoWhitebox, RootNameGuardFiresOnNonZeroEta) {
+  Stno stno = makePath3();
+  auto raw = stno.rawNode(0);
+  raw[1] = 2;  // eta_root must be 0
+  stno.setRawNode(0, raw);
+  EXPECT_TRUE(stno.enabled(0, Stno::kNodeLabel));
+  stno.execute(0, Stno::kNodeLabel);
+  EXPECT_EQ(stno.name(0), 0);
+}
+
+TEST(StnoWhitebox, RootNameGuardFiresOnCorruptStart) {
+  // The erratum guard: eta correct but Start entry wrong.
+  Stno stno = makePath3();
+  stno.setRawNode(2, {1, 2, 0, 0});
+  stno.setRawNode(1, {2, 1, 0, 2, 0, 0});
+  stno.setRawNode(0, {3, 0, 2, 0});  // Start_0[child 1] = 2, expected 1
+  EXPECT_TRUE(stno.enabled(0, Stno::kNodeLabel));
+  stno.execute(0, Stno::kNodeLabel);
+  EXPECT_EQ(stno.startAt(0, 0), 1);
+}
+
+TEST(StnoWhitebox, NodeLabelAdoptsParentStartAndDistributes) {
+  Stno stno = makePath3();
+  stno.setRawNode(2, {1, 0, 0, 0});        // leaf: wrong name 0
+  stno.setRawNode(1, {2, 0, 0, 0, 0, 0});  // internal: wrong name 0
+  stno.setRawNode(0, {3, 0, 1, 0});        // root correct: Start[1] = 1
+  ASSERT_TRUE(stno.enabled(1, Stno::kNodeLabel));
+  stno.execute(1, Stno::kNodeLabel);
+  EXPECT_EQ(stno.name(1), 1);              // adopted Start_0[1]
+  // Distribute: child 2 (at port 1 of node 1) gets eta+1 = 2.
+  EXPECT_EQ(stno.startAt(1, 1), 2);
+  // Leaf guard now enabled; leaf takes its name without distributing.
+  ASSERT_TRUE(stno.enabled(2, Stno::kNodeLabel));
+  stno.execute(2, Stno::kNodeLabel);
+  EXPECT_EQ(stno.name(2), 2);
+}
+
+TEST(StnoWhitebox, EdgeLabelGuardSubordinateToNodeLabel) {
+  // The paper's IE guard requires ¬InvalidNodelabel: a node with both a
+  // wrong name and wrong labels must fix the name (which also relabels).
+  Stno stno = makePath3();
+  stno.setRawNode(1, {2, 2, 0, 2, 1, 1});  // wrong eta AND wrong pi
+  EXPECT_TRUE(stno.enabled(1, Stno::kNodeLabel));
+  EXPECT_FALSE(stno.enabled(1, Stno::kEdgeLabel));
+}
+
+TEST(StnoWhitebox, EdgeLabelFixesAllPorts) {
+  Stno stno = makePath3();
+  // Make everything consistent except node 1's labels.
+  stno.setRawNode(0, {3, 0, 1, 1});
+  stno.setRawNode(1, {2, 1, 0, 2, 0, 0});
+  stno.setRawNode(2, {1, 2, 0, 1});
+  ASSERT_FALSE(stno.enabled(1, Stno::kNodeLabel));
+  ASSERT_TRUE(stno.enabled(1, Stno::kEdgeLabel));
+  stno.execute(1, Stno::kEdgeLabel);
+  EXPECT_EQ(stno.edgeLabel(1, 0), 1);  // (1-0) mod 3 toward root
+  EXPECT_EQ(stno.edgeLabel(1, 1), 2);  // (1-2) mod 3 toward leaf
+  EXPECT_FALSE(stno.enabled(1, Stno::kEdgeLabel));
+}
+
+TEST(StnoWhitebox, TreeFixDisabledInFixedTreeMode) {
+  Stno stno = makePath3();
+  for (NodeId p = 0; p < 3; ++p)
+    EXPECT_FALSE(stno.enabled(p, Stno::kTreeFix));
+}
+
+TEST(StnoWhitebox, NonTreeNeighborGetsLabelButNoStart) {
+  // Triangle with tree edges 0-1, 0-2: the 1-2 edge is non-tree; both
+  // endpoints label it, neither treats the other as a child.
+  Stno stno(Graph::ring(3), {kNoNode, 0, 0});
+  Rng rng(1);
+  stno.randomize(rng);
+  // Drive to silence by executing enabled overlay actions directly.
+  for (int i = 0; i < 1000; ++i) {
+    const auto moves = stno.enabledMoves();
+    if (moves.empty()) break;
+    stno.execute(moves.front().node, moves.front().action);
+  }
+  ASSERT_TRUE(stno.isLegitimate());
+  // Weights: both children are leaves of the root.
+  EXPECT_EQ(stno.weight(1), 1);
+  EXPECT_EQ(stno.weight(2), 1);
+  EXPECT_EQ(stno.weight(0), 3);
+  // Names 0,1,2 and the non-tree edge labeled consistently.
+  const Graph& g = stno.graph();
+  const Port p12 = g.portOf(1, 2);
+  const Port p21 = g.portOf(2, 1);
+  EXPECT_EQ(stno.edgeLabel(1, p12),
+            chordalDistance(stno.name(1), stno.name(2), 3));
+  EXPECT_EQ((stno.edgeLabel(1, p12) + stno.edgeLabel(2, p21)) % 3, 0);
+}
+
+}  // namespace
+}  // namespace ssno

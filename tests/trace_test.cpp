@@ -1,0 +1,65 @@
+// Unit tests for the trace recorder.
+#include "core/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/daemon.hpp"
+#include "core/graph.hpp"
+#include "core/scheduler.hpp"
+#include "toy_protocols.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(TraceRecorder, RecordsMovesInOrder) {
+  ZeroProtocol proto(Graph::path(3), 2);
+  RoundRobinDaemon daemon;
+  Rng rng(1);
+  Simulator sim(proto, daemon, rng);
+  TraceRecorder trace(proto);
+  sim.setMoveObserver([&trace](const Move& m) { trace.record(m); });
+  (void)sim.runToQuiescence(100);
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].node, 0);
+  EXPECT_EQ(trace.events()[1].node, 1);
+  EXPECT_EQ(trace.events()[2].node, 2);
+  EXPECT_EQ(trace.events()[0].action, "Zero");
+  EXPECT_EQ(trace.events()[0].stateAfter, "v=0");
+  EXPECT_EQ(trace.events()[2].index, 2);
+}
+
+TEST(TraceRecorder, RenderContainsActionsAndStates) {
+  ZeroProtocol proto(Graph::path(2), 2);
+  CentralDaemon daemon;
+  Rng rng(2);
+  Simulator sim(proto, daemon, rng);
+  TraceRecorder trace(proto);
+  sim.setMoveObserver([&trace](const Move& m) { trace.record(m); });
+  (void)sim.runToQuiescence(100);
+  const std::string text = trace.render();
+  EXPECT_NE(text.find("Zero"), std::string::npos);
+  EXPECT_NE(text.find("v=0"), std::string::npos);
+}
+
+TEST(TraceRecorder, FilterSelectsByAction) {
+  ZeroProtocol proto(Graph::path(2), 2);
+  CentralDaemon daemon;
+  Rng rng(3);
+  Simulator sim(proto, daemon, rng);
+  TraceRecorder trace(proto);
+  sim.setMoveObserver([&trace](const Move& m) { trace.record(m); });
+  (void)sim.runToQuiescence(100);
+  EXPECT_FALSE(trace.renderFiltered({"Zero"}).empty());
+  EXPECT_TRUE(trace.renderFiltered({"NoSuchAction"}).empty());
+}
+
+TEST(TraceRecorder, ClearResets) {
+  ZeroProtocol proto(Graph::path(2), 2);
+  TraceRecorder trace(proto);
+  trace.record(Move{0, 0});
+  trace.clear();
+  EXPECT_TRUE(trace.events().empty());
+}
+
+}  // namespace
+}  // namespace ssno
