@@ -9,82 +9,48 @@
 // baseline, which drops to zero availability after the first fault and
 // never recovers (its availability column measures time until first
 // corruption only).
+//
+// Trial execution is delegated to the src/exp harness (the "churn"
+// preset: dftno-churn and baseline-churn at each rate); this file only
+// renders the comparison table.
 #include <benchmark/benchmark.h>
+
+#include <map>
 
 #include "bench_util.hpp"
 #include "core/fault.hpp"
-#include "orientation/baseline.hpp"
+#include "exp/scenario.hpp"
 
 namespace ssno::bench {
 namespace {
-
-struct ChurnResult {
-  double availability = 0;  ///< fraction of moves with valid orientation
-  double faults = 0;
-};
-
-ChurnResult churnDftno(const Graph& g, double rate, StepCount horizon,
-                       std::uint64_t seed) {
-  Dftno dftno(g);
-  Rng rng(seed);
-  dftno.randomize(rng);
-  RoundRobinDaemon daemon;
-  Simulator sim(dftno, daemon, rng);
-  FaultInjector inj(dftno);
-  ChurnResult res;
-  StepCount legitMoves = 0;
-  for (StepCount t = 0; t < horizon; ++t) {
-    if (rng.chance(rate)) {
-      inj.corruptK(1, rng);
-      res.faults += 1;
-    }
-    (void)sim.stepOnce();
-    if (dftno.isLegitimate()) ++legitMoves;
-  }
-  res.availability = static_cast<double>(legitMoves) /
-                     static_cast<double>(horizon);
-  return res;
-}
-
-ChurnResult churnBaseline(const Graph& g, double rate, StepCount horizon,
-                          std::uint64_t seed) {
-  InitBasedOrientation base(g);
-  Rng rng(seed);
-  base.initializeAll();
-  RoundRobinDaemon daemon;
-  Simulator sim(base, daemon, rng);
-  FaultInjector inj(base);
-  ChurnResult res;
-  StepCount okMoves = 0;
-  for (StepCount t = 0; t < horizon; ++t) {
-    if (rng.chance(rate)) {
-      inj.corruptK(1, rng);
-      res.faults += 1;
-    }
-    (void)sim.stepOnce();
-    if (base.isCorrect()) ++okMoves;
-  }
-  res.availability = static_cast<double>(okMoves) /
-                     static_cast<double>(horizon);
-  return res;
-}
 
 void tables() {
   printHeader("EXP-13  availability under fault churn (extension)",
               "self-stabilization turns transient faults into bounded "
               "unavailability; init-based systems never recover");
-  const Graph g = Graph::grid(3, 4);
-  constexpr StepCount kHorizon = 40'000;
+  const std::vector<exp::Scenario> scenarios = exp::makePreset("churn");
+  const std::vector<exp::ScenarioResult> results =
+      exp::ExperimentRunner().runAll(scenarios);
+
+  // Pair the dftno / baseline runs of each rate.
+  std::map<double, const exp::ScenarioResult*> dftno, baseline;
+  for (const exp::ScenarioResult& r : results) {
+    (r.scenario.protocol == exp::ProtocolKind::kDftnoChurn
+         ? dftno
+         : baseline)[r.scenario.faultRate] = &r;
+  }
+
   std::printf("grid(3x4), horizon %lld moves, 1-node faults at rate λ:\n",
-              static_cast<long long>(kHorizon));
+              static_cast<long long>(scenarios.front().budget));
   std::printf("%-10s | %14s %8s | %14s %8s\n", "λ", "DFTNO avail.",
               "faults", "baseline avail.", "faults");
-  for (double rate : {0.0001, 0.0005, 0.002, 0.01}) {
-    const ChurnResult d = churnDftno(g, rate, kHorizon, 0xC0DE);
-    const ChurnResult b = churnBaseline(g, rate, kHorizon, 0xC0DE);
+  for (const auto& [rate, d] : dftno) {
+    const exp::ScenarioResult* b = baseline.at(rate);
     std::printf("%-10g | %13.1f%% %8.0f | %13.1f%% %8.0f\n", rate,
-                100 * d.availability, d.faults, 100 * b.availability,
-                b.faults);
+                100 * d->metric("availability").mean,
+                d->metric("faults").mean,
+                100 * b->metric("availability").mean,
+                b->metric("faults").mean);
   }
   std::printf("  (baseline availability ≈ time before its first fault "
               "only; it stays broken afterwards)\n");

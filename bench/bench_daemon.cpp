@@ -32,7 +32,7 @@ void tables() {
                 daemonKindName(kind).c_str(),
                 cost.substrateMoves.mean + cost.overlayMoves.mean,
                 cost.substrateMoves.p95 + cost.overlayMoves.p95,
-                cost.allConverged ? "10/10" : "FAILED");
+                convergedLabel(cost.trials, cost.failedTrials).c_str());
   }
   std::printf("  (adversarial daemon omitted: weak fairness is required "
               "— proven by exhaustive model checking)\n");
@@ -48,7 +48,7 @@ void tables() {
                 daemonKindName(kind).c_str(),
                 cost.treeMoves.mean + cost.overlayMoves.mean,
                 cost.treeMoves.p95 + cost.overlayMoves.p95,
-                cost.allConverged ? "10/10" : "FAILED");
+                convergedLabel(cost.trials, cost.failedTrials).c_str());
   }
 }
 

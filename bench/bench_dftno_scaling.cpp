@@ -8,29 +8,39 @@
 // is Θ(m) = Θ(n·Δ) (the token walks every edge once per round; on
 // bounded degree that is still O(n)).  A least-squares fit against n
 // checks linearity (R² close to 1, per-node cost flat).
+//
+// Trial execution is delegated to the src/exp harness (the
+// "dftno-scaling" preset); this file only renders tables and fits.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "exp/scenario.hpp"
 
 namespace ssno::bench {
 namespace {
 
-constexpr int kTrials = 10;
+/// The preset's scenarios for one topology family, in preset order.
+std::vector<exp::ScenarioResult> familyRows(
+    const std::vector<exp::ScenarioResult>& all, exp::TopologyFamily family) {
+  std::vector<exp::ScenarioResult> rows;
+  for (const exp::ScenarioResult& r : all)
+    if (r.scenario.topology.family == family) rows.push_back(r);
+  return rows;
+}
 
-void runSeries(const char* family, const std::vector<int>& sizes,
-               const std::function<Graph(int)>& make) {
-  std::vector<double> xs, ys, rys;
-  std::printf("%-12s %6s %8s %14s %14s %12s\n", "family", "n", "m",
-              "subst.moves", "orient.moves", "moves/n");
-  for (int n : sizes) {
-    const Graph g = make(n);
-    const DftnoCost cost =
-        measureDftno(g, DaemonKind::kRoundRobin, kTrials, 0xA11CE);
-    std::printf("%-12s %6d %8d %14.1f %14.1f %12.2f\n", family, n,
-                g.edgeCount(), cost.substrateMoves.mean,
-                cost.overlayMoves.mean, cost.overlayMoves.mean / n);
-    xs.push_back(n);
-    ys.push_back(cost.overlayMoves.mean);
+void printSeries(const char* label,
+                 const std::vector<exp::ScenarioResult>& rows) {
+  std::vector<double> xs, ys;
+  std::printf("%-12s %6s %8s %14s %14s %12s %8s\n", "family", "n", "m",
+              "subst.moves", "orient.moves", "moves/n", "ok");
+  for (const exp::ScenarioResult& r : rows) {
+    const double orient = r.metric("overlay_moves").mean;
+    std::printf("%-12s %6d %8d %14.1f %14.1f %12.2f %8s\n", label,
+                r.nodeCount, r.edgeCount, r.metric("substrate_moves").mean,
+                orient, orient / r.nodeCount,
+                convergedLabel(r.trials, r.failedTrials).c_str());
+    xs.push_back(r.nodeCount);
+    ys.push_back(orient);
   }
   printFit("orient.moves vs n", fitLinear(xs, ys));
 }
@@ -38,29 +48,30 @@ void runSeries(const char* family, const std::vector<int>& sizes,
 void tables() {
   printHeader("EXP-1  DFTNO stabilization after L_TC vs n",
               "O(n) steps after the token circulation stabilizes");
-  runSeries("ring", {8, 16, 32, 64, 128},
-            [](int n) { return Graph::ring(n); });
-  runSeries("path", {8, 16, 32, 64, 128},
-            [](int n) { return Graph::path(n); });
-  runSeries("binarytree", {7, 15, 31, 63, 127},
-            [](int n) { return Graph::kAryTree(n, 2); });
-  runSeries("caterpillar", {9, 18, 36, 72},
-            [](int n) { return Graph::caterpillar(n / 3, 2); });
+  const exp::ExperimentRunner runner;
+  const std::vector<exp::ScenarioResult> all =
+      runner.runAll(exp::makePreset("dftno-scaling"));
+
+  printSeries("ring", familyRows(all, exp::TopologyFamily::kRing));
+  printSeries("path", familyRows(all, exp::TopologyFamily::kPath));
+  printSeries("binarytree", familyRows(all, exp::TopologyFamily::kKAryTree));
+  printSeries("caterpillar",
+              familyRows(all, exp::TopologyFamily::kCaterpillar));
+
   // Dense family: cost is Θ(m); report m-normalized to show the token-
   // walk origin of the constant.
   std::printf("\ndense families (cost tracks m = |E|):\n");
-  std::printf("%-12s %6s %8s %14s %12s\n", "family", "n", "m",
-              "orient.moves", "moves/m");
+  std::printf("%-12s %6s %8s %14s %12s %8s\n", "family", "n", "m",
+              "orient.moves", "moves/m", "ok");
   std::vector<double> xs, ys;
-  for (int n : {6, 9, 12, 16, 20}) {
-    const Graph g = Graph::complete(n);
-    const DftnoCost cost =
-        measureDftno(g, DaemonKind::kRoundRobin, kTrials, 0xA11CE);
-    std::printf("%-12s %6d %8d %14.1f %12.2f\n", "complete", n,
-                g.edgeCount(), cost.overlayMoves.mean,
-                cost.overlayMoves.mean / g.edgeCount());
-    xs.push_back(g.edgeCount());
-    ys.push_back(cost.overlayMoves.mean);
+  for (const exp::ScenarioResult& r :
+       familyRows(all, exp::TopologyFamily::kComplete)) {
+    const double orient = r.metric("overlay_moves").mean;
+    std::printf("%-12s %6d %8d %14.1f %12.2f %8s\n", "complete", r.nodeCount,
+                r.edgeCount, orient, orient / r.edgeCount,
+                convergedLabel(r.trials, r.failedTrials).c_str());
+    xs.push_back(r.edgeCount);
+    ys.push_back(orient);
   }
   printFit("orient.moves vs m", fitLinear(xs, ys));
 }

@@ -35,7 +35,7 @@ void tables() {
     std::printf("%-16s %6d | %12.1f %12.1f | %10s\n", c.name,
                 c.g.nodeCount(), cost.substrateMoves.mean,
                 cost.overlayMoves.mean,
-                cost.allConverged ? "10/10" : "FAILED");
+                convergedLabel(cost.trials, cost.failedTrials).c_str());
   }
 
   std::printf("\nSTNO (distributed daemon):\n");
@@ -47,7 +47,7 @@ void tables() {
     std::printf("%-16s %6d | %12.1f %12.1f | %10s\n", c.name,
                 c.g.nodeCount(), cost.treeMoves.mean,
                 cost.overlayMoves.mean,
-                cost.allConverged ? "10/10" : "FAILED");
+                convergedLabel(cost.trials, cost.failedTrials).c_str());
   }
 }
 

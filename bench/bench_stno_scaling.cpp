@@ -9,88 +9,68 @@
 // star (h=1), k-ary trees (h=log_k n .. ), caterpillar, path (h=n−1).
 // A fit of rounds against h checks the O(h) claim; a fit against n on
 // the star family shows the cost does NOT scale with n.
+//
+// Trial execution is delegated to the src/exp harness (the fixed-tree
+// "stno-height" / "stno-star-control" presets and the composed
+// "stno-scaling" preset); this file only renders tables and fits.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
 #include "core/graph_algo.hpp"
+#include "exp/scenario.hpp"
 #include "sptree/dfs_tree.hpp"
 
 namespace ssno::bench {
 namespace {
 
-constexpr int kTrials = 10;
-
-/// Rounds from (fixed legitimate tree, scrambled overlay) to silence —
-/// isolating the paper's "after the spanning tree stabilizes" phase.
-Summary overlayRoundsOnFixedTree(const Graph& g,
-                                 const std::vector<NodeId>& parents,
-                                 int trials, std::uint64_t seed) {
-  std::vector<double> rounds;
-  for (int t = 0; t < trials; ++t) {
-    Stno stno(g, parents);
-    Rng rng(seed + static_cast<std::uint64_t>(t) * 17);
-    stno.randomize(rng);
-    SynchronousDaemon daemon;
-    Simulator sim(stno, daemon, rng);
-    const RunStats stats = sim.runToQuiescence(200'000'000);
-    if (!stats.terminal) continue;
-    rounds.push_back(static_cast<double>(stats.rounds));
-  }
-  return summarize(std::move(rounds));
+/// Height of the port-order DFS tree the kStnoFixedTree scenarios run on.
+int fixedTreeHeight(const exp::ScenarioResult& r) {
+  const Graph g = r.scenario.topology.build();
+  return treeHeight(g, portOrderDfsTree(g));
 }
 
 void tables() {
   printHeader("EXP-2  STNO stabilization after L_ST vs tree height h",
               "O(h) steps after the spanning tree stabilizes");
-  struct Row {
-    const char* family;
-    Graph g;
-  };
-  std::vector<Row> rows;
-  rows.push_back({"star(40)", Graph::star(40)});
-  rows.push_back({"3ary(40)", Graph::kAryTree(40, 3)});
-  rows.push_back({"binary(40)", Graph::kAryTree(40, 2)});
-  rows.push_back({"caterpillar", Graph::caterpillar(13, 2)});
-  rows.push_back({"path(40)", Graph::path(40)});
+  const exp::ExperimentRunner runner;
 
-  std::printf("%-14s %6s %6s %14s %14s\n", "tree", "n", "h",
-              "overlay rounds", "rounds/h");
+  std::printf("%-16s %6s %6s %14s %14s %8s\n", "tree", "n", "h",
+              "overlay rounds", "rounds/h", "ok");
   std::vector<double> hs, rs;
-  for (const Row& row : rows) {
-    const auto parents = portOrderDfsTree(row.g);
-    const int h = treeHeight(row.g, parents);
-    const Summary rounds =
-        overlayRoundsOnFixedTree(row.g, parents, kTrials, 0xBEE);
-    std::printf("%-14s %6d %6d %14.1f %14.2f\n", row.family,
-                row.g.nodeCount(), h, rounds.mean,
-                rounds.mean / std::max(1, h));
+  for (const exp::ScenarioResult& r :
+       runner.runAll(exp::makePreset("stno-height"))) {
+    const int h = fixedTreeHeight(r);
+    const double rounds = r.metric("overlay_rounds").mean;
+    std::printf("%-16s %6d %6d %14.1f %14.2f %8s\n",
+                r.scenario.topology.name().c_str(), r.nodeCount, h, rounds,
+                rounds / std::max(1, h),
+                convergedLabel(r.trials, r.failedTrials).c_str());
     hs.push_back(h);
-    rs.push_back(rounds.mean);
+    rs.push_back(rounds);
   }
   printFit("overlay rounds vs h", fitLinear(hs, rs));
 
   // Control: growing n at fixed height (stars) must NOT grow the cost.
   std::printf("\ncontrol: stars of increasing n (h = 1 throughout):\n");
-  std::printf("%-10s %6s %14s\n", "tree", "n", "overlay rounds");
-  for (int n : {10, 20, 40, 80, 160}) {
-    const Graph g = Graph::star(n);
-    const auto parents = portOrderDfsTree(g);
-    const Summary rounds =
-        overlayRoundsOnFixedTree(g, parents, kTrials, 0xBEE);
-    std::printf("%-10s %6d %14.1f\n", "star", n, rounds.mean);
+  std::printf("%-16s %6s %14s %8s\n", "tree", "n", "overlay rounds", "ok");
+  for (const exp::ScenarioResult& r :
+       runner.runAll(exp::makePreset("stno-star-control"))) {
+    std::printf("%-16s %6d %14.1f %8s\n", "star", r.nodeCount,
+                r.metric("overlay_rounds").mean,
+                convergedLabel(r.trials, r.failedTrials).c_str());
   }
 
   // Composed run (self-stabilizing BFS substrate): total split.
   std::printf("\ncomposed (BFS-tree substrate), distributed daemon:\n");
-  std::printf("%-12s %6s %6s %12s %14s %14s\n", "graph", "n", "h(bfs)",
-              "tree moves", "orient.moves", "orient.rounds");
-  for (int n : {10, 20, 40}) {
-    const Graph g = Graph::path(n);
-    const StnoCost cost =
-        measureStno(g, DaemonKind::kDistributed, kTrials, 0xFACE);
-    std::printf("%-12s %6d %6d %12.1f %14.1f %14.1f\n", "path", n, n - 1,
-                cost.treeMoves.mean, cost.overlayMoves.mean,
-                cost.overlayRounds.mean);
+  std::printf("%-12s %6s %6s %12s %14s %14s %8s\n", "graph", "n", "h(bfs)",
+              "tree moves", "orient.moves", "orient.rounds", "ok");
+  for (const exp::ScenarioResult& r :
+       runner.runAll(exp::makePreset("stno-scaling"))) {
+    std::printf("%-12s %6d %6d %12.1f %14.1f %14.1f %8s\n", "path",
+                r.nodeCount, r.nodeCount - 1, r.metric("tree_moves").mean,
+                r.metric("overlay_moves").mean,
+                r.metric("overlay_rounds").mean,
+                convergedLabel(r.trials, r.failedTrials).c_str());
   }
 }
 

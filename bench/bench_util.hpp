@@ -1,7 +1,13 @@
-// Shared helpers for the experiment harness.  Each bench binary
-// regenerates one experiment from DESIGN.md's index (EXP-1..EXP-12):
-// it prints a paper-style table of rows to stdout and registers
-// google-benchmark timings for the underlying simulations.
+// Shared helpers for the bench binaries.  Each bench regenerates one
+// experiment from DESIGN.md's index (EXP-1..EXP-13): it prints a
+// paper-style table of rows to stdout and registers google-benchmark
+// timings for the underlying simulations.
+//
+// Trial execution lives in the src/exp harness (multi-threaded, with
+// deterministic per-trial seeding); the measure* wrappers here keep the
+// older benches' call sites small.  Failed (non-converged) trials are
+// counted and must be surfaced in every table — never silently averaged
+// away.
 #ifndef SSNO_BENCH_BENCH_UTIL_HPP
 #define SSNO_BENCH_BENCH_UTIL_HPP
 
@@ -14,46 +20,39 @@
 #include "core/rng.hpp"
 #include "core/scheduler.hpp"
 #include "core/stats.hpp"
+#include "exp/runner.hpp"
 #include "orientation/dftno.hpp"
 #include "orientation/stno.hpp"
 
 namespace ssno::bench {
 
 /// Cost of stabilizing DFTNO split at the substrate boundary, averaged
-/// over `trials` scrambled starts.
+/// over the trials that converged within budget; `failedTrials` counts
+/// the rest.
 struct DftnoCost {
   Summary substrateMoves;  ///< moves until L_TC
   Summary overlayMoves;    ///< further moves until L_NO
   Summary overlayRounds;
-  bool allConverged = true;
+  int trials = 0;
+  int failedTrials = 0;
 };
 
 inline DftnoCost measureDftno(const Graph& g, DaemonKind kind, int trials,
                               std::uint64_t seed,
                               StepCount budget = 200'000'000) {
+  exp::Scenario s;
+  s.protocol = exp::ProtocolKind::kDftno;
+  s.daemon = kind;
+  s.trials = trials;
+  s.seed = seed;
+  s.budget = budget;
+  const exp::ScenarioResult r = exp::ExperimentRunner().runOnGraph(s, g);
   DftnoCost cost;
-  std::vector<double> sub, over, rounds;
-  for (int t = 0; t < trials; ++t) {
-    Dftno dftno(g);
-    Rng rng(seed + static_cast<std::uint64_t>(t) * 101);
-    dftno.randomize(rng);
-    auto daemon = makeDaemon(kind);
-    Simulator sim(dftno, *daemon, rng);
-    const RunStats s1 = sim.runUntil(
-        [&dftno] { return dftno.substrateLegitimate(); }, budget);
-    const RunStats s2 =
-        sim.runUntil([&dftno] { return dftno.isLegitimate(); }, budget);
-    if (!s1.converged || !s2.converged) {
-      cost.allConverged = false;
-      continue;
-    }
-    sub.push_back(static_cast<double>(s1.moves));
-    over.push_back(static_cast<double>(s2.moves));
-    rounds.push_back(static_cast<double>(s2.rounds));
-  }
-  cost.substrateMoves = summarize(std::move(sub));
-  cost.overlayMoves = summarize(std::move(over));
-  cost.overlayRounds = summarize(std::move(rounds));
+  cost.substrateMoves = r.metric("substrate_moves");
+  cost.overlayMoves = r.metric("overlay_moves");
+  cost.overlayRounds = r.metric("overlay_rounds");
+  cost.trials = r.trials;
+  cost.failedTrials = r.failedTrials;
   return cost;
 }
 
@@ -62,36 +61,31 @@ struct StnoCost {
   Summary treeMoves;      ///< moves until L_ST
   Summary overlayMoves;   ///< further moves until silent
   Summary overlayRounds;  ///< further rounds until silent
-  bool allConverged = true;
+  int trials = 0;
+  int failedTrials = 0;
 };
 
 inline StnoCost measureStno(const Graph& g, DaemonKind kind, int trials,
                             std::uint64_t seed,
                             StepCount budget = 200'000'000) {
+  exp::Scenario s;
+  s.protocol = exp::ProtocolKind::kStno;
+  s.daemon = kind;
+  s.trials = trials;
+  s.seed = seed;
+  s.budget = budget;
+  const exp::ScenarioResult r = exp::ExperimentRunner().runOnGraph(s, g);
   StnoCost cost;
-  std::vector<double> tree, over, rounds;
-  for (int t = 0; t < trials; ++t) {
-    Stno stno(g);
-    Rng rng(seed + static_cast<std::uint64_t>(t) * 77);
-    stno.randomize(rng);
-    auto daemon = makeDaemon(kind);
-    Simulator sim(stno, *daemon, rng);
-    const RunStats s1 = sim.runUntil(
-        [&stno] { return stno.substrateLegitimate(); }, budget);
-    const RunStats s2 = sim.runToQuiescence(budget);
-    if (!s1.converged || !s2.terminal) {
-      cost.allConverged = false;
-      continue;
-    }
-    tree.push_back(static_cast<double>(s1.moves));
-    over.push_back(static_cast<double>(s2.moves));
-    rounds.push_back(static_cast<double>(s2.rounds));
-  }
-  cost.treeMoves = summarize(std::move(tree));
-  cost.overlayMoves = summarize(std::move(over));
-  cost.overlayRounds = summarize(std::move(rounds));
+  cost.treeMoves = r.metric("tree_moves");
+  cost.overlayMoves = r.metric("overlay_moves");
+  cost.overlayRounds = r.metric("overlay_rounds");
+  cost.trials = r.trials;
+  cost.failedTrials = r.failedTrials;
   return cost;
 }
+
+/// "10/10" | "7/10" convergence column used by the tables.
+using exp::convergedLabel;
 
 inline void printHeader(const std::string& experiment,
                         const std::string& claim) {

@@ -1,0 +1,145 @@
+// exp_cli — drive the src/exp experiment harness from the command line.
+//
+//   exp_cli list
+//   exp_cli run <scenario-or-preset> [options]
+//
+// A scenario is either a preset name (see `list`) or a dynamic triple
+// "protocol/daemon/topology", e.g. stno/distributed/torus:4x4 or
+// dftno/round-robin/chordring:16:2,5.
+//
+// Options:
+//   --trials N    trials per scenario        (default: scenario's own)
+//   --threads N   worker threads             (default: hardware)
+//   --seed S      base RNG seed              (default: scenario's own)
+//   --budget B    move budget / churn horizon
+//   --rate R      fault rate (churn protocols)
+//   --csv FILE    write long-form CSV        (- for stdout)
+//   --json FILE   write JSON                 (- for stdout)
+//   --quiet       suppress the human-readable table
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+
+namespace {
+
+using ssno::exp::ExperimentRunner;
+using ssno::exp::Scenario;
+using ssno::exp::ScenarioResult;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: exp_cli list\n"
+               "       exp_cli run <scenario-or-preset> [--trials N] "
+               "[--threads N]\n"
+               "               [--seed S] [--budget B] [--rate R]\n"
+               "               [--csv FILE] [--json FILE] [--quiet]\n");
+  return 2;
+}
+
+void listScenarios() {
+  std::printf("presets:\n");
+  for (const std::string& name : ssno::exp::presetNames()) {
+    std::printf("  %-20s (%zu scenarios)\n", name.c_str(),
+                ssno::exp::makePreset(name).size());
+  }
+  std::printf(
+      "\ndynamic scenarios: protocol/daemon/topology\n"
+      "  protocols: dftno stno stno-fixed-tree dftno-churn baseline-churn\n"
+      "  daemons:   central distributed synchronous round-robin adversarial\n"
+      "  topology:  ring:N path:N star:N complete:N hypercube:D grid:RxC\n"
+      "             torus:RxC kary:NxK caterpillar:SxL lollipop:CxT\n"
+      "             rtree:N[:seed] er:N:P[:seed] chordring:N:c1,c2,...\n"
+      "  example:   exp_cli run stno/distributed/torus:4x4 --trials 20\n");
+}
+
+void emit(const std::string& path, const std::string& payload,
+          const char* what) {
+  if (path == "-") {
+    std::cout << payload;
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error(std::string("cannot open ") + path);
+  out << payload;
+  std::fprintf(stderr, "wrote %s to %s\n", what, path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage();
+  if (args[0] == "list") {
+    listScenarios();
+    return 0;
+  }
+  if (args[0] != "run" || args.size() < 2) return usage();
+
+  const std::string target = args[1];
+  std::optional<int> trials, threads;
+  std::optional<std::uint64_t> seed;
+  std::optional<ssno::StepCount> budget;
+  std::optional<double> rate;
+  std::string csvPath, jsonPath;
+  bool quiet = false;
+  try {
+    for (std::size_t i = 2; i < args.size(); ++i) {
+      auto value = [&]() -> std::string {
+        if (i + 1 >= args.size())
+          throw std::invalid_argument(args[i] + " needs a value");
+        return args[++i];
+      };
+      if (args[i] == "--trials") trials = std::stoi(value());
+      else if (args[i] == "--threads") threads = std::stoi(value());
+      else if (args[i] == "--seed") seed = std::stoull(value());
+      else if (args[i] == "--budget") budget = std::stoll(value());
+      else if (args[i] == "--rate") rate = std::stod(value());
+      else if (args[i] == "--csv") csvPath = value();
+      else if (args[i] == "--json") jsonPath = value();
+      else if (args[i] == "--quiet") quiet = true;
+      else throw std::invalid_argument("unknown option " + args[i]);
+    }
+
+    std::vector<Scenario> scenarios = ssno::exp::resolve(target);
+    for (Scenario& s : scenarios) {
+      if (trials) s.trials = *trials;
+      if (seed) s.seed = *seed;
+      if (budget) s.budget = *budget;
+      if (rate) {
+        s.faultRate = *rate;
+        // Preset names bake the rate in; keep the label truthful.
+        if (const auto tag = s.name.rfind("/rate="); tag != std::string::npos) {
+          std::ostringstream label;
+          label << s.name.substr(0, tag) << "/rate=" << *rate;
+          s.name = label.str();
+        }
+      }
+    }
+    // A --rate override can collapse a preset's rate variants into
+    // identical scenarios; run each distinct name once.
+    std::set<std::string> seen;
+    std::erase_if(scenarios, [&seen](const Scenario& s) {
+      return !seen.insert(s.name).second;
+    });
+
+    const ExperimentRunner runner(threads.value_or(0));
+    const std::vector<ScenarioResult> results = runner.runAll(scenarios);
+
+    if (!quiet) ssno::exp::printTable(std::cout, results);
+    if (!csvPath.empty()) emit(csvPath, ssno::exp::toCsv(results), "CSV");
+    if (!jsonPath.empty()) emit(jsonPath, ssno::exp::toJson(results), "JSON");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "exp_cli: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

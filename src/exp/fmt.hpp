@@ -1,0 +1,21 @@
+// Tiny shared formatting helpers for the exp subsystem.
+#ifndef SSNO_EXP_FMT_HPP
+#define SSNO_EXP_FMT_HPP
+
+#include <charconv>
+#include <string>
+#include <system_error>
+
+namespace ssno::exp {
+
+/// Shortest decimal rendering that parses back to the identical double;
+/// keeps spec names and CSV/JSON output byte-stable and round-trippable.
+[[nodiscard]] inline std::string shortestDouble(double v) {
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, end) : "0";
+}
+
+}  // namespace ssno::exp
+
+#endif  // SSNO_EXP_FMT_HPP

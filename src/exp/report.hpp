@@ -1,0 +1,33 @@
+// Machine-readable emitters for scenario results.
+//
+// CSV is long-form: one row per (scenario, metric) pair, so the files load
+// straight into dataframes without pivoting.  JSON mirrors the full
+// ScenarioResult structure (scenario parameters, graph size, failed-trial
+// count, per-metric summaries) for the BENCH_*.json trajectory tooling.
+#ifndef SSNO_EXP_REPORT_HPP
+#define SSNO_EXP_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace ssno::exp {
+
+/// The CSV column schema, as the header row (no trailing newline).
+[[nodiscard]] std::string csvHeader();
+
+void writeCsv(std::ostream& out, const std::vector<ScenarioResult>& results);
+void writeJson(std::ostream& out, const std::vector<ScenarioResult>& results);
+
+[[nodiscard]] std::string toCsv(const std::vector<ScenarioResult>& results);
+[[nodiscard]] std::string toJson(const std::vector<ScenarioResult>& results);
+
+/// Human-readable fixed-width table (one line per scenario × metric),
+/// used by exp_cli and the ported benches.
+void printTable(std::ostream& out, const std::vector<ScenarioResult>& results);
+
+}  // namespace ssno::exp
+
+#endif  // SSNO_EXP_REPORT_HPP

@@ -1,0 +1,226 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "core/fault.hpp"
+#include "core/rng.hpp"
+#include "core/scheduler.hpp"
+#include "orientation/baseline.hpp"
+#include "orientation/dftno.hpp"
+#include "orientation/stno.hpp"
+#include "sptree/dfs_tree.hpp"
+
+namespace ssno::exp {
+namespace {
+
+TrialResult dftnoTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
+  Dftno dftno(g);
+  Rng rng(seed);
+  dftno.randomize(rng);
+  auto daemon = makeDaemon(s.daemon);
+  Simulator sim(dftno, *daemon, rng);
+  const RunStats s1 = sim.runUntil(
+      [&dftno] { return dftno.substrateLegitimate(); }, s.budget);
+  const RunStats s2 =
+      sim.runUntil([&dftno] { return dftno.isLegitimate(); }, s.budget);
+  TrialResult r;
+  r.converged = s1.converged && s2.converged;
+  if (r.converged) {
+    r.metrics = {{"substrate_moves", static_cast<double>(s1.moves)},
+                 {"overlay_moves", static_cast<double>(s2.moves)},
+                 {"overlay_rounds", static_cast<double>(s2.rounds)}};
+  }
+  return r;
+}
+
+TrialResult stnoTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
+  Stno stno(g);
+  Rng rng(seed);
+  stno.randomize(rng);
+  auto daemon = makeDaemon(s.daemon);
+  Simulator sim(stno, *daemon, rng);
+  const RunStats s1 = sim.runUntil(
+      [&stno] { return stno.substrateLegitimate(); }, s.budget);
+  const RunStats s2 = sim.runToQuiescence(s.budget);
+  TrialResult r;
+  r.converged = s1.converged && s2.terminal;
+  if (r.converged) {
+    r.metrics = {{"tree_moves", static_cast<double>(s1.moves)},
+                 {"overlay_moves", static_cast<double>(s2.moves)},
+                 {"overlay_rounds", static_cast<double>(s2.rounds)}};
+  }
+  return r;
+}
+
+TrialResult stnoFixedTreeTrial(const Graph& g, const Scenario& s,
+                               std::uint64_t seed) {
+  Stno stno(g, portOrderDfsTree(g));
+  Rng rng(seed);
+  stno.randomize(rng);
+  auto daemon = makeDaemon(s.daemon);
+  Simulator sim(stno, *daemon, rng);
+  const RunStats stats = sim.runToQuiescence(s.budget);
+  TrialResult r;
+  r.converged = stats.terminal;
+  if (r.converged) {
+    r.metrics = {{"overlay_moves", static_cast<double>(stats.moves)},
+                 {"overlay_rounds", static_cast<double>(stats.rounds)}};
+  }
+  return r;
+}
+
+/// Shared churn loop: step the protocol for `budget` moves, corrupting one
+/// random node with probability faultRate before each step, and track the
+/// fraction of steps spent in a correct configuration.
+template <typename Protocol, typename CorrectFn>
+TrialResult churnTrial(Protocol& protocol, const Scenario& s,
+                       std::uint64_t seed, const CorrectFn& correct) {
+  Rng rng(seed);
+  auto daemon = makeDaemon(s.daemon);
+  Simulator sim(protocol, *daemon, rng);
+  FaultInjector inj(protocol);
+  StepCount okSteps = 0;
+  double faults = 0;
+  for (StepCount t = 0; t < s.budget; ++t) {
+    if (rng.chance(s.faultRate)) {
+      inj.corruptK(1, rng);
+      faults += 1;
+    }
+    (void)sim.stepOnce();
+    if (correct()) ++okSteps;
+  }
+  TrialResult r;
+  r.metrics = {{"availability", static_cast<double>(okSteps) /
+                                    static_cast<double>(s.budget)},
+               {"faults", faults}};
+  return r;
+}
+
+TrialResult dftnoChurnTrial(const Graph& g, const Scenario& s,
+                            std::uint64_t seed) {
+  Dftno dftno(g);
+  Rng init(seed);
+  dftno.randomize(init);
+  return churnTrial(dftno, s, init.next(),
+                    [&dftno] { return dftno.isLegitimate(); });
+}
+
+TrialResult baselineChurnTrial(const Graph& g, const Scenario& s,
+                               std::uint64_t seed) {
+  InitBasedOrientation base(g);
+  base.initializeAll();
+  return churnTrial(base, s, seed, [&base] { return base.isCorrect(); });
+}
+
+}  // namespace
+
+std::string protocolKindName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kDftno: return "dftno";
+    case ProtocolKind::kStno: return "stno";
+    case ProtocolKind::kStnoFixedTree: return "stno-fixed-tree";
+    case ProtocolKind::kDftnoChurn: return "dftno-churn";
+    case ProtocolKind::kBaselineChurn: return "baseline-churn";
+  }
+  return "?";
+}
+
+bool isChurnProtocol(ProtocolKind kind) {
+  return kind == ProtocolKind::kDftnoChurn ||
+         kind == ProtocolKind::kBaselineChurn;
+}
+
+std::string convergedLabel(int trials, int failedTrials) {
+  return std::to_string(trials - failedTrials) + "/" + std::to_string(trials);
+}
+
+Summary ScenarioResult::metric(const std::string& name) const {
+  const auto it = metrics.find(name);
+  return it == metrics.end() ? Summary{} : it->second;
+}
+
+std::uint64_t trialSeed(std::uint64_t scenarioSeed, int trial) {
+  std::uint64_t z = scenarioSeed +
+                    0x9E3779B97F4A7C15ULL *
+                        (static_cast<std::uint64_t>(trial) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+TrialResult runTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
+  switch (s.protocol) {
+    case ProtocolKind::kDftno: return dftnoTrial(g, s, seed);
+    case ProtocolKind::kStno: return stnoTrial(g, s, seed);
+    case ProtocolKind::kStnoFixedTree: return stnoFixedTreeTrial(g, s, seed);
+    case ProtocolKind::kDftnoChurn: return dftnoChurnTrial(g, s, seed);
+    case ProtocolKind::kBaselineChurn: return baselineChurnTrial(g, s, seed);
+  }
+  throw std::invalid_argument("runTrial: unknown protocol kind");
+}
+
+ExperimentRunner::ExperimentRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0)
+    threads_ =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+ScenarioResult ExperimentRunner::run(const Scenario& s) const {
+  return runOnGraph(s, s.topology.build());
+}
+
+ScenarioResult ExperimentRunner::runOnGraph(const Scenario& s,
+                                            const Graph& g) const {
+  if (s.trials <= 0)
+    throw std::invalid_argument("ExperimentRunner: trials must be positive");
+
+  // Fan trials over the pool; slot `t` belongs to trial `t` alone, so
+  // completion order cannot influence the aggregate.
+  std::vector<TrialResult> slots(static_cast<std::size_t>(s.trials));
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (int t = next.fetch_add(1); t < s.trials; t = next.fetch_add(1))
+      slots[static_cast<std::size_t>(t)] =
+          runTrial(g, s, trialSeed(s.seed, t));
+  };
+  const int workers = std::min(threads_, s.trials);
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+
+  ScenarioResult res;
+  res.scenario = s;
+  res.nodeCount = g.nodeCount();
+  res.edgeCount = g.edgeCount();
+  res.trials = s.trials;
+  std::map<std::string, std::vector<double>> samples;
+  for (const TrialResult& trial : slots) {
+    if (!trial.converged) {
+      ++res.failedTrials;
+      continue;
+    }
+    for (const auto& [name, value] : trial.metrics)
+      samples[name].push_back(value);
+  }
+  for (auto& [name, values] : samples)
+    res.metrics[name] = summarize(std::move(values));
+  return res;
+}
+
+std::vector<ScenarioResult> ExperimentRunner::runAll(
+    const std::vector<Scenario>& scenarios) const {
+  std::vector<ScenarioResult> results;
+  results.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) results.push_back(run(s));
+  return results;
+}
+
+}  // namespace ssno::exp

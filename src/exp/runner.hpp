@@ -1,0 +1,117 @@
+// ExperimentRunner — multi-threaded scenario execution with
+// thread-count-independent results.
+//
+// A Scenario is pure data: protocol kind × daemon kind × topology spec ×
+// trial count × seed × budget.  The runner fans the trials of a scenario
+// out over a worker pool; every trial derives its own RNG stream from
+// (scenario seed, trial index) via a splitmix64 mix, writes into its own
+// result slot, and aggregation walks the slots in trial order — so the
+// aggregated ScenarioResult is bit-identical whether the scenario ran on
+// one thread or sixteen (proved by tests/runner_test.cpp).
+//
+// Trials that exhaust their budget without converging are *counted*, not
+// silently dropped: ScenarioResult::failedTrials feeds every report.
+#ifndef SSNO_EXP_RUNNER_HPP
+#define SSNO_EXP_RUNNER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "exp/topology.hpp"
+
+namespace ssno::exp {
+
+enum class ProtocolKind {
+  kDftno,          ///< composed token-circulation orientation (Ch. 3)
+  kStno,           ///< composed spanning-tree orientation (Ch. 4)
+  kStnoFixedTree,  ///< STNO over the fixed port-order DFS tree
+  kDftnoChurn,     ///< DFTNO under sustained fault churn (availability)
+  kBaselineChurn,  ///< init-based orientation under the same churn
+};
+
+[[nodiscard]] std::string protocolKindName(ProtocolKind kind);
+
+/// True for the open-ended fault-churn protocols, whose budget is a step
+/// horizon rather than a convergence bound.
+[[nodiscard]] bool isChurnProtocol(ProtocolKind kind);
+
+/// Default step horizon for churn scenarios (a convergence-style budget
+/// of 2e8 steps would run for hours).
+inline constexpr StepCount kDefaultChurnHorizon = 40'000;
+
+/// "8/10" convergence label shared by tables and reports.
+[[nodiscard]] std::string convergedLabel(int trials, int failedTrials);
+
+struct Scenario {
+  std::string name;  ///< registry key, e.g. "stno/distributed/torus:4x4"
+  ProtocolKind protocol = ProtocolKind::kStno;
+  DaemonKind daemon = DaemonKind::kDistributed;
+  TopologySpec topology;
+  int trials = 10;
+  std::uint64_t seed = 0;
+  /// Move budget per convergence phase; the churn protocols reuse it as
+  /// the step horizon.
+  StepCount budget = 200'000'000;
+  double faultRate = 0.0;  ///< churn protocols: P(one-node fault per move)
+};
+
+/// One trial's named metric samples, in a protocol-defined fixed order.
+struct TrialResult {
+  bool converged = true;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  int nodeCount = 0;
+  int edgeCount = 0;
+  int trials = 0;
+  int failedTrials = 0;  ///< budget exhausted before convergence
+  /// Per-metric summaries over the converged trials only.
+  std::map<std::string, Summary> metrics;
+
+  /// Summary for `name`; an empty (count == 0) Summary if absent.
+  [[nodiscard]] Summary metric(const std::string& name) const;
+};
+
+/// The per-trial RNG seed: a splitmix64 mix of scenario seed and trial
+/// index, so trial streams are decorrelated and independent of threading.
+[[nodiscard]] std::uint64_t trialSeed(std::uint64_t scenarioSeed, int trial);
+
+/// Executes a single trial of `s` on `g` (exposed for tests and for
+/// callers that need raw per-trial data).
+[[nodiscard]] TrialResult runTrial(const Graph& g, const Scenario& s,
+                                   std::uint64_t seed);
+
+class ExperimentRunner {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit ExperimentRunner(int threads = 0);
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Builds the scenario's topology and fans its trials over the pool.
+  [[nodiscard]] ScenarioResult run(const Scenario& s) const;
+
+  /// Same, but on a caller-provided graph (the topology spec is ignored);
+  /// lets benches and tests run scenarios on ad-hoc graphs.
+  [[nodiscard]] ScenarioResult runOnGraph(const Scenario& s,
+                                          const Graph& g) const;
+
+  /// Runs scenarios in order; each scenario's trials are parallel.
+  [[nodiscard]] std::vector<ScenarioResult> runAll(
+      const std::vector<Scenario>& scenarios) const;
+
+ private:
+  int threads_;
+};
+
+}  // namespace ssno::exp
+
+#endif  // SSNO_EXP_RUNNER_HPP

@@ -1,0 +1,160 @@
+#include "exp/scenario.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ssno::exp {
+namespace {
+
+/// Builds a triple-named scenario with the given sweep-wide settings.
+Scenario triple(ProtocolKind protocol, DaemonKind daemon,
+                const std::string& topology, int trials, std::uint64_t seed) {
+  Scenario s;
+  s.protocol = protocol;
+  s.daemon = daemon;
+  s.topology = TopologySpec::parse(topology);
+  s.trials = trials;
+  s.seed = seed;
+  s.name = protocolKindName(protocol) + "/" + daemonKindName(daemon) + "/" +
+           s.topology.name();
+  return s;
+}
+
+std::vector<Scenario> dftnoScalingPreset() {
+  constexpr std::uint64_t kSeed = 0xA11CE;
+  std::vector<Scenario> out;
+  auto add = [&out](const std::string& topo) {
+    out.push_back(
+        triple(ProtocolKind::kDftno, DaemonKind::kRoundRobin, topo, 10, kSeed));
+  };
+  for (int n : {8, 16, 32, 64, 128}) add("ring:" + std::to_string(n));
+  for (int n : {8, 16, 32, 64, 128}) add("path:" + std::to_string(n));
+  for (int n : {7, 15, 31, 63, 127}) add("kary:" + std::to_string(n) + "x2");
+  for (int spine : {3, 6, 12, 24})
+    add("caterpillar:" + std::to_string(spine) + "x2");
+  for (int n : {6, 9, 12, 16, 20}) add("complete:" + std::to_string(n));
+  return out;
+}
+
+std::vector<Scenario> stnoHeightPreset() {
+  constexpr std::uint64_t kSeed = 0xBEE;
+  std::vector<Scenario> out;
+  for (const char* topo :
+       {"star:40", "kary:40x3", "kary:40x2", "caterpillar:13x2", "path:40"})
+    out.push_back(triple(ProtocolKind::kStnoFixedTree,
+                         DaemonKind::kSynchronous, topo, 10, kSeed));
+  return out;
+}
+
+std::vector<Scenario> stnoStarControlPreset() {
+  constexpr std::uint64_t kSeed = 0xBEE;
+  std::vector<Scenario> out;
+  for (int n : {10, 20, 40, 80, 160})
+    out.push_back(triple(ProtocolKind::kStnoFixedTree,
+                         DaemonKind::kSynchronous,
+                         "star:" + std::to_string(n), 10, kSeed));
+  return out;
+}
+
+std::vector<Scenario> stnoScalingPreset() {
+  constexpr std::uint64_t kSeed = 0xFACE;
+  std::vector<Scenario> out;
+  for (int n : {10, 20, 40})
+    out.push_back(triple(ProtocolKind::kStno, DaemonKind::kDistributed,
+                         "path:" + std::to_string(n), 10, kSeed));
+  return out;
+}
+
+std::vector<Scenario> churnPreset() {
+  constexpr std::uint64_t kSeed = 0xC0DE;
+  std::vector<Scenario> out;
+  for (double rate : {0.0001, 0.0005, 0.002, 0.01}) {
+    for (ProtocolKind protocol :
+         {ProtocolKind::kDftnoChurn, ProtocolKind::kBaselineChurn}) {
+      Scenario s = triple(protocol, DaemonKind::kRoundRobin, "grid:3x4", 3,
+                          kSeed);
+      s.faultRate = rate;
+      s.budget = 40'000;  // step horizon, not a convergence budget
+      std::ostringstream name;
+      name << s.name << "/rate=" << rate;
+      s.name = name.str();
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+std::vector<Scenario> daemonSweepPreset() {
+  constexpr std::uint64_t kSeed = 0xDAE;
+  std::vector<Scenario> out;
+  for (DaemonKind daemon :
+       {DaemonKind::kCentral, DaemonKind::kDistributed,
+        DaemonKind::kSynchronous, DaemonKind::kRoundRobin})
+    out.push_back(
+        triple(ProtocolKind::kDftno, daemon, "grid:4x5", 10, kSeed));
+  for (DaemonKind daemon :
+       {DaemonKind::kCentral, DaemonKind::kDistributed,
+        DaemonKind::kSynchronous, DaemonKind::kRoundRobin,
+        DaemonKind::kAdversarial})
+    out.push_back(triple(ProtocolKind::kStno, daemon, "grid:4x5", 10, kSeed));
+  return out;
+}
+
+}  // namespace
+
+ProtocolKind parseProtocolKind(const std::string& name) {
+  for (ProtocolKind kind :
+       {ProtocolKind::kDftno, ProtocolKind::kStno,
+        ProtocolKind::kStnoFixedTree, ProtocolKind::kDftnoChurn,
+        ProtocolKind::kBaselineChurn})
+    if (protocolKindName(kind) == name) return kind;
+  throw std::invalid_argument("unknown protocol '" + name + "'");
+}
+
+DaemonKind parseDaemonKind(const std::string& name) {
+  for (DaemonKind kind :
+       {DaemonKind::kCentral, DaemonKind::kDistributed,
+        DaemonKind::kSynchronous, DaemonKind::kRoundRobin,
+        DaemonKind::kAdversarial})
+    if (daemonKindName(kind) == name) return kind;
+  throw std::invalid_argument("unknown daemon '" + name + "'");
+}
+
+Scenario parseScenario(const std::string& name) {
+  const auto first = name.find('/');
+  const auto second =
+      first == std::string::npos ? std::string::npos : name.find('/', first + 1);
+  if (second == std::string::npos || second + 1 == name.size())
+    throw std::invalid_argument(
+        "scenario '" + name + "' is not protocol/daemon/topology");
+  Scenario s;
+  s.protocol = parseProtocolKind(name.substr(0, first));
+  s.daemon = parseDaemonKind(name.substr(first + 1, second - first - 1));
+  s.topology = TopologySpec::parse(name.substr(second + 1));
+  s.name = name;
+  if (isChurnProtocol(s.protocol)) s.budget = kDefaultChurnHorizon;
+  return s;
+}
+
+std::vector<std::string> presetNames() {
+  return {"dftno-scaling", "stno-height", "stno-star-control",
+          "stno-scaling", "churn", "daemon-sweep"};
+}
+
+std::vector<Scenario> makePreset(const std::string& name) {
+  if (name == "dftno-scaling") return dftnoScalingPreset();
+  if (name == "stno-height") return stnoHeightPreset();
+  if (name == "stno-star-control") return stnoStarControlPreset();
+  if (name == "stno-scaling") return stnoScalingPreset();
+  if (name == "churn") return churnPreset();
+  if (name == "daemon-sweep") return daemonSweepPreset();
+  throw std::invalid_argument("unknown preset '" + name + "'");
+}
+
+std::vector<Scenario> resolve(const std::string& name) {
+  for (const std::string& preset : presetNames())
+    if (name == preset) return makePreset(name);
+  return {parseScenario(name)};
+}
+
+}  // namespace ssno::exp

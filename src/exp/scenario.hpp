@@ -1,0 +1,44 @@
+// Scenario registry: names → runnable scenarios.
+//
+// Two kinds of names resolve:
+//  * dynamic triples  "protocol/daemon/topology", e.g.
+//    "stno/distributed/torus:4x4" or "dftno/round-robin/chordring:16:2,5" —
+//    parsed on the fly (protocol and daemon by name, topology by the
+//    TopologySpec grammar);
+//  * presets — curated sweeps reproducing the paper experiments
+//    (dftno-scaling, stno-height, stno-star-control, stno-scaling, churn,
+//    daemon-sweep), each expanding to a vector of scenarios.
+//
+// resolve() accepts either and returns the scenario list ready for an
+// ExperimentRunner.
+#ifndef SSNO_EXP_SCENARIO_HPP
+#define SSNO_EXP_SCENARIO_HPP
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.hpp"
+
+namespace ssno::exp {
+
+/// Inverse of protocolKindName(); throws std::invalid_argument.
+[[nodiscard]] ProtocolKind parseProtocolKind(const std::string& name);
+
+/// Inverse of daemonKindName(); throws std::invalid_argument.
+[[nodiscard]] DaemonKind parseDaemonKind(const std::string& name);
+
+/// Parses a "protocol/daemon/topology" triple; throws on malformed input.
+[[nodiscard]] Scenario parseScenario(const std::string& name);
+
+/// Names of the curated preset sweeps.
+[[nodiscard]] std::vector<std::string> presetNames();
+
+/// Expands a preset to its scenario list; throws on unknown names.
+[[nodiscard]] std::vector<Scenario> makePreset(const std::string& name);
+
+/// Preset name → its scenarios; otherwise a single parsed triple.
+[[nodiscard]] std::vector<Scenario> resolve(const std::string& name);
+
+}  // namespace ssno::exp
+
+#endif  // SSNO_EXP_SCENARIO_HPP

@@ -1,0 +1,294 @@
+#include "exp/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include "exp/fmt.hpp"
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "core/rng.hpp"
+
+namespace ssno::exp {
+namespace {
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("TopologySpec: " + what);
+}
+
+void require(bool ok, const std::string& what) {
+  if (!ok) bad(what);
+}
+
+int parseInt(const std::string& s, const std::string& ctx) {
+  std::size_t pos = 0;
+  int v = 0;
+  try {
+    v = std::stoi(s, &pos);
+  } catch (const std::exception&) {
+    bad("expected integer in '" + ctx + "'");
+  }
+  if (pos != s.size()) bad("trailing junk in '" + ctx + "'");
+  return v;
+}
+
+std::uint64_t parseU64(const std::string& s, const std::string& ctx) {
+  std::uint64_t v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size())
+    bad("expected unsigned integer in '" + ctx + "'");
+  return v;
+}
+
+double parseDouble(const std::string& s, const std::string& ctx) {
+  std::size_t pos = 0;
+  double v = 0;
+  try {
+    v = std::stod(s, &pos);
+  } catch (const std::exception&) {
+    bad("expected number in '" + ctx + "'");
+  }
+  if (pos != s.size()) bad("trailing junk in '" + ctx + "'");
+  return v;
+}
+
+std::vector<std::string> splitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::string cur;
+  std::istringstream in(s);
+  while (std::getline(in, cur, sep)) parts.push_back(cur);
+  if (!s.empty() && s.back() == sep) parts.emplace_back();
+  return parts;
+}
+
+/// "RxC" as two ints, or a single perfect square "N" as sqrt(N)² sides.
+std::pair<int, int> parseDims(const std::string& s, const std::string& ctx) {
+  const auto x = s.find('x');
+  if (x != std::string::npos) {
+    return {parseInt(s.substr(0, x), ctx), parseInt(s.substr(x + 1), ctx)};
+  }
+  const int n = parseInt(s, ctx);
+  if (n < 0) bad("'" + ctx + "': negative size " + s);
+  const int side = static_cast<int>(std::lround(std::sqrt(n)));
+  if (side * side != n)
+    bad("'" + ctx + "': " + s + " is not RxC and not a perfect square");
+  return {side, side};
+}
+
+void validateChordalRing(int n, const std::vector<int>& chords) {
+  require(n >= 3, "chordring needs n >= 3");
+  require(!chords.empty(), "chordring needs at least one chord offset");
+  for (int c : chords)
+    require(c >= 2 && c <= n - 2,
+            "chord offset " + std::to_string(c) + " outside 2..n-2");
+}
+
+}  // namespace
+
+Graph chordalRing(int n, const std::vector<int>& chords) {
+  validateChordalRing(n, chords);
+  std::set<std::pair<NodeId, NodeId>> edges;
+  for (int i = 0; i < n; ++i) edges.insert(std::minmax(i, (i + 1) % n));
+  for (int c : chords)
+    for (int i = 0; i < n; ++i) edges.insert(std::minmax(i, (i + c) % n));
+  return Graph(n, {edges.begin(), edges.end()});
+}
+
+std::string TopologySpec::name() const {
+  std::ostringstream out;
+  switch (family) {
+    case TopologyFamily::kRing: out << "ring:" << a; break;
+    case TopologyFamily::kPath: out << "path:" << a; break;
+    case TopologyFamily::kStar: out << "star:" << a; break;
+    case TopologyFamily::kComplete: out << "complete:" << a; break;
+    case TopologyFamily::kGrid: out << "grid:" << a << 'x' << b; break;
+    case TopologyFamily::kTorus: out << "torus:" << a << 'x' << b; break;
+    case TopologyFamily::kHypercube: out << "hypercube:" << a; break;
+    case TopologyFamily::kLollipop: out << "lollipop:" << a << 'x' << b; break;
+    case TopologyFamily::kKAryTree: out << "kary:" << a << 'x' << b; break;
+    case TopologyFamily::kCaterpillar:
+      out << "caterpillar:" << a << 'x' << b;
+      break;
+    case TopologyFamily::kRandomTree: out << "rtree:" << a << ':' << seed; break;
+    case TopologyFamily::kRandomConnected:
+      out << "er:" << a << ':' << shortestDouble(p) << ':' << seed;
+      break;
+    case TopologyFamily::kChordalRing: {
+      out << "chordring:" << a << ':';
+      for (std::size_t i = 0; i < chords.size(); ++i) {
+        if (i) out << ',';
+        out << chords[i];
+      }
+      break;
+    }
+  }
+  return out.str();
+}
+
+void TopologySpec::validate() const {
+  // Simulator-scale sanity caps: a spec comes from user input, and an
+  // absurd size must fail fast instead of allocating tens of GB.
+  constexpr long long kMaxNodes = 1'000'000;
+  constexpr long long kMaxEdges = 8'000'000;
+  const auto requireScale = [](long long nodes, long long edges) {
+    require(nodes <= kMaxNodes,
+            "too large: " + std::to_string(nodes) + " nodes (cap " +
+                std::to_string(kMaxNodes) + ")");
+    require(edges <= kMaxEdges,
+            "too large: " + std::to_string(edges) + " edges (cap " +
+                std::to_string(kMaxEdges) + ")");
+  };
+  const long long la = a, lb = b;
+  switch (family) {
+    case TopologyFamily::kRing:
+      require(a >= 3, "ring needs n >= 3");
+      requireScale(la, la);
+      return;
+    case TopologyFamily::kPath:
+      require(a >= 1, "path needs n >= 1");
+      requireScale(la, la);
+      return;
+    case TopologyFamily::kStar:
+      require(a >= 2, "star needs n >= 2");
+      requireScale(la, la);
+      return;
+    case TopologyFamily::kComplete:
+      require(a >= 2, "complete needs n >= 2");
+      requireScale(la, la * (la - 1) / 2);
+      return;
+    case TopologyFamily::kGrid:
+      // long long arithmetic: user-supplied dimensions must not overflow.
+      require(a >= 1 && b >= 1 && la * lb >= 2, "grid needs rows*cols >= 2");
+      requireScale(la * lb, 2 * la * lb);
+      return;
+    case TopologyFamily::kTorus:
+      require(a >= 3 && b >= 3, "torus needs rows,cols >= 3");
+      requireScale(la * lb, 2 * la * lb);
+      return;
+    case TopologyFamily::kHypercube:
+      require(a >= 1 && a <= 20, "hypercube needs 1 <= dim <= 20");
+      return;
+    case TopologyFamily::kLollipop:
+      require(a >= 2 && b >= 1, "lollipop needs clique >= 2, tail >= 1");
+      requireScale(la + lb, la * (la - 1) / 2 + lb);
+      return;
+    case TopologyFamily::kKAryTree:
+      require(a >= 1 && b >= 1, "kary needs n >= 1, k >= 1");
+      requireScale(la, la);
+      return;
+    case TopologyFamily::kCaterpillar:
+      require(a >= 1 && b >= 0, "caterpillar needs spine >= 1, legs >= 0");
+      requireScale(la + la * lb, la + la * lb);
+      return;
+    case TopologyFamily::kRandomTree:
+      require(a >= 1, "rtree needs n >= 1");
+      requireScale(la, la);
+      return;
+    case TopologyFamily::kRandomConnected:
+      require(a >= 1, "er needs n >= 1");
+      require(p >= 0.0 && p <= 1.0, "er needs 0 <= p <= 1");
+      // randomConnected scans all O(n^2) node pairs.
+      require(a <= 20'000, "er needs n <= 20000");
+      return;
+    case TopologyFamily::kChordalRing:
+      validateChordalRing(a, chords);
+      requireScale(la, la * (1 + static_cast<long long>(chords.size())));
+      return;
+  }
+  bad("unknown family");
+}
+
+Graph TopologySpec::build() const {
+  validate();
+  switch (family) {
+    case TopologyFamily::kRing: return Graph::ring(a);
+    case TopologyFamily::kPath: return Graph::path(a);
+    case TopologyFamily::kStar: return Graph::star(a);
+    case TopologyFamily::kComplete: return Graph::complete(a);
+    case TopologyFamily::kGrid: return Graph::grid(a, b);
+    case TopologyFamily::kTorus: return Graph::torus(a, b);
+    case TopologyFamily::kHypercube: return Graph::hypercube(a);
+    case TopologyFamily::kLollipop: return Graph::lollipop(a, b);
+    case TopologyFamily::kKAryTree: return Graph::kAryTree(a, b);
+    case TopologyFamily::kCaterpillar: return Graph::caterpillar(a, b);
+    case TopologyFamily::kRandomTree: {
+      Rng rng(seed);
+      return Graph::randomTree(a, rng);
+    }
+    case TopologyFamily::kRandomConnected: {
+      Rng rng(seed);
+      return Graph::randomConnected(a, p, rng);
+    }
+    case TopologyFamily::kChordalRing: return chordalRing(a, chords);
+  }
+  bad("unknown family");
+}
+
+TopologySpec TopologySpec::parse(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos || colon + 1 == text.size())
+    bad("expected 'family:params', got '" + text + "'");
+  const std::string fam = text.substr(0, colon);
+  const std::vector<std::string> args = splitOn(text.substr(colon + 1), ':');
+
+  TopologySpec spec;
+  auto oneInt = [&](TopologyFamily f) {
+    require(args.size() == 1, fam + " takes exactly one parameter");
+    spec.family = f;
+    spec.a = parseInt(args[0], text);
+  };
+  auto dims = [&](TopologyFamily f) {
+    require(args.size() == 1, fam + " takes exactly one parameter");
+    spec.family = f;
+    std::tie(spec.a, spec.b) = parseDims(args[0], text);
+  };
+  if (fam == "ring") {
+    oneInt(TopologyFamily::kRing);
+  } else if (fam == "path") {
+    oneInt(TopologyFamily::kPath);
+  } else if (fam == "star") {
+    oneInt(TopologyFamily::kStar);
+  } else if (fam == "complete") {
+    oneInt(TopologyFamily::kComplete);
+  } else if (fam == "hypercube") {
+    oneInt(TopologyFamily::kHypercube);
+  } else if (fam == "grid") {
+    dims(TopologyFamily::kGrid);
+  } else if (fam == "torus") {
+    dims(TopologyFamily::kTorus);
+  } else if (fam == "kary") {
+    dims(TopologyFamily::kKAryTree);
+  } else if (fam == "caterpillar") {
+    dims(TopologyFamily::kCaterpillar);
+  } else if (fam == "lollipop") {
+    dims(TopologyFamily::kLollipop);
+  } else if (fam == "rtree") {
+    require(args.size() == 1 || args.size() == 2,
+            "rtree takes N or N:seed");
+    spec.family = TopologyFamily::kRandomTree;
+    spec.a = parseInt(args[0], text);
+    if (args.size() == 2) spec.seed = parseU64(args[1], text);
+  } else if (fam == "er") {
+    require(args.size() == 2 || args.size() == 3, "er takes N:P or N:P:seed");
+    spec.family = TopologyFamily::kRandomConnected;
+    spec.a = parseInt(args[0], text);
+    spec.p = parseDouble(args[1], text);
+    if (args.size() == 3) spec.seed = parseU64(args[2], text);
+  } else if (fam == "chordring") {
+    require(args.size() == 2, "chordring takes N:c1,c2,...");
+    spec.family = TopologyFamily::kChordalRing;
+    spec.a = parseInt(args[0], text);
+    for (const std::string& c : splitOn(args[1], ','))
+      spec.chords.push_back(parseInt(c, text));
+  } else {
+    bad("unknown family '" + fam + "'");
+  }
+  // Surface bad parameter domains at parse time, not first build.
+  spec.validate();
+  return spec;
+}
+
+}  // namespace ssno::exp

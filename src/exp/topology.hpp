@@ -1,0 +1,79 @@
+// Topology generators for the experiment harness.
+//
+// A TopologySpec is a small value object that names a graph family plus
+// its parameters (including the RNG seed for random families), so that a
+// scenario is fully described by data: the same spec always builds the
+// same Graph, bit for bit.  Specs round-trip through a compact text
+// grammar used by scenario names and the exp_cli:
+//
+//   ring:N  path:N  star:N  complete:N  hypercube:D
+//   grid:RxC | grid:N (perfect square)      torus:RxC | torus:N
+//   kary:NxK  caterpillar:SPINExLEGS  lollipop:CLIQUExTAIL
+//   rtree:N[:seed]          random Prüfer tree
+//   er:N:P[:seed]           connected Erdős–Rényi G(n,p)
+//   chordring:N:c1,c2,...   ring of N plus chords at the given offsets
+//
+// build() validates parameter domains with std::invalid_argument (never
+// aborting contract macros — specs come from user input) and guarantees
+// the produced graph is connected.
+#ifndef SSNO_EXP_TOPOLOGY_HPP
+#define SSNO_EXP_TOPOLOGY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.hpp"
+
+namespace ssno::exp {
+
+enum class TopologyFamily {
+  kRing,
+  kPath,
+  kStar,
+  kComplete,
+  kGrid,
+  kTorus,
+  kHypercube,
+  kLollipop,
+  kKAryTree,
+  kCaterpillar,
+  kRandomTree,
+  kRandomConnected,
+  kChordalRing,
+};
+
+/// Ring of n nodes plus, for every offset c in `chords`, the chord edges
+/// {i, (i+c) mod n}.  Offsets must lie in 2..n-2; duplicate edges arising
+/// from complementary offsets (c and n-c) or c == n/2 are deduplicated.
+[[nodiscard]] Graph chordalRing(int n, const std::vector<int>& chords);
+
+struct TopologySpec {
+  TopologyFamily family = TopologyFamily::kRing;
+  int a = 0;                ///< primary size (n, rows, dim, spine, clique)
+  int b = 0;                ///< secondary size (cols, arity, legs, tail)
+  double p = 0.0;           ///< extra-edge probability (kRandomConnected)
+  std::vector<int> chords;  ///< chord offsets (kChordalRing)
+  std::uint64_t seed = 0;   ///< generator seed (random families)
+
+  /// Canonical text form; parse(name()) reproduces the spec exactly.
+  [[nodiscard]] std::string name() const;
+
+  /// Checks parameter domains without materializing the graph.
+  /// Throws std::invalid_argument on a bad spec.
+  void validate() const;
+
+  /// Builds the graph, validating parameter domains first.
+  /// Throws std::invalid_argument on a bad spec.  Postcondition: the
+  /// result is connected and rooted at node 0.
+  [[nodiscard]] Graph build() const;
+
+  /// Parses the grammar above; throws std::invalid_argument on errors.
+  static TopologySpec parse(const std::string& text);
+
+  friend bool operator==(const TopologySpec&, const TopologySpec&) = default;
+};
+
+}  // namespace ssno::exp
+
+#endif  // SSNO_EXP_TOPOLOGY_HPP

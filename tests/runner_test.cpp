@@ -1,0 +1,208 @@
+// Unit tests for the ExperimentRunner: thread-count independence of the
+// aggregated statistics, failed-trial accounting, the scenario registry,
+// and the report emitters.
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+
+namespace ssno::exp {
+namespace {
+
+void expectSameSummary(const Summary& a, const Summary& b,
+                       const std::string& what) {
+  EXPECT_EQ(a.count, b.count) << what;
+  EXPECT_EQ(a.min, b.min) << what;
+  EXPECT_EQ(a.max, b.max) << what;
+  EXPECT_EQ(a.mean, b.mean) << what;
+  EXPECT_EQ(a.stddev, b.stddev) << what;
+  EXPECT_EQ(a.p50, b.p50) << what;
+  EXPECT_EQ(a.p95, b.p95) << what;
+}
+
+void expectSameResult(const ScenarioResult& a, const ScenarioResult& b) {
+  EXPECT_EQ(a.nodeCount, b.nodeCount);
+  EXPECT_EQ(a.edgeCount, b.edgeCount);
+  EXPECT_EQ(a.trials, b.trials);
+  EXPECT_EQ(a.failedTrials, b.failedTrials);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size());
+  for (const auto& [name, summary] : a.metrics) {
+    ASSERT_TRUE(b.metrics.count(name)) << name;
+    expectSameSummary(summary, b.metrics.at(name), name);
+  }
+}
+
+TEST(ExperimentRunner, StnoResultsIdenticalAcrossThreadCounts) {
+  Scenario s = parseScenario("stno/distributed/ring:12");
+  s.trials = 8;
+  s.seed = 0xFEED;
+  const ScenarioResult one = ExperimentRunner(1).run(s);
+  EXPECT_EQ(one.failedTrials, 0);
+  EXPECT_EQ(one.metric("tree_moves").count, 8);
+  for (int threads : {2, 4, 8}) {
+    const ScenarioResult many = ExperimentRunner(threads).run(s);
+    expectSameResult(one, many);
+  }
+}
+
+TEST(ExperimentRunner, DftnoResultsIdenticalAcrossThreadCounts) {
+  Scenario s = parseScenario("dftno/round-robin/grid:3x3");
+  s.trials = 6;
+  s.seed = 0xD15C;
+  const ScenarioResult one = ExperimentRunner(1).run(s);
+  EXPECT_EQ(one.failedTrials, 0);
+  EXPECT_GT(one.metric("overlay_moves").mean, 0);
+  expectSameResult(one, ExperimentRunner(5).run(s));
+}
+
+TEST(ExperimentRunner, TrialSeedsAreDecorrelatedAndThreadFree) {
+  std::set<std::uint64_t> seeds;
+  for (int t = 0; t < 100; ++t) seeds.insert(trialSeed(7, t));
+  EXPECT_EQ(seeds.size(), 100u);  // no collisions among sibling trials
+  EXPECT_EQ(trialSeed(7, 3), trialSeed(7, 3));
+  EXPECT_NE(trialSeed(7, 3), trialSeed(8, 3));
+}
+
+TEST(ExperimentRunner, ExhaustedBudgetCountsFailedTrials) {
+  Scenario s = parseScenario("stno/distributed/ring:12");
+  s.trials = 4;
+  s.budget = 3;  // far below any stabilization cost
+  const ScenarioResult r = ExperimentRunner(2).run(s);
+  EXPECT_EQ(r.failedTrials, 4);
+  EXPECT_TRUE(r.metrics.empty());
+  EXPECT_EQ(r.metric("tree_moves").count, 0);
+}
+
+TEST(ExperimentRunner, RunOnGraphUsesProvidedGraph) {
+  Scenario s;
+  s.protocol = ProtocolKind::kStnoFixedTree;
+  s.daemon = DaemonKind::kSynchronous;
+  s.trials = 3;
+  const Graph g = Graph::lollipop(4, 3);
+  const ScenarioResult r = ExperimentRunner(1).runOnGraph(s, g);
+  EXPECT_EQ(r.nodeCount, g.nodeCount());
+  EXPECT_EQ(r.edgeCount, g.edgeCount());
+  EXPECT_EQ(r.failedTrials, 0);
+  EXPECT_EQ(r.metric("overlay_rounds").count, 3);
+}
+
+TEST(ExperimentRunner, ChurnReportsAvailability) {
+  Scenario s = parseScenario("dftno-churn/round-robin/grid:3x3");
+  s.trials = 2;
+  s.budget = 2'000;  // churn horizon
+  s.faultRate = 0.002;
+  const ScenarioResult r = ExperimentRunner(2).run(s);
+  EXPECT_EQ(r.failedTrials, 0);
+  const Summary avail = r.metric("availability");
+  EXPECT_EQ(avail.count, 2);
+  EXPECT_GE(avail.min, 0.0);
+  EXPECT_LE(avail.max, 1.0);
+  expectSameResult(r, ExperimentRunner(1).run(s));
+}
+
+TEST(ExperimentRunner, RejectsNonPositiveTrials) {
+  Scenario s = parseScenario("stno/distributed/ring:12");
+  s.trials = 0;
+  EXPECT_THROW((void)ExperimentRunner(1).run(s), std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, ParsesTriples) {
+  const Scenario s = parseScenario("dftno/round-robin/chordring:16:2,5");
+  EXPECT_EQ(s.protocol, ProtocolKind::kDftno);
+  EXPECT_EQ(s.daemon, DaemonKind::kRoundRobin);
+  EXPECT_EQ(s.topology.family, TopologyFamily::kChordalRing);
+  EXPECT_EQ(s.topology.build().nodeCount(), 16);
+}
+
+TEST(ScenarioRegistry, ChurnTriplesDefaultToStepHorizon) {
+  EXPECT_EQ(parseScenario("dftno-churn/round-robin/grid:3x3").budget,
+            kDefaultChurnHorizon);
+  EXPECT_EQ(parseScenario("baseline-churn/central/ring:8").budget,
+            kDefaultChurnHorizon);
+  EXPECT_EQ(parseScenario("stno/central/ring:8").budget, Scenario{}.budget);
+}
+
+TEST(ScenarioRegistry, RejectsMalformedNames) {
+  EXPECT_THROW(parseScenario("stno"), std::invalid_argument);
+  EXPECT_THROW(parseScenario("stno/distributed"), std::invalid_argument);
+  EXPECT_THROW(parseScenario("nope/central/ring:8"), std::invalid_argument);
+  EXPECT_THROW(parseScenario("stno/nope/ring:8"), std::invalid_argument);
+  EXPECT_THROW(parseScenario("stno/central/ring:two"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistry, PresetsResolveAndAreNonEmpty) {
+  for (const std::string& name : presetNames()) {
+    const std::vector<Scenario> scenarios = resolve(name);
+    EXPECT_FALSE(scenarios.empty()) << name;
+    for (const Scenario& s : scenarios) EXPECT_GT(s.trials, 0) << name;
+  }
+  EXPECT_EQ(resolve("stno/central/ring:8").size(), 1u);
+}
+
+TEST(Report, CsvAndJsonCarryFailureCounts) {
+  Scenario s = parseScenario("stno/synchronous/path:6");
+  s.trials = 3;
+  s.seed = 5;
+  Scenario failing = s;
+  failing.name = "stno/synchronous/path:6#tiny-budget";
+  failing.budget = 2;
+  const std::vector<ScenarioResult> results =
+      ExperimentRunner(2).runAll({s, failing});
+
+  const std::string csv = toCsv(results);
+  EXPECT_NE(csv.find(csvHeader()), std::string::npos);
+  EXPECT_NE(csv.find("tree_moves"), std::string::npos);
+  // The failing scenario emits a row with failed_trials == trials.
+  EXPECT_NE(csv.find("#tiny-budget,stno,synchronous,path:6,6,5,3,3"),
+            std::string::npos);
+
+  const std::string json = toJson(results);
+  EXPECT_NE(json.find("\"failed_trials\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"failed_trials\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"overlay_rounds\""), std::string::npos);
+}
+
+TEST(Report, CsvQuotesFieldsContainingCommas) {
+  Scenario s = parseScenario("dftno/central/chordring:12:2,4");
+  s.trials = 1;
+  s.budget = 10;  // converges or not — only the row shape matters here
+  const std::string csv = toCsv(ExperimentRunner(1).runAll({s}));
+  EXPECT_NE(csv.find("\"dftno/central/chordring:12:2,4\""),
+            std::string::npos);
+  EXPECT_NE(csv.find("\"chordring:12:2,4\""), std::string::npos);
+  // Every data row must have exactly as many (unquoted) commas as the
+  // header.
+  const auto columns = [](const std::string& line) {
+    int cols = 1;
+    bool quoted = false;
+    for (char c : line) {
+      if (c == '"') quoted = !quoted;
+      if (c == ',' && !quoted) ++cols;
+    }
+    return cols;
+  };
+  std::istringstream lines(csv);
+  std::string header, row;
+  std::getline(lines, header);
+  while (std::getline(lines, row))
+    EXPECT_EQ(columns(row), columns(header)) << row;
+}
+
+TEST(Report, JsonIsDeterministic) {
+  Scenario s = parseScenario("stno-fixed-tree/synchronous/star:8");
+  s.trials = 4;
+  const std::vector<ScenarioResult> a = ExperimentRunner(1).runAll({s});
+  const std::vector<ScenarioResult> b = ExperimentRunner(3).runAll({s});
+  EXPECT_EQ(toJson(a), toJson(b));
+  EXPECT_EQ(toCsv(a), toCsv(b));
+}
+
+}  // namespace
+}  // namespace ssno::exp

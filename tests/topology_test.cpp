@@ -1,0 +1,142 @@
+// Unit tests for the exp topology generators: counts, degree bounds,
+// connectivity, the parse/name round-trip, and determinism of random
+// families under a fixed seed.
+#include "exp/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ssno::exp {
+namespace {
+
+std::vector<std::vector<NodeId>> adjacency(const Graph& g) {
+  std::vector<std::vector<NodeId>> adj;
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    adj.emplace_back(g.neighbors(p).begin(), g.neighbors(p).end());
+  return adj;
+}
+
+TEST(ChordalRing, CountsAndDegrees) {
+  // 16 ring edges + 16 per chord offset (2 and 5 overlap neither each
+  // other nor the ring).
+  const Graph g = chordalRing(16, {2, 5});
+  EXPECT_EQ(g.nodeCount(), 16);
+  EXPECT_EQ(g.edgeCount(), 16 * 3);
+  EXPECT_TRUE(g.isConnected());
+  for (NodeId p = 0; p < 16; ++p) EXPECT_EQ(g.degree(p), 6);
+}
+
+TEST(ChordalRing, HalfwayChordDeduplicated) {
+  // Offset n/2 produces each chord twice; only n/2 distinct edges remain.
+  const Graph g = chordalRing(8, {4});
+  EXPECT_EQ(g.edgeCount(), 8 + 4);
+  for (NodeId p = 0; p < 8; ++p) EXPECT_EQ(g.degree(p), 3);
+}
+
+TEST(ChordalRing, ComplementaryOffsetsCoincide) {
+  const Graph a = chordalRing(10, {3});
+  const Graph b = chordalRing(10, {7});
+  EXPECT_EQ(a.edgeCount(), b.edgeCount());
+  EXPECT_EQ(a.edgeCount(), 20);
+}
+
+TEST(ChordalRing, RejectsBadOffsets) {
+  EXPECT_THROW(chordalRing(8, {1}), std::invalid_argument);
+  EXPECT_THROW(chordalRing(8, {7}), std::invalid_argument);
+  EXPECT_THROW(chordalRing(8, {}), std::invalid_argument);
+  EXPECT_THROW(chordalRing(2, {2}), std::invalid_argument);
+}
+
+TEST(TopologySpec, ParseBuildsExpectedSizes) {
+  EXPECT_EQ(TopologySpec::parse("ring:32").build().nodeCount(), 32);
+  EXPECT_EQ(TopologySpec::parse("path:7").build().edgeCount(), 6);
+  EXPECT_EQ(TopologySpec::parse("star:9").build().maxDegree(), 8);
+  EXPECT_EQ(TopologySpec::parse("complete:6").build().edgeCount(), 15);
+  EXPECT_EQ(TopologySpec::parse("hypercube:4").build().nodeCount(), 16);
+  EXPECT_EQ(TopologySpec::parse("grid:4x8").build().nodeCount(), 32);
+  EXPECT_EQ(TopologySpec::parse("kary:15x2").build().edgeCount(), 14);
+  EXPECT_EQ(TopologySpec::parse("caterpillar:5x3").build().nodeCount(), 20);
+  EXPECT_EQ(TopologySpec::parse("lollipop:4x2").build().nodeCount(), 6);
+  EXPECT_EQ(TopologySpec::parse("chordring:12:3").build().edgeCount(), 24);
+}
+
+TEST(TopologySpec, SquareShorthandForGridAndTorus) {
+  const Graph torus = TopologySpec::parse("torus:16").build();
+  EXPECT_EQ(torus.nodeCount(), 16);
+  for (NodeId p = 0; p < 16; ++p) EXPECT_EQ(torus.degree(p), 4);
+  EXPECT_EQ(TopologySpec::parse("grid:9").build().nodeCount(), 9);
+}
+
+TEST(TopologySpec, AllFamiliesConnected) {
+  for (const char* text :
+       {"ring:11", "path:5", "star:6", "complete:5", "hypercube:3",
+        "grid:3x5", "torus:3x4", "kary:13x3", "caterpillar:4x2",
+        "lollipop:5x4", "rtree:30:9", "er:25:0.08:4", "chordring:15:2,6"}) {
+    const Graph g = TopologySpec::parse(text).build();
+    EXPECT_TRUE(g.isConnected()) << text;
+    EXPECT_EQ(g.root(), 0) << text;
+  }
+}
+
+TEST(TopologySpec, NameRoundTrips) {
+  for (const char* text :
+       {"ring:32", "grid:4x8", "torus:5x5", "kary:40x3", "rtree:30:9",
+        "er:25:0.08:4", "chordring:15:2,6"}) {
+    const TopologySpec spec = TopologySpec::parse(text);
+    EXPECT_EQ(TopologySpec::parse(spec.name()), spec) << text;
+  }
+}
+
+TEST(TopologySpec, NameRoundTripsAwkwardProbability) {
+  // 0.1 + 0.2 has no short decimal form; name() must still render a
+  // string that parses back to the identical double (and thus graph).
+  TopologySpec spec;
+  spec.family = TopologyFamily::kRandomConnected;
+  spec.a = 20;
+  spec.p = 0.1 + 0.2;
+  spec.seed = 11;
+  const TopologySpec reparsed = TopologySpec::parse(spec.name());
+  EXPECT_EQ(reparsed, spec);
+  EXPECT_EQ(adjacency(reparsed.build()), adjacency(spec.build()));
+}
+
+TEST(TopologySpec, RandomFamiliesDeterministicUnderFixedSeed) {
+  for (const char* text : {"rtree:40:123", "er:30:0.1:77"}) {
+    const Graph a = TopologySpec::parse(text).build();
+    const Graph b = TopologySpec::parse(text).build();
+    EXPECT_EQ(adjacency(a), adjacency(b)) << text;
+  }
+}
+
+TEST(TopologySpec, DifferentSeedsDifferentGraphs) {
+  const Graph a = TopologySpec::parse("rtree:40:1").build();
+  const Graph b = TopologySpec::parse("rtree:40:2").build();
+  EXPECT_NE(adjacency(a), adjacency(b));
+}
+
+TEST(TopologySpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(TopologySpec::parse("ring"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("ring:"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("ring:x"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("ring:2"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("bogus:5"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("grid:7"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("torus:2x9"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("er:10:1.5"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("chordring:8:1"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("rtree:10:5junk"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("rtree:10:-1"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("er:10:0.1:9x"), std::invalid_argument);
+  // Absurd sizes are rejected up front, not attempted (no int overflow,
+  // no multi-GB allocations).
+  EXPECT_THROW(TopologySpec::parse("grid:65536x65536"),
+               std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("grid:-9"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("complete:100000"),
+               std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("er:100000:0.5"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssno::exp
