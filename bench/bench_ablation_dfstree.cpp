@@ -4,17 +4,59 @@
 // is the same."
 //
 // Regenerates the comparison: name vectors from DFTNO vs STNO-over-DFS-
-// tree vs STNO-over-BFS-tree across topologies, with equality counts,
-// plus the relative cost of getting the orientation each way.
+// tree vs STNO-over-BFS-tree vs the fully self-stabilizing
+// LexDfsTree→STNO stack.  Trial execution is delegated to the src/exp
+// harness ("ablation-naming" preset, plus runOnGraph for the figure
+// graphs that have no TopologySpec); this file only renders tables.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
 #include "core/graph_algo.hpp"
+#include "exp/scenario.hpp"
 #include "sptree/dfs_tree.hpp"
-#include "sptree/lex_dfs_tree.hpp"
 
 namespace ssno::bench {
 namespace {
+
+void printNamingRow(const char* name, const exp::ScenarioResult& r) {
+  auto yes = [&r](const char* metric) {
+    if (r.failedTrials == r.trials) return "n/a";
+    return r.metric(metric).min >= 1.0 ? "yes" : "NO";
+  };
+  std::printf("%-14s %6d | %14s %14s %14s | %10.1f %10.1f\n", name,
+              r.nodeCount, yes("dfs_names_equal"), yes("bfs_names_equal"),
+              yes("lex_names_equal"), r.metric("lex_tree_bits").mean,
+              r.metric("token_substrate_bits").mean);
+}
+
+void tables() {
+  printHeader("EXP-8  DFS-tree STNO vs DFTNO naming (Chapter 5 ablation)",
+              "over a DFS tree with port order, STNO's interval naming "
+              "equals DFTNO's token naming");
+  const exp::ExperimentRunner runner;
+
+  std::printf("%-14s %6s | %14s %14s %14s | %10s %10s\n", "graph", "n",
+              "DFS==DFTNO", "BFS==DFTNO", "Lex==DFTNO", "lex b/n",
+              "token b/n");
+  // Figure graphs first (no TopologySpec grammar — run on the raw graph).
+  {
+    exp::Scenario s;
+    s.protocol = exp::ProtocolKind::kAblationNaming;
+    s.daemon = DaemonKind::kRoundRobin;
+    s.trials = 3;
+    s.seed = 0x5EED;
+    printNamingRow("figure311", runner.runOnGraph(s, Graph::figure311()));
+    printNamingRow("figure221", runner.runOnGraph(s, Graph::figure221()));
+  }
+  for (const exp::ScenarioResult& r :
+       runner.runAll(exp::makePreset("ablation-naming")))
+    printNamingRow(r.scenario.topology.name().c_str(), r);
+  std::printf(
+      "  (expected: DFS/Lex equal everywhere, BFS rarely; the DFS-tree\n"
+      "   substrate costs Θ(n·logΔ) bits vs the token substrate's\n"
+      "   O(log n) — why the paper's DFTNO is the cheap route to DFS\n"
+      "   naming)\n");
+}
 
 Orientation runDftno(const Graph& g, std::uint64_t seed) {
   Dftno dftno(g);
@@ -35,85 +77,6 @@ Orientation runStnoFixed(const Graph& g, const std::vector<NodeId>& parents,
   Simulator sim(stno, daemon, rng);
   (void)sim.runToQuiescence(200'000'000);
   return stno.orientation();
-}
-
-Orientation runStnoBfs(const Graph& g, std::uint64_t seed) {
-  Stno stno(g);
-  Rng rng(seed);
-  stno.randomize(rng);
-  RoundRobinDaemon daemon;
-  Simulator sim(stno, daemon, rng);
-  (void)sim.runToQuiescence(200'000'000);
-  return stno.orientation();
-}
-
-void tables() {
-  printHeader("EXP-8  DFS-tree STNO vs DFTNO naming (Chapter 5 ablation)",
-              "over a DFS tree with port order, STNO's interval naming "
-              "equals DFTNO's token naming");
-  Rng topo(31);
-  struct Case { const char* name; Graph g; };
-  std::vector<Case> cases;
-  cases.push_back({"figure311", Graph::figure311()});
-  cases.push_back({"figure221", Graph::figure221()});
-  cases.push_back({"ring(12)", Graph::ring(12)});
-  cases.push_back({"grid(3x4)", Graph::grid(3, 4)});
-  cases.push_back({"complete(8)", Graph::complete(8)});
-  cases.push_back({"random(14)", Graph::randomConnected(14, 0.3, topo)});
-
-  std::printf("%-12s %6s | %14s %14s\n", "graph", "n",
-              "DFS-tree==DFTNO", "BFS-tree==DFTNO");
-  int dfsEqual = 0, bfsEqual = 0;
-  for (const Case& c : cases) {
-    const Orientation viaToken = runDftno(c.g, 0x5EED);
-    const Orientation viaDfs =
-        runStnoFixed(c.g, portOrderDfsTree(c.g), 0x5EED + 1);
-    const Orientation viaBfs = runStnoBfs(c.g, 0x5EED + 2);
-    const bool dEq = viaToken.name == viaDfs.name;
-    const bool bEq = viaToken.name == viaBfs.name;
-    dfsEqual += dEq;
-    bfsEqual += bEq;
-    std::printf("%-12s %6d | %14s %14s\n", c.name, c.g.nodeCount(),
-                dEq ? "yes" : "NO", bEq ? "yes" : "no");
-  }
-  std::printf("summary: DFS-tree naming equal on %d/%zu graphs; "
-              "BFS-tree equal on %d/%zu (expected: all / few)\n",
-              dfsEqual, cases.size(), bfsEqual, cases.size());
-
-  // Fully self-stabilizing variant: the DFS tree itself produced by the
-  // LexDfsTree protocol from a scrambled state (no fixed tree anywhere).
-  std::printf("\nboth layers self-stabilizing "
-              "(LexDfsTree substrate -> STNO):\n");
-  std::printf("%-12s %6s | %14s | %14s %16s\n", "graph", "n",
-              "LexTree==DFTNO", "tree bits/node", "token bits/node");
-  for (const Case& c : cases) {
-    LexDfsTree lex(c.g);
-    Rng rng(0x1E1);
-    lex.randomize(rng);
-    RoundRobinDaemon daemon;
-    Simulator sim(lex, daemon, rng);
-    (void)sim.runToQuiescence(200'000'000);
-    std::vector<NodeId> parents(
-        static_cast<std::size_t>(c.g.nodeCount()));
-    for (NodeId p = 0; p < c.g.nodeCount(); ++p)
-      parents[static_cast<std::size_t>(p)] = lex.parentOf(p);
-    const Orientation viaLex = runStnoFixed(c.g, parents, 0x1E2);
-    const Orientation viaToken = runDftno(c.g, 0x1E3);
-    double lexBits = 0, tokenBits = 0;
-    Dftno dftnoBits(c.g);
-    for (NodeId p = 0; p < c.g.nodeCount(); ++p) {
-      lexBits = std::max(lexBits, lex.stateBits(p));
-      tokenBits =
-          std::max(tokenBits, dftnoBits.substrate().stateBits(p));
-    }
-    std::printf("%-12s %6d | %14s | %14.1f %16.1f\n", c.name,
-                c.g.nodeCount(),
-                viaLex.name == viaToken.name ? "yes" : "NO", lexBits,
-                tokenBits);
-  }
-  std::printf("  (the DFS-tree substrate costs Θ(n·logΔ) bits vs the\n"
-              "   token substrate's O(log n) — why the paper's DFTNO is\n"
-              "   the cheap route to DFS naming)\n");
 }
 
 void BM_OrientViaDftno(::benchmark::State& state) {

@@ -3,10 +3,12 @@
 // Regenerates the figure's labeling on its 5-node example and validates
 // the §2.2 properties (ψ/δ consistency, edge inversion, local
 // orientation) across topologies; benchmarks the label verification
-// throughput.
+// throughput.  The property sweep runs through the src/exp harness (the
+// "chordal-props" preset).
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
+#include "exp/scenario.hpp"
 #include "orientation/chordal.hpp"
 #include "sptree/dfs_tree.hpp"
 
@@ -35,19 +37,15 @@ void tables() {
   std::printf("\nproperty sweep over topologies:\n");
   std::printf("%-12s %6s %8s %8s %8s\n", "graph", "n", "SP1&2", "local",
               "symm");
-  Rng rng(5);
-  struct Case { const char* name; Graph g; };
-  std::vector<Case> cases;
-  cases.push_back({"ring", Graph::ring(32)});
-  cases.push_back({"torus", Graph::torus(4, 8)});
-  cases.push_back({"hypercube", Graph::hypercube(5)});
-  cases.push_back({"random", Graph::randomConnected(40, 0.2, rng)});
-  for (const Case& c : cases) {
-    const Orientation co = inducedChordalOrientation(
-        c.g, portOrderDfsPreorder(c.g), c.g.nodeCount());
-    std::printf("%-12s %6d %8d %8d %8d\n", c.name, c.g.nodeCount(),
-                satisfiesSpec(co), isLocallyOriented(co),
-                hasEdgeSymmetry(co));
+  const exp::ExperimentRunner runner;
+  for (const exp::ScenarioResult& r :
+       runner.runAll(exp::makePreset("chordal-props"))) {
+    const bool spec =
+        r.metric("sp1").min >= 1.0 && r.metric("sp2").min >= 1.0;
+    std::printf("%-12s %6d %8d %8d %8d\n",
+                r.scenario.topology.name().c_str(), r.nodeCount, spec,
+                r.metric("locally_oriented").min >= 1.0,
+                r.metric("edge_symmetry").min >= 1.0);
   }
 }
 

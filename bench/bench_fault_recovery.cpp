@@ -4,82 +4,53 @@
 //    finite time" — without restart or external intervention.
 //
 // Regenerates fault-containment curves: moves to re-stabilize after
-// corrupting k of n processors, for k = 1..n, for both protocols; plus
-// crash-and-reset recovery.
+// corrupting k of n processors, for both protocols; plus crash-and-reset
+// recovery.  Trial execution is delegated to the src/exp harness (the
+// "fault-recovery" preset); this file only renders tables.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.hpp"
 #include "core/fault.hpp"
+#include "exp/scenario.hpp"
 
 namespace ssno::bench {
 namespace {
 
-constexpr int kTrials = 12;
-
-template <typename Protocol, typename LegitFn>
-Summary recoveryCost(Protocol& proto, LegitFn legit, int k, Rng& rng) {
-  std::vector<double> moves;
-  RoundRobinDaemon daemon;
-  Simulator sim(proto, daemon, rng);
-  for (int t = 0; t < kTrials; ++t) {
-    // Ensure we start legitimate, inject, then measure recovery.
-    (void)sim.runUntil(legit, 200'000'000);
-    FaultInjector inj(proto);
-    inj.corruptK(k, rng);
-    const RunStats stats = sim.runUntil(legit, 200'000'000);
-    if (stats.converged) moves.push_back(static_cast<double>(stats.moves));
+void printRecoveryTable(const std::vector<exp::ScenarioResult>& all,
+                        exp::ProtocolKind kind, const char* title) {
+  std::printf("%s:\n", title);
+  std::printf("%4s %14s %14s %14s %8s\n", "k", "mean moves", "p50", "p95",
+              "ok");
+  for (const exp::ScenarioResult& r : all) {
+    if (r.scenario.protocol != kind) continue;
+    const Summary s = r.metric("recovery_moves");
+    std::printf("%4d %14.1f %14.1f %14.1f %8s\n", r.scenario.faultK, s.mean,
+                s.p50, s.p95,
+                convergedLabel(r.trials, r.failedTrials).c_str());
   }
-  return summarize(std::move(moves));
 }
 
 void tables() {
   printHeader("EXP-10  recovery cost vs number of corrupted processors",
               "recovery from any transient fault in finite time, no "
               "restart procedure (§1.2)");
-  const Graph g = Graph::grid(4, 4);
+  const exp::ExperimentRunner runner;
+  const auto all = runner.runAll(exp::makePreset("fault-recovery"));
 
-  std::printf("DFTNO on grid(4x4):\n");
-  std::printf("%4s %14s %14s %14s\n", "k", "mean moves", "p50", "p95");
-  {
-    Dftno dftno(g);
-    Rng rng(0xFA17);
-    auto legit = [&dftno] { return dftno.isLegitimate(); };
-    for (int k : {1, 2, 4, 8, 16}) {
-      const Summary s = recoveryCost(dftno, legit, k, rng);
-      std::printf("%4d %14.1f %14.1f %14.1f\n", k, s.mean, s.p50, s.p95);
-    }
-  }
-
-  std::printf("\nSTNO on grid(4x4):\n");
-  std::printf("%4s %14s %14s %14s\n", "k", "mean moves", "p50", "p95");
-  {
-    Stno stno(g);
-    Rng rng(0xFA18);
-    auto legit = [&stno] { return stno.isLegitimate(); };
-    for (int k : {1, 2, 4, 8, 16}) {
-      const Summary s = recoveryCost(stno, legit, k, rng);
-      std::printf("%4d %14.1f %14.1f %14.1f\n", k, s.mean, s.p50, s.p95);
-    }
-  }
+  printRecoveryTable(all, exp::ProtocolKind::kDftnoRecovery,
+                     "DFTNO on grid(4x4)");
+  std::printf("\n");
+  printRecoveryTable(all, exp::ProtocolKind::kStnoRecovery,
+                     "STNO on grid(4x4)");
 
   std::printf("\ncrash-and-reset of a single processor (all-zero local "
               "state), STNO on grid(4x4):\n");
-  {
-    Stno stno(g);
-    Rng rng(0xFA19);
-    RoundRobinDaemon daemon;
-    Simulator sim(stno, daemon, rng);
-    (void)sim.runToQuiescence(200'000'000);
-    std::vector<double> moves;
-    FaultInjector inj(stno);
-    for (NodeId victim = 0; victim < g.nodeCount(); ++victim) {
-      inj.crashReset(victim);
-      const RunStats stats = sim.runToQuiescence(200'000'000);
-      if (stats.terminal) moves.push_back(static_cast<double>(stats.moves));
-    }
-    const Summary s = summarize(std::move(moves));
-    std::printf("  victims=%d  mean=%.1f  max=%.1f moves\n", s.count,
-                s.mean, s.max);
+  for (const exp::ScenarioResult& r : all) {
+    if (r.scenario.protocol != exp::ProtocolKind::kStnoCrashReset) continue;
+    const Summary s = r.metric("recovery_moves");
+    std::printf("  trials=%s  mean=%.1f  max=%.1f moves\n",
+                convergedLabel(r.trials, r.failedTrials).c_str(), s.mean,
+                s.max);
   }
 }
 

@@ -7,59 +7,48 @@
 // with the chordal sense of direction (2(n−1) messages) vs without
 // (2m), with the gap growing with edge density; unicast routing message
 // counts (greedy chordal vs flooding an unoriented network); routing
-// stretch tables.
+// stretch tables.  Measurement runs through the src/exp harness (the
+// "routing" preset), so the numbers are also available as CSV/JSON.
 #include <benchmark/benchmark.h>
 
 #include "apps/broadcast.hpp"
 #include "apps/routing.hpp"
 #include "bench_util.hpp"
+#include "exp/scenario.hpp"
 #include "sptree/dfs_tree.hpp"
 
 namespace ssno::bench {
 namespace {
 
-Orientation canonical(const Graph& g) {
-  return inducedChordalOrientation(g, portOrderDfsPreorder(g),
-                                   g.nodeCount());
-}
-
 void tables() {
   printHeader("EXP-12  message complexity with vs without orientation",
               "an orientation decreases communication complexity "
               "(traversal: 2(n−1) vs 2m messages)");
+  const exp::ExperimentRunner runner;
+  const auto all = runner.runAll(exp::makePreset("routing"));
 
   std::printf("traversal (token visits all nodes):\n");
   std::printf("%-16s %6s %7s | %12s %12s %8s\n", "graph", "n", "m",
               "with SoD", "without", "ratio");
-  Rng topo(51);
-  struct Case { const char* name; Graph g; };
-  std::vector<Case> cases;
-  cases.push_back({"tree(31)", Graph::kAryTree(31, 2)});
-  cases.push_back({"ring(32)", Graph::ring(32)});
-  cases.push_back({"grid(6x6)", Graph::grid(6, 6)});
-  cases.push_back({"torus(6x6)", Graph::torus(6, 6)});
-  cases.push_back({"hypercube(6)", Graph::hypercube(6)});
-  cases.push_back({"random(32,.3)", Graph::randomConnected(32, 0.3, topo)});
-  cases.push_back({"complete(32)", Graph::complete(32)});
-  for (const Case& c : cases) {
-    const Orientation o = canonical(c.g);
-    const int with = traverseWithOrientation(o, c.g.root()).messages;
-    const int without = traverseWithoutOrientation(c.g, c.g.root()).messages;
-    std::printf("%-16s %6d %7d | %12d %12d %8.2f\n", c.name,
-                c.g.nodeCount(), c.g.edgeCount(), with, without,
-                static_cast<double>(without) / with);
+  for (const exp::ScenarioResult& r : all) {
+    const double with = r.metric("traversal_with_sod").mean;
+    const double without = r.metric("traversal_without_sod").mean;
+    std::printf("%-16s %6d %7d | %12.0f %12.0f %8.2f\n",
+                r.scenario.topology.name().c_str(), r.nodeCount, r.edgeCount,
+                with, without, without / with);
   }
 
   std::printf("\nunicast: greedy chordal routing vs flooding "
               "(messages to reach one destination):\n");
   std::printf("%-16s | %10s %10s %10s | %10s\n", "graph", "delivered",
               "meanHops", "maxStretch", "flood");
-  for (const Case& c : cases) {
-    const Orientation o = canonical(c.g);
-    const RoutingStats rs = evaluateRouting(o, 2);
-    std::printf("%-16s | %9.1f%% %10.2f %10.2f | %10d\n", c.name,
-                100.0 * rs.delivered / rs.pairs, rs.meanHops, rs.maxStretch,
-                floodMessages(c.g, c.g.root()));
+  for (const exp::ScenarioResult& r : all) {
+    std::printf("%-16s | %9.1f%% %10.2f %10.2f | %10.0f\n",
+                r.scenario.topology.name().c_str(),
+                r.metric("unicast_delivered_pct").mean,
+                r.metric("unicast_mean_hops").mean,
+                r.metric("unicast_max_stretch").mean,
+                r.metric("flood_messages").mean);
   }
   std::printf("  (greedy uses path-length messages when it delivers; an\n"
               "   unoriented network must flood: Θ(m) messages per query)\n");
@@ -67,7 +56,8 @@ void tables() {
 
 void BM_TraverseWithSoD(::benchmark::State& state) {
   const Graph g = Graph::complete(static_cast<int>(state.range(0)));
-  const Orientation o = canonical(g);
+  const Orientation o = inducedChordalOrientation(
+      g, portOrderDfsPreorder(g), g.nodeCount());
   for (auto _ : state)
     ::benchmark::DoNotOptimize(traverseWithOrientation(o, 0).messages);
 }

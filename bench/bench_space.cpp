@@ -9,31 +9,17 @@
 //
 // Regenerates the exact bits-per-node table for both protocols across N
 // and Δ, split into orientation layer vs substrate, and fits the growth
-// against Δ·log N.
+// against Δ·log N.  The accounting runs through the src/exp harness (the
+// "space" preset), so the table is also available as CSV/JSON.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 
 #include "bench_util.hpp"
+#include "exp/scenario.hpp"
 
 namespace ssno::bench {
 namespace {
-
-double maxNodeBits(const Dftno& p, bool substrateOnly) {
-  double bits = 0;
-  for (NodeId q = 0; q < p.graph().nodeCount(); ++q)
-    bits = std::max(bits, substrateOnly ? p.substrate().stateBits(q)
-                                        : p.orientationBits(q));
-  return bits;
-}
-
-double maxNodeBits(const Stno& p, bool substrateOnly) {
-  double bits = 0;
-  for (NodeId q = 0; q < p.graph().nodeCount(); ++q)
-    bits = std::max(bits, substrateOnly ? p.substrateBits(q)
-                                        : p.orientationBits(q));
-  return bits;
-}
 
 void tables() {
   printHeader(
@@ -44,30 +30,20 @@ void tables() {
   std::printf("%-14s %6s %4s | %12s %12s | %12s %12s\n", "graph", "N",
               "Δ", "DFTNO orie.", "DFTNO subst.", "STNO orie.",
               "STNO subst.");
-  struct Case {
-    const char* name;
-    Graph g;
-  };
-  std::vector<Case> cases;
-  for (int n : {8, 16, 32, 64}) cases.push_back({"ring", Graph::ring(n)});
-  for (int n : {8, 16, 32, 64}) cases.push_back({"star", Graph::star(n)});
-  for (int n : {8, 16, 32}) cases.push_back({"complete", Graph::complete(n)});
-  for (int d : {3, 4, 5}) cases.push_back({"hypercube", Graph::hypercube(d)});
-
+  const exp::ExperimentRunner runner;
+  const auto all = runner.runAll(exp::makePreset("space"));
   std::vector<double> dlogn, dftnoBits, stnoBits;
-  for (const Case& c : cases) {
-    Dftno dftno(c.g);
-    Stno stno(c.g);
-    const double dOrie = maxNodeBits(dftno, false);
-    const double dSub = maxNodeBits(dftno, true);
-    const double sOrie = maxNodeBits(stno, false);
-    const double sSub = maxNodeBits(stno, true);
-    std::printf("%-14s %6d %4d | %12.1f %12.1f | %12.1f %12.1f\n", c.name,
-                c.g.nodeCount(), c.g.maxDegree(), dOrie, dSub, sOrie, sSub);
-    dlogn.push_back(c.g.maxDegree() *
-                    std::log2(static_cast<double>(c.g.nodeCount())));
+  for (const exp::ScenarioResult& r : all) {
+    const int maxDeg = static_cast<int>(r.metric("max_degree").mean);
+    const double dOrie = r.metric("dftno_orientation_bits").mean;
+    std::printf("%-14s %6d %4d | %12.1f %12.1f | %12.1f %12.1f\n",
+                r.scenario.topology.name().c_str(), r.nodeCount, maxDeg,
+                dOrie, r.metric("dftno_substrate_bits").mean,
+                r.metric("stno_orientation_bits").mean,
+                r.metric("stno_substrate_bits").mean);
+    dlogn.push_back(maxDeg * std::log2(static_cast<double>(r.nodeCount)));
     dftnoBits.push_back(dOrie);
-    stnoBits.push_back(sOrie);
+    stnoBits.push_back(r.metric("stno_orientation_bits").mean);
   }
   printFit("DFTNO orientation bits vs Δ·logN", fitLinear(dlogn, dftnoBits));
   printFit("STNO  orientation bits vs Δ·logN", fitLinear(dlogn, stnoBits));
@@ -76,12 +52,11 @@ void tables() {
   std::printf("\nsubstrate overhead on stars (hub node):\n");
   std::printf("%6s %6s | %16s %16s\n", "N", "Δ", "DFTNO substrate",
               "STNO substrate");
-  for (int n : {8, 16, 32, 64, 128}) {
-    const Graph g = Graph::star(n);
-    Dftno dftno(g);
-    Stno stno(g);
-    std::printf("%6d %6d | %16.1f %16.1f\n", n, n - 1,
-                dftno.substrate().stateBits(0), stno.substrateBits(1));
+  for (const exp::ScenarioResult& r : all) {
+    if (r.scenario.topology.family != exp::TopologyFamily::kStar) continue;
+    std::printf("%6d %6d | %16.1f %16.1f\n", r.nodeCount, r.nodeCount - 1,
+                r.metric("dftno_substrate_bits").mean,
+                r.metric("stno_substrate_bits").mean);
   }
   std::printf(
       "  (DFTNO's token substrate grows with log N only; STNO's tree\n"

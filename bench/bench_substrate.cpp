@@ -7,11 +7,16 @@
 // tree+non-tree backtracks), substrate stabilization cost from scrambled
 // states, and the BFS-tree substrate's round cost — the two "assumed"
 // protocols measured head to head.
+//
+// Trial execution is delegated to the src/exp harness (the "substrate"
+// preset); this file only renders tables.  The clean-round decomposition
+// is a deterministic single pass with hooks, not a trial loop.
 #include <benchmark/benchmark.h>
 
 #include <map>
 
 #include "bench_util.hpp"
+#include "exp/scenario.hpp"
 #include "sptree/bfs_tree.hpp"
 
 namespace ssno::bench {
@@ -54,52 +59,38 @@ void tables() {
   std::printf("clean round decomposition:\n");
   std::printf("%-14s %6s %6s | %9s %9s %9s\n", "graph", "n", "m",
               "forwards", "advances", "total");
-  Rng topo(41);
-  struct Case { const char* name; Graph g; };
-  std::vector<Case> cases;
-  cases.push_back({"ring(16)", Graph::ring(16)});
-  cases.push_back({"path(16)", Graph::path(16)});
-  cases.push_back({"complete(8)", Graph::complete(8)});
-  cases.push_back({"grid(4x4)", Graph::grid(4, 4)});
-  cases.push_back({"random(16)", Graph::randomConnected(16, 0.3, topo)});
-  for (const Case& c : cases) {
-    const RoundProfile prof = profileOneCleanRound(c.g);
-    std::printf("%-14s %6d %6d | %9d %9d %9d\n", c.name, c.g.nodeCount(),
-                c.g.edgeCount(), prof.forwards, prof.advances, prof.total);
+  for (const exp::Scenario& s : exp::makePreset("substrate")) {
+    if (s.protocol != exp::ProtocolKind::kDftc) continue;
+    const Graph g = s.topology.build();
+    const RoundProfile prof = profileOneCleanRound(g);
+    std::printf("%-14s %6d %6d | %9d %9d %9d\n", s.topology.name().c_str(),
+                g.nodeCount(), g.edgeCount(), prof.forwards, prof.advances,
+                prof.total);
   }
   std::printf("  (forwards = n−1 always; the token walk is linear in m)\n");
 
   std::printf("\nsubstrate stabilization from scrambled states "
               "(round-robin daemon, 10 trials):\n");
-  std::printf("%-14s %6s | %14s %14s\n", "graph", "n", "DFTC moves",
-              "BFS-tree moves");
-  for (const Case& c : cases) {
-    std::vector<double> dftcMoves, bfsMoves;
-    for (int t = 0; t < 10; ++t) {
-      {
-        Dftc dftc(c.g);
-        Rng rng(100 + static_cast<std::uint64_t>(t));
-        dftc.randomize(rng);
-        RoundRobinDaemon daemon;
-        Simulator sim(dftc, daemon, rng);
-        const RunStats stats = sim.runUntil(
-            [&dftc] { return dftc.isLegitimate(); }, 200'000'000);
-        if (stats.converged)
-          dftcMoves.push_back(static_cast<double>(stats.moves));
-      }
-      {
-        BfsTree tree(c.g);
-        Rng rng(200 + static_cast<std::uint64_t>(t));
-        tree.randomize(rng);
-        RoundRobinDaemon daemon;
-        Simulator sim(tree, daemon, rng);
-        const RunStats stats = sim.runToQuiescence(200'000'000);
-        if (stats.terminal)
-          bfsMoves.push_back(static_cast<double>(stats.moves));
-      }
-    }
-    std::printf("%-14s %6d | %14.1f %14.1f\n", c.name, c.g.nodeCount(),
-                summarize(dftcMoves).mean, summarize(bfsMoves).mean);
+  std::printf("%-14s %6s | %14s %8s | %14s %8s\n", "graph", "n",
+              "DFTC moves", "ok", "BFS-tree moves", "ok");
+  const exp::ExperimentRunner runner;
+  const auto all = runner.runAll(exp::makePreset("substrate"));
+  // The preset interleaves dftc/bfs-tree per topology; pair them up.
+  std::map<std::string, const exp::ScenarioResult*> bfsRows;
+  for (const exp::ScenarioResult& r : all)
+    if (r.scenario.protocol == exp::ProtocolKind::kBfsTree)
+      bfsRows[r.scenario.topology.name()] = &r;
+  for (const exp::ScenarioResult& r : all) {
+    if (r.scenario.protocol != exp::ProtocolKind::kDftc) continue;
+    const std::string topo = r.scenario.topology.name();
+    const auto bfs = bfsRows.find(topo);
+    if (bfs == bfsRows.end()) continue;  // unpaired topology in the preset
+    std::printf("%-14s %6d | %14.1f %8s | %14.1f %8s\n", topo.c_str(),
+                r.nodeCount, r.metric("substrate_moves").mean,
+                convergedLabel(r.trials, r.failedTrials).c_str(),
+                bfs->second->metric("tree_moves").mean,
+                convergedLabel(bfs->second->trials,
+                               bfs->second->failedTrials).c_str());
   }
 }
 

@@ -54,6 +54,9 @@ void listScenarios() {
   std::printf(
       "\ndynamic scenarios: protocol/daemon/topology\n"
       "  protocols: dftno stno stno-fixed-tree dftno-churn baseline-churn\n"
+      "             dftc bfs-tree lex-dfs-tree dftno-recovery stno-recovery\n"
+      "             stno-crash-reset ablation-naming space chordal-props\n"
+      "             routing scheduler\n"
       "  daemons:   central distributed synchronous round-robin adversarial\n"
       "  topology:  ring:N path:N star:N complete:N hypercube:D grid:RxC\n"
       "             torus:RxC kary:NxK caterpillar:SxL lollipop:CxT\n"

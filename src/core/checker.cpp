@@ -29,9 +29,13 @@ class ConfigIndexer {
   [[nodiscard]] bool overflow() const { return overflow_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }
 
-  void decodeInto(Protocol& p, std::uint64_t index) const {
+  void decodeInto(Protocol& p, std::uint64_t index,
+                  std::vector<std::uint64_t>* codes = nullptr) const {
+    if (codes) codes->resize(radices_.size());
     for (std::size_t q = 0; q < radices_.size(); ++q) {
-      p.decodeNode(static_cast<NodeId>(q), index % radices_[q]);
+      const std::uint64_t code = index % radices_[q];
+      p.decodeNode(static_cast<NodeId>(q), code);
+      if (codes) (*codes)[q] = code;
       index /= radices_[q];
     }
   }
@@ -210,16 +214,20 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
     isLegit[c] = legit_() ? 1 : 0;
   }
 
+  std::vector<std::uint64_t> nodeCodes;
   auto successors = [&](std::uint64_t c) {
     std::vector<std::pair<std::uint64_t, int>> succ;  // (config, actor)
-    ix.decodeInto(protocol_, c);
+    ix.decodeInto(protocol_, c, &nodeCodes);
     const std::vector<Move> moves = protocol_.enabledMoves();
     succ.reserve(moves.size());
     const int actions = protocol_.actionCount();
     for (const Move& m : moves) {
-      ix.decodeInto(protocol_, c);
       protocol_.execute(m.node, m.action);
       succ.emplace_back(ix.encodeFrom(protocol_), m.node * actions + m.action);
+      // A statement writes only its own processor's variables, so
+      // restoring the acted node alone returns the protocol to c.
+      protocol_.decodeNode(m.node,
+                           nodeCodes[static_cast<std::size_t>(m.node)]);
     }
     return succ;
   };
@@ -389,9 +397,15 @@ CheckResult ModelChecker::verifyReachable(
       return res;
     }
     for (const Move& m : moves) {
-      protocol_.decodeConfiguration(configs[static_cast<std::size_t>(c)]);
       protocol_.execute(m.node, m.action);
       const int s = intern(protocol_.encodeConfiguration());
+      // intern() may leave the protocol decoded to the successor; either
+      // way only m.node's variables differ from c, so restoring that one
+      // node returns to c for the next move.
+      protocol_.decodeNode(
+          m.node,
+          configs[static_cast<std::size_t>(c)][static_cast<std::size_t>(
+              m.node)]);
       if (configs.size() > maxConfigs) {
         res.failure = "reachable space exceeded maxConfigs";
         return res;
@@ -515,7 +529,7 @@ CheckResult ModelChecker::monteCarlo(Daemon& daemon, Rng& rng, int trials,
     // Closure spot check: legitimacy persists.
     StepCount done = 0;
     while (done < closureMoves) {
-      const std::vector<Move> executed = sim.stepOnce();
+      const std::vector<Move>& executed = sim.stepOnce();
       if (executed.empty()) break;
       done += static_cast<StepCount>(executed.size());
       if (!legit_()) {

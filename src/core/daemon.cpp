@@ -1,56 +1,56 @@
 #include "core/daemon.hpp"
 
 #include <algorithm>
-#include <map>
 
 #include "core/assert.hpp"
 
 namespace ssno {
 
-std::vector<Move> Daemon::onePerNode(const std::vector<Move>& enabled,
-                                     Rng& rng) {
+void Daemon::onePerNode(std::span<const Move> enabled, Rng& rng,
+                        std::vector<Move>& out) {
   // Reservoir-sample one action per node so that every enabled action has
-  // equal probability of representing its processor.
-  std::map<NodeId, Move> chosen;
-  std::map<NodeId, int> seen;
-  for (const Move& m : enabled) {
-    const int k = ++seen[m.node];
-    if (k == 1 || rng.below(k) == 0) chosen[m.node] = m;
+  // equal probability of representing its processor.  Node-major input
+  // means one contiguous run per node; draws happen in input order, the
+  // same sequence the historical map-based implementation produced.
+  out.clear();
+  for (std::size_t i = 0; i < enabled.size();) {
+    const NodeId node = enabled[i].node;
+    Move chosen = enabled[i];
+    int k = 1;
+    for (++i; i < enabled.size() && enabled[i].node == node; ++i)
+      if (rng.below(++k) == 0) chosen = enabled[i];
+    out.push_back(chosen);
   }
-  std::vector<Move> out;
-  out.reserve(chosen.size());
-  for (const auto& [node, move] : chosen) out.push_back(move);
-  return out;
 }
 
-std::vector<Move> CentralDaemon::select(const std::vector<Move>& enabled,
-                                        Rng& rng) {
+void CentralDaemon::selectInto(std::span<const Move> enabled, Rng& rng,
+                               std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
-  return {enabled[static_cast<std::size_t>(
-      rng.below(static_cast<int>(enabled.size())))]};
+  out.clear();
+  out.push_back(enabled[static_cast<std::size_t>(
+      rng.below(static_cast<int>(enabled.size())))]);
 }
 
-std::vector<Move> DistributedDaemon::select(const std::vector<Move>& enabled,
-                                            Rng& rng) {
+void DistributedDaemon::selectInto(std::span<const Move> enabled, Rng& rng,
+                                   std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
-  std::vector<Move> perNode = onePerNode(enabled, rng);
-  std::vector<Move> out;
-  for (const Move& m : perNode)
+  onePerNode(enabled, rng, perNode_);
+  out.clear();
+  for (const Move& m : perNode_)
     if (rng.chance(0.5)) out.push_back(m);
   if (out.empty())
-    out.push_back(perNode[static_cast<std::size_t>(
-        rng.below(static_cast<int>(perNode.size())))]);
-  return out;
+    out.push_back(perNode_[static_cast<std::size_t>(
+        rng.below(static_cast<int>(perNode_.size())))]);
 }
 
-std::vector<Move> SynchronousDaemon::select(const std::vector<Move>& enabled,
-                                            Rng& rng) {
+void SynchronousDaemon::selectInto(std::span<const Move> enabled, Rng& rng,
+                                   std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
-  return onePerNode(enabled, rng);
+  onePerNode(enabled, rng, out);
 }
 
-std::vector<Move> RoundRobinDaemon::select(const std::vector<Move>& enabled,
-                                           Rng& /*rng*/) {
+void RoundRobinDaemon::selectInto(std::span<const Move> enabled, Rng& /*rng*/,
+                                  std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
   // Serve the enabled (node, action) pair that follows the last served
   // pair in cyclic lexicographic order: every continuously enabled pair
@@ -70,18 +70,20 @@ std::vector<Move> RoundRobinDaemon::select(const std::vector<Move>& enabled,
   }
   if (best == nullptr) best = wrap;
   last_ = *best;
-  return {*best};
+  out.clear();
+  out.push_back(*best);
 }
 
-std::vector<Move> AdversarialDaemon::select(const std::vector<Move>& enabled,
-                                            Rng& /*rng*/) {
+void AdversarialDaemon::selectInto(std::span<const Move> enabled, Rng& /*rng*/,
+                                   std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
   const Move* best = &enabled.front();
   for (const Move& m : enabled)
     if (m.node < best->node ||
         (m.node == best->node && m.action < best->action))
       best = &m;
-  return {*best};
+  out.clear();
+  out.push_back(*best);
 }
 
 std::unique_ptr<Daemon> makeDaemon(DaemonKind kind) {

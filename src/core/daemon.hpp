@@ -12,6 +12,7 @@
 #define SSNO_CORE_DAEMON_HPP
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -24,26 +25,41 @@ class Daemon {
  public:
   virtual ~Daemon() = default;
 
-  /// Selects the moves to execute this computation step.
-  /// Precondition: `enabled` is non-empty and contains at most
-  /// actionCount() moves per node.  Postcondition: result non-empty, at
-  /// most one move per processor, and a subset of `enabled`.
-  [[nodiscard]] virtual std::vector<Move> select(
-      const std::vector<Move>& enabled, Rng& rng) = 0;
+  /// Selects the moves to execute this computation step into `out`
+  /// (cleared first; callers reuse the buffer so steady-state stepping
+  /// performs no heap allocations).
+  /// Precondition: `enabled` is non-empty, node-major (all moves of a
+  /// node contiguous, nodes ascending — the order Protocol::enabledMoves
+  /// and the EnabledCache produce), with at most actionCount() moves per
+  /// node.  Postcondition: `out` non-empty, at most one move per
+  /// processor, a subset of `enabled`.
+  virtual void selectInto(std::span<const Move> enabled, Rng& rng,
+                          std::vector<Move>& out) = 0;
+
+  /// Convenience wrapper for tests and one-off callers.
+  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
+                                         Rng& rng) {
+    std::vector<Move> out;
+    selectInto(enabled, rng, out);
+    return out;
+  }
 
   [[nodiscard]] virtual std::string name() const = 0;
 
  protected:
   /// Utility: keep at most one (uniformly chosen) move per processor.
-  static std::vector<Move> onePerNode(const std::vector<Move>& enabled,
-                                      Rng& rng);
+  /// Relies on the node-major precondition: each node's moves form one
+  /// contiguous run, so per-node reservoir sampling needs no map and the
+  /// RNG draw order matches the historical map-based implementation.
+  static void onePerNode(std::span<const Move> enabled, Rng& rng,
+                         std::vector<Move>& out);
 };
 
 /// Central daemon: exactly one enabled processor acts per step.
 class CentralDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
-                                         Rng& rng) override;
+  void selectInto(std::span<const Move> enabled, Rng& rng,
+                  std::vector<Move>& out) override;
   [[nodiscard]] std::string name() const override { return "central"; }
 };
 
@@ -51,16 +67,19 @@ class CentralDaemon final : public Daemon {
 /// one enabled action each.
 class DistributedDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
-                                         Rng& rng) override;
+  void selectInto(std::span<const Move> enabled, Rng& rng,
+                  std::vector<Move>& out) override;
   [[nodiscard]] std::string name() const override { return "distributed"; }
+
+ private:
+  std::vector<Move> perNode_;  // reusable scratch
 };
 
 /// Synchronous daemon: every enabled processor acts (one action each).
 class SynchronousDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
-                                         Rng& rng) override;
+  void selectInto(std::span<const Move> enabled, Rng& rng,
+                  std::vector<Move>& out) override;
   [[nodiscard]] std::string name() const override { return "synchronous"; }
 };
 
@@ -72,8 +91,8 @@ class SynchronousDaemon final : public Daemon {
 /// (e.g. DFTNO's EdgeLabel at a star hub behind token moves).
 class RoundRobinDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
-                                         Rng& rng) override;
+  void selectInto(std::span<const Move> enabled, Rng& rng,
+                  std::vector<Move>& out) override;
   [[nodiscard]] std::string name() const override { return "round-robin"; }
 
  private:
@@ -85,8 +104,8 @@ class RoundRobinDaemon final : public Daemon {
 /// starved for as long as others stay enabled).
 class AdversarialDaemon final : public Daemon {
  public:
-  [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
-                                         Rng& rng) override;
+  void selectInto(std::span<const Move> enabled, Rng& rng,
+                  std::vector<Move>& out) override;
   [[nodiscard]] std::string name() const override { return "adversarial"; }
 };
 

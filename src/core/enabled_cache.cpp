@@ -1,0 +1,83 @@
+#include "core/enabled_cache.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+EnabledCache::EnabledCache(Protocol& protocol)
+    : protocol_(protocol), actions_(protocol.actionCount()) {
+  SSNO_EXPECTS(actions_ >= 1 && actions_ <= 64);
+  mask_.assign(static_cast<std::size_t>(protocol_.graph().nodeCount()), 0);
+}
+
+std::uint64_t EnabledCache::guardMask(NodeId p) const {
+  std::uint64_t mask = 0;
+  for (int a = 0; a < actions_; ++a)
+    if (protocol_.enabled(p, a)) mask |= (std::uint64_t{1} << a);
+  return mask;
+}
+
+void EnabledCache::rebuildAll() {
+  enabledNodes_.clear();
+  for (NodeId p = 0; p < protocol_.graph().nodeCount(); ++p) {
+    const std::uint64_t mask = guardMask(p);
+    mask_[static_cast<std::size_t>(p)] = mask;
+    if (mask != 0) enabledNodes_.push_back(p);
+  }
+  movesStale_ = true;
+}
+
+void EnabledCache::updateNode(NodeId p) {
+  const std::uint64_t mask = guardMask(p);
+  auto& cached = mask_[static_cast<std::size_t>(p)];
+  if (mask == cached) return;
+  const bool was = cached != 0;
+  const bool is = mask != 0;
+  cached = mask;
+  if (was != is) {
+    const auto it =
+        std::lower_bound(enabledNodes_.begin(), enabledNodes_.end(), p);
+    if (is)
+      enabledNodes_.insert(it, p);
+    else
+      enabledNodes_.erase(it);
+  }
+  movesStale_ = true;
+}
+
+const std::vector<Move>& EnabledCache::refresh() {
+  if (force_naive_) {
+    protocol_.clearDirty();
+    primed_ = false;  // a later incremental refresh must rescan
+    moves_.clear();
+    for (NodeId p = 0; p < protocol_.graph().nodeCount(); ++p)
+      for (int a = 0; a < actions_; ++a)
+        if (protocol_.enabled(p, a)) moves_.push_back(Move{p, a});
+    return moves_;
+  }
+  if (!primed_ || protocol_.allDirty()) {
+    rebuildAll();
+    primed_ = true;
+  } else {
+    for (NodeId p : protocol_.dirtyNodes()) updateNode(p);
+  }
+  protocol_.clearDirty();
+  if (movesStale_) {
+    moves_.clear();
+    for (NodeId p : enabledNodes_) {
+      std::uint64_t mask = mask_[static_cast<std::size_t>(p)];
+      for (int a = 0; mask != 0; ++a, mask >>= 1)
+        if (mask & 1) moves_.push_back(Move{p, a});
+    }
+    movesStale_ = false;
+  }
+#ifndef NDEBUG
+  // Cross-check: the incremental set must be bit-identical to the scan.
+  SSNO_ASSERT(moves_ == protocol_.enabledMoves());
+#endif
+  return moves_;
+}
+
+}  // namespace ssno

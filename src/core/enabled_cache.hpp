@@ -1,0 +1,61 @@
+// EnabledCache — incremental maintenance of the enabled-move set.
+//
+// Protocol::enabledMoves() rescans all n processors × all actions; the
+// simulator needs the enabled set twice per step, so a run of m moves
+// costs O(m·n·Δ·actions) guard evaluations even though a guarded-command
+// move at p can only change the guards of p ∪ N(p).  This cache consumes
+// the Protocol's dirty set instead: refresh() re-evaluates only dirty
+// processors' guards and patches the cached set, dropping the steady-state
+// per-step cost to O(Δ²·actions) guard evaluations, and reuses its buffers
+// so steady-state refreshes perform no heap allocations.
+//
+// The cached move list is bit-identical to Protocol::enabledMoves()
+// (node-major, ascending action) — asserted against the naive scan after
+// every refresh in debug builds — so daemon RNG draws, traces, and all
+// results are unchanged.  setForceNaive(true) bypasses the incremental
+// path entirely (used by the equivalence test suite and the scheduler
+// bench's before/after measurement).
+//
+// Exactly one EnabledCache may drain a Protocol at a time (draining
+// clears the dirty set); the Simulator owns one per run.
+#ifndef SSNO_CORE_ENABLED_CACHE_HPP
+#define SSNO_CORE_ENABLED_CACHE_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+class EnabledCache {
+ public:
+  explicit EnabledCache(Protocol& protocol);
+
+  /// Brings the cache up to date with the protocol's dirty set and
+  /// returns the enabled moves (valid until the next refresh/mutation).
+  [[nodiscard]] const std::vector<Move>& refresh();
+
+  /// Replaces the incremental path with a full naive rescan per refresh
+  /// (for equivalence testing and before/after benchmarking).
+  void setForceNaive(bool force) { force_naive_ = force; }
+
+ private:
+  void rebuildAll();
+  void updateNode(NodeId p);
+  [[nodiscard]] std::uint64_t guardMask(NodeId p) const;
+
+  Protocol& protocol_;
+  int actions_;
+  std::vector<std::uint64_t> mask_;   // enabled-action bitmask per node
+  std::vector<NodeId> enabledNodes_;  // ascending nodes with mask != 0
+  std::vector<Move> moves_;           // node-major, ascending action
+  bool movesStale_ = true;
+  bool primed_ = false;  // first refresh always rescans everything
+  bool force_naive_ = false;
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_ENABLED_CACHE_HPP

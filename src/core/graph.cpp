@@ -11,9 +11,13 @@ namespace ssno {
 
 Graph::Graph(int n, const std::vector<std::pair<NodeId, NodeId>>& edges,
              NodeId root)
-    : adj_(static_cast<std::size_t>(n)), root_(root) {
+    : root_(root) {
   if (n <= 0) throw std::invalid_argument("Graph: need at least one node");
   if (root < 0 || root >= n) throw std::invalid_argument("Graph: bad root");
+  // Two passes over the edge list: degrees first, then CSR fill.  Port
+  // numbering at each endpoint is edge-list insertion order, exactly as
+  // the nested-vector representation produced.
+  std::vector<int> degree(static_cast<std::size_t>(n), 0);
   std::set<std::pair<NodeId, NodeId>> seen;
   for (const auto& [u, v] : edges) {
     if (u < 0 || u >= n || v < 0 || v >= n)
@@ -22,23 +26,30 @@ Graph::Graph(int n, const std::vector<std::pair<NodeId, NodeId>>& edges,
     const auto key = std::minmax(u, v);
     if (!seen.insert({key.first, key.second}).second)
       throw std::invalid_argument("Graph: duplicate edge");
-    adj_[static_cast<std::size_t>(u)].push_back(v);
-    adj_[static_cast<std::size_t>(v)].push_back(u);
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
     ++edge_count_;
   }
-}
-
-int Graph::maxDegree() const {
-  int d = 0;
-  for (NodeId p = 0; p < nodeCount(); ++p) d = std::max(d, degree(p));
-  return d;
-}
-
-Port Graph::portOf(NodeId p, NodeId q) const {
-  const auto& nbrs = adj_[static_cast<std::size_t>(p)];
-  for (std::size_t i = 0; i < nbrs.size(); ++i)
-    if (nbrs[i] == q) return static_cast<Port>(i);
-  return kNoPort;
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int p = 0; p < n; ++p) {
+    offsets_[static_cast<std::size_t>(p) + 1] =
+        offsets_[static_cast<std::size_t>(p)] +
+        static_cast<std::size_t>(degree[static_cast<std::size_t>(p)]);
+    max_degree_ = std::max(max_degree_, degree[static_cast<std::size_t>(p)]);
+  }
+  nbrs_.resize(offsets_.back());
+  ports_.reserve(nbrs_.size());
+  std::vector<std::size_t> fill(offsets_.begin(), offsets_.end() - 1);
+  auto addDirected = [this, &fill](NodeId u, NodeId v) {
+    const Port port = static_cast<Port>(
+        fill[static_cast<std::size_t>(u)] - offsets_[static_cast<std::size_t>(u)]);
+    nbrs_[fill[static_cast<std::size_t>(u)]++] = v;
+    ports_.emplace(edgeKey(u, v), port);
+  };
+  for (const auto& [u, v] : edges) {
+    addDirected(u, v);
+    addDirected(v, u);
+  }
 }
 
 bool Graph::isConnected() const {

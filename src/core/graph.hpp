@@ -5,11 +5,19 @@
 // anonymous; processors refer to incident links only through local port
 // numbers 0..Δp−1.  The Graph is immutable after construction; topology
 // builders live in this header as static factories.
+//
+// Storage is CSR (compressed sparse row): one flat offsets array plus one
+// flat neighbor array, so neighbors(p) is a contiguous span and the whole
+// structure is two cache-friendly allocations regardless of n.  A hash
+// table over directed edges backs portOf/adjacent in O(1); port numbering
+// (edge-list insertion order) is unchanged from the nested representation.
 #ifndef SSNO_CORE_GRAPH_HPP
 #define SSNO_CORE_GRAPH_HPP
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -25,32 +33,42 @@ class Graph {
   Graph(int n, const std::vector<std::pair<NodeId, NodeId>>& edges,
         NodeId root = 0);
 
-  [[nodiscard]] int nodeCount() const { return static_cast<int>(adj_.size()); }
+  [[nodiscard]] int nodeCount() const {
+    return static_cast<int>(offsets_.size()) - 1;
+  }
   [[nodiscard]] int edgeCount() const { return edge_count_; }
   [[nodiscard]] NodeId root() const { return root_; }
 
-  /// Neighbors of p in port order.
+  /// Neighbors of p in port order (a contiguous CSR slice).
   [[nodiscard]] std::span<const NodeId> neighbors(NodeId p) const {
-    return adj_[static_cast<std::size_t>(p)];
+    const std::size_t begin = offsets_[static_cast<std::size_t>(p)];
+    const std::size_t end = offsets_[static_cast<std::size_t>(p) + 1];
+    return {nbrs_.data() + begin, end - begin};
   }
 
   [[nodiscard]] int degree(NodeId p) const {
-    return static_cast<int>(adj_[static_cast<std::size_t>(p)].size());
+    return static_cast<int>(offsets_[static_cast<std::size_t>(p) + 1] -
+                            offsets_[static_cast<std::size_t>(p)]);
   }
 
   /// Maximum degree Δ.
-  [[nodiscard]] int maxDegree() const;
+  [[nodiscard]] int maxDegree() const { return max_degree_; }
 
   /// The neighbor reached from p through local port `port`.
   [[nodiscard]] NodeId neighborAt(NodeId p, Port port) const {
-    return adj_[static_cast<std::size_t>(p)][static_cast<std::size_t>(port)];
+    return nbrs_[offsets_[static_cast<std::size_t>(p)] +
+                 static_cast<std::size_t>(port)];
   }
 
   /// The local port of p whose link leads to q; kNoPort if not adjacent.
-  [[nodiscard]] Port portOf(NodeId p, NodeId q) const;
+  /// O(1): one hash lookup in the directed-edge port table.
+  [[nodiscard]] Port portOf(NodeId p, NodeId q) const {
+    const auto it = ports_.find(edgeKey(p, q));
+    return it == ports_.end() ? kNoPort : it->second;
+  }
 
   [[nodiscard]] bool adjacent(NodeId p, NodeId q) const {
-    return portOf(p, q) != kNoPort;
+    return ports_.contains(edgeKey(p, q));
   }
 
   [[nodiscard]] bool isConnected() const;
@@ -87,9 +105,17 @@ class Graph {
   static Graph figure221();
 
  private:
-  std::vector<std::vector<NodeId>> adj_;
+  [[nodiscard]] static std::uint64_t edgeKey(NodeId p, NodeId q) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p)) << 32) |
+           static_cast<std::uint32_t>(q);
+  }
+
+  std::vector<std::size_t> offsets_;  // n+1 entries
+  std::vector<NodeId> nbrs_;          // 2m entries, port order per node
+  std::unordered_map<std::uint64_t, Port> ports_;  // (p,q) -> port at p
   NodeId root_ = 0;
   int edge_count_ = 0;
+  int max_degree_ = 0;
 };
 
 }  // namespace ssno

@@ -24,7 +24,8 @@ std::vector<std::uint64_t> Protocol::encodeConfiguration() const {
 void Protocol::decodeConfiguration(const std::vector<std::uint64_t>& codes) {
   SSNO_EXPECTS(static_cast<int>(codes.size()) == graph().nodeCount());
   for (NodeId p = 0; p < graph().nodeCount(); ++p)
-    decodeNode(p, codes[static_cast<std::size_t>(p)]);
+    doDecodeNode(p, codes[static_cast<std::size_t>(p)]);
+  dirtyAll();
 }
 
 std::vector<int> Protocol::rawConfiguration() const {
@@ -41,12 +42,14 @@ void Protocol::setRawConfiguration(const std::vector<int>& values) {
   for (NodeId p = 0; p < graph().nodeCount(); ++p) {
     const std::size_t len = rawNode(p).size();
     SSNO_EXPECTS(offset + len <= values.size());
-    setRawNode(p, std::vector<int>(values.begin() + static_cast<long>(offset),
-                                   values.begin() +
-                                       static_cast<long>(offset + len)));
+    doSetRawNode(p,
+                 std::vector<int>(values.begin() + static_cast<long>(offset),
+                                  values.begin() +
+                                      static_cast<long>(offset + len)));
     offset += len;
   }
   SSNO_EXPECTS(offset == values.size());
+  dirtyAll();
 }
 
 std::uint64_t Protocol::configurationHash() const {

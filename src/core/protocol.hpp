@@ -13,6 +13,22 @@
 //  * a canonical per-node state codec so the exhaustive model checker can
 //    enumerate and hash the full configuration space C,
 //  * human-readable dumps for traces.
+//
+// Dirty tracking (the simulation hot path).  Guards are local: the guard
+// of an action at p reads only p's own variables and its neighbors', so a
+// state write at p can change the enabled relation only at p ∪ N(p).  The
+// base class exploits this: every mutating entry point (execute,
+// setRawNode, decodeNode, randomizeNode — the non-virtual public wrappers
+// around the do* hooks below) records the written node's closed
+// neighborhood in a dirty set, and whole-configuration writes mark
+// everything dirty.  An EnabledCache drains the set and re-evaluates only
+// dirty processors' guards instead of rescanning all n each step.
+//
+// Contract for protocol authors: ALL state writes must go through the
+// wrappers (or call dirtyNeighborhood/dirtyAll explicitly for internal
+// resets), and a protocol whose guard at p reads state beyond N[p] must
+// override dirtyAfterWrite to extend the dirty region (see
+// InitBasedOrientation, whose numbering wave follows a global preorder).
 #ifndef SSNO_CORE_PROTOCOL_HPP
 #define SSNO_CORE_PROTOCOL_HPP
 
@@ -51,17 +67,37 @@ class Protocol {
   /// current configuration?
   [[nodiscard]] virtual bool enabled(NodeId p, int action) const = 0;
 
+  /// Whether every guard and statement at p reads only N[p] state.  A
+  /// protocol that overrides dirtyAfterWrite because a guard reads
+  /// non-neighbor state must return false unless a concurrently enabled
+  /// actor provably cannot write that state: the simulator's
+  /// simultaneous-step path restores only acting closed neighborhoods
+  /// when this holds, and falls back to full-configuration snapshots
+  /// when it does not.
+  [[nodiscard]] virtual bool guardsAreNeighborhoodLocal() const {
+    return true;
+  }
+
   /// Atomically executes `action` at p.  Precondition: enabled(p, action).
-  virtual void execute(NodeId p, int action) = 0;
+  /// Dirties p's closed neighborhood (statements write only p's own
+  /// variables).
+  void execute(NodeId p, int action) {
+    doExecute(p, action);
+    dirtyAfterWrite(p);
+  }
 
   /// Replaces every processor's state with a uniformly arbitrary one
   /// (transient-fault model: the adversary may set all variables).
-  virtual void randomize(Rng& rng) {
-    for (NodeId p = 0; p < graph_.nodeCount(); ++p) randomizeNode(p, rng);
+  void randomize(Rng& rng) {
+    for (NodeId p = 0; p < graph_.nodeCount(); ++p) doRandomizeNode(p, rng);
+    dirtyAll();
   }
 
   /// Arbitrary state for a single processor (k-fault injection).
-  virtual void randomizeNode(NodeId p, Rng& rng) = 0;
+  void randomizeNode(NodeId p, Rng& rng) {
+    doRandomizeNode(p, rng);
+    dirtyAfterWrite(p);
+  }
 
   /// ---- Canonical state codec (model checking / hashing) ---------------
   /// Size of processor p's local state space; local states are indexed
@@ -71,13 +107,19 @@ class Protocol {
   /// the simulator and legitimacy orbits use the raw-values API below).
   [[nodiscard]] virtual std::uint64_t localStateCount(NodeId p) const = 0;
   [[nodiscard]] virtual std::uint64_t encodeNode(NodeId p) const = 0;
-  virtual void decodeNode(NodeId p, std::uint64_t code) = 0;
+  void decodeNode(NodeId p, std::uint64_t code) {
+    doDecodeNode(p, code);
+    dirtyAfterWrite(p);
+  }
 
   /// ---- Raw state snapshot (overflow-safe, any graph size) -------------
   /// The processor's variables as a flat int vector (protocol-defined
   /// order, fixed length per processor).
   [[nodiscard]] virtual std::vector<int> rawNode(NodeId p) const = 0;
-  virtual void setRawNode(NodeId p, const std::vector<int>& values) = 0;
+  void setRawNode(NodeId p, const std::vector<int>& values) {
+    doSetRawNode(p, values);
+    dirtyAfterWrite(p);
+  }
 
   /// Whole-configuration raw snapshot (concatenated per-node vectors).
   [[nodiscard]] std::vector<int> rawConfiguration() const;
@@ -96,11 +138,68 @@ class Protocol {
   /// FNV-1a hash of the canonical encoding (for visited-set bookkeeping).
   [[nodiscard]] std::uint64_t configurationHash() const;
 
+  /// ---- Dirty-set drain (single active consumer, e.g. EnabledCache) ----
+  /// `true` after a whole-configuration write: the consumer must rescan
+  /// every processor (dirtyNodes() is meaningless then).
+  [[nodiscard]] bool allDirty() const { return all_dirty_; }
+  /// Deduplicated nodes whose guards may have changed since clearDirty().
+  [[nodiscard]] const std::vector<NodeId>& dirtyNodes() const {
+    return dirty_list_;
+  }
+  [[nodiscard]] bool hasDirtyState() const {
+    return all_dirty_ || !dirty_list_.empty();
+  }
+  void clearDirty() {
+    for (NodeId p : dirty_list_) dirty_flag_[static_cast<std::size_t>(p)] = 0;
+    dirty_list_.clear();
+    all_dirty_ = false;
+  }
+
  protected:
-  explicit Protocol(Graph graph) : graph_(std::move(graph)) {}
+  explicit Protocol(Graph graph) : graph_(std::move(graph)) {
+    dirty_flag_.assign(static_cast<std::size_t>(graph_.nodeCount()), 0);
+  }
+
+  /// ---- Mutation hooks implemented by protocols ------------------------
+  virtual void doExecute(NodeId p, int action) = 0;
+  virtual void doRandomizeNode(NodeId p, Rng& rng) = 0;
+  virtual void doDecodeNode(NodeId p, std::uint64_t code) = 0;
+  virtual void doSetRawNode(NodeId p, const std::vector<int>& values) = 0;
+
+  /// Dirty region of a state write at p.  The default — p's closed
+  /// neighborhood — is correct whenever guards read only N[p]; protocols
+  /// with non-local guard dependencies must widen it.
+  virtual void dirtyAfterWrite(NodeId p) { dirtyNeighborhood(p); }
+
+  /// Marks a single node's guards as needing re-evaluation.
+  void dirtyNode(NodeId p) {
+    if (all_dirty_) return;
+    auto& flag = dirty_flag_[static_cast<std::size_t>(p)];
+    if (flag) return;
+    flag = 1;
+    dirty_list_.push_back(p);
+  }
+
+  /// Marks p ∪ N(p) dirty (the region a write at p can influence).
+  void dirtyNeighborhood(NodeId p) {
+    if (all_dirty_) return;
+    dirtyNode(p);
+    for (NodeId q : graph_.neighbors(p)) dirtyNode(q);
+  }
+
+  /// Marks every processor dirty (whole-configuration writes, internal
+  /// bulk resets such as Dftc::resetClean).
+  void dirtyAll() {
+    for (NodeId p : dirty_list_) dirty_flag_[static_cast<std::size_t>(p)] = 0;
+    dirty_list_.clear();
+    all_dirty_ = true;
+  }
 
  private:
   Graph graph_;
+  std::vector<std::uint8_t> dirty_flag_;
+  std::vector<NodeId> dirty_list_;
+  bool all_dirty_ = true;  // a fresh protocol has never been scanned
 };
 
 }  // namespace ssno

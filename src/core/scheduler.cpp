@@ -6,90 +6,148 @@
 
 namespace ssno {
 
-std::vector<Move> Simulator::stepOnce() {
-  const std::vector<Move> enabled = protocol_.enabledMoves();
-  if (enabled.empty()) return {};
-  std::vector<Move> selected = daemon_.select(enabled, rng_);
-  SSNO_ASSERT(!selected.empty());
-  if (selected.size() == 1) {
-    protocol_.execute(selected.front().node, selected.front().action);
+const std::vector<Move>& Simulator::stepOnce() {
+  const std::vector<Move>& enabled = cache_.refresh();
+  if (enabled.empty()) {
+    selected_.clear();
+    return selected_;
+  }
+  daemon_.selectInto(enabled, rng_, selected_);
+  SSNO_ASSERT(!selected_.empty());
+  if (selected_.size() == 1) {
+    protocol_.execute(selected_.front().node, selected_.front().action);
   } else {
-    executeSimultaneously(selected);
+    executeSimultaneously(selected_);
   }
   if (observer_) {
-    for (const Move& m : selected) observer_(m);
+    for (const Move& m : selected_) observer_(m);
   }
-  accountRound(selected);
-  return selected;
+  accountRound(selected_);
+  return selected_;
 }
 
 void Simulator::executeSimultaneously(const std::vector<Move>& moves) {
   // Shared-memory semantics: every statement reads the pre-step
-  // configuration.  Execute each move against a restored pre-state, collect
-  // the post-state of the acting processor, then apply all writes at once
+  // configuration.  Only the acting processors change state, so it
+  // suffices to snapshot the actors and, before executing each move, roll
+  // the already-executed actors inside the mover's closed neighborhood
+  // back to their pre-step values; all post-states are applied at the end
   // (each processor writes only its own variables, so writes commute).
-  const std::vector<int> pre = protocol_.rawConfiguration();
-  std::vector<std::vector<int>> post(moves.size());
-  for (std::size_t i = 0; i < moves.size(); ++i) {
+  //
+  // The neighborhood-scoped rollback is only sound when guards and
+  // statements read nothing beyond N[p]; protocols with non-local guard
+  // dependencies get the full-configuration snapshot instead.
+  if (!protocol_.guardsAreNeighborhoodLocal()) {
+    const std::vector<int> pre = protocol_.rawConfiguration();
+    std::vector<std::vector<int>> post(moves.size());
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      protocol_.setRawConfiguration(pre);
+      SSNO_ASSERT(protocol_.enabled(moves[i].node, moves[i].action));
+      protocol_.execute(moves[i].node, moves[i].action);
+      post[i] = protocol_.rawNode(moves[i].node);
+    }
     protocol_.setRawConfiguration(pre);
-    SSNO_ASSERT(protocol_.enabled(moves[i].node, moves[i].action));
-    protocol_.execute(moves[i].node, moves[i].action);
-    post[i] = protocol_.rawNode(moves[i].node);
+    for (std::size_t i = 0; i < moves.size(); ++i)
+      protocol_.setRawNode(moves[i].node, post[i]);
+    return;
   }
-  protocol_.setRawConfiguration(pre);
-  for (std::size_t i = 0; i < moves.size(); ++i)
-    protocol_.setRawNode(moves[i].node, post[i]);
+  const std::size_t k = moves.size();
+  if (preState_.size() < k) {
+    preState_.resize(k);
+    postState_.resize(k);
+  }
+  if (actingIndex_.size() !=
+      static_cast<std::size_t>(protocol_.graph().nodeCount()))
+    actingIndex_.assign(static_cast<std::size_t>(protocol_.graph().nodeCount()),
+                        -1);
+  for (std::size_t i = 0; i < k; ++i) {
+    preState_[i] = protocol_.rawNode(moves[i].node);
+    actingIndex_[static_cast<std::size_t>(moves[i].node)] =
+        static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId p = moves[i].node;
+    for (NodeId q : protocol_.graph().neighbors(p)) {
+      const int j = actingIndex_[static_cast<std::size_t>(q)];
+      if (j >= 0 && static_cast<std::size_t>(j) < i)
+        protocol_.setRawNode(q, preState_[static_cast<std::size_t>(j)]);
+    }
+    SSNO_ASSERT(protocol_.enabled(p, moves[i].action));
+    protocol_.execute(p, moves[i].action);
+    postState_[i] = protocol_.rawNode(p);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    protocol_.setRawNode(moves[i].node, postState_[i]);
+    actingIndex_[static_cast<std::size_t>(moves[i].node)] = -1;
+  }
 }
 
 void Simulator::accountRound(const std::vector<Move>& executed) {
-  const int n = protocol_.graph().nodeCount();
+  // Both the round-opening set and the neutralization test read the
+  // post-step enabled set; one cache refresh serves both (the naive
+  // implementation called Protocol::enabledMoves() twice here).
+  const std::vector<Move>& now = cache_.refresh();
+  if (pending_.size() != static_cast<std::size_t>(protocol_.graph().nodeCount()))
+    pending_.assign(static_cast<std::size_t>(protocol_.graph().nodeCount()),
+                    false);
+  auto mark = [this](NodeId p) {
+    if (!pending_[static_cast<std::size_t>(p)]) {
+      pending_[static_cast<std::size_t>(p)] = true;
+      pendingList_.push_back(p);
+    }
+  };
   if (!roundActive_) {
-    pending_.assign(static_cast<std::size_t>(n), false);
-    bool any = false;
-    // A round opens with the set of processors currently enabled...
-    // (computed lazily below from the enabled moves *before* this step was
-    // taken; as an operational simplification we open the round with the
-    // processors that executed or remain enabled now).
-    for (const Move& m : executed) {
-      pending_[static_cast<std::size_t>(m.node)] = true;
-      any = true;
-    }
-    for (const Move& m : protocol_.enabledMoves()) {
-      pending_[static_cast<std::size_t>(m.node)] = true;
-      any = true;
-    }
-    roundActive_ = any;
+    // A round opens with the processors that executed or remain enabled
+    // now (operational simplification of "continuously enabled since the
+    // round began"; see the naive accountRound in the git history).
+    for (const Move& m : executed) mark(m.node);
+    for (const Move& m : now) mark(m.node);
+    roundActive_ = !pendingList_.empty();
   }
   // Processors that executed have served the round.
   for (const Move& m : executed)
     pending_[static_cast<std::size_t>(m.node)] = false;
-  // Processors no longer enabled are neutralized.
-  std::vector<bool> enabledNow(static_cast<std::size_t>(n), false);
-  for (const Move& m : protocol_.enabledMoves())
-    enabledNow[static_cast<std::size_t>(m.node)] = true;
-  bool anyPending = false;
-  for (int p = 0; p < n; ++p) {
-    if (pending_[static_cast<std::size_t>(p)] &&
-        !enabledNow[static_cast<std::size_t>(p)])
+  // Processors no longer enabled are neutralized.  `now` is node-major,
+  // so membership is a binary search — no n-sized scratch set.
+  auto enabledNow = [&now](NodeId p) {
+    const auto it = std::lower_bound(
+        now.begin(), now.end(), p,
+        [](const Move& m, NodeId v) { return m.node < v; });
+    return it != now.end() && it->node == p;
+  };
+  std::size_t write = 0;
+  for (const NodeId p : pendingList_) {
+    if (!pending_[static_cast<std::size_t>(p)]) continue;
+    if (!enabledNow(p)) {
       pending_[static_cast<std::size_t>(p)] = false;
-    anyPending = anyPending || pending_[static_cast<std::size_t>(p)];
+      continue;
+    }
+    pendingList_[write++] = p;
   }
-  if (roundActive_ && !anyPending) {
+  pendingList_.resize(write);
+  if (roundActive_ && pendingList_.empty()) {
     ++roundsDone_;
     roundActive_ = false;
   }
 }
 
+void Simulator::resetRound() {
+  for (const NodeId p : pendingList_)
+    pending_[static_cast<std::size_t>(p)] = false;
+  pendingList_.clear();
+  roundActive_ = false;
+  roundsDone_ = 0;
+}
+
 RunStats Simulator::runUntil(const Predicate& goal, StepCount maxMoves) {
   RunStats stats;
-  roundsDone_ = 0;
-  roundActive_ = false;
+  resetRound();
   while (stats.moves < maxMoves) {
     if (goal && goal()) {
       stats.converged = true;
       break;
     }
-    const std::vector<Move> executed = stepOnce();
+    const std::vector<Move>& executed = stepOnce();
     if (executed.empty()) {
       stats.terminal = true;
       stats.converged = goal && goal();

@@ -13,6 +13,14 @@
 // Simultaneous moves follow the shared-memory distributed-daemon
 // semantics: all guards and statement right-hand sides are evaluated
 // against the configuration at the beginning of the step.
+//
+// Hot path: the simulator maintains the enabled-move set incrementally
+// (EnabledCache over the Protocol's dirty notifications) and reuses all
+// of its buffers, so steady-state stepping evaluates only the guards a
+// move could have changed and performs no heap allocations.  A Simulator
+// must be the only driver of its Protocol while in use; state writes from
+// outside a step (fault injection, restores in goal predicates) are
+// picked up through the dirtying API.
 #ifndef SSNO_CORE_SCHEDULER_HPP
 #define SSNO_CORE_SCHEDULER_HPP
 
@@ -20,6 +28,7 @@
 #include <vector>
 
 #include "core/daemon.hpp"
+#include "core/enabled_cache.hpp"
 #include "core/protocol.hpp"
 #include "core/rng.hpp"
 #include "core/types.hpp"
@@ -41,7 +50,7 @@ class Simulator {
   using MoveObserver = std::function<void(const Move&)>;
 
   Simulator(Protocol& protocol, Daemon& daemon, Rng& rng)
-      : protocol_(protocol), daemon_(daemon), rng_(rng) {}
+      : protocol_(protocol), daemon_(daemon), rng_(rng), cache_(protocol) {}
 
   /// Runs until `goal` holds (checked before every step), the protocol is
   /// terminal, or `maxMoves` moves have executed.
@@ -51,22 +60,37 @@ class Simulator {
   RunStats runToQuiescence(StepCount maxMoves);
 
   /// Executes exactly one daemon step (if any move is enabled).
-  /// Returns the moves executed.
-  std::vector<Move> stepOnce();
+  /// Returns the moves executed (a reference to an internal buffer,
+  /// valid until the next step).
+  const std::vector<Move>& stepOnce();
 
   void setMoveObserver(MoveObserver obs) { observer_ = std::move(obs); }
+
+  /// Forces a full naive enabled-set rescan every step instead of the
+  /// incremental cache (equivalence testing, before/after benchmarks).
+  void setNaiveEnabledScan(bool naive) { cache_.setForceNaive(naive); }
 
  private:
   void executeSimultaneously(const std::vector<Move>& moves);
   void accountRound(const std::vector<Move>& executed);
+  void resetRound();
 
   Protocol& protocol_;
   Daemon& daemon_;
   Rng& rng_;
+  EnabledCache cache_;
   MoveObserver observer_;
 
-  // Round bookkeeping.
-  std::vector<bool> pending_;  // processors owing a move this round
+  // Reused buffers (no allocations in steady state).
+  std::vector<Move> selected_;
+  std::vector<std::vector<int>> preState_;   // simultaneous-step snapshots
+  std::vector<std::vector<int>> postState_;
+  std::vector<int> actingIndex_;             // node -> move index, or -1
+
+  // Round bookkeeping.  Invariant between calls: pendingList_ holds
+  // exactly the processors with pending_ set (none when !roundActive_).
+  std::vector<bool> pending_;         // processors owing a move this round
+  std::vector<NodeId> pendingList_;   // the same set, as a list
   bool roundActive_ = false;
   StepCount roundsDone_ = 0;
 };

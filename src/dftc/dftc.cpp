@@ -118,7 +118,7 @@ bool Dftc::enabled(NodeId p, int action) const {
   }
 }
 
-void Dftc::execute(NodeId p, int action) {
+void Dftc::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   switch (action) {
     case kStart: {
@@ -176,7 +176,7 @@ bool Dftc::holdsToken(NodeId p) const {
   return false;
 }
 
-void Dftc::randomizeNode(NodeId p, Rng& rng) {
+void Dftc::doRandomizeNode(NodeId p, Rng& rng) {
   // Variable-wise draws (localStateCount may exceed int range on large
   // high-degree graphs).
   s_[idx(p)] = rng.below(graph().degree(p) + 1) - 1;
@@ -190,7 +190,7 @@ std::vector<int> Dftc::rawNode(NodeId p) const {
   return {s_[idx(p)], col_[idx(p)], d_[idx(p)], par_[idx(p)]};
 }
 
-void Dftc::setRawNode(NodeId p, const std::vector<int>& values) {
+void Dftc::doSetRawNode(NodeId p, const std::vector<int>& values) {
   SSNO_EXPECTS(values.size() == 4);
   s_[idx(p)] = values[0];
   col_[idx(p)] = values[1];
@@ -219,7 +219,7 @@ std::uint64_t Dftc::encodeNode(NodeId p) const {
   return sCode + (deg + 1) * (colCode + 2 * (dCode + n * parCode));
 }
 
-void Dftc::decodeNode(NodeId p, std::uint64_t code) {
+void Dftc::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
   s_[idx(p)] = static_cast<int>(code % (deg + 1)) - 1;
@@ -257,6 +257,7 @@ void Dftc::resetClean() {
     d_[idx(p)] = 0;
     par_[idx(p)] = 0;
   }
+  dirtyAll();
 }
 
 void Dftc::buildOrbitIfNeeded() {

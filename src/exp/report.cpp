@@ -64,6 +64,8 @@ void writeScenarioJson(std::ostream& out, const ScenarioResult& r,
   out << indent << "  \"budget\": " << s.budget << ",\n";
   if (s.faultRate > 0)
     out << indent << "  \"fault_rate\": " << num(s.faultRate) << ",\n";
+  if (usesFaultK(s.protocol))
+    out << indent << "  \"fault_k\": " << s.faultK << ",\n";
   out << indent << "  \"trials\": " << r.trials << ",\n";
   out << indent << "  \"failed_trials\": " << r.failedTrials << ",\n";
   out << indent << "  \"metrics\": {";

@@ -2,16 +2,23 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 
+#include "apps/broadcast.hpp"
+#include "apps/routing.hpp"
 #include "core/fault.hpp"
 #include "core/rng.hpp"
 #include "core/scheduler.hpp"
+#include "dftc/dftc.hpp"
 #include "orientation/baseline.hpp"
+#include "orientation/chordal.hpp"
 #include "orientation/dftno.hpp"
 #include "orientation/stno.hpp"
+#include "sptree/bfs_tree.hpp"
 #include "sptree/dfs_tree.hpp"
+#include "sptree/lex_dfs_tree.hpp"
 
 namespace ssno::exp {
 namespace {
@@ -115,6 +122,258 @@ TrialResult baselineChurnTrial(const Graph& g, const Scenario& s,
   return churnTrial(base, s, seed, [&base] { return base.isCorrect(); });
 }
 
+/// Shared "scramble, then stabilize" loop for the bare substrates.
+template <typename Protocol, typename DoneFn>
+TrialResult substrateTrial(Protocol& protocol, const Scenario& s,
+                           std::uint64_t seed, const char* movesName,
+                           const char* roundsName, const DoneFn& done) {
+  Rng rng(seed);
+  protocol.randomize(rng);
+  auto daemon = makeDaemon(s.daemon);
+  Simulator sim(protocol, *daemon, rng);
+  const RunStats stats = sim.runUntil(done, s.budget);
+  TrialResult r;
+  r.converged = stats.converged || stats.terminal;
+  if (r.converged) {
+    r.metrics = {{movesName, static_cast<double>(stats.moves)},
+                 {roundsName, static_cast<double>(stats.rounds)}};
+  }
+  return r;
+}
+
+TrialResult dftcTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
+  Dftc dftc(g);
+  return substrateTrial(dftc, s, seed, "substrate_moves", "substrate_rounds",
+                        [&dftc] { return dftc.isLegitimate(); });
+}
+
+TrialResult bfsTreeTrial(const Graph& g, const Scenario& s,
+                         std::uint64_t seed) {
+  BfsTree tree(g);
+  return substrateTrial(tree, s, seed, "tree_moves", "tree_rounds",
+                        [&tree] { return tree.isLegitimate(); });
+}
+
+TrialResult lexDfsTreeTrial(const Graph& g, const Scenario& s,
+                            std::uint64_t seed) {
+  LexDfsTree tree(g);
+  return substrateTrial(tree, s, seed, "tree_moves", "tree_rounds",
+                        [&tree] { return tree.isLegitimate(); });
+}
+
+/// Fault containment: converge, corrupt faultK processors, re-converge.
+template <typename Protocol, typename LegitFn>
+TrialResult recoveryTrial(Protocol& protocol, const Scenario& s,
+                          std::uint64_t seed, const LegitFn& legit) {
+  Rng rng(seed);
+  protocol.randomize(rng);
+  auto daemon = makeDaemon(s.daemon);
+  Simulator sim(protocol, *daemon, rng);
+  TrialResult r;
+  if (!sim.runUntil(legit, s.budget).converged) {
+    r.converged = false;
+    return r;
+  }
+  FaultInjector inj(protocol);
+  const int k = std::min(s.faultK, protocol.graph().nodeCount());
+  inj.corruptK(k, rng);
+  const RunStats stats = sim.runUntil(legit, s.budget);
+  r.converged = stats.converged;
+  if (r.converged) {
+    r.metrics = {{"recovery_moves", static_cast<double>(stats.moves)},
+                 {"recovery_rounds", static_cast<double>(stats.rounds)}};
+  }
+  return r;
+}
+
+TrialResult dftnoRecoveryTrial(const Graph& g, const Scenario& s,
+                               std::uint64_t seed) {
+  Dftno dftno(g);
+  return recoveryTrial(dftno, s, seed,
+                       [&dftno] { return dftno.isLegitimate(); });
+}
+
+TrialResult stnoRecoveryTrial(const Graph& g, const Scenario& s,
+                              std::uint64_t seed) {
+  Stno stno(g);
+  return recoveryTrial(stno, s, seed, [&stno] { return stno.isLegitimate(); });
+}
+
+TrialResult stnoCrashResetTrial(const Graph& g, const Scenario& s,
+                                std::uint64_t seed) {
+  // Crash-and-reset of one processor (all-zero local state); the victim
+  // is drawn from the trial seed so a trial sweep covers many victims.
+  Stno stno(g);
+  Rng rng(seed);
+  stno.randomize(rng);
+  auto daemon = makeDaemon(s.daemon);
+  Simulator sim(stno, *daemon, rng);
+  TrialResult r;
+  if (!sim.runToQuiescence(s.budget).terminal) {
+    r.converged = false;
+    return r;
+  }
+  const NodeId victim = rng.below(g.nodeCount());
+  FaultInjector(stno).crashReset(victim);
+  const RunStats stats = sim.runToQuiescence(s.budget);
+  r.converged = stats.terminal;
+  if (r.converged) {
+    r.metrics = {{"recovery_moves", static_cast<double>(stats.moves)},
+                 {"victim", static_cast<double>(victim)}};
+  }
+  return r;
+}
+
+/// Chapter-5 ablation: do STNO-over-a-DFS-tree names equal DFTNO names?
+/// One trial stabilizes four stacks (token, fixed DFS tree, BFS tree,
+/// self-stabilizing LexDfsTree feeding STNO) from trial-derived seeds.
+TrialResult ablationNamingTrial(const Graph& g, const Scenario& s,
+                                std::uint64_t seed) {
+  TrialResult r;
+  auto fail = [&r] {
+    r.converged = false;
+    return r;
+  };
+
+  Dftno dftno(g);
+  {
+    Rng rng(seed + 1);
+    dftno.randomize(rng);
+    auto daemon = makeDaemon(s.daemon);
+    Simulator sim(dftno, *daemon, rng);
+    if (!sim.runUntil([&dftno] { return dftno.isLegitimate(); }, s.budget)
+             .converged)
+      return fail();
+  }
+  const Orientation viaToken = dftno.orientation();
+
+  auto stabilizeStno = [&](Stno& stno, std::uint64_t stnoSeed) {
+    Rng rng(stnoSeed);
+    stno.randomize(rng);
+    auto daemon = makeDaemon(s.daemon);
+    Simulator sim(stno, *daemon, rng);
+    return sim.runToQuiescence(s.budget).terminal;
+  };
+
+  Stno viaDfsStno(g, portOrderDfsTree(g));
+  if (!stabilizeStno(viaDfsStno, seed + 2)) return fail();
+  Stno viaBfsStno(g);
+  if (!stabilizeStno(viaBfsStno, seed + 3)) return fail();
+
+  // Fully self-stabilizing DFS route: LexDfsTree substrate, then STNO.
+  LexDfsTree lex(g);
+  double lexBits = 0;
+  {
+    Rng rng(seed + 4);
+    lex.randomize(rng);
+    auto daemon = makeDaemon(s.daemon);
+    Simulator sim(lex, *daemon, rng);
+    if (!sim.runToQuiescence(s.budget).terminal) return fail();
+  }
+  std::vector<NodeId> parents(static_cast<std::size_t>(g.nodeCount()));
+  for (NodeId p = 0; p < g.nodeCount(); ++p)
+    parents[static_cast<std::size_t>(p)] = lex.parentOf(p);
+  Stno viaLexStno(g, std::move(parents));
+  if (!stabilizeStno(viaLexStno, seed + 5)) return fail();
+
+  double tokenBits = 0;
+  for (NodeId p = 0; p < g.nodeCount(); ++p) {
+    lexBits = std::max(lexBits, lex.stateBits(p));
+    tokenBits = std::max(tokenBits, dftno.substrate().stateBits(p));
+  }
+  r.metrics = {
+      {"dfs_names_equal",
+       viaDfsStno.orientation().name == viaToken.name ? 1.0 : 0.0},
+      {"bfs_names_equal",
+       viaBfsStno.orientation().name == viaToken.name ? 1.0 : 0.0},
+      {"lex_names_equal",
+       viaLexStno.orientation().name == viaToken.name ? 1.0 : 0.0},
+      {"lex_tree_bits", lexBits},
+      {"token_substrate_bits", tokenBits}};
+  return r;
+}
+
+/// Deterministic per-node space accounting (EXP-3 tables).
+TrialResult spaceTrial(const Graph& g, const Scenario&, std::uint64_t) {
+  Dftno dftno(g);
+  Stno stno(g);
+  double dOrie = 0, dSub = 0, sOrie = 0, sSub = 0;
+  for (NodeId p = 0; p < g.nodeCount(); ++p) {
+    dOrie = std::max(dOrie, dftno.orientationBits(p));
+    dSub = std::max(dSub, dftno.substrate().stateBits(p));
+    sOrie = std::max(sOrie, stno.orientationBits(p));
+    sSub = std::max(sSub, stno.substrateBits(p));
+  }
+  TrialResult r;
+  r.metrics = {{"max_degree", static_cast<double>(g.maxDegree())},
+               {"dftno_orientation_bits", dOrie},
+               {"dftno_substrate_bits", dSub},
+               {"stno_orientation_bits", sOrie},
+               {"stno_substrate_bits", sSub}};
+  return r;
+}
+
+/// Deterministic §2.2 property checks on the canonical orientation.
+TrialResult chordalPropsTrial(const Graph& g, const Scenario&,
+                              std::uint64_t) {
+  const Orientation o =
+      inducedChordalOrientation(g, portOrderDfsPreorder(g), g.nodeCount());
+  TrialResult r;
+  r.metrics = {{"sp1", satisfiesSP1(o) ? 1.0 : 0.0},
+               {"sp2", satisfiesSP2(o) ? 1.0 : 0.0},
+               {"locally_oriented", isLocallyOriented(o) ? 1.0 : 0.0},
+               {"edge_symmetry", hasEdgeSymmetry(o) ? 1.0 : 0.0}};
+  return r;
+}
+
+/// Deterministic message-complexity comparison (EXP-12 tables).
+TrialResult routingTrial(const Graph& g, const Scenario&, std::uint64_t) {
+  const Orientation o =
+      inducedChordalOrientation(g, portOrderDfsPreorder(g), g.nodeCount());
+  const RoutingStats rs = evaluateRouting(o, 2);
+  TrialResult r;
+  r.metrics = {
+      {"traversal_with_sod",
+       static_cast<double>(traverseWithOrientation(o, g.root()).messages)},
+      {"traversal_without_sod",
+       static_cast<double>(traverseWithoutOrientation(g, g.root()).messages)},
+      {"flood_messages", static_cast<double>(floodMessages(g, g.root()))},
+      {"unicast_delivered_pct",
+       rs.pairs == 0 ? 0.0 : 100.0 * rs.delivered / rs.pairs},
+      {"unicast_mean_hops", rs.meanHops},
+      {"unicast_max_stretch", rs.maxStretch}};
+  return r;
+}
+
+/// Simulator throughput on DFTNO, with the incremental enabled cache vs
+/// a forced naive full rescan — the "before" of the cache optimization.
+/// Both runs execute exactly s.budget moves from the same scrambled
+/// start, so the measured work is identical move for move.
+TrialResult schedulerTrial(const Graph& g, const Scenario& s,
+                           std::uint64_t seed) {
+  auto movesPerSec = [&](bool naive) {
+    Dftno dftno(g);
+    Rng rng(seed);
+    dftno.randomize(rng);
+    auto daemon = makeDaemon(s.daemon);
+    Simulator sim(dftno, *daemon, rng);
+    sim.setNaiveEnabledScan(naive);
+    const auto start = std::chrono::steady_clock::now();
+    const RunStats stats = sim.runToQuiescence(s.budget);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return static_cast<double>(stats.moves) / std::max(secs, 1e-9);
+  };
+  const double naive = movesPerSec(true);
+  const double incremental = movesPerSec(false);
+  TrialResult r;
+  r.metrics = {{"naive_moves_per_sec", naive},
+               {"incremental_moves_per_sec", incremental},
+               {"speedup", incremental / std::max(naive, 1e-9)}};
+  return r;
+}
+
 }  // namespace
 
 std::string protocolKindName(ProtocolKind kind) {
@@ -124,6 +383,17 @@ std::string protocolKindName(ProtocolKind kind) {
     case ProtocolKind::kStnoFixedTree: return "stno-fixed-tree";
     case ProtocolKind::kDftnoChurn: return "dftno-churn";
     case ProtocolKind::kBaselineChurn: return "baseline-churn";
+    case ProtocolKind::kDftc: return "dftc";
+    case ProtocolKind::kBfsTree: return "bfs-tree";
+    case ProtocolKind::kLexDfsTree: return "lex-dfs-tree";
+    case ProtocolKind::kDftnoRecovery: return "dftno-recovery";
+    case ProtocolKind::kStnoRecovery: return "stno-recovery";
+    case ProtocolKind::kStnoCrashReset: return "stno-crash-reset";
+    case ProtocolKind::kAblationNaming: return "ablation-naming";
+    case ProtocolKind::kSpace: return "space";
+    case ProtocolKind::kChordalProps: return "chordal-props";
+    case ProtocolKind::kRouting: return "routing";
+    case ProtocolKind::kScheduler: return "scheduler";
   }
   return "?";
 }
@@ -131,6 +401,11 @@ std::string protocolKindName(ProtocolKind kind) {
 bool isChurnProtocol(ProtocolKind kind) {
   return kind == ProtocolKind::kDftnoChurn ||
          kind == ProtocolKind::kBaselineChurn;
+}
+
+bool usesFaultK(ProtocolKind kind) {
+  return kind == ProtocolKind::kDftnoRecovery ||
+         kind == ProtocolKind::kStnoRecovery;
 }
 
 std::string convergedLabel(int trials, int failedTrials) {
@@ -158,6 +433,17 @@ TrialResult runTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
     case ProtocolKind::kStnoFixedTree: return stnoFixedTreeTrial(g, s, seed);
     case ProtocolKind::kDftnoChurn: return dftnoChurnTrial(g, s, seed);
     case ProtocolKind::kBaselineChurn: return baselineChurnTrial(g, s, seed);
+    case ProtocolKind::kDftc: return dftcTrial(g, s, seed);
+    case ProtocolKind::kBfsTree: return bfsTreeTrial(g, s, seed);
+    case ProtocolKind::kLexDfsTree: return lexDfsTreeTrial(g, s, seed);
+    case ProtocolKind::kDftnoRecovery: return dftnoRecoveryTrial(g, s, seed);
+    case ProtocolKind::kStnoRecovery: return stnoRecoveryTrial(g, s, seed);
+    case ProtocolKind::kStnoCrashReset: return stnoCrashResetTrial(g, s, seed);
+    case ProtocolKind::kAblationNaming: return ablationNamingTrial(g, s, seed);
+    case ProtocolKind::kSpace: return spaceTrial(g, s, seed);
+    case ProtocolKind::kChordalProps: return chordalPropsTrial(g, s, seed);
+    case ProtocolKind::kRouting: return routingTrial(g, s, seed);
+    case ProtocolKind::kScheduler: return schedulerTrial(g, s, seed);
   }
   throw std::invalid_argument("runTrial: unknown protocol kind");
 }
@@ -171,6 +457,33 @@ ExperimentRunner::ExperimentRunner(int threads) : threads_(threads) {
 ScenarioResult ExperimentRunner::run(const Scenario& s) const {
   return runOnGraph(s, s.topology.build());
 }
+
+namespace {
+
+/// Slot-order aggregation: walks trials in index order, so the result is
+/// independent of which worker finished which trial first.
+ScenarioResult aggregate(const Scenario& s, const Graph& g,
+                         std::vector<TrialResult> slots) {
+  ScenarioResult res;
+  res.scenario = s;
+  res.nodeCount = g.nodeCount();
+  res.edgeCount = g.edgeCount();
+  res.trials = s.trials;
+  std::map<std::string, std::vector<double>> samples;
+  for (const TrialResult& trial : slots) {
+    if (!trial.converged) {
+      ++res.failedTrials;
+      continue;
+    }
+    for (const auto& [name, value] : trial.metrics)
+      samples[name].push_back(value);
+  }
+  for (auto& [name, values] : samples)
+    res.metrics[name] = summarize(std::move(values));
+  return res;
+}
+
+}  // namespace
 
 ScenarioResult ExperimentRunner::runOnGraph(const Scenario& s,
                                             const Graph& g) const {
@@ -195,31 +508,63 @@ ScenarioResult ExperimentRunner::runOnGraph(const Scenario& s,
     for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
     for (std::thread& th : pool) th.join();
   }
-
-  ScenarioResult res;
-  res.scenario = s;
-  res.nodeCount = g.nodeCount();
-  res.edgeCount = g.edgeCount();
-  res.trials = s.trials;
-  std::map<std::string, std::vector<double>> samples;
-  for (const TrialResult& trial : slots) {
-    if (!trial.converged) {
-      ++res.failedTrials;
-      continue;
-    }
-    for (const auto& [name, value] : trial.metrics)
-      samples[name].push_back(value);
-  }
-  for (auto& [name, values] : samples)
-    res.metrics[name] = summarize(std::move(values));
-  return res;
+  return aggregate(s, g, std::move(slots));
 }
 
 std::vector<ScenarioResult> ExperimentRunner::runAll(
     const std::vector<Scenario>& scenarios) const {
+  // One flattened (scenario, trial) job list over one pool, so trials of
+  // different scenarios overlap instead of each scenario's stragglers
+  // idling the workers.  Per-trial seeds and the slot-order aggregation
+  // are exactly those of the sequential path, so results (order AND
+  // values) are unchanged.
+  for (const Scenario& s : scenarios)
+    if (s.trials <= 0)
+      throw std::invalid_argument("ExperimentRunner: trials must be positive");
+
+  std::vector<Graph> graphs;
+  graphs.reserve(scenarios.size());
+  for (const Scenario& s : scenarios) graphs.push_back(s.topology.build());
+
+  struct Job {
+    int scenario;
+    int trial;
+  };
+  std::vector<Job> jobs;
+  std::vector<std::vector<TrialResult>> slots(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    slots[i].resize(static_cast<std::size_t>(scenarios[i].trials));
+    for (int t = 0; t < scenarios[i].trials; ++t)
+      jobs.push_back({static_cast<int>(i), t});
+  }
+
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (std::size_t j = next.fetch_add(1); j < jobs.size();
+         j = next.fetch_add(1)) {
+      const Job& job = jobs[j];
+      const Scenario& s = scenarios[static_cast<std::size_t>(job.scenario)];
+      slots[static_cast<std::size_t>(job.scenario)]
+           [static_cast<std::size_t>(job.trial)] =
+               runTrial(graphs[static_cast<std::size_t>(job.scenario)], s,
+                        trialSeed(s.seed, job.trial));
+    }
+  };
+  const int workers = static_cast<int>(
+      std::min(static_cast<std::size_t>(threads_), jobs.size()));
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+
   std::vector<ScenarioResult> results;
   results.reserve(scenarios.size());
-  for (const Scenario& s : scenarios) results.push_back(run(s));
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    results.push_back(aggregate(scenarios[i], graphs[i], std::move(slots[i])));
   return results;
 }
 

@@ -33,6 +33,17 @@ enum class ProtocolKind {
   kStnoFixedTree,  ///< STNO over the fixed port-order DFS tree
   kDftnoChurn,     ///< DFTNO under sustained fault churn (availability)
   kBaselineChurn,  ///< init-based orientation under the same churn
+  kDftc,           ///< token-circulation substrate alone (stabilization)
+  kBfsTree,        ///< BFS spanning-tree substrate alone (quiescence)
+  kLexDfsTree,     ///< lex-path DFS spanning-tree substrate (quiescence)
+  kDftnoRecovery,  ///< DFTNO: converge, corrupt faultK nodes, re-converge
+  kStnoRecovery,   ///< STNO: same fault-containment measurement
+  kStnoCrashReset, ///< STNO: crash-and-reset one processor, re-converge
+  kAblationNaming, ///< Ch. 5 naming comparison (DFTNO vs STNO over trees)
+  kSpace,          ///< per-node space accounting (deterministic)
+  kChordalProps,   ///< §2.2 chordal-labeling properties (deterministic)
+  kRouting,        ///< traversal/routing message complexity (deterministic)
+  kScheduler,      ///< simulator throughput, naive vs incremental cache
 };
 
 [[nodiscard]] std::string protocolKindName(ProtocolKind kind);
@@ -40,6 +51,9 @@ enum class ProtocolKind {
 /// True for the open-ended fault-churn protocols, whose budget is a step
 /// horizon rather than a convergence bound.
 [[nodiscard]] bool isChurnProtocol(ProtocolKind kind);
+
+/// True for the fault-recovery kinds, which read Scenario::faultK.
+[[nodiscard]] bool usesFaultK(ProtocolKind kind);
 
 /// Default step horizon for churn scenarios (a convergence-style budget
 /// of 2e8 steps would run for hours).
@@ -56,9 +70,10 @@ struct Scenario {
   int trials = 10;
   std::uint64_t seed = 0;
   /// Move budget per convergence phase; the churn protocols reuse it as
-  /// the step horizon.
+  /// the step horizon and the scheduler kind as the measured move count.
   StepCount budget = 200'000'000;
   double faultRate = 0.0;  ///< churn protocols: P(one-node fault per move)
+  int faultK = 1;          ///< recovery protocols: processors corrupted
 };
 
 /// One trial's named metric samples, in a protocol-defined fixed order.
@@ -104,7 +119,11 @@ class ExperimentRunner {
   [[nodiscard]] ScenarioResult runOnGraph(const Scenario& s,
                                           const Graph& g) const;
 
-  /// Runs scenarios in order; each scenario's trials are parallel.
+  /// Runs all scenarios, fanning the flattened (scenario, trial) job list
+  /// over one worker pool — trials of different scenarios execute
+  /// concurrently.  Result order follows scenario order and every trial
+  /// keeps its trialSeed(scenario.seed, trial) stream, so the output is
+  /// bit-identical to running the scenarios one after another.
   [[nodiscard]] std::vector<ScenarioResult> runAll(
       const std::vector<Scenario>& scenarios) const;
 

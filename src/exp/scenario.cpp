@@ -84,6 +84,101 @@ std::vector<Scenario> churnPreset() {
   return out;
 }
 
+std::vector<Scenario> substratePreset() {
+  // EXP-11: the two "assumed" substrates head to head, from scrambled
+  // states (the clean-round decomposition stays in bench_substrate).
+  constexpr std::uint64_t kSeed = 0x5B5;
+  std::vector<Scenario> out;
+  for (const char* topo :
+       {"ring:16", "path:16", "complete:8", "grid:4x4", "er:16:0.3:41"}) {
+    out.push_back(
+        triple(ProtocolKind::kDftc, DaemonKind::kRoundRobin, topo, 10, kSeed));
+    out.push_back(triple(ProtocolKind::kBfsTree, DaemonKind::kRoundRobin,
+                         topo, 10, kSeed));
+  }
+  return out;
+}
+
+std::vector<Scenario> faultRecoveryPreset() {
+  // EXP-10: recovery cost vs number of corrupted processors on grid(4x4),
+  // plus per-victim crash-and-reset.
+  constexpr std::uint64_t kSeed = 0xFA17;
+  std::vector<Scenario> out;
+  for (int k : {1, 2, 4, 8, 16}) {
+    for (ProtocolKind protocol :
+         {ProtocolKind::kDftnoRecovery, ProtocolKind::kStnoRecovery}) {
+      Scenario s =
+          triple(protocol, DaemonKind::kRoundRobin, "grid:4x4", 12, kSeed);
+      s.faultK = k;
+      s.name += "/k=" + std::to_string(k);
+      out.push_back(s);
+    }
+  }
+  out.push_back(triple(ProtocolKind::kStnoCrashReset, DaemonKind::kRoundRobin,
+                       "grid:4x4", 16, kSeed));
+  return out;
+}
+
+std::vector<Scenario> ablationNamingPreset() {
+  // EXP-8 (Chapter 5): DFS-tree STNO naming vs DFTNO naming.
+  constexpr std::uint64_t kSeed = 0x5EED;
+  std::vector<Scenario> out;
+  for (const char* topo :
+       {"ring:12", "grid:3x4", "complete:8", "er:14:0.3:31"})
+    out.push_back(triple(ProtocolKind::kAblationNaming,
+                         DaemonKind::kRoundRobin, topo, 3, kSeed));
+  return out;
+}
+
+std::vector<Scenario> spacePreset() {
+  // EXP-3: per-node bits vs N and Δ (deterministic accounting).
+  std::vector<Scenario> out;
+  auto add = [&out](const std::string& topo) {
+    out.push_back(
+        triple(ProtocolKind::kSpace, DaemonKind::kCentral, topo, 1, 0));
+  };
+  for (int n : {8, 16, 32, 64}) add("ring:" + std::to_string(n));
+  for (int n : {8, 16, 32, 64}) add("star:" + std::to_string(n));
+  for (int n : {8, 16, 32}) add("complete:" + std::to_string(n));
+  for (int d : {3, 4, 5}) add("hypercube:" + std::to_string(d));
+  return out;
+}
+
+std::vector<Scenario> chordalPropsPreset() {
+  // EXP-4: §2.2 property sweep on the canonical orientation.
+  std::vector<Scenario> out;
+  for (const char* topo : {"ring:32", "torus:4x8", "hypercube:5", "er:40:0.2:5"})
+    out.push_back(
+        triple(ProtocolKind::kChordalProps, DaemonKind::kCentral, topo, 1, 0));
+  return out;
+}
+
+std::vector<Scenario> routingPreset() {
+  // EXP-12: message complexity with vs without an orientation.
+  std::vector<Scenario> out;
+  for (const char* topo : {"kary:31x2", "ring:32", "grid:6x6", "torus:6x6",
+                           "hypercube:6", "er:32:0.3:51", "complete:32"})
+    out.push_back(
+        triple(ProtocolKind::kRouting, DaemonKind::kCentral, topo, 1, 0));
+  return out;
+}
+
+std::vector<Scenario> schedulerPreset() {
+  // Fixed simulator-throughput preset: DFTNO steady-state stepping on
+  // ring/grid at n >= 1024, incremental enabled cache vs forced naive
+  // rescan.  CI emits this as BENCH_scheduler.json and the perf smoke
+  // job compares against the committed baseline.
+  constexpr std::uint64_t kSeed = 0x5CED;
+  std::vector<Scenario> out;
+  for (const char* topo : {"ring:1024", "grid:32x32"}) {
+    Scenario s = triple(ProtocolKind::kScheduler, DaemonKind::kRoundRobin,
+                        topo, 3, kSeed);
+    s.budget = 20'000;  // moves measured per mode
+    out.push_back(s);
+  }
+  return out;
+}
+
 std::vector<Scenario> daemonSweepPreset() {
   constexpr std::uint64_t kSeed = 0xDAE;
   std::vector<Scenario> out;
@@ -106,7 +201,12 @@ ProtocolKind parseProtocolKind(const std::string& name) {
   for (ProtocolKind kind :
        {ProtocolKind::kDftno, ProtocolKind::kStno,
         ProtocolKind::kStnoFixedTree, ProtocolKind::kDftnoChurn,
-        ProtocolKind::kBaselineChurn})
+        ProtocolKind::kBaselineChurn, ProtocolKind::kDftc,
+        ProtocolKind::kBfsTree, ProtocolKind::kLexDfsTree,
+        ProtocolKind::kDftnoRecovery, ProtocolKind::kStnoRecovery,
+        ProtocolKind::kStnoCrashReset, ProtocolKind::kAblationNaming,
+        ProtocolKind::kSpace, ProtocolKind::kChordalProps,
+        ProtocolKind::kRouting, ProtocolKind::kScheduler})
     if (protocolKindName(kind) == name) return kind;
   throw std::invalid_argument("unknown protocol '" + name + "'");
 }
@@ -138,7 +238,9 @@ Scenario parseScenario(const std::string& name) {
 
 std::vector<std::string> presetNames() {
   return {"dftno-scaling", "stno-height", "stno-star-control",
-          "stno-scaling", "churn", "daemon-sweep"};
+          "stno-scaling", "churn", "daemon-sweep", "substrate",
+          "fault-recovery", "ablation-naming", "space", "chordal-props",
+          "routing", "scheduler"};
 }
 
 std::vector<Scenario> makePreset(const std::string& name) {
@@ -148,6 +250,13 @@ std::vector<Scenario> makePreset(const std::string& name) {
   if (name == "stno-scaling") return stnoScalingPreset();
   if (name == "churn") return churnPreset();
   if (name == "daemon-sweep") return daemonSweepPreset();
+  if (name == "substrate") return substratePreset();
+  if (name == "fault-recovery") return faultRecoveryPreset();
+  if (name == "ablation-naming") return ablationNamingPreset();
+  if (name == "space") return spacePreset();
+  if (name == "chordal-props") return chordalPropsPreset();
+  if (name == "routing") return routingPreset();
+  if (name == "scheduler") return schedulerPreset();
   throw std::invalid_argument("unknown preset '" + name + "'");
 }
 

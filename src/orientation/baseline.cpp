@@ -11,6 +11,14 @@ InitBasedOrientation::InitBasedOrientation(Graph graph)
     : Protocol(std::move(graph)) {
   preorder_ = portOrderDfsPreorder(this->graph());
   const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
+  successor_.assign(n, kNoNode);
+  std::vector<NodeId> byIndex(n, kNoNode);
+  for (NodeId p = 0; p < this->graph().nodeCount(); ++p)
+    byIndex[static_cast<std::size_t>(preorder_[idx(p)])] = p;
+  for (NodeId p = 0; p < this->graph().nodeCount(); ++p) {
+    const std::size_t next = static_cast<std::size_t>(preorder_[idx(p)]) + 1;
+    if (next < n) successor_[idx(p)] = byIndex[next];
+  }
   done_.assign(n, 0);
   numbered_.assign(n, 0);
   eta_.assign(n, 0);
@@ -45,7 +53,7 @@ bool InitBasedOrientation::enabled(NodeId p, int action) const {
   return true;
 }
 
-void InitBasedOrientation::execute(NodeId p, int action) {
+void InitBasedOrientation::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   if (action == kNumber) {
     eta_[idx(p)] = preorder_[static_cast<std::size_t>(p)];
@@ -60,7 +68,7 @@ void InitBasedOrientation::execute(NodeId p, int action) {
   done_[idx(p)] = 1;
 }
 
-void InitBasedOrientation::randomizeNode(NodeId p, Rng& rng) {
+void InitBasedOrientation::doRandomizeNode(NodeId p, Rng& rng) {
   done_[idx(p)] = rng.below(2);
   numbered_[idx(p)] = rng.below(2);
   eta_[idx(p)] = rng.below(modulus());
@@ -83,7 +91,7 @@ std::uint64_t InitBasedOrientation::encodeNode(NodeId p) const {
   return code;
 }
 
-void InitBasedOrientation::decodeNode(NodeId p, std::uint64_t code) {
+void InitBasedOrientation::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
   for (Port l = graph().degree(p) - 1; l >= 0; --l) {
@@ -103,7 +111,7 @@ std::vector<int> InitBasedOrientation::rawNode(NodeId p) const {
   return out;
 }
 
-void InitBasedOrientation::setRawNode(NodeId p,
+void InitBasedOrientation::doSetRawNode(NodeId p,
                                       const std::vector<int>& values) {
   SSNO_EXPECTS(values.size() ==
                3 + static_cast<std::size_t>(graph().degree(p)));
@@ -138,6 +146,12 @@ void InitBasedOrientation::initializeAll() {
     eta_[idx(p)] = 0;
     for (auto& v : pi_[idx(p)]) v = 0;
   }
+  dirtyAll();
+}
+
+void InitBasedOrientation::dirtyAfterWrite(NodeId p) {
+  dirtyNeighborhood(p);
+  if (successor_[idx(p)] != kNoNode) dirtyNode(successor_[idx(p)]);
 }
 
 bool InitBasedOrientation::isCorrect() const {

@@ -36,13 +36,14 @@ class InitBasedOrientation final : public Protocol {
   [[nodiscard]] int actionCount() const override { return kActionCount; }
   [[nodiscard]] std::string actionName(int action) const override;
   [[nodiscard]] bool enabled(NodeId p, int action) const override;
-  void execute(NodeId p, int action) override;
-  void randomizeNode(NodeId p, Rng& rng) override;
+  /// The Number guard reads a non-neighbor (the preorder predecessor's
+  /// `numbered` flag), so simultaneous steps must use full snapshots.
+  [[nodiscard]] bool guardsAreNeighborhoodLocal() const override {
+    return false;
+  }
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
-  void decodeNode(NodeId p, std::uint64_t code) override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
-  void setRawNode(NodeId p, const std::vector<int>& values) override;
   [[nodiscard]] std::string dumpNode(NodeId p) const override;
 
   // ---- Orientation API ----
@@ -57,6 +58,19 @@ class InitBasedOrientation final : public Protocol {
   /// Correct result reached (and, absent faults, kept).
   [[nodiscard]] bool isCorrect() const;
 
+ protected:
+  // ---- Protocol mutation hooks ----
+  void doExecute(NodeId p, int action) override;
+  void doRandomizeNode(NodeId p, Rng& rng) override;
+  void doDecodeNode(NodeId p, std::uint64_t code) override;
+  void doSetRawNode(NodeId p, const std::vector<int>& values) override;
+
+  /// The Number guard at p reads the `numbered` flag of p's preorder
+  /// predecessor, which is generally NOT a neighbor (the wave order is a
+  /// global DFS preorder), so a write at p must additionally dirty p's
+  /// preorder successor.
+  void dirtyAfterWrite(NodeId p) override;
+
  private:
   [[nodiscard]] static std::size_t idx(NodeId p) {
     return static_cast<std::size_t>(p);
@@ -64,6 +78,9 @@ class InitBasedOrientation final : public Protocol {
 
   // The wave order, fixed by the topology (cached DFS preorder).
   std::vector<int> preorder_;
+  // successor_[p]: the node whose preorder index is preorder_[p]+1
+  // (kNoNode for the last node) — the extra guard dependency above.
+  std::vector<NodeId> successor_;
   // done: this processor finished both phases and will never act again.
   std::vector<int> done_;
   std::vector<int> numbered_;

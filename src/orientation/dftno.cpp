@@ -63,7 +63,7 @@ bool Dftno::enabled(NodeId p, int action) const {
   return invalidEdgeLabel(p);
 }
 
-void Dftno::execute(NodeId p, int action) {
+void Dftno::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   if (action < Dftc::kActionCount) {
     dftc_.execute(p, action);  // hooks apply Nodelabel/UpdateMax atomically
@@ -74,7 +74,7 @@ void Dftno::execute(NodeId p, int action) {
         chordal(p, graph().neighborAt(p, l));
 }
 
-void Dftno::randomizeNode(NodeId p, Rng& rng) {
+void Dftno::doRandomizeNode(NodeId p, Rng& rng) {
   dftc_.randomizeNode(p, rng);
   eta_[idx(p)] = rng.below(modulus());
   max_[idx(p)] = rng.below(modulus());
@@ -99,7 +99,7 @@ std::uint64_t Dftno::encodeNode(NodeId p) const {
   return dftc_.encodeNode(p) + dftc_.localStateCount(p) * overlay;
 }
 
-void Dftno::decodeNode(NodeId p, std::uint64_t code) {
+void Dftno::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   const std::uint64_t base = dftc_.localStateCount(p);
   dftc_.decodeNode(p, code % base);
@@ -148,7 +148,7 @@ std::vector<int> Dftno::rawNode(NodeId p) const {
   return out;
 }
 
-void Dftno::setRawNode(NodeId p, const std::vector<int>& values) {
+void Dftno::doSetRawNode(NodeId p, const std::vector<int>& values) {
   const std::size_t subLen = dftc_.rawNode(p).size();
   SSNO_EXPECTS(values.size() ==
                subLen + 2 + static_cast<std::size_t>(graph().degree(p)));

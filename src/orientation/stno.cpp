@@ -140,7 +140,7 @@ void Stno::applyEdgeLabels(NodeId p) {
   }
 }
 
-void Stno::execute(NodeId p, int action) {
+void Stno::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   switch (action) {
     case kTreeFix:
@@ -164,7 +164,7 @@ void Stno::execute(NodeId p, int action) {
   }
 }
 
-void Stno::randomizeNode(NodeId p, Rng& rng) {
+void Stno::doRandomizeNode(NodeId p, Rng& rng) {
   if (bfs_ != nullptr) bfs_->randomizeNode(p, rng);
   weight_[idx(p)] = rng.between(1, graph().nodeCount());
   eta_[idx(p)] = rng.below(modulus());
@@ -181,7 +181,7 @@ std::vector<int> Stno::rawNode(NodeId p) const {
   return out;
 }
 
-void Stno::setRawNode(NodeId p, const std::vector<int>& values) {
+void Stno::doSetRawNode(NodeId p, const std::vector<int>& values) {
   const std::size_t subLen = bfs_ ? bfs_->rawNode(p).size() : 0;
   const std::size_t deg = static_cast<std::size_t>(graph().degree(p));
   SSNO_EXPECTS(values.size() == subLen + 2 + 2 * deg);
@@ -222,7 +222,7 @@ std::uint64_t Stno::encodeNode(NodeId p) const {
   return sub + base * overlay;
 }
 
-void Stno::decodeNode(NodeId p, std::uint64_t code) {
+void Stno::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   const std::uint64_t base = bfs_ ? bfs_->localStateCount(p) : 1;
   if (bfs_ != nullptr) bfs_->decodeNode(p, code % base);

@@ -48,7 +48,7 @@ bool BfsTree::enabled(NodeId p, int action) const {
   return distOf(parent) != m;
 }
 
-void BfsTree::execute(NodeId p, int action) {
+void BfsTree::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   const int m = minNeighborDist(p);
   dist_[static_cast<std::size_t>(p)] =
@@ -56,7 +56,7 @@ void BfsTree::execute(NodeId p, int action) {
   par_[static_cast<std::size_t>(p)] = firstMinPort(p);
 }
 
-void BfsTree::randomizeNode(NodeId p, Rng& rng) {
+void BfsTree::doRandomizeNode(NodeId p, Rng& rng) {
   if (p == graph().root()) return;
   dist_[static_cast<std::size_t>(p)] = rng.between(1, graph().nodeCount() - 1);
   par_[static_cast<std::size_t>(p)] = rng.below(graph().degree(p));
@@ -68,7 +68,7 @@ std::vector<int> BfsTree::rawNode(NodeId p) const {
           par_[static_cast<std::size_t>(p)]};
 }
 
-void BfsTree::setRawNode(NodeId p, const std::vector<int>& values) {
+void BfsTree::doSetRawNode(NodeId p, const std::vector<int>& values) {
   if (p == graph().root()) {
     SSNO_EXPECTS(values.empty());
     return;
@@ -94,7 +94,7 @@ std::uint64_t BfsTree::encodeNode(NodeId p) const {
   return dCode + static_cast<std::uint64_t>(graph().nodeCount() - 1) * parCode;
 }
 
-void BfsTree::decodeNode(NodeId p, std::uint64_t code) {
+void BfsTree::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   if (p == graph().root()) return;
   const std::uint64_t base = static_cast<std::uint64_t>(graph().nodeCount() - 1);

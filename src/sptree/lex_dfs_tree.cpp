@@ -64,7 +64,7 @@ bool LexDfsTree::enabled(NodeId p, int action) const {
   return best.word.has_value() && par_[static_cast<std::size_t>(p)] != best.port;
 }
 
-void LexDfsTree::execute(NodeId p, int action) {
+void LexDfsTree::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   Best best = bestCandidate(p);
   word_[static_cast<std::size_t>(p)] = std::move(best.word);
@@ -72,7 +72,7 @@ void LexDfsTree::execute(NodeId p, int action) {
       best.port == kNoPort ? 0 : best.port;
 }
 
-void LexDfsTree::randomizeNode(NodeId p, Rng& rng) {
+void LexDfsTree::doRandomizeNode(NodeId p, Rng& rng) {
   if (p == graph().root()) return;  // the root's word is hard-wired
   // Random word: random length 0..n−1 (or ⊤), random alphabet entries.
   const int n = graph().nodeCount();
@@ -123,7 +123,7 @@ std::uint64_t LexDfsTree::encodeNode(NodeId p) const {
          static_cast<std::uint64_t>(par_[static_cast<std::size_t>(p)]);
 }
 
-void LexDfsTree::decodeNode(NodeId p, std::uint64_t code) {
+void LexDfsTree::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   if (p == graph().root()) return;
   const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
@@ -164,7 +164,7 @@ std::vector<int> LexDfsTree::rawNode(NodeId p) const {
   return out;
 }
 
-void LexDfsTree::setRawNode(NodeId p, const std::vector<int>& values) {
+void LexDfsTree::doSetRawNode(NodeId p, const std::vector<int>& values) {
   SSNO_EXPECTS(values.size() ==
                static_cast<std::size_t>(graph().nodeCount()) + 3);
   if (p == graph().root()) return;  // hard-wired ε

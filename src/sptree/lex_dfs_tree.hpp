@@ -46,13 +46,9 @@ class LexDfsTree final : public Protocol, public TreeView {
   [[nodiscard]] int actionCount() const override { return kActionCount; }
   [[nodiscard]] std::string actionName(int action) const override;
   [[nodiscard]] bool enabled(NodeId p, int action) const override;
-  void execute(NodeId p, int action) override;
-  void randomizeNode(NodeId p, Rng& rng) override;
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
-  void decodeNode(NodeId p, std::uint64_t code) override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
-  void setRawNode(NodeId p, const std::vector<int>& values) override;
   [[nodiscard]] std::string dumpNode(NodeId p) const override;
 
   // ---- TreeView interface ----
@@ -71,6 +67,13 @@ class LexDfsTree final : public Protocol, public TreeView {
 
   /// Per-node variable bits: word (≤ (N−1)·log Δmax) + parent port.
   [[nodiscard]] double stateBits(NodeId p) const;
+
+ protected:
+  // ---- Protocol mutation hooks ----
+  void doExecute(NodeId p, int action) override;
+  void doRandomizeNode(NodeId p, Rng& rng) override;
+  void doDecodeNode(NodeId p, std::uint64_t code) override;
+  void doSetRawNode(NodeId p, const std::vector<int>& values) override;
 
  private:
   /// Lexicographic shorter-prefix-first order on words; nullopt is ⊤.

@@ -1,0 +1,200 @@
+// Equivalence suite for the incremental enabled-move cache: every
+// protocol × {central, distributed, fair} daemon × several topologies,
+// run twice from the same seed — once with the incremental EnabledCache
+// (the default) and once with a forced naive full rescan — must produce
+// bit-identical move sequences, step/round counts, and final raw
+// configurations.  Because daemons draw from the RNG based on the
+// enabled set they are handed, any discrepancy in the incremental set
+// (content OR order) diverges the runs immediately; fault injection
+// mid-run additionally exercises the dirty paths of randomizeNode and
+// decodeNode.
+#include "core/enabled_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/fault.hpp"
+#include "core/graph.hpp"
+#include "core/scheduler.hpp"
+#include "dftc/dftc.hpp"
+#include "orientation/baseline.hpp"
+#include "orientation/dftno.hpp"
+#include "orientation/stno.hpp"
+#include "sptree/bfs_tree.hpp"
+#include "sptree/dfs_tree.hpp"
+#include "sptree/lex_dfs_tree.hpp"
+
+namespace ssno {
+namespace {
+
+struct ProtocolCase {
+  std::string name;
+  std::function<std::unique_ptr<Protocol>(const Graph&)> make;
+};
+
+std::vector<ProtocolCase> protocolCases() {
+  return {
+      {"dftc", [](const Graph& g) { return std::make_unique<Dftc>(g); }},
+      {"bfs-tree",
+       [](const Graph& g) { return std::make_unique<BfsTree>(g); }},
+      {"lex-dfs-tree",
+       [](const Graph& g) { return std::make_unique<LexDfsTree>(g); }},
+      {"dftno", [](const Graph& g) { return std::make_unique<Dftno>(g); }},
+      {"stno", [](const Graph& g) { return std::make_unique<Stno>(g); }},
+      {"stno-fixed-tree",
+       [](const Graph& g) {
+         return std::make_unique<Stno>(g, portOrderDfsTree(g));
+       }},
+      {"baseline",
+       [](const Graph& g) {
+         return std::make_unique<InitBasedOrientation>(g);
+       }},
+  };
+}
+
+struct TopologyCase {
+  std::string name;
+  Graph g;
+};
+
+std::vector<TopologyCase> topologyCases() {
+  Rng topo(0xCA5E);
+  std::vector<TopologyCase> out;
+  out.push_back({"ring(9)", Graph::ring(9)});
+  out.push_back({"grid(3x4)", Graph::grid(3, 4)});
+  out.push_back({"complete(6)", Graph::complete(6)});
+  out.push_back({"star(8)", Graph::star(8)});
+  out.push_back({"random(10)", Graph::randomConnected(10, 0.3, topo)});
+  return out;
+}
+
+struct RunLog {
+  std::vector<Move> moves;
+  RunStats phase1;
+  RunStats phase2;
+  std::vector<int> finalConfig;
+};
+
+/// One deterministic scenario: scramble, run, inject 2 faults, run again.
+RunLog runLogged(Protocol& protocol, Daemon& daemon, bool naive,
+                 std::uint64_t seed, StepCount budget) {
+  Rng rng(seed);
+  protocol.randomize(rng);
+  Simulator sim(protocol, daemon, rng);
+  sim.setNaiveEnabledScan(naive);
+  RunLog log;
+  sim.setMoveObserver([&log](const Move& m) { log.moves.push_back(m); });
+  log.phase1 = sim.runToQuiescence(budget);
+  FaultInjector(protocol).corruptK(2, rng);
+  log.phase2 = sim.runToQuiescence(budget);
+  log.finalConfig = protocol.rawConfiguration();
+  return log;
+}
+
+class EnabledCacheEquivalence
+    : public ::testing::TestWithParam<DaemonKind> {};
+
+TEST_P(EnabledCacheEquivalence, IncrementalMatchesNaiveRescan) {
+  const DaemonKind daemonKind = GetParam();
+  constexpr StepCount kBudget = 1'500;  // non-silent protocols never stop
+  for (const TopologyCase& topo : topologyCases()) {
+    for (const ProtocolCase& proto : protocolCases()) {
+      SCOPED_TRACE(proto.name + " × " + daemonKindName(daemonKind) + " × " +
+                   topo.name);
+      const std::uint64_t seed = 0xD1147 + topo.g.nodeCount();
+
+      auto incremental = proto.make(topo.g);
+      auto incDaemon = makeDaemon(daemonKind);
+      const RunLog inc =
+          runLogged(*incremental, *incDaemon, false, seed, kBudget);
+
+      auto rescanned = proto.make(topo.g);
+      auto naiveDaemon = makeDaemon(daemonKind);
+      const RunLog naive =
+          runLogged(*rescanned, *naiveDaemon, true, seed, kBudget);
+
+      EXPECT_EQ(inc.moves, naive.moves);
+      EXPECT_EQ(inc.phase1.moves, naive.phase1.moves);
+      EXPECT_EQ(inc.phase1.steps, naive.phase1.steps);
+      EXPECT_EQ(inc.phase1.rounds, naive.phase1.rounds);
+      EXPECT_EQ(inc.phase1.terminal, naive.phase1.terminal);
+      EXPECT_EQ(inc.phase2.moves, naive.phase2.moves);
+      EXPECT_EQ(inc.phase2.rounds, naive.phase2.rounds);
+      EXPECT_EQ(inc.finalConfig, naive.finalConfig);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Daemons, EnabledCacheEquivalence,
+                         ::testing::Values(DaemonKind::kCentral,
+                                           DaemonKind::kDistributed,
+                                           DaemonKind::kRoundRobin),
+                         [](const auto& info) {
+                           std::string name = daemonKindName(info.param);
+                           for (char& c : name)
+                             if (c == '-') c = '_';
+                           return name;
+                         });
+
+// The synchronous daemon drives executeSimultaneously (the neighborhood-
+// limited snapshot/restore path); cover it against the naive rescan too.
+TEST(EnabledCacheEquivalence, SynchronousSimultaneousStepsMatch) {
+  for (const TopologyCase& topo : topologyCases()) {
+    for (const ProtocolCase& proto : protocolCases()) {
+      SCOPED_TRACE(proto.name + " × synchronous × " + topo.name);
+      auto incremental = proto.make(topo.g);
+      SynchronousDaemon d1;
+      const RunLog inc = runLogged(*incremental, d1, false, 0xAB, 1'500);
+      auto rescanned = proto.make(topo.g);
+      SynchronousDaemon d2;
+      const RunLog naive = runLogged(*rescanned, d2, true, 0xAB, 1'500);
+      EXPECT_EQ(inc.moves, naive.moves);
+      EXPECT_EQ(inc.finalConfig, naive.finalConfig);
+      EXPECT_EQ(inc.phase2.rounds, naive.phase2.rounds);
+    }
+  }
+}
+
+// Direct cache unit test: after a single move, only the dirty region is
+// re-evaluated, yet the refreshed set equals a fresh full scan.
+TEST(EnabledCache, RefreshTracksSingleMoves) {
+  const Graph g = Graph::ring(16);
+  Dftc dftc(g);
+  dftc.resetClean();
+  EnabledCache cache(dftc);
+  for (int step = 0; step < 200; ++step) {
+    const std::vector<Move>& cached = cache.refresh();
+    EXPECT_EQ(cached, dftc.enabledMoves());
+    ASSERT_FALSE(cached.empty());  // the token never stops
+    dftc.execute(cached.front().node, cached.front().action);
+  }
+}
+
+TEST(EnabledCache, PicksUpExternalWrites) {
+  const Graph g = Graph::grid(3, 3);
+  Stno stno(g);
+  Rng rng(7);
+  stno.randomize(rng);
+  EnabledCache cache(stno);
+  (void)cache.refresh();
+  // External single-node writes (fault injection style) must dirty their
+  // neighborhood and be reflected by the next refresh.
+  for (NodeId p = 0; p < g.nodeCount(); ++p) {
+    stno.randomizeNode(p, rng);
+    EXPECT_EQ(cache.refresh(), stno.enabledMoves());
+  }
+  // Whole-configuration restore marks everything dirty.
+  const std::vector<int> snapshot = stno.rawConfiguration();
+  stno.randomize(rng);
+  (void)cache.refresh();
+  stno.setRawConfiguration(snapshot);
+  EXPECT_EQ(cache.refresh(), stno.enabledMoves());
+}
+
+}  // namespace
+}  // namespace ssno

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "core/rng.hpp"
@@ -50,6 +51,67 @@ TEST(Graph, RejectsBadRoot) {
 TEST(Graph, DisconnectedDetected) {
   const Graph g(4, {{0, 1}, {2, 3}});
   EXPECT_FALSE(g.isConnected());
+}
+
+// The CSR + port-table representation must agree everywhere with the
+// reference nested-adjacency construction (ports in edge insertion
+// order) that Graph used before the flat layout.
+TEST(Graph, CsrMatchesReferenceAdjacency) {
+  Rng rng(0xC5A);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 2 + rng.below(40);
+    // Random simple edge list (dedup via set), plus a spanning path so
+    // degrees stay non-trivial.
+    std::set<std::pair<NodeId, NodeId>> seen;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (int i = 0; i + 1 < n; ++i) {
+      edges.emplace_back(i, i + 1);
+      seen.insert({i, i + 1});
+    }
+    for (int tries = 0; tries < 3 * n; ++tries) {
+      const NodeId u = rng.below(n);
+      const NodeId v = rng.below(n);
+      if (u == v) continue;
+      const auto [lo, hi] = std::minmax(u, v);
+      if (!seen.insert({lo, hi}).second) continue;
+      edges.emplace_back(u, v);
+    }
+    const Graph g(n, edges);
+
+    // Reference: nested adjacency in insertion order.
+    std::vector<std::vector<NodeId>> ref(static_cast<std::size_t>(n));
+    for (const auto& [u, v] : edges) {
+      ref[static_cast<std::size_t>(u)].push_back(v);
+      ref[static_cast<std::size_t>(v)].push_back(u);
+    }
+
+    ASSERT_EQ(g.edgeCount(), static_cast<int>(edges.size()));
+    int maxDeg = 0;
+    for (NodeId p = 0; p < n; ++p) {
+      const auto& nbrs = ref[static_cast<std::size_t>(p)];
+      maxDeg = std::max(maxDeg, static_cast<int>(nbrs.size()));
+      ASSERT_EQ(g.degree(p), static_cast<int>(nbrs.size()));
+      const auto span = g.neighbors(p);
+      ASSERT_EQ(span.size(), nbrs.size());
+      for (Port l = 0; l < g.degree(p); ++l) {
+        EXPECT_EQ(g.neighborAt(p, l), nbrs[static_cast<std::size_t>(l)]);
+        EXPECT_EQ(span[static_cast<std::size_t>(l)],
+                  nbrs[static_cast<std::size_t>(l)]);
+      }
+      // portOf: O(1) table vs reference linear scan, for every q.
+      for (NodeId q = 0; q < n; ++q) {
+        Port expected = kNoPort;
+        for (std::size_t i = 0; i < nbrs.size(); ++i)
+          if (nbrs[i] == q) {
+            expected = static_cast<Port>(i);
+            break;
+          }
+        EXPECT_EQ(g.portOf(p, q), expected);
+        EXPECT_EQ(g.adjacent(p, q), expected != kNoPort);
+      }
+    }
+    EXPECT_EQ(g.maxDegree(), maxDeg);
+  }
 }
 
 TEST(GraphBuilders, Ring) {

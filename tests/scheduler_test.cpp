@@ -99,23 +99,23 @@ class CopyRightProtocol final : public Protocol {
            v_[static_cast<std::size_t>(p)] !=
                v_[static_cast<std::size_t>(p + 1)];
   }
-  void execute(NodeId p, int) override {
+  void doExecute(NodeId p, int) override {
     v_[static_cast<std::size_t>(p)] = v_[static_cast<std::size_t>(p + 1)];
   }
-  void randomizeNode(NodeId, Rng&) override {}
+  void doRandomizeNode(NodeId, Rng&) override {}
   [[nodiscard]] std::uint64_t localStateCount(NodeId) const override {
     return 4;
   }
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override {
     return static_cast<std::uint64_t>(v_[static_cast<std::size_t>(p)]);
   }
-  void decodeNode(NodeId p, std::uint64_t code) override {
+  void doDecodeNode(NodeId p, std::uint64_t code) override {
     v_[static_cast<std::size_t>(p)] = static_cast<int>(code);
   }
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override {
     return {v_[static_cast<std::size_t>(p)]};
   }
-  void setRawNode(NodeId p, const std::vector<int>& values) override {
+  void doSetRawNode(NodeId p, const std::vector<int>& values) override {
     v_[static_cast<std::size_t>(p)] = values.at(0);
   }
   [[nodiscard]] std::string dumpNode(NodeId p) const override {

@@ -26,8 +26,8 @@ class ZeroProtocol final : public Protocol {
   [[nodiscard]] bool enabled(NodeId p, int a) const override {
     return a == 0 && v_[static_cast<std::size_t>(p)] != 0;
   }
-  void execute(NodeId p, int) override { v_[static_cast<std::size_t>(p)] = 0; }
-  void randomizeNode(NodeId p, Rng& rng) override {
+  void doExecute(NodeId p, int) override { v_[static_cast<std::size_t>(p)] = 0; }
+  void doRandomizeNode(NodeId p, Rng& rng) override {
     v_[static_cast<std::size_t>(p)] = rng.below(domain_);
   }
   [[nodiscard]] std::uint64_t localStateCount(NodeId) const override {
@@ -36,13 +36,13 @@ class ZeroProtocol final : public Protocol {
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override {
     return static_cast<std::uint64_t>(v_[static_cast<std::size_t>(p)]);
   }
-  void decodeNode(NodeId p, std::uint64_t code) override {
+  void doDecodeNode(NodeId p, std::uint64_t code) override {
     v_[static_cast<std::size_t>(p)] = static_cast<int>(code);
   }
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override {
     return {v_[static_cast<std::size_t>(p)]};
   }
-  void setRawNode(NodeId p, const std::vector<int>& values) override {
+  void doSetRawNode(NodeId p, const std::vector<int>& values) override {
     v_[static_cast<std::size_t>(p)] = values.at(0);
   }
   [[nodiscard]] std::string dumpNode(NodeId p) const override {
@@ -59,7 +59,10 @@ class ZeroProtocol final : public Protocol {
   [[nodiscard]] int value(NodeId p) const {
     return v_[static_cast<std::size_t>(p)];
   }
-  void setValue(NodeId p, int v) { v_[static_cast<std::size_t>(p)] = v; }
+  void setValue(NodeId p, int v) {
+    v_[static_cast<std::size_t>(p)] = v;
+    dirtyNeighborhood(p);  // honor the dirtying contract for direct writes
+  }
 
  private:
   int domain_;
@@ -78,11 +81,11 @@ class OscillateProtocol final : public Protocol {
   [[nodiscard]] bool enabled(NodeId p, int a) const override {
     return a == 0 && v_[static_cast<std::size_t>(p)] != 0;
   }
-  void execute(NodeId p, int) override {
+  void doExecute(NodeId p, int) override {
     auto& v = v_[static_cast<std::size_t>(p)];
     v = (v == 1) ? 2 : 1;
   }
-  void randomizeNode(NodeId p, Rng& rng) override {
+  void doRandomizeNode(NodeId p, Rng& rng) override {
     v_[static_cast<std::size_t>(p)] = rng.below(3);
   }
   [[nodiscard]] std::uint64_t localStateCount(NodeId) const override {
@@ -91,13 +94,13 @@ class OscillateProtocol final : public Protocol {
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override {
     return static_cast<std::uint64_t>(v_[static_cast<std::size_t>(p)]);
   }
-  void decodeNode(NodeId p, std::uint64_t code) override {
+  void doDecodeNode(NodeId p, std::uint64_t code) override {
     v_[static_cast<std::size_t>(p)] = static_cast<int>(code);
   }
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override {
     return {v_[static_cast<std::size_t>(p)]};
   }
-  void setRawNode(NodeId p, const std::vector<int>& values) override {
+  void doSetRawNode(NodeId p, const std::vector<int>& values) override {
     v_[static_cast<std::size_t>(p)] = values.at(0);
   }
   [[nodiscard]] std::string dumpNode(NodeId p) const override {
@@ -123,8 +126,8 @@ class StuckProtocol final : public Protocol {
   [[nodiscard]] int actionCount() const override { return 1; }
   [[nodiscard]] std::string actionName(int) const override { return "Never"; }
   [[nodiscard]] bool enabled(NodeId, int) const override { return false; }
-  void execute(NodeId, int) override {}
-  void randomizeNode(NodeId p, Rng& rng) override {
+  void doExecute(NodeId, int) override {}
+  void doRandomizeNode(NodeId p, Rng& rng) override {
     v_[static_cast<std::size_t>(p)] = rng.below(2);
   }
   [[nodiscard]] std::uint64_t localStateCount(NodeId) const override {
@@ -133,13 +136,13 @@ class StuckProtocol final : public Protocol {
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override {
     return static_cast<std::uint64_t>(v_[static_cast<std::size_t>(p)]);
   }
-  void decodeNode(NodeId p, std::uint64_t code) override {
+  void doDecodeNode(NodeId p, std::uint64_t code) override {
     v_[static_cast<std::size_t>(p)] = static_cast<int>(code);
   }
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override {
     return {v_[static_cast<std::size_t>(p)]};
   }
-  void setRawNode(NodeId p, const std::vector<int>& values) override {
+  void doSetRawNode(NodeId p, const std::vector<int>& values) override {
     v_[static_cast<std::size_t>(p)] = values.at(0);
   }
   [[nodiscard]] std::string dumpNode(NodeId p) const override {

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Perf smoke check: compare a fresh scheduler-preset JSON against the
+committed baseline (BENCH_scheduler.json).
+
+The gated metric is `speedup` — incremental-cache steps/sec divided by
+forced-naive-rescan steps/sec, both measured within the same trial on
+the same machine — so the check is hardware-independent: an accidental
+O(n^2) reintroduction on the simulator hot path collapses the speedup
+toward 1x regardless of runner speed.  Fails (exit 1) if any scenario's
+speedup dropped below --min-ratio (default 0.5, i.e. a >2x regression)
+of the committed value.  Absolute steps/sec are printed for the
+trajectory but not gated.
+
+Usage: check_perf_regression.py BASELINE.json FRESH.json [--min-ratio R]
+"""
+import argparse
+import json
+import sys
+
+GATED = "speedup"
+INFO = "incremental_moves_per_sec"
+
+
+def by_scenario(path):
+    with open(path) as f:
+        return {row["scenario"]: row for row in json.load(f)}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--min-ratio", type=float, default=0.5)
+    args = ap.parse_args()
+
+    baseline = by_scenario(args.baseline)
+    fresh = by_scenario(args.fresh)
+    failures = []
+    for name, base_row in sorted(baseline.items()):
+        if name not in fresh:
+            failures.append(f"{name}: missing from fresh run")
+            continue
+        fresh_row = fresh[name]
+        if fresh_row.get("failed_trials", 0):
+            failures.append(f"{name}: {fresh_row['failed_trials']} failed trials")
+        base = base_row["metrics"][GATED]["mean"]
+        new = fresh_row["metrics"][GATED]["mean"]
+        ratio = new / base if base > 0 else float("inf")
+        status = "OK" if ratio >= args.min_ratio else "REGRESSION"
+        print(f"{name}: {GATED} {base:.1f}x -> {new:.1f}x "
+              f"(x{ratio:.2f} of baseline, floor x{args.min_ratio})  {status};"
+              f"  {INFO} {fresh_row['metrics'][INFO]['mean']:.0f}")
+        if ratio < args.min_ratio:
+            failures.append(f"{name}: {GATED} regressed to x{ratio:.2f}")
+    if failures:
+        print("\nperf smoke FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nperf smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
