@@ -2,12 +2,16 @@
 //
 //   exp_cli list
 //   exp_cli run <scenario-or-preset> [options]
+//   exp_cli run --scenarios FILE [options]
 //
 // A scenario is either a preset name (see `list`) or a dynamic triple
 // "protocol/daemon/topology", e.g. stno/distributed/torus:4x4 or
-// dftno/round-robin/chordring:16:2,5.
+// dftno/round-robin/chordring:16:2,5.  A scenario file holds one
+// "protocol daemon topology [key=value ...]" per line (# = comment), so
+// sweeps can be version-controlled; see src/exp/scenario.hpp.
 //
 // Options:
+//   --scenarios F read scenarios from file F (instead of a name)
 //   --trials N    trials per scenario        (default: scenario's own)
 //   --threads N   worker threads             (default: hardware)
 //   --seed S      base RNG seed              (default: scenario's own)
@@ -38,10 +42,10 @@ using ssno::exp::ScenarioResult;
 int usage() {
   std::fprintf(stderr,
                "usage: exp_cli list\n"
-               "       exp_cli run <scenario-or-preset> [--trials N] "
-               "[--threads N]\n"
-               "               [--seed S] [--budget B] [--rate R]\n"
-               "               [--csv FILE] [--json FILE] [--quiet]\n");
+               "       exp_cli run <scenario-or-preset> [options]\n"
+               "       exp_cli run --scenarios FILE [options]\n"
+               "options: [--trials N] [--threads N] [--seed S] [--budget B]\n"
+               "         [--rate R] [--csv FILE] [--json FILE] [--quiet]\n");
   return 2;
 }
 
@@ -57,11 +61,14 @@ void listScenarios() {
       "             dftc bfs-tree lex-dfs-tree dftno-recovery stno-recovery\n"
       "             stno-crash-reset ablation-naming space chordal-props\n"
       "             routing scheduler\n"
+      "             model-check[:dftc|:dftno|:dftc-fault]\n"
       "  daemons:   central distributed synchronous round-robin adversarial\n"
       "  topology:  ring:N path:N star:N complete:N hypercube:D grid:RxC\n"
       "             torus:RxC kary:NxK caterpillar:SxL lollipop:CxT\n"
       "             rtree:N[:seed] er:N:P[:seed] chordring:N:c1,c2,...\n"
-      "  example:   exp_cli run stno/distributed/torus:4x4 --trials 20\n");
+      "             dreg:N:D[:seed] plaw:N:A[:seed]\n"
+      "  example:   exp_cli run stno/distributed/torus:4x4 --trials 20\n"
+      "             exp_cli run model-check:dftc/central/path:4\n");
 }
 
 void emit(const std::string& path, const std::string& payload,
@@ -87,7 +94,15 @@ int main(int argc, char** argv) {
   }
   if (args[0] != "run" || args.size() < 2) return usage();
 
-  const std::string target = args[1];
+  std::string target, scenarioFile;
+  std::size_t optionsFrom = 2;
+  if (args[1] == "--scenarios") {
+    if (args.size() < 3) return usage();
+    scenarioFile = args[2];
+    optionsFrom = 3;
+  } else {
+    target = args[1];
+  }
   std::optional<int> trials, threads;
   std::optional<std::uint64_t> seed;
   std::optional<ssno::StepCount> budget;
@@ -95,7 +110,7 @@ int main(int argc, char** argv) {
   std::string csvPath, jsonPath;
   bool quiet = false;
   try {
-    for (std::size_t i = 2; i < args.size(); ++i) {
+    for (std::size_t i = optionsFrom; i < args.size(); ++i) {
       auto value = [&]() -> std::string {
         if (i + 1 >= args.size())
           throw std::invalid_argument(args[i] + " needs a value");
@@ -109,10 +124,16 @@ int main(int argc, char** argv) {
       else if (args[i] == "--csv") csvPath = value();
       else if (args[i] == "--json") jsonPath = value();
       else if (args[i] == "--quiet") quiet = true;
+      else if (args[i] == "--scenarios") scenarioFile = value();
       else throw std::invalid_argument("unknown option " + args[i]);
     }
 
-    std::vector<Scenario> scenarios = ssno::exp::resolve(target);
+    if (!target.empty() && !scenarioFile.empty())
+      throw std::invalid_argument(
+          "give either a scenario name or --scenarios, not both");
+    std::vector<Scenario> scenarios =
+        scenarioFile.empty() ? ssno::exp::resolve(target)
+                             : ssno::exp::loadScenarioFile(scenarioFile);
     for (Scenario& s : scenarios) {
       if (trials) s.trials = *trials;
       if (seed) s.seed = *seed;
@@ -128,11 +149,14 @@ int main(int argc, char** argv) {
       }
     }
     // A --rate override can collapse a preset's rate variants into
-    // identical scenarios; run each distinct name once.
-    std::set<std::string> seen;
-    std::erase_if(scenarios, [&seen](const Scenario& s) {
-      return !seen.insert(s.name).second;
-    });
+    // identical scenarios; run each distinct name once.  Scenario files
+    // are exempt: same-named lines may differ in key=value overrides.
+    if (scenarioFile.empty()) {
+      std::set<std::string> seen;
+      std::erase_if(scenarios, [&seen](const Scenario& s) {
+        return !seen.insert(s.name).second;
+      });
+    }
 
     const ExperimentRunner runner(threads.value_or(0));
     const std::vector<ScenarioResult> results = runner.runAll(scenarios);

@@ -5,39 +5,63 @@
 #include <unordered_map>
 
 #include "core/assert.hpp"
+#include "core/enabled_cache.hpp"
 #include "core/scheduler.hpp"
+#include "mc/properties.hpp"
 
 namespace ssno {
 namespace {
 
-/// Mixed-radix index <-> per-node code vector.
+/// Mixed-radix index <-> per-node code vector, with delta decoding:
+/// decodeDelta rewrites only the nodes whose code changed since the
+/// last decode, so the protocol's dirty set (and the EnabledCache fed
+/// from it) stays proportional to the diff.  decodeInto is the naive
+/// full decode (invalidates every guard), kept for setNaiveExpansion.
 class ConfigIndexer {
  public:
   explicit ConfigIndexer(const Protocol& p) {
-    radices_.reserve(static_cast<std::size_t>(p.graph().nodeCount()));
+    const auto n = static_cast<std::size_t>(p.graph().nodeCount());
+    radices_.reserve(n);
+    weights_.reserve(n);
     total_ = 1;
     overflow_ = false;
     for (NodeId q = 0; q < p.graph().nodeCount(); ++q) {
       const std::uint64_t r = p.localStateCount(q);
       SSNO_EXPECTS(r >= 1);
       radices_.push_back(r);
+      weights_.push_back(total_);  // product of radices before q
       if (total_ > UINT64_MAX / r) overflow_ = true;
       if (!overflow_) total_ *= r;
     }
+    codes_.resize(n);
   }
 
   [[nodiscard]] bool overflow() const { return overflow_; }
   [[nodiscard]] std::uint64_t total() const { return total_; }
 
-  void decodeInto(Protocol& p, std::uint64_t index,
-                  std::vector<std::uint64_t>* codes = nullptr) const {
-    if (codes) codes->resize(radices_.size());
-    for (std::size_t q = 0; q < radices_.size(); ++q) {
-      const std::uint64_t code = index % radices_[q];
-      p.decodeNode(static_cast<NodeId>(q), code);
-      if (codes) (*codes)[q] = code;
-      index /= radices_[q];
-    }
+  /// Code of node q in the most recently decoded index.
+  [[nodiscard]] std::uint64_t code(NodeId q) const {
+    return codes_[static_cast<std::size_t>(q)];
+  }
+
+  /// Index of the configuration that differs from `index` only at q
+  /// (exact in mod-2^64 arithmetic since total() fits 64 bits) — the
+  /// O(1) replacement for re-encoding all n nodes per successor.
+  [[nodiscard]] std::uint64_t successorIndex(std::uint64_t index, NodeId q,
+                                             std::uint64_t oldCode,
+                                             std::uint64_t newCode) const {
+    return index + (newCode - oldCode) * weights_[static_cast<std::size_t>(q)];
+  }
+
+  void decodeInto(Protocol& p, std::uint64_t index) {
+    codesOf(index);
+    p.decodeConfiguration(codes_);
+    prev_ = codes_;
+  }
+
+  void decodeDelta(Protocol& p, std::uint64_t index) {
+    codesOf(index);
+    p.decodeConfigurationDelta(codes_, prev_);
   }
 
   [[nodiscard]] std::uint64_t encodeFrom(const Protocol& p) const {
@@ -49,146 +73,23 @@ class ConfigIndexer {
   }
 
  private:
+  void codesOf(std::uint64_t index) {
+    for (std::size_t q = 0; q < radices_.size(); ++q) {
+      codes_[q] = index % radices_[q];
+      index /= radices_[q];
+    }
+  }
+
   std::vector<std::uint64_t> radices_;
+  std::vector<std::uint64_t> weights_;
+  std::vector<std::uint64_t> codes_;  // last decoded index's codes
+  std::vector<std::uint64_t> prev_;   // delta-tracking state
   std::uint64_t total_ = 1;
   bool overflow_ = false;
 };
 
 std::string describeConfig(const Protocol& p) {
-  std::ostringstream out;
-  for (NodeId q = 0; q < p.graph().nodeCount(); ++q)
-    out << "  node " << q << ": " << p.dumpNode(q) << '\n';
-  return out.str();
-}
-
-/// Bitmask of enabled (processor, action) pairs: bit = node·A + action.
-/// Fairness constraints are tracked at action granularity — a processor
-/// serving one action does not discharge the obligation to eventually
-/// serve another that stays enabled.
-std::uint64_t enabledPairMask(const Protocol& p) {
-  std::uint64_t mask = 0;
-  const int actions = p.actionCount();
-  for (NodeId q = 0; q < p.graph().nodeCount(); ++q)
-    for (int a = 0; a < actions; ++a)
-      if (p.enabled(q, a))
-        mask |= (1ULL << (q * actions + a));
-  return mask;
-}
-
-/// Transition system over an explicit set of (illegitimate) states.
-/// States are dense local ids; edges carry the acting (node, action) pair.
-struct IllegitGraph {
-  struct Edge {
-    int to;
-    int actorPair;  // node·actionCount + action
-  };
-  std::vector<std::vector<Edge>> adj;     // per illegit state
-  std::vector<std::uint64_t> enabledMask; // per illegit state
-};
-
-/// SCC-wise fairness feasibility (see header).  Returns the local id of a
-/// state inside a fair-feasible illegitimate cycle, or -1 if none.
-/// Weak fairness forbids cycles starving an ALWAYS-enabled action;
-/// strong fairness forbids cycles starving an EVER-enabled action.
-int findFairCycle(const IllegitGraph& g, Fairness fairness) {
-  const int n = static_cast<int>(g.adj.size());
-  // Iterative Tarjan.
-  std::vector<int> index(static_cast<std::size_t>(n), -1);
-  std::vector<int> low(static_cast<std::size_t>(n), 0);
-  std::vector<int> sccOf(static_cast<std::size_t>(n), -1);
-  std::vector<bool> onStack(static_cast<std::size_t>(n), false);
-  std::vector<int> tarjanStack;
-  int nextIndex = 0;
-  int sccCount = 0;
-
-  struct Frame {
-    int v;
-    std::size_t child;
-  };
-  std::vector<Frame> callStack;
-  for (int start = 0; start < n; ++start) {
-    if (index[static_cast<std::size_t>(start)] != -1) continue;
-    callStack.push_back({start, 0});
-    index[static_cast<std::size_t>(start)] =
-        low[static_cast<std::size_t>(start)] = nextIndex++;
-    tarjanStack.push_back(start);
-    onStack[static_cast<std::size_t>(start)] = true;
-    while (!callStack.empty()) {
-      Frame& f = callStack.back();
-      const auto& edges = g.adj[static_cast<std::size_t>(f.v)];
-      if (f.child < edges.size()) {
-        const int w = edges[f.child++].to;
-        if (index[static_cast<std::size_t>(w)] == -1) {
-          index[static_cast<std::size_t>(w)] =
-              low[static_cast<std::size_t>(w)] = nextIndex++;
-          tarjanStack.push_back(w);
-          onStack[static_cast<std::size_t>(w)] = true;
-          callStack.push_back({w, 0});
-        } else if (onStack[static_cast<std::size_t>(w)]) {
-          low[static_cast<std::size_t>(f.v)] =
-              std::min(low[static_cast<std::size_t>(f.v)],
-                       index[static_cast<std::size_t>(w)]);
-        }
-      } else {
-        const int v = f.v;
-        callStack.pop_back();
-        if (!callStack.empty()) {
-          const int parent = callStack.back().v;
-          low[static_cast<std::size_t>(parent)] =
-              std::min(low[static_cast<std::size_t>(parent)],
-                       low[static_cast<std::size_t>(v)]);
-        }
-        if (low[static_cast<std::size_t>(v)] ==
-            index[static_cast<std::size_t>(v)]) {
-          while (true) {
-            const int w = tarjanStack.back();
-            tarjanStack.pop_back();
-            onStack[static_cast<std::size_t>(w)] = false;
-            sccOf[static_cast<std::size_t>(w)] = sccCount;
-            if (w == v) break;
-          }
-          ++sccCount;
-        }
-      }
-    }
-  }
-
-  // Per-SCC aggregates.
-  std::vector<std::uint64_t> enabledAll(static_cast<std::size_t>(sccCount),
-                                        ~0ULL);
-  std::vector<std::uint64_t> enabledAny(static_cast<std::size_t>(sccCount), 0);
-  std::vector<std::uint64_t> actsInside(static_cast<std::size_t>(sccCount), 0);
-  std::vector<bool> hasInternalEdge(static_cast<std::size_t>(sccCount), false);
-  std::vector<int> representative(static_cast<std::size_t>(sccCount), -1);
-  for (int v = 0; v < n; ++v) {
-    const int s = sccOf[static_cast<std::size_t>(v)];
-    enabledAll[static_cast<std::size_t>(s)] &=
-        g.enabledMask[static_cast<std::size_t>(v)];
-    enabledAny[static_cast<std::size_t>(s)] |=
-        g.enabledMask[static_cast<std::size_t>(v)];
-    representative[static_cast<std::size_t>(s)] = v;
-    for (const auto& e : g.adj[static_cast<std::size_t>(v)]) {
-      if (sccOf[static_cast<std::size_t>(e.to)] == s) {
-        hasInternalEdge[static_cast<std::size_t>(s)] = true;
-        actsInside[static_cast<std::size_t>(s)] |= (1ULL << e.actorPair);
-      }
-    }
-  }
-
-  for (int s = 0; s < sccCount; ++s) {
-    if (!hasInternalEdge[static_cast<std::size_t>(s)]) continue;
-    // The SCC hosts a fair infinite execution iff no action that the
-    // fairness notion protects is starved inside it.  (enabledAll is an
-    // AND over configuration masks, so stray high bits vanish.)
-    const std::uint64_t protectedPairs =
-        fairness == Fairness::kStronglyFair
-            ? enabledAny[static_cast<std::size_t>(s)]
-            : enabledAll[static_cast<std::size_t>(s)];
-    const std::uint64_t starved =
-        protectedPairs & ~actsInside[static_cast<std::size_t>(s)];
-    if (starved == 0) return representative[static_cast<std::size_t>(s)];
-  }
-  return -1;
+  return mc::describeConfiguration(p);
 }
 
 }  // namespace
@@ -196,39 +97,62 @@ int findFairCycle(const IllegitGraph& g, Fairness fairness) {
 CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
                                           Fairness fairness) {
   CheckResult res;
-  const ConfigIndexer ix(protocol_);
+  ConfigIndexer ix(protocol_);
   if (ix.overflow() || ix.total() > maxConfigs) {
     res.failure = "state space too large for exhaustive check";
     return res;
   }
+  const int actions = protocol_.actionCount();
   if (fairness != Fairness::kNone &&
-      protocol_.graph().nodeCount() * protocol_.actionCount() > 64) {
+      protocol_.graph().nodeCount() * actions > 64) {
     res.failure = "fairness-aware check limited to 64 (node, action) pairs";
     return res;
   }
   const std::uint64_t total = ix.total();
 
+  EnabledCache cache(protocol_);
+  cache.setForceNaive(naive_);
+
   std::vector<std::uint8_t> isLegit(total, 0);
   for (std::uint64_t c = 0; c < total; ++c) {
-    ix.decodeInto(protocol_, c);
+    if (naive_)
+      ix.decodeInto(protocol_, c);
+    else
+      ix.decodeDelta(protocol_, c);
     isLegit[c] = legit_() ? 1 : 0;
   }
 
-  std::vector<std::uint64_t> nodeCodes;
-  auto successors = [&](std::uint64_t c) {
+  /// Decodes c and refreshes the enabled set into a stable copy (the
+  /// cache's own buffer is only valid until the next mutation).
+  std::vector<Move> movesBuf;
+  auto expand = [&](std::uint64_t c) -> const std::vector<Move>& {
+    if (naive_)
+      ix.decodeInto(protocol_, c);
+    else
+      ix.decodeDelta(protocol_, c);
+    const std::vector<Move>& fresh = cache.refresh();
+    movesBuf.assign(fresh.begin(), fresh.end());
+    return movesBuf;
+  };
+  /// Successor of the currently decoded c by move m; restores c before
+  /// returning.  (A statement writes only its own processor's
+  /// variables, so restoring the acted node alone suffices.)
+  auto successorOf = [&](std::uint64_t c, const Move& m) {
+    const std::uint64_t oldCode = ix.code(m.node);
+    protocol_.execute(m.node, m.action);
+    const std::uint64_t s =
+        naive_ ? ix.encodeFrom(protocol_)
+               : ix.successorIndex(c, m.node, oldCode,
+                                   protocol_.encodeNode(m.node));
+    protocol_.decodeNode(m.node, oldCode);
+    return s;
+  };
+  auto successorsVec = [&](std::uint64_t c) {
     std::vector<std::pair<std::uint64_t, int>> succ;  // (config, actor)
-    ix.decodeInto(protocol_, c, &nodeCodes);
-    const std::vector<Move> moves = protocol_.enabledMoves();
+    const std::vector<Move>& moves = expand(c);
     succ.reserve(moves.size());
-    const int actions = protocol_.actionCount();
-    for (const Move& m : moves) {
-      protocol_.execute(m.node, m.action);
-      succ.emplace_back(ix.encodeFrom(protocol_), m.node * actions + m.action);
-      // A statement writes only its own processor's variables, so
-      // restoring the acted node alone returns the protocol to c.
-      protocol_.decodeNode(m.node,
-                           nodeCodes[static_cast<std::size_t>(m.node)]);
-    }
+    for (const Move& m : moves)
+      succ.emplace_back(successorOf(c, m), m.node * actions + m.action);
     return succ;
   };
 
@@ -237,11 +161,11 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
   std::uint64_t illegitCount = 0;
   for (std::uint64_t c = 0; c < total; ++c) {
     ++res.configsExplored;
-    const auto succ = successors(c);
+    const std::vector<Move>& moves = expand(c);
     if (isLegit[c]) {
-      for (const auto& [s, actor] : succ) {
-        if (!isLegit[s]) {
-          ix.decodeInto(protocol_, c);
+      for (const Move& m : moves) {
+        if (!isLegit[successorOf(c, m)]) {
+          ix.decodeDelta(protocol_, c);
           res.failure = "closure violated; legitimate configuration:\n" +
                         describeConfig(protocol_);
           return res;
@@ -249,8 +173,7 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
       }
       continue;
     }
-    if (succ.empty()) {
-      ix.decodeInto(protocol_, c);
+    if (moves.empty()) {
       res.failure = "illegitimate terminal (deadlocked) configuration:\n" +
                     describeConfig(protocol_);
       return res;
@@ -260,8 +183,9 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
 
   if (fairness != Fairness::kNone) {
     // Materialize the illegitimate sub-digraph with actors and
-    // enabled-processor masks, then look for a fair-feasible cycle.
-    IllegitGraph g;
+    // enabled-pair masks (read off the expansion's move list), then
+    // look for a fair-feasible cycle.
+    mc::TransitionGraph g;
     g.adj.resize(illegitCount);
     g.enabledMask.resize(illegitCount);
     std::vector<std::uint64_t> localToGlobal(illegitCount);
@@ -269,16 +193,21 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
       if (isLegit[c]) continue;
       const std::uint64_t id = illegitIds[c];
       localToGlobal[id] = c;
-      for (const auto& [s, actor] : successors(c)) {
+      const std::vector<Move>& moves = expand(c);
+      std::uint64_t mask = 0;
+      for (const Move& m : moves) {
+        const int pair = m.node * actions + m.action;
+        mask |= (1ULL << pair);
+        const std::uint64_t s = successorOf(c, m);
         if (!isLegit[s])
-          g.adj[id].push_back({static_cast<int>(illegitIds[s]), actor});
+          g.adj[id].push_back({static_cast<int>(illegitIds[s]), pair});
       }
-      ix.decodeInto(protocol_, c);
-      g.enabledMask[id] = enabledPairMask(protocol_);
+      g.enabledMask[id] = mask;
     }
-    const int bad = findFairCycle(g, fairness);
+    const int bad = mc::findFairCycle(g, fairness);
     if (bad >= 0) {
-      ix.decodeInto(protocol_, localToGlobal[static_cast<std::size_t>(bad)]);
+      ix.decodeDelta(protocol_,
+                     localToGlobal[static_cast<std::size_t>(bad)]);
       res.failure =
           "convergence violated: fair-feasible cycle through "
           "illegitimate configuration:\n" +
@@ -299,7 +228,7 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
   for (std::uint64_t start = 0; start < total; ++start) {
     if (isLegit[start] || color[start] != 0) continue;
     stack.assign(1, start);
-    stackSucc.assign(1, successors(start));
+    stackSucc.assign(1, successorsVec(start));
     stackPos.assign(1, 0);
     color[start] = 1;
     while (!stack.empty()) {
@@ -308,7 +237,7 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
         const std::uint64_t next = stackSucc.back()[stackPos.back()++].first;
         if (isLegit[next]) continue;
         if (color[next] == 1) {
-          ix.decodeInto(protocol_, next);
+          ix.decodeDelta(protocol_, next);
           res.failure =
               "convergence violated: cycle through illegitimate "
               "configuration:\n" +
@@ -318,7 +247,7 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
         if (color[next] == 0) {
           color[next] = 1;
           stack.push_back(next);
-          stackSucc.push_back(successors(next));
+          stackSucc.push_back(successorsVec(next));
           stackPos.push_back(0);
           descended = true;
           break;
@@ -340,8 +269,9 @@ CheckResult ModelChecker::verifyReachable(
     const std::vector<std::vector<std::uint64_t>>& seeds,
     std::uint64_t maxConfigs, Fairness fairness) {
   CheckResult res;
+  const int actions = protocol_.actionCount();
   if (fairness != Fairness::kNone &&
-      protocol_.graph().nodeCount() * protocol_.actionCount() > 64) {
+      protocol_.graph().nodeCount() * actions > 64) {
     res.failure = "fairness-aware check limited to 64 (node, action) pairs";
     return res;
   }
@@ -358,16 +288,22 @@ CheckResult ModelChecker::verifyReachable(
   std::unordered_map<std::vector<std::uint64_t>, int, VecHash> id;
   std::vector<std::vector<std::uint64_t>> configs;
   std::vector<std::uint8_t> isLegit;
-  std::vector<std::uint64_t> enabledMask;
+  std::vector<std::uint64_t> enabledMask;  // filled at expansion
 
-  auto intern = [&](const std::vector<std::uint64_t>& code) -> int {
-    auto [it, inserted] =
-        id.try_emplace(code, static_cast<int>(configs.size()));
+  EnabledCache cache(protocol_);
+  cache.setForceNaive(naive_);
+  std::vector<std::uint64_t> cur;  // codes currently decoded in protocol_
+  std::vector<Move> moves;         // stable copy of each refresh
+
+  /// Interns the configuration the protocol currently holds (legitimacy
+  /// is evaluated in place — no re-decode).
+  auto internCurrent = [&]() -> int {
+    auto [it, inserted] = id.try_emplace(protocol_.encodeConfiguration(),
+                                         static_cast<int>(configs.size()));
     if (inserted) {
-      configs.push_back(code);
-      protocol_.decodeConfiguration(code);
+      configs.push_back(it->first);
       isLegit.push_back(legit_() ? 1 : 0);
-      enabledMask.push_back(enabledPairMask(protocol_));
+      enabledMask.push_back(0);
     }
     return it->second;
   };
@@ -380,7 +316,10 @@ CheckResult ModelChecker::verifyReachable(
   std::vector<std::uint8_t> explored;
 
   std::vector<int> frontier;
-  for (const auto& s : seeds) frontier.push_back(intern(s));
+  for (const auto& s : seeds) {
+    protocol_.decodeConfigurationDelta(s, cur);
+    frontier.push_back(internCurrent());
+  }
   for (std::size_t head = 0; head < frontier.size(); ++head) {
     const int c = frontier[head];
     while (static_cast<int>(adj.size()) <= c) {
@@ -389,19 +328,34 @@ CheckResult ModelChecker::verifyReachable(
     }
     if (explored[static_cast<std::size_t>(c)]) continue;
     explored[static_cast<std::size_t>(c)] = 1;
-    protocol_.decodeConfiguration(configs[static_cast<std::size_t>(c)]);
-    const std::vector<Move> moves = protocol_.enabledMoves();
+    if (naive_) {
+      protocol_.decodeConfiguration(configs[static_cast<std::size_t>(c)]);
+      cur = configs[static_cast<std::size_t>(c)];
+    } else {
+      protocol_.decodeConfigurationDelta(configs[static_cast<std::size_t>(c)],
+                                         cur);
+    }
+    {
+      const std::vector<Move>& fresh = cache.refresh();
+      moves.assign(fresh.begin(), fresh.end());
+    }
     if (moves.empty() && !isLegit[static_cast<std::size_t>(c)]) {
       res.failure = "illegitimate terminal (deadlocked) configuration:\n" +
                     describeConfig(protocol_);
       return res;
     }
+    if (fairness != Fairness::kNone) {
+      // Pair bits only exist (and fit 64 bits) in fair modes.
+      std::uint64_t mask = 0;
+      for (const Move& m : moves)
+        mask |= (1ULL << (m.node * actions + m.action));
+      enabledMask[static_cast<std::size_t>(c)] = mask;
+    }
     for (const Move& m : moves) {
       protocol_.execute(m.node, m.action);
-      const int s = intern(protocol_.encodeConfiguration());
-      // intern() may leave the protocol decoded to the successor; either
-      // way only m.node's variables differ from c, so restoring that one
-      // node returns to c for the next move.
+      const int s = internCurrent();
+      // Only m.node's variables differ from c, so restoring that one
+      // node returns to c for the next move (cur still describes c).
       protocol_.decodeNode(
           m.node,
           configs[static_cast<std::size_t>(c)][static_cast<std::size_t>(
@@ -412,13 +366,12 @@ CheckResult ModelChecker::verifyReachable(
       }
       if (isLegit[static_cast<std::size_t>(c)] &&
           !isLegit[static_cast<std::size_t>(s)]) {
-        protocol_.decodeConfiguration(configs[static_cast<std::size_t>(c)]);
         res.failure = "closure violated; legitimate configuration:\n" +
                       describeConfig(protocol_);
         return res;
       }
       adj[static_cast<std::size_t>(c)].push_back(
-          {s, m.node * protocol_.actionCount() + m.action});
+          {s, m.node * actions + m.action});
       frontier.push_back(s);
     }
   }
@@ -428,7 +381,7 @@ CheckResult ModelChecker::verifyReachable(
   if (fairness != Fairness::kNone) {
     // Project to the illegitimate sub-digraph.
     std::vector<int> localId(static_cast<std::size_t>(total), -1);
-    IllegitGraph g;
+    mc::TransitionGraph g;
     std::vector<int> localToGlobal;
     for (int c = 0; c < total; ++c) {
       if (isLegit[static_cast<std::size_t>(c)]) continue;
@@ -449,11 +402,12 @@ CheckResult ModelChecker::verifyReachable(
           g.adj[static_cast<std::size_t>(lc)].push_back({lt, e.actorPair});
       }
     }
-    const int bad = findFairCycle(g, fairness);
+    const int bad = mc::findFairCycle(g, fairness);
     if (bad >= 0) {
-      protocol_.decodeConfiguration(
+      protocol_.decodeConfigurationDelta(
           configs[static_cast<std::size_t>(
-              localToGlobal[static_cast<std::size_t>(bad)])]);
+              localToGlobal[static_cast<std::size_t>(bad)])],
+          cur);
       res.failure =
           "convergence violated: fair-feasible cycle through "
           "illegitimate configuration:\n" +
@@ -475,15 +429,15 @@ CheckResult ModelChecker::verifyReachable(
     pos.assign(1, 0);
     color[static_cast<std::size_t>(start)] = 1;
     while (!stack.empty()) {
-      const int cur = stack.back();
-      const auto& succ = adj[static_cast<std::size_t>(cur)];
+      const int curState = stack.back();
+      const auto& succ = adj[static_cast<std::size_t>(curState)];
       bool descended = false;
       while (pos.back() < static_cast<int>(succ.size())) {
         const int next = succ[static_cast<std::size_t>(pos.back()++)].to;
         if (isLegit[static_cast<std::size_t>(next)]) continue;
         if (color[static_cast<std::size_t>(next)] == 1) {
-          protocol_.decodeConfiguration(
-              configs[static_cast<std::size_t>(next)]);
+          protocol_.decodeConfigurationDelta(
+              configs[static_cast<std::size_t>(next)], cur);
           res.failure =
               "convergence violated: cycle through illegitimate "
               "configuration:\n" +
@@ -499,7 +453,7 @@ CheckResult ModelChecker::verifyReachable(
         }
       }
       if (!descended && pos.back() >= static_cast<int>(succ.size())) {
-        color[static_cast<std::size_t>(cur)] = 2;
+        color[stack.back()] = 2;
         stack.pop_back();
         pos.pop_back();
       }

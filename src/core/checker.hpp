@@ -41,6 +41,19 @@
 //                        substrate states);
 //   * monteCarlo       — randomized convergence stress for sizes beyond
 //                        exhaustive reach, under any daemon.
+//
+// Successor expansion is incremental: configurations are delta-decoded
+// (only the nodes that differ from the previously decoded configuration
+// are rewritten, see Protocol::decodeConfigurationDelta), and the
+// enabled-move set is maintained by an EnabledCache over the protocol's
+// dirty notifications instead of a full guard rescan per configuration.
+// In Debug builds the cache cross-checks the incremental enabled set
+// against the naive scan on every refresh, so exploration itself
+// exercises the dirtying contract.  setNaiveExpansion(true) restores
+// the pre-incremental behavior (full decode + full rescan per
+// expansion) for before/after benchmarking.  The parallel engine in
+// src/mc scales these same checks across threads; equivalence of the
+// two paths is pinned by tests/mc_equiv_test.cpp.
 #ifndef SSNO_CORE_CHECKER_HPP
 #define SSNO_CORE_CHECKER_HPP
 
@@ -101,9 +114,15 @@ class ModelChecker {
                                        StepCount maxMoves,
                                        StepCount closureMoves);
 
+  /// Forces full configuration decodes and naive enabled-set rescans
+  /// per expansion (the pre-incremental behavior) — the "before" side
+  /// of the model-check throughput benchmark.
+  void setNaiveExpansion(bool naive) { naive_ = naive; }
+
  private:
   Protocol& protocol_;
   LegitPredicate legit_;
+  bool naive_ = false;
 };
 
 }  // namespace ssno

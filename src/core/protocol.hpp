@@ -135,6 +135,17 @@ class Protocol {
   [[nodiscard]] std::vector<std::uint64_t> encodeConfiguration() const;
   void decodeConfiguration(const std::vector<std::uint64_t>& codes);
 
+  /// Delta decode: rewrites only the nodes whose code differs from
+  /// `prev`, dirtying just those closed neighborhoods, and updates
+  /// `prev` to `codes`.  A caller that threads `prev` through
+  /// successive decodes (model-checking exploration, where neighboring
+  /// configurations differ in a handful of nodes) keeps the dirty set —
+  /// and therefore an EnabledCache consumer — incremental instead of
+  /// invalidating everything per configuration.  A `prev` of the wrong
+  /// size is treated as unknown and triggers a full decode.
+  void decodeConfigurationDelta(const std::vector<std::uint64_t>& codes,
+                                std::vector<std::uint64_t>& prev);
+
   /// FNV-1a hash of the canonical encoding (for visited-set bookkeeping).
   [[nodiscard]] std::uint64_t configurationHash() const;
 

@@ -8,10 +8,12 @@
 
 #include "apps/broadcast.hpp"
 #include "apps/routing.hpp"
+#include "core/checker.hpp"
 #include "core/fault.hpp"
 #include "core/rng.hpp"
 #include "core/scheduler.hpp"
 #include "dftc/dftc.hpp"
+#include "mc/explorer.hpp"
 #include "orientation/baseline.hpp"
 #include "orientation/chordal.hpp"
 #include "orientation/dftno.hpp"
@@ -374,6 +376,84 @@ TrialResult schedulerTrial(const Graph& g, const Scenario& s,
   return r;
 }
 
+/// Exhaustive model-checking throughput: full-space verification of the
+/// target protocol on g, (a) by the sequential ModelChecker with naive
+/// expansion (full decode + full guard rescan per configuration — the
+/// pre-incremental baseline) and (b) by the src/mc parallel explorer at
+/// s.mcThreads workers.  Both must return the same verdict; speedup is
+/// parallel states/sec over the naive sequential states/sec.
+TrialResult modelCheckTrial(const Graph& g, const Scenario& s,
+                            std::uint64_t) {
+  const Fairness fairness = Fairness::kWeaklyFair;
+  auto factory = [&g, &s]() -> std::unique_ptr<Protocol> {
+    switch (s.mcTarget) {
+      case McTarget::kDftc:
+      case McTarget::kDftcFault: return std::make_unique<Dftc>(g);
+      case McTarget::kDftno: return std::make_unique<Dftno>(g);
+    }
+    throw std::invalid_argument("modelCheckTrial: unknown target");
+  };
+  auto legit = [&s](Protocol& p) {
+    switch (s.mcTarget) {
+      case McTarget::kDftc:
+      case McTarget::kDftcFault:
+        return static_cast<Dftc&>(p).isLegitimate();
+      case McTarget::kDftno: return static_cast<Dftno&>(p).isLegitimate();
+    }
+    throw std::invalid_argument("modelCheckTrial: unknown target");
+  };
+  const auto maxStates = static_cast<std::uint64_t>(s.budget);
+  const bool reachableMode = s.mcTarget == McTarget::kDftcFault;
+
+  // 1-fault seeds: every single-node corruption of the clean
+  // configuration (all codes at one node, all nodes).
+  std::vector<std::vector<std::uint64_t>> seeds;
+  if (reachableMode) {
+    Dftc clean(g);
+    clean.resetClean();
+    const std::vector<std::uint64_t> base = clean.encodeConfiguration();
+    for (NodeId p = 0; p < g.nodeCount(); ++p) {
+      for (std::uint64_t code = 0; code < clean.localStateCount(p); ++code) {
+        std::vector<std::uint64_t> seed = base;
+        seed[static_cast<std::size_t>(p)] = code;
+        seeds.push_back(std::move(seed));
+      }
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::unique_ptr<Protocol> seq = factory();
+  ModelChecker checker(*seq, [&] { return legit(*seq); });
+  checker.setNaiveExpansion(true);
+  const CheckResult seqRes =
+      reachableMode ? checker.verifyReachable(seeds, maxStates, fairness)
+                    : checker.verifyFullSpace(maxStates, fairness);
+  const double seqSecs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  mc::Options opt;
+  opt.threads = s.mcThreads;
+  opt.maxStates = maxStates;
+  opt.fairness = fairness;
+  mc::ParallelChecker parallel(factory, legit);
+  const mc::Result mcRes = reachableMode
+                               ? parallel.checkReachable(seeds, opt)
+                               : parallel.checkFullSpace(opt);
+
+  TrialResult r;
+  r.converged = seqRes.ok && mcRes.ok;
+  const double naiveRate =
+      static_cast<double>(seqRes.configsExplored) / std::max(seqSecs, 1e-9);
+  r.metrics = {{"states", static_cast<double>(mcRes.statesExplored)},
+               {"naive_states_per_sec", naiveRate},
+               {"mc_states_per_sec", mcRes.statesPerSec},
+               {"speedup", mcRes.statesPerSec / std::max(naiveRate, 1e-9)},
+               {"peak_frontier", static_cast<double>(mcRes.peakFrontier)},
+               {"verdicts_agree", seqRes.ok == mcRes.ok ? 1.0 : 0.0}};
+  return r;
+}
+
 }  // namespace
 
 std::string protocolKindName(ProtocolKind kind) {
@@ -394,6 +474,16 @@ std::string protocolKindName(ProtocolKind kind) {
     case ProtocolKind::kChordalProps: return "chordal-props";
     case ProtocolKind::kRouting: return "routing";
     case ProtocolKind::kScheduler: return "scheduler";
+    case ProtocolKind::kModelCheck: return "model-check";
+  }
+  return "?";
+}
+
+std::string mcTargetName(McTarget target) {
+  switch (target) {
+    case McTarget::kDftc: return "dftc";
+    case McTarget::kDftno: return "dftno";
+    case McTarget::kDftcFault: return "dftc-fault";
   }
   return "?";
 }
@@ -444,6 +534,7 @@ TrialResult runTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
     case ProtocolKind::kChordalProps: return chordalPropsTrial(g, s, seed);
     case ProtocolKind::kRouting: return routingTrial(g, s, seed);
     case ProtocolKind::kScheduler: return schedulerTrial(g, s, seed);
+    case ProtocolKind::kModelCheck: return modelCheckTrial(g, s, seed);
   }
   throw std::invalid_argument("runTrial: unknown protocol kind");
 }

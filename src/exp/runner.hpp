@@ -44,9 +44,24 @@ enum class ProtocolKind {
   kChordalProps,   ///< §2.2 chordal-labeling properties (deterministic)
   kRouting,        ///< traversal/routing message complexity (deterministic)
   kScheduler,      ///< simulator throughput, naive vs incremental cache
+  kModelCheck,     ///< exhaustive verification throughput: src/mc parallel
+                   ///< explorer vs the sequential checker (pre-incremental
+                   ///< expansion), plus a verdict-agreement check
 };
 
 [[nodiscard]] std::string protocolKindName(ProtocolKind kind);
+
+/// Which protocol a model-check scenario verifies, and over which state
+/// set: full product space, or the region reachable from every
+/// single-node corruption of the clean configuration (the k=1
+/// fault-recovery cone — exhaustive at much larger n than full space).
+enum class McTarget {
+  kDftc,       ///< substrate, full space, weak fairness
+  kDftno,      ///< composed DFTNO system, full space, weak fairness
+  kDftcFault,  ///< substrate, 1-fault reachable region, weak fairness
+};
+
+[[nodiscard]] std::string mcTargetName(McTarget target);
 
 /// True for the open-ended fault-churn protocols, whose budget is a step
 /// horizon rather than a convergence bound.
@@ -74,6 +89,8 @@ struct Scenario {
   StepCount budget = 200'000'000;
   double faultRate = 0.0;  ///< churn protocols: P(one-node fault per move)
   int faultK = 1;          ///< recovery protocols: processors corrupted
+  McTarget mcTarget = McTarget::kDftc;  ///< model-check: verified protocol
+  int mcThreads = 8;       ///< model-check: explorer worker threads
 };
 
 /// One trial's named metric samples, in a protocol-defined fixed order.

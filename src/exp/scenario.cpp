@@ -1,10 +1,18 @@
 #include "exp/scenario.hpp"
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace ssno::exp {
 namespace {
+
+McTarget parseMcTarget(const std::string& name) {
+  for (McTarget target :
+       {McTarget::kDftc, McTarget::kDftno, McTarget::kDftcFault})
+    if (mcTargetName(target) == name) return target;
+  throw std::invalid_argument("unknown model-check target '" + name + "'");
+}
 
 /// Builds a triple-named scenario with the given sweep-wide settings.
 Scenario triple(ProtocolKind protocol, DaemonKind daemon,
@@ -163,11 +171,33 @@ std::vector<Scenario> routingPreset() {
   return out;
 }
 
+/// A model-check scenario named "model-check:<target>/central/<topo>"
+/// (central: the transition relation is one enabled move at a time).
+Scenario modelCheckScenario(McTarget target, const std::string& topology,
+                            int trials, std::uint64_t maxStates) {
+  Scenario s;
+  s.protocol = ProtocolKind::kModelCheck;
+  s.mcTarget = target;
+  s.daemon = DaemonKind::kCentral;
+  s.topology = TopologySpec::parse(topology);
+  s.trials = trials;
+  s.budget = static_cast<StepCount>(maxStates);
+  s.name = protocolKindName(ProtocolKind::kModelCheck) + ":" +
+           mcTargetName(target) + "/" + daemonKindName(s.daemon) + "/" +
+           s.topology.name();
+  return s;
+}
+
 std::vector<Scenario> schedulerPreset() {
   // Fixed simulator-throughput preset: DFTNO steady-state stepping on
   // ring/grid at n >= 1024, incremental enabled cache vs forced naive
-  // rescan.  CI emits this as BENCH_scheduler.json and the perf smoke
-  // job compares against the committed baseline.
+  // rescan — under the round-robin daemon (one move per step) and the
+  // synchronous daemon (executeSimultaneously path).  CI emits this as
+  // BENCH_scheduler.json and the perf smoke job compares against the
+  // committed baseline.  The model-check entry tracks exhaustive-
+  // verification throughput: src/mc parallel explorer vs the
+  // pre-incremental sequential checker (its speedup depends on the
+  // runner's core count, so the perf gate skips it — trajectory only).
   constexpr std::uint64_t kSeed = 0x5CED;
   std::vector<Scenario> out;
   for (const char* topo : {"ring:1024", "grid:32x32"}) {
@@ -176,6 +206,29 @@ std::vector<Scenario> schedulerPreset() {
     s.budget = 20'000;  // moves measured per mode
     out.push_back(s);
   }
+  {
+    Scenario s = triple(ProtocolKind::kScheduler, DaemonKind::kSynchronous,
+                        "grid:32x32", 3, kSeed);
+    s.budget = 20'000;
+    out.push_back(s);
+  }
+  out.push_back(
+      modelCheckScenario(McTarget::kDftcFault, "ring:10", 3, 8'000'000));
+  return out;
+}
+
+std::vector<Scenario> modelCheckPreset() {
+  // Exhaustive self-stabilization proofs at preset scale: the parallel
+  // explorer's verdict is cross-checked against the sequential
+  // ModelChecker within every trial.  The dftc-fault entry verifies the
+  // 1-fault recovery cone (reachable mode) on a ring beyond full-space
+  // reach.
+  std::vector<Scenario> out;
+  for (const char* topo : {"path:3", "ring:3", "path:4", "star:4"})
+    out.push_back(modelCheckScenario(McTarget::kDftc, topo, 1, 1ull << 22));
+  out.push_back(modelCheckScenario(McTarget::kDftno, "path:2", 1, 1ull << 12));
+  out.push_back(
+      modelCheckScenario(McTarget::kDftcFault, "ring:10", 1, 8'000'000));
   return out;
 }
 
@@ -206,7 +259,8 @@ ProtocolKind parseProtocolKind(const std::string& name) {
         ProtocolKind::kDftnoRecovery, ProtocolKind::kStnoRecovery,
         ProtocolKind::kStnoCrashReset, ProtocolKind::kAblationNaming,
         ProtocolKind::kSpace, ProtocolKind::kChordalProps,
-        ProtocolKind::kRouting, ProtocolKind::kScheduler})
+        ProtocolKind::kRouting, ProtocolKind::kScheduler,
+        ProtocolKind::kModelCheck})
     if (protocolKindName(kind) == name) return kind;
   throw std::invalid_argument("unknown protocol '" + name + "'");
 }
@@ -228,11 +282,22 @@ Scenario parseScenario(const std::string& name) {
     throw std::invalid_argument(
         "scenario '" + name + "' is not protocol/daemon/topology");
   Scenario s;
-  s.protocol = parseProtocolKind(name.substr(0, first));
+  // The model-check kind carries its target as a ":"-suffix on the
+  // protocol token, e.g. "model-check:dftc/central/path:3".
+  std::string protocol = name.substr(0, first);
+  if (const auto colon = protocol.find(':'); colon != std::string::npos) {
+    s.mcTarget = parseMcTarget(protocol.substr(colon + 1));
+    protocol.resize(colon);
+    if (protocol != protocolKindName(ProtocolKind::kModelCheck))
+      throw std::invalid_argument("only model-check takes a ':target'");
+  }
+  s.protocol = parseProtocolKind(protocol);
   s.daemon = parseDaemonKind(name.substr(first + 1, second - first - 1));
   s.topology = TopologySpec::parse(name.substr(second + 1));
   s.name = name;
   if (isChurnProtocol(s.protocol)) s.budget = kDefaultChurnHorizon;
+  if (s.protocol == ProtocolKind::kModelCheck)
+    s.budget = static_cast<StepCount>(1ull << 22);  // maxStates cap
   return s;
 }
 
@@ -240,7 +305,7 @@ std::vector<std::string> presetNames() {
   return {"dftno-scaling", "stno-height", "stno-star-control",
           "stno-scaling", "churn", "daemon-sweep", "substrate",
           "fault-recovery", "ablation-naming", "space", "chordal-props",
-          "routing", "scheduler"};
+          "routing", "scheduler", "model-check"};
 }
 
 std::vector<Scenario> makePreset(const std::string& name) {
@@ -257,6 +322,7 @@ std::vector<Scenario> makePreset(const std::string& name) {
   if (name == "chordal-props") return chordalPropsPreset();
   if (name == "routing") return routingPreset();
   if (name == "scheduler") return schedulerPreset();
+  if (name == "model-check") return modelCheckPreset();
   throw std::invalid_argument("unknown preset '" + name + "'");
 }
 
@@ -264,6 +330,67 @@ std::vector<Scenario> resolve(const std::string& name) {
   for (const std::string& preset : presetNames())
     if (name == preset) return makePreset(name);
   return {parseScenario(name)};
+}
+
+std::vector<Scenario> loadScenarios(std::istream& in) {
+  std::vector<Scenario> out;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    std::istringstream fields(line);
+    std::string protocol, daemon, topology;
+    if (!(fields >> protocol) || protocol[0] == '#') continue;
+    auto fail = [lineNo](const std::string& what) -> std::invalid_argument {
+      return std::invalid_argument("scenario file line " +
+                                   std::to_string(lineNo) + ": " + what);
+    };
+    if (!(fields >> daemon >> topology))
+      throw fail("expected 'protocol daemon topology [key=value ...]'");
+    Scenario s;
+    try {
+      s = parseScenario(protocol + "/" + daemon + "/" + topology);
+    } catch (const std::invalid_argument& e) {
+      throw fail(e.what());
+    }
+    std::string kv;
+    while (fields >> kv) {
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size())
+        throw fail("malformed override '" + kv + "' (want key=value)");
+      const std::string key = kv.substr(0, eq);
+      const std::string value = kv.substr(eq + 1);
+      // Full-consumption parses: "trials=3x" or "budget=1e6" must be
+      // rejected, not silently truncated at the first non-numeric char.
+      bool known = true;
+      std::size_t used = 0;
+      try {
+        if (key == "trials") s.trials = std::stoi(value, &used);
+        else if (key == "seed") s.seed = std::stoull(value, &used);
+        else if (key == "budget") s.budget = std::stoll(value, &used);
+        else if (key == "rate") s.faultRate = std::stod(value, &used);
+        else if (key == "k") s.faultK = std::stoi(value, &used);
+        else if (key == "mc-threads") s.mcThreads = std::stoi(value, &used);
+        else known = false;
+      } catch (const std::invalid_argument&) {
+        throw fail("bad value in '" + kv + "'");
+      } catch (const std::out_of_range&) {
+        throw fail("value out of range in '" + kv + "'");
+      }
+      if (!known) throw fail("unknown key '" + key + "'");
+      if (used != value.size())
+        throw fail("trailing junk in '" + kv + "'");
+    }
+    if (s.trials <= 0) throw fail("trials must be positive");
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Scenario> loadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open scenario file " + path);
+  return loadScenarios(in);
 }
 
 }  // namespace ssno::exp

@@ -4,16 +4,29 @@
 //  * dynamic triples  "protocol/daemon/topology", e.g.
 //    "stno/distributed/torus:4x4" or "dftno/round-robin/chordring:16:2,5" —
 //    parsed on the fly (protocol and daemon by name, topology by the
-//    TopologySpec grammar);
+//    TopologySpec grammar).  The model-check kind takes its verification
+//    target as a suffix: "model-check:dftc/central/path:3";
 //  * presets — curated sweeps reproducing the paper experiments
 //    (dftno-scaling, stno-height, stno-star-control, stno-scaling, churn,
 //    daemon-sweep), each expanding to a vector of scenarios.
 //
 // resolve() accepts either and returns the scenario list ready for an
 // ExperimentRunner.
+//
+// Scenario files (exp_cli --scenarios) hold one scenario per line so
+// that sweeps can be version-controlled:
+//
+//   # comment lines and blank lines are skipped
+//   protocol daemon topology [key=value ...]
+//   dftno round-robin ring:64 trials=5 seed=7
+//   dftno-churn round-robin grid:3x4 rate=0.002 budget=40000
+//   model-check:dftc central path:3 mc-threads=4
+//
+// Recognized keys: trials, seed, budget, rate, k (faultK), mc-threads.
 #ifndef SSNO_EXP_SCENARIO_HPP
 #define SSNO_EXP_SCENARIO_HPP
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -38,6 +51,13 @@ namespace ssno::exp {
 
 /// Preset name → its scenarios; otherwise a single parsed triple.
 [[nodiscard]] std::vector<Scenario> resolve(const std::string& name);
+
+/// Parses a scenario file (see the grammar above); throws
+/// std::invalid_argument with the line number on malformed input.
+[[nodiscard]] std::vector<Scenario> loadScenarios(std::istream& in);
+
+/// Opens and parses `path`; throws std::runtime_error when unreadable.
+[[nodiscard]] std::vector<Scenario> loadScenarioFile(const std::string& path);
 
 }  // namespace ssno::exp
 

@@ -97,6 +97,182 @@ Graph chordalRing(int n, const std::vector<int>& chords) {
   return Graph(n, {edges.begin(), edges.end()});
 }
 
+namespace {
+
+void validateDRegular(int n, int d) {
+  require(n >= 2, "dreg needs n >= 2");
+  require(d >= 1 && d < n, "dreg needs 1 <= d < n");
+  require((static_cast<long long>(n) * d) % 2 == 0, "dreg needs n*d even");
+  // d == 1 is a perfect matching: connected only as a single edge.
+  require(d >= 2 || n == 2, "dreg with d=1 is disconnected unless n=2");
+}
+
+void validatePowerLawTree(int n, double alpha) {
+  require(n >= 1, "plaw needs n >= 1");
+  require(alpha >= 0.0 && alpha <= 8.0, "plaw needs 0 <= alpha <= 8");
+  // Attachment uses a linear weight scan per node: O(n^2) total.
+  require(n <= 20'000, "plaw needs n <= 20000");
+}
+
+}  // namespace
+
+Graph dRegularRandom(int n, int d, std::uint64_t seed) {
+  validateDRegular(n, d);
+  // Deterministic circulant base: offsets 1..d/2, plus the diameter
+  // matching when d is odd (n is even then, since n*d is even).
+  std::set<std::pair<NodeId, NodeId>> present;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  auto addEdge = [&](int u, int v) {
+    const auto e = std::minmax(u, v);
+    if (present.insert(e).second) edges.push_back(e);
+  };
+  for (int k = 1; k <= d / 2; ++k)
+    for (int i = 0; i < n; ++i) addEdge(i, (i + k) % n);
+  if (d % 2 == 1)
+    for (int i = 0; i < n / 2; ++i) addEdge(i, i + n / 2);
+
+  // Degree-preserving randomization: double-edge swaps
+  // {a,b},{c,e} -> {a,c},{b,e} on four distinct, non-adjacent-after
+  // endpoints.  The edge *set* is what matters; ports are canonicalized
+  // by the final sort.
+  Rng rng(seed);
+  auto swapEdges = [&](std::size_t i, std::size_t j, bool flip) {
+    auto [a, b] = edges[i];
+    auto [c, e] = edges[j];
+    if (flip) std::swap(c, e);
+    if (a == c || a == e || b == c || b == e) return;
+    if (present.contains(std::minmax(a, c)) ||
+        present.contains(std::minmax(b, e)))
+      return;
+    present.erase(edges[i]);
+    present.erase(edges[j]);
+    edges[i] = std::minmax(a, c);
+    edges[j] = std::minmax(b, e);
+    present.insert(edges[i]);
+    present.insert(edges[j]);
+  };
+  const long long mixing = 8LL * static_cast<long long>(edges.size());
+  for (long long t = 0; t < mixing; ++t) {
+    const auto i = static_cast<std::size_t>(
+        rng.below(static_cast<int>(edges.size())));
+    const auto j = static_cast<std::size_t>(
+        rng.below(static_cast<int>(edges.size())));
+    if (i == j) continue;
+    swapEdges(i, j, rng.chance(0.5));
+  }
+
+  // Connectivity repair: swap a cycle (non-bridge) edge of one
+  // component with a cycle edge of another — both components are
+  // d-regular (d >= 2), so each contains a cycle; the cross swap keeps
+  // degrees, introduces two bridging edges, and removes no cut edge,
+  // merging exactly two components per iteration.
+  auto componentsOf = [&](std::vector<int>& comp) {
+    comp.assign(static_cast<std::size_t>(n), -1);
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (const auto& [u, v] : edges) {
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+    }
+    int count = 0;
+    std::vector<int> stack;
+    for (int s = 0; s < n; ++s) {
+      if (comp[static_cast<std::size_t>(s)] != -1) continue;
+      stack.assign(1, s);
+      comp[static_cast<std::size_t>(s)] = count;
+      while (!stack.empty()) {
+        const int u = stack.back();
+        stack.pop_back();
+        for (int v : adj[static_cast<std::size_t>(u)]) {
+          if (comp[static_cast<std::size_t>(v)] == -1) {
+            comp[static_cast<std::size_t>(v)] = count;
+            stack.push_back(v);
+          }
+        }
+      }
+      ++count;
+    }
+    return count;
+  };
+  /// First (deterministic) edge of component `target` that lies on a
+  /// cycle: a DFS back edge.  Exists because the component is d-regular
+  /// with d >= 2.
+  auto cycleEdgeIn = [&](const std::vector<int>& comp,
+                         int target) -> std::pair<int, int> {
+    std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+    for (const auto& [u, v] : edges) {
+      if (comp[static_cast<std::size_t>(u)] != target) continue;
+      adj[static_cast<std::size_t>(u)].push_back(v);
+      adj[static_cast<std::size_t>(v)].push_back(u);
+    }
+    int root = -1;
+    for (int s = 0; s < n && root < 0; ++s)
+      if (comp[static_cast<std::size_t>(s)] == target) root = s;
+    std::vector<int> parent(static_cast<std::size_t>(n), -2);
+    std::vector<std::pair<int, int>> stack{{root, -1}};
+    parent[static_cast<std::size_t>(root)] = -1;
+    while (!stack.empty()) {
+      const auto [u, from] = stack.back();
+      stack.pop_back();
+      for (int v : adj[static_cast<std::size_t>(u)]) {
+        if (v == from) continue;
+        if (parent[static_cast<std::size_t>(v)] != -2)
+          return std::minmax(u, v);  // back edge: lies on a cycle
+        parent[static_cast<std::size_t>(v)] = u;
+        stack.push_back({v, u});
+      }
+    }
+    bad("dreg internal error: no cycle edge in a d>=2-regular component");
+  };
+  std::vector<int> comp;
+  while (d >= 2 && componentsOf(comp) > 1) {
+    const std::pair<int, int> e1 = cycleEdgeIn(comp, 0);
+    const std::pair<int, int> e2 =
+        cycleEdgeIn(comp, comp[static_cast<std::size_t>(e1.first)] == 0
+                              ? 1
+                              : 0);
+    present.erase(e1);
+    present.erase(e2);
+    edges.erase(std::find(edges.begin(), edges.end(), e1));
+    edges.erase(std::find(edges.begin(), edges.end(), e2));
+    addEdge(e1.first, e2.first);
+    addEdge(e1.second, e2.second);
+  }
+
+  return Graph(n, {present.begin(), present.end()});
+}
+
+Graph powerLawTree(int n, double alpha, std::uint64_t seed) {
+  validatePowerLawTree(n, alpha);
+  Rng rng(seed);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<int> deg(static_cast<std::size_t>(n), 0);
+  std::vector<double> weight(static_cast<std::size_t>(n), 0.0);
+  for (int t = 1; t < n; ++t) {
+    double total = 0;
+    for (int v = 0; v < t; ++v) {
+      weight[static_cast<std::size_t>(v)] =
+          std::pow(std::max(deg[static_cast<std::size_t>(v)], 1), alpha);
+      total += weight[static_cast<std::size_t>(v)];
+    }
+    // 53-bit uniform draw in [0, total).
+    const double u =
+        static_cast<double>(rng.next() >> 11) * (1.0 / 9007199254740992.0);
+    double x = u * total;
+    int chosen = t - 1;
+    for (int v = 0; v < t; ++v) {
+      x -= weight[static_cast<std::size_t>(v)];
+      if (x < 0) {
+        chosen = v;
+        break;
+      }
+    }
+    edges.emplace_back(chosen, t);
+    ++deg[static_cast<std::size_t>(chosen)];
+    ++deg[static_cast<std::size_t>(t)];
+  }
+  return Graph(n, edges);
+}
+
 std::string TopologySpec::name() const {
   std::ostringstream out;
   switch (family) {
@@ -124,6 +300,12 @@ std::string TopologySpec::name() const {
       }
       break;
     }
+    case TopologyFamily::kDRegularRandom:
+      out << "dreg:" << a << ':' << b << ':' << seed;
+      break;
+    case TopologyFamily::kPowerLawTree:
+      out << "plaw:" << a << ':' << shortestDouble(p) << ':' << seed;
+      break;
   }
   return out.str();
 }
@@ -197,6 +379,14 @@ void TopologySpec::validate() const {
       validateChordalRing(a, chords);
       requireScale(la, la * (1 + static_cast<long long>(chords.size())));
       return;
+    case TopologyFamily::kDRegularRandom:
+      validateDRegular(a, b);
+      requireScale(la, la * lb / 2);
+      return;
+    case TopologyFamily::kPowerLawTree:
+      validatePowerLawTree(a, p);
+      requireScale(la, la);
+      return;
   }
   bad("unknown family");
 }
@@ -223,6 +413,8 @@ Graph TopologySpec::build() const {
       return Graph::randomConnected(a, p, rng);
     }
     case TopologyFamily::kChordalRing: return chordalRing(a, chords);
+    case TopologyFamily::kDRegularRandom: return dRegularRandom(a, b, seed);
+    case TopologyFamily::kPowerLawTree: return powerLawTree(a, p, seed);
   }
   bad("unknown family");
 }
@@ -274,6 +466,20 @@ TopologySpec TopologySpec::parse(const std::string& text) {
   } else if (fam == "er") {
     require(args.size() == 2 || args.size() == 3, "er takes N:P or N:P:seed");
     spec.family = TopologyFamily::kRandomConnected;
+    spec.a = parseInt(args[0], text);
+    spec.p = parseDouble(args[1], text);
+    if (args.size() == 3) spec.seed = parseU64(args[2], text);
+  } else if (fam == "dreg") {
+    require(args.size() == 2 || args.size() == 3,
+            "dreg takes N:D or N:D:seed");
+    spec.family = TopologyFamily::kDRegularRandom;
+    spec.a = parseInt(args[0], text);
+    spec.b = parseInt(args[1], text);
+    if (args.size() == 3) spec.seed = parseU64(args[2], text);
+  } else if (fam == "plaw") {
+    require(args.size() == 2 || args.size() == 3,
+            "plaw takes N:ALPHA or N:ALPHA:seed");
+    spec.family = TopologyFamily::kPowerLawTree;
     spec.a = parseInt(args[0], text);
     spec.p = parseDouble(args[1], text);
     if (args.size() == 3) spec.seed = parseU64(args[2], text);

@@ -12,6 +12,9 @@
 //   rtree:N[:seed]          random Prüfer tree
 //   er:N:P[:seed]           connected Erdős–Rényi G(n,p)
 //   chordring:N:c1,c2,...   ring of N plus chords at the given offsets
+//   dreg:N:D[:seed]         random connected Δ-regular graph (N·D even)
+//   plaw:N:A[:seed]         power-law (preferential-attachment) tree,
+//                           attachment weight ∝ degree^A
 //
 // build() validates parameter domains with std::invalid_argument (never
 // aborting contract macros — specs come from user input) and guarantees
@@ -41,6 +44,8 @@ enum class TopologyFamily {
   kRandomTree,
   kRandomConnected,
   kChordalRing,
+  kDRegularRandom,
+  kPowerLawTree,
 };
 
 /// Ring of n nodes plus, for every offset c in `chords`, the chord edges
@@ -48,11 +53,26 @@ enum class TopologyFamily {
 /// from complementary offsets (c and n-c) or c == n/2 are deduplicated.
 [[nodiscard]] Graph chordalRing(int n, const std::vector<int>& chords);
 
+/// Random connected d-regular graph on n nodes (n·d even; d >= 2 unless
+/// n == 2).  Built deterministically from `seed`: a circulant base is
+/// randomized by double-edge swaps (degree-preserving), then cross-
+/// component swaps restore connectivity, so the result is always
+/// d-regular, simple, and connected.
+[[nodiscard]] Graph dRegularRandom(int n, int d, std::uint64_t seed);
+
+/// Random preferential-attachment tree: node t attaches to an earlier
+/// node with probability proportional to degree^alpha (alpha = 1 is the
+/// classic Barabási–Albert tree; larger alpha concentrates hubs,
+/// alpha = 0 is a uniform random recursive tree).
+[[nodiscard]] Graph powerLawTree(int n, double alpha, std::uint64_t seed);
+
 struct TopologySpec {
   TopologyFamily family = TopologyFamily::kRing;
   int a = 0;                ///< primary size (n, rows, dim, spine, clique)
-  int b = 0;                ///< secondary size (cols, arity, legs, tail)
+  int b = 0;                ///< secondary size (cols, arity, legs, tail,
+                            ///< degree for dreg)
   double p = 0.0;           ///< extra-edge probability (kRandomConnected)
+                            ///< or attachment exponent (kPowerLawTree)
   std::vector<int> chords;  ///< chord offsets (kChordalRing)
   std::uint64_t seed = 0;   ///< generator seed (random families)
 

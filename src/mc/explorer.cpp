@@ -1,0 +1,501 @@
+#include "mc/explorer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "core/assert.hpp"
+#include "core/enabled_cache.hpp"
+#include "mc/properties.hpp"
+#include "mc/spill.hpp"
+#include "mc/state_codec.hpp"
+#include "mc/store.hpp"
+
+namespace ssno::mc {
+namespace {
+
+constexpr std::size_t kFrontierBatch = 1024;  // worker -> spill flush size
+constexpr std::size_t kWorkChunk = 64;        // frontier ids per claim
+
+/// Violation kinds, ranked for the canonical-min selection (the rank
+/// only breaks ties between different kinds at the same level; any
+/// fixed order gives deterministic verdicts).
+enum ViolationKind : int { kClosure = 0, kDeadlock = 1, kFairCycle = 2 };
+
+struct Violation {
+  int kind = kClosure;
+  std::vector<std::uint64_t> key;  // reported configuration
+  std::uint32_t move = 0;          // closure: the offending actor pair
+
+  [[nodiscard]] bool precedes(const Violation& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    if (key != o.key) return key < o.key;
+    return move < o.move;
+  }
+};
+
+/// Runs fn(0..threads-1) on `threads` threads (inline when 1) and
+/// rethrows the first worker exception after the join barrier.
+void runWorkers(int threads, const std::function<void(int)>& fn) {
+  if (threads <= 1) {
+    fn(0);
+    return;
+  }
+  std::mutex mu;
+  std::exception_ptr error;
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&, t] {
+      try {
+        fn(t);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+
+/// One exploration worker: its own protocol instance, incremental
+/// enabled cache, and the key it currently has decoded.
+struct Worker {
+  std::unique_ptr<Protocol> protocol;
+  std::unique_ptr<EnabledCache> cache;
+  std::function<bool()> legitNow;  // legit_ bound to this protocol
+  std::vector<std::uint64_t> cur;  // decoded key (valid iff curValid)
+  bool curValid = false;
+  std::vector<Move> moves;              // stable copy of a refresh
+  std::vector<std::uint64_t> childKey;  // successor scratch
+  std::vector<std::uint64_t> nextBuf;   // local next-frontier batch
+};
+
+/// Shared state of one checkFullSpace/checkReachable run.
+class Run {
+ public:
+  Run(const ParallelChecker::Factory& factory,
+      const ParallelChecker::Legit& legit, const Options& opt,
+      std::uint64_t capacity)
+      : legit_(legit),
+        opt_(opt),
+        threads_(opt.threads > 0
+                     ? opt.threads
+                     : static_cast<int>(std::max(
+                           1u, std::thread::hardware_concurrency()))) {
+    workers_.resize(static_cast<std::size_t>(threads_));
+    for (Worker& w : workers_) {
+      w.protocol = factory();
+      w.cache = std::make_unique<EnabledCache>(*w.protocol);
+      w.legitNow = [this, protocol = w.protocol.get()] {
+        return legit_(*protocol);
+      };
+    }
+    codec_ = std::make_unique<StateCodec>(*workers_[0].protocol);
+    actions_ = workers_[0].protocol->actionCount();
+    store_ = std::make_unique<StateStore>(codec_->words(), capacity);
+    for (Worker& w : workers_) {
+      w.cur.resize(static_cast<std::size_t>(codec_->words()));
+      w.childKey.resize(static_cast<std::size_t>(codec_->words()));
+    }
+    current_ = std::make_unique<FrontierSpill>(opt.spillCapacity, opt.spillDir);
+    next_ = std::make_unique<FrontierSpill>(opt.spillCapacity, opt.spillDir);
+  }
+
+  [[nodiscard]] const StateCodec& codec() const { return *codec_; }
+  [[nodiscard]] StateStore& store() { return *store_; }
+  [[nodiscard]] int threads() const { return threads_; }
+  [[nodiscard]] Worker& worker(int t) {
+    return workers_[static_cast<std::size_t>(t)];
+  }
+
+  /// Decodes `key` into worker t's protocol, touching only nodes that
+  /// differ from what the worker currently holds.
+  void decodeTo(Worker& w, const std::uint64_t* key) {
+    codec_->decodeDelta(key, w.curValid ? w.cur.data() : nullptr,
+                        *w.protocol);
+    std::memcpy(w.cur.data(), key,
+                static_cast<std::size_t>(codec_->words()) * 8);
+    w.curValid = true;
+  }
+
+  void pushNext(Worker& w, std::uint64_t id) {
+    w.nextBuf.push_back(id);
+    if (w.nextBuf.size() >= kFrontierBatch) flushNext(w);
+  }
+  void flushNext(Worker& w) {
+    if (w.nextBuf.empty()) return;
+    next_->append(w.nextBuf.data(), w.nextBuf.size());
+    w.nextBuf.clear();
+  }
+
+  void offer(Violation v) {
+    std::lock_guard<std::mutex> lock(violationMu_);
+    if (!best_ || v.precedes(*best_)) best_ = std::move(v);
+  }
+  [[nodiscard]] const std::optional<Violation>& best() const { return best_; }
+
+  /// Interns the configuration currently decoded in w's protocol,
+  /// whose key is `key`; parentKey == nullptr marks a seed.
+  StateStore::Ref intern(Worker& w, const std::uint64_t* key,
+                         std::uint32_t depth,
+                         const std::uint64_t* parentKey = nullptr,
+                         std::uint64_t parentId = StateStore::kNoId,
+                         std::uint32_t parentMove = 0) {
+    return store_->intern(key, codec_->hash(key), depth, w.legitNow,
+                          parentKey, parentId, parentMove);
+  }
+
+  /// Expands one frontier state: enumerate enabled moves from the
+  /// incremental cache, patch each successor key in O(1), intern it,
+  /// and restore the acted node.  Closure and deadlock candidates are
+  /// offered to the canonical-min selector.
+  void expand(Worker& w, std::uint64_t id, std::uint32_t depth) {
+    const std::uint64_t* key = store_->keyOf(id);
+    decodeTo(w, key);
+    const std::vector<Move>& fresh = w.cache->refresh();
+    w.moves.assign(fresh.begin(), fresh.end());
+    transitions_.fetch_add(w.moves.size(), std::memory_order_relaxed);
+    const bool parentLegit = store_->legit(id);
+    if (w.moves.empty() && !parentLegit) {
+      offer({kDeadlock,
+             std::vector<std::uint64_t>(key, key + codec_->words()), 0});
+      return;
+    }
+    for (const Move& m : w.moves) {
+      w.protocol->execute(m.node, m.action);
+      std::memcpy(w.childKey.data(), w.cur.data(),
+                  static_cast<std::size_t>(codec_->words()) * 8);
+      codec_->setNodeCode(w.childKey.data(), m.node,
+                          w.protocol->encodeNode(m.node));
+      const auto pair =
+          static_cast<std::uint32_t>(m.node * actions_ + m.action);
+      const StateStore::Ref r =
+          intern(w, w.childKey.data(), depth + 1, key, id, pair);
+      if (r.inserted) pushNext(w, r.id);
+      if (parentLegit && !r.legit)
+        offer({kClosure,
+               std::vector<std::uint64_t>(key, key + codec_->words()), pair});
+      // A statement writes only its own processor's variables, so
+      // restoring the acted node alone returns the protocol to `key`.
+      w.protocol->decodeNode(m.node, codec_->nodeCode(key, m.node));
+    }
+  }
+
+  /// Runs BFS levels until the frontier dries up, a violation level
+  /// completes, or the store overflows.  Seeds must already be in
+  /// next_.  Returns false on overflow.
+  bool exploreLevels(Result& res) {
+    std::uint32_t depth = 0;
+    std::vector<std::uint64_t> wave;
+    const std::size_t waveCap =
+        opt_.spillCapacity > 0
+            ? static_cast<std::size_t>(opt_.spillCapacity)
+            : std::numeric_limits<std::size_t>::max();
+    for (Worker& w : workers_) flushNext(w);
+    if (store_->overflowed() || store_->size() > opt_.maxStates) return false;
+    while (next_->size() > 0) {
+      std::swap(current_, next_);
+      next_->reset();
+      res.peakFrontier = std::max(res.peakFrontier, current_->size());
+      res.depthReached = static_cast<int>(depth);
+      while (current_->drainChunk(wave, waveCap)) {
+        std::atomic<std::size_t> cursor{0};
+        runWorkers(threads_, [&](int t) {
+          Worker& w = worker(t);
+          for (std::size_t base = cursor.fetch_add(kWorkChunk);
+               base < wave.size(); base = cursor.fetch_add(kWorkChunk)) {
+            const std::size_t end =
+                std::min(base + kWorkChunk, wave.size());
+            for (std::size_t i = base; i < end; ++i)
+              expand(w, wave[i], depth);
+          }
+          flushNext(w);
+        });
+      }
+      res.spillRuns = current_->runsWritten() + next_->runsWritten();
+      current_->reset();
+      if (store_->overflowed() || store_->size() > opt_.maxStates)
+        return false;
+      if (best_) break;  // violation level completed: canonical min final
+      ++depth;
+    }
+    return true;
+  }
+
+  /// Canonical trace from a seed to `id` along parent pointers.
+  std::vector<std::string> traceTo(std::uint64_t id) {
+    std::vector<std::uint64_t> chain;
+    for (std::uint64_t at = id; at != StateStore::kNoId;
+         at = store_->parentOf(at))
+      chain.push_back(at);
+    std::reverse(chain.begin(), chain.end());
+    std::vector<std::string> out;
+    Worker& w = workers_[0];
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      decodeTo(w, store_->keyOf(chain[i]));
+      std::ostringstream line;
+      if (i == 0) {
+        line << "initial configuration:\n";
+      } else {
+        const std::uint32_t pair = store_->parentMoveOf(chain[i]);
+        line << "node " << (pair / static_cast<std::uint32_t>(actions_))
+             << " executes "
+             << w.protocol->actionName(
+                    static_cast<int>(pair % static_cast<std::uint32_t>(
+                                                actions_)))
+             << ":\n";
+      }
+      line << describeConfiguration(*w.protocol);
+      out.push_back(line.str());
+    }
+    return out;
+  }
+
+  /// Renders the selected violation into res (failure text mirrors the
+  /// sequential ModelChecker's messages; trace is mc-only).
+  void report(Result& res) {
+    const Violation& v = *best_;
+    const std::uint64_t id =
+        store_->find(v.key.data(), codec_->hash(v.key.data()));
+    SSNO_ASSERT(id != StateStore::kNoId);
+    res.trace = traceTo(id);
+    Worker& w = workers_[0];
+    decodeTo(w, v.key.data());
+    const std::string config = describeConfiguration(*w.protocol);
+    switch (v.kind) {
+      case kClosure: {
+        // Append the offending transition to the trace.
+        const NodeId node =
+            static_cast<NodeId>(v.move / static_cast<std::uint32_t>(actions_));
+        const int action =
+            static_cast<int>(v.move % static_cast<std::uint32_t>(actions_));
+        res.failure =
+            "closure violated; legitimate configuration:\n" + config;
+        w.protocol->execute(node, action);
+        res.trace.push_back("node " + std::to_string(node) + " executes " +
+                            w.protocol->actionName(action) +
+                            " (closure violation):\n" +
+                            describeConfiguration(*w.protocol));
+        w.curValid = false;  // protocol no longer matches w.cur
+        break;
+      }
+      case kDeadlock:
+        res.failure =
+            "illegitimate terminal (deadlocked) configuration:\n" + config;
+        break;
+      case kFairCycle:
+        res.failure =
+            opt_.fairness == Fairness::kNone
+                ? "convergence violated: cycle through illegitimate "
+                  "configuration:\n" + config
+                : "convergence violated: fair-feasible cycle through "
+                  "illegitimate configuration:\n" + config;
+        break;
+    }
+  }
+
+  /// Convergence: rebuild the illegitimate sub-digraph in canonical
+  /// (key-sorted) order and look for a (fair-feasible) cycle.
+  void checkConvergence() {
+    std::vector<std::uint64_t> illegit;
+    store_->forEach([&](std::uint64_t id) {
+      if (!store_->legit(id)) illegit.push_back(id);
+    });
+    std::sort(illegit.begin(), illegit.end(),
+              [&](std::uint64_t a, std::uint64_t b) {
+                const std::uint64_t* ka = store_->keyOf(a);
+                const std::uint64_t* kb = store_->keyOf(b);
+                for (int wd = 0; wd < codec_->words(); ++wd)
+                  if (ka[wd] != kb[wd]) return ka[wd] < kb[wd];
+                return false;
+              });
+    std::vector<std::int32_t> localIdx(
+        static_cast<std::size_t>(store_->idBound()), -1);
+    for (std::size_t i = 0; i < illegit.size(); ++i)
+      localIdx[static_cast<std::size_t>(illegit[i])] =
+          static_cast<std::int32_t>(i);
+
+    TransitionGraph g;
+    g.adj.resize(illegit.size());
+    g.enabledMask.assign(illegit.size(), 0);
+    const bool useMasks = opt_.fairness != Fairness::kNone;
+    std::atomic<std::size_t> cursor{0};
+    runWorkers(threads_, [&](int t) {
+      Worker& w = worker(t);
+      for (std::size_t base = cursor.fetch_add(kWorkChunk);
+           base < illegit.size(); base = cursor.fetch_add(kWorkChunk)) {
+        const std::size_t end = std::min(base + kWorkChunk, illegit.size());
+        for (std::size_t i = base; i < end; ++i) {
+          const std::uint64_t* key = store_->keyOf(illegit[i]);
+          decodeTo(w, key);
+          const std::vector<Move>& fresh = w.cache->refresh();
+          w.moves.assign(fresh.begin(), fresh.end());
+          std::uint64_t mask = 0;
+          for (const Move& m : w.moves) {
+            const auto pair =
+                static_cast<std::uint32_t>(m.node * actions_ + m.action);
+            if (useMasks) mask |= (1ULL << pair);
+            w.protocol->execute(m.node, m.action);
+            std::memcpy(w.childKey.data(), w.cur.data(),
+                        static_cast<std::size_t>(codec_->words()) * 8);
+            codec_->setNodeCode(w.childKey.data(), m.node,
+                                w.protocol->encodeNode(m.node));
+            const std::uint64_t cid =
+                store_->find(w.childKey.data(),
+                             codec_->hash(w.childKey.data()));
+            SSNO_ASSERT(cid != StateStore::kNoId);
+            const std::int32_t ci =
+                localIdx[static_cast<std::size_t>(cid)];
+            if (ci >= 0)
+              g.adj[i].push_back({ci, static_cast<int>(pair)});
+            w.protocol->decodeNode(m.node, codec_->nodeCode(key, m.node));
+          }
+          g.enabledMask[i] = mask;
+        }
+      }
+    });
+    const int bad = findFairCycle(g, opt_.fairness);
+    if (bad >= 0) {
+      const std::uint64_t* key =
+          store_->keyOf(illegit[static_cast<std::size_t>(bad)]);
+      offer({kFairCycle,
+             std::vector<std::uint64_t>(key, key + codec_->words()), 0});
+    }
+  }
+
+  [[nodiscard]] std::uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const ParallelChecker::Legit& legit_;
+  const Options& opt_;
+  int threads_;
+  int actions_ = 1;
+  std::vector<Worker> workers_;
+  std::unique_ptr<StateCodec> codec_;
+  std::unique_ptr<StateStore> store_;
+  std::unique_ptr<FrontierSpill> current_;
+  std::unique_ptr<FrontierSpill> next_;
+  std::mutex violationMu_;
+  std::optional<Violation> best_;
+  std::atomic<std::uint64_t> transitions_{0};
+};
+
+Result finish(Run& run, Result res,
+              const std::chrono::steady_clock::time_point& start,
+              bool overflowOk, const char* overflowMessage) {
+  res.statesExplored = run.store().size();
+  res.transitions = run.transitions();
+  if (!overflowOk) {
+    res.failure = overflowMessage;
+  } else if (run.best()) {
+    run.report(res);
+  } else {
+    run.checkConvergence();
+    if (run.best())
+      run.report(res);
+    else
+      res.ok = true;
+  }
+  res.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  res.statesPerSec =
+      static_cast<double>(res.statesExplored) / std::max(res.seconds, 1e-9);
+  return res;
+}
+
+}  // namespace
+
+Result ParallelChecker::checkFullSpace(const Options& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  Result res;
+  std::uint64_t total = 0;
+  {
+    const std::unique_ptr<Protocol> probe = factory_();
+    const StateCodec probeCodec(*probe);
+    if (!probeCodec.indexable() || probeCodec.totalStates() > opt.maxStates) {
+      res.failure = "state space too large for exhaustive check";
+      return res;
+    }
+    if (opt.fairness != Fairness::kNone &&
+        probe->graph().nodeCount() * probe->actionCount() > 64) {
+      res.failure = "fairness-aware check limited to 64 (node, action) pairs";
+      return res;
+    }
+    total = probeCodec.totalStates();
+  }
+
+  Run run(factory_, legit_, opt, total);
+
+  // Seed every configuration at depth 0 (mixed-radix enumeration with
+  // delta decoding: consecutive indices differ in a low-radix prefix).
+  std::atomic<std::uint64_t> cursor{0};
+  constexpr std::uint64_t kSeedChunk = 512;
+  runWorkers(run.threads(), [&](int t) {
+    Worker& w = run.worker(t);
+    for (std::uint64_t base = cursor.fetch_add(kSeedChunk); base < total;
+         base = cursor.fetch_add(kSeedChunk)) {
+      const std::uint64_t end = std::min(base + kSeedChunk, total);
+      for (std::uint64_t i = base; i < end; ++i) {
+        run.codec().indexToKey(i, w.childKey.data());
+        run.decodeTo(w, w.childKey.data());
+        const StateStore::Ref r = run.intern(w, w.childKey.data(), 0);
+        if (r.inserted) run.pushNext(w, r.id);
+      }
+    }
+  });
+
+  const bool fit = run.exploreLevels(res);
+  return finish(run, std::move(res), start, fit,
+                "state space too large for exhaustive check");
+}
+
+Result ParallelChecker::checkReachable(
+    const std::vector<std::vector<std::uint64_t>>& seeds,
+    const Options& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  Result res;
+  {
+    const std::unique_ptr<Protocol> probe = factory_();
+    if (opt.fairness != Fairness::kNone &&
+        probe->graph().nodeCount() * probe->actionCount() > 64) {
+      res.failure = "fairness-aware check limited to 64 (node, action) pairs";
+      return res;
+    }
+  }
+
+  Run run(factory_, legit_, opt, opt.maxStates);
+  std::atomic<std::size_t> cursor{0};
+  runWorkers(run.threads(), [&](int t) {
+    Worker& w = run.worker(t);
+    for (std::size_t i = cursor.fetch_add(1); i < seeds.size();
+         i = cursor.fetch_add(1)) {
+      const std::vector<std::uint64_t>& codes = seeds[i];
+      SSNO_EXPECTS(static_cast<int>(codes.size()) == run.codec().nodeCount());
+      for (NodeId p = 0; p < run.codec().nodeCount(); ++p)
+        run.codec().setNodeCode(w.childKey.data(), p,
+                                codes[static_cast<std::size_t>(p)]);
+      run.decodeTo(w, w.childKey.data());
+      const StateStore::Ref r = run.intern(w, w.childKey.data(), 0);
+      if (r.inserted) run.pushNext(w, r.id);
+    }
+  });
+
+  const bool fit = run.exploreLevels(res);
+  return finish(run, std::move(res), start, fit,
+                "reachable space exceeded maxConfigs");
+}
+
+}  // namespace ssno::mc

@@ -1,0 +1,110 @@
+// ParallelChecker — parallel explicit-state verification of
+// self-stabilization (the scalable successor of core/checker's
+// exhaustive paths; the property theory is documented there).
+//
+// Architecture: a level-synchronous parallel BFS over bit-packed
+// canonical states.
+//   * StateCodec packs configurations into fixed-width keys; successor
+//     keys are produced by patching the acted node's field (O(1)).
+//   * StateStore is the sharded concurrent seen-set; per-state depth,
+//     legitimacy, and canonical parent pointers live beside the keys.
+//   * Each worker owns a Protocol instance and an EnabledCache;
+//     switching the worker to the next frontier state delta-decodes
+//     only the differing nodes, so the protocol's dirty set — and
+//     therefore guard re-evaluation — stays proportional to the diff,
+//     not to n.  In Debug builds the cache cross-checks the incremental
+//     enabled set against a naive full scan on every refresh.
+//   * Workers claim frontier chunks from a shared cursor (dynamic load
+//     balancing); a level barrier separates depths.
+//   * The next-level frontier is a FrontierSpill: bounded RAM plus
+//     run files on disk, so frontiers beyond Options::spillCapacity
+//     degrade to streaming instead of aborting.
+//
+// Determinism: verdicts, counterexample traces, statesExplored and
+// peakFrontier are bit-identical for 1 and N threads.  Exploration
+// never stops mid-level on a violation; candidates are collected and
+// the canonical minimum — ordered by (kind, state key, move), never by
+// discovery order or state id — is reported at the level barrier.
+// Counterexample traces follow the store's canonical-min parent
+// pointers.  Wall-clock fields (seconds, statesPerSec) are of course
+// not deterministic.
+//
+// Properties checked (matching ModelChecker):
+//   * closure    — a legitimate configuration with an illegitimate
+//                  successor fails;
+//   * no deadlock — an illegitimate terminal configuration fails;
+//   * convergence — after exploration, the illegitimate sub-digraph is
+//                  rebuilt in canonical (key-sorted) order and analyzed
+//                  by mc/properties: acyclicity for Fairness::kNone, no
+//                  fair-feasible SCC cycle otherwise.
+#ifndef SSNO_MC_EXPLORER_HPP
+#define SSNO_MC_EXPLORER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/protocol.hpp"
+
+namespace ssno::mc {
+
+struct Options {
+  int threads = 1;  ///< 0 = std::thread::hardware_concurrency()
+  std::uint64_t maxStates = std::uint64_t{1} << 22;
+  Fairness fairness = Fairness::kNone;
+  /// Frontier ids kept in RAM before spilling a run file; 0 = unbounded
+  /// (no disk tier).
+  std::uint64_t spillCapacity = 0;
+  std::string spillDir;  ///< "" = std::filesystem::temp_directory_path()
+};
+
+struct Result {
+  bool ok = false;
+  std::string failure;  ///< empty when ok
+  std::uint64_t statesExplored = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t peakFrontier = 0;
+  std::uint64_t spillRuns = 0;  ///< run files written by the disk tier
+  int depthReached = 0;
+  double seconds = 0;       ///< wall clock (not deterministic)
+  double statesPerSec = 0;  ///< statesExplored / seconds
+  /// Counterexample: configuration dumps from a seed to the violating
+  /// configuration along canonical parent pointers (empty when ok).
+  std::vector<std::string> trace;
+
+  explicit operator bool() const { return ok; }
+};
+
+class ParallelChecker {
+ public:
+  /// Builds one Protocol instance per worker (instances must share
+  /// nothing mutable; each gets its own Graph copy via construction).
+  using Factory = std::function<std::unique_ptr<Protocol>()>;
+  /// Legitimacy predicate evaluated against a worker's instance.
+  using Legit = std::function<bool(Protocol&)>;
+
+  ParallelChecker(Factory factory, Legit legit)
+      : factory_(std::move(factory)), legit_(std::move(legit)) {}
+
+  /// Exhaustive check over the full product space (every configuration
+  /// is a BFS seed).  Fails fast when ∏ localStateCount exceeds
+  /// maxStates or 64-bit indexing.
+  [[nodiscard]] Result checkFullSpace(const Options& opt);
+
+  /// Check over all configurations reachable from `seeds` (per-node
+  /// canonical code vectors, as Protocol::encodeConfiguration).
+  [[nodiscard]] Result checkReachable(
+      const std::vector<std::vector<std::uint64_t>>& seeds,
+      const Options& opt);
+
+ private:
+  Factory factory_;
+  Legit legit_;
+};
+
+}  // namespace ssno::mc
+
+#endif  // SSNO_MC_EXPLORER_HPP

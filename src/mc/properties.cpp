@@ -1,0 +1,123 @@
+#include "mc/properties.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ssno::mc {
+
+std::string describeConfiguration(const Protocol& p) {
+  std::ostringstream out;
+  for (NodeId q = 0; q < p.graph().nodeCount(); ++q)
+    out << "  node " << q << ": " << p.dumpNode(q) << '\n';
+  return out.str();
+}
+
+int findFairCycle(const TransitionGraph& g, Fairness fairness) {
+  const int n = static_cast<int>(g.adj.size());
+  // Iterative Tarjan.
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<int> sccOf(static_cast<std::size_t>(n), -1);
+  std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+  std::vector<int> tarjanStack;
+  int nextIndex = 0;
+  int sccCount = 0;
+
+  struct Frame {
+    int v;
+    std::size_t child;
+  };
+  std::vector<Frame> callStack;
+  for (int start = 0; start < n; ++start) {
+    if (index[static_cast<std::size_t>(start)] != -1) continue;
+    callStack.push_back({start, 0});
+    index[static_cast<std::size_t>(start)] =
+        low[static_cast<std::size_t>(start)] = nextIndex++;
+    tarjanStack.push_back(start);
+    onStack[static_cast<std::size_t>(start)] = true;
+    while (!callStack.empty()) {
+      Frame& f = callStack.back();
+      const auto& edges = g.adj[static_cast<std::size_t>(f.v)];
+      if (f.child < edges.size()) {
+        const int w = edges[f.child++].to;
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          index[static_cast<std::size_t>(w)] =
+              low[static_cast<std::size_t>(w)] = nextIndex++;
+          tarjanStack.push_back(w);
+          onStack[static_cast<std::size_t>(w)] = true;
+          callStack.push_back({w, 0});
+        } else if (onStack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      } else {
+        const int v = f.v;
+        callStack.pop_back();
+        if (!callStack.empty()) {
+          const int parent = callStack.back().v;
+          low[static_cast<std::size_t>(parent)] =
+              std::min(low[static_cast<std::size_t>(parent)],
+                       low[static_cast<std::size_t>(v)]);
+        }
+        if (low[static_cast<std::size_t>(v)] ==
+            index[static_cast<std::size_t>(v)]) {
+          while (true) {
+            const int w = tarjanStack.back();
+            tarjanStack.pop_back();
+            onStack[static_cast<std::size_t>(w)] = false;
+            sccOf[static_cast<std::size_t>(w)] = sccCount;
+            if (w == v) break;
+          }
+          ++sccCount;
+        }
+      }
+    }
+  }
+
+  // Per-SCC aggregates.
+  std::vector<std::uint64_t> enabledAll(static_cast<std::size_t>(sccCount),
+                                        ~0ULL);
+  std::vector<std::uint64_t> enabledAny(static_cast<std::size_t>(sccCount), 0);
+  std::vector<std::uint64_t> actsInside(static_cast<std::size_t>(sccCount), 0);
+  std::vector<bool> hasInternalEdge(static_cast<std::size_t>(sccCount), false);
+  std::vector<int> representative(static_cast<std::size_t>(sccCount), -1);
+  const bool useMasks = fairness != Fairness::kNone;
+  for (int v = 0; v < n; ++v) {
+    const int s = sccOf[static_cast<std::size_t>(v)];
+    if (useMasks) {
+      enabledAll[static_cast<std::size_t>(s)] &=
+          g.enabledMask[static_cast<std::size_t>(v)];
+      enabledAny[static_cast<std::size_t>(s)] |=
+          g.enabledMask[static_cast<std::size_t>(v)];
+    }
+    representative[static_cast<std::size_t>(s)] = v;
+    for (const auto& e : g.adj[static_cast<std::size_t>(v)]) {
+      if (sccOf[static_cast<std::size_t>(e.to)] == s) {
+        hasInternalEdge[static_cast<std::size_t>(s)] = true;
+        // Actor-pair bits only exist (and fit 64 bits) in fair modes.
+        if (useMasks)
+          actsInside[static_cast<std::size_t>(s)] |= (1ULL << e.actorPair);
+      }
+    }
+  }
+
+  for (int s = 0; s < sccCount; ++s) {
+    if (!hasInternalEdge[static_cast<std::size_t>(s)]) continue;
+    if (fairness == Fairness::kNone)
+      return representative[static_cast<std::size_t>(s)];
+    // The SCC hosts a fair infinite execution iff no action that the
+    // fairness notion protects is starved inside it.  (enabledAll is an
+    // AND over configuration masks, so stray high bits vanish.)
+    const std::uint64_t protectedPairs =
+        fairness == Fairness::kStronglyFair
+            ? enabledAny[static_cast<std::size_t>(s)]
+            : enabledAll[static_cast<std::size_t>(s)];
+    const std::uint64_t starved =
+        protectedPairs & ~actsInside[static_cast<std::size_t>(s)];
+    if (starved == 0) return representative[static_cast<std::size_t>(s)];
+  }
+  return -1;
+}
+
+}  // namespace ssno::mc

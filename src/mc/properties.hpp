@@ -1,0 +1,54 @@
+// Convergence-property analysis on an explicit illegitimate sub-digraph.
+//
+// Shared by the sequential ModelChecker and the parallel src/mc
+// explorer (the SCC fairness logic formerly private to core/checker.cpp
+// lives here now).  States are dense local ids; edges carry the acting
+// (node, action) pair.  Convergence holds iff the illegitimate region
+// admits no infinite execution the daemon model allows:
+//
+//   * Fairness::kNone — ANY cycle is a violation (an unfair daemon may
+//     follow it forever), i.e. the region must be acyclic;
+//   * kWeaklyFair / kStronglyFair — only *fair-feasible* cycles count,
+//     checked SCC-wise (Emerson–Lei style): an infinite execution
+//     eventually stays inside one SCC, and a fair infinite execution
+//     inside an SCC exists iff no protected (processor, action) pair —
+//     enabled at every SCC configuration (weak) or at some (strong) —
+//     fails to act on an internal transition.
+//
+// findFairCycle returns the local id of a state inside a violating
+// cycle, or -1 when convergence holds.  Given the same graph it is
+// fully deterministic, so callers that build the graph in a canonical
+// order (the explorer sorts illegitimate states by key) get
+// deterministic counterexamples.
+#ifndef SSNO_MC_PROPERTIES_HPP
+#define SSNO_MC_PROPERTIES_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/protocol.hpp"
+
+namespace ssno::mc {
+
+/// Renders the protocol's current configuration, one "  node q: ..."
+/// line per processor — the counterexample format shared by the
+/// sequential ModelChecker and the parallel explorer (equivalence
+/// tests compare these messages across engines).
+[[nodiscard]] std::string describeConfiguration(const Protocol& p);
+
+struct TransitionGraph {
+  struct Edge {
+    int to;
+    int actorPair;  // node * actionCount + action
+  };
+  std::vector<std::vector<Edge>> adj;      // per illegitimate state
+  std::vector<std::uint64_t> enabledMask;  // per state; unused for kNone
+};
+
+[[nodiscard]] int findFairCycle(const TransitionGraph& g, Fairness fairness);
+
+}  // namespace ssno::mc
+
+#endif  // SSNO_MC_PROPERTIES_HPP

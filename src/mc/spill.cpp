@@ -1,0 +1,98 @@
+#include "mc/spill.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+namespace ssno::mc {
+
+FrontierSpill::FrontierSpill(std::uint64_t memCapacity,
+                             const std::string& dir)
+    : memCapacity_(memCapacity), dir_(dir) {
+  if (memCapacity_ > 0) {
+    if (dir_.empty())
+      dir_ = std::filesystem::temp_directory_path().string();
+    // A prefix unique enough for concurrent checkers in one process.
+    static std::atomic<std::uint64_t> counter{0};
+    prefix_ = dir_ + "/ssno_mc_frontier_" +
+              std::to_string(static_cast<std::uint64_t>(
+                  reinterpret_cast<std::uintptr_t>(this))) +
+              "_" + std::to_string(counter.fetch_add(1)) + "_";
+  }
+}
+
+FrontierSpill::~FrontierSpill() { reset(); }
+
+void FrontierSpill::flushLocked() {
+  const std::string path = prefix_ + std::to_string(runSerial_++) + ".run";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    throw std::runtime_error("FrontierSpill: cannot create run file " + path);
+  const std::size_t wrote =
+      std::fwrite(mem_.data(), sizeof(std::uint64_t), mem_.size(), f);
+  std::fclose(f);
+  if (wrote != mem_.size())
+    throw std::runtime_error("FrontierSpill: short write to " + path);
+  runs_.push_back(path);
+  ++runsWritten_;
+  mem_.clear();
+}
+
+void FrontierSpill::append(const std::uint64_t* ids, std::size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mem_.insert(mem_.end(), ids, ids + count);
+  total_ += count;
+  if (memCapacity_ > 0 && mem_.size() >= memCapacity_) flushLocked();
+}
+
+bool FrontierSpill::drainChunk(std::vector<std::uint64_t>& out,
+                               std::size_t chunk) {
+  out.clear();
+  // Stream run files first, then the RAM tail.
+  while (out.size() < chunk) {
+    if (readFile_ == nullptr && readRun_ < runs_.size()) {
+      readFile_ = std::fopen(runs_[readRun_].c_str(), "rb");
+      if (readFile_ == nullptr)
+        throw std::runtime_error("FrontierSpill: cannot reopen run " +
+                                 runs_[readRun_]);
+    }
+    if (readFile_ != nullptr) {
+      const std::size_t want = chunk - out.size();
+      const std::size_t base = out.size();
+      out.resize(base + want);
+      const std::size_t got =
+          std::fread(out.data() + base, sizeof(std::uint64_t), want,
+                     static_cast<std::FILE*>(readFile_));
+      out.resize(base + got);
+      if (got < want) {
+        std::fclose(static_cast<std::FILE*>(readFile_));
+        std::remove(runs_[readRun_].c_str());
+        readFile_ = nullptr;
+        ++readRun_;
+      }
+      continue;
+    }
+    // RAM tail.
+    while (out.size() < chunk && memAt_ < mem_.size())
+      out.push_back(mem_[memAt_++]);
+    break;
+  }
+  return !out.empty();
+}
+
+void FrontierSpill::reset() {
+  if (readFile_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(readFile_));
+    readFile_ = nullptr;
+  }
+  for (std::size_t r = readRun_; r < runs_.size(); ++r)
+    std::remove(runs_[r].c_str());
+  runs_.clear();
+  readRun_ = 0;
+  mem_.clear();
+  memAt_ = 0;
+  total_ = 0;
+}
+
+}  // namespace ssno::mc

@@ -1,0 +1,72 @@
+// FrontierSpill — capacity-bounded BFS frontier with a disk tier.
+//
+// The next-level frontier is only a bag of state ids (order is
+// irrelevant: verdict determinism comes from canonical-min selection,
+// not processing order), so spilling is trivial run-file management in
+// the fsais external-memory style: when the in-RAM buffer exceeds the
+// capacity, it is flushed as one binary run file of raw u64 ids, and
+// draining streams the runs back chunk by chunk.  With capacity 0 the
+// frontier stays entirely in RAM and no files are touched.
+//
+// append() is thread-safe (workers flush local batches during a level);
+// drainChunk() is single-consumer and must not overlap appends to the
+// same object — the explorer alternates: fill `next` during level d,
+// then drain it as `current` during level d+1 while filling a fresh
+// spill.  Run files are deleted as they are consumed and on
+// destruction.
+#ifndef SSNO_MC_SPILL_HPP
+#define SSNO_MC_SPILL_HPP
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ssno::mc {
+
+class FrontierSpill {
+ public:
+  /// `memCapacity` ids held in RAM before a run is written (0 = no
+  /// bound); `dir` receives the run files ("" = std::filesystem temp).
+  explicit FrontierSpill(std::uint64_t memCapacity = 0,
+                         const std::string& dir = "");
+  ~FrontierSpill();
+
+  FrontierSpill(const FrontierSpill&) = delete;
+  FrontierSpill& operator=(const FrontierSpill&) = delete;
+
+  void append(const std::uint64_t* ids, std::size_t count);
+
+  /// Total ids appended (RAM + runs); unchanged by draining.
+  [[nodiscard]] std::uint64_t size() const { return total_; }
+  [[nodiscard]] std::uint64_t runsWritten() const { return runsWritten_; }
+
+  /// Moves up to `chunk` ids into `out` (cleared first); false once
+  /// everything has been drained.
+  bool drainChunk(std::vector<std::uint64_t>& out, std::size_t chunk);
+
+  /// Clears all content (drained or not) and deletes remaining runs,
+  /// making the object reusable for the next level.
+  void reset();
+
+ private:
+  void flushLocked();
+
+  std::mutex mu_;
+  std::uint64_t memCapacity_;
+  std::string dir_;
+  std::string prefix_;
+  std::vector<std::uint64_t> mem_;
+  std::vector<std::string> runs_;
+  std::uint64_t total_ = 0;
+  std::uint64_t runsWritten_ = 0;
+  std::uint64_t runSerial_ = 0;
+  // Drain cursor.
+  std::size_t memAt_ = 0;
+  void* readFile_ = nullptr;  // FILE* of the run currently streamed
+  std::size_t readRun_ = 0;
+};
+
+}  // namespace ssno::mc
+
+#endif  // SSNO_MC_SPILL_HPP

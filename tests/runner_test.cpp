@@ -137,6 +137,77 @@ TEST(ScenarioRegistry, RejectsMalformedNames) {
                std::invalid_argument);
 }
 
+TEST(ScenarioRegistry, ParsesModelCheckTargets) {
+  const Scenario s = parseScenario("model-check:dftc/central/path:3");
+  EXPECT_EQ(s.protocol, ProtocolKind::kModelCheck);
+  EXPECT_EQ(s.mcTarget, McTarget::kDftc);
+  const Scenario f = parseScenario("model-check:dftc-fault/central/ring:8");
+  EXPECT_EQ(f.mcTarget, McTarget::kDftcFault);
+  EXPECT_THROW(parseScenario("model-check:nope/central/path:3"),
+               std::invalid_argument);
+  EXPECT_THROW(parseScenario("dftno:dftc/central/path:3"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioFile, ParsesLinesCommentsAndOverrides) {
+  std::istringstream in(
+      "# a comment line\n"
+      "\n"
+      "dftno round-robin ring:16 trials=5 seed=7 budget=1000\n"
+      "dftno-churn round-robin grid:3x4 rate=0.002\n"
+      "dftno-recovery central grid:3x3 k=4\n"
+      "model-check:dftc central path:3 mc-threads=2\n");
+  const std::vector<Scenario> scenarios = loadScenarios(in);
+  ASSERT_EQ(scenarios.size(), 4u);
+  EXPECT_EQ(scenarios[0].name, "dftno/round-robin/ring:16");
+  EXPECT_EQ(scenarios[0].trials, 5);
+  EXPECT_EQ(scenarios[0].seed, 7u);
+  EXPECT_EQ(scenarios[0].budget, 1000);
+  EXPECT_EQ(scenarios[1].faultRate, 0.002);
+  EXPECT_EQ(scenarios[1].budget, kDefaultChurnHorizon);
+  EXPECT_EQ(scenarios[2].faultK, 4);
+  EXPECT_EQ(scenarios[3].protocol, ProtocolKind::kModelCheck);
+  EXPECT_EQ(scenarios[3].mcThreads, 2);
+}
+
+TEST(ScenarioFile, RejectsMalformedLinesWithLineNumbers) {
+  auto expectThrowWith = [](const char* text, const char* needle) {
+    std::istringstream in(text);
+    try {
+      (void)loadScenarios(in);
+      FAIL() << "expected invalid_argument for: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  expectThrowWith("dftno round-robin\n", "line 1");
+  expectThrowWith("# ok\nnope central ring:8\n", "line 2");
+  expectThrowWith("dftno central ring:8 trials\n", "key=value");
+  expectThrowWith("dftno central ring:8 bogus=3\n", "unknown key");
+  expectThrowWith("dftno central ring:8 trials=x\n", "bad value");
+  expectThrowWith("dftno central ring:8 budget=1e6\n", "trailing junk");
+  expectThrowWith("dftno central ring:8 trials=3x\n", "trailing junk");
+  expectThrowWith("dftno central ring:8 trials=0\n", "positive");
+}
+
+TEST(ScenarioRegistry, NewGeneratorsUsableFromSimulationAndModelCheck) {
+  // dreg/plaw topologies drive both a simulation trial and a
+  // model-check trial through the same TopologySpec grammar.
+  Scenario sim = parseScenario("dftc/round-robin/dreg:8:3:5");
+  sim.trials = 1;
+  const ScenarioResult simRes = ExperimentRunner(1).run(sim);
+  EXPECT_EQ(simRes.nodeCount, 8);
+  EXPECT_EQ(simRes.failedTrials, 0);
+
+  Scenario check = parseScenario("model-check:dftc/central/plaw:4:1:3");
+  check.trials = 1;
+  check.mcThreads = 2;
+  const ScenarioResult checkRes = ExperimentRunner(1).run(check);
+  EXPECT_EQ(checkRes.failedTrials, 0);
+  EXPECT_EQ(checkRes.metric("verdicts_agree").mean, 1.0);
+}
+
 TEST(ScenarioRegistry, PresetsResolveAndAreNonEmpty) {
   for (const std::string& name : presetNames()) {
     const std::vector<Scenario> scenarios = resolve(name);

@@ -68,11 +68,46 @@ TEST(TopologySpec, SquareShorthandForGridAndTorus) {
   EXPECT_EQ(TopologySpec::parse("grid:9").build().nodeCount(), 9);
 }
 
+TEST(DRegularRandom, DegreesConnectivityAndDeterminism) {
+  for (const auto& [n, d] : {std::pair{8, 3}, {12, 4}, {20, 3}, {9, 4},
+                             {6, 5}, {2, 1}}) {
+    const Graph g = dRegularRandom(n, d, 42);
+    EXPECT_EQ(g.nodeCount(), n) << n << "," << d;
+    EXPECT_EQ(g.edgeCount(), n * d / 2) << n << "," << d;
+    for (NodeId p = 0; p < n; ++p) EXPECT_EQ(g.degree(p), d) << n << "," << d;
+    EXPECT_TRUE(g.isConnected()) << n << "," << d;
+    EXPECT_EQ(adjacency(g), adjacency(dRegularRandom(n, d, 42)));
+  }
+  EXPECT_NE(adjacency(dRegularRandom(20, 3, 1)),
+            adjacency(dRegularRandom(20, 3, 2)));
+}
+
+TEST(DRegularRandom, RejectsInfeasibleParameters) {
+  EXPECT_THROW(dRegularRandom(7, 3, 0), std::invalid_argument);  // n*d odd
+  EXPECT_THROW(dRegularRandom(4, 4, 0), std::invalid_argument);  // d >= n
+  EXPECT_THROW(dRegularRandom(6, 1, 0), std::invalid_argument);  // matching
+  EXPECT_THROW(dRegularRandom(1, 0, 0), std::invalid_argument);
+}
+
+TEST(PowerLawTree, IsATreeAndAlphaShapesDegrees) {
+  const Graph g = powerLawTree(200, 1.0, 5);
+  EXPECT_EQ(g.nodeCount(), 200);
+  EXPECT_EQ(g.edgeCount(), 199);
+  EXPECT_TRUE(g.isConnected());
+  EXPECT_EQ(adjacency(g), adjacency(powerLawTree(200, 1.0, 5)));
+  // Strong preferential attachment concentrates far more mass on the
+  // biggest hub than uniform attachment (alpha = 0).
+  const Graph hubby = powerLawTree(400, 3.0, 7);
+  const Graph uniform = powerLawTree(400, 0.0, 7);
+  EXPECT_GT(hubby.maxDegree(), uniform.maxDegree());
+}
+
 TEST(TopologySpec, AllFamiliesConnected) {
   for (const char* text :
        {"ring:11", "path:5", "star:6", "complete:5", "hypercube:3",
         "grid:3x5", "torus:3x4", "kary:13x3", "caterpillar:4x2",
-        "lollipop:5x4", "rtree:30:9", "er:25:0.08:4", "chordring:15:2,6"}) {
+        "lollipop:5x4", "rtree:30:9", "er:25:0.08:4", "chordring:15:2,6",
+        "dreg:14:3:8", "plaw:25:1.5:3"}) {
     const Graph g = TopologySpec::parse(text).build();
     EXPECT_TRUE(g.isConnected()) << text;
     EXPECT_EQ(g.root(), 0) << text;
@@ -82,7 +117,8 @@ TEST(TopologySpec, AllFamiliesConnected) {
 TEST(TopologySpec, NameRoundTrips) {
   for (const char* text :
        {"ring:32", "grid:4x8", "torus:5x5", "kary:40x3", "rtree:30:9",
-        "er:25:0.08:4", "chordring:15:2,6"}) {
+        "er:25:0.08:4", "chordring:15:2,6", "dreg:16:4:9",
+        "plaw:30:2.5:4"}) {
     const TopologySpec spec = TopologySpec::parse(text);
     EXPECT_EQ(TopologySpec::parse(spec.name()), spec) << text;
   }
@@ -128,6 +164,10 @@ TEST(TopologySpec, RejectsMalformedSpecs) {
   EXPECT_THROW(TopologySpec::parse("rtree:10:5junk"), std::invalid_argument);
   EXPECT_THROW(TopologySpec::parse("rtree:10:-1"), std::invalid_argument);
   EXPECT_THROW(TopologySpec::parse("er:10:0.1:9x"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("dreg:7:3"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("dreg:8"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("plaw:10:9.5"), std::invalid_argument);
+  EXPECT_THROW(TopologySpec::parse("plaw:10"), std::invalid_argument);
   // Absurd sizes are rejected up front, not attempted (no int overflow,
   // no multi-GB allocations).
   EXPECT_THROW(TopologySpec::parse("grid:65536x65536"),
