@@ -3,6 +3,7 @@
 #include <set>
 
 #include "core/assert.hpp"
+#include "core/bitwords.hpp"
 #include "apps/routing.hpp"
 
 namespace ssno {
@@ -48,19 +49,15 @@ TraversalResult traverseWithoutOrientation(const Graph& g, NodeId source) {
   // used.  Every edge is crossed exactly twice: 2m messages.
   TraversalResult res;
   std::vector<bool> visited(static_cast<std::size_t>(g.nodeCount()), false);
-  std::vector<std::vector<bool>> usedPort(
-      static_cast<std::size_t>(g.nodeCount()));
-  for (NodeId p = 0; p < g.nodeCount(); ++p)
-    usedPort[static_cast<std::size_t>(p)].assign(
-        static_cast<std::size_t>(g.degree(p)), false);
+  // Used ports as one flat bitset over the CSR port slots (SoA): no
+  // per-node allocations, and the "first unused port" scan is word-level.
+  bits::WordBitset usedPort(g.portSlotCount());
 
   auto markEdge = [&g, &usedPort](NodeId a, Port fromA) {
-    usedPort[static_cast<std::size_t>(a)][static_cast<std::size_t>(fromA)] =
-        true;
+    usedPort.set(g.portBase(a) + static_cast<std::size_t>(fromA));
     const NodeId b = g.neighborAt(a, fromA);
     const Port back = g.portOf(b, a);
-    usedPort[static_cast<std::size_t>(b)][static_cast<std::size_t>(back)] =
-        true;
+    usedPort.set(g.portBase(b) + static_cast<std::size_t>(back));
   };
 
   visited[static_cast<std::size_t>(source)] = true;
@@ -70,7 +67,7 @@ TraversalResult traverseWithoutOrientation(const Graph& g, NodeId source) {
     const NodeId p = stack.back();
     Port nextPort = kNoPort;
     for (Port l = 0; l < g.degree(p); ++l) {
-      if (!usedPort[static_cast<std::size_t>(p)][static_cast<std::size_t>(l)]) {
+      if (!usedPort.test(g.portBase(p) + static_cast<std::size_t>(l))) {
         nextPort = l;
         break;
       }

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <deque>
-#include <set>
 
 #include "core/assert.hpp"
+#include "core/bitwords.hpp"
 #include "core/graph_algo.hpp"
 
 namespace ssno {
@@ -26,7 +26,9 @@ RouteResult routeGreedyWithDetours(const Orientation& o, NodeId src,
   r.path.push_back(src);
   NodeId cur = src;
   int detoursLeft = maxDetours;
-  std::set<NodeId> detoured;  // nodes already used for a non-improving hop
+  // Nodes already used for a non-improving hop (flat bitset: the route
+  // loop runs O(n²) times in evaluateRouting, so no tree allocations).
+  bits::WordBitset detoured(static_cast<std::size_t>(g.nodeCount()));
   while (o.nameOf(cur) != targetName) {
     const int here = chordalDistance(targetName, o.nameOf(cur), o.modulus);
     // Cyclic distance still to cover; pick the port minimizing it.
@@ -43,8 +45,8 @@ RouteResult routeGreedyWithDetours(const Orientation& o, NodeId src,
     if (bestPort == kNoPort) {
       // Greedy dead end: optionally spend a detour on the smallest-label
       // port (deterministic), at most once per node.
-      if (detoursLeft <= 0 || detoured.contains(cur)) return r;
-      detoured.insert(cur);
+      if (detoursLeft <= 0 || detoured.test(static_cast<std::size_t>(cur))) return r;
+      detoured.set(static_cast<std::size_t>(cur));
       --detoursLeft;
       int bestLabel = o.modulus;
       for (Port l = 0; l < g.degree(cur); ++l) {

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/assert.hpp"
+#include "core/bitwords.hpp"
 #include "core/enabled_cache.hpp"
 #include "core/scheduler.hpp"
 #include "mc/properties.hpp"
@@ -103,11 +104,6 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
     return res;
   }
   const int actions = protocol_.actionCount();
-  if (fairness != Fairness::kNone &&
-      protocol_.graph().nodeCount() * actions > 64) {
-    res.failure = "fairness-aware check limited to 64 (node, action) pairs";
-    return res;
-  }
   const std::uint64_t total = ix.total();
 
   EnabledCache cache(protocol_);
@@ -122,17 +118,17 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
     isLegit[c] = legit_() ? 1 : 0;
   }
 
-  /// Decodes c and refreshes the enabled set into a stable copy (the
-  /// cache's own buffer is only valid until the next mutation).
-  std::vector<Move> movesBuf;
-  auto expand = [&](std::uint64_t c) -> const std::vector<Move>& {
+  /// Decodes c and snapshots the enabled set as (node, mask) pairs (the
+  /// cache's own view is only valid until the next mutation).
+  NodeMasks expandBuf;
+  auto expand = [&](std::uint64_t c) -> const NodeMasks& {
     if (naive_)
       ix.decodeInto(protocol_, c);
     else
       ix.decodeDelta(protocol_, c);
-    const std::vector<Move>& fresh = cache.refresh();
-    movesBuf.assign(fresh.begin(), fresh.end());
-    return movesBuf;
+    expandBuf.clear();
+    cache.refreshView().appendNodeMasks(expandBuf);
+    return expandBuf;
   };
   /// Successor of the currently decoded c by move m; restores c before
   /// returning.  (A statement writes only its own processor's
@@ -149,10 +145,9 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
   };
   auto successorsVec = [&](std::uint64_t c) {
     std::vector<std::pair<std::uint64_t, int>> succ;  // (config, actor)
-    const std::vector<Move>& moves = expand(c);
-    succ.reserve(moves.size());
-    for (const Move& m : moves)
+    forEachMove(expand(c), [&](const Move& m) {
       succ.emplace_back(successorOf(c, m), m.node * actions + m.action);
+    });
     return succ;
   };
 
@@ -161,19 +156,21 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
   std::uint64_t illegitCount = 0;
   for (std::uint64_t c = 0; c < total; ++c) {
     ++res.configsExplored;
-    const std::vector<Move>& moves = expand(c);
+    const NodeMasks& enabled = expand(c);
     if (isLegit[c]) {
-      for (const Move& m : moves) {
-        if (!isLegit[successorOf(c, m)]) {
-          ix.decodeDelta(protocol_, c);
-          res.failure = "closure violated; legitimate configuration:\n" +
-                        describeConfig(protocol_);
-          return res;
-        }
+      bool closed = true;
+      forEachMove(enabled, [&](const Move& m) {
+        if (closed && !isLegit[successorOf(c, m)]) closed = false;
+      });
+      if (!closed) {
+        ix.decodeDelta(protocol_, c);
+        res.failure = "closure violated; legitimate configuration:\n" +
+                      describeConfig(protocol_);
+        return res;
       }
       continue;
     }
-    if (moves.empty()) {
+    if (enabled.empty()) {
       res.failure = "illegitimate terminal (deadlocked) configuration:\n" +
                     describeConfig(protocol_);
       return res;
@@ -183,26 +180,26 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
 
   if (fairness != Fairness::kNone) {
     // Materialize the illegitimate sub-digraph with actors and
-    // enabled-pair masks (read off the expansion's move list), then
-    // look for a fair-feasible cycle.
+    // enabled-pair masks (read off the expansion snapshot), then look
+    // for a fair-feasible cycle.  Pair masks are multi-word, so there
+    // is no node·actions <= 64 cap.
     mc::TransitionGraph g;
     g.adj.resize(illegitCount);
-    g.enabledMask.resize(illegitCount);
+    g.initMasks(illegitCount,
+                static_cast<std::size_t>(protocol_.graph().nodeCount()) *
+                    static_cast<std::size_t>(actions));
     std::vector<std::uint64_t> localToGlobal(illegitCount);
     for (std::uint64_t c = 0; c < total; ++c) {
       if (isLegit[c]) continue;
       const std::uint64_t id = illegitIds[c];
       localToGlobal[id] = c;
-      const std::vector<Move>& moves = expand(c);
-      std::uint64_t mask = 0;
-      for (const Move& m : moves) {
+      forEachMove(expand(c), [&](const Move& m) {
         const int pair = m.node * actions + m.action;
-        mask |= (1ULL << pair);
+        bits::maskSet(g.maskOf(id), static_cast<std::size_t>(pair));
         const std::uint64_t s = successorOf(c, m);
         if (!isLegit[s])
           g.adj[id].push_back({static_cast<int>(illegitIds[s]), pair});
-      }
-      g.enabledMask[id] = mask;
+      });
     }
     const int bad = mc::findFairCycle(g, fairness);
     if (bad >= 0) {
@@ -270,11 +267,13 @@ CheckResult ModelChecker::verifyReachable(
     std::uint64_t maxConfigs, Fairness fairness) {
   CheckResult res;
   const int actions = protocol_.actionCount();
-  if (fairness != Fairness::kNone &&
-      protocol_.graph().nodeCount() * actions > 64) {
-    res.failure = "fairness-aware check limited to 64 (node, action) pairs";
-    return res;
-  }
+  const std::size_t pairBits =
+      static_cast<std::size_t>(protocol_.graph().nodeCount()) *
+      static_cast<std::size_t>(actions);
+  const std::size_t maskWords =
+      fairness != Fairness::kNone ? std::max<std::size_t>(
+                                        1, bits::wordsFor(pairBits))
+                                  : 1;
   struct VecHash {
     std::size_t operator()(const std::vector<std::uint64_t>& v) const {
       std::uint64_t h = 0xCBF29CE484222325ULL;
@@ -288,12 +287,14 @@ CheckResult ModelChecker::verifyReachable(
   std::unordered_map<std::vector<std::uint64_t>, int, VecHash> id;
   std::vector<std::vector<std::uint64_t>> configs;
   std::vector<std::uint8_t> isLegit;
-  std::vector<std::uint64_t> enabledMask;  // filled at expansion
+  // Per-config multi-word enabled-pair masks, flat arena (filled at
+  // expansion; maskWords words per config).
+  std::vector<std::uint64_t> enabledMask;
 
   EnabledCache cache(protocol_);
   cache.setForceNaive(naive_);
   std::vector<std::uint64_t> cur;  // codes currently decoded in protocol_
-  std::vector<Move> moves;         // stable copy of each refresh
+  NodeMasks enabledBuf;            // stable snapshot of each refresh
 
   /// Interns the configuration the protocol currently holds (legitimacy
   /// is evaluated in place — no re-decode).
@@ -303,7 +304,7 @@ CheckResult ModelChecker::verifyReachable(
     if (inserted) {
       configs.push_back(it->first);
       isLegit.push_back(legit_() ? 1 : 0);
-      enabledMask.push_back(0);
+      enabledMask.resize(enabledMask.size() + maskWords, 0);
     }
     return it->second;
   };
@@ -335,23 +336,24 @@ CheckResult ModelChecker::verifyReachable(
       protocol_.decodeConfigurationDelta(configs[static_cast<std::size_t>(c)],
                                          cur);
     }
-    {
-      const std::vector<Move>& fresh = cache.refresh();
-      moves.assign(fresh.begin(), fresh.end());
-    }
-    if (moves.empty() && !isLegit[static_cast<std::size_t>(c)]) {
+    enabledBuf.clear();
+    cache.refreshView().appendNodeMasks(enabledBuf);
+    if (enabledBuf.empty() && !isLegit[static_cast<std::size_t>(c)]) {
       res.failure = "illegitimate terminal (deadlocked) configuration:\n" +
                     describeConfig(protocol_);
       return res;
     }
     if (fairness != Fairness::kNone) {
-      // Pair bits only exist (and fit 64 bits) in fair modes.
-      std::uint64_t mask = 0;
-      for (const Move& m : moves)
-        mask |= (1ULL << (m.node * actions + m.action));
-      enabledMask[static_cast<std::size_t>(c)] = mask;
+      std::uint64_t* mask =
+          enabledMask.data() + static_cast<std::size_t>(c) * maskWords;
+      forEachMove(enabledBuf, [&](const Move& m) {
+        bits::maskSet(mask,
+                      static_cast<std::size_t>(m.node * actions + m.action));
+      });
     }
-    for (const Move& m : moves) {
+    bool failed = false;
+    forEachMove(enabledBuf, [&](const Move& m) {
+      if (failed) return;
       protocol_.execute(m.node, m.action);
       const int s = internCurrent();
       // Only m.node's variables differ from c, so restoring that one
@@ -362,18 +364,21 @@ CheckResult ModelChecker::verifyReachable(
               m.node)]);
       if (configs.size() > maxConfigs) {
         res.failure = "reachable space exceeded maxConfigs";
-        return res;
+        failed = true;
+        return;
       }
       if (isLegit[static_cast<std::size_t>(c)] &&
           !isLegit[static_cast<std::size_t>(s)]) {
         res.failure = "closure violated; legitimate configuration:\n" +
                       describeConfig(protocol_);
-        return res;
+        failed = true;
+        return;
       }
       adj[static_cast<std::size_t>(c)].push_back(
           {s, m.node * actions + m.action});
       frontier.push_back(s);
-    }
+    });
+    if (failed) return res;
   }
   res.configsExplored = configs.size();
   const int total = static_cast<int>(configs.size());
@@ -390,12 +395,12 @@ CheckResult ModelChecker::verifyReachable(
       localToGlobal.push_back(c);
     }
     g.adj.resize(localToGlobal.size());
-    g.enabledMask.resize(localToGlobal.size());
+    g.initMasks(localToGlobal.size(), pairBits);
     for (int c = 0; c < total; ++c) {
       const int lc = localId[static_cast<std::size_t>(c)];
       if (lc < 0) continue;
-      g.enabledMask[static_cast<std::size_t>(lc)] =
-          enabledMask[static_cast<std::size_t>(c)];
+      std::copy_n(enabledMask.data() + static_cast<std::size_t>(c) * maskWords,
+                  maskWords, g.maskOf(static_cast<std::size_t>(lc)));
       for (const auto& e : adj[static_cast<std::size_t>(c)]) {
         const int lt = localId[static_cast<std::size_t>(e.to)];
         if (lt >= 0)

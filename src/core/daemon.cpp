@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/assert.hpp"
+#include "core/bitwords.hpp"
 
 namespace ssno {
 
@@ -23,18 +24,41 @@ void Daemon::onePerNode(std::span<const Move> enabled, Rng& rng,
   }
 }
 
-void CentralDaemon::selectInto(std::span<const Move> enabled, Rng& rng,
+void Daemon::onePerNode(const EnabledView& enabled, Rng& rng,
+                        std::vector<Move>& out) {
+  // Same reservoir, driven by the masks: ascending nodes via word skips,
+  // ascending actions via bit extraction — the identical draw sequence.
+  out.clear();
+  enabled.forEachNode([&](NodeId p) {
+    std::uint64_t mask = enabled.actionMask(p);
+    Move chosen{p, bits::lowestBit(mask)};
+    mask &= mask - 1;
+    int k = 1;
+    while (mask != 0) {
+      const int a = bits::lowestBit(mask);
+      mask &= mask - 1;
+      if (rng.below(++k) == 0) chosen = Move{p, a};
+    }
+    out.push_back(chosen);
+  });
+}
+
+void CentralDaemon::selectInto(const EnabledView& enabled, Rng& rng,
                                std::vector<Move>& out) {
+  SSNO_EXPECTS(!enabled.empty());
+  out.clear();
+  out.push_back(enabled.kthMove(rng.below(enabled.moveCount())));
+}
+
+void CentralDaemon::legacySelect(std::span<const Move> enabled, Rng& rng,
+                                 std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
   out.clear();
   out.push_back(enabled[static_cast<std::size_t>(
       rng.below(static_cast<int>(enabled.size())))]);
 }
 
-void DistributedDaemon::selectInto(std::span<const Move> enabled, Rng& rng,
-                                   std::vector<Move>& out) {
-  SSNO_EXPECTS(!enabled.empty());
-  onePerNode(enabled, rng, perNode_);
+void DistributedDaemon::pickSubset(Rng& rng, std::vector<Move>& out) {
   out.clear();
   for (const Move& m : perNode_)
     if (rng.chance(0.5)) out.push_back(m);
@@ -43,14 +67,45 @@ void DistributedDaemon::selectInto(std::span<const Move> enabled, Rng& rng,
         rng.below(static_cast<int>(perNode_.size())))]);
 }
 
-void SynchronousDaemon::selectInto(std::span<const Move> enabled, Rng& rng,
+void DistributedDaemon::selectInto(const EnabledView& enabled, Rng& rng,
+                                   std::vector<Move>& out) {
+  SSNO_EXPECTS(!enabled.empty());
+  onePerNode(enabled, rng, perNode_);
+  pickSubset(rng, out);
+}
+
+void DistributedDaemon::legacySelect(std::span<const Move> enabled, Rng& rng,
+                                     std::vector<Move>& out) {
+  SSNO_EXPECTS(!enabled.empty());
+  onePerNode(enabled, rng, perNode_);
+  pickSubset(rng, out);
+}
+
+void SynchronousDaemon::selectInto(const EnabledView& enabled, Rng& rng,
                                    std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
   onePerNode(enabled, rng, out);
 }
 
-void RoundRobinDaemon::selectInto(std::span<const Move> enabled, Rng& /*rng*/,
+void SynchronousDaemon::legacySelect(std::span<const Move> enabled, Rng& rng,
+                                     std::vector<Move>& out) {
+  SSNO_EXPECTS(!enabled.empty());
+  onePerNode(enabled, rng, out);
+}
+
+void RoundRobinDaemon::selectInto(const EnabledView& enabled, Rng& /*rng*/,
                                   std::vector<Move>& out) {
+  SSNO_EXPECTS(!enabled.empty());
+  // The cyclic successor of the last served pair: mask arithmetic on
+  // last_.node, then a word-skip to the next enabled node — no scan of
+  // the enabled set.
+  last_ = enabled.nextPairAfter(last_);
+  out.clear();
+  out.push_back(last_);
+}
+
+void RoundRobinDaemon::legacySelect(std::span<const Move> enabled,
+                                    Rng& /*rng*/, std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
   // Serve the enabled (node, action) pair that follows the last served
   // pair in cyclic lexicographic order: every continuously enabled pair
@@ -74,8 +129,15 @@ void RoundRobinDaemon::selectInto(std::span<const Move> enabled, Rng& /*rng*/,
   out.push_back(*best);
 }
 
-void AdversarialDaemon::selectInto(std::span<const Move> enabled, Rng& /*rng*/,
+void AdversarialDaemon::selectInto(const EnabledView& enabled, Rng& /*rng*/,
                                    std::vector<Move>& out) {
+  SSNO_EXPECTS(!enabled.empty());
+  out.clear();
+  out.push_back(enabled.firstMove());
+}
+
+void AdversarialDaemon::legacySelect(std::span<const Move> enabled,
+                                     Rng& /*rng*/, std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
   const Move* best = &enabled.front();
   for (const Move& m : enabled)

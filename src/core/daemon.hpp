@@ -8,6 +8,16 @@
 // one.  RoundRobinDaemon realizes weak fairness deterministically;
 // AdversarialDaemon greedily tries to starve progress (it prefers moves
 // that keep the system away from quiescence) and is *unfair*.
+//
+// Selection is bitmask-native: the primary selectInto overload consumes
+// an EnabledView (the EnabledCache's per-node action masks) and never
+// materializes a move vector — the central daemon draws in O(log n),
+// round-robin/adversarial in O(1) amortized, and the subset daemons
+// touch only enabled processors via word skips.  legacySelect is the
+// historical shim over a node-major materialized vector; both paths
+// draw from the RNG in the same order and return bit-identical
+// selections (asserted by the Simulator's debug cross-check and pinned
+// by tests/daemon_test.cpp across randomized configurations).
 #ifndef SSNO_CORE_DAEMON_HPP
 #define SSNO_CORE_DAEMON_HPP
 
@@ -16,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "core/enabled_view.hpp"
 #include "core/protocol.hpp"
 #include "core/rng.hpp"
 
@@ -28,19 +39,29 @@ class Daemon {
   /// Selects the moves to execute this computation step into `out`
   /// (cleared first; callers reuse the buffer so steady-state stepping
   /// performs no heap allocations).
-  /// Precondition: `enabled` is non-empty, node-major (all moves of a
-  /// node contiguous, nodes ascending — the order Protocol::enabledMoves
-  /// and the EnabledCache produce), with at most actionCount() moves per
-  /// node.  Postcondition: `out` non-empty, at most one move per
-  /// processor, a subset of `enabled`.
-  virtual void selectInto(std::span<const Move> enabled, Rng& rng,
+  /// Precondition: `enabled` is non-empty.  Postcondition: `out`
+  /// non-empty, at most one move per processor, every move enabled.
+  virtual void selectInto(const EnabledView& enabled, Rng& rng,
                           std::vector<Move>& out) = 0;
 
-  /// Convenience wrapper for tests and one-off callers.
+  /// Legacy shim: selection over the materialized move vector.
+  /// Precondition: `enabled` is non-empty, node-major (all moves of a
+  /// node contiguous, nodes ascending — the order Protocol::enabledMoves
+  /// and EnabledCache::refresh produce), with at most actionCount()
+  /// moves per node.  Draw-order and result identical to the bitmask
+  /// overload on the same enabled set.
+  virtual void legacySelect(std::span<const Move> enabled, Rng& rng,
+                            std::vector<Move>& out) = 0;
+
+  /// Deep copy including fairness state (round-robin's cursor), so a
+  /// cross-check can replay a selection without disturbing the daemon.
+  [[nodiscard]] virtual std::unique_ptr<Daemon> clone() const = 0;
+
+  /// Convenience wrapper for tests and one-off callers (legacy path).
   [[nodiscard]] std::vector<Move> select(const std::vector<Move>& enabled,
                                          Rng& rng) {
     std::vector<Move> out;
-    selectInto(enabled, rng, out);
+    legacySelect(enabled, rng, out);
     return out;
   }
 
@@ -48,18 +69,24 @@ class Daemon {
 
  protected:
   /// Utility: keep at most one (uniformly chosen) move per processor.
-  /// Relies on the node-major precondition: each node's moves form one
-  /// contiguous run, so per-node reservoir sampling needs no map and the
-  /// RNG draw order matches the historical map-based implementation.
+  /// Both overloads visit moves in node-major order, so per-node
+  /// reservoir sampling draws from the RNG in the identical sequence.
   static void onePerNode(std::span<const Move> enabled, Rng& rng,
+                         std::vector<Move>& out);
+  static void onePerNode(const EnabledView& enabled, Rng& rng,
                          std::vector<Move>& out);
 };
 
 /// Central daemon: exactly one enabled processor acts per step.
 class CentralDaemon final : public Daemon {
  public:
-  void selectInto(std::span<const Move> enabled, Rng& rng,
+  void selectInto(const EnabledView& enabled, Rng& rng,
                   std::vector<Move>& out) override;
+  void legacySelect(std::span<const Move> enabled, Rng& rng,
+                    std::vector<Move>& out) override;
+  [[nodiscard]] std::unique_ptr<Daemon> clone() const override {
+    return std::make_unique<CentralDaemon>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "central"; }
 };
 
@@ -67,19 +94,31 @@ class CentralDaemon final : public Daemon {
 /// one enabled action each.
 class DistributedDaemon final : public Daemon {
  public:
-  void selectInto(std::span<const Move> enabled, Rng& rng,
+  void selectInto(const EnabledView& enabled, Rng& rng,
                   std::vector<Move>& out) override;
+  void legacySelect(std::span<const Move> enabled, Rng& rng,
+                    std::vector<Move>& out) override;
+  [[nodiscard]] std::unique_ptr<Daemon> clone() const override {
+    return std::make_unique<DistributedDaemon>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "distributed"; }
 
  private:
+  void pickSubset(Rng& rng, std::vector<Move>& out);
+
   std::vector<Move> perNode_;  // reusable scratch
 };
 
 /// Synchronous daemon: every enabled processor acts (one action each).
 class SynchronousDaemon final : public Daemon {
  public:
-  void selectInto(std::span<const Move> enabled, Rng& rng,
+  void selectInto(const EnabledView& enabled, Rng& rng,
                   std::vector<Move>& out) override;
+  void legacySelect(std::span<const Move> enabled, Rng& rng,
+                    std::vector<Move>& out) override;
+  [[nodiscard]] std::unique_ptr<Daemon> clone() const override {
+    return std::make_unique<SynchronousDaemon>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "synchronous"; }
 };
 
@@ -91,8 +130,13 @@ class SynchronousDaemon final : public Daemon {
 /// (e.g. DFTNO's EdgeLabel at a star hub behind token moves).
 class RoundRobinDaemon final : public Daemon {
  public:
-  void selectInto(std::span<const Move> enabled, Rng& rng,
+  void selectInto(const EnabledView& enabled, Rng& rng,
                   std::vector<Move>& out) override;
+  void legacySelect(std::span<const Move> enabled, Rng& rng,
+                    std::vector<Move>& out) override;
+  [[nodiscard]] std::unique_ptr<Daemon> clone() const override {
+    return std::make_unique<RoundRobinDaemon>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "round-robin"; }
 
  private:
@@ -104,8 +148,13 @@ class RoundRobinDaemon final : public Daemon {
 /// starved for as long as others stay enabled).
 class AdversarialDaemon final : public Daemon {
  public:
-  void selectInto(std::span<const Move> enabled, Rng& rng,
+  void selectInto(const EnabledView& enabled, Rng& rng,
                   std::vector<Move>& out) override;
+  void legacySelect(std::span<const Move> enabled, Rng& rng,
+                    std::vector<Move>& out) override;
+  [[nodiscard]] std::unique_ptr<Daemon> clone() const override {
+    return std::make_unique<AdversarialDaemon>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "adversarial"; }
 };
 

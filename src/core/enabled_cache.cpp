@@ -7,9 +7,16 @@
 namespace ssno {
 
 EnabledCache::EnabledCache(Protocol& protocol)
-    : protocol_(protocol), actions_(protocol.actionCount()) {
+    : protocol_(protocol),
+      n_(protocol.graph().nodeCount()),
+      actions_(protocol.actionCount()) {
   SSNO_EXPECTS(actions_ >= 1 && actions_ <= 64);
-  mask_.assign(static_cast<std::size_t>(protocol_.graph().nodeCount()), 0);
+  mask_.assign(static_cast<std::size_t>(n_), 0);
+  nodeBits_.resize(static_cast<std::size_t>(n_));
+  fen_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  fenTop_ = 1;
+  while (fenTop_ * 2 <= n_) fenTop_ *= 2;
+  makeView();
 }
 
 std::uint64_t EnabledCache::guardMask(NodeId p) const {
@@ -19,13 +26,42 @@ std::uint64_t EnabledCache::guardMask(NodeId p) const {
   return mask;
 }
 
+void EnabledCache::rebuildFenwick() {
+  // Linear build: seed each slot with its node's move count, then fold
+  // every slot into its Fenwick parent.
+  for (NodeId p = 0; p < n_; ++p)
+    fen_[static_cast<std::size_t>(p) + 1] =
+        bits::popcount(mask_[static_cast<std::size_t>(p)]);
+  for (int i = 1; i <= n_; ++i) {
+    const int j = i + (i & -i);
+    if (j <= n_) fen_[static_cast<std::size_t>(j)] +=
+        fen_[static_cast<std::size_t>(i)];
+  }
+}
+
+void EnabledCache::fenwickAdd(NodeId p, int delta) {
+  for (int i = p + 1; i <= n_; i += i & -i)
+    fen_[static_cast<std::size_t>(i)] += delta;
+}
+
 void EnabledCache::rebuildAll() {
-  enabledNodes_.clear();
-  for (NodeId p = 0; p < protocol_.graph().nodeCount(); ++p) {
+  if (track_changes_) {
+    full_invalidate_ = true;
+    changed_.clear();
+  }
+  nodeBits_.reset();
+  moveCount_ = 0;
+  nodeCount_ = 0;
+  for (NodeId p = 0; p < n_; ++p) {
     const std::uint64_t mask = guardMask(p);
     mask_[static_cast<std::size_t>(p)] = mask;
-    if (mask != 0) enabledNodes_.push_back(p);
+    if (mask != 0) {
+      nodeBits_.set(static_cast<std::size_t>(p));
+      ++nodeCount_;
+      moveCount_ += bits::popcount(mask);
+    }
   }
+  rebuildFenwick();
   movesStale_ = true;
 }
 
@@ -33,50 +69,63 @@ void EnabledCache::updateNode(NodeId p) {
   const std::uint64_t mask = guardMask(p);
   auto& cached = mask_[static_cast<std::size_t>(p)];
   if (mask == cached) return;
+  const int delta = bits::popcount(mask) - bits::popcount(cached);
   const bool was = cached != 0;
   const bool is = mask != 0;
   cached = mask;
   if (was != is) {
-    const auto it =
-        std::lower_bound(enabledNodes_.begin(), enabledNodes_.end(), p);
-    if (is)
-      enabledNodes_.insert(it, p);
-    else
-      enabledNodes_.erase(it);
+    if (is) {
+      nodeBits_.set(static_cast<std::size_t>(p));
+      ++nodeCount_;
+    } else {
+      nodeBits_.clear(static_cast<std::size_t>(p));
+      --nodeCount_;
+    }
+    if (track_changes_ && !full_invalidate_) changed_.push_back(p);
+  }
+  if (delta != 0) {
+    moveCount_ += delta;
+    fenwickAdd(p, delta);
   }
   movesStale_ = true;
 }
 
-const std::vector<Move>& EnabledCache::refresh() {
-  if (force_naive_) {
-    protocol_.clearDirty();
-    primed_ = false;  // a later incremental refresh must rescan
-    moves_.clear();
-    for (NodeId p = 0; p < protocol_.graph().nodeCount(); ++p)
-      for (int a = 0; a < actions_; ++a)
-        if (protocol_.enabled(p, a)) moves_.push_back(Move{p, a});
-    return moves_;
-  }
-  if (!primed_ || protocol_.allDirty()) {
+void EnabledCache::makeView() {
+  view_ = EnabledView(n_, actions_, mask_.data(), nodeBits_.words(),
+                      nodeBits_.wordCount(), fen_.data(), fenTop_,
+                      moveCount_, nodeCount_);
+}
+
+const EnabledView& EnabledCache::refreshView() {
+  if (force_naive_ || !primed_ || protocol_.allDirty()) {
     rebuildAll();
-    primed_ = true;
+    // A later incremental refresh may resume from this full scan unless
+    // naive mode is forced, in which case every refresh rescans.
+    primed_ = !force_naive_;
   } else {
     for (NodeId p : protocol_.dirtyNodes()) updateNode(p);
   }
   protocol_.clearDirty();
+  makeView();
+#ifndef NDEBUG
+  // Cross-check: the bitmask representation must match the naive scan.
+  {
+    std::vector<Move> fromView;
+    view_.appendMoves(fromView);
+    SSNO_ASSERT(fromView == protocol_.enabledMoves());
+    SSNO_ASSERT(static_cast<int>(fromView.size()) == view_.moveCount());
+  }
+#endif
+  return view_;
+}
+
+const std::vector<Move>& EnabledCache::refresh() {
+  (void)refreshView();
   if (movesStale_) {
     moves_.clear();
-    for (NodeId p : enabledNodes_) {
-      std::uint64_t mask = mask_[static_cast<std::size_t>(p)];
-      for (int a = 0; mask != 0; ++a, mask >>= 1)
-        if (mask & 1) moves_.push_back(Move{p, a});
-    }
+    view_.appendMoves(moves_);
     movesStale_ = false;
   }
-#ifndef NDEBUG
-  // Cross-check: the incremental set must be bit-identical to the scan.
-  SSNO_ASSERT(moves_ == protocol_.enabledMoves());
-#endif
   return moves_;
 }
 

@@ -4,17 +4,21 @@
 // simulator needs the enabled set twice per step, so a run of m moves
 // costs O(m·n·Δ·actions) guard evaluations even though a guarded-command
 // move at p can only change the guards of p ∪ N(p).  This cache consumes
-// the Protocol's dirty set instead: refresh() re-evaluates only dirty
-// processors' guards and patches the cached set, dropping the steady-state
-// per-step cost to O(Δ²·actions) guard evaluations, and reuses its buffers
-// so steady-state refreshes perform no heap allocations.
+// the Protocol's dirty set instead: a refresh re-evaluates only dirty
+// processors' guards and patches the cached set, dropping the
+// steady-state per-step cost to O(Δ²·actions) guard evaluations, and
+// reuses its buffers so steady-state refreshes perform no allocations.
 //
-// The cached move list is bit-identical to Protocol::enabledMoves()
-// (node-major, ascending action) — asserted against the naive scan after
-// every refresh in debug builds — so daemon RNG draws, traces, and all
-// results are unchanged.  setForceNaive(true) bypasses the incremental
-// path entirely (used by the equivalence test suite and the scheduler
-// bench's before/after measurement).
+// The cache's native representation is bitmask SoA: one action mask per
+// node, a WordBitset of enabled nodes, popcount-maintained move/node
+// totals, and a Fenwick tree of per-node move counts.  refreshView()
+// exposes it as an EnabledView — the hot path; daemons select directly
+// on the masks and nothing proportional to #enabled is materialized.
+// refresh() additionally builds the legacy node-major Move vector
+// (bit-identical to Protocol::enabledMoves(); asserted against the
+// naive scan after every refresh in debug builds) for the shim path,
+// tests, and before/after benchmarks.  setForceNaive(true) replaces the
+// incremental update with a full rescan per refresh.
 //
 // Exactly one EnabledCache may drain a Protocol at a time (draining
 // clears the dirty set); the Simulator owns one per run.
@@ -24,6 +28,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/bitwords.hpp"
+#include "core/enabled_view.hpp"
 #include "core/protocol.hpp"
 #include "core/types.hpp"
 
@@ -33,27 +39,74 @@ class EnabledCache {
  public:
   explicit EnabledCache(Protocol& protocol);
 
-  /// Brings the cache up to date with the protocol's dirty set and
-  /// returns the enabled moves (valid until the next refresh/mutation).
+  /// Brings the bitmask representation up to date with the protocol's
+  /// dirty set and returns a view of it (valid until the next
+  /// refresh/mutation).  The hot path: no move vector is built.
+  [[nodiscard]] const EnabledView& refreshView();
+
+  /// Same, plus the materialized legacy move list (valid until the next
+  /// refresh/mutation).
   [[nodiscard]] const std::vector<Move>& refresh();
 
+  /// View of the representation as of the last refresh (no update).
+  [[nodiscard]] const EnabledView& view() const { return view_; }
+
   /// Replaces the incremental path with a full naive rescan per refresh
-  /// (for equivalence testing and before/after benchmarking).
+  /// (for equivalence testing and before/after benchmarking).  The
+  /// bitmask view stays valid — it is rebuilt from the scan.
   void setForceNaive(bool force) { force_naive_ = force; }
+
+  /// ---- Enabled-status change feed (single consumer) -----------------
+  /// When enabled, refreshes record every node whose ANY-action-enabled
+  /// status flipped, letting a consumer (the Simulator's round
+  /// accounting) react to O(#changed) nodes instead of rescanning its
+  /// whole working set per step.  A full rebuild (whole-configuration
+  /// write, naive mode) is reported via fullInvalidate instead of
+  /// per-node entries.  Off by default so checker-style consumers that
+  /// never drain the feed pay nothing.
+  void setTrackStatusChanges(bool on) {
+    track_changes_ = on;
+    changed_.clear();
+    full_invalidate_ = true;  // force the consumer to resynchronize
+  }
+  /// Nodes whose status flipped since the last clearStatusChanges()
+  /// (may contain duplicates; meaningless after a full invalidate).
+  [[nodiscard]] const std::vector<NodeId>& statusChanges() const {
+    return changed_;
+  }
+  /// True if any refresh since the last consume rebuilt everything.
+  [[nodiscard]] bool consumeFullInvalidate() {
+    const bool was = full_invalidate_;
+    full_invalidate_ = false;
+    return was;
+  }
+  void clearStatusChanges() { changed_.clear(); }
 
  private:
   void rebuildAll();
   void updateNode(NodeId p);
+  void rebuildFenwick();
+  void fenwickAdd(NodeId p, int delta);
+  void makeView();
   [[nodiscard]] std::uint64_t guardMask(NodeId p) const;
 
   Protocol& protocol_;
+  int n_;
   int actions_;
-  std::vector<std::uint64_t> mask_;   // enabled-action bitmask per node
-  std::vector<NodeId> enabledNodes_;  // ascending nodes with mask != 0
-  std::vector<Move> moves_;           // node-major, ascending action
+  std::vector<std::uint64_t> mask_;  // enabled-action bitmask per node
+  bits::WordBitset nodeBits_;        // bit p set iff mask_[p] != 0
+  std::vector<std::int32_t> fen_;    // Fenwick over per-node move counts
+  int fenTop_ = 0;                   // largest power of two <= n
+  int moveCount_ = 0;
+  int nodeCount_ = 0;
+  EnabledView view_;
+  std::vector<Move> moves_;  // legacy materialization (refresh() only)
   bool movesStale_ = true;
   bool primed_ = false;  // first refresh always rescans everything
   bool force_naive_ = false;
+  bool track_changes_ = false;
+  bool full_invalidate_ = true;
+  std::vector<NodeId> changed_;  // status flips since last clear
 };
 
 }  // namespace ssno

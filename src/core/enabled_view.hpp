@@ -1,0 +1,209 @@
+// EnabledView — the bitmask-native window onto the enabled-move set.
+//
+// PR 2/3 made guard evaluation incremental; at n >= 1e5 the per-step
+// cost was then dominated by re-materializing the O(#enabled) node-major
+// Move vector just to hand it to Daemon::selectInto.  The EnabledCache
+// already *maintains* the enabled relation as per-node action bitmasks;
+// this view exposes that representation directly so daemons can select
+// without any vector being built:
+//
+//   * word-level iteration — enabled nodes are a WordBitset, so runs of
+//     disabled processors are skipped 64 at a time;
+//   * popcount-based counts — moveCount()/enabledNodeCount() are O(1)
+//     (maintained incrementally by the cache);
+//   * O(1) membership — anyEnabled(p) / enabled(p, a) are bit tests;
+//   * O(log n) uniform selection — kthMove() descends a Fenwick tree of
+//     per-node move counts (the central daemon's draw);
+//   * O(1)-amortized cyclic successor — nextPairAfter() serves the
+//     round-robin daemon with mask arithmetic + word skips.
+//
+// Iteration order is exactly the node-major, ascending-action order of
+// Protocol::enabledMoves(), so daemons that consume the view draw from
+// the RNG in the same sequence as the legacy vector path (pinned by
+// tests/daemon_test.cpp and the Simulator's debug cross-check).
+//
+// A view is a non-owning snapshot of its EnabledCache: valid until the
+// next refresh or protocol mutation, like the legacy move vector.
+#ifndef SSNO_CORE_ENABLED_VIEW_HPP
+#define SSNO_CORE_ENABLED_VIEW_HPP
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/bitwords.hpp"
+#include "core/protocol.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+class EnabledView {
+ public:
+  EnabledView() = default;
+
+  [[nodiscard]] int actionCount() const { return actions_; }
+  [[nodiscard]] int nodeCountTotal() const { return n_; }
+
+  /// Total enabled (processor, action) pairs — O(1).
+  [[nodiscard]] int moveCount() const { return moveCount_; }
+  /// Processors with at least one enabled action — O(1).
+  [[nodiscard]] int enabledNodeCount() const { return nodeCount_; }
+  [[nodiscard]] bool empty() const { return moveCount_ == 0; }
+
+  /// Enabled-action bitmask of p (bit a set iff action a enabled).
+  [[nodiscard]] std::uint64_t actionMask(NodeId p) const {
+    return masks_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] bool anyEnabled(NodeId p) const {
+    return masks_[static_cast<std::size_t>(p)] != 0;
+  }
+  [[nodiscard]] bool enabled(NodeId p, int action) const {
+    return (masks_[static_cast<std::size_t>(p)] >> action) & 1;
+  }
+
+  /// First enabled node, or kNoNode.  Word-skip scan.
+  [[nodiscard]] NodeId firstNode() const { return scanFrom(0); }
+  /// First enabled node strictly after p, or kNoNode.
+  [[nodiscard]] NodeId nextNode(NodeId p) const { return scanFrom(p + 1); }
+
+  /// Lexicographically first enabled move.  Precondition: !empty().
+  [[nodiscard]] Move firstMove() const {
+    const NodeId p = firstNode();
+    SSNO_ASSERT(p != kNoNode);
+    return Move{p, bits::lowestBit(actionMask(p))};
+  }
+
+  /// The k-th enabled move in node-major order, k in [0, moveCount()).
+  /// O(log n) via the cache's Fenwick tree of per-node move counts.
+  [[nodiscard]] Move kthMove(int k) const {
+    SSNO_EXPECTS(k >= 0 && k < moveCount_);
+    // Find the smallest node whose prefix move count exceeds k.
+    int rem = k + 1;
+    int pos = 0;  // 1-based Fenwick position
+    for (int bit = fenTop_; bit != 0; bit >>= 1) {
+      const int next = pos + bit;
+      if (next <= n_ && fen_[static_cast<std::size_t>(next)] < rem) {
+        pos = next;
+        rem -= fen_[static_cast<std::size_t>(next)];
+      }
+    }
+    const NodeId p = pos;  // 0-based node index == count of nodes before it
+    SSNO_ASSERT(p < n_ && actionMask(p) != 0);
+    return Move{p, bits::selectBit(actionMask(p), rem - 1)};
+  }
+
+  /// The enabled pair that follows `last` in cyclic lexicographic order
+  /// (the round-robin daemon's draw): first the same node's higher
+  /// actions, then the next enabled node's lowest action, wrapping to
+  /// firstMove().  `last` need not be enabled or even a valid pair (the
+  /// round-robin sentinel precedes every real pair).
+  /// Precondition: !empty().
+  [[nodiscard]] Move nextPairAfter(const Move& last) const {
+    if (last.node >= 0 && last.node < n_ && last.action >= 0 &&
+        last.action < bits::kWordBits) {
+      const std::uint64_t higher =
+          actionMask(last.node) & bits::bitsAbove(last.action);
+      if (higher != 0) return Move{last.node, bits::lowestBit(higher)};
+    }
+    const NodeId p = last.node < 0 ? firstNode() : nextNode(last.node);
+    if (p != kNoNode) return Move{p, bits::lowestBit(actionMask(p))};
+    return firstMove();  // wrap-around
+  }
+
+  /// Visits enabled nodes in ascending order.
+  template <class Fn>
+  void forEachNode(Fn&& fn) const {
+    for (std::size_t wi = 0; wi < words_; ++wi) {
+      std::uint64_t w = nodeWords_[wi];
+      while (w != 0) {
+        const int b = bits::lowestBit(w);
+        w &= w - 1;
+        fn(static_cast<NodeId>(wi * bits::kWordBits +
+                               static_cast<std::size_t>(b)));
+      }
+    }
+  }
+
+  /// Visits enabled moves in node-major, ascending-action order — the
+  /// exact order of Protocol::enabledMoves().
+  template <class Fn>
+  void forEachMove(Fn&& fn) const {
+    forEachNode([&](NodeId p) {
+      std::uint64_t mask = actionMask(p);
+      while (mask != 0) {
+        fn(Move{p, bits::lowestBit(mask)});
+        mask &= mask - 1;
+      }
+    });
+  }
+
+  /// Materializes the legacy node-major move vector (shim/debug path).
+  void appendMoves(std::vector<Move>& out) const {
+    forEachMove([&out](const Move& m) { out.push_back(m); });
+  }
+
+  /// Snapshots (node, mask) pairs for enabled nodes — the compact
+  /// expansion buffer the model checkers iterate while mutating the
+  /// protocol (at most one entry per enabled node instead of one Move
+  /// per enabled action).  Iterate a snapshot with the free
+  /// forEachMove(const NodeMasks&, fn) below.
+  void appendNodeMasks(
+      std::vector<std::pair<NodeId, std::uint64_t>>& out) const {
+    forEachNode([&](NodeId p) { out.emplace_back(p, actionMask(p)); });
+  }
+
+ private:
+  friend class EnabledCache;
+  EnabledView(int n, int actions, const std::uint64_t* masks,
+              const std::uint64_t* nodeWords, std::size_t words,
+              const std::int32_t* fen, int fenTop, int moveCount,
+              int nodeCount)
+      : n_(n),
+        actions_(actions),
+        masks_(masks),
+        nodeWords_(nodeWords),
+        words_(words),
+        fen_(fen),
+        fenTop_(fenTop),
+        moveCount_(moveCount),
+        nodeCount_(nodeCount) {}
+
+  [[nodiscard]] NodeId scanFrom(NodeId from) const {
+    const long hit =
+        bits::findFrom(nodeWords_, static_cast<std::size_t>(n_),
+                       static_cast<std::size_t>(from < 0 ? 0 : from));
+    return hit < 0 ? kNoNode : static_cast<NodeId>(hit);
+  }
+
+  int n_ = 0;
+  int actions_ = 0;
+  const std::uint64_t* masks_ = nullptr;      // per-node action masks
+  const std::uint64_t* nodeWords_ = nullptr;  // enabled-node bitset words
+  std::size_t words_ = 0;
+  const std::int32_t* fen_ = nullptr;  // Fenwick tree of per-node counts
+  int fenTop_ = 0;                     // largest power of two <= n
+  int moveCount_ = 0;
+  int nodeCount_ = 0;
+};
+
+/// A stable (node, action-mask) snapshot of an EnabledView, as produced
+/// by appendNodeMasks — the expansion buffer both model checkers copy
+/// before mutating the protocol invalidates the live view.
+using NodeMasks = std::vector<std::pair<NodeId, std::uint64_t>>;
+
+/// Visits a snapshot's moves in node-major, ascending-action order
+/// (the Protocol::enabledMoves() order).
+template <class Fn>
+void forEachMove(const NodeMasks& snapshot, Fn&& fn) {
+  for (const auto& [p, mask] : snapshot) {
+    std::uint64_t m = mask;
+    while (m != 0) {
+      fn(Move{p, bits::lowestBit(m)});
+      m &= m - 1;
+    }
+  }
+}
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_ENABLED_VIEW_HPP

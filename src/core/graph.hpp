@@ -60,6 +60,16 @@ class Graph {
                  static_cast<std::size_t>(port)];
   }
 
+  /// Flat index of p's port 0 in the CSR layout: (p, l) maps to slot
+  /// portBase(p) + l.  This is the indexing scheme shared by all SoA
+  /// per-port state columns (core/state_arena, Orientation::label).
+  [[nodiscard]] std::size_t portBase(NodeId p) const {
+    return offsets_[static_cast<std::size_t>(p)];
+  }
+
+  /// Total number of (node, port) slots, i.e. 2m.
+  [[nodiscard]] std::size_t portSlotCount() const { return nbrs_.size(); }
+
   /// The local port of p whose link leads to q; kNoPort if not adjacent.
   /// O(1): one hash lookup in the directed-edge port table.
   [[nodiscard]] Port portOf(NodeId p, NodeId q) const {

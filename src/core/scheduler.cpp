@@ -1,18 +1,41 @@
 #include "core/scheduler.hpp"
 
-#include <algorithm>
-
 #include "core/assert.hpp"
 
 namespace ssno {
 
 const std::vector<Move>& Simulator::stepOnce() {
-  const std::vector<Move>& enabled = cache_.refresh();
-  if (enabled.empty()) {
-    selected_.clear();
-    return selected_;
+  if (naiveScan_ || legacySelect_) {
+    const std::vector<Move>& enabled = cache_.refresh();
+    if (enabled.empty()) {
+      selected_.clear();
+      return selected_;
+    }
+    daemon_.legacySelect(enabled, rng_, selected_);
+  } else {
+    const EnabledView& enabled = cache_.refreshView();
+    if (enabled.empty()) {
+      selected_.clear();
+      return selected_;
+    }
+#ifndef NDEBUG
+    // Cross-check: the bitmask selection must be bit-identical (moves
+    // AND RNG consumption) to the legacy materialized-vector path, for
+    // every daemon.  Cloning daemon and RNG keeps the real step's state
+    // untouched.
+    std::vector<Move> materialized;
+    enabled.appendMoves(materialized);
+    const std::unique_ptr<Daemon> shadow = daemon_.clone();
+    Rng shadowRng = rng_;
+    std::vector<Move> shadowOut;
+    shadow->legacySelect(materialized, shadowRng, shadowOut);
+#endif
+    daemon_.selectInto(enabled, rng_, selected_);
+#ifndef NDEBUG
+    SSNO_ASSERT(shadowOut == selected_);
+    SSNO_ASSERT(shadowRng.engine() == rng_.engine());
+#endif
   }
-  daemon_.selectInto(enabled, rng_, selected_);
   SSNO_ASSERT(!selected_.empty());
   if (selected_.size() == 1) {
     protocol_.execute(selected_.front().node, selected_.front().action);
@@ -84,9 +107,18 @@ void Simulator::executeSimultaneously(const std::vector<Move>& moves) {
 
 void Simulator::accountRound(const std::vector<Move>& executed) {
   // Both the round-opening set and the neutralization test read the
-  // post-step enabled set; one cache refresh serves both (the naive
-  // implementation called Protocol::enabledMoves() twice here).
-  const std::vector<Move>& now = cache_.refresh();
+  // post-step enabled set; one cache refresh serves both, and the
+  // bitmask view answers both questions without materializing moves.
+  //
+  // Steady-state cost is O(#executed + #status-changes): instead of
+  // rescanning the whole pending set per step (O(n) when a round opens
+  // with Θ(n) enabled processors), neutralization consumes the cache's
+  // status-change feed — a pending processor not in the feed was
+  // enabled at the last check and still is.  A full cache rebuild
+  // (whole-configuration write, naive mode) falls back to the full
+  // pending-list compaction, which keeps the naive pipeline's round
+  // accounting bit-identical to the historical implementation.
+  const EnabledView& now = cache_.refreshView();
   if (pending_.size() != static_cast<std::size_t>(protocol_.graph().nodeCount()))
     pending_.assign(static_cast<std::size_t>(protocol_.graph().nodeCount()),
                     false);
@@ -94,40 +126,53 @@ void Simulator::accountRound(const std::vector<Move>& executed) {
     if (!pending_[static_cast<std::size_t>(p)]) {
       pending_[static_cast<std::size_t>(p)] = true;
       pendingList_.push_back(p);
+      ++pendingCount_;
     }
   };
+  auto serve = [this](NodeId p) {
+    if (pending_[static_cast<std::size_t>(p)]) {
+      pending_[static_cast<std::size_t>(p)] = false;
+      --pendingCount_;
+    }
+  };
+  const bool fullInvalidate = cache_.consumeFullInvalidate();
   if (!roundActive_) {
     // A round opens with the processors that executed or remain enabled
     // now (operational simplification of "continuously enabled since the
     // round began"; see the naive accountRound in the git history).
     for (const Move& m : executed) mark(m.node);
-    for (const Move& m : now) mark(m.node);
-    roundActive_ = !pendingList_.empty();
-  }
-  // Processors that executed have served the round.
-  for (const Move& m : executed)
-    pending_[static_cast<std::size_t>(m.node)] = false;
-  // Processors no longer enabled are neutralized.  `now` is node-major,
-  // so membership is a binary search — no n-sized scratch set.
-  auto enabledNow = [&now](NodeId p) {
-    const auto it = std::lower_bound(
-        now.begin(), now.end(), p,
-        [](const Move& m, NodeId v) { return m.node < v; });
-    return it != now.end() && it->node == p;
-  };
-  std::size_t write = 0;
-  for (const NodeId p : pendingList_) {
-    if (!pending_[static_cast<std::size_t>(p)]) continue;
-    if (!enabledNow(p)) {
-      pending_[static_cast<std::size_t>(p)] = false;
-      continue;
+    now.forEachNode(mark);
+    roundActive_ = pendingCount_ > 0;
+    // Processors that executed have served the round; everything else
+    // just marked is enabled now by construction, so no further
+    // neutralization applies on the opening step.
+    for (const Move& m : executed) serve(m.node);
+  } else {
+    for (const Move& m : executed) serve(m.node);
+    if (fullInvalidate) {
+      // Resynchronize: compact the pending list against the view.
+      std::size_t write = 0;
+      for (const NodeId p : pendingList_) {
+        if (!pending_[static_cast<std::size_t>(p)]) continue;
+        if (!now.anyEnabled(p)) {
+          serve(p);
+          continue;
+        }
+        pendingList_[write++] = p;
+      }
+      pendingList_.resize(write);
+    } else {
+      // Incremental: only status flips can neutralize a pending node.
+      for (const NodeId p : cache_.statusChanges())
+        if (pending_[static_cast<std::size_t>(p)] && !now.anyEnabled(p))
+          serve(p);
     }
-    pendingList_[write++] = p;
   }
-  pendingList_.resize(write);
-  if (roundActive_ && pendingList_.empty()) {
+  cache_.clearStatusChanges();
+  if (roundActive_ && pendingCount_ == 0) {
     ++roundsDone_;
     roundActive_ = false;
+    pendingList_.clear();  // flags are already clear (count hit zero)
   }
 }
 
@@ -135,6 +180,7 @@ void Simulator::resetRound() {
   for (const NodeId p : pendingList_)
     pending_[static_cast<std::size_t>(p)] = false;
   pendingList_.clear();
+  pendingCount_ = 0;
   roundActive_ = false;
   roundsDone_ = 0;
 }

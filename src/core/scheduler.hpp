@@ -15,12 +15,16 @@
 // against the configuration at the beginning of the step.
 //
 // Hot path: the simulator maintains the enabled-move set incrementally
-// (EnabledCache over the Protocol's dirty notifications) and reuses all
-// of its buffers, so steady-state stepping evaluates only the guards a
-// move could have changed and performs no heap allocations.  A Simulator
-// must be the only driver of its Protocol while in use; state writes from
-// outside a step (fault injection, restores in goal predicates) are
-// picked up through the dirtying API.
+// (EnabledCache over the Protocol's dirty notifications) and hands the
+// daemon the cache's bitmask EnabledView directly — no O(#enabled) move
+// vector is materialized per step, and all buffers are reused, so
+// steady-state stepping evaluates only the guards a move could have
+// changed and performs no heap allocations.  In debug builds every
+// selection is cross-checked for bit-identity against the legacy
+// materialized-vector path (cloned daemon + cloned RNG).  A Simulator
+// must be the only driver of its Protocol while in use; state writes
+// from outside a step (fault injection, restores in goal predicates)
+// are picked up through the dirtying API.
 #ifndef SSNO_CORE_SCHEDULER_HPP
 #define SSNO_CORE_SCHEDULER_HPP
 
@@ -50,7 +54,11 @@ class Simulator {
   using MoveObserver = std::function<void(const Move&)>;
 
   Simulator(Protocol& protocol, Daemon& daemon, Rng& rng)
-      : protocol_(protocol), daemon_(daemon), rng_(rng), cache_(protocol) {}
+      : protocol_(protocol), daemon_(daemon), rng_(rng), cache_(protocol) {
+    // Round accounting consumes the cache's status-change feed so
+    // neutralization is O(#changed) per step instead of O(#pending).
+    cache_.setTrackStatusChanges(true);
+  }
 
   /// Runs until `goal` holds (checked before every step), the protocol is
   /// terminal, or `maxMoves` moves have executed.
@@ -67,8 +75,17 @@ class Simulator {
   void setMoveObserver(MoveObserver obs) { observer_ = std::move(obs); }
 
   /// Forces a full naive enabled-set rescan every step instead of the
-  /// incremental cache (equivalence testing, before/after benchmarks).
-  void setNaiveEnabledScan(bool naive) { cache_.setForceNaive(naive); }
+  /// incremental cache, and selection over the materialized vector
+  /// (the pre-PR-2 behavior; equivalence testing, before/after benches).
+  void setNaiveEnabledScan(bool naive) {
+    cache_.setForceNaive(naive);
+    naiveScan_ = naive;
+  }
+
+  /// Keeps the incremental cache but feeds daemons the materialized
+  /// node-major move vector via Daemon::legacySelect — the PR-3-era
+  /// pipeline, the "before" side of the bitmask-selection benchmark.
+  void setLegacyVectorSelect(bool legacy) { legacySelect_ = legacy; }
 
  private:
   void executeSimultaneously(const std::vector<Move>& moves);
@@ -80,6 +97,8 @@ class Simulator {
   Rng& rng_;
   EnabledCache cache_;
   MoveObserver observer_;
+  bool naiveScan_ = false;     // naive rescans imply vector selection
+  bool legacySelect_ = false;  // vector selection on the incremental cache
 
   // Reused buffers (no allocations in steady state).
   std::vector<Move> selected_;
@@ -87,10 +106,14 @@ class Simulator {
   std::vector<std::vector<int>> postState_;
   std::vector<int> actingIndex_;             // node -> move index, or -1
 
-  // Round bookkeeping.  Invariant between calls: pendingList_ holds
-  // exactly the processors with pending_ set (none when !roundActive_).
+  // Round bookkeeping.  Invariant between calls: every processor with
+  // pending_ set appears in pendingList_ (the list may additionally
+  // hold already-served entries — it is only compacted on full cache
+  // invalidations and cleared at round end); pendingCount_ counts the
+  // set flags (zero when !roundActive_).
   std::vector<bool> pending_;         // processors owing a move this round
-  std::vector<NodeId> pendingList_;   // the same set, as a list
+  std::vector<NodeId> pendingList_;   // marked this round, in mark order
+  std::size_t pendingCount_ = 0;
   bool roundActive_ = false;
   StepCount roundsDone_ = 0;
 };

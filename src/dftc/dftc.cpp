@@ -7,14 +7,15 @@
 
 namespace ssno {
 
-Dftc::Dftc(Graph graph) : Protocol(std::move(graph)) {
+Dftc::Dftc(Graph graph)
+    : Protocol(std::move(graph)),
+      arena_(this->graph()),
+      s_(arena_.nodeColumn(kIdle)),
+      col_(arena_.nodeColumn(0)),
+      d_(arena_.nodeColumn(0)),
+      par_(arena_.nodeColumn(0)) {
   SSNO_EXPECTS(this->graph().nodeCount() >= 2);
   SSNO_EXPECTS(this->graph().isConnected());
-  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
-  s_.assign(n, kIdle);
-  col_.assign(n, 0);
-  d_.assign(n, 0);
-  par_.assign(n, 0);
 }
 
 std::string Dftc::actionName(int action) const {
@@ -39,7 +40,7 @@ std::string Dftc::actionName(int action) const {
 Port Dftc::firstUnvisitedPort(NodeId p) const {
   for (Port l = 0; l < graph().degree(p); ++l) {
     const NodeId q = graph().neighborAt(p, l);
-    if (col_[idx(q)] != col_[idx(p)] && s_[idx(q)] == kIdle) return l;
+    if (col_[q] != col_[p] && s_[q] == kIdle) return l;
   }
   return kNoPort;
 }
@@ -56,8 +57,8 @@ Port Dftc::firstOfferingParentPort(NodeId p) const {
   const int maxDepth = graph().nodeCount() - 1;
   for (Port l = 0; l < graph().degree(p); ++l) {
     const NodeId q = graph().neighborAt(p, l);
-    if (s_[idx(q)] != kIdle && target(q) == p &&
-        col_[idx(q)] != col_[idx(p)] && depth(q) < maxDepth)
+    if (s_[q] != kIdle && target(q) == p &&
+        col_[q] != col_[p] && depth(q) < maxDepth)
       return l;
   }
   return kNoPort;
@@ -65,11 +66,11 @@ Port Dftc::firstOfferingParentPort(NodeId p) const {
 
 bool Dftc::validParent(NodeId p) const {
   SSNO_EXPECTS(p != graph().root());
-  const Port pp = par_[idx(p)];
+  const Port pp = par_[p];
   if (pp < 0 || pp >= graph().degree(p)) return false;
   const NodeId w = graph().neighborAt(p, pp);
-  return s_[idx(w)] != kIdle && target(w) == p &&
-         depth(w) == depth(p) - 1 && col_[idx(w)] == col_[idx(p)];
+  return s_[w] != kIdle && target(w) == p &&
+         depth(w) == depth(p) - 1 && col_[w] == col_[p];
 }
 
 bool Dftc::enabled(NodeId p, int action) const {
@@ -77,40 +78,40 @@ bool Dftc::enabled(NodeId p, int action) const {
   switch (action) {
     case kStart: {
       // Round over: idle root, every neighbor already carries our color.
-      if (!isRoot || s_[idx(p)] != kIdle) return false;
+      if (!isRoot || s_[p] != kIdle) return false;
       for (NodeId q : graph().neighbors(p))
-        if (col_[idx(q)] != col_[idx(p)]) return false;
+        if (col_[q] != col_[p]) return false;
       return true;
     }
     case kResume: {
       // Error escape: idle root facing an unvisited-looking neighbor
       // while its own Start guard is blocked by mixed colors.
-      if (!isRoot || s_[idx(p)] != kIdle) return false;
+      if (!isRoot || s_[p] != kIdle) return false;
       if (enabled(p, kStart)) return false;
       return firstUnvisitedPort(p) != kNoPort;
     }
     case kForward: {
-      if (isRoot || s_[idx(p)] != kIdle) return false;
+      if (isRoot || s_[p] != kIdle) return false;
       return firstOfferingParentPort(p) != kNoPort;
     }
     case kAdvance: {
-      if (s_[idx(p)] == kIdle) return false;
+      if (s_[p] == kIdle) return false;
       if (!isRoot && !validParent(p)) return false;
       const NodeId x = target(p);
-      return s_[idx(x)] == kIdle && col_[idx(x)] == col_[idx(p)];
+      return s_[x] == kIdle && col_[x] == col_[p];
     }
     case kStaleChild: {
       // p waits on a pointer-holding target that never adopted p (or on
       // the root, which adopts nobody): the wait would never resolve.
-      if (s_[idx(p)] == kIdle) return false;
+      if (s_[p] == kIdle) return false;
       if (!isRoot && !validParent(p)) return false;
       const NodeId x = target(p);
-      if (s_[idx(x)] == kIdle) return false;
+      if (s_[x] == kIdle) return false;
       if (x == graph().root()) return true;
-      return graph().neighborAt(x, par_[idx(x)]) != p;
+      return graph().neighborAt(x, par_[x]) != p;
     }
     case kError: {
-      if (isRoot || s_[idx(p)] == kIdle) return false;
+      if (isRoot || s_[p] == kIdle) return false;
       return !validParent(p);
     }
     default:
@@ -122,35 +123,35 @@ void Dftc::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   switch (action) {
     case kStart: {
-      col_[idx(p)] ^= 1;
+      col_[p] ^= 1;
       // All neighbors are now differently colored; in a corrupt state
       // they might all hold pointers, in which case the root stays idle
       // until they unravel (the color flip still made progress).
       const Port l = firstUnvisitedPort(p);
-      s_[idx(p)] = l == kNoPort ? kIdle : l;
+      s_[p] = l == kNoPort ? kIdle : l;
       if (hooks_.onRoundStart) hooks_.onRoundStart(p);
       break;
     }
     case kResume: {
-      s_[idx(p)] = firstUnvisitedPort(p);
+      s_[p] = firstUnvisitedPort(p);
       break;
     }
     case kForward: {
       const Port fromPort = firstOfferingParentPort(p);
       const NodeId parent = graph().neighborAt(p, fromPort);
-      par_[idx(p)] = fromPort;
-      col_[idx(p)] = col_[idx(parent)];
+      par_[p] = fromPort;
+      col_[p] = col_[parent];
       const int cap = graph().nodeCount() - 1;
-      d_[idx(p)] = std::min(depth(parent) + 1, cap);
+      d_[p] = std::min(depth(parent) + 1, cap);
       const Port next = firstUnvisitedPort(p);
-      s_[idx(p)] = next == kNoPort ? kIdle : next;
+      s_[p] = next == kNoPort ? kIdle : next;
       if (hooks_.onForward) hooks_.onForward(p, parent);
       break;
     }
     case kAdvance: {
       const NodeId finishedChild = target(p);
       const Port next = firstUnvisitedPort(p);
-      s_[idx(p)] = next == kNoPort ? kIdle : next;
+      s_[p] = next == kNoPort ? kIdle : next;
       if (hooks_.onBacktrack) hooks_.onBacktrack(p, finishedChild);
       break;
     }
@@ -158,11 +159,11 @@ void Dftc::doExecute(NodeId p, int action) {
       // Advance past the stale target; firstUnvisitedPort skips pointer-
       // holding neighbors, so the same target cannot be re-selected.
       const Port next = firstUnvisitedPort(p);
-      s_[idx(p)] = next == kNoPort ? kIdle : next;
+      s_[p] = next == kNoPort ? kIdle : next;
       break;
     }
     case kError: {
-      s_[idx(p)] = kIdle;
+      s_[p] = kIdle;
       break;
     }
     default:
@@ -179,26 +180,23 @@ bool Dftc::holdsToken(NodeId p) const {
 void Dftc::doRandomizeNode(NodeId p, Rng& rng) {
   // Variable-wise draws (localStateCount may exceed int range on large
   // high-degree graphs).
-  s_[idx(p)] = rng.below(graph().degree(p) + 1) - 1;
-  col_[idx(p)] = rng.below(2);
+  s_[p] = rng.below(graph().degree(p) + 1) - 1;
+  col_[p] = rng.below(2);
   if (p == graph().root()) return;
-  d_[idx(p)] = rng.below(graph().nodeCount());
-  par_[idx(p)] = rng.below(graph().degree(p));
+  d_[p] = rng.below(graph().nodeCount());
+  par_[p] = rng.below(graph().degree(p));
 }
 
-std::vector<int> Dftc::rawNode(NodeId p) const {
-  return {s_[idx(p)], col_[idx(p)], d_[idx(p)], par_[idx(p)]};
-}
+std::vector<int> Dftc::rawNode(NodeId p) const { return arena_.rawNode(p); }
 
 void Dftc::doSetRawNode(NodeId p, const std::vector<int>& values) {
-  SSNO_EXPECTS(values.size() == 4);
-  s_[idx(p)] = values[0];
-  col_[idx(p)] = values[1];
+  arena_.setRawNode(p, values);
   // The root's depth/parent are semantically fixed; keep the stored
   // representation canonical so raw-configuration identity is exact.
-  const bool isRoot = (p == graph().root());
-  d_[idx(p)] = isRoot ? 0 : values[2];
-  par_[idx(p)] = isRoot ? 0 : values[3];
+  if (p == graph().root()) {
+    d_[p] = 0;
+    par_[p] = 0;
+  }
 }
 
 std::uint64_t Dftc::localStateCount(NodeId p) const {
@@ -210,53 +208,51 @@ std::uint64_t Dftc::localStateCount(NodeId p) const {
 
 std::uint64_t Dftc::encodeNode(NodeId p) const {
   const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
-  const std::uint64_t sCode = static_cast<std::uint64_t>(s_[idx(p)] + 1);
-  const std::uint64_t colCode = static_cast<std::uint64_t>(col_[idx(p)]);
+  const std::uint64_t sCode = static_cast<std::uint64_t>(s_[p] + 1);
+  const std::uint64_t colCode = static_cast<std::uint64_t>(col_[p]);
   if (p == graph().root()) return sCode + (deg + 1) * colCode;
   const std::uint64_t n = static_cast<std::uint64_t>(graph().nodeCount());
-  const std::uint64_t dCode = static_cast<std::uint64_t>(d_[idx(p)]);
-  const std::uint64_t parCode = static_cast<std::uint64_t>(par_[idx(p)]);
+  const std::uint64_t dCode = static_cast<std::uint64_t>(d_[p]);
+  const std::uint64_t parCode = static_cast<std::uint64_t>(par_[p]);
   return sCode + (deg + 1) * (colCode + 2 * (dCode + n * parCode));
 }
 
 void Dftc::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
-  s_[idx(p)] = static_cast<int>(code % (deg + 1)) - 1;
+  s_[p] = static_cast<int>(code % (deg + 1)) - 1;
   code /= (deg + 1);
-  col_[idx(p)] = static_cast<int>(code % 2);
+  col_[p] = static_cast<int>(code % 2);
   code /= 2;
   if (p == graph().root()) {
-    d_[idx(p)] = 0;
-    par_[idx(p)] = 0;
+    d_[p] = 0;
+    par_[p] = 0;
     return;
   }
   const std::uint64_t n = static_cast<std::uint64_t>(graph().nodeCount());
-  d_[idx(p)] = static_cast<int>(code % n);
+  d_[p] = static_cast<int>(code % n);
   code /= n;
-  par_[idx(p)] = static_cast<int>(code);
+  par_[p] = static_cast<int>(code);
 }
 
 std::string Dftc::dumpNode(NodeId p) const {
   std::ostringstream out;
   out << "S=";
-  if (s_[idx(p)] == kIdle)
+  if (s_[p] == kIdle)
     out << 'C';
   else
     out << "->" << target(p);
-  out << " col=" << col_[idx(p)];
+  out << " col=" << col_[p];
   if (p != graph().root())
-    out << " d=" << d_[idx(p)] << " par=" << graph().neighborAt(p, par_[idx(p)]);
+    out << " d=" << d_[p] << " par=" << graph().neighborAt(p, par_[p]);
   return out.str();
 }
 
 void Dftc::resetClean() {
-  for (NodeId p = 0; p < graph().nodeCount(); ++p) {
-    s_[idx(p)] = kIdle;
-    col_[idx(p)] = 0;
-    d_[idx(p)] = 0;
-    par_[idx(p)] = 0;
-  }
+  s_.fill(kIdle);
+  col_.fill(0);
+  d_.fill(0);
+  par_.fill(0);
   dirtyAll();
 }
 

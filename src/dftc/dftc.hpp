@@ -87,6 +87,7 @@
 
 #include "core/graph.hpp"
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "core/types.hpp"
 
 namespace ssno {
@@ -141,15 +142,15 @@ class Dftc final : public Protocol {
   void resetClean();
 
   /// Raw variable access (used by tests and by DFTNO's parent queries).
-  [[nodiscard]] bool isIdle(NodeId p) const { return s_[idx(p)] == kIdle; }
+  [[nodiscard]] bool isIdle(NodeId p) const { return s_[p] == kIdle; }
   [[nodiscard]] Port pointer(NodeId p) const {
-    return s_[idx(p)] == kIdle ? kNoPort : s_[idx(p)];
+    return s_[p] == kIdle ? kNoPort : s_[p];
   }
-  [[nodiscard]] int color(NodeId p) const { return col_[idx(p)]; }
+  [[nodiscard]] int color(NodeId p) const { return col_[p]; }
   [[nodiscard]] int depth(NodeId p) const {
-    return p == graph().root() ? 0 : d_[idx(p)];
+    return p == graph().root() ? 0 : d_[p];
   }
-  [[nodiscard]] Port parentPort(NodeId p) const { return par_[idx(p)]; }
+  [[nodiscard]] Port parentPort(NodeId p) const { return par_[p]; }
 
   /// Number of variable bits per processor (space-complexity reporting):
   /// S: log(Δp+1), col: 1, d: log N, par: log Δp  (non-root).
@@ -165,11 +166,8 @@ class Dftc final : public Protocol {
  private:
   static constexpr int kIdle = -1;
 
-  [[nodiscard]] static std::size_t idx(NodeId p) {
-    return static_cast<std::size_t>(p);
-  }
   [[nodiscard]] NodeId target(NodeId p) const {
-    return graph().neighborAt(p, s_[idx(p)]);
+    return graph().neighborAt(p, s_[p]);
   }
   /// First port of p whose neighbor looks unvisited: differently colored
   /// AND idle (a pointer-holding neighbor is skipped so that corrective
@@ -182,10 +180,12 @@ class Dftc final : public Protocol {
 
   void buildOrbitIfNeeded();
 
-  std::vector<int> s_;     // kIdle or port
-  std::vector<int> col_;   // 0/1
-  std::vector<int> d_;     // 0..N-1 (root entry unused, kept 0)
-  std::vector<int> par_;   // port (root entry unused, kept 0)
+  // SoA state columns (registration order == raw layout {s, col, d, par}).
+  StateArena arena_;
+  NodeColumn s_;     // kIdle or port
+  NodeColumn col_;   // 0/1
+  NodeColumn d_;     // 0..N-1 (root entry unused, kept 0)
+  NodeColumn par_;   // port (root entry unused, kept 0)
   TokenHooks hooks_;
   // Exact raw configurations of the legitimate orbit (computed once).
   std::optional<std::set<std::vector<int>>> orbit_;

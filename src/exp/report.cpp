@@ -62,6 +62,9 @@ void writeScenarioJson(std::ostream& out, const ScenarioResult& r,
   out << indent << "  \"edges\": " << r.edgeCount << ",\n";
   out << indent << "  \"seed\": " << s.seed << ",\n";
   out << indent << "  \"budget\": " << s.budget << ",\n";
+  out << indent << "  \"cores\": " << r.cores << ",\n";
+  if (s.protocol == ProtocolKind::kModelCheck)
+    out << indent << "  \"mc_threads\": " << s.mcThreads << ",\n";
   if (s.faultRate > 0)
     out << indent << "  \"fault_rate\": " << num(s.faultRate) << ",\n";
   if (usesFaultK(s.protocol))

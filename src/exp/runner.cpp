@@ -347,19 +347,32 @@ TrialResult routingTrial(const Graph& g, const Scenario&, std::uint64_t) {
   return r;
 }
 
-/// Simulator throughput on DFTNO, with the incremental enabled cache vs
-/// a forced naive full rescan — the "before" of the cache optimization.
-/// Both runs execute exactly s.budget moves from the same scrambled
-/// start, so the measured work is identical move for move.
+/// Simulator throughput on DFTNO, three pipelines on identical work:
+///   * bitmask      — incremental cache + EnabledView daemon selection
+///                    (the default path; reported as
+///                    incremental_moves_per_sec for baseline continuity),
+///   * legacy-vector — incremental cache, but the O(#enabled) node-major
+///                    move vector is materialized per step and handed to
+///                    Daemon::legacySelect (the PR-3-era pipeline),
+///   * naive        — full guard rescan per step (the pre-PR-2 baseline;
+///                    skipped at n > kNaiveNodeCap, where a single
+///                    trial would take minutes).
+/// All runs execute exactly s.budget moves from the same scrambled
+/// start, so the measured work is identical move for move; in Debug
+/// builds the bitmask run cross-checks every selection against the
+/// legacy path.
 TrialResult schedulerTrial(const Graph& g, const Scenario& s,
                            std::uint64_t seed) {
-  auto movesPerSec = [&](bool naive) {
+  constexpr int kNaiveNodeCap = 20'000;
+  enum class Mode { kBitmask, kLegacyVector, kNaive };
+  auto movesPerSec = [&](Mode mode) {
     Dftno dftno(g);
     Rng rng(seed);
     dftno.randomize(rng);
     auto daemon = makeDaemon(s.daemon);
     Simulator sim(dftno, *daemon, rng);
-    sim.setNaiveEnabledScan(naive);
+    if (mode == Mode::kNaive) sim.setNaiveEnabledScan(true);
+    if (mode == Mode::kLegacyVector) sim.setLegacyVectorSelect(true);
     const auto start = std::chrono::steady_clock::now();
     const RunStats stats = sim.runToQuiescence(s.budget);
     const double secs =
@@ -367,12 +380,17 @@ TrialResult schedulerTrial(const Graph& g, const Scenario& s,
             .count();
     return static_cast<double>(stats.moves) / std::max(secs, 1e-9);
   };
-  const double naive = movesPerSec(true);
-  const double incremental = movesPerSec(false);
   TrialResult r;
-  r.metrics = {{"naive_moves_per_sec", naive},
-               {"incremental_moves_per_sec", incremental},
-               {"speedup", incremental / std::max(naive, 1e-9)}};
+  const double legacyVector = movesPerSec(Mode::kLegacyVector);
+  const double bitmask = movesPerSec(Mode::kBitmask);
+  r.metrics = {{"incremental_moves_per_sec", bitmask},
+               {"legacy_vector_moves_per_sec", legacyVector},
+               {"bitmask_speedup", bitmask / std::max(legacyVector, 1e-9)}};
+  if (g.nodeCount() <= kNaiveNodeCap) {
+    const double naive = movesPerSec(Mode::kNaive);
+    r.metrics.emplace_back("naive_moves_per_sec", naive);
+    r.metrics.emplace_back("speedup", bitmask / std::max(naive, 1e-9));
+  }
   return r;
 }
 
@@ -560,6 +578,10 @@ ScenarioResult aggregate(const Scenario& s, const Graph& g,
   res.nodeCount = g.nodeCount();
   res.edgeCount = g.edgeCount();
   res.trials = s.trials;
+  // Hardware provenance: reports carry the detected core count so a
+  // consumer can tell core-count-dependent metrics (model-check
+  // speedups) recorded on a single-core runner from real ones.
+  res.cores = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   std::map<std::string, std::vector<double>> samples;
   for (const TrialResult& trial : slots) {
     if (!trial.converged) {

@@ -105,6 +105,10 @@ struct ScenarioResult {
   int edgeCount = 0;
   int trials = 0;
   int failedTrials = 0;  ///< budget exhausted before convergence
+  /// Detected hardware cores on the machine that ran the scenario
+  /// (recorded in reports; 1 flags core-count-dependent metrics as
+  /// uninformative, e.g. model-check thread-scaling speedups).
+  int cores = 0;
   /// Per-metric summaries over the converged trials only.
   std::map<std::string, Summary> metrics;
 

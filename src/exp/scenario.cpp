@@ -212,6 +212,19 @@ std::vector<Scenario> schedulerPreset() {
     s.budget = 20'000;
     out.push_back(s);
   }
+  {
+    // Large-n row: at ring:100000 a randomized DFTNO start keeps
+    // Θ(n) processors enabled for the whole run, so materializing the
+    // node-major move vector per step is Θ(n) work per move — the cost
+    // the bitmask EnabledView pipeline removes.  The naive full-rescan
+    // mode is skipped above schedulerTrial's node cap (a single trial
+    // would take minutes); the gated ratio for this row is
+    // bitmask_speedup (bitmask vs legacy-vector, hardware-independent).
+    Scenario s = triple(ProtocolKind::kScheduler, DaemonKind::kRoundRobin,
+                        "ring:100000", 3, kSeed);
+    s.budget = 4'000;
+    out.push_back(s);
+  }
   out.push_back(
       modelCheckScenario(McTarget::kDftcFault, "ring:10", 3, 8'000'000));
   return out;

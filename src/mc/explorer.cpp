@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "core/assert.hpp"
+#include "core/bitwords.hpp"
 #include "core/enabled_cache.hpp"
 #include "mc/properties.hpp"
 #include "mc/spill.hpp"
@@ -75,7 +76,10 @@ struct Worker {
   std::function<bool()> legitNow;  // legit_ bound to this protocol
   std::vector<std::uint64_t> cur;  // decoded key (valid iff curValid)
   bool curValid = false;
-  std::vector<Move> moves;              // stable copy of a refresh
+  /// Stable (node, action-mask) snapshot of a refresh — one entry per
+  /// enabled node; no per-move vector is materialized on the hot path
+  /// (iterated with ssno::forEachMove).
+  NodeMasks enabled;
   std::vector<std::uint64_t> childKey;  // successor scratch
   std::vector<std::uint64_t> nextBuf;   // local next-frontier batch
 };
@@ -162,16 +166,18 @@ class Run {
   void expand(Worker& w, std::uint64_t id, std::uint32_t depth) {
     const std::uint64_t* key = store_->keyOf(id);
     decodeTo(w, key);
-    const std::vector<Move>& fresh = w.cache->refresh();
-    w.moves.assign(fresh.begin(), fresh.end());
-    transitions_.fetch_add(w.moves.size(), std::memory_order_relaxed);
+    const EnabledView& view = w.cache->refreshView();
+    w.enabled.clear();
+    view.appendNodeMasks(w.enabled);
+    transitions_.fetch_add(static_cast<std::uint64_t>(view.moveCount()),
+                           std::memory_order_relaxed);
     const bool parentLegit = store_->legit(id);
-    if (w.moves.empty() && !parentLegit) {
+    if (w.enabled.empty() && !parentLegit) {
       offer({kDeadlock,
              std::vector<std::uint64_t>(key, key + codec_->words()), 0});
       return;
     }
-    for (const Move& m : w.moves) {
+    forEachMove(w.enabled, [&](const Move& m) {
       w.protocol->execute(m.node, m.action);
       std::memcpy(w.childKey.data(), w.cur.data(),
                   static_cast<std::size_t>(codec_->words()) * 8);
@@ -188,7 +194,7 @@ class Run {
       // A statement writes only its own processor's variables, so
       // restoring the acted node alone returns the protocol to `key`.
       w.protocol->decodeNode(m.node, codec_->nodeCode(key, m.node));
-    }
+    });
   }
 
   /// Runs BFS levels until the frontier dries up, a violation level
@@ -327,8 +333,12 @@ class Run {
 
     TransitionGraph g;
     g.adj.resize(illegit.size());
-    g.enabledMask.assign(illegit.size(), 0);
     const bool useMasks = opt_.fairness != Fairness::kNone;
+    const std::size_t pairBits =
+        static_cast<std::size_t>(
+            workers_[0].protocol->graph().nodeCount()) *
+        static_cast<std::size_t>(actions_);
+    g.initMasks(illegit.size(), useMasks ? pairBits : 1);
     std::atomic<std::size_t> cursor{0};
     runWorkers(threads_, [&](int t) {
       Worker& w = worker(t);
@@ -338,13 +348,13 @@ class Run {
         for (std::size_t i = base; i < end; ++i) {
           const std::uint64_t* key = store_->keyOf(illegit[i]);
           decodeTo(w, key);
-          const std::vector<Move>& fresh = w.cache->refresh();
-          w.moves.assign(fresh.begin(), fresh.end());
-          std::uint64_t mask = 0;
-          for (const Move& m : w.moves) {
+          w.enabled.clear();
+          w.cache->refreshView().appendNodeMasks(w.enabled);
+          forEachMove(w.enabled, [&](const Move& m) {
             const auto pair =
                 static_cast<std::uint32_t>(m.node * actions_ + m.action);
-            if (useMasks) mask |= (1ULL << pair);
+            if (useMasks)
+              bits::maskSet(g.maskOf(i), static_cast<std::size_t>(pair));
             w.protocol->execute(m.node, m.action);
             std::memcpy(w.childKey.data(), w.cur.data(),
                         static_cast<std::size_t>(codec_->words()) * 8);
@@ -359,8 +369,7 @@ class Run {
             if (ci >= 0)
               g.adj[i].push_back({ci, static_cast<int>(pair)});
             w.protocol->decodeNode(m.node, codec_->nodeCode(key, m.node));
-          }
-          g.enabledMask[i] = mask;
+          });
         }
       }
     });
@@ -429,11 +438,6 @@ Result ParallelChecker::checkFullSpace(const Options& opt) {
       res.failure = "state space too large for exhaustive check";
       return res;
     }
-    if (opt.fairness != Fairness::kNone &&
-        probe->graph().nodeCount() * probe->actionCount() > 64) {
-      res.failure = "fairness-aware check limited to 64 (node, action) pairs";
-      return res;
-    }
     total = probeCodec.totalStates();
   }
 
@@ -467,15 +471,6 @@ Result ParallelChecker::checkReachable(
     const Options& opt) {
   const auto start = std::chrono::steady_clock::now();
   Result res;
-  {
-    const std::unique_ptr<Protocol> probe = factory_();
-    if (opt.fairness != Fairness::kNone &&
-        probe->graph().nodeCount() * probe->actionCount() > 64) {
-      res.failure = "fairness-aware check limited to 64 (node, action) pairs";
-      return res;
-    }
-  }
-
   Run run(factory_, legit_, opt, opt.maxStates);
   std::atomic<std::size_t> cursor{0};
   runWorkers(run.threads(), [&](int t) {

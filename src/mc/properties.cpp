@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/bitwords.hpp"
+
 namespace ssno::mc {
 
 std::string describeConfiguration(const Protocol& p) {
@@ -10,6 +12,12 @@ std::string describeConfiguration(const Protocol& p) {
   for (NodeId q = 0; q < p.graph().nodeCount(); ++q)
     out << "  node " << q << ": " << p.dumpNode(q) << '\n';
   return out.str();
+}
+
+void TransitionGraph::initMasks(std::size_t states, std::size_t pairBits) {
+  maskWords = static_cast<int>(std::max<std::size_t>(
+      1, bits::wordsFor(pairBits)));
+  enabledMask.assign(states * static_cast<std::size_t>(maskWords), 0);
 }
 
 int findFairCycle(const TransitionGraph& g, Fairness fairness) {
@@ -75,47 +83,49 @@ int findFairCycle(const TransitionGraph& g, Fairness fairness) {
     }
   }
 
-  // Per-SCC aggregates.
-  std::vector<std::uint64_t> enabledAll(static_cast<std::size_t>(sccCount),
-                                        ~0ULL);
-  std::vector<std::uint64_t> enabledAny(static_cast<std::size_t>(sccCount), 0);
-  std::vector<std::uint64_t> actsInside(static_cast<std::size_t>(sccCount), 0);
-  std::vector<bool> hasInternalEdge(static_cast<std::size_t>(sccCount), false);
-  std::vector<int> representative(static_cast<std::size_t>(sccCount), -1);
+  // Per-SCC aggregates, as flat multi-word mask arenas (one slab per
+  // aggregate; no per-SCC allocations even when pair counts are large).
   const bool useMasks = fairness != Fairness::kNone;
+  const auto words =
+      static_cast<std::size_t>(useMasks ? g.maskWords : 1);
+  const std::size_t scc = static_cast<std::size_t>(sccCount);
+  std::vector<std::uint64_t> enabledAll(scc * words, ~0ULL);
+  std::vector<std::uint64_t> enabledAny(scc * words, 0);
+  std::vector<std::uint64_t> actsInside(scc * words, 0);
+  std::vector<bool> hasInternalEdge(scc, false);
+  std::vector<int> representative(scc, -1);
   for (int v = 0; v < n; ++v) {
-    const int s = sccOf[static_cast<std::size_t>(v)];
+    const auto s = static_cast<std::size_t>(sccOf[static_cast<std::size_t>(v)]);
     if (useMasks) {
-      enabledAll[static_cast<std::size_t>(s)] &=
-          g.enabledMask[static_cast<std::size_t>(v)];
-      enabledAny[static_cast<std::size_t>(s)] |=
-          g.enabledMask[static_cast<std::size_t>(v)];
+      bits::maskAndInto(enabledAll.data() + s * words,
+                        g.maskOf(static_cast<std::size_t>(v)), words);
+      bits::maskOrInto(enabledAny.data() + s * words,
+                       g.maskOf(static_cast<std::size_t>(v)), words);
     }
-    representative[static_cast<std::size_t>(s)] = v;
+    representative[s] = v;
     for (const auto& e : g.adj[static_cast<std::size_t>(v)]) {
-      if (sccOf[static_cast<std::size_t>(e.to)] == s) {
-        hasInternalEdge[static_cast<std::size_t>(s)] = true;
-        // Actor-pair bits only exist (and fit 64 bits) in fair modes.
+      if (static_cast<std::size_t>(sccOf[static_cast<std::size_t>(e.to)]) ==
+          s) {
+        hasInternalEdge[s] = true;
         if (useMasks)
-          actsInside[static_cast<std::size_t>(s)] |= (1ULL << e.actorPair);
+          bits::maskSet(actsInside.data() + s * words,
+                        static_cast<std::size_t>(e.actorPair));
       }
     }
   }
 
-  for (int s = 0; s < sccCount; ++s) {
-    if (!hasInternalEdge[static_cast<std::size_t>(s)]) continue;
-    if (fairness == Fairness::kNone)
-      return representative[static_cast<std::size_t>(s)];
+  for (std::size_t s = 0; s < scc; ++s) {
+    if (!hasInternalEdge[s]) continue;
+    if (fairness == Fairness::kNone) return representative[s];
     // The SCC hosts a fair infinite execution iff no action that the
     // fairness notion protects is starved inside it.  (enabledAll is an
     // AND over configuration masks, so stray high bits vanish.)
-    const std::uint64_t protectedPairs =
-        fairness == Fairness::kStronglyFair
-            ? enabledAny[static_cast<std::size_t>(s)]
-            : enabledAll[static_cast<std::size_t>(s)];
-    const std::uint64_t starved =
-        protectedPairs & ~actsInside[static_cast<std::size_t>(s)];
-    if (starved == 0) return representative[static_cast<std::size_t>(s)];
+    const std::uint64_t* protectedPairs =
+        fairness == Fairness::kStronglyFair ? enabledAny.data() + s * words
+                                            : enabledAll.data() + s * words;
+    if (bits::maskSubsetOf(protectedPairs, actsInside.data() + s * words,
+                           words))
+      return representative[s];
   }
   return -1;
 }

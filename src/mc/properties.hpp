@@ -43,8 +43,26 @@ struct TransitionGraph {
     int to;
     int actorPair;  // node * actionCount + action
   };
-  std::vector<std::vector<Edge>> adj;      // per illegitimate state
-  std::vector<std::uint64_t> enabledMask;  // per state; unused for kNone
+  std::vector<std::vector<Edge>> adj;  // per illegitimate state
+
+  /// Per-state enabled-(node, action)-pair masks, multi-word: state i's
+  /// mask occupies words [i*maskWords, (i+1)*maskWords) of enabledMask
+  /// (see core/bitwords.hpp mask-arena helpers).  A single uint64_t used
+  /// to cap fairness-aware checks at node·actions <= 64 pairs; the flat
+  /// multi-word arena lifts that, so e.g. dftc on ring:12 (72 pairs) is
+  /// checkable.  Unused for Fairness::kNone.
+  int maskWords = 1;
+  std::vector<std::uint64_t> enabledMask;
+
+  /// Sizes the mask arena for `states` states of `pairBits` pairs each.
+  void initMasks(std::size_t states, std::size_t pairBits);
+  /// Pointer to state i's mask words (mutable for the builder).
+  [[nodiscard]] std::uint64_t* maskOf(std::size_t i) {
+    return enabledMask.data() + i * static_cast<std::size_t>(maskWords);
+  }
+  [[nodiscard]] const std::uint64_t* maskOf(std::size_t i) const {
+    return enabledMask.data() + i * static_cast<std::size_t>(maskWords);
+  }
 };
 
 [[nodiscard]] int findFairCycle(const TransitionGraph& g, Fairness fairness);

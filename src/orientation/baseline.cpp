@@ -8,7 +8,12 @@
 namespace ssno {
 
 InitBasedOrientation::InitBasedOrientation(Graph graph)
-    : Protocol(std::move(graph)) {
+    : Protocol(std::move(graph)),
+      arena_(this->graph()),
+      done_(arena_.nodeColumn(0)),
+      numbered_(arena_.nodeColumn(0)),
+      eta_(arena_.nodeColumn(0)),
+      pi_(arena_.portColumn(0)) {
   preorder_ = portOrderDfsPreorder(this->graph());
   const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
   successor_.assign(n, kNoNode);
@@ -19,12 +24,6 @@ InitBasedOrientation::InitBasedOrientation(Graph graph)
     const std::size_t next = static_cast<std::size_t>(preorder_[idx(p)]) + 1;
     if (next < n) successor_[idx(p)] = byIndex[next];
   }
-  done_.assign(n, 0);
-  numbered_.assign(n, 0);
-  eta_.assign(n, 0);
-  pi_.resize(n);
-  for (NodeId p = 0; p < this->graph().nodeCount(); ++p)
-    pi_[idx(p)].assign(static_cast<std::size_t>(this->graph().degree(p)), 0);
 }
 
 std::string InitBasedOrientation::actionName(int action) const {
@@ -36,43 +35,43 @@ bool InitBasedOrientation::enabled(NodeId p, int action) const {
   // preorder (the wave order is fixed by the topology), then label once
   // all neighbors are numbered.  A `done` processor NEVER acts again —
   // that is the whole point of this baseline.
-  if (done_[idx(p)]) return false;
+  if (done_[p]) return false;
   if (action == kNumber) {
-    if (numbered_[idx(p)]) return false;
+    if (numbered_[p]) return false;
     if (p == graph().root()) return true;
     // Wave: my preorder predecessor is already numbered.
     for (NodeId q = 0; q < graph().nodeCount(); ++q)
       if (preorder_[static_cast<std::size_t>(q)] ==
           preorder_[static_cast<std::size_t>(p)] - 1)
-        return numbered_[idx(q)] != 0;
+        return numbered_[q] != 0;
     return false;
   }
-  if (!numbered_[idx(p)]) return false;
+  if (!numbered_[p]) return false;
   for (NodeId q : graph().neighbors(p))
-    if (!numbered_[idx(q)]) return false;
+    if (!numbered_[q]) return false;
   return true;
 }
 
 void InitBasedOrientation::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   if (action == kNumber) {
-    eta_[idx(p)] = preorder_[static_cast<std::size_t>(p)];
-    numbered_[idx(p)] = 1;
+    eta_[p] = preorder_[static_cast<std::size_t>(p)];
+    numbered_[p] = 1;
     return;
   }
   for (Port l = 0; l < graph().degree(p); ++l) {
     const NodeId q = graph().neighborAt(p, l);
-    pi_[idx(p)][static_cast<std::size_t>(l)] =
-        chordalDistance(eta_[idx(p)], eta_[idx(q)], modulus());
+    pi_.at(p, l) =
+        chordalDistance(eta_[p], eta_[q], modulus());
   }
-  done_[idx(p)] = 1;
+  done_[p] = 1;
 }
 
 void InitBasedOrientation::doRandomizeNode(NodeId p, Rng& rng) {
-  done_[idx(p)] = rng.below(2);
-  numbered_[idx(p)] = rng.below(2);
-  eta_[idx(p)] = rng.below(modulus());
-  for (auto& v : pi_[idx(p)]) v = rng.below(modulus());
+  done_[p] = rng.below(2);
+  numbered_[p] = rng.below(2);
+  eta_[p] = rng.below(modulus());
+  for (auto& v : pi_.row(p)) v = rng.below(modulus());
 }
 
 std::uint64_t InitBasedOrientation::localStateCount(NodeId p) const {
@@ -84,10 +83,10 @@ std::uint64_t InitBasedOrientation::localStateCount(NodeId p) const {
 
 std::uint64_t InitBasedOrientation::encodeNode(NodeId p) const {
   const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
-  std::uint64_t code = static_cast<std::uint64_t>(done_[idx(p)]);
-  code = code * 2 + static_cast<std::uint64_t>(numbered_[idx(p)]);
-  code = code * nn + static_cast<std::uint64_t>(eta_[idx(p)]);
-  for (int v : pi_[idx(p)]) code = code * nn + static_cast<std::uint64_t>(v);
+  std::uint64_t code = static_cast<std::uint64_t>(done_[p]);
+  code = code * 2 + static_cast<std::uint64_t>(numbered_[p]);
+  code = code * nn + static_cast<std::uint64_t>(eta_[p]);
+  for (int v : pi_.row(p)) code = code * nn + static_cast<std::uint64_t>(v);
   return code;
 }
 
@@ -95,38 +94,29 @@ void InitBasedOrientation::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
   for (Port l = graph().degree(p) - 1; l >= 0; --l) {
-    pi_[idx(p)][static_cast<std::size_t>(l)] = static_cast<int>(code % nn);
+    pi_.at(p, l) = static_cast<int>(code % nn);
     code /= nn;
   }
-  eta_[idx(p)] = static_cast<int>(code % nn);
+  eta_[p] = static_cast<int>(code % nn);
   code /= nn;
-  numbered_[idx(p)] = static_cast<int>(code % 2);
+  numbered_[p] = static_cast<int>(code % 2);
   code /= 2;
-  done_[idx(p)] = static_cast<int>(code);
+  done_[p] = static_cast<int>(code);
 }
 
 std::vector<int> InitBasedOrientation::rawNode(NodeId p) const {
-  std::vector<int> out{done_[idx(p)], numbered_[idx(p)], eta_[idx(p)]};
-  out.insert(out.end(), pi_[idx(p)].begin(), pi_[idx(p)].end());
-  return out;
+  return arena_.rawNode(p);
 }
 
 void InitBasedOrientation::doSetRawNode(NodeId p,
                                       const std::vector<int>& values) {
-  SSNO_EXPECTS(values.size() ==
-               3 + static_cast<std::size_t>(graph().degree(p)));
-  done_[idx(p)] = values[0];
-  numbered_[idx(p)] = values[1];
-  eta_[idx(p)] = values[2];
-  for (Port l = 0; l < graph().degree(p); ++l)
-    pi_[idx(p)][static_cast<std::size_t>(l)] =
-        values[3 + static_cast<std::size_t>(l)];
+  arena_.setRawNode(p, values);
 }
 
 std::string InitBasedOrientation::dumpNode(NodeId p) const {
   std::ostringstream out;
-  out << "done=" << done_[idx(p)] << " num=" << numbered_[idx(p)]
-      << " eta=" << eta_[idx(p)];
+  out << "done=" << done_[p] << " num=" << numbered_[p]
+      << " eta=" << eta_[p];
   return out.str();
 }
 
@@ -134,18 +124,16 @@ Orientation InitBasedOrientation::orientation() const {
   Orientation o;
   o.graph = &graph();
   o.modulus = modulus();
-  o.name = eta_;
-  o.label = pi_;
+  o.name = eta_.data();
+  o.label = pi_.data();
   return o;
 }
 
 void InitBasedOrientation::initializeAll() {
-  for (NodeId p = 0; p < graph().nodeCount(); ++p) {
-    done_[idx(p)] = 0;
-    numbered_[idx(p)] = 0;
-    eta_[idx(p)] = 0;
-    for (auto& v : pi_[idx(p)]) v = 0;
-  }
+  done_.fill(0);
+  numbered_.fill(0);
+  eta_.fill(0);
+  pi_.fill(0);
   dirtyAll();
 }
 
@@ -155,7 +143,7 @@ void InitBasedOrientation::dirtyAfterWrite(NodeId p) {
 }
 
 bool InitBasedOrientation::isCorrect() const {
-  for (int d : done_)
+  for (int d : done_.data())
     if (!d) return false;
   return satisfiesSpec(orientation());
 }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "orientation/chordal.hpp"
 
 namespace ssno {
@@ -48,7 +49,7 @@ class InitBasedOrientation final : public Protocol {
 
   // ---- Orientation API ----
   [[nodiscard]] int modulus() const { return graph().nodeCount(); }
-  [[nodiscard]] int name(NodeId p) const { return eta_[idx(p)]; }
+  [[nodiscard]] int name(NodeId p) const { return eta_[p]; }
   [[nodiscard]] Orientation orientation() const;
 
   /// The operator's reset button: the explicit initialization procedure
@@ -81,11 +82,13 @@ class InitBasedOrientation final : public Protocol {
   // successor_[p]: the node whose preorder index is preorder_[p]+1
   // (kNoNode for the last node) — the extra guard dependency above.
   std::vector<NodeId> successor_;
+  // SoA state columns (raw layout {done, numbered, η, π row}).
+  StateArena arena_;
   // done: this processor finished both phases and will never act again.
-  std::vector<int> done_;
-  std::vector<int> numbered_;
-  std::vector<int> eta_;
-  std::vector<std::vector<int>> pi_;
+  NodeColumn done_;
+  NodeColumn numbered_;
+  NodeColumn eta_;
+  PortColumn pi_;
 };
 
 }  // namespace ssno

@@ -23,11 +23,8 @@ bool satisfiesSP1(const Orientation& o) {
 bool satisfiesSP2(const Orientation& o) {
   SSNO_EXPECTS(o.graph != nullptr);
   const Graph& g = *o.graph;
-  if (static_cast<int>(o.label.size()) != g.nodeCount()) return false;
+  if (o.label.size() != g.portSlotCount()) return false;
   for (NodeId p = 0; p < g.nodeCount(); ++p) {
-    if (static_cast<int>(o.label[static_cast<std::size_t>(p)].size()) !=
-        g.degree(p))
-      return false;
     for (Port l = 0; l < g.degree(p); ++l) {
       const NodeId q = g.neighborAt(p, l);
       if (o.labelAt(p, l) !=
@@ -77,14 +74,11 @@ Orientation inducedChordalOrientation(const Graph& g, std::vector<int> names,
   o.graph = &g;
   o.modulus = modulus;
   o.name = std::move(names);
-  o.label.resize(static_cast<std::size_t>(g.nodeCount()));
+  o.label.assign(g.portSlotCount(), 0);
   for (NodeId p = 0; p < g.nodeCount(); ++p) {
-    auto& row = o.label[static_cast<std::size_t>(p)];
-    row.resize(static_cast<std::size_t>(g.degree(p)));
     for (Port l = 0; l < g.degree(p); ++l) {
       const NodeId q = g.neighborAt(p, l);
-      row[static_cast<std::size_t>(l)] =
-          chordalDistance(o.nameOf(p), o.nameOf(q), modulus);
+      o.labelAt(p, l) = chordalDistance(o.nameOf(p), o.nameOf(q), modulus);
     }
   }
   return o;

@@ -26,17 +26,26 @@ namespace ssno {
 /// A snapshot of node names and per-port edge labels over a graph.
 /// `modulus` is N, the (upper bound on the) number of processors that all
 /// nodes are assumed to know (§2.2).
+///
+/// SoA layout: `label` is one flat array over the graph's CSR port
+/// slots — π_p[l] lives at graph->portBase(p) + l — matching the
+/// protocols' own PortColumn storage, so snapshotting an orientation is
+/// two flat copies and consumers (routing, SoD coding, the spec
+/// checkers) walk contiguous memory.
 struct Orientation {
   const Graph* graph = nullptr;
-  std::vector<int> name;               ///< η_p, one per node
-  std::vector<std::vector<int>> label; ///< π_p[l], per node per port
+  std::vector<int> name;   ///< η_p, one per node
+  std::vector<int> label;  ///< π_p[l], flat CSR port-slot layout
   int modulus = 0;
 
   [[nodiscard]] int nameOf(NodeId p) const {
     return name[static_cast<std::size_t>(p)];
   }
   [[nodiscard]] int labelAt(NodeId p, Port l) const {
-    return label[static_cast<std::size_t>(p)][static_cast<std::size_t>(l)];
+    return label[graph->portBase(p) + static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] int& labelAt(NodeId p, Port l) {
+    return label[graph->portBase(p) + static_cast<std::size_t>(l)];
   }
 };
 

@@ -9,13 +9,13 @@
 namespace ssno {
 
 Dftno::Dftno(Graph graph, EdgeLabelGuard guard)
-    : Protocol(graph), dftc_(graph), guard_(guard) {
-  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
-  eta_.assign(n, 0);
-  max_.assign(n, 0);
-  pi_.resize(n);
-  for (NodeId p = 0; p < this->graph().nodeCount(); ++p)
-    pi_[idx(p)].assign(static_cast<std::size_t>(this->graph().degree(p)), 0);
+    : Protocol(graph),
+      dftc_(graph),
+      guard_(guard),
+      arena_(this->graph()),
+      eta_(arena_.nodeColumn(0)),
+      max_(arena_.nodeColumn(0)),
+      pi_(arena_.portColumn(0)) {
   installHooks();
 }
 
@@ -23,17 +23,17 @@ void Dftno::installHooks() {
   TokenHooks hooks;
   // Nodelabel at the root happens when it generates the token.
   hooks.onRoundStart = [this](NodeId r) {
-    eta_[idx(r)] = 0;
-    max_[idx(r)] = 0;
+    eta_[r] = 0;
+    max_[r] = 0;
   };
   // Nodelabel at a non-root: next free name, after consulting the parent.
   hooks.onForward = [this](NodeId p, NodeId parent) {
-    eta_[idx(p)] = (max_[idx(parent)] + 1) % modulus();
-    max_[idx(p)] = eta_[idx(p)];
+    eta_[p] = (max_[parent] + 1) % modulus();
+    max_[p] = eta_[p];
   };
   // UpdateMax: the backtracked token carries the child's maximum.
   hooks.onBacktrack = [this](NodeId p, NodeId child) {
-    max_[idx(p)] = max_[idx(child)];
+    max_[p] = max_[child];
   };
   dftc_.setHooks(std::move(hooks));
 }
@@ -45,7 +45,7 @@ std::string Dftno::actionName(int action) const {
 
 bool Dftno::invalidEdgeLabel(NodeId p) const {
   for (Port l = 0; l < graph().degree(p); ++l)
-    if (pi_[idx(p)][static_cast<std::size_t>(l)] !=
+    if (pi_.at(p, l) !=
         chordal(p, graph().neighborAt(p, l)))
       return true;
   return false;
@@ -70,15 +70,15 @@ void Dftno::doExecute(NodeId p, int action) {
     return;
   }
   for (Port l = 0; l < graph().degree(p); ++l)
-    pi_[idx(p)][static_cast<std::size_t>(l)] =
+    pi_.at(p, l) =
         chordal(p, graph().neighborAt(p, l));
 }
 
 void Dftno::doRandomizeNode(NodeId p, Rng& rng) {
   dftc_.randomizeNode(p, rng);
-  eta_[idx(p)] = rng.below(modulus());
-  max_[idx(p)] = rng.below(modulus());
-  for (auto& v : pi_[idx(p)]) v = rng.below(modulus());
+  eta_[p] = rng.below(modulus());
+  max_[p] = rng.below(modulus());
+  for (auto& v : pi_.row(p)) v = rng.below(modulus());
 }
 
 std::uint64_t Dftno::localStateCount(NodeId p) const {
@@ -90,12 +90,12 @@ std::uint64_t Dftno::localStateCount(NodeId p) const {
 
 std::uint64_t Dftno::encodeNode(NodeId p) const {
   const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
-  std::uint64_t overlay = static_cast<std::uint64_t>(eta_[idx(p)]);
-  overlay = overlay * nn + static_cast<std::uint64_t>(max_[idx(p)]);
+  std::uint64_t overlay = static_cast<std::uint64_t>(eta_[p]);
+  overlay = overlay * nn + static_cast<std::uint64_t>(max_[p]);
   for (Port l = 0; l < graph().degree(p); ++l)
     overlay =
         overlay * nn +
-        static_cast<std::uint64_t>(pi_[idx(p)][static_cast<std::size_t>(l)]);
+        static_cast<std::uint64_t>(pi_.at(p, l));
   return dftc_.encodeNode(p) + dftc_.localStateCount(p) * overlay;
 }
 
@@ -106,21 +106,21 @@ void Dftno::doDecodeNode(NodeId p, std::uint64_t code) {
   std::uint64_t overlay = code / base;
   const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
   for (Port l = graph().degree(p) - 1; l >= 0; --l) {
-    pi_[idx(p)][static_cast<std::size_t>(l)] = static_cast<int>(overlay % nn);
+    pi_.at(p, l) = static_cast<int>(overlay % nn);
     overlay /= nn;
   }
-  max_[idx(p)] = static_cast<int>(overlay % nn);
+  max_[p] = static_cast<int>(overlay % nn);
   overlay /= nn;
-  eta_[idx(p)] = static_cast<int>(overlay);
+  eta_[p] = static_cast<int>(overlay);
 }
 
 std::string Dftno::dumpNode(NodeId p) const {
   std::ostringstream out;
-  out << dftc_.dumpNode(p) << " eta=" << eta_[idx(p)] << " max=" << max_[idx(p)]
+  out << dftc_.dumpNode(p) << " eta=" << eta_[p] << " max=" << max_[p]
       << " pi=[";
   for (Port l = 0; l < graph().degree(p); ++l) {
     if (l) out << ' ';
-    out << pi_[idx(p)][static_cast<std::size_t>(l)];
+    out << pi_.at(p, l);
   }
   out << ']';
   return out.str();
@@ -130,8 +130,8 @@ Orientation Dftno::orientation() const {
   Orientation o;
   o.graph = &graph();
   o.modulus = modulus();
-  o.name = eta_;
-  o.label = pi_;
+  o.name = eta_.data();
+  o.label = pi_.data();
   return o;
 }
 
@@ -142,9 +142,9 @@ bool Dftno::satisfiesSpecNow() const {
 
 std::vector<int> Dftno::rawNode(NodeId p) const {
   std::vector<int> out = dftc_.rawNode(p);
-  out.push_back(eta_[idx(p)]);
-  out.push_back(max_[idx(p)]);
-  out.insert(out.end(), pi_[idx(p)].begin(), pi_[idx(p)].end());
+  out.push_back(eta_[p]);
+  out.push_back(max_[p]);
+  out.insert(out.end(), pi_.row(p).begin(), pi_.row(p).end());
   return out;
 }
 
@@ -155,10 +155,10 @@ void Dftno::doSetRawNode(NodeId p, const std::vector<int>& values) {
   dftc_.setRawNode(
       p, std::vector<int>(values.begin(),
                           values.begin() + static_cast<long>(subLen)));
-  eta_[idx(p)] = values[subLen];
-  max_[idx(p)] = values[subLen + 1];
+  eta_[p] = values[subLen];
+  max_[p] = values[subLen + 1];
   for (Port l = 0; l < graph().degree(p); ++l)
-    pi_[idx(p)][static_cast<std::size_t>(l)] =
+    pi_.at(p, l) =
         values[subLen + 2 + static_cast<std::size_t>(l)];
 }
 
@@ -170,11 +170,9 @@ void Dftno::buildOrbitIfNeeded() {
   // the unique token move) until a configuration repeats; the repeating
   // suffix is the steady-state orbit.
   dftc_.resetClean();
-  for (NodeId p = 0; p < graph().nodeCount(); ++p) {
-    eta_[idx(p)] = 0;
-    max_[idx(p)] = 0;
-    for (auto& v : pi_[idx(p)]) v = 0;
-  }
+  eta_.fill(0);
+  max_.fill(0);
+  pi_.fill(0);
   std::map<std::vector<int>, int> seen;
   std::vector<std::vector<int>> sequence;
   while (true) {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "dftc/dftc.hpp"
 #include "orientation/chordal.hpp"
 
@@ -74,10 +75,10 @@ class Dftno final : public Protocol {
   /// The modulus N every node knows (here: the exact node count).
   [[nodiscard]] int modulus() const { return graph().nodeCount(); }
 
-  [[nodiscard]] int name(NodeId p) const { return eta_[idx(p)]; }
-  [[nodiscard]] int maxSeen(NodeId p) const { return max_[idx(p)]; }
+  [[nodiscard]] int name(NodeId p) const { return eta_[p]; }
+  [[nodiscard]] int maxSeen(NodeId p) const { return max_[p]; }
   [[nodiscard]] int edgeLabel(NodeId p, Port l) const {
-    return pi_[idx(p)][static_cast<std::size_t>(l)];
+    return pi_.at(p, l);
   }
 
   /// Snapshot of the current names/labels for the chordal checkers.
@@ -119,11 +120,8 @@ class Dftno final : public Protocol {
   void doSetRawNode(NodeId p, const std::vector<int>& values) override;
 
  private:
-  [[nodiscard]] static std::size_t idx(NodeId p) {
-    return static_cast<std::size_t>(p);
-  }
   [[nodiscard]] int chordal(NodeId p, NodeId q) const {
-    return chordalDistance(eta_[idx(p)], eta_[idx(q)], modulus());
+    return chordalDistance(eta_[p], eta_[q], modulus());
   }
   [[nodiscard]] bool invalidEdgeLabel(NodeId p) const;
   void installHooks();
@@ -131,9 +129,11 @@ class Dftno final : public Protocol {
 
   Dftc dftc_;
   EdgeLabelGuard guard_;
-  std::vector<int> eta_;               // η_p ∈ 0..N−1
-  std::vector<int> max_;               // Max_p ∈ 0..N−1
-  std::vector<std::vector<int>> pi_;   // π_p[l] ∈ 0..N−1
+  // SoA overlay columns (raw layout: substrate ++ {η, Max, π row}).
+  StateArena arena_;
+  NodeColumn eta_;   // η_p ∈ 0..N−1
+  NodeColumn max_;   // Max_p ∈ 0..N−1
+  PortColumn pi_;    // π_p[l] ∈ 0..N−1
   // Exact raw configurations of the composed steady-state orbit.
   std::optional<std::set<std::vector<int>>> orbit_;
 };

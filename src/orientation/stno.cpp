@@ -8,32 +8,26 @@
 
 namespace ssno {
 
-namespace {
-std::vector<std::vector<int>> perPort(const Graph& g, int fill) {
-  std::vector<std::vector<int>> v(static_cast<std::size_t>(g.nodeCount()));
-  for (NodeId p = 0; p < g.nodeCount(); ++p)
-    v[static_cast<std::size_t>(p)].assign(
-        static_cast<std::size_t>(g.degree(p)), fill);
-  return v;
-}
-}  // namespace
-
-Stno::Stno(Graph graph) : Protocol(graph) {
-  bfs_ = std::make_unique<BfsTree>(graph);
+Stno::Stno(Graph graph)
+    : Protocol(graph),
+      arena_(this->graph()),
+      weight_(arena_.nodeColumn(1)),
+      eta_(arena_.nodeColumn(0)),
+      start_(arena_.portColumn(0)),
+      pi_(arena_.portColumn(0)) {
+  bfs_ = std::make_unique<BfsTree>(this->graph());
   view_ = bfs_.get();
-  weight_.assign(static_cast<std::size_t>(this->graph().nodeCount()), 1);
-  eta_.assign(static_cast<std::size_t>(this->graph().nodeCount()), 0);
-  start_ = perPort(this->graph(), 0);
-  pi_ = perPort(this->graph(), 0);
 }
 
-Stno::Stno(Graph graph, std::vector<NodeId> fixedParents) : Protocol(graph) {
+Stno::Stno(Graph graph, std::vector<NodeId> fixedParents)
+    : Protocol(graph),
+      arena_(this->graph()),
+      weight_(arena_.nodeColumn(1)),
+      eta_(arena_.nodeColumn(0)),
+      start_(arena_.portColumn(0)),
+      pi_(arena_.portColumn(0)) {
   fixed_ = std::make_unique<FixedTree>(this->graph(), std::move(fixedParents));
   view_ = fixed_.get();
-  weight_.assign(static_cast<std::size_t>(this->graph().nodeCount()), 1);
-  eta_.assign(static_cast<std::size_t>(this->graph().nodeCount()), 0);
-  start_ = perPort(this->graph(), 0);
-  pi_ = perPort(this->graph(), 0);
 }
 
 std::string Stno::actionName(int action) const {
@@ -58,7 +52,7 @@ bool Stno::isChild(NodeId p, NodeId q) const {
 int Stno::expectedWeight(NodeId p) const {
   int sum = 1;  // the node itself
   for (NodeId q : graph().neighbors(p))
-    if (isChild(p, q)) sum += weight_[idx(q)];
+    if (isChild(p, q)) sum += weight_[q];
   return std::min(sum, graph().nodeCount());
 }
 
@@ -67,25 +61,25 @@ int Stno::startFromParent(NodeId p) const {
   SSNO_EXPECTS(a != kNoNode);
   const Port l = graph().portOf(a, p);
   SSNO_ASSERT(l != kNoPort);
-  return start_[idx(a)][static_cast<std::size_t>(l)];
+  return start_.at(a, l);
 }
 
 bool Stno::startInconsistent(NodeId p) const {
   // Erratum fix 1: validate p's own Start entries against Distribute's
   // computation from η_p and the children's Weight variables.
-  int given = eta_[idx(p)];
+  int given = eta_[p];
   for (Port l = 0; l < graph().degree(p); ++l) {
     const NodeId q = graph().neighborAt(p, l);
     if (!isChild(p, q)) continue;
     const int expected = (given + 1) % modulus();
-    if (start_[idx(p)][static_cast<std::size_t>(l)] != expected) return true;
-    given = (given + weight_[idx(q)]) % modulus();
+    if (start_.at(p, l) != expected) return true;
+    given = (given + weight_[q]) % modulus();
   }
   return false;
 }
 
 bool Stno::invalidNodeLabel(NodeId p) const {
-  if (p == graph().root()) return eta_[idx(p)] != 0 || startInconsistent(p);
+  if (p == graph().root()) return eta_[p] != 0 || startInconsistent(p);
   bool leaf = true;
   for (NodeId q : graph().neighbors(p)) {
     if (isChild(p, q)) {
@@ -93,15 +87,15 @@ bool Stno::invalidNodeLabel(NodeId p) const {
       break;
     }
   }
-  if (leaf) return eta_[idx(p)] != startFromParent(p);
-  return eta_[idx(p)] != startFromParent(p) || startInconsistent(p);
+  if (leaf) return eta_[p] != startFromParent(p);
+  return eta_[p] != startFromParent(p) || startInconsistent(p);
 }
 
 bool Stno::invalidEdgeLabel(NodeId p) const {
   for (Port l = 0; l < graph().degree(p); ++l) {
     const NodeId q = graph().neighborAt(p, l);
-    if (pi_[idx(p)][static_cast<std::size_t>(l)] !=
-        chordalDistance(eta_[idx(p)], eta_[idx(q)], modulus()))
+    if (pi_.at(p, l) !=
+        chordalDistance(eta_[p], eta_[q], modulus()))
       return true;
   }
   return false;
@@ -116,27 +110,27 @@ bool Stno::enabled(NodeId p, int action) const {
     case kEdgeLabel:
       return !invalidNodeLabel(p) && invalidEdgeLabel(p);
     case kWeight:
-      return weight_[idx(p)] != expectedWeight(p);
+      return weight_[p] != expectedWeight(p);
     default:
       return false;
   }
 }
 
 void Stno::applyDistribute(NodeId p) {
-  int given = eta_[idx(p)];
+  int given = eta_[p];
   for (Port l = 0; l < graph().degree(p); ++l) {
     const NodeId q = graph().neighborAt(p, l);
     if (!isChild(p, q)) continue;
-    start_[idx(p)][static_cast<std::size_t>(l)] = (given + 1) % modulus();
-    given = (given + weight_[idx(q)]) % modulus();
+    start_.at(p, l) = (given + 1) % modulus();
+    given = (given + weight_[q]) % modulus();
   }
 }
 
 void Stno::applyEdgeLabels(NodeId p) {
   for (Port l = 0; l < graph().degree(p); ++l) {
     const NodeId q = graph().neighborAt(p, l);
-    pi_[idx(p)][static_cast<std::size_t>(l)] =
-        chordalDistance(eta_[idx(p)], eta_[idx(q)], modulus());
+    pi_.at(p, l) =
+        chordalDistance(eta_[p], eta_[q], modulus());
   }
 }
 
@@ -147,7 +141,7 @@ void Stno::doExecute(NodeId p, int action) {
       bfs_->execute(p, BfsTree::kFix);
       break;
     case kNodeLabel:
-      eta_[idx(p)] = view_->roleOf(p) == TreeRole::kRoot
+      eta_[p] = view_->roleOf(p) == TreeRole::kRoot
                          ? 0
                          : startFromParent(p);
       applyDistribute(p);   // no-op for leaves (no children)
@@ -157,7 +151,7 @@ void Stno::doExecute(NodeId p, int action) {
       applyEdgeLabels(p);
       break;
     case kWeight:
-      weight_[idx(p)] = expectedWeight(p);
+      weight_[p] = expectedWeight(p);
       break;
     default:
       SSNO_ASSERT(false);
@@ -166,18 +160,18 @@ void Stno::doExecute(NodeId p, int action) {
 
 void Stno::doRandomizeNode(NodeId p, Rng& rng) {
   if (bfs_ != nullptr) bfs_->randomizeNode(p, rng);
-  weight_[idx(p)] = rng.between(1, graph().nodeCount());
-  eta_[idx(p)] = rng.below(modulus());
-  for (auto& v : start_[idx(p)]) v = rng.below(modulus());
-  for (auto& v : pi_[idx(p)]) v = rng.below(modulus());
+  weight_[p] = rng.between(1, graph().nodeCount());
+  eta_[p] = rng.below(modulus());
+  for (auto& v : start_.row(p)) v = rng.below(modulus());
+  for (auto& v : pi_.row(p)) v = rng.below(modulus());
 }
 
 std::vector<int> Stno::rawNode(NodeId p) const {
   std::vector<int> out = bfs_ ? bfs_->rawNode(p) : std::vector<int>{};
-  out.push_back(weight_[idx(p)]);
-  out.push_back(eta_[idx(p)]);
-  out.insert(out.end(), start_[idx(p)].begin(), start_[idx(p)].end());
-  out.insert(out.end(), pi_[idx(p)].begin(), pi_[idx(p)].end());
+  out.push_back(weight_[p]);
+  out.push_back(eta_[p]);
+  out.insert(out.end(), start_.row(p).begin(), start_.row(p).end());
+  out.insert(out.end(), pi_.row(p).begin(), pi_.row(p).end());
   return out;
 }
 
@@ -189,11 +183,11 @@ void Stno::doSetRawNode(NodeId p, const std::vector<int>& values) {
     bfs_->setRawNode(
         p, std::vector<int>(values.begin(),
                             values.begin() + static_cast<long>(subLen)));
-  weight_[idx(p)] = values[subLen];
-  eta_[idx(p)] = values[subLen + 1];
+  weight_[p] = values[subLen];
+  eta_[p] = values[subLen + 1];
   for (std::size_t l = 0; l < deg; ++l) {
-    start_[idx(p)][l] = values[subLen + 2 + l];
-    pi_[idx(p)][l] = values[subLen + 2 + deg + l];
+    start_.at(p, static_cast<Port>(l)) = values[subLen + 2 + l];
+    pi_.at(p, static_cast<Port>(l)) = values[subLen + 2 + deg + l];
   }
 }
 
@@ -207,15 +201,15 @@ std::uint64_t Stno::localStateCount(NodeId p) const {
 
 std::uint64_t Stno::encodeNode(NodeId p) const {
   const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
-  std::uint64_t overlay = static_cast<std::uint64_t>(weight_[idx(p)] - 1);
-  overlay = overlay * nn + static_cast<std::uint64_t>(eta_[idx(p)]);
+  std::uint64_t overlay = static_cast<std::uint64_t>(weight_[p] - 1);
+  overlay = overlay * nn + static_cast<std::uint64_t>(eta_[p]);
   for (Port l = 0; l < graph().degree(p); ++l) {
     overlay = overlay * nn +
               static_cast<std::uint64_t>(
-                  start_[idx(p)][static_cast<std::size_t>(l)]);
+                  start_.at(p, l));
     overlay =
         overlay * nn +
-        static_cast<std::uint64_t>(pi_[idx(p)][static_cast<std::size_t>(l)]);
+        static_cast<std::uint64_t>(pi_.at(p, l));
   }
   const std::uint64_t base = bfs_ ? bfs_->localStateCount(p) : 1;
   const std::uint64_t sub = bfs_ ? bfs_->encodeNode(p) : 0;
@@ -229,29 +223,29 @@ void Stno::doDecodeNode(NodeId p, std::uint64_t code) {
   std::uint64_t overlay = code / base;
   const std::uint64_t nn = static_cast<std::uint64_t>(modulus());
   for (Port l = graph().degree(p) - 1; l >= 0; --l) {
-    pi_[idx(p)][static_cast<std::size_t>(l)] = static_cast<int>(overlay % nn);
+    pi_.at(p, l) = static_cast<int>(overlay % nn);
     overlay /= nn;
-    start_[idx(p)][static_cast<std::size_t>(l)] =
+    start_.at(p, l) =
         static_cast<int>(overlay % nn);
     overlay /= nn;
   }
-  eta_[idx(p)] = static_cast<int>(overlay % nn);
+  eta_[p] = static_cast<int>(overlay % nn);
   overlay /= nn;
-  weight_[idx(p)] = static_cast<int>(overlay) + 1;
+  weight_[p] = static_cast<int>(overlay) + 1;
 }
 
 std::string Stno::dumpNode(NodeId p) const {
   std::ostringstream out;
   if (bfs_ != nullptr) out << bfs_->dumpNode(p) << ' ';
-  out << "W=" << weight_[idx(p)] << " eta=" << eta_[idx(p)] << " start=[";
+  out << "W=" << weight_[p] << " eta=" << eta_[p] << " start=[";
   for (Port l = 0; l < graph().degree(p); ++l) {
     if (l) out << ' ';
-    out << start_[idx(p)][static_cast<std::size_t>(l)];
+    out << start_.at(p, l);
   }
   out << "] pi=[";
   for (Port l = 0; l < graph().degree(p); ++l) {
     if (l) out << ' ';
-    out << pi_[idx(p)][static_cast<std::size_t>(l)];
+    out << pi_.at(p, l);
   }
   out << ']';
   return out.str();
@@ -261,8 +255,8 @@ Orientation Stno::orientation() const {
   Orientation o;
   o.graph = &graph();
   o.modulus = modulus();
-  o.name = eta_;
-  o.label = pi_;
+  o.name = eta_.data();
+  o.label = pi_.data();
   return o;
 }
 

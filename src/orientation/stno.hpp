@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "orientation/chordal.hpp"
 #include "sptree/bfs_tree.hpp"
 #include "sptree/tree_view.hpp"
@@ -77,13 +78,13 @@ class Stno final : public Protocol {
 
   // ---- Orientation API ----
   [[nodiscard]] int modulus() const { return graph().nodeCount(); }
-  [[nodiscard]] int name(NodeId p) const { return eta_[idx(p)]; }
-  [[nodiscard]] int weight(NodeId p) const { return weight_[idx(p)]; }
+  [[nodiscard]] int name(NodeId p) const { return eta_[p]; }
+  [[nodiscard]] int weight(NodeId p) const { return weight_[p]; }
   [[nodiscard]] int startAt(NodeId p, Port l) const {
-    return start_[idx(p)][static_cast<std::size_t>(l)];
+    return start_.at(p, l);
   }
   [[nodiscard]] int edgeLabel(NodeId p, Port l) const {
-    return pi_[idx(p)][static_cast<std::size_t>(l)];
+    return pi_.at(p, l);
   }
   [[nodiscard]] Orientation orientation() const;
 
@@ -114,9 +115,6 @@ class Stno final : public Protocol {
   void doSetRawNode(NodeId p, const std::vector<int>& values) override;
 
  private:
-  [[nodiscard]] static std::size_t idx(NodeId p) {
-    return static_cast<std::size_t>(p);
-  }
   /// Allocation-free child test used by the hot guard paths.
   [[nodiscard]] bool isChild(NodeId p, NodeId q) const;
   [[nodiscard]] int expectedWeight(NodeId p) const;
@@ -132,10 +130,12 @@ class Stno final : public Protocol {
   std::unique_ptr<FixedTree> fixed_;    // null in substrate mode
   TreeView* view_ = nullptr;
 
-  std::vector<int> weight_;             // 1..N
-  std::vector<int> eta_;                // 0..N−1
-  std::vector<std::vector<int>> start_; // per port, 0..N−1
-  std::vector<std::vector<int>> pi_;    // per port, 0..N−1
+  // SoA overlay columns (raw layout: substrate ++ {W, η, Start row, π row}).
+  StateArena arena_;
+  NodeColumn weight_;  // 1..N
+  NodeColumn eta_;     // 0..N−1
+  PortColumn start_;   // per port, 0..N−1
+  PortColumn pi_;      // per port, 0..N−1
 };
 
 }  // namespace ssno

@@ -9,12 +9,13 @@
 
 namespace ssno {
 
-BfsTree::BfsTree(Graph graph) : Protocol(std::move(graph)) {
+BfsTree::BfsTree(Graph graph)
+    : Protocol(std::move(graph)),
+      arena_(this->graph()),
+      dist_(arena_.nodeColumn(1)),
+      par_(arena_.nodeColumn(0)) {
   SSNO_EXPECTS(this->graph().nodeCount() >= 2);
   SSNO_EXPECTS(this->graph().isConnected());
-  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
-  dist_.assign(n, 1);
-  par_.assign(n, 0);
   // A deterministic (still possibly illegitimate) initial state; tests
   // that need adversarial states call randomize().
 }
@@ -42,30 +43,30 @@ bool BfsTree::enabled(NodeId p, int action) const {
   if (action != kFix || p == graph().root()) return false;
   const int m = minNeighborDist(p);
   const int want = std::min(m + 1, graph().nodeCount() - 1);
-  if (dist_[static_cast<std::size_t>(p)] != want) return true;
+  if (dist_[p] != want) return true;
   const NodeId parent =
-      graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+      graph().neighborAt(p, par_[p]);
   return distOf(parent) != m;
 }
 
 void BfsTree::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   const int m = minNeighborDist(p);
-  dist_[static_cast<std::size_t>(p)] =
+  dist_[p] =
       std::min(m + 1, graph().nodeCount() - 1);
-  par_[static_cast<std::size_t>(p)] = firstMinPort(p);
+  par_[p] = firstMinPort(p);
 }
 
 void BfsTree::doRandomizeNode(NodeId p, Rng& rng) {
   if (p == graph().root()) return;
-  dist_[static_cast<std::size_t>(p)] = rng.between(1, graph().nodeCount() - 1);
-  par_[static_cast<std::size_t>(p)] = rng.below(graph().degree(p));
+  dist_[p] = rng.between(1, graph().nodeCount() - 1);
+  par_[p] = rng.below(graph().degree(p));
 }
 
 std::vector<int> BfsTree::rawNode(NodeId p) const {
   if (p == graph().root()) return {};
-  return {dist_[static_cast<std::size_t>(p)],
-          par_[static_cast<std::size_t>(p)]};
+  return {dist_[p],
+          par_[p]};
 }
 
 void BfsTree::doSetRawNode(NodeId p, const std::vector<int>& values) {
@@ -74,8 +75,8 @@ void BfsTree::doSetRawNode(NodeId p, const std::vector<int>& values) {
     return;
   }
   SSNO_EXPECTS(values.size() == 2);
-  dist_[static_cast<std::size_t>(p)] = values[0];
-  par_[static_cast<std::size_t>(p)] = values[1];
+  dist_[p] = values[0];
+  par_[p] = values[1];
 }
 
 std::uint64_t BfsTree::localStateCount(NodeId p) const {
@@ -88,9 +89,9 @@ std::uint64_t BfsTree::localStateCount(NodeId p) const {
 std::uint64_t BfsTree::encodeNode(NodeId p) const {
   if (p == graph().root()) return 0;
   const std::uint64_t dCode =
-      static_cast<std::uint64_t>(dist_[static_cast<std::size_t>(p)] - 1);
+      static_cast<std::uint64_t>(dist_[p] - 1);
   const std::uint64_t parCode =
-      static_cast<std::uint64_t>(par_[static_cast<std::size_t>(p)]);
+      static_cast<std::uint64_t>(par_[p]);
   return dCode + static_cast<std::uint64_t>(graph().nodeCount() - 1) * parCode;
 }
 
@@ -98,21 +99,21 @@ void BfsTree::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   if (p == graph().root()) return;
   const std::uint64_t base = static_cast<std::uint64_t>(graph().nodeCount() - 1);
-  dist_[static_cast<std::size_t>(p)] = static_cast<int>(code % base) + 1;
-  par_[static_cast<std::size_t>(p)] = static_cast<int>(code / base);
+  dist_[p] = static_cast<int>(code % base) + 1;
+  par_[p] = static_cast<int>(code / base);
 }
 
 std::string BfsTree::dumpNode(NodeId p) const {
   if (p == graph().root()) return "root(dist=0)";
   std::ostringstream out;
-  out << "dist=" << dist_[static_cast<std::size_t>(p)] << " par="
-      << graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+  out << "dist=" << dist_[p] << " par="
+      << graph().neighborAt(p, par_[p]);
   return out.str();
 }
 
 NodeId BfsTree::parentOf(NodeId p) const {
   if (p == graph().root()) return kNoNode;
-  return graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+  return graph().neighborAt(p, par_[p]);
 }
 
 bool BfsTree::isLegitimate() const {

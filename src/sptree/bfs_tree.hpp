@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "sptree/tree_view.hpp"
 
 namespace ssno {
@@ -48,7 +49,7 @@ class BfsTree final : public Protocol, public TreeView {
 
   // ---- Substrate-specific API ----
   [[nodiscard]] int distOf(NodeId p) const {
-    return p == graph().root() ? 0 : dist_[static_cast<std::size_t>(p)];
+    return p == graph().root() ? 0 : dist_[p];
   }
 
   /// L_ST: dist equals the true BFS distance everywhere and every parent
@@ -73,8 +74,10 @@ class BfsTree final : public Protocol, public TreeView {
   [[nodiscard]] int minNeighborDist(NodeId p) const;
   [[nodiscard]] Port firstMinPort(NodeId p) const;
 
-  std::vector<int> dist_;  // root entry unused (kept 0)
-  std::vector<int> par_;   // port; root entry unused (kept 0)
+  // SoA state columns (raw layout {dist, par}; root snapshots empty).
+  StateArena arena_;
+  NodeColumn dist_;  // root entry unused (kept 0)
+  NodeColumn par_;   // port; root entry unused (kept 0)
 };
 
 }  // namespace ssno

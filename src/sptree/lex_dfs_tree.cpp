@@ -8,13 +8,15 @@
 
 namespace ssno {
 
-LexDfsTree::LexDfsTree(Graph graph) : Protocol(std::move(graph)) {
+LexDfsTree::LexDfsTree(Graph graph)
+    : Protocol(std::move(graph)),
+      arena_(this->graph()),
+      par_(arena_.nodeColumn(0)) {
   SSNO_EXPECTS(this->graph().nodeCount() >= 2);
   SSNO_EXPECTS(this->graph().isConnected());
   maxDegree_ = this->graph().maxDegree();
   const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
   word_.assign(n, std::nullopt);
-  par_.assign(n, 0);
   word_[static_cast<std::size_t>(this->graph().root())] =
       std::vector<Port>{};  // the root's word is ε, permanently
 }
@@ -61,14 +63,14 @@ bool LexDfsTree::enabled(NodeId p, int action) const {
   const Best best = bestCandidate(p);
   if (word_[static_cast<std::size_t>(p)] != best.word) return true;
   // Word already minimal; the recorded parent must attain it.
-  return best.word.has_value() && par_[static_cast<std::size_t>(p)] != best.port;
+  return best.word.has_value() && par_[p] != best.port;
 }
 
 void LexDfsTree::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   Best best = bestCandidate(p);
   word_[static_cast<std::size_t>(p)] = std::move(best.word);
-  par_[static_cast<std::size_t>(p)] =
+  par_[p] =
       best.port == kNoPort ? 0 : best.port;
 }
 
@@ -84,7 +86,7 @@ void LexDfsTree::doRandomizeNode(NodeId p, Rng& rng) {
     for (auto& x : w) x = rng.below(std::max(1, maxDegree_));
     word_[static_cast<std::size_t>(p)] = std::move(w);
   }
-  par_[static_cast<std::size_t>(p)] = rng.below(graph().degree(p));
+  par_[p] = rng.below(graph().degree(p));
 }
 
 std::uint64_t LexDfsTree::localStateCount(NodeId p) const {
@@ -120,14 +122,14 @@ std::uint64_t LexDfsTree::encodeNode(NodeId p) const {
     widx += value;  // offset within the length block
   }
   return widx * static_cast<std::uint64_t>(graph().degree(p)) +
-         static_cast<std::uint64_t>(par_[static_cast<std::size_t>(p)]);
+         static_cast<std::uint64_t>(par_[p]);
 }
 
 void LexDfsTree::doDecodeNode(NodeId p, std::uint64_t code) {
   SSNO_EXPECTS(code < localStateCount(p));
   if (p == graph().root()) return;
   const std::uint64_t deg = static_cast<std::uint64_t>(graph().degree(p));
-  par_[static_cast<std::size_t>(p)] = static_cast<Port>(code % deg);
+  par_[p] = static_cast<Port>(code % deg);
   std::uint64_t widx = code / deg;
   if (widx == 0) {
     word_[static_cast<std::size_t>(p)] = std::nullopt;
@@ -154,7 +156,7 @@ std::vector<int> LexDfsTree::rawNode(NodeId p) const {
   // Layout: [par, hasWord, len, entries...] padded to fixed length n+2.
   const int n = graph().nodeCount();
   std::vector<int> out(static_cast<std::size_t>(n) + 3, 0);
-  out[0] = par_[static_cast<std::size_t>(p)];
+  out[0] = par_[p];
   const auto& w = word_[static_cast<std::size_t>(p)];
   out[1] = w.has_value() ? 1 : 0;
   if (w.has_value()) {
@@ -168,7 +170,7 @@ void LexDfsTree::doSetRawNode(NodeId p, const std::vector<int>& values) {
   SSNO_EXPECTS(values.size() ==
                static_cast<std::size_t>(graph().nodeCount()) + 3);
   if (p == graph().root()) return;  // hard-wired ε
-  par_[static_cast<std::size_t>(p)] = values[0];
+  par_[p] = values[0];
   if (values[1] == 0) {
     word_[static_cast<std::size_t>(p)] = std::nullopt;
     return;
@@ -194,13 +196,13 @@ std::string LexDfsTree::dumpNode(NodeId p) const {
     out << ')';
   }
   if (p != graph().root())
-    out << " par=" << graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+    out << " par=" << graph().neighborAt(p, par_[p]);
   return out.str();
 }
 
 NodeId LexDfsTree::parentOf(NodeId p) const {
   if (p == graph().root()) return kNoNode;
-  return graph().neighborAt(p, par_[static_cast<std::size_t>(p)]);
+  return graph().neighborAt(p, par_[p]);
 }
 
 bool LexDfsTree::isLegitimate() const {

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/protocol.hpp"
+#include "core/state_arena.hpp"
 #include "sptree/tree_view.hpp"
 
 namespace ssno {
@@ -89,9 +90,13 @@ class LexDfsTree final : public Protocol, public TreeView {
   };
   [[nodiscard]] Best bestCandidate(NodeId p) const;
 
-  // Per node: the path word (nullopt = ⊤) and the parent port.
+  // Per node: the path word (nullopt = ⊤) and the parent port.  The
+  // parent port is a SoA column; words are variable-length (up to N−1
+  // entries), so a fixed-stride column would cost O(n²) ints — they stay
+  // as lazily sized per-node vectors.
   std::vector<std::optional<std::vector<Port>>> word_;
-  std::vector<Port> par_;
+  StateArena arena_;
+  NodeColumn par_;
   int maxDegree_ = 0;
 };
 

@@ -14,8 +14,13 @@ std::vector<NodeId> TreeView::childrenOf(NodeId p) const {
 }
 
 TreeRole TreeView::roleOf(NodeId p) const {
-  if (p == treeGraph().root()) return TreeRole::kRoot;
-  return childrenOf(p).empty() ? TreeRole::kLeaf : TreeRole::kInternal;
+  const Graph& g = treeGraph();
+  if (p == g.root()) return TreeRole::kRoot;
+  // Allocation-free: probe for any child instead of materializing the
+  // child list (roleOf sits on STNO's NodeLabel execution path).
+  for (NodeId q : g.neighbors(p))
+    if (q != g.root() && parentOf(q) == p) return TreeRole::kInternal;
+  return TreeRole::kLeaf;
 }
 
 FixedTree::FixedTree(const Graph& graph, std::vector<NodeId> parent)

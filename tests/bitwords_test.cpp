@@ -1,0 +1,119 @@
+// Unit tests for the shared bitmask utilities (core/bitwords.hpp):
+// word-level select, the WordBitset skip-scan, and the flat multi-word
+// mask arenas the fairness analysis uses.
+#include "core/bitwords.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(BitWords, SelectBitPicksKthSetBit) {
+  const std::uint64_t w = 0b1011'0101;
+  EXPECT_EQ(bits::selectBit(w, 0), 0);
+  EXPECT_EQ(bits::selectBit(w, 1), 2);
+  EXPECT_EQ(bits::selectBit(w, 2), 4);
+  EXPECT_EQ(bits::selectBit(w, 3), 5);
+  EXPECT_EQ(bits::selectBit(w, 4), 7);
+  EXPECT_EQ(bits::selectBit(~std::uint64_t{0}, 63), 63);
+}
+
+TEST(BitWords, BitsAboveMasksStrictlyHigherPositions) {
+  EXPECT_EQ(bits::bitsAbove(63), 0u);
+  EXPECT_EQ(bits::bitsAbove(0), ~std::uint64_t{0} << 1);
+  for (int b = 0; b < 64; ++b) {
+    const std::uint64_t m = bits::bitsAbove(b);
+    for (int i = 0; i < 64; ++i)
+      EXPECT_EQ((m >> i) & 1, static_cast<std::uint64_t>(i > b ? 1 : 0));
+  }
+}
+
+TEST(WordBitset, SetClearTestAndCountAcrossWordBoundaries) {
+  bits::WordBitset bs(200);
+  const std::vector<std::size_t> positions{0, 1, 63, 64, 65, 127, 128, 199};
+  for (std::size_t p : positions) bs.set(p);
+  EXPECT_EQ(bs.count(), positions.size());
+  for (std::size_t p : positions) EXPECT_TRUE(bs.test(p));
+  EXPECT_FALSE(bs.test(2));
+  EXPECT_FALSE(bs.test(126));
+  bs.clear(64);
+  EXPECT_FALSE(bs.test(64));
+  EXPECT_EQ(bs.count(), positions.size() - 1);
+}
+
+TEST(WordBitset, FindFirstAndNextSkipZeroRuns) {
+  bits::WordBitset bs(1000);
+  EXPECT_EQ(bs.findFirst(), -1);
+  bs.set(130);
+  bs.set(131);
+  bs.set(999);
+  EXPECT_EQ(bs.findFirst(), 130);
+  EXPECT_EQ(bs.findNext(130), 131);
+  EXPECT_EQ(bs.findNext(131), 999);
+  EXPECT_EQ(bs.findNext(999), -1);
+  EXPECT_EQ(bs.findFrom(500), 999);
+}
+
+TEST(WordBitset, MatchesReferenceUnderRandomOperations) {
+  bits::WordBitset bs(300);
+  std::set<std::size_t> ref;
+  Rng rng(0xB175);
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(300));
+    if (rng.chance(0.5)) {
+      bs.set(i);
+      ref.insert(i);
+    } else {
+      bs.clear(i);
+      ref.erase(i);
+    }
+    EXPECT_EQ(bs.count(), ref.size());
+  }
+  // Full iteration via findFirst/findNext equals the reference set.
+  std::set<std::size_t> walked;
+  for (long i = bs.findFirst(); i >= 0;
+       i = bs.findNext(static_cast<std::size_t>(i)))
+    walked.insert(static_cast<std::size_t>(i));
+  EXPECT_EQ(walked, ref);
+}
+
+TEST(MaskArena, MultiWordSetTestAndAggregates) {
+  // 3 masks of 100 bits each -> 2 words per mask.
+  const std::size_t words = bits::wordsFor(100);
+  ASSERT_EQ(words, 2u);
+  std::vector<std::uint64_t> arena(3 * words, 0);
+  bits::maskSet(arena.data() + 0 * words, 5);
+  bits::maskSet(arena.data() + 0 * words, 70);
+  bits::maskSet(arena.data() + 1 * words, 70);
+  bits::maskSet(arena.data() + 2 * words, 99);
+  EXPECT_TRUE(bits::maskTest(arena.data() + 0 * words, 70));
+  EXPECT_FALSE(bits::maskTest(arena.data() + 1 * words, 5));
+
+  // AND-accumulate: only bit 70 survives masks 0 and 1.
+  std::vector<std::uint64_t> all(words, ~0ULL);
+  bits::maskAndInto(all.data(), arena.data() + 0 * words, words);
+  bits::maskAndInto(all.data(), arena.data() + 1 * words, words);
+  EXPECT_TRUE(bits::maskTest(all.data(), 70));
+  EXPECT_FALSE(bits::maskTest(all.data(), 5));
+
+  // OR-accumulate: union of all three masks.
+  std::vector<std::uint64_t> any(words, 0);
+  for (int i = 0; i < 3; ++i)
+    bits::maskOrInto(any.data(), arena.data() + i * static_cast<long>(words),
+                     words);
+  EXPECT_TRUE(bits::maskTest(any.data(), 5));
+  EXPECT_TRUE(bits::maskTest(any.data(), 70));
+  EXPECT_TRUE(bits::maskTest(any.data(), 99));
+
+  // Subset relation across the word boundary.
+  EXPECT_TRUE(bits::maskSubsetOf(all.data(), any.data(), words));
+  EXPECT_FALSE(bits::maskSubsetOf(any.data(), all.data(), words));
+}
+
+}  // namespace
+}  // namespace ssno

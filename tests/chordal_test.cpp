@@ -62,7 +62,7 @@ TEST(SP1, RejectsOutOfRangeNames) {
 TEST(SP2, RejectsWrongLabel) {
   const Graph g = Graph::path(3);
   Orientation o = inducedChordalOrientation(g, {0, 1, 2}, 3);
-  o.label[0][0] = (o.label[0][0] + 1) % 3;
+  o.labelAt(0, 0) = (o.labelAt(0, 0) + 1) % 3;
   EXPECT_TRUE(satisfiesSP1(o));
   EXPECT_FALSE(satisfiesSP2(o));
 }
@@ -80,7 +80,7 @@ TEST(LocalOrientation, DetectsDuplicateLabels) {
   const Graph g = Graph::path(3);
   Orientation o = inducedChordalOrientation(g, {0, 1, 2}, 3);
   // Force node 1's two labels equal.
-  o.label[1][0] = o.label[1][1];
+  o.labelAt(1, 0) = o.labelAt(1, 1);
   EXPECT_FALSE(isLocallyOriented(o));
 }
 

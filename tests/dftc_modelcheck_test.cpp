@@ -5,11 +5,13 @@
 // predicate is closed.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
 
 #include "core/checker.hpp"
 #include "core/graph.hpp"
 #include "dftc/dftc.hpp"
+#include "mc/explorer.hpp"
 #include "orientation/dftno.hpp"
 
 namespace ssno {
@@ -171,6 +173,40 @@ TEST(DftnoReachable, OverlayLayerOnPath3FromLegitSubstrate) {
   const CheckResult res =
       mc.verifyReachable(seeds, 8'000'000, Fairness::kWeaklyFair);
   EXPECT_TRUE(res.ok) << res.failure;
+}
+
+// Multi-word fairness masks: ring:12 has 12·6 = 72 (processor, action)
+// pairs, beyond the old single-uint64_t 64-pair cap that used to reject
+// fair-mode checks above ring:10.  Exhaustive weakly-fair verification
+// of the 1-fault recovery cone (every single-node corruption of the
+// clean round boundary): no illegitimate deadlock, no weakly-fair-
+// feasible illegitimate cycle, closure holds.
+TEST(DftcExhaustive, Ring12OneFaultConeWeaklyFair) {
+  const Graph g = Graph::ring(12);
+  ASSERT_GT(g.nodeCount() * Dftc::kActionCount, 64)
+      << "test must exercise the multi-word mask path";
+  Dftc clean(g);
+  clean.resetClean();
+  const std::vector<std::uint64_t> base = clean.encodeConfiguration();
+  std::vector<std::vector<std::uint64_t>> seeds;
+  for (NodeId p = 0; p < g.nodeCount(); ++p) {
+    for (std::uint64_t code = 0; code < clean.localStateCount(p); ++code) {
+      std::vector<std::uint64_t> seed = base;
+      seed[static_cast<std::size_t>(p)] = code;
+      seeds.push_back(std::move(seed));
+    }
+  }
+  mc::ParallelChecker checker(
+      [&g] { return std::make_unique<Dftc>(g); },
+      [](Protocol& p) { return static_cast<Dftc&>(p).isLegitimate(); });
+  mc::Options opt;
+  opt.threads = 4;
+  opt.maxStates = 2'000'000;
+  opt.fairness = Fairness::kWeaklyFair;
+  const mc::Result res = checker.checkReachable(seeds, opt);
+  EXPECT_TRUE(res.ok) << res.failure;
+  // The cone is far larger than anything a 64-pair mask ever covered.
+  EXPECT_GT(res.statesExplored, 800'000u);
 }
 
 TEST(DftcMonteCarlo, LargerGraphsAllDaemons) {

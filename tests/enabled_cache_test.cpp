@@ -14,6 +14,7 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -80,13 +81,20 @@ struct RunLog {
   std::vector<int> finalConfig;
 };
 
+enum class SimMode {
+  kBitmask,       // incremental cache + EnabledView selection (default)
+  kLegacyVector,  // incremental cache + materialized-vector selection
+  kNaive,         // full rescan + materialized-vector selection
+};
+
 /// One deterministic scenario: scramble, run, inject 2 faults, run again.
-RunLog runLogged(Protocol& protocol, Daemon& daemon, bool naive,
+RunLog runLogged(Protocol& protocol, Daemon& daemon, SimMode mode,
                  std::uint64_t seed, StepCount budget) {
   Rng rng(seed);
   protocol.randomize(rng);
   Simulator sim(protocol, daemon, rng);
-  sim.setNaiveEnabledScan(naive);
+  if (mode == SimMode::kNaive) sim.setNaiveEnabledScan(true);
+  if (mode == SimMode::kLegacyVector) sim.setLegacyVectorSelect(true);
   RunLog log;
   sim.setMoveObserver([&log](const Move& m) { log.moves.push_back(m); });
   log.phase1 = sim.runToQuiescence(budget);
@@ -99,7 +107,7 @@ RunLog runLogged(Protocol& protocol, Daemon& daemon, bool naive,
 class EnabledCacheEquivalence
     : public ::testing::TestWithParam<DaemonKind> {};
 
-TEST_P(EnabledCacheEquivalence, IncrementalMatchesNaiveRescan) {
+TEST_P(EnabledCacheEquivalence, BitmaskMatchesLegacyVectorAndNaiveRescan) {
   const DaemonKind daemonKind = GetParam();
   constexpr StepCount kBudget = 1'500;  // non-silent protocols never stop
   for (const TopologyCase& topo : topologyCases()) {
@@ -108,24 +116,36 @@ TEST_P(EnabledCacheEquivalence, IncrementalMatchesNaiveRescan) {
                    topo.name);
       const std::uint64_t seed = 0xD1147 + topo.g.nodeCount();
 
-      auto incremental = proto.make(topo.g);
-      auto incDaemon = makeDaemon(daemonKind);
-      const RunLog inc =
-          runLogged(*incremental, *incDaemon, false, seed, kBudget);
+      auto bitmaskProto = proto.make(topo.g);
+      auto bitmaskDaemon = makeDaemon(daemonKind);
+      const RunLog bitmask = runLogged(*bitmaskProto, *bitmaskDaemon,
+                                       SimMode::kBitmask, seed, kBudget);
+
+      auto legacyProto = proto.make(topo.g);
+      auto legacyDaemon = makeDaemon(daemonKind);
+      const RunLog legacy = runLogged(*legacyProto, *legacyDaemon,
+                                      SimMode::kLegacyVector, seed, kBudget);
 
       auto rescanned = proto.make(topo.g);
       auto naiveDaemon = makeDaemon(daemonKind);
       const RunLog naive =
-          runLogged(*rescanned, *naiveDaemon, true, seed, kBudget);
+          runLogged(*rescanned, *naiveDaemon, SimMode::kNaive, seed, kBudget);
 
-      EXPECT_EQ(inc.moves, naive.moves);
-      EXPECT_EQ(inc.phase1.moves, naive.phase1.moves);
-      EXPECT_EQ(inc.phase1.steps, naive.phase1.steps);
-      EXPECT_EQ(inc.phase1.rounds, naive.phase1.rounds);
-      EXPECT_EQ(inc.phase1.terminal, naive.phase1.terminal);
-      EXPECT_EQ(inc.phase2.moves, naive.phase2.moves);
-      EXPECT_EQ(inc.phase2.rounds, naive.phase2.rounds);
-      EXPECT_EQ(inc.finalConfig, naive.finalConfig);
+      // Bitmask selection over the EnabledView ≡ legacy selection over
+      // the materialized vector (same incremental cache)...
+      EXPECT_EQ(bitmask.moves, legacy.moves);
+      EXPECT_EQ(bitmask.finalConfig, legacy.finalConfig);
+      // ...≡ the naive full-rescan pipeline, move for move.
+      EXPECT_EQ(bitmask.moves, naive.moves);
+      EXPECT_EQ(bitmask.phase1.moves, naive.phase1.moves);
+      EXPECT_EQ(bitmask.phase1.steps, naive.phase1.steps);
+      EXPECT_EQ(bitmask.phase1.rounds, naive.phase1.rounds);
+      EXPECT_EQ(bitmask.phase1.terminal, naive.phase1.terminal);
+      EXPECT_EQ(bitmask.phase2.moves, naive.phase2.moves);
+      EXPECT_EQ(bitmask.phase2.rounds, naive.phase2.rounds);
+      EXPECT_EQ(bitmask.finalConfig, naive.finalConfig);
+      EXPECT_EQ(legacy.phase1.rounds, naive.phase1.rounds);
+      EXPECT_EQ(legacy.phase2.rounds, naive.phase2.rounds);
     }
   }
 }
@@ -133,7 +153,8 @@ TEST_P(EnabledCacheEquivalence, IncrementalMatchesNaiveRescan) {
 INSTANTIATE_TEST_SUITE_P(Daemons, EnabledCacheEquivalence,
                          ::testing::Values(DaemonKind::kCentral,
                                            DaemonKind::kDistributed,
-                                           DaemonKind::kRoundRobin),
+                                           DaemonKind::kRoundRobin,
+                                           DaemonKind::kAdversarial),
                          [](const auto& info) {
                            std::string name = daemonKindName(info.param);
                            for (char& c : name)
@@ -149,14 +170,53 @@ TEST(EnabledCacheEquivalence, SynchronousSimultaneousStepsMatch) {
       SCOPED_TRACE(proto.name + " × synchronous × " + topo.name);
       auto incremental = proto.make(topo.g);
       SynchronousDaemon d1;
-      const RunLog inc = runLogged(*incremental, d1, false, 0xAB, 1'500);
-      auto rescanned = proto.make(topo.g);
+      const RunLog inc =
+          runLogged(*incremental, d1, SimMode::kBitmask, 0xAB, 1'500);
+      auto legacyProto = proto.make(topo.g);
       SynchronousDaemon d2;
-      const RunLog naive = runLogged(*rescanned, d2, true, 0xAB, 1'500);
+      const RunLog legacy =
+          runLogged(*legacyProto, d2, SimMode::kLegacyVector, 0xAB, 1'500);
+      auto rescanned = proto.make(topo.g);
+      SynchronousDaemon d3;
+      const RunLog naive =
+          runLogged(*rescanned, d3, SimMode::kNaive, 0xAB, 1'500);
+      EXPECT_EQ(inc.moves, legacy.moves);
       EXPECT_EQ(inc.moves, naive.moves);
       EXPECT_EQ(inc.finalConfig, naive.finalConfig);
       EXPECT_EQ(inc.phase2.rounds, naive.phase2.rounds);
     }
+  }
+}
+
+// Direct unit coverage of the EnabledView: counts, membership, k-th
+// selection (the central daemon's Fenwick descend), and the cyclic
+// successor (the round-robin draw) against the materialized vector, on
+// hundreds of randomized DFTNO configurations.
+TEST(EnabledView, CountsMembershipKthAndCyclicSuccessorMatchVector) {
+  Rng topoRng(0x71E4);
+  const Graph g = Graph::randomConnected(40, 0.15, topoRng);
+  Dftno proto(g);
+  Rng rng(0xFEED);
+  proto.randomize(rng);
+  EnabledCache cache(proto);
+  for (int step = 0; step < 300; ++step) {
+    const EnabledView& view = cache.refreshView();
+    std::vector<Move> vec;
+    view.appendMoves(vec);
+    ASSERT_EQ(static_cast<int>(vec.size()), view.moveCount());
+    std::set<NodeId> nodes;
+    for (const Move& m : vec) nodes.insert(m.node);
+    EXPECT_EQ(static_cast<int>(nodes.size()), view.enabledNodeCount());
+    for (NodeId p = 0; p < g.nodeCount(); ++p)
+      EXPECT_EQ(view.anyEnabled(p), nodes.contains(p));
+    for (std::size_t k = 0; k < vec.size(); ++k)
+      EXPECT_EQ(view.kthMove(static_cast<int>(k)), vec[k]) << "k=" << k;
+    // Cyclic successor from every vector position, plus the sentinel.
+    EXPECT_EQ(view.nextPairAfter(Move{-1, 1 << 20}), vec.front());
+    for (std::size_t i = 0; i < vec.size(); ++i)
+      EXPECT_EQ(view.nextPairAfter(vec[i]), vec[(i + 1) % vec.size()]);
+    if (vec.empty()) break;
+    proto.execute(vec.front().node, vec.front().action);
   }
 }
 

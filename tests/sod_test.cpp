@@ -90,7 +90,7 @@ TEST(Consistency, DetectsDuplicateNames) {
 TEST(Consistency, DetectsCorruptLabel) {
   const Graph g = Graph::ring(5);
   Orientation o = canonical(g);
-  o.label[2][1] = (o.label[2][1] + 1) % 5;
+  o.labelAt(2, 1) = (o.labelAt(2, 1) + 1) % 5;
   EXPECT_FALSE(hasConsistentCoding(o, 3));
 }
 

@@ -2,21 +2,32 @@
 """Perf smoke check: compare a fresh scheduler-preset JSON against the
 committed baseline (BENCH_scheduler.json).
 
-The gated metric is `speedup` — incremental-cache steps/sec divided by
-forced-naive-rescan steps/sec, both measured within the same trial on
-the same machine — so the check is hardware-independent: an accidental
-O(n^2) reintroduction on the simulator hot path collapses the speedup
-toward 1x regardless of runner speed.  Fails (exit 1) if any scenario's
-speedup dropped below --min-ratio (default 0.5, i.e. a >2x regression)
-of the committed value.  Absolute steps/sec are printed for the
-trajectory but not gated.
+Scheduler rows carry up to two gated ratios, both measured within the
+same trial on the same machine and therefore hardware-independent:
 
-Exception: `model-check/...` scenarios also carry a `speedup` metric
-(parallel explorer states/sec over the naive sequential checker), but
-that ratio scales with the runner's CORE COUNT, so it is printed for
-the trajectory and NOT gated; what IS gated for those rows is
-`verdicts_agree` (the parallel and sequential checkers must return the
-same verdict) and the failed-trial count.
+  * ``speedup``          — incremental-cache (bitmask) steps/sec over a
+    forced naive full-rescan (absent on large-n rows, where a naive
+    trial would take minutes);
+  * ``bitmask_speedup``  — bitmask EnabledView selection over the
+    legacy materialized-move-vector pipeline (same incremental cache).
+
+An accidental O(n)-per-step reintroduction on the simulator hot path
+collapses these toward 1x regardless of runner speed, so each is gated:
+fail (exit 1) if a fresh ratio drops below --min-ratio (default 0.5,
+i.e. a >2x regression) of the committed value.  Absolute steps/sec are
+printed for the trajectory but not gated.
+
+``model-check/...`` rows also carry a ``speedup`` (parallel explorer
+states/sec over the naive sequential checker), but that ratio scales
+with the runner's CORE COUNT.  Rows now record the detected core count
+(``cores``); the model-check speedup is gated ONLY when both the
+baseline and the fresh run saw more than one core — a cores=1
+measurement (speedup ~1x by construction) is printed for the
+trajectory and skipped, so a single-core baseline cannot mask a real
+thread-scaling regression once a multi-core runner re-records it.
+What is always gated for model-check rows is ``verdicts_agree`` (the
+parallel and sequential checkers must return the same verdict) and the
+failed-trial count.
 
 Usage: check_perf_regression.py BASELINE.json FRESH.json [--min-ratio R]
 """
@@ -24,13 +35,18 @@ import argparse
 import json
 import sys
 
-GATED = "speedup"
 INFO = "incremental_moves_per_sec"
+SCHEDULER_GATES = ("speedup", "bitmask_speedup")
 
 
 def by_scenario(path):
     with open(path) as f:
         return {row["scenario"]: row for row in json.load(f)}
+
+
+def mean(row, metric):
+    m = row["metrics"].get(metric)
+    return None if m is None else m["mean"]
 
 
 def main():
@@ -52,23 +68,41 @@ def main():
             failures.append(f"{name}: {fresh_row['failed_trials']} failed trials")
         if name.startswith("model-check"):
             agree = fresh_row["metrics"].get("verdicts_agree", {}).get("mean", 0)
-            rate = fresh_row["metrics"]["mc_states_per_sec"]["mean"]
-            ratio = fresh_row["metrics"][GATED]["mean"]
+            rate = mean(fresh_row, "mc_states_per_sec")
+            ratio = mean(fresh_row, "speedup")
+            base_cores = base_row.get("cores", 0)
+            fresh_cores = fresh_row.get("cores", 0)
+            multi_core = base_cores > 1 and fresh_cores > 1
+            note = ("gated" if multi_core else
+                    f"cores={base_cores or '?'}->{fresh_cores or '?'}: "
+                    "single-core, speedup not gated")
             print(f"{name}: verdicts_agree {agree:.0f}  "
                   f"mc_states_per_sec {rate:.0f}  speedup x{ratio:.2f} "
-                  f"(core-count dependent, not gated)")
+                  f"({note})")
             if agree < 1:
                 failures.append(f"{name}: parallel/sequential verdicts disagree")
+            if multi_core:
+                base = mean(base_row, "speedup")
+                r = ratio / base if base else float("inf")
+                if r < args.min_ratio:
+                    failures.append(
+                        f"{name}: model-check speedup regressed to x{r:.2f}")
             continue
-        base = base_row["metrics"][GATED]["mean"]
-        new = fresh_row["metrics"][GATED]["mean"]
-        ratio = new / base if base > 0 else float("inf")
-        status = "OK" if ratio >= args.min_ratio else "REGRESSION"
-        print(f"{name}: {GATED} {base:.1f}x -> {new:.1f}x "
-              f"(x{ratio:.2f} of baseline, floor x{args.min_ratio})  {status};"
-              f"  {INFO} {fresh_row['metrics'][INFO]['mean']:.0f}")
-        if ratio < args.min_ratio:
-            failures.append(f"{name}: {GATED} regressed to x{ratio:.2f}")
+        for gate in SCHEDULER_GATES:
+            base = mean(base_row, gate)
+            new = mean(fresh_row, gate)
+            if base is None:
+                continue  # metric not recorded for this row
+            if new is None:
+                failures.append(f"{name}: {gate} missing from fresh run")
+                continue
+            ratio = new / base if base > 0 else float("inf")
+            status = "OK" if ratio >= args.min_ratio else "REGRESSION"
+            print(f"{name}: {gate} {base:.1f}x -> {new:.1f}x "
+                  f"(x{ratio:.2f} of baseline, floor x{args.min_ratio})  "
+                  f"{status};  {INFO} {mean(fresh_row, INFO):.0f}")
+            if ratio < args.min_ratio:
+                failures.append(f"{name}: {gate} regressed to x{ratio:.2f}")
     if failures:
         print("\nperf smoke FAILED:", file=sys.stderr)
         for f in failures:
