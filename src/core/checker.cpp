@@ -8,6 +8,7 @@
 #include "core/bitwords.hpp"
 #include "core/enabled_cache.hpp"
 #include "core/scheduler.hpp"
+#include "core/sync_engine.hpp"
 #include "mc/properties.hpp"
 
 namespace ssno {
@@ -98,6 +99,11 @@ std::string describeConfig(const Protocol& p) {
 CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
                                           Fairness fairness) {
   CheckResult res;
+  if (sync_ && fairness != Fairness::kNone) {
+    res.failure =
+        "fairness-aware modes are not supported under synchronous steps";
+    return res;
+  }
   ConfigIndexer ix(protocol_);
   if (ix.overflow() || ix.total() > maxConfigs) {
     res.failure = "state space too large for exhaustive check";
@@ -143,10 +149,47 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
     protocol_.decodeNode(m.node, oldCode);
     return s;
   };
+  // Synchronous-successor machinery: a transition executes one
+  // simultaneous move set (every enabled processor acts) through the
+  // columnar engine — batched snapshot/restore of the acting set, one
+  // deferred dirty pass — then patches the mixed-radix index once per
+  // actor and rolls the acting set back in place.
+  SimultaneousEngine engine(protocol_);
+  std::vector<Move> selScratch;
+  constexpr int kSyncTag = -1;  // no single actor pair for a sync step
+  auto forEachSuccessor = [&](std::uint64_t c, const NodeMasks& enabled,
+                              auto&& fn /*(successor, actorPairTag) ->
+                                          bool: keep enumerating?*/) {
+    bool go = true;
+    if (!sync_) {
+      forEachMove(enabled, [&](const Move& m) {
+        if (!go) return;
+        go = fn(successorOf(c, m), m.node * actions + m.action);
+      });
+      return;
+    }
+    forEachSimultaneousSelection(
+        enabled, selScratch, [&](std::span<const Move> set) -> bool {
+          engine.execute(set);
+          std::uint64_t s;
+          if (naive_) {
+            s = ix.encodeFrom(protocol_);
+          } else {
+            s = c;
+            for (const Move& m : set)
+              s = ix.successorIndex(s, m.node, ix.code(m.node),
+                                    protocol_.encodeNode(m.node));
+          }
+          engine.undo();
+          go = fn(s, kSyncTag);
+          return go;
+        });
+  };
   auto successorsVec = [&](std::uint64_t c) {
     std::vector<std::pair<std::uint64_t, int>> succ;  // (config, actor)
-    forEachMove(expand(c), [&](const Move& m) {
-      succ.emplace_back(successorOf(c, m), m.node * actions + m.action);
+    forEachSuccessor(c, expand(c), [&](std::uint64_t s, int tag) {
+      succ.emplace_back(s, tag);
+      return true;
     });
     return succ;
   };
@@ -159,8 +202,12 @@ CheckResult ModelChecker::verifyFullSpace(std::uint64_t maxConfigs,
     const NodeMasks& enabled = expand(c);
     if (isLegit[c]) {
       bool closed = true;
-      forEachMove(enabled, [&](const Move& m) {
-        if (closed && !isLegit[successorOf(c, m)]) closed = false;
+      forEachSuccessor(c, enabled, [&](std::uint64_t s, int) {
+        if (!isLegit[s]) {
+          closed = false;
+          return false;  // violation found: stop enumerating
+        }
+        return true;
       });
       if (!closed) {
         ix.decodeDelta(protocol_, c);
@@ -266,6 +313,11 @@ CheckResult ModelChecker::verifyReachable(
     const std::vector<std::vector<std::uint64_t>>& seeds,
     std::uint64_t maxConfigs, Fairness fairness) {
   CheckResult res;
+  if (sync_ && fairness != Fairness::kNone) {
+    res.failure =
+        "fairness-aware modes are not supported under synchronous steps";
+    return res;
+  }
   const int actions = protocol_.actionCount();
   const std::size_t pairBits =
       static_cast<std::size_t>(protocol_.graph().nodeCount()) *
@@ -295,6 +347,9 @@ CheckResult ModelChecker::verifyReachable(
   cache.setForceNaive(naive_);
   std::vector<std::uint64_t> cur;  // codes currently decoded in protocol_
   NodeMasks enabledBuf;            // stable snapshot of each refresh
+  SimultaneousEngine engine(protocol_);  // synchronous move-set execution
+  std::vector<Move> selScratch;
+  constexpr int kSyncTag = -1;
 
   /// Interns the configuration the protocol currently holds (legitimacy
   /// is evaluated in place — no re-decode).
@@ -352,16 +407,8 @@ CheckResult ModelChecker::verifyReachable(
       });
     }
     bool failed = false;
-    forEachMove(enabledBuf, [&](const Move& m) {
-      if (failed) return;
-      protocol_.execute(m.node, m.action);
-      const int s = internCurrent();
-      // Only m.node's variables differ from c, so restoring that one
-      // node returns to c for the next move (cur still describes c).
-      protocol_.decodeNode(
-          m.node,
-          configs[static_cast<std::size_t>(c)][static_cast<std::size_t>(
-              m.node)]);
+    auto visitChild = [&](int s, int pair) {
+      // Called with the protocol restored to c (cur still describes c).
       if (configs.size() > maxConfigs) {
         res.failure = "reachable space exceeded maxConfigs";
         failed = true;
@@ -374,10 +421,34 @@ CheckResult ModelChecker::verifyReachable(
         failed = true;
         return;
       }
-      adj[static_cast<std::size_t>(c)].push_back(
-          {s, m.node * actions + m.action});
+      adj[static_cast<std::size_t>(c)].push_back({s, pair});
       frontier.push_back(s);
-    });
+    };
+    if (sync_) {
+      // One successor per simultaneous selection, executed in place by
+      // the columnar engine and rolled back via its batched restore.
+      forEachSimultaneousSelection(
+          enabledBuf, selScratch, [&](std::span<const Move> set) {
+            if (failed) return;
+            engine.execute(set);
+            const int s = internCurrent();
+            engine.undo();
+            visitChild(s, kSyncTag);
+          });
+    } else {
+      forEachMove(enabledBuf, [&](const Move& m) {
+        if (failed) return;
+        protocol_.execute(m.node, m.action);
+        const int s = internCurrent();
+        // Only m.node's variables differ from c, so restoring that one
+        // node returns to c for the next move (cur still describes c).
+        protocol_.decodeNode(
+            m.node,
+            configs[static_cast<std::size_t>(c)][static_cast<std::size_t>(
+                m.node)]);
+        visitChild(s, m.node * actions + m.action);
+      });
+    }
     if (failed) return res;
   }
   res.configsExplored = configs.size();

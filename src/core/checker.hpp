@@ -119,10 +119,24 @@ class ModelChecker {
   /// of the model-check throughput benchmark.
   void setNaiveExpansion(bool naive) { naive_ = naive; }
 
+  /// Verifies under SYNCHRONOUS-daemon semantics instead of the central
+  /// interleaving: a transition executes one simultaneous move set —
+  /// every enabled processor acts, each choosing one of its enabled
+  /// actions (successors = the cartesian product of per-node choices).
+  /// Move sets are executed in place by the columnar simultaneous-step
+  /// engine (core/sync_engine) — batched StateArena snapshot/restore of
+  /// the acting set with a single deferred dirty pass — instead of
+  /// per-node (node, mask) snapshot loops.  Under the synchronous
+  /// daemon every enabled processor acts each step, so the fairness-
+  /// aware modes are meaningless here: only Fairness::kNone is
+  /// accepted (the illegitimate region must be acyclic).
+  void setSynchronousSteps(bool sync) { sync_ = sync; }
+
  private:
   Protocol& protocol_;
   LegitPredicate legit_;
   bool naive_ = false;
+  bool sync_ = false;
 };
 
 }  // namespace ssno

@@ -28,6 +28,8 @@
 #define SSNO_CORE_ENABLED_VIEW_HPP
 
 #include <cstdint>
+#include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -201,6 +203,55 @@ void forEachMove(const NodeMasks& snapshot, Fn&& fn) {
       fn(Move{p, bits::lowestBit(m)});
       m &= m - 1;
     }
+  }
+}
+
+/// Enumerates every synchronous-daemon selection of `snapshot`: each
+/// enabled processor acts, choosing one of its enabled actions — the
+/// cartesian product of per-node choices, visited in lexicographic
+/// order (the last node's action varies fastest).  `fn` receives each
+/// selection as a node-ascending span valid for the duration of the
+/// call; a bool-returning `fn` stops the enumeration by returning
+/// false (the checkers' closure early-exit).  `scratch` is the reused
+/// backing buffer.  This is the checkers' synchronous-successor
+/// move-set enumeration; at model-checking scale the product is small
+/// (most processors have at most one enabled action).  No calls for an
+/// empty snapshot.
+template <class Fn>
+void forEachSimultaneousSelection(const NodeMasks& snapshot,
+                                  std::vector<Move>& scratch, Fn&& fn) {
+  if (snapshot.empty()) return;
+  scratch.clear();
+  for (const auto& [p, mask] : snapshot)
+    scratch.push_back(Move{p, bits::lowestBit(mask)});
+  auto visit = [&]() -> bool {
+    if constexpr (std::is_void_v<std::invoke_result_t<
+                      Fn&, std::span<const Move>>>) {
+      fn(std::span<const Move>(scratch));
+      return true;
+    } else {
+      return fn(std::span<const Move>(scratch));
+    }
+  };
+  while (true) {
+    if (!visit()) return;
+    // Odometer advance: bump the last node that still has a higher
+    // enabled action, resetting everything after it.
+    std::size_t i = snapshot.size();
+    bool advanced = false;
+    while (i > 0) {
+      --i;
+      const std::uint64_t mask = snapshot[i].second;
+      const std::uint64_t higher =
+          mask & bits::bitsAbove(scratch[i].action);
+      if (higher != 0) {
+        scratch[i].action = bits::lowestBit(higher);
+        advanced = true;
+        break;
+      }
+      scratch[i].action = bits::lowestBit(mask);
+    }
+    if (!advanced) return;
   }
 }
 

@@ -41,7 +41,7 @@ void Protocol::decodeConfigurationDelta(
     const auto i = static_cast<std::size_t>(p);
     if (codes[i] == prev[i]) continue;
     doDecodeNode(p, codes[i]);
-    dirtyAfterWrite(p);
+    noteWrite(p);
     prev[i] = codes[i];
   }
 }
@@ -58,12 +58,9 @@ std::vector<int> Protocol::rawConfiguration() const {
 void Protocol::setRawConfiguration(const std::vector<int>& values) {
   std::size_t offset = 0;
   for (NodeId p = 0; p < graph().nodeCount(); ++p) {
-    const std::size_t len = rawNode(p).size();
+    const std::size_t len = rawNodeLength(p);
     SSNO_EXPECTS(offset + len <= values.size());
-    doSetRawNode(p,
-                 std::vector<int>(values.begin() + static_cast<long>(offset),
-                                  values.begin() +
-                                      static_cast<long>(offset + len)));
+    doSetRawNode(p, std::span<const int>(values).subspan(offset, len));
     offset += len;
   }
   SSNO_EXPECTS(offset == values.size());

@@ -33,14 +33,18 @@
 #define SSNO_CORE_PROTOCOL_HPP
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/assert.hpp"
 #include "core/graph.hpp"
 #include "core/rng.hpp"
 #include "core/types.hpp"
 
 namespace ssno {
+
+class StateArena;
 
 /// One enabled (processor, action) pair, as offered to a daemon.
 struct Move {
@@ -83,7 +87,7 @@ class Protocol {
   /// variables).
   void execute(NodeId p, int action) {
     doExecute(p, action);
-    dirtyAfterWrite(p);
+    noteWrite(p);
   }
 
   /// Replaces every processor's state with a uniformly arbitrary one
@@ -96,7 +100,7 @@ class Protocol {
   /// Arbitrary state for a single processor (k-fault injection).
   void randomizeNode(NodeId p, Rng& rng) {
     doRandomizeNode(p, rng);
-    dirtyAfterWrite(p);
+    noteWrite(p);
   }
 
   /// ---- Canonical state codec (model checking / hashing) ---------------
@@ -109,16 +113,25 @@ class Protocol {
   [[nodiscard]] virtual std::uint64_t encodeNode(NodeId p) const = 0;
   void decodeNode(NodeId p, std::uint64_t code) {
     doDecodeNode(p, code);
-    dirtyAfterWrite(p);
+    noteWrite(p);
   }
 
   /// ---- Raw state snapshot (overflow-safe, any graph size) -------------
   /// The processor's variables as a flat int vector (protocol-defined
   /// order, fixed length per processor).
   [[nodiscard]] virtual std::vector<int> rawNode(NodeId p) const = 0;
-  void setRawNode(NodeId p, const std::vector<int>& values) {
+  /// rawNode(p).size() without materializing the vector.  Protocols
+  /// with expensive raw vectors (LexDfsTree's is Θ(n) ints) override;
+  /// whole-configuration walks use this for their offsets.
+  [[nodiscard]] virtual std::size_t rawNodeLength(NodeId p) const {
+    return rawNode(p).size();
+  }
+  void setRawNode(NodeId p, std::span<const int> values) {
     doSetRawNode(p, values);
-    dirtyAfterWrite(p);
+    noteWrite(p);
+  }
+  void setRawNode(NodeId p, std::initializer_list<int> values) {
+    setRawNode(p, std::span<const int>(values.begin(), values.size()));
   }
 
   /// Whole-configuration raw snapshot (concatenated per-node vectors).
@@ -149,6 +162,52 @@ class Protocol {
   /// FNV-1a hash of the canonical encoding (for visited-set bookkeeping).
   [[nodiscard]] std::uint64_t configurationHash() const;
 
+  /// ---- Simultaneous-step write bracket (deferred dirtying) -----------
+  /// Between begin and end, the mutation wrappers above only RECORD the
+  /// written processors instead of expanding each write into its dirty
+  /// region; endSimultaneousStep then performs one deduplicated
+  /// dirtyAfterWrite pass over the recorded writers.  A dense
+  /// synchronous step executes + rolls back every actor several times,
+  /// so immediate dirtying fires ~n·Δ redundant notifications per step;
+  /// the bracket collapses that to one pass over actors ∪ N(actors).
+  /// Contract: no dirty-set consumer (EnabledCache refresh) may run
+  /// inside the bracket, and brackets do not nest.  The simultaneous-
+  /// step engine (core/sync_engine) is the intended driver.
+  void beginSimultaneousStep() {
+    SSNO_EXPECTS(!defer_writes_);
+    if (deferred_flag_.size() !=
+        static_cast<std::size_t>(graph_.nodeCount()))
+      deferred_flag_.assign(static_cast<std::size_t>(graph_.nodeCount()), 0);
+    defer_writes_ = true;
+  }
+  void endSimultaneousStep() {
+    SSNO_EXPECTS(defer_writes_);
+    defer_writes_ = false;
+    for (NodeId p : deferred_writers_) {
+      deferred_flag_[static_cast<std::size_t>(p)] = 0;
+      dirtyAfterWrite(p);
+    }
+    deferred_writers_.clear();
+  }
+  [[nodiscard]] bool inSimultaneousStep() const { return defer_writes_; }
+
+  /// Dirty notification for a state write performed OUTSIDE the mutation
+  /// wrappers — e.g. a snapshot restore through StateArena columns,
+  /// which bypasses the do* hooks entirely.  Equivalent to the dirtying
+  /// a wrapper-mediated write at p would have produced (deferred inside
+  /// a simultaneous-step bracket).
+  void noteExternalWrite(NodeId p) { noteWrite(p); }
+
+  /// ---- Columnar state registry (simultaneous-step fast path) ----------
+  /// A protocol whose ENTIRE mutable per-node state lives in StateArena
+  /// columns appends its arenas here (sub-protocol arenas first).  The
+  /// simultaneous-step engine then snapshots/restores acting processors
+  /// with column-batched copies instead of per-node rawNode/setRawNode
+  /// vector round-trips.  The default — no arenas — keeps the engine on
+  /// the raw-vector path; opting in with state outside the registered
+  /// columns would make snapshot/restore lossy, so don't.
+  virtual void collectArenas(std::vector<StateArena*>& out) { (void)out; }
+
   /// ---- Dirty-set drain (single active consumer, e.g. EnabledCache) ----
   /// `true` after a whole-configuration write: the consumer must rescan
   /// every processor (dirtyNodes() is meaningless then).
@@ -175,7 +234,7 @@ class Protocol {
   virtual void doExecute(NodeId p, int action) = 0;
   virtual void doRandomizeNode(NodeId p, Rng& rng) = 0;
   virtual void doDecodeNode(NodeId p, std::uint64_t code) = 0;
-  virtual void doSetRawNode(NodeId p, const std::vector<int>& values) = 0;
+  virtual void doSetRawNode(NodeId p, std::span<const int> values) = 0;
 
   /// Dirty region of a state write at p.  The default — p's closed
   /// neighborhood — is correct whenever guards read only N[p]; protocols
@@ -207,10 +266,26 @@ class Protocol {
   }
 
  private:
+  /// Routes a write notification at p to dirtyAfterWrite, or — inside a
+  /// simultaneous-step bracket — into the deduplicated writer record.
+  void noteWrite(NodeId p) {
+    if (!defer_writes_) {
+      dirtyAfterWrite(p);
+      return;
+    }
+    auto& flag = deferred_flag_[static_cast<std::size_t>(p)];
+    if (flag) return;
+    flag = 1;
+    deferred_writers_.push_back(p);
+  }
+
   Graph graph_;
   std::vector<std::uint8_t> dirty_flag_;
   std::vector<NodeId> dirty_list_;
   bool all_dirty_ = true;  // a fresh protocol has never been scanned
+  bool defer_writes_ = false;
+  std::vector<std::uint8_t> deferred_flag_;
+  std::vector<NodeId> deferred_writers_;
 };
 
 }  // namespace ssno

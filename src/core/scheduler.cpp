@@ -50,59 +50,15 @@ const std::vector<Move>& Simulator::stepOnce() {
 }
 
 void Simulator::executeSimultaneously(const std::vector<Move>& moves) {
-  // Shared-memory semantics: every statement reads the pre-step
-  // configuration.  Only the acting processors change state, so it
-  // suffices to snapshot the actors and, before executing each move, roll
-  // the already-executed actors inside the mover's closed neighborhood
-  // back to their pre-step values; all post-states are applied at the end
-  // (each processor writes only its own variables, so writes commute).
-  //
-  // The neighborhood-scoped rollback is only sound when guards and
-  // statements read nothing beyond N[p]; protocols with non-local guard
-  // dependencies get the full-configuration snapshot instead.
-  if (!protocol_.guardsAreNeighborhoodLocal()) {
-    const std::vector<int> pre = protocol_.rawConfiguration();
-    std::vector<std::vector<int>> post(moves.size());
-    for (std::size_t i = 0; i < moves.size(); ++i) {
-      protocol_.setRawConfiguration(pre);
-      SSNO_ASSERT(protocol_.enabled(moves[i].node, moves[i].action));
-      protocol_.execute(moves[i].node, moves[i].action);
-      post[i] = protocol_.rawNode(moves[i].node);
-    }
-    protocol_.setRawConfiguration(pre);
-    for (std::size_t i = 0; i < moves.size(); ++i)
-      protocol_.setRawNode(moves[i].node, post[i]);
-    return;
-  }
-  const std::size_t k = moves.size();
-  if (preState_.size() < k) {
-    preState_.resize(k);
-    postState_.resize(k);
-  }
-  if (actingIndex_.size() !=
-      static_cast<std::size_t>(protocol_.graph().nodeCount()))
-    actingIndex_.assign(static_cast<std::size_t>(protocol_.graph().nodeCount()),
-                        -1);
-  for (std::size_t i = 0; i < k; ++i) {
-    preState_[i] = protocol_.rawNode(moves[i].node);
-    actingIndex_[static_cast<std::size_t>(moves[i].node)] =
-        static_cast<int>(i);
-  }
-  for (std::size_t i = 0; i < k; ++i) {
-    const NodeId p = moves[i].node;
-    for (NodeId q : protocol_.graph().neighbors(p)) {
-      const int j = actingIndex_[static_cast<std::size_t>(q)];
-      if (j >= 0 && static_cast<std::size_t>(j) < i)
-        protocol_.setRawNode(q, preState_[static_cast<std::size_t>(j)]);
-    }
-    SSNO_ASSERT(protocol_.enabled(p, moves[i].action));
-    protocol_.execute(p, moves[i].action);
-    postState_[i] = protocol_.rawNode(p);
-  }
-  for (std::size_t i = 0; i < k; ++i) {
-    protocol_.setRawNode(moves[i].node, postState_[i]);
-    actingIndex_[static_cast<std::size_t>(moves[i].node)] = -1;
-  }
+  // Shared-memory semantics live in the SimultaneousEngine: the columnar
+  // fast path snapshots/restores acting processors column-batched over
+  // the protocol's StateArena columns and defers dirtying to one
+  // deduplicated pass; the legacy knob (and naive mode, matching the
+  // historical stack) keeps the per-node-vector pipeline.
+  if (legacySim_ || naiveScan_)
+    engine_.executeLegacy(moves);
+  else
+    engine_.execute(moves);
 }
 
 void Simulator::accountRound(const std::vector<Move>& executed) {
@@ -119,6 +75,9 @@ void Simulator::accountRound(const std::vector<Move>& executed) {
   // pending-list compaction, which keeps the naive pipeline's round
   // accounting bit-identical to the historical implementation.
   const EnabledView& now = cache_.refreshView();
+  const bool fullInvalidate = cache_.consumeFullInvalidate();
+  if (statusObserver_)
+    statusObserver_(cache_.statusChanges(), fullInvalidate, now);
   if (pending_.size() != static_cast<std::size_t>(protocol_.graph().nodeCount()))
     pending_.assign(static_cast<std::size_t>(protocol_.graph().nodeCount()),
                     false);
@@ -135,7 +94,6 @@ void Simulator::accountRound(const std::vector<Move>& executed) {
       --pendingCount_;
     }
   };
-  const bool fullInvalidate = cache_.consumeFullInvalidate();
   if (!roundActive_) {
     // A round opens with the processors that executed or remain enabled
     // now (operational simplification of "continuously enabled since the

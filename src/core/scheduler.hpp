@@ -12,7 +12,13 @@
 //
 // Simultaneous moves follow the shared-memory distributed-daemon
 // semantics: all guards and statement right-hand sides are evaluated
-// against the configuration at the beginning of the step.
+// against the configuration at the beginning of the step — executed by
+// the columnar SimultaneousEngine (core/sync_engine): column-batched
+// snapshot/restore over the protocol's StateArena columns plus one
+// deferred, deduplicated dirty pass per step.  setLegacySimultaneous
+// restores the per-node-vector pipeline for before/after benchmarking;
+// Debug builds cross-check the columnar post-step configuration against
+// it on every step.
 //
 // Hot path: the simulator maintains the enabled-move set incrementally
 // (EnabledCache over the Protocol's dirty notifications) and hands the
@@ -29,12 +35,14 @@
 #define SSNO_CORE_SCHEDULER_HPP
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "core/daemon.hpp"
 #include "core/enabled_cache.hpp"
 #include "core/protocol.hpp"
 #include "core/rng.hpp"
+#include "core/sync_engine.hpp"
 #include "core/types.hpp"
 
 namespace ssno {
@@ -52,9 +60,22 @@ class Simulator {
   using Predicate = std::function<bool()>;
   /// Observer invoked after every executed move (for traces/statistics).
   using MoveObserver = std::function<void(const Move&)>;
+  /// Observer of the post-step enabled-status change feed: called once
+  /// per step with the nodes whose ANY-action-enabled status may have
+  /// flipped (may contain duplicates), whether the cache was fully
+  /// rebuilt since the last step (the list is meaningless then — resync
+  /// from the view), and the post-step view.  Consumers (fault-impact
+  /// tracking, status traces) react to O(#changed) nodes instead of
+  /// walking the move list every step.
+  using StatusObserver = std::function<void(
+      std::span<const NodeId>, bool fullInvalidate, const EnabledView&)>;
 
   Simulator(Protocol& protocol, Daemon& daemon, Rng& rng)
-      : protocol_(protocol), daemon_(daemon), rng_(rng), cache_(protocol) {
+      : protocol_(protocol),
+        daemon_(daemon),
+        rng_(rng),
+        cache_(protocol),
+        engine_(protocol) {
     // Round accounting consumes the cache's status-change feed so
     // neutralization is O(#changed) per step instead of O(#pending).
     cache_.setTrackStatusChanges(true);
@@ -73,6 +94,9 @@ class Simulator {
   const std::vector<Move>& stepOnce();
 
   void setMoveObserver(MoveObserver obs) { observer_ = std::move(obs); }
+  void setStatusObserver(StatusObserver obs) {
+    statusObserver_ = std::move(obs);
+  }
 
   /// Forces a full naive enabled-set rescan every step instead of the
   /// incremental cache, and selection over the materialized vector
@@ -87,6 +111,12 @@ class Simulator {
   /// pipeline, the "before" side of the bitmask-selection benchmark.
   void setLegacyVectorSelect(bool legacy) { legacySelect_ = legacy; }
 
+  /// Runs simultaneous steps through the PR-4-era per-node-vector
+  /// snapshot/restore pipeline with immediate dirtying instead of the
+  /// columnar engine — the "before" side of the sync_speedup benchmark.
+  /// (Naive-scan mode implies this, matching the historical stack.)
+  void setLegacySimultaneous(bool legacy) { legacySim_ = legacy; }
+
  private:
   void executeSimultaneously(const std::vector<Move>& moves);
   void accountRound(const std::vector<Move>& executed);
@@ -96,15 +126,15 @@ class Simulator {
   Daemon& daemon_;
   Rng& rng_;
   EnabledCache cache_;
+  SimultaneousEngine engine_;
   MoveObserver observer_;
+  StatusObserver statusObserver_;
   bool naiveScan_ = false;     // naive rescans imply vector selection
   bool legacySelect_ = false;  // vector selection on the incremental cache
+  bool legacySim_ = false;     // per-node-vector simultaneous steps
 
   // Reused buffers (no allocations in steady state).
   std::vector<Move> selected_;
-  std::vector<std::vector<int>> preState_;   // simultaneous-step snapshots
-  std::vector<std::vector<int>> postState_;
-  std::vector<int> actingIndex_;             // node -> move index, or -1
 
   // Round bookkeeping.  Invariant between calls: every processor with
   // pending_ set appears in pendingList_ (the list may additionally

@@ -1,0 +1,259 @@
+#include "core/sync_engine.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace ssno {
+
+SimultaneousEngine::SimultaneousEngine(Protocol& protocol)
+    : protocol_(protocol) {
+  protocol.collectArenas(arenas_);
+  pre_.resize(arenas_.size());
+  postData_.resize(arenas_.size());
+  preFull_.resize(arenas_.size());
+}
+
+void SimultaneousEngine::execute(std::span<const Move> moves) {
+  SSNO_ASSERT(!moves.empty());
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < moves.size(); ++i)
+    SSNO_ASSERT(moves[i - 1].node < moves[i].node);  // node-ascending
+#endif
+  if (!protocol_.guardsAreNeighborhoodLocal()) {
+    if (columnar())
+      executeColumnarFull(moves);
+    else
+      executeLegacyFull(moves);
+    return;
+  }
+  if (!columnar()) {
+    executeLegacyNeighborhood(moves);
+    return;
+  }
+#ifndef NDEBUG
+  // Cross-check: the columnar step must be bit-identical to the legacy
+  // per-node-vector pipeline.  Run legacy first, note its post-step
+  // configuration, rewind, then run the real (columnar) step.  The
+  // rewind dirties everything, which only makes the consumer's next
+  // refresh a full (still canonical) rebuild.
+  const std::vector<int> preCheck = protocol_.rawConfiguration();
+  executeLegacyNeighborhood(moves);
+  const std::vector<int> expected = protocol_.rawConfiguration();
+  protocol_.setRawConfiguration(preCheck);
+#endif
+  executeColumnar(moves);
+#ifndef NDEBUG
+  SSNO_ASSERT(protocol_.rawConfiguration() == expected);
+#endif
+}
+
+void SimultaneousEngine::executeLegacy(std::span<const Move> moves) {
+  SSNO_ASSERT(!moves.empty());
+  if (!protocol_.guardsAreNeighborhoodLocal()) {
+    executeLegacyFull(moves);
+    return;
+  }
+  executeLegacyNeighborhood(moves);
+}
+
+void SimultaneousEngine::capturePost(NodeId p) {
+  for (std::size_t a = 0; a < arenas_.size(); ++a) {
+    postOff_.push_back(postData_[a].size());
+    arenas_[a]->appendRawNode(p, postData_[a]);
+  }
+  captured_.push_back(p);
+}
+
+void SimultaneousEngine::restoreCapture(std::size_t ci) {
+  const NodeId p = captured_[ci];
+  const std::size_t arenaCount = arenas_.size();
+  for (std::size_t a = 0; a < arenaCount; ++a) {
+    const std::size_t start = postOff_[ci * arenaCount + a];
+    const std::size_t end = ci + 1 < captured_.size()
+                                ? postOff_[(ci + 1) * arenaCount + a]
+                                : postData_[a].size();
+    arenas_[a]->setRawNode(
+        p, std::span<const int>(postData_[a]).subspan(start, end - start));
+  }
+}
+
+void SimultaneousEngine::executeColumnar(std::span<const Move> moves) {
+  const Graph& g = protocol_.graph();
+  const std::size_t k = moves.size();
+  const auto n = static_cast<std::size_t>(g.nodeCount());
+  actors_.clear();
+  for (const Move& m : moves) actors_.push_back(m.node);
+  if (actorBits_.size() != n) actorBits_.resize(n);
+  if (actorSlot_.size() != n) actorSlot_.assign(n, -1);
+  for (std::size_t j = 0; j < k; ++j) {
+    actorBits_.set(static_cast<std::size_t>(actors_[j]));
+    actorSlot_[static_cast<std::size_t>(actors_[j])] =
+        static_cast<std::int32_t>(j);
+  }
+  for (std::size_t a = 0; a < arenas_.size(); ++a) {
+    arenas_[a]->snapshotNodes(actors_, pre_[a]);
+    postData_[a].clear();
+  }
+  postOff_.clear();
+  captured_.clear();
+  capturedFlag_.assign(k, 0);
+
+  protocol_.beginSimultaneousStep();
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId p = moves[i].node;
+    // Roll already-executed actors in N(p) back to their pre-step state
+    // (ascending order makes "executed before p" just q < p; membership
+    // is one bit probe).  The first rollback of an actor saves its post
+    // state for the end-of-step re-apply.
+    for (const NodeId q : g.neighbors(p)) {
+      if (q < p && actorBits_.test(static_cast<std::size_t>(q))) {
+        const auto j = static_cast<std::size_t>(
+            actorSlot_[static_cast<std::size_t>(q)]);
+        if (!capturedFlag_[j]) {
+          capturedFlag_[j] = 1;
+          capturePost(q);
+        }
+        for (std::size_t a = 0; a < arenas_.size(); ++a)
+          arenas_[a]->restoreNode(j, q, pre_[a]);
+      }
+    }
+    SSNO_ASSERT(protocol_.enabled(p, moves[i].action));
+    protocol_.execute(p, moves[i].action);
+  }
+  // Every captured actor was rolled back after it executed and never
+  // re-executed, so it currently holds its pre state: re-apply the post
+  // captures.  Uncaptured actors already hold their post state.
+  for (std::size_t ci = 0; ci < captured_.size(); ++ci) restoreCapture(ci);
+  protocol_.endSimultaneousStep();
+
+  for (std::size_t j = 0; j < k; ++j) {
+    actorBits_.clear(static_cast<std::size_t>(actors_[j]));
+    actorSlot_[static_cast<std::size_t>(actors_[j])] = -1;
+  }
+  last_ = Mode::kColumnar;
+}
+
+void SimultaneousEngine::executeColumnarFull(std::span<const Move> moves) {
+  // Non-neighborhood-local guards: every move must read the full
+  // pre-step configuration, so snapshot all columns once and restore
+  // them before each execution.
+  const auto n = static_cast<std::size_t>(protocol_.graph().nodeCount());
+  if (allNodes_.size() != n) {
+    allNodes_.resize(n);
+    for (std::size_t p = 0; p < n; ++p)
+      allNodes_[p] = static_cast<NodeId>(p);
+  }
+  for (std::size_t a = 0; a < arenas_.size(); ++a) {
+    arenas_[a]->snapshotNodes(allNodes_, preFull_[a]);
+    postData_[a].clear();
+  }
+  postOff_.clear();
+  captured_.clear();
+
+  protocol_.beginSimultaneousStep();
+  for (const Move& m : moves) {
+    for (std::size_t a = 0; a < arenas_.size(); ++a)
+      arenas_[a]->restoreNodes(allNodes_, preFull_[a]);
+    SSNO_ASSERT(protocol_.enabled(m.node, m.action));
+    protocol_.execute(m.node, m.action);
+    capturePost(m.node);
+  }
+  for (std::size_t a = 0; a < arenas_.size(); ++a)
+    arenas_[a]->restoreNodes(allNodes_, preFull_[a]);
+  for (std::size_t ci = 0; ci < captured_.size(); ++ci) restoreCapture(ci);
+  protocol_.endSimultaneousStep();
+  last_ = Mode::kColumnarFull;
+}
+
+void SimultaneousEngine::executeLegacyNeighborhood(
+    std::span<const Move> moves) {
+  // The PR 4 pipeline, verbatim: per-actor rawNode/setRawNode vector
+  // round-trips with immediate dirty notifications.
+  const std::size_t k = moves.size();
+  if (preVec_.size() < k) {
+    preVec_.resize(k);
+    postVec_.resize(k);
+  }
+  if (actingIndex_.size() !=
+      static_cast<std::size_t>(protocol_.graph().nodeCount()))
+    actingIndex_.assign(
+        static_cast<std::size_t>(protocol_.graph().nodeCount()), -1);
+  for (std::size_t i = 0; i < k; ++i) {
+    preVec_[i] = protocol_.rawNode(moves[i].node);
+    actingIndex_[static_cast<std::size_t>(moves[i].node)] =
+        static_cast<int>(i);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const NodeId p = moves[i].node;
+    for (const NodeId q : protocol_.graph().neighbors(p)) {
+      const int j = actingIndex_[static_cast<std::size_t>(q)];
+      if (j >= 0 && static_cast<std::size_t>(j) < i)
+        protocol_.setRawNode(q, preVec_[static_cast<std::size_t>(j)]);
+    }
+    SSNO_ASSERT(protocol_.enabled(p, moves[i].action));
+    protocol_.execute(p, moves[i].action);
+    postVec_[i] = protocol_.rawNode(p);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    protocol_.setRawNode(moves[i].node, postVec_[i]);
+    actingIndex_[static_cast<std::size_t>(moves[i].node)] = -1;
+  }
+  lastMoves_.assign(moves.begin(), moves.end());
+  last_ = Mode::kLegacy;
+}
+
+void SimultaneousEngine::executeLegacyFull(std::span<const Move> moves) {
+  // Full-configuration snapshots through the raw-vector API; the post
+  // states live in one reused flat buffer (postOff_ records extents)
+  // instead of a fresh vector<vector<int>> per step.
+  preConfig_ = protocol_.rawConfiguration();
+  std::vector<int>& post = postFlat_;
+  post.clear();
+  postOff_.clear();
+  for (const Move& m : moves) {
+    protocol_.setRawConfiguration(preConfig_);
+    SSNO_ASSERT(protocol_.enabled(m.node, m.action));
+    protocol_.execute(m.node, m.action);
+    postOff_.push_back(post.size());
+    const std::vector<int> node = protocol_.rawNode(m.node);
+    post.insert(post.end(), node.begin(), node.end());
+  }
+  postOff_.push_back(post.size());
+  protocol_.setRawConfiguration(preConfig_);
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    protocol_.setRawNode(
+        moves[i].node,
+        std::span<const int>(post).subspan(postOff_[i],
+                                           postOff_[i + 1] - postOff_[i]));
+  }
+  last_ = Mode::kLegacyFull;
+}
+
+void SimultaneousEngine::undo() {
+  switch (last_) {
+    case Mode::kColumnar:
+      for (std::size_t a = 0; a < arenas_.size(); ++a)
+        arenas_[a]->restoreNodes(actors_, pre_[a]);
+      for (const NodeId p : actors_) protocol_.noteExternalWrite(p);
+      break;
+    case Mode::kColumnarFull:
+      for (std::size_t a = 0; a < arenas_.size(); ++a)
+        arenas_[a]->restoreNodes(allNodes_, preFull_[a]);
+      for (const NodeId p : allNodes_) protocol_.noteExternalWrite(p);
+      break;
+    case Mode::kLegacy:
+      for (std::size_t i = 0; i < lastMoves_.size(); ++i)
+        protocol_.setRawNode(lastMoves_[i].node, preVec_[i]);
+      break;
+    case Mode::kLegacyFull:
+      protocol_.setRawConfiguration(preConfig_);
+      break;
+    case Mode::kNone:
+      SSNO_ASSERT(false);
+      break;
+  }
+  last_ = Mode::kNone;
+}
+
+}  // namespace ssno

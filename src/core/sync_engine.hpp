@@ -1,0 +1,129 @@
+// SimultaneousEngine — the columnar simultaneous-step executor.
+//
+// A simultaneous step (distributed / synchronous daemon) executes a set
+// of moves, at most one per processor, under shared-memory semantics:
+// every guard and statement right-hand side reads the configuration at
+// the beginning of the step.  Since a statement writes only its own
+// processor's variables, it suffices to snapshot the acting processors,
+// roll already-executed actors inside each mover's closed neighborhood
+// back to their pre-step values before it executes, and leave every
+// actor at its post state when the step ends.
+//
+// PR 4 left this path per-node: each actor round-tripped through
+// rawNode()/setRawNode() std::vector<int> copies (for DFTNO, two heap
+// allocations per rawNode call), and every rollback fired an immediate
+// dirty notification — a dense synchronous step at n = 1e5 allocated
+// ~n small vectors and produced ~n·Δ redundant dirty events.  This
+// engine rebuilds the path on three primitives:
+//
+//   * column-batched snapshot/restore — the acting set's pre-step state
+//     is captured through StateArena::snapshotNodes (one tight loop per
+//     registered column, no per-node vectors) for protocols that opt in
+//     via Protocol::collectArenas; single-actor rollbacks restore one
+//     scratch slice per column;
+//   * a WordBitset actor set — neighborhood-rollback membership tests
+//     are O(1) bit probes (moves arrive node-ascending, so "q acted
+//     before p" is just q < p);
+//   * the Protocol simultaneous-step bracket — dirty notifications are
+//     deferred for the whole step and expanded once, deduplicated, over
+//     actors ∪ N(actors), so the EnabledCache refresh that follows does
+//     O(|dirty set|) work instead of absorbing per-rollback events.
+//
+// Post states are captured lazily: an actor's post state is saved (flat
+// append, no per-node vector) only the first time a later-acting
+// neighbor rolls it back, and re-applied at the end of the step —
+// actors without later-acting neighbors are never copied at all.
+//
+// Protocols whose guards read beyond N[p] (guardsAreNeighborhoodLocal()
+// == false) take the full-configuration path instead: the whole column
+// set is snapshotted once and every move executes from the restored
+// pre-step configuration (columnar when the protocol opts in, reused
+// raw-vector scratch otherwise).
+//
+// executeLegacy() preserves the PR 4 per-node-vector pipeline with
+// immediate dirtying — the "before" side of the sync_speedup benchmark
+// and the Simulator's setLegacySimultaneous knob; in Debug builds
+// execute() cross-checks the columnar post-step configuration against
+// it bit for bit.  undo() restores the pre-step configuration of the
+// last step (with dirty notifications), which is what lets the model
+// checkers expand synchronous successors in place.
+#ifndef SSNO_CORE_SYNC_ENGINE_HPP
+#define SSNO_CORE_SYNC_ENGINE_HPP
+
+#include <span>
+#include <vector>
+
+#include "core/bitwords.hpp"
+#include "core/protocol.hpp"
+#include "core/state_arena.hpp"
+#include "core/types.hpp"
+
+namespace ssno {
+
+class SimultaneousEngine {
+ public:
+  /// Collects the protocol's columnar arenas once; protocols that do
+  /// not opt in run on the raw-vector paths.
+  explicit SimultaneousEngine(Protocol& protocol);
+
+  [[nodiscard]] bool columnar() const { return !arenas_.empty(); }
+
+  /// Executes `moves` (node-ascending, at most one per processor, all
+  /// enabled) as one simultaneous step.  Dispatches to the columnar
+  /// fast path, the full-configuration path for non-neighborhood-local
+  /// guards, or the raw-vector path for protocols without arenas.
+  void execute(std::span<const Move> moves);
+
+  /// The historical per-node-vector pipeline (immediate dirtying):
+  /// results are bit-identical to execute(), costs are the PR 4 ones.
+  void executeLegacy(std::span<const Move> moves);
+
+  /// Restores the configuration from before the last execute*() call,
+  /// with dirty notifications — the checkers' in-place successor
+  /// rollback.  Valid once per step.
+  void undo();
+
+ private:
+  enum class Mode { kNone, kColumnar, kColumnarFull, kLegacy, kLegacyFull };
+
+  void executeColumnar(std::span<const Move> moves);
+  void executeColumnarFull(std::span<const Move> moves);
+  void executeLegacyNeighborhood(std::span<const Move> moves);
+  void executeLegacyFull(std::span<const Move> moves);
+
+  /// Appends `p`'s current (post) state to the flat capture buffers.
+  void capturePost(NodeId p);
+  /// Restores capture index `ci` into its node's columns.
+  void restoreCapture(std::size_t ci);
+
+  Protocol& protocol_;
+  std::vector<StateArena*> arenas_;
+  Mode last_ = Mode::kNone;
+
+  // Columnar-path scratch (reused; no steady-state allocations).
+  std::vector<NodeId> actors_;
+  bits::WordBitset actorBits_;
+  std::vector<std::int32_t> actorSlot_;  // node -> index in actors_, or -1
+  std::vector<StateArena::Scratch> pre_;  // per arena, actors' pre state
+  std::vector<std::vector<int>> postData_;    // per arena, flat captures
+  std::vector<std::size_t> postOff_;          // capture ci, arena a ->
+                                              // postData_[a] start offset
+  std::vector<NodeId> captured_;              // capture order
+  std::vector<std::uint8_t> capturedFlag_;    // per actor slot
+
+  // Full-configuration scratch.
+  std::vector<NodeId> allNodes_;
+  std::vector<StateArena::Scratch> preFull_;
+  std::vector<int> preConfig_;  // raw-vector fallback
+  std::vector<int> postFlat_;   // raw-vector fallback post states
+
+  // Legacy-path scratch (the historical buffers).
+  std::vector<std::vector<int>> preVec_;
+  std::vector<std::vector<int>> postVec_;
+  std::vector<int> actingIndex_;  // node -> move index, or -1
+  std::vector<Move> lastMoves_;   // for undo()
+};
+
+}  // namespace ssno
+
+#endif  // SSNO_CORE_SYNC_ENGINE_HPP

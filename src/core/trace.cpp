@@ -14,6 +14,42 @@ void TraceRecorder::record(const Move& move) {
   events_.push_back(std::move(ev));
 }
 
+void TraceRecorder::recordStatusChanges(std::span<const NodeId> changed,
+                                        bool fullInvalidate,
+                                        const EnabledView& now) {
+  const auto n = static_cast<std::size_t>(now.nodeCountTotal());
+  if (statusPrev_.size() != n) statusPrev_.resize(n);  // starts all-clear
+  statusScratch_.clear();
+  auto flip = [this](NodeId p, bool is) {
+    statusScratch_.push_back(p);
+    if (is)
+      statusPrev_.set(static_cast<std::size_t>(p));
+    else
+      statusPrev_.clear(static_cast<std::size_t>(p));
+  };
+  if (fullInvalidate) {
+    // Resynchronize: diff the whole view against the recorded set
+    // (already in ascending node order).
+    for (NodeId p = 0; p < static_cast<NodeId>(n); ++p) {
+      const bool is = now.anyEnabled(p);
+      if (is != statusPrev_.test(static_cast<std::size_t>(p))) flip(p, is);
+    }
+  } else {
+    // The feed may hold duplicates and arrives in dirty order; the
+    // prev-set comparison deduplicates, the sort canonicalizes.
+    for (const NodeId p : changed) {
+      const bool is = now.anyEnabled(p);
+      if (is != statusPrev_.test(static_cast<std::size_t>(p))) flip(p, is);
+    }
+    std::sort(statusScratch_.begin(), statusScratch_.end());
+  }
+  for (const NodeId p : statusScratch_) {
+    statusEvents_.push_back(
+        {statusSteps_, p, statusPrev_.test(static_cast<std::size_t>(p))});
+  }
+  ++statusSteps_;
+}
+
 std::string TraceRecorder::render() const {
   std::ostringstream out;
   for (const TraceEvent& ev : events_) {
@@ -30,6 +66,15 @@ std::string TraceRecorder::renderFiltered(
     if (std::find(actions.begin(), actions.end(), ev.action) != actions.end())
       out << '#' << ev.index << "  node " << ev.node << "  " << ev.action
           << "  " << ev.stateAfter << '\n';
+  }
+  return out.str();
+}
+
+std::string TraceRecorder::renderStatus() const {
+  std::ostringstream out;
+  for (const StatusEvent& ev : statusEvents_) {
+    out << "step " << ev.step << "  " << (ev.enabled ? '+' : '-') << "node "
+        << ev.node << '\n';
   }
   return out.str();
 }

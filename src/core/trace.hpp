@@ -1,12 +1,25 @@
 // Execution trace recording and rendering.  Used by the tests for
 // debugging and by examples/figure_traces to regenerate the paper's
 // Figures 3.1.1 and 4.1.1 step by step.
+//
+// Two event streams:
+//   * move events    — one per executed move (Simulator move observer);
+//   * status events  — enabled-status flips (+p when processor p gains
+//     an enabled action, -p when it loses its last one), driven by the
+//     Simulator's status observer, i.e. the EnabledCache status-change
+//     feed.  The historical way to produce these diffed a full
+//     enabledMoves() walk per step; the feed makes recording
+//     O(#flips) per step.  tests/status_feed_test.cpp pins
+//     bit-identity of the two.
 #ifndef SSNO_CORE_TRACE_HPP
 #define SSNO_CORE_TRACE_HPP
 
+#include <span>
 #include <string>
 #include <vector>
 
+#include "core/bitwords.hpp"
+#include "core/enabled_view.hpp"
 #include "core/protocol.hpp"
 #include "core/types.hpp"
 
@@ -19,6 +32,13 @@ struct TraceEvent {
   std::string stateAfter;     ///< dumpNode(node) after the move
 };
 
+/// One enabled-status flip, as observed after a daemon step.
+struct StatusEvent {
+  StepCount step = 0;  ///< daemon-step sequence number
+  NodeId node = kNoNode;
+  bool enabled = false;  ///< true: became enabled; false: neutralized
+};
+
 class TraceRecorder {
  public:
   explicit TraceRecorder(const Protocol& protocol) : protocol_(protocol) {}
@@ -26,10 +46,25 @@ class TraceRecorder {
   /// Records one executed move; call from a Simulator move observer.
   void record(const Move& move);
 
+  /// Records the enabled-status flips of one step; call from a
+  /// Simulator status observer.  Deduplicates the feed against the
+  /// previously recorded enabled set, so each event is a real flip;
+  /// flips are recorded in ascending node order per step.
+  void recordStatusChanges(std::span<const NodeId> changed,
+                           bool fullInvalidate, const EnabledView& now);
+
   [[nodiscard]] const std::vector<TraceEvent>& events() const {
     return events_;
   }
-  void clear() { events_.clear(); }
+  [[nodiscard]] const std::vector<StatusEvent>& statusEvents() const {
+    return statusEvents_;
+  }
+  void clear() {
+    events_.clear();
+    statusEvents_.clear();
+    statusPrev_.reset();
+    statusSteps_ = 0;
+  }
 
   /// Tabular ASCII rendering ("#12 node 3  Forward   S=->1 col=0 ...").
   [[nodiscard]] std::string render() const;
@@ -38,9 +73,16 @@ class TraceRecorder {
   [[nodiscard]] std::string renderFiltered(
       const std::vector<std::string>& actions) const;
 
+  /// Renders the status stream ("step 4  +node 2" / "step 5  -node 7").
+  [[nodiscard]] std::string renderStatus() const;
+
  private:
   const Protocol& protocol_;
   std::vector<TraceEvent> events_;
+  std::vector<StatusEvent> statusEvents_;
+  bits::WordBitset statusPrev_;  // enabled set at the last recorded step
+  std::vector<NodeId> statusScratch_;
+  StepCount statusSteps_ = 0;
 };
 
 }  // namespace ssno

@@ -189,7 +189,7 @@ void Dftc::doRandomizeNode(NodeId p, Rng& rng) {
 
 std::vector<int> Dftc::rawNode(NodeId p) const { return arena_.rawNode(p); }
 
-void Dftc::doSetRawNode(NodeId p, const std::vector<int>& values) {
+void Dftc::doSetRawNode(NodeId p, std::span<const int> values) {
   arena_.setRawNode(p, values);
   // The root's depth/parent are semantically fixed; keep the stored
   // representation canonical so raw-configuration identity is exact.

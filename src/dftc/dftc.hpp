@@ -125,6 +125,14 @@ class Dftc final : public Protocol {
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
   [[nodiscard]] std::string dumpNode(NodeId p) const override;
+  void collectArenas(std::vector<StateArena*>& out) override {
+    out.push_back(&arena_);
+  }
+
+  /// Overlay protocols split their raw vectors at this boundary.
+  [[nodiscard]] std::size_t rawNodeLength(NodeId p) const override {
+    return arena_.rawLength(p);
+  }
 
   // ---- Substrate-specific API ----
   void setHooks(TokenHooks hooks) { hooks_ = std::move(hooks); }
@@ -161,7 +169,7 @@ class Dftc final : public Protocol {
   void doExecute(NodeId p, int action) override;
   void doRandomizeNode(NodeId p, Rng& rng) override;
   void doDecodeNode(NodeId p, std::uint64_t code) override;
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override;
+  void doSetRawNode(NodeId p, std::span<const int> values) override;
 
  private:
   static constexpr int kIdle = -1;

@@ -347,10 +347,16 @@ TrialResult routingTrial(const Graph& g, const Scenario&, std::uint64_t) {
   return r;
 }
 
-/// Simulator throughput on DFTNO, three pipelines on identical work:
-///   * bitmask      — incremental cache + EnabledView daemon selection
-///                    (the default path; reported as
-///                    incremental_moves_per_sec for baseline continuity),
+/// Simulator throughput on DFTNO, up to four pipelines on identical work:
+///   * bitmask      — incremental cache + EnabledView daemon selection +
+///                    columnar simultaneous steps (the default path;
+///                    reported as incremental_moves_per_sec for baseline
+///                    continuity),
+///   * legacy-sim   — columnar selection, but simultaneous steps run the
+///                    PR-4-era per-node-vector snapshot/restore pipeline
+///                    (setLegacySimultaneous; measured only under the
+///                    synchronous daemon, where executeSimultaneously is
+///                    the hot path — the "before" side of sync_speedup),
 ///   * legacy-vector — incremental cache, but the O(#enabled) node-major
 ///                    move vector is materialized per step and handed to
 ///                    Daemon::legacySelect (the PR-3-era pipeline),
@@ -360,11 +366,12 @@ TrialResult routingTrial(const Graph& g, const Scenario&, std::uint64_t) {
 /// All runs execute exactly s.budget moves from the same scrambled
 /// start, so the measured work is identical move for move; in Debug
 /// builds the bitmask run cross-checks every selection against the
-/// legacy path.
+/// legacy path and every columnar simultaneous step against the
+/// per-node-vector pipeline.
 TrialResult schedulerTrial(const Graph& g, const Scenario& s,
                            std::uint64_t seed) {
   constexpr int kNaiveNodeCap = 20'000;
-  enum class Mode { kBitmask, kLegacyVector, kNaive };
+  enum class Mode { kBitmask, kLegacySim, kLegacyVector, kNaive };
   auto movesPerSec = [&](Mode mode) {
     Dftno dftno(g);
     Rng rng(seed);
@@ -373,8 +380,58 @@ TrialResult schedulerTrial(const Graph& g, const Scenario& s,
     Simulator sim(dftno, *daemon, rng);
     if (mode == Mode::kNaive) sim.setNaiveEnabledScan(true);
     if (mode == Mode::kLegacyVector) sim.setLegacyVectorSelect(true);
+    if (mode == Mode::kLegacySim) sim.setLegacySimultaneous(true);
     const auto start = std::chrono::steady_clock::now();
     const RunStats stats = sim.runToQuiescence(s.budget);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return static_cast<double>(stats.moves) / std::max(secs, 1e-9);
+  };
+  // Dense synchronous stepping on LexDfsTree — the fat-state protocol.
+  // Its raw snapshot format is a padded (n+3)-int vector per processor,
+  // so the legacy per-node-vector simultaneous pipeline copies Θ(n)
+  // ints per actor per step, while the columnar engine copies each
+  // actor's actual state (a few ints plus its real path word).  A
+  // bounded perturbation keeps the workload memory-feasible at any n:
+  // `perturb` distinct non-root processors get short random words, so
+  // every synchronous step executes on the order of `perturb`
+  // simultaneous moves (the perturbed processors and their activated
+  // neighbors) — a dense simultaneous step even at n = 1e5.
+  auto lexMovesPerSec = [&](bool legacySim) {
+    constexpr int kPerturbCap = 256;
+    constexpr int kWordCap = 8;
+    LexDfsTree lex(g);
+    Rng rng(seed ^ 0x1e0dull);
+    const int n = g.nodeCount();
+    const int perturb = std::min(n - 1, kPerturbCap);
+    // Partial Fisher-Yates over the non-root ids.
+    std::vector<NodeId> ids;
+    ids.reserve(static_cast<std::size_t>(n - 1));
+    for (NodeId p = 0; p < n; ++p)
+      if (p != g.root()) ids.push_back(p);
+    std::vector<int> raw(static_cast<std::size_t>(n) + 3, 0);
+    for (int i = 0; i < perturb; ++i) {
+      std::swap(ids[static_cast<std::size_t>(i)],
+                ids[static_cast<std::size_t>(
+                    rng.between(i, static_cast<int>(ids.size()) - 1))]);
+      const NodeId p = ids[static_cast<std::size_t>(i)];
+      std::fill(raw.begin(), raw.end(), 0);
+      raw[0] = rng.below(g.degree(p));
+      raw[1] = 1;
+      const int len = 1 + rng.below(kWordCap);
+      raw[2] = len;
+      for (int k2 = 0; k2 < len; ++k2)
+        raw[3 + static_cast<std::size_t>(k2)] =
+            rng.below(std::max(1, g.maxDegree()));
+      lex.setRawNode(p, raw);
+    }
+    auto daemon = makeDaemon(s.daemon);
+    Simulator sim(lex, *daemon, rng);
+    if (legacySim) sim.setLegacySimultaneous(true);
+    const StepCount budget = 3 * static_cast<StepCount>(perturb);
+    const auto start = std::chrono::steady_clock::now();
+    const RunStats stats = sim.runToQuiescence(budget);
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -386,6 +443,22 @@ TrialResult schedulerTrial(const Graph& g, const Scenario& s,
   r.metrics = {{"incremental_moves_per_sec", bitmask},
                {"legacy_vector_moves_per_sec", legacyVector},
                {"bitmask_speedup", bitmask / std::max(legacyVector, 1e-9)}};
+  if (s.daemon == DaemonKind::kSynchronous) {
+    // DFTNO pipeline ratio (thin 8-int state: shared guard re-evaluation
+    // and statement execution dominate, so the honest ceiling is low).
+    const double legacySim = movesPerSec(Mode::kLegacySim);
+    r.metrics.emplace_back("legacy_sim_moves_per_sec", legacySim);
+    r.metrics.emplace_back("dftno_sync_speedup",
+                           bitmask / std::max(legacySim, 1e-9));
+    // Columnar-engine ratio on the fat-state protocol (the headline:
+    // legacy copies Θ(n) ints per actor, the columnar engine does not).
+    const double lexLegacy = lexMovesPerSec(true);
+    const double lexColumnar = lexMovesPerSec(false);
+    r.metrics.emplace_back("lex_sync_moves_per_sec", lexColumnar);
+    r.metrics.emplace_back("lex_legacy_sync_moves_per_sec", lexLegacy);
+    r.metrics.emplace_back("sync_speedup",
+                           lexColumnar / std::max(lexLegacy, 1e-9));
+  }
   if (g.nodeCount() <= kNaiveNodeCap) {
     const double naive = movesPerSec(Mode::kNaive);
     r.metrics.emplace_back("naive_moves_per_sec", naive);

@@ -225,6 +225,22 @@ std::vector<Scenario> schedulerPreset() {
     s.budget = 4'000;
     out.push_back(s);
   }
+  {
+    // Dense synchronous large-n row: from a random DFTNO start nearly
+    // every processor is enabled, so the first few synchronous steps
+    // execute Θ(n) simultaneous moves each; a budget of ~2n keeps the
+    // whole run inside that dense transient.  Synchronous rows gate two
+    // within-trial (hardware-independent) ratios of the columnar
+    // simultaneous-step engine vs the per-node-vector pipeline:
+    // dftno_sync_speedup (thin 8-int state — modest, shared guard
+    // re-evaluation dominates) and sync_speedup (LexDfsTree's padded
+    // Θ(n)-int raw vectors — the engine's headline).  Naive mode is
+    // skipped above the node cap, as for the round-robin large-n row.
+    Scenario s = triple(ProtocolKind::kScheduler, DaemonKind::kSynchronous,
+                        "ring:100000", 3, kSeed);
+    s.budget = 200'000;
+    out.push_back(s);
+  }
   out.push_back(
       modelCheckScenario(McTarget::kDftcFault, "ring:10", 3, 8'000'000));
   return out;

@@ -14,6 +14,7 @@
 #include "core/assert.hpp"
 #include "core/bitwords.hpp"
 #include "core/enabled_cache.hpp"
+#include "core/sync_engine.hpp"
 #include "mc/properties.hpp"
 #include "mc/spill.hpp"
 #include "mc/state_codec.hpp"
@@ -29,6 +30,9 @@ constexpr std::size_t kWorkChunk = 64;        // frontier ids per claim
 /// only breaks ties between different kinds at the same level; any
 /// fixed order gives deterministic verdicts).
 enum ViolationKind : int { kClosure = 0, kDeadlock = 1, kFairCycle = 2 };
+
+/// Parent-move sentinel for synchronous steps (no single actor pair).
+constexpr std::uint32_t kSyncMove = 0xFFFFFFFFu;
 
 struct Violation {
   int kind = kClosure;
@@ -82,6 +86,10 @@ struct Worker {
   NodeMasks enabled;
   std::vector<std::uint64_t> childKey;  // successor scratch
   std::vector<std::uint64_t> nextBuf;   // local next-frontier batch
+  /// Synchronous mode: per-worker columnar move-set executor + the
+  /// reused selection buffer for the cartesian-product enumeration.
+  std::unique_ptr<SimultaneousEngine> engine;
+  std::vector<Move> selScratch;
 };
 
 /// Shared state of one checkFullSpace/checkReachable run.
@@ -103,6 +111,8 @@ class Run {
       w.legitNow = [this, protocol = w.protocol.get()] {
         return legit_(*protocol);
       };
+      if (opt.synchronousSteps)
+        w.engine = std::make_unique<SimultaneousEngine>(*w.protocol);
     }
     codec_ = std::make_unique<StateCodec>(*workers_[0].protocol);
     actions_ = workers_[0].protocol->actionCount();
@@ -175,6 +185,29 @@ class Run {
     if (w.enabled.empty() && !parentLegit) {
       offer({kDeadlock,
              std::vector<std::uint64_t>(key, key + codec_->words()), 0});
+      return;
+    }
+    if (opt_.synchronousSteps) {
+      // Synchronous semantics: one successor per simultaneous selection
+      // (every enabled node acts), executed in place by the columnar
+      // engine and rolled back via its batched snapshot restore.
+      forEachSimultaneousSelection(
+          w.enabled, w.selScratch, [&](std::span<const Move> set) {
+            w.engine->execute(set);
+            std::memcpy(w.childKey.data(), w.cur.data(),
+                        static_cast<std::size_t>(codec_->words()) * 8);
+            for (const Move& m : set)
+              codec_->setNodeCode(w.childKey.data(), m.node,
+                                  w.protocol->encodeNode(m.node));
+            const StateStore::Ref r =
+                intern(w, w.childKey.data(), depth + 1, key, id, kSyncMove);
+            w.engine->undo();
+            if (r.inserted) pushNext(w, r.id);
+            if (parentLegit && !r.legit)
+              offer({kClosure,
+                     std::vector<std::uint64_t>(key, key + codec_->words()),
+                     kSyncMove});
+          });
       return;
     }
     forEachMove(w.enabled, [&](const Move& m) {
@@ -252,8 +285,10 @@ class Run {
       std::ostringstream line;
       if (i == 0) {
         line << "initial configuration:\n";
+      } else if (const std::uint32_t pair = store_->parentMoveOf(chain[i]);
+                 pair == kSyncMove) {
+        line << "synchronous step:\n";
       } else {
-        const std::uint32_t pair = store_->parentMoveOf(chain[i]);
         line << "node " << (pair / static_cast<std::uint32_t>(actions_))
              << " executes "
              << w.protocol->actionName(
@@ -280,13 +315,14 @@ class Run {
     const std::string config = describeConfiguration(*w.protocol);
     switch (v.kind) {
       case kClosure: {
+        res.failure =
+            "closure violated; legitimate configuration:\n" + config;
+        if (v.move == kSyncMove) break;  // no single move to replay
         // Append the offending transition to the trace.
         const NodeId node =
             static_cast<NodeId>(v.move / static_cast<std::uint32_t>(actions_));
         const int action =
             static_cast<int>(v.move % static_cast<std::uint32_t>(actions_));
-        res.failure =
-            "closure violated; legitimate configuration:\n" + config;
         w.protocol->execute(node, action);
         res.trace.push_back("node " + std::to_string(node) + " executes " +
                             w.protocol->actionName(action) +
@@ -350,6 +386,28 @@ class Run {
           decodeTo(w, key);
           w.enabled.clear();
           w.cache->refreshView().appendNodeMasks(w.enabled);
+          if (opt_.synchronousSteps) {
+            // Fairness is kNone here (enforced at entry): edges only,
+            // pair masks unused.
+            forEachSimultaneousSelection(
+                w.enabled, w.selScratch, [&](std::span<const Move> set) {
+                  w.engine->execute(set);
+                  std::memcpy(w.childKey.data(), w.cur.data(),
+                              static_cast<std::size_t>(codec_->words()) * 8);
+                  for (const Move& m : set)
+                    codec_->setNodeCode(w.childKey.data(), m.node,
+                                        w.protocol->encodeNode(m.node));
+                  w.engine->undo();
+                  const std::uint64_t cid =
+                      store_->find(w.childKey.data(),
+                                   codec_->hash(w.childKey.data()));
+                  SSNO_ASSERT(cid != StateStore::kNoId);
+                  const std::int32_t ci =
+                      localIdx[static_cast<std::size_t>(cid)];
+                  if (ci >= 0) g.adj[i].push_back({ci, 0});
+                });
+            continue;
+          }
           forEachMove(w.enabled, [&](const Move& m) {
             const auto pair =
                 static_cast<std::uint32_t>(m.node * actions_ + m.action);
@@ -430,6 +488,11 @@ Result finish(Run& run, Result res,
 Result ParallelChecker::checkFullSpace(const Options& opt) {
   const auto start = std::chrono::steady_clock::now();
   Result res;
+  if (opt.synchronousSteps && opt.fairness != Fairness::kNone) {
+    res.failure =
+        "fairness-aware modes are not supported under synchronous steps";
+    return res;
+  }
   std::uint64_t total = 0;
   {
     const std::unique_ptr<Protocol> probe = factory_();
@@ -471,6 +534,11 @@ Result ParallelChecker::checkReachable(
     const Options& opt) {
   const auto start = std::chrono::steady_clock::now();
   Result res;
+  if (opt.synchronousSteps && opt.fairness != Fairness::kNone) {
+    res.failure =
+        "fairness-aware modes are not supported under synchronous steps";
+    return res;
+  }
   Run run(factory_, legit_, opt, opt.maxStates);
   std::atomic<std::size_t> cursor{0};
   runWorkers(run.threads(), [&](int t) {

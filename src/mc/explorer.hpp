@@ -55,6 +55,14 @@ struct Options {
   int threads = 1;  ///< 0 = std::thread::hardware_concurrency()
   std::uint64_t maxStates = std::uint64_t{1} << 22;
   Fairness fairness = Fairness::kNone;
+  /// Verify under SYNCHRONOUS-daemon semantics: a transition executes
+  /// one simultaneous move set (every enabled processor acts, one
+  /// enabled action each; successors = the cartesian product of
+  /// per-node choices), run in place by the columnar simultaneous-step
+  /// engine (core/sync_engine).  Every enabled processor acts each
+  /// step, so the fairness-aware modes are meaningless here — only
+  /// Fairness::kNone combines with this flag.
+  bool synchronousSteps = false;
   /// Frontier ids kept in RAM before spilling a run file; 0 = unbounded
   /// (no disk tier).
   std::uint64_t spillCapacity = 0;

@@ -108,8 +108,12 @@ std::vector<int> InitBasedOrientation::rawNode(NodeId p) const {
   return arena_.rawNode(p);
 }
 
+std::size_t InitBasedOrientation::rawNodeLength(NodeId p) const {
+  return arena_.rawLength(p);
+}
+
 void InitBasedOrientation::doSetRawNode(NodeId p,
-                                      const std::vector<int>& values) {
+                                        std::span<const int> values) {
   arena_.setRawNode(p, values);
 }
 

@@ -45,7 +45,11 @@ class InitBasedOrientation final : public Protocol {
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  [[nodiscard]] std::size_t rawNodeLength(NodeId p) const override;
   [[nodiscard]] std::string dumpNode(NodeId p) const override;
+  void collectArenas(std::vector<StateArena*>& out) override {
+    out.push_back(&arena_);
+  }
 
   // ---- Orientation API ----
   [[nodiscard]] int modulus() const { return graph().nodeCount(); }
@@ -64,7 +68,7 @@ class InitBasedOrientation final : public Protocol {
   void doExecute(NodeId p, int action) override;
   void doRandomizeNode(NodeId p, Rng& rng) override;
   void doDecodeNode(NodeId p, std::uint64_t code) override;
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override;
+  void doSetRawNode(NodeId p, std::span<const int> values) override;
 
   /// The Number guard at p reads the `numbered` flag of p's preorder
   /// predecessor, which is generally NOT a neighbor (the wave order is a

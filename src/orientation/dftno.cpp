@@ -148,13 +148,11 @@ std::vector<int> Dftno::rawNode(NodeId p) const {
   return out;
 }
 
-void Dftno::doSetRawNode(NodeId p, const std::vector<int>& values) {
-  const std::size_t subLen = dftc_.rawNode(p).size();
+void Dftno::doSetRawNode(NodeId p, std::span<const int> values) {
+  const std::size_t subLen = dftc_.rawNodeLength(p);
   SSNO_EXPECTS(values.size() ==
                subLen + 2 + static_cast<std::size_t>(graph().degree(p)));
-  dftc_.setRawNode(
-      p, std::vector<int>(values.begin(),
-                          values.begin() + static_cast<long>(subLen)));
+  dftc_.setRawNode(p, values.subspan(0, subLen));
   eta_[p] = values[subLen];
   max_[p] = values[subLen + 1];
   for (Port l = 0; l < graph().degree(p); ++l)

@@ -69,7 +69,15 @@ class Dftno final : public Protocol {
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  [[nodiscard]] std::size_t rawNodeLength(NodeId p) const override {
+    return dftc_.rawNodeLength(p) + 2 +
+           static_cast<std::size_t>(graph().degree(p));
+  }
   [[nodiscard]] std::string dumpNode(NodeId p) const override;
+  void collectArenas(std::vector<StateArena*>& out) override {
+    dftc_.collectArenas(out);
+    out.push_back(&arena_);
+  }
 
   // ---- Orientation API ----
   /// The modulus N every node knows (here: the exact node count).
@@ -117,7 +125,7 @@ class Dftno final : public Protocol {
   void doExecute(NodeId p, int action) override;
   void doRandomizeNode(NodeId p, Rng& rng) override;
   void doDecodeNode(NodeId p, std::uint64_t code) override;
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override;
+  void doSetRawNode(NodeId p, std::span<const int> values) override;
 
  private:
   [[nodiscard]] int chordal(NodeId p, NodeId q) const {

@@ -175,14 +175,11 @@ std::vector<int> Stno::rawNode(NodeId p) const {
   return out;
 }
 
-void Stno::doSetRawNode(NodeId p, const std::vector<int>& values) {
-  const std::size_t subLen = bfs_ ? bfs_->rawNode(p).size() : 0;
+void Stno::doSetRawNode(NodeId p, std::span<const int> values) {
+  const std::size_t subLen = bfs_ ? bfs_->rawNodeLength(p) : 0;
   const std::size_t deg = static_cast<std::size_t>(graph().degree(p));
   SSNO_EXPECTS(values.size() == subLen + 2 + 2 * deg);
-  if (bfs_)
-    bfs_->setRawNode(
-        p, std::vector<int>(values.begin(),
-                            values.begin() + static_cast<long>(subLen)));
+  if (bfs_) bfs_->setRawNode(p, values.subspan(0, subLen));
   weight_[p] = values[subLen];
   eta_[p] = values[subLen + 1];
   for (std::size_t l = 0; l < deg; ++l) {

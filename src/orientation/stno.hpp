@@ -74,7 +74,15 @@ class Stno final : public Protocol {
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  [[nodiscard]] std::size_t rawNodeLength(NodeId p) const override {
+    return (bfs_ ? bfs_->rawNodeLength(p) : 0) + 2 +
+           2 * static_cast<std::size_t>(graph().degree(p));
+  }
   [[nodiscard]] std::string dumpNode(NodeId p) const override;
+  void collectArenas(std::vector<StateArena*>& out) override {
+    if (bfs_) bfs_->collectArenas(out);
+    out.push_back(&arena_);
+  }
 
   // ---- Orientation API ----
   [[nodiscard]] int modulus() const { return graph().nodeCount(); }
@@ -112,7 +120,7 @@ class Stno final : public Protocol {
   void doExecute(NodeId p, int action) override;
   void doRandomizeNode(NodeId p, Rng& rng) override;
   void doDecodeNode(NodeId p, std::uint64_t code) override;
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override;
+  void doSetRawNode(NodeId p, std::span<const int> values) override;
 
  private:
   /// Allocation-free child test used by the hot guard paths.

@@ -69,7 +69,7 @@ std::vector<int> BfsTree::rawNode(NodeId p) const {
           par_[p]};
 }
 
-void BfsTree::doSetRawNode(NodeId p, const std::vector<int>& values) {
+void BfsTree::doSetRawNode(NodeId p, std::span<const int> values) {
   if (p == graph().root()) {
     SSNO_EXPECTS(values.empty());
     return;

@@ -42,6 +42,14 @@ class BfsTree final : public Protocol, public TreeView {
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
   [[nodiscard]] std::string dumpNode(NodeId p) const override;
+  void collectArenas(std::vector<StateArena*>& out) override {
+    out.push_back(&arena_);
+  }
+
+  /// The root snapshots empty; overlay protocols split here.
+  [[nodiscard]] std::size_t rawNodeLength(NodeId p) const override {
+    return p == graph().root() ? 0 : 2;
+  }
 
   // ---- TreeView interface ----
   [[nodiscard]] NodeId parentOf(NodeId p) const override;
@@ -68,7 +76,7 @@ class BfsTree final : public Protocol, public TreeView {
   void doExecute(NodeId p, int action) override;
   void doRandomizeNode(NodeId p, Rng& rng) override;
   void doDecodeNode(NodeId p, std::uint64_t code) override;
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override;
+  void doSetRawNode(NodeId p, std::span<const int> values) override;
 
  private:
   [[nodiscard]] int minNeighborDist(NodeId p) const;

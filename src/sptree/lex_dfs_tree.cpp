@@ -11,14 +11,13 @@ namespace ssno {
 LexDfsTree::LexDfsTree(Graph graph)
     : Protocol(std::move(graph)),
       arena_(this->graph()),
-      par_(arena_.nodeColumn(0)) {
+      par_(arena_.nodeColumn(0)),
+      has_(arena_.nodeColumn(0)),
+      word_(arena_.varColumn()) {
   SSNO_EXPECTS(this->graph().nodeCount() >= 2);
   SSNO_EXPECTS(this->graph().isConnected());
   maxDegree_ = this->graph().maxDegree();
-  const std::size_t n = static_cast<std::size_t>(this->graph().nodeCount());
-  word_.assign(n, std::nullopt);
-  word_[static_cast<std::size_t>(this->graph().root())] =
-      std::vector<Port>{};  // the root's word is ε, permanently
+  has_[this->graph().root()] = 1;  // the root's word is ε, permanently
 }
 
 std::string LexDfsTree::actionName(int action) const {
@@ -26,52 +25,74 @@ std::string LexDfsTree::actionName(int action) const {
   return "LexFix";
 }
 
-bool LexDfsTree::lexLess(const std::optional<std::vector<Port>>& a,
-                         const std::optional<std::vector<Port>>& b) {
-  if (!a.has_value()) return false;  // ⊤ is never smaller
-  if (!b.has_value()) return true;   // anything < ⊤
-  return std::lexicographical_compare(a->begin(), a->end(), b->begin(),
-                                      b->end());
+bool LexDfsTree::candLess(const Cand& a, const Cand& b) {
+  if (!a.valid) return false;  // ⊤ is never smaller
+  if (!b.valid) return true;   // anything < ⊤
+  const std::size_t lenA = a.prefix.size() + 1;
+  const std::size_t lenB = b.prefix.size() + 1;
+  const std::size_t common = std::min(lenA, lenB);
+  for (std::size_t i = 0; i < common; ++i) {
+    const int ai = i < a.prefix.size() ? a.prefix[i] : a.last;
+    const int bi = i < b.prefix.size() ? b.prefix[i] : b.last;
+    if (ai != bi) return ai < bi;
+  }
+  return lenA < lenB;
 }
 
-std::optional<std::vector<Port>> LexDfsTree::candidateVia(NodeId p,
-                                                          Port l) const {
+LexDfsTree::Cand LexDfsTree::candidateVia(NodeId p, Port l) const {
   const NodeId q = graph().neighborAt(p, l);
-  const auto& wq = word_[static_cast<std::size_t>(q)];
-  if (!wq.has_value()) return std::nullopt;
-  if (static_cast<int>(wq->size()) + 1 > graph().nodeCount() - 1)
-    return std::nullopt;  // longer than any simple path: ⊤
-  std::vector<Port> cand = *wq;
-  cand.push_back(graph().portOf(q, p));
-  return cand;
+  Cand c;
+  if (!has_[q]) return c;
+  if (word_.length(q) + 1 > graph().nodeCount() - 1)
+    return c;  // longer than any simple path: ⊤
+  c.valid = true;
+  c.prefix = word_.row(q);
+  c.last = graph().portOf(q, p);
+  c.port = l;
+  return c;
 }
 
-LexDfsTree::Best LexDfsTree::bestCandidate(NodeId p) const {
-  Best best;  // starts at ⊤
+LexDfsTree::Cand LexDfsTree::bestCandidate(NodeId p) const {
+  Cand best;  // starts at ⊤
   for (Port l = 0; l < graph().degree(p); ++l) {
-    auto cand = candidateVia(p, l);
-    if (lexLess(cand, best.word)) {
-      best.word = std::move(cand);
-      best.port = l;
-    }
+    const Cand cand = candidateVia(p, l);
+    if (candLess(cand, best)) best = cand;
   }
   return best;
 }
 
+bool LexDfsTree::wordEquals(NodeId p, const Cand& c) const {
+  if (!c.valid) return !has_[p];
+  if (!has_[p]) return false;
+  const std::span<const int> w = word_.row(p);
+  if (w.size() != c.prefix.size() + 1) return false;
+  if (w.back() != c.last) return false;
+  return std::equal(c.prefix.begin(), c.prefix.end(), w.begin());
+}
+
 bool LexDfsTree::enabled(NodeId p, int action) const {
   if (action != kFix || p == graph().root()) return false;
-  const Best best = bestCandidate(p);
-  if (word_[static_cast<std::size_t>(p)] != best.word) return true;
+  const Cand best = bestCandidate(p);
+  if (!wordEquals(p, best)) return true;
   // Word already minimal; the recorded parent must attain it.
-  return best.word.has_value() && par_[p] != best.port;
+  return best.valid && par_[p] != best.port;
 }
 
 void LexDfsTree::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
-  Best best = bestCandidate(p);
-  word_[static_cast<std::size_t>(p)] = std::move(best.word);
-  par_[p] =
-      best.port == kNoPort ? 0 : best.port;
+  const Cand best = bestCandidate(p);
+  if (best.valid) {
+    // best.prefix aliases the word pool; stage through scratch_ because
+    // setRow may relocate it.
+    scratch_.assign(best.prefix.begin(), best.prefix.end());
+    scratch_.push_back(best.last);
+    has_[p] = 1;
+    word_.setRow(p, scratch_);
+  } else {
+    has_[p] = 0;
+    word_.setRow(p, {});  // absent words keep a canonical empty row
+  }
+  par_[p] = best.port == kNoPort ? 0 : best.port;
 }
 
 void LexDfsTree::doRandomizeNode(NodeId p, Rng& rng) {
@@ -79,12 +100,14 @@ void LexDfsTree::doRandomizeNode(NodeId p, Rng& rng) {
   // Random word: random length 0..n−1 (or ⊤), random alphabet entries.
   const int n = graph().nodeCount();
   if (rng.chance(0.15)) {
-    word_[static_cast<std::size_t>(p)] = std::nullopt;
+    has_[p] = 0;
+    word_.setRow(p, {});
   } else {
     const int len = rng.below(n);
-    std::vector<Port> w(static_cast<std::size_t>(len));
-    for (auto& x : w) x = rng.below(std::max(1, maxDegree_));
-    word_[static_cast<std::size_t>(p)] = std::move(w);
+    scratch_.resize(static_cast<std::size_t>(len));
+    for (int& x : scratch_) x = rng.below(std::max(1, maxDegree_));
+    has_[p] = 1;
+    word_.setRow(p, scratch_);
   }
   par_[p] = rng.below(graph().degree(p));
 }
@@ -109,16 +132,16 @@ std::uint64_t LexDfsTree::encodeNode(NodeId p) const {
   const std::uint64_t a = static_cast<std::uint64_t>(std::max(1, maxDegree_));
   // Word index: 0 = ⊤; otherwise 1 + Σ_{k<len} a^k + value-as-base-a.
   std::uint64_t widx = 0;
-  const auto& w = word_[static_cast<std::size_t>(p)];
-  if (w.has_value()) {
+  if (has_[p]) {
+    const std::span<const int> w = word_.row(p);
     widx = 1;
     std::uint64_t lenCount = 1;
-    for (std::size_t k = 0; k < w->size(); ++k) {
+    for (std::size_t k = 0; k < w.size(); ++k) {
       widx += lenCount;
       lenCount *= a;
     }
     std::uint64_t value = 0;
-    for (Port x : *w) value = value * a + static_cast<std::uint64_t>(x);
+    for (int x : w) value = value * a + static_cast<std::uint64_t>(x);
     widx += value;  // offset within the length block
   }
   return widx * static_cast<std::uint64_t>(graph().degree(p)) +
@@ -132,7 +155,8 @@ void LexDfsTree::doDecodeNode(NodeId p, std::uint64_t code) {
   par_[p] = static_cast<Port>(code % deg);
   std::uint64_t widx = code / deg;
   if (widx == 0) {
-    word_[static_cast<std::size_t>(p)] = std::nullopt;
+    has_[p] = 0;
+    word_.setRow(p, {});
     return;
   }
   --widx;
@@ -144,54 +168,55 @@ void LexDfsTree::doDecodeNode(NodeId p, std::uint64_t code) {
     lenCount *= a;
     ++len;
   }
-  std::vector<Port> w(static_cast<std::size_t>(len));
+  scratch_.resize(static_cast<std::size_t>(len));
   for (int k = len - 1; k >= 0; --k) {
-    w[static_cast<std::size_t>(k)] = static_cast<Port>(widx % a);
+    scratch_[static_cast<std::size_t>(k)] = static_cast<int>(widx % a);
     widx /= a;
   }
-  word_[static_cast<std::size_t>(p)] = std::move(w);
+  has_[p] = 1;
+  word_.setRow(p, scratch_);
 }
 
 std::vector<int> LexDfsTree::rawNode(NodeId p) const {
-  // Layout: [par, hasWord, len, entries...] padded to fixed length n+2.
+  // Layout: [par, hasWord, len, entries...] padded to fixed length n+3.
   const int n = graph().nodeCount();
   std::vector<int> out(static_cast<std::size_t>(n) + 3, 0);
   out[0] = par_[p];
-  const auto& w = word_[static_cast<std::size_t>(p)];
-  out[1] = w.has_value() ? 1 : 0;
-  if (w.has_value()) {
-    out[2] = static_cast<int>(w->size());
-    for (std::size_t k = 0; k < w->size(); ++k) out[3 + k] = (*w)[k];
+  out[1] = has_[p] ? 1 : 0;
+  if (has_[p]) {
+    const std::span<const int> w = word_.row(p);
+    out[2] = static_cast<int>(w.size());
+    std::copy(w.begin(), w.end(), out.begin() + 3);
   }
   return out;
 }
 
-void LexDfsTree::doSetRawNode(NodeId p, const std::vector<int>& values) {
+void LexDfsTree::doSetRawNode(NodeId p, std::span<const int> values) {
   SSNO_EXPECTS(values.size() ==
                static_cast<std::size_t>(graph().nodeCount()) + 3);
   if (p == graph().root()) return;  // hard-wired ε
   par_[p] = values[0];
   if (values[1] == 0) {
-    word_[static_cast<std::size_t>(p)] = std::nullopt;
+    has_[p] = 0;
+    word_.setRow(p, {});
     return;
   }
-  const int len = values[2];
-  std::vector<Port> w(static_cast<std::size_t>(len));
-  for (int k = 0; k < len; ++k) w[static_cast<std::size_t>(k)] = values[3 + static_cast<std::size_t>(k)];
-  word_[static_cast<std::size_t>(p)] = std::move(w);
+  const auto len = static_cast<std::size_t>(values[2]);
+  has_[p] = 1;
+  word_.setRow(p, values.subspan(3, len));
 }
 
 std::string LexDfsTree::dumpNode(NodeId p) const {
   std::ostringstream out;
-  const auto& w = word_[static_cast<std::size_t>(p)];
   out << "w=";
-  if (!w.has_value()) {
+  if (!has_[p]) {
     out << "T";
   } else {
     out << '(';
-    for (std::size_t k = 0; k < w->size(); ++k) {
+    const std::span<const int> w = word_.row(p);
+    for (std::size_t k = 0; k < w.size(); ++k) {
       if (k) out << ',';
-      out << (*w)[k];
+      out << w[k];
     }
     out << ')';
   }

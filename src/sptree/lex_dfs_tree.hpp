@@ -50,16 +50,31 @@ class LexDfsTree final : public Protocol, public TreeView {
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
+  [[nodiscard]] std::size_t rawNodeLength(NodeId) const override {
+    return static_cast<std::size_t>(graph().nodeCount()) + 3;
+  }
   [[nodiscard]] std::string dumpNode(NodeId p) const override;
 
   // ---- TreeView interface ----
   [[nodiscard]] NodeId parentOf(NodeId p) const override;
   [[nodiscard]] const Graph& treeGraph() const override { return graph(); }
 
+  void collectArenas(std::vector<StateArena*>& out) override {
+    out.push_back(&arena_);
+  }
+
   // ---- Substrate-specific API ----
   /// ⊤ (no valid path known) is represented as an absent word.
-  [[nodiscard]] const std::optional<std::vector<Port>>& word(NodeId p) const {
-    return word_[static_cast<std::size_t>(p)];
+  /// (Materializes a copy; the live word is a VarColumn row — use
+  /// wordRow()/hasWord() on hot paths.)
+  [[nodiscard]] std::optional<std::vector<Port>> word(NodeId p) const {
+    if (!has_[p]) return std::nullopt;
+    const std::span<const int> row = word_.row(p);
+    return std::vector<Port>(row.begin(), row.end());
+  }
+  [[nodiscard]] bool hasWord(NodeId p) const { return has_[p] != 0; }
+  [[nodiscard]] std::span<const int> wordRow(NodeId p) const {
+    return word_.row(p);
   }
 
   /// L: silent, i.e. every word is the lex-min root path and every
@@ -74,29 +89,33 @@ class LexDfsTree final : public Protocol, public TreeView {
   void doExecute(NodeId p, int action) override;
   void doRandomizeNode(NodeId p, Rng& rng) override;
   void doDecodeNode(NodeId p, std::uint64_t code) override;
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override;
+  void doSetRawNode(NodeId p, std::span<const int> values) override;
 
  private:
-  /// Lexicographic shorter-prefix-first order on words; nullopt is ⊤.
-  [[nodiscard]] static bool lexLess(
-      const std::optional<std::vector<Port>>& a,
-      const std::optional<std::vector<Port>>& b);
-  /// w_q ⊕ port_q(p), or ⊤ if q's word is ⊤ / too long / out-of-alphabet.
-  [[nodiscard]] std::optional<std::vector<Port>> candidateVia(NodeId p,
-                                                              Port l) const;
-  struct Best {
-    std::optional<std::vector<Port>> word;  // nullopt = ⊤
-    Port port = kNoPort;
+  /// A candidate word w_q ⊕ port_q(p), represented without
+  /// materialization: the neighbor's word row plus one appended entry.
+  /// valid == false is ⊤ (neighbor's word absent or result too long).
+  struct Cand {
+    bool valid = false;
+    std::span<const int> prefix;  // the neighbor's word row
+    int last = 0;                 // appended entry port_q(p)
+    Port port = kNoPort;          // p's port the candidate arrives on
   };
-  [[nodiscard]] Best bestCandidate(NodeId p) const;
+  /// Lexicographic shorter-prefix-first order on candidates (⊤ largest).
+  [[nodiscard]] static bool candLess(const Cand& a, const Cand& b);
+  [[nodiscard]] Cand candidateVia(NodeId p, Port l) const;
+  [[nodiscard]] Cand bestCandidate(NodeId p) const;
+  /// Does p's current word equal the candidate?
+  [[nodiscard]] bool wordEquals(NodeId p, const Cand& c) const;
 
-  // Per node: the path word (nullopt = ⊤) and the parent port.  The
-  // parent port is a SoA column; words are variable-length (up to N−1
-  // entries), so a fixed-stride column would cost O(n²) ints — they stay
-  // as lazily sized per-node vectors.
-  std::vector<std::optional<std::vector<Port>>> word_;
+  // Per node: the path word (has=0 is ⊤; entries in a paged VarColumn
+  // pool — variable length up to N−1, so a fixed-stride column would
+  // cost O(n²) ints) and the parent port.
   StateArena arena_;
   NodeColumn par_;
+  NodeColumn has_;   // 1 iff the word is present (0 = ⊤)
+  VarColumn word_;
+  std::vector<int> scratch_;  // decode/randomize staging buffer
   int maxDegree_ = 0;
 };
 

@@ -115,8 +115,8 @@ class CopyRightProtocol final : public Protocol {
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override {
     return {v_[static_cast<std::size_t>(p)]};
   }
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override {
-    v_[static_cast<std::size_t>(p)] = values.at(0);
+  void doSetRawNode(NodeId p, std::span<const int> values) override {
+    v_[static_cast<std::size_t>(p)] = values[0];
   }
   [[nodiscard]] std::string dumpNode(NodeId p) const override {
     return std::to_string(v_[static_cast<std::size_t>(p)]);

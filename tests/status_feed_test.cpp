@@ -1,0 +1,143 @@
+// Status-change-feed consumers: fault-impact bookkeeping and status
+// trace recording must be bit-identical to the historical
+// walk-the-move-list implementations they replace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/fault.hpp"
+#include "core/rng.hpp"
+#include "core/scheduler.hpp"
+#include "core/trace.hpp"
+#include "orientation/dftno.hpp"
+#include "sptree/bfs_tree.hpp"
+
+namespace ssno {
+namespace {
+
+/// The old walk: enabled nodes via a full enabledMoves() scan.
+std::vector<bool> enabledByWalk(const Protocol& proto) {
+  std::vector<bool> enabled(static_cast<std::size_t>(proto.graph().nodeCount()),
+                            false);
+  for (const Move& m : proto.enabledMoves())
+    enabled[static_cast<std::size_t>(m.node)] = true;
+  return enabled;
+}
+
+std::vector<bool> toVec(const bits::WordBitset& b) {
+  std::vector<bool> out(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] = b.test(i);
+  return out;
+}
+
+TEST(FaultImpactTracker, BitIdenticalToMoveListWalkUnderChurn) {
+  for (DaemonKind daemonKind :
+       {DaemonKind::kSynchronous, DaemonKind::kRoundRobin}) {
+    const Graph g = Graph::grid(4, 4);
+    Dftno proto(g);
+    Rng rng(91);
+    proto.randomize(rng);
+    const std::unique_ptr<Daemon> daemon = makeDaemon(daemonKind);
+    Simulator sim(proto, *daemon, rng);
+    FaultImpactTracker tracker(g.nodeCount());
+    sim.setStatusObserver(
+        [&](std::span<const NodeId> ch, bool inv, const EnabledView& v) {
+          tracker.onStatusChanges(ch, inv, v);
+        });
+    FaultInjector inj(proto);
+    // Old-walk shadow: enabled set + cumulative footprint per step.
+    std::vector<bool> footprint(static_cast<std::size_t>(g.nodeCount()),
+                                false);
+    for (int step = 0; step < 200; ++step) {
+      if (step % 17 == 5) inj.corruptK(2, rng);
+      if (sim.stepOnce().empty()) break;
+      const std::vector<bool> walk = enabledByWalk(proto);
+      for (std::size_t i = 0; i < walk.size(); ++i)
+        if (walk[i]) footprint[i] = true;
+      ASSERT_EQ(toVec(tracker.enabledNow()), walk) << "step " << step;
+      ASSERT_EQ(toVec(tracker.footprint()), footprint) << "step " << step;
+    }
+    EXPECT_EQ(tracker.footprintCount(),
+              static_cast<std::size_t>(
+                  std::count(footprint.begin(), footprint.end(), true)));
+  }
+}
+
+TEST(FaultImpactTracker, ResetFootprintKeepsCurrentlyEnabled) {
+  const Graph g = Graph::ring(8);
+  BfsTree proto(g);
+  Rng rng(5);
+  proto.randomize(rng);
+  const std::unique_ptr<Daemon> daemon = makeDaemon(DaemonKind::kSynchronous);
+  Simulator sim(proto, *daemon, rng);
+  FaultImpactTracker tracker(g.nodeCount());
+  sim.setStatusObserver(
+      [&](std::span<const NodeId> ch, bool inv, const EnabledView& v) {
+        tracker.onStatusChanges(ch, inv, v);
+      });
+  (void)sim.stepOnce();
+  tracker.resetFootprint();
+  EXPECT_EQ(toVec(tracker.footprint()), toVec(tracker.enabledNow()));
+}
+
+TEST(TraceRecorder, StatusEventsBitIdenticalToMoveListDiff) {
+  for (DaemonKind daemonKind :
+       {DaemonKind::kSynchronous, DaemonKind::kDistributed}) {
+    const Graph g = Graph::grid(3, 4);
+    Dftno proto(g);
+    Rng rng(17);
+    proto.randomize(rng);
+    const std::unique_ptr<Daemon> daemon = makeDaemon(daemonKind);
+    Simulator sim(proto, *daemon, rng);
+    TraceRecorder trace(proto);
+    sim.setStatusObserver(
+        [&](std::span<const NodeId> ch, bool inv, const EnabledView& v) {
+          trace.recordStatusChanges(ch, inv, v);
+        });
+    // Old walk: a full enabled scan per step, diffed against the last.
+    std::vector<StatusEvent> walkEvents;
+    std::vector<bool> prev(static_cast<std::size_t>(g.nodeCount()), false);
+    StepCount step = 0;
+    for (int i = 0; i < 150; ++i) {
+      if (sim.stepOnce().empty()) break;
+      const std::vector<bool> now = enabledByWalk(proto);
+      for (std::size_t p = 0; p < now.size(); ++p)
+        if (now[p] != prev[p])
+          walkEvents.push_back({step, static_cast<NodeId>(p), now[p]});
+      prev = now;
+      ++step;
+    }
+    ASSERT_EQ(trace.statusEvents().size(), walkEvents.size());
+    for (std::size_t i = 0; i < walkEvents.size(); ++i) {
+      EXPECT_EQ(trace.statusEvents()[i].step, walkEvents[i].step) << i;
+      EXPECT_EQ(trace.statusEvents()[i].node, walkEvents[i].node) << i;
+      EXPECT_EQ(trace.statusEvents()[i].enabled, walkEvents[i].enabled) << i;
+    }
+    EXPECT_FALSE(trace.renderStatus().empty());
+  }
+}
+
+TEST(TraceRecorder, ClearResetsStatusStream) {
+  const Graph g = Graph::ring(6);
+  BfsTree proto(g);
+  Rng rng(3);
+  proto.randomize(rng);
+  const std::unique_ptr<Daemon> daemon = makeDaemon(DaemonKind::kSynchronous);
+  Simulator sim(proto, *daemon, rng);
+  TraceRecorder trace(proto);
+  sim.setStatusObserver(
+      [&](std::span<const NodeId> ch, bool inv, const EnabledView& v) {
+        trace.recordStatusChanges(ch, inv, v);
+      });
+  (void)sim.stepOnce();
+  EXPECT_FALSE(trace.statusEvents().empty());
+  trace.clear();
+  EXPECT_TRUE(trace.statusEvents().empty());
+  EXPECT_TRUE(trace.renderStatus().empty());
+}
+
+}  // namespace
+}  // namespace ssno

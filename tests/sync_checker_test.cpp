@@ -1,0 +1,203 @@
+// Synchronous-successor expansion in both checkers: the sequential
+// ModelChecker (incremental AND naive expansion) and the parallel
+// explorer must agree with each other and with hand-computable
+// synchronous dynamics, across thread counts, with verdicts and
+// exploration statistics bit-identical.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/checker.hpp"
+#include "core/enabled_cache.hpp"
+#include "core/enabled_view.hpp"
+#include "core/rng.hpp"
+#include "dftc/dftc.hpp"
+#include "mc/explorer.hpp"
+#include "sptree/bfs_tree.hpp"
+#include "toy_protocols.hpp"
+
+namespace ssno {
+namespace {
+
+TEST(SimultaneousSelection, EnumeratesCartesianProduct) {
+  // Two nodes with masks {0,2} and {1}: selections in lex order.
+  NodeMasks masks;
+  masks.emplace_back(0, (std::uint64_t{1} << 0) | (std::uint64_t{1} << 2));
+  masks.emplace_back(3, std::uint64_t{1} << 1);
+  std::vector<std::vector<Move>> seen;
+  std::vector<Move> scratch;
+  forEachSimultaneousSelection(masks, scratch,
+                               [&](std::span<const Move> set) {
+                                 seen.emplace_back(set.begin(), set.end());
+                               });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::vector<Move>{{0, 0}, {3, 1}}));
+  EXPECT_EQ(seen[1], (std::vector<Move>{{0, 2}, {3, 1}}));
+  // Empty snapshot: no selections.
+  NodeMasks empty;
+  int calls = 0;
+  forEachSimultaneousSelection(empty, scratch,
+                               [&](std::span<const Move>) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SyncChecker, ZeroProtocolConvergesSynchronously) {
+  // Under the synchronous daemon every non-zero node zeroes at once:
+  // every configuration reaches all-zero in ONE step; the space is
+  // closed, deadlock-free and acyclic.
+  const Graph g = Graph::path(3);
+  ZeroProtocol proto(g, 3);
+  ModelChecker checker(proto, [&] { return proto.allZero(); });
+  checker.setSynchronousSteps(true);
+  const CheckResult res = checker.verifyFullSpace(1u << 20);
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.configsExplored, 27u);
+}
+
+TEST(SyncChecker, OscillatorCycleIsFoundSynchronously) {
+  const Graph g = Graph::path(2);
+  OscillateProtocol proto(g);
+  ModelChecker checker(proto, [&] { return proto.allZero(); });
+  checker.setSynchronousSteps(true);
+  const CheckResult res = checker.verifyFullSpace(1u << 20);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("cycle"), std::string::npos) << res.failure;
+}
+
+TEST(SyncChecker, DeadlockIsFoundSynchronously) {
+  const Graph g = Graph::path(2);
+  StuckProtocol proto(g);
+  ModelChecker checker(proto, [&] { return proto.allZero(); });
+  checker.setSynchronousSteps(true);
+  const CheckResult res = checker.verifyFullSpace(1u << 20);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("deadlock"), std::string::npos) << res.failure;
+}
+
+TEST(SyncChecker, FairnessModesAreRejected) {
+  const Graph g = Graph::path(2);
+  ZeroProtocol proto(g, 2);
+  ModelChecker checker(proto, [&] { return proto.allZero(); });
+  checker.setSynchronousSteps(true);
+  const CheckResult res =
+      checker.verifyFullSpace(1u << 20, Fairness::kWeaklyFair);
+  EXPECT_FALSE(res.ok);
+  EXPECT_NE(res.failure.find("synchronous"), std::string::npos);
+}
+
+/// Sequential naive vs sequential incremental vs parallel (1/2/4
+/// threads) on a real protocol: verdict, failure text, and state
+/// counts must agree; the parallel Result must be bit-identical across
+/// thread counts.
+TEST(SyncChecker, SequentialAndParallelAgreeOnBfsTree) {
+  const Graph g = Graph::path(3);
+  auto factory = [&]() -> std::unique_ptr<Protocol> {
+    return std::make_unique<BfsTree>(g);
+  };
+  auto legit = [](Protocol& p) {
+    return static_cast<BfsTree&>(p).isLegitimate();
+  };
+
+  BfsTree seq(g);
+  ModelChecker checker(seq, [&] { return seq.isLegitimate(); });
+  checker.setSynchronousSteps(true);
+  const CheckResult inc = checker.verifyFullSpace(1u << 22);
+
+  BfsTree seqNaive(g);
+  ModelChecker checkerNaive(seqNaive, [&] { return seqNaive.isLegitimate(); });
+  checkerNaive.setSynchronousSteps(true);
+  checkerNaive.setNaiveExpansion(true);
+  const CheckResult naive = checkerNaive.verifyFullSpace(1u << 22);
+
+  EXPECT_EQ(inc.ok, naive.ok);
+  EXPECT_EQ(inc.failure, naive.failure);
+  EXPECT_EQ(inc.configsExplored, naive.configsExplored);
+
+  mc::Result first;
+  for (int threads : {1, 2, 4}) {
+    mc::Options opt;
+    opt.threads = threads;
+    opt.synchronousSteps = true;
+    mc::ParallelChecker parallel(factory, legit);
+    const mc::Result res = parallel.checkFullSpace(opt);
+    EXPECT_EQ(res.ok, inc.ok) << "threads=" << threads;
+    if (threads == 1) {
+      first = res;
+    } else {
+      EXPECT_EQ(res.ok, first.ok);
+      EXPECT_EQ(res.failure, first.failure);
+      EXPECT_EQ(res.statesExplored, first.statesExplored);
+      EXPECT_EQ(res.transitions, first.transitions);
+      EXPECT_EQ(res.trace, first.trace);
+    }
+  }
+}
+
+/// DFTC on a tiny ring under synchronous steps: whatever the verdict,
+/// all engines must agree bit for bit (the synchronous daemon is not
+/// part of the paper's assumptions, so the verdict itself is a
+/// discovery, not an expectation).
+TEST(SyncChecker, SequentialAndParallelAgreeOnDftcRing) {
+  const Graph g = Graph::ring(3);
+  auto factory = [&]() -> std::unique_ptr<Protocol> {
+    return std::make_unique<Dftc>(g);
+  };
+  auto legit = [](Protocol& p) {
+    return static_cast<Dftc&>(p).isLegitimate();
+  };
+
+  Dftc seq(g);
+  ModelChecker checker(seq, [&] { return seq.isLegitimate(); });
+  checker.setSynchronousSteps(true);
+  const CheckResult inc = checker.verifyFullSpace(1u << 22);
+
+  Dftc seqNaive(g);
+  ModelChecker checkerNaive(seqNaive, [&] { return seqNaive.isLegitimate(); });
+  checkerNaive.setSynchronousSteps(true);
+  checkerNaive.setNaiveExpansion(true);
+  const CheckResult naive = checkerNaive.verifyFullSpace(1u << 22);
+  EXPECT_EQ(inc.ok, naive.ok);
+  EXPECT_EQ(inc.failure, naive.failure);
+  EXPECT_EQ(inc.configsExplored, naive.configsExplored);
+
+  for (int threads : {1, 2}) {
+    mc::Options opt;
+    opt.threads = threads;
+    opt.synchronousSteps = true;
+    mc::ParallelChecker parallel(factory, legit);
+    const mc::Result res = parallel.checkFullSpace(opt);
+    EXPECT_EQ(res.ok, inc.ok) << "threads=" << threads;
+  }
+}
+
+/// Reachable-mode synchronous expansion: from a single seed the
+/// synchronous ZeroProtocol reaches exactly {seed, all-zero}.
+TEST(SyncChecker, ReachableSynchronousFromSeed) {
+  const Graph g = Graph::path(3);
+  ZeroProtocol proto(g, 3);
+  ModelChecker checker(proto, [&] { return proto.allZero(); });
+  checker.setSynchronousSteps(true);
+  const std::vector<std::vector<std::uint64_t>> seeds = {{2, 0, 1}};
+  const CheckResult res = checker.verifyReachable(seeds, 1u << 20);
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.configsExplored, 2u);  // the seed and all-zero
+
+  auto factory = [&]() -> std::unique_ptr<Protocol> {
+    return std::make_unique<ZeroProtocol>(g, 3);
+  };
+  auto legit = [](Protocol& p) {
+    return static_cast<ZeroProtocol&>(p).allZero();
+  };
+  mc::Options opt;
+  opt.threads = 2;
+  opt.synchronousSteps = true;
+  mc::ParallelChecker parallel(factory, legit);
+  const mc::Result mcRes = parallel.checkReachable(seeds, opt);
+  EXPECT_TRUE(mcRes.ok) << mcRes.failure;
+  EXPECT_EQ(mcRes.statesExplored, 2u);
+}
+
+}  // namespace
+}  // namespace ssno

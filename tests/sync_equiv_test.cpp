@@ -1,0 +1,277 @@
+// Simultaneous-step equivalence suite (the columnar engine's contract):
+// the columnar pipeline, the legacy per-node-vector pipeline, and the
+// naive full-rescan pipeline must produce bit-identical runs — final
+// raw configurations, move/step/round accounting, RNG engine state, and
+// EnabledCache contents — across protocols × daemons × topologies.
+// Also unit-tests the engine against a brute-force shared-memory
+// reference executor and the batched StateArena snapshot/restore ops.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/enabled_cache.hpp"
+#include "core/rng.hpp"
+#include "core/scheduler.hpp"
+#include "core/state_arena.hpp"
+#include "core/sync_engine.hpp"
+#include "dftc/dftc.hpp"
+#include "orientation/baseline.hpp"
+#include "orientation/dftno.hpp"
+#include "orientation/stno.hpp"
+#include "sptree/bfs_tree.hpp"
+#include "sptree/lex_dfs_tree.hpp"
+
+namespace ssno {
+namespace {
+
+enum class Proto { kDftc, kDftno, kStno, kBfsTree, kLexDfsTree };
+
+std::unique_ptr<Protocol> makeProto(Proto kind, const Graph& g) {
+  switch (kind) {
+    case Proto::kDftc: return std::make_unique<Dftc>(g);
+    case Proto::kDftno: return std::make_unique<Dftno>(g);
+    case Proto::kStno: return std::make_unique<Stno>(g);
+    case Proto::kBfsTree: return std::make_unique<BfsTree>(g);
+    case Proto::kLexDfsTree: return std::make_unique<LexDfsTree>(g);
+  }
+  return nullptr;
+}
+
+std::vector<Graph> topologies() {
+  Rng rng(99);
+  std::vector<Graph> out;
+  out.push_back(Graph::ring(12));
+  out.push_back(Graph::grid(3, 4));
+  out.push_back(Graph::star(9));
+  out.push_back(Graph::complete(6));
+  out.push_back(Graph::randomConnected(14, 0.3, rng));
+  return out;
+}
+
+struct RunRecord {
+  std::vector<int> config;
+  StepCount moves = 0;
+  StepCount steps = 0;
+  StepCount rounds = 0;
+  std::vector<Move> enabled;  // EnabledCache contents at the end
+  Rng rng{0};
+};
+
+/// Runs `maxMoves` moves from the scrambled start in one pipeline mode.
+RunRecord runPipeline(Proto kind, const Graph& g, DaemonKind daemonKind,
+                      std::uint64_t seed, StepCount maxMoves, int mode) {
+  const std::unique_ptr<Protocol> proto = makeProto(kind, g);
+  Rng rng(seed);
+  proto->randomize(rng);
+  const std::unique_ptr<Daemon> daemon = makeDaemon(daemonKind);
+  Simulator sim(*proto, *daemon, rng);
+  if (mode == 1) sim.setLegacySimultaneous(true);
+  if (mode == 2) sim.setNaiveEnabledScan(true);
+  RunRecord rec;
+  const RunStats stats = sim.runToQuiescence(maxMoves);
+  rec.config = proto->rawConfiguration();
+  rec.moves = stats.moves;
+  rec.steps = stats.steps;
+  rec.rounds = stats.rounds;
+  rec.enabled = proto->enabledMoves();
+  rec.rng = rng;
+  return rec;
+}
+
+TEST(SyncEquivalence, ColumnarLegacyNaiveBitIdentical) {
+  const std::vector<Graph> graphs = topologies();
+  for (Proto kind : {Proto::kDftc, Proto::kDftno, Proto::kStno,
+                     Proto::kBfsTree, Proto::kLexDfsTree}) {
+    for (DaemonKind daemon :
+         {DaemonKind::kSynchronous, DaemonKind::kDistributed}) {
+      for (std::size_t t = 0; t < graphs.size(); ++t) {
+        for (std::uint64_t seed : {7ull, 1234ull}) {
+          RunRecord columnar =
+              runPipeline(kind, graphs[t], daemon, seed, 400, 0);
+          RunRecord legacy =
+              runPipeline(kind, graphs[t], daemon, seed, 400, 1);
+          RunRecord naive =
+              runPipeline(kind, graphs[t], daemon, seed, 400, 2);
+          const std::string ctx = "proto=" + std::to_string(int(kind)) +
+                                  " daemon=" + daemonKindName(daemon) +
+                                  " topo=" + std::to_string(t) +
+                                  " seed=" + std::to_string(seed);
+          EXPECT_EQ(columnar.config, legacy.config) << ctx;
+          EXPECT_EQ(columnar.config, naive.config) << ctx;
+          EXPECT_EQ(columnar.moves, legacy.moves) << ctx;
+          EXPECT_EQ(columnar.steps, legacy.steps) << ctx;
+          EXPECT_EQ(columnar.rounds, legacy.rounds) << ctx;
+          EXPECT_EQ(columnar.rounds, naive.rounds) << ctx;
+          EXPECT_EQ(columnar.enabled, legacy.enabled) << ctx;
+          EXPECT_EQ(columnar.enabled, naive.enabled) << ctx;
+          EXPECT_TRUE(columnar.rng.engine() == legacy.rng.engine()) << ctx;
+          EXPECT_TRUE(columnar.rng.engine() == naive.rng.engine()) << ctx;
+        }
+      }
+    }
+  }
+}
+
+/// The non-neighborhood-local fallback: InitBasedOrientation's Number
+/// guard reads a non-neighbor, so simultaneous steps take the
+/// full-configuration path (columnar, since baseline opts in).
+TEST(SyncEquivalence, FullSnapshotFallbackBitIdentical) {
+  const Graph g = Graph::grid(3, 4);
+  for (std::uint64_t seed : {3ull, 77ull}) {
+    std::vector<RunRecord> recs;
+    for (int mode = 0; mode < 3; ++mode) {
+      const std::unique_ptr<Protocol> proto =
+          std::make_unique<InitBasedOrientation>(g);
+      Rng rng(seed);
+      proto->randomize(rng);
+      const std::unique_ptr<Daemon> daemon =
+          makeDaemon(DaemonKind::kSynchronous);
+      Simulator sim(*proto, *daemon, rng);
+      if (mode == 1) sim.setLegacySimultaneous(true);
+      if (mode == 2) sim.setNaiveEnabledScan(true);
+      RunRecord rec;
+      const RunStats stats = sim.runToQuiescence(300);
+      rec.config = proto->rawConfiguration();
+      rec.moves = stats.moves;
+      rec.rounds = stats.rounds;
+      rec.enabled = proto->enabledMoves();
+      rec.rng = rng;
+      recs.push_back(std::move(rec));
+    }
+    EXPECT_EQ(recs[0].config, recs[1].config);
+    EXPECT_EQ(recs[0].config, recs[2].config);
+    EXPECT_EQ(recs[0].moves, recs[1].moves);
+    EXPECT_EQ(recs[0].rounds, recs[1].rounds);
+    EXPECT_EQ(recs[0].enabled, recs[1].enabled);
+    EXPECT_TRUE(recs[0].rng.engine() == recs[1].rng.engine());
+  }
+}
+
+/// Brute-force shared-memory reference: every move executes from the
+/// full pre-step configuration; post states are composed at the end.
+std::vector<int> bruteForceStep(Protocol& proto,
+                                const std::vector<Move>& moves) {
+  const std::vector<int> pre = proto.rawConfiguration();
+  std::vector<std::vector<int>> post;
+  for (const Move& m : moves) {
+    proto.setRawConfiguration(pre);
+    proto.execute(m.node, m.action);
+    post.push_back(proto.rawNode(m.node));
+  }
+  proto.setRawConfiguration(pre);
+  for (std::size_t i = 0; i < moves.size(); ++i)
+    proto.setRawNode(moves[i].node, post[i]);
+  return proto.rawConfiguration();
+}
+
+TEST(SimultaneousEngine, MatchesBruteForceAndUndoRestores) {
+  const Graph g = Graph::grid(3, 4);
+  for (Proto kind : {Proto::kDftc, Proto::kDftno, Proto::kLexDfsTree}) {
+    const std::unique_ptr<Protocol> proto = makeProto(kind, g);
+    const std::unique_ptr<Protocol> ref = makeProto(kind, g);
+    SimultaneousEngine engine(*proto);
+    EXPECT_TRUE(engine.columnar());
+    Rng rng(42);
+    for (int round = 0; round < 30; ++round) {
+      {
+        Rng r2(1000 + round);
+        proto->randomize(r2);
+      }
+      {
+        Rng r2(1000 + round);
+        ref->randomize(r2);
+      }
+      ASSERT_EQ(proto->rawConfiguration(), ref->rawConfiguration());
+      // A random simultaneous selection: one enabled action for a
+      // random subset of enabled processors (node-ascending).
+      std::vector<Move> sel;
+      for (NodeId p = 0; p < g.nodeCount(); ++p) {
+        std::vector<int> actions;
+        for (int a = 0; a < proto->actionCount(); ++a)
+          if (proto->enabled(p, a)) actions.push_back(a);
+        if (actions.empty() || rng.chance(0.3)) continue;
+        sel.push_back(
+            {p, actions[static_cast<std::size_t>(
+                    rng.below(static_cast<int>(actions.size())))]});
+      }
+      if (sel.empty()) continue;
+      const std::vector<int> before = proto->rawConfiguration();
+      engine.execute(sel);
+      const std::vector<int> after = proto->rawConfiguration();
+      EXPECT_EQ(after, bruteForceStep(*ref, sel));
+      engine.undo();
+      EXPECT_EQ(proto->rawConfiguration(), before);
+      // After undo, the protocol must also report the pre-step enabled
+      // relation (dirtying propagated through the undo restores).
+      EnabledCache cache(*proto);
+      EXPECT_EQ(cache.refresh(), proto->enabledMoves());
+    }
+  }
+}
+
+TEST(StateArena, BatchSnapshotRestoreRoundTrip) {
+  const Graph g = Graph::grid(3, 3);
+  StateArena arena(g);
+  NodeColumn a = arena.nodeColumn(1);
+  PortColumn b = arena.portColumn(2);
+  VarColumn c = arena.varColumn();
+  Rng rng(5);
+  auto scramble = [&] {
+    for (NodeId p = 0; p < g.nodeCount(); ++p) {
+      a[p] = rng.below(100);
+      for (Port l = 0; l < g.degree(p); ++l) b.at(p, l) = rng.below(100);
+      std::vector<int> row(static_cast<std::size_t>(rng.below(6)));
+      for (int& x : row) x = rng.below(50);
+      c.setRow(p, row);
+    }
+  };
+  scramble();
+  const std::vector<NodeId> nodes = {1, 3, 4, 7};
+  auto snapshotOf = [&](NodeId p) { return arena.rawNode(p); };
+  std::vector<std::vector<int>> want;
+  for (NodeId p : nodes) want.push_back(snapshotOf(p));
+
+  StateArena::Scratch scratch;
+  arena.snapshotNodes(nodes, scratch);
+  scramble();  // clobber everything
+  arena.restoreNodes(nodes, scratch);
+  for (std::size_t j = 0; j < nodes.size(); ++j)
+    EXPECT_EQ(snapshotOf(nodes[j]), want[j]) << "node " << nodes[j];
+
+  // Single-node restore: clobber one listed node, restore just it.
+  std::vector<int> other = arena.rawNode(nodes[2]);
+  scramble();
+  arena.restoreNode(2, nodes[2], scratch);
+  EXPECT_EQ(snapshotOf(nodes[2]), want[2]);
+}
+
+TEST(VarColumn, GrowShrinkCompactAndAliasing) {
+  const Graph g = Graph::ring(4);
+  StateArena arena(g);
+  VarColumn col = arena.varColumn();
+  // Grow rows repeatedly to force relocations and compactions.
+  Rng rng(11);
+  std::vector<std::vector<int>> shadow(4);
+  for (int round = 0; round < 500; ++round) {
+    const NodeId p = rng.below(4);
+    std::vector<int> row(static_cast<std::size_t>(rng.below(40)));
+    for (int& x : row) x = rng.below(1000);
+    col.setRow(p, row);
+    shadow[static_cast<std::size_t>(p)] = row;
+    for (NodeId q = 0; q < 4; ++q) {
+      const auto have = col.row(q);
+      const auto& want = shadow[static_cast<std::size_t>(q)];
+      ASSERT_EQ(std::vector<int>(have.begin(), have.end()), want);
+    }
+  }
+  // Aliasing: set a row from another row's span (plus growth).
+  col.setRow(0, std::vector<int>{1, 2, 3});
+  std::vector<int> fromRow(col.row(0).begin(), col.row(0).end());
+  col.setRow(1, col.row(0));  // may relocate while reading the pool
+  EXPECT_EQ(std::vector<int>(col.row(1).begin(), col.row(1).end()), fromRow);
+}
+
+}  // namespace
+}  // namespace ssno

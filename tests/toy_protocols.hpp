@@ -42,8 +42,8 @@ class ZeroProtocol final : public Protocol {
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override {
     return {v_[static_cast<std::size_t>(p)]};
   }
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override {
-    v_[static_cast<std::size_t>(p)] = values.at(0);
+  void doSetRawNode(NodeId p, std::span<const int> values) override {
+    v_[static_cast<std::size_t>(p)] = values[0];
   }
   [[nodiscard]] std::string dumpNode(NodeId p) const override {
     std::ostringstream out;
@@ -100,8 +100,8 @@ class OscillateProtocol final : public Protocol {
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override {
     return {v_[static_cast<std::size_t>(p)]};
   }
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override {
-    v_[static_cast<std::size_t>(p)] = values.at(0);
+  void doSetRawNode(NodeId p, std::span<const int> values) override {
+    v_[static_cast<std::size_t>(p)] = values[0];
   }
   [[nodiscard]] std::string dumpNode(NodeId p) const override {
     return "v=" + std::to_string(v_[static_cast<std::size_t>(p)]);
@@ -142,8 +142,8 @@ class StuckProtocol final : public Protocol {
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override {
     return {v_[static_cast<std::size_t>(p)]};
   }
-  void doSetRawNode(NodeId p, const std::vector<int>& values) override {
-    v_[static_cast<std::size_t>(p)] = values.at(0);
+  void doSetRawNode(NodeId p, std::span<const int> values) override {
+    v_[static_cast<std::size_t>(p)] = values[0];
   }
   [[nodiscard]] std::string dumpNode(NodeId p) const override {
     return "v=" + std::to_string(v_[static_cast<std::size_t>(p)]);

@@ -9,7 +9,16 @@ same trial on the same machine and therefore hardware-independent:
     forced naive full-rescan (absent on large-n rows, where a naive
     trial would take minutes);
   * ``bitmask_speedup``  — bitmask EnabledView selection over the
-    legacy materialized-move-vector pipeline (same incremental cache).
+    legacy materialized-move-vector pipeline (same incremental cache);
+  * ``sync_speedup``     — (synchronous rows) the columnar
+    simultaneous-step engine over the legacy per-node-vector
+    snapshot/restore pipeline on dense LexDfsTree stepping, whose
+    padded raw vectors are Theta(n) ints per actor — the engine's
+    headline ratio;
+  * ``dftno_sync_speedup`` — the same engine ratio on DFTNO's thin
+    8-int state, where shared guard re-evaluation and statement
+    execution dominate (honest ceiling ~1.5x — gated so the columnar
+    path can never silently fall BEHIND the legacy one).
 
 An accidental O(n)-per-step reintroduction on the simulator hot path
 collapses these toward 1x regardless of runner speed, so each is gated:
@@ -36,7 +45,8 @@ import json
 import sys
 
 INFO = "incremental_moves_per_sec"
-SCHEDULER_GATES = ("speedup", "bitmask_speedup")
+SCHEDULER_GATES = ("speedup", "bitmask_speedup", "sync_speedup",
+                   "dftno_sync_speedup")
 
 
 def by_scenario(path):
