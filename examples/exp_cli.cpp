@@ -17,12 +17,15 @@
 //   --seed S      base RNG seed              (default: scenario's own)
 //   --budget B    move budget / churn horizon
 //   --rate R      fault rate (churn protocols)
+//   --only NAME   keep only the scenario named NAME
+//   --cache-dir D memoize results in the content-addressed cache at D
 //   --csv FILE    write long-form CSV        (- for stdout)
 //   --json FILE   write JSON                 (- for stdout)
 //   --quiet       suppress the human-readable table
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -32,6 +35,7 @@
 
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
+#include "serve/cache.hpp"
 
 namespace {
 
@@ -45,7 +49,8 @@ int usage() {
                "       exp_cli run <scenario-or-preset> [options]\n"
                "       exp_cli run --scenarios FILE [options]\n"
                "options: [--trials N] [--threads N] [--seed S] [--budget B]\n"
-               "         [--rate R] [--csv FILE] [--json FILE] [--quiet]\n");
+               "         [--rate R] [--only NAME] [--cache-dir DIR]\n"
+               "         [--csv FILE] [--json FILE] [--quiet]\n");
   return 2;
 }
 
@@ -107,7 +112,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> seed;
   std::optional<ssno::StepCount> budget;
   std::optional<double> rate;
-  std::string csvPath, jsonPath;
+  std::string csvPath, jsonPath, only, cacheDir;
   bool quiet = false;
   try {
     for (std::size_t i = optionsFrom; i < args.size(); ++i) {
@@ -121,6 +126,8 @@ int main(int argc, char** argv) {
       else if (args[i] == "--seed") seed = std::stoull(value());
       else if (args[i] == "--budget") budget = std::stoll(value());
       else if (args[i] == "--rate") rate = std::stod(value());
+      else if (args[i] == "--only") only = value();
+      else if (args[i] == "--cache-dir") cacheDir = value();
       else if (args[i] == "--csv") csvPath = value();
       else if (args[i] == "--json") jsonPath = value();
       else if (args[i] == "--quiet") quiet = true;
@@ -158,8 +165,16 @@ int main(int argc, char** argv) {
       });
     }
 
+    if (!only.empty())
+      scenarios = ssno::exp::filterOnly(std::move(scenarios), only);
+
+    std::unique_ptr<ssno::serve::ResultCache> cache;
+    if (!cacheDir.empty())
+      cache = std::make_unique<ssno::serve::ResultCache>(cacheDir);
+
     const ExperimentRunner runner(threads.value_or(0));
-    const std::vector<ScenarioResult> results = runner.runAll(scenarios);
+    const std::vector<ScenarioResult> results =
+        ssno::serve::runAllCached(runner, scenarios, cache.get());
 
     if (!quiet) ssno::exp::printTable(std::cout, results);
     if (!csvPath.empty()) emit(csvPath, ssno::exp::toCsv(results), "CSV");

@@ -1,0 +1,94 @@
+// exp_serve — the always-on experiment service.
+//
+//   exp_serve --socket PATH [options]    serve an AF_UNIX socket
+//   exp_serve --pipe [options]           serve one stdin/stdout session
+//
+// Options:
+//   --cache-dir DIR       persistent content-addressed result cache
+//   --checkpoint-dir DIR  resumable-sweep checkpoints (default: cache
+//                         dir's "checkpoints" subdir when caching)
+//   --workers N           worker threads (default: hardware)
+//   --trial-threads N     threads inside one unit (default: 1)
+//
+// The protocol (line-delimited JSON; submit/resume/status/result/
+// cancel/stats/shutdown) is documented in src/serve/server.hpp and the
+// README.  Pipe mode serves exactly one session and exits at EOF or a
+// shutdown verb — it is what the tests and shell one-liners use:
+//
+//   printf '%s\n' '{"verb":"submit","target":"dftc/central/ring:64"}'
+//       '{"verb":"result","job":1}'
+//       | exp_serve --pipe --cache-dir /tmp/ssno-cache
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: exp_serve --socket PATH [options]\n"
+               "       exp_serve --pipe [options]\n"
+               "options: [--cache-dir DIR] [--checkpoint-dir DIR]\n"
+               "         [--workers N] [--trial-threads N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string socketPath, cacheDir, checkpointDir;
+  bool pipe = false;
+  int workers = 0, trialThreads = 1;
+  try {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      auto value = [&]() -> std::string {
+        if (i + 1 >= args.size())
+          throw std::invalid_argument(args[i] + " needs a value");
+        return args[++i];
+      };
+      if (args[i] == "--socket") socketPath = value();
+      else if (args[i] == "--pipe") pipe = true;
+      else if (args[i] == "--cache-dir") cacheDir = value();
+      else if (args[i] == "--checkpoint-dir") checkpointDir = value();
+      else if (args[i] == "--workers") workers = std::stoi(value());
+      else if (args[i] == "--trial-threads") trialThreads = std::stoi(value());
+      else throw std::invalid_argument("unknown option " + args[i]);
+    }
+    if (pipe == !socketPath.empty()) {
+      usage();
+      throw std::invalid_argument("give exactly one of --pipe or --socket");
+    }
+
+    std::unique_ptr<ssno::serve::ResultCache> cache;
+    if (!cacheDir.empty())
+      cache = std::make_unique<ssno::serve::ResultCache>(cacheDir);
+    if (checkpointDir.empty() && !cacheDir.empty())
+      checkpointDir = cacheDir + "/checkpoints";
+
+    ssno::serve::SchedulerOptions opt;
+    opt.workers = workers;
+    opt.trialThreads = trialThreads;
+    opt.cache = cache.get();
+    opt.checkpointDir = checkpointDir;
+    ssno::serve::ExpServer server(opt);
+
+    if (pipe) {
+      server.serveStream(std::cin, std::cout);
+    } else {
+      const int fd = server.listenUnix(socketPath);
+      std::fprintf(stderr, "exp_serve: listening on %s\n",
+                   socketPath.c_str());
+      server.acceptLoop(fd);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "exp_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

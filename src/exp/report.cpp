@@ -93,29 +93,30 @@ std::string csvHeader() {
          "failed_trials,fault_rate,metric,count,min,max,mean,stddev,p50,p95";
 }
 
+std::string csvRows(const ScenarioResult& r) {
+  const Scenario& s = r.scenario;
+  const std::string prefix = csvField(s.name) + "," +
+                             protocolKindName(s.protocol) + "," +
+                             daemonKindName(s.daemon) + "," +
+                             csvField(s.topology.name()) + "," +
+                             std::to_string(r.nodeCount) + "," +
+                             std::to_string(r.edgeCount) + "," +
+                             std::to_string(r.trials) + "," +
+                             std::to_string(r.failedTrials) + "," +
+                             num(s.faultRate);
+  std::string out;
+  if (r.metrics.empty()) return out + prefix + ",,0,,,,,,\n";
+  for (const auto& [name, m] : r.metrics) {
+    out += prefix + "," + name + "," + std::to_string(m.count) + "," +
+           num(m.min) + "," + num(m.max) + "," + num(m.mean) + "," +
+           num(m.stddev) + "," + num(m.p50) + "," + num(m.p95) + "\n";
+  }
+  return out;
+}
+
 void writeCsv(std::ostream& out, const std::vector<ScenarioResult>& results) {
   out << csvHeader() << "\n";
-  for (const ScenarioResult& r : results) {
-    const Scenario& s = r.scenario;
-    const std::string prefix = csvField(s.name) + "," +
-                               protocolKindName(s.protocol) + "," +
-                               daemonKindName(s.daemon) + "," +
-                               csvField(s.topology.name()) + "," +
-                               std::to_string(r.nodeCount) + "," +
-                               std::to_string(r.edgeCount) + "," +
-                               std::to_string(r.trials) + "," +
-                               std::to_string(r.failedTrials) + "," +
-                               num(s.faultRate);
-    if (r.metrics.empty()) {
-      out << prefix << ",,0,,,,,,\n";
-      continue;
-    }
-    for (const auto& [name, m] : r.metrics) {
-      out << prefix << "," << name << "," << m.count << "," << num(m.min)
-          << "," << num(m.max) << "," << num(m.mean) << "," << num(m.stddev)
-          << "," << num(m.p50) << "," << num(m.p95) << "\n";
-    }
-  }
+  for (const ScenarioResult& r : results) out << csvRows(r);
 }
 
 void writeJson(std::ostream& out, const std::vector<ScenarioResult>& results) {

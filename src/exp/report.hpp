@@ -18,6 +18,12 @@ namespace ssno::exp {
 /// The CSV column schema, as the header row (no trailing newline).
 [[nodiscard]] std::string csvHeader();
 
+/// One scenario's CSV rows (one per metric, newline-terminated, no
+/// header).  writeCsv is header + csvRows in scenario order; the serve
+/// protocol streams these per-scenario so a client can reassemble a
+/// byte-identical exp_cli CSV.
+[[nodiscard]] std::string csvRows(const ScenarioResult& r);
+
 void writeCsv(std::ostream& out, const std::vector<ScenarioResult>& results);
 void writeJson(std::ostream& out, const std::vector<ScenarioResult>& results);
 

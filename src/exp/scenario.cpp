@@ -7,13 +7,6 @@
 namespace ssno::exp {
 namespace {
 
-McTarget parseMcTarget(const std::string& name) {
-  for (McTarget target :
-       {McTarget::kDftc, McTarget::kDftno, McTarget::kDftcFault})
-    if (mcTargetName(target) == name) return target;
-  throw std::invalid_argument("unknown model-check target '" + name + "'");
-}
-
 /// Builds a triple-named scenario with the given sweep-wide settings.
 Scenario triple(ProtocolKind protocol, DaemonKind daemon,
                 const std::string& topology, int trials, std::uint64_t seed) {
@@ -303,6 +296,13 @@ DaemonKind parseDaemonKind(const std::string& name) {
   throw std::invalid_argument("unknown daemon '" + name + "'");
 }
 
+McTarget parseMcTarget(const std::string& name) {
+  for (McTarget target :
+       {McTarget::kDftc, McTarget::kDftno, McTarget::kDftcFault})
+    if (mcTargetName(target) == name) return target;
+  throw std::invalid_argument("unknown model-check target '" + name + "'");
+}
+
 Scenario parseScenario(const std::string& name) {
   const auto first = name.find('/');
   const auto second =
@@ -359,6 +359,20 @@ std::vector<Scenario> resolve(const std::string& name) {
   for (const std::string& preset : presetNames())
     if (name == preset) return makePreset(name);
   return {parseScenario(name)};
+}
+
+std::vector<Scenario> filterOnly(std::vector<Scenario> scenarios,
+                                 const std::string& only) {
+  std::vector<Scenario> all = std::move(scenarios);
+  std::vector<Scenario> out;
+  for (Scenario& s : all)
+    if (s.name == only) out.push_back(std::move(s));
+  if (out.empty()) {
+    std::string msg = "no scenario named '" + only + "'; valid names:";
+    for (const Scenario& s : all) msg += "\n  " + s.name;
+    throw std::invalid_argument(msg);
+  }
+  return out;
 }
 
 std::vector<Scenario> loadScenarios(std::istream& in) {

@@ -40,6 +40,9 @@ namespace ssno::exp {
 /// Inverse of daemonKindName(); throws std::invalid_argument.
 [[nodiscard]] DaemonKind parseDaemonKind(const std::string& name);
 
+/// Inverse of mcTargetName(); throws std::invalid_argument.
+[[nodiscard]] McTarget parseMcTarget(const std::string& name);
+
 /// Parses a "protocol/daemon/topology" triple; throws on malformed input.
 [[nodiscard]] Scenario parseScenario(const std::string& name);
 
@@ -51,6 +54,12 @@ namespace ssno::exp {
 
 /// Preset name → its scenarios; otherwise a single parsed triple.
 [[nodiscard]] std::vector<Scenario> resolve(const std::string& name);
+
+/// Keeps only the scenarios named `only` (exp_cli `run --only`, serve
+/// submit "only").  Throws std::invalid_argument listing every valid
+/// name when nothing matches, so a typo'd preset row is self-diagnosing.
+[[nodiscard]] std::vector<Scenario> filterOnly(std::vector<Scenario> scenarios,
+                                               const std::string& only);
 
 /// Parses a scenario file (see the grammar above); throws
 /// std::invalid_argument with the line number on malformed input.

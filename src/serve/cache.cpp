@@ -1,0 +1,204 @@
+#include "serve/cache.hpp"
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <unistd.h>
+
+namespace ssno::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMagic = "ssno-result-cache v1";
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string hex32(std::uint32_t v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i, v >>= 4) out[static_cast<std::size_t>(i)] = kHex[v & 0xF];
+  return out;
+}
+
+/// "key value" line reader: true iff the line exists and starts with
+/// `key` + space; leaves the value (rest of line) in *value.
+bool headerLine(std::istream& in, const char* key, std::string* value) {
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  const std::string prefix = std::string(key) + " ";
+  if (line.rfind(prefix, 0) != 0) return false;
+  *value = line.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> kTable = makeCrcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const unsigned char byte : data) c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+ResultCache::ResultCache(std::string dir, std::string salt)
+    : dir_(std::move(dir)), salt_(std::move(salt)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("ResultCache: cannot create directory " + dir_);
+}
+
+std::string ResultCache::keyHex(const exp::Scenario& s) const {
+  return exp::scenarioDigest(s, salt_).hex();
+}
+
+std::string ResultCache::recordPath(const std::string& key) const {
+  return dir_ + "/" + key.substr(0, 2) + "/" + key + ".rec";
+}
+
+std::optional<std::string> ResultCache::readRecord(const exp::Scenario& s,
+                                                   const std::string& key,
+                                                   bool* bad) const {
+  *bad = false;
+  std::ifstream in(recordPath(key), std::ios::binary);
+  if (!in) return std::nullopt;  // plain miss: no record yet
+  // From here on every anomaly is a *bad* record, not a plain miss.
+  *bad = true;
+  std::string line, value;
+  if (!std::getline(in, line) || line != kMagic) return std::nullopt;
+  if (!headerLine(in, "salt", &value) || value != salt_) return std::nullopt;
+  if (!headerLine(in, "key", &value) || value != key) return std::nullopt;
+  if (!headerLine(in, "scenario", &value) ||
+      value != exp::canonicalScenario(s))
+    return std::nullopt;
+  if (!headerLine(in, "bytes", &value)) return std::nullopt;
+  std::size_t bytes = 0;
+  try {
+    std::size_t used = 0;
+    bytes = std::stoull(value, &used);
+    if (used != value.size()) return std::nullopt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (!headerLine(in, "crc32", &value)) return std::nullopt;
+  std::string payload(bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(bytes));
+  if (static_cast<std::size_t>(in.gcount()) != bytes) return std::nullopt;
+  if (in.get() != std::ifstream::traits_type::eof()) return std::nullopt;
+  if (hex32(crc32(payload)) != value) return std::nullopt;
+  *bad = false;
+  return payload;
+}
+
+std::optional<std::string> ResultCache::fetch(const exp::Scenario& s) {
+  bool bad = false;
+  auto payload = readRecord(s, keyHex(s), &bad);
+  if (bad) ++badRecords_;
+  if (payload) ++hits_; else ++misses_;
+  return payload;
+}
+
+std::optional<exp::ScenarioResult> ResultCache::fetchResult(
+    const exp::Scenario& s) {
+  bool bad = false;
+  const auto payload = readRecord(s, keyHex(s), &bad);
+  if (payload) {
+    try {
+      exp::ScenarioResult r = exp::parseResultPayload(*payload);
+      r.scenario = s;
+      ++hits_;
+      return r;
+    } catch (const std::invalid_argument&) {
+      bad = true;  // structurally sound record, semantically unusable
+    }
+  }
+  if (bad) ++badRecords_;
+  ++misses_;
+  return std::nullopt;
+}
+
+bool ResultCache::store(const exp::Scenario& s, std::string_view payload) {
+  const std::string key = keyHex(s);
+  const std::string path = recordPath(key);
+  const std::string temp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(tempSeq_.fetch_add(1));
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  {
+    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+    out << kMagic << "\n"
+        << "salt " << salt_ << "\n"
+        << "key " << key << "\n"
+        << "scenario " << exp::canonicalScenario(s) << "\n"
+        << "bytes " << payload.size() << "\n"
+        << "crc32 " << hex32(crc32(payload)) << "\n";
+    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    out.flush();
+    if (!out) {
+      fs::remove(temp, ec);
+      ++storeFailures_;
+      return false;
+    }
+  }
+  fs::rename(temp, path, ec);
+  if (ec) {
+    fs::remove(temp, ec);
+    ++storeFailures_;
+    return false;
+  }
+  ++stores_;
+  return true;
+}
+
+bool ResultCache::storeResult(const exp::ScenarioResult& r) {
+  return store(r.scenario, exp::resultPayload(r));
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  Counters c;
+  c.hits = hits_.load();
+  c.misses = misses_.load();
+  c.badRecords = badRecords_.load();
+  c.stores = stores_.load();
+  c.storeFailures = storeFailures_.load();
+  return c;
+}
+
+std::vector<exp::ScenarioResult> runAllCached(
+    const exp::ExperimentRunner& runner,
+    const std::vector<exp::Scenario>& scenarios, ResultCache* cache) {
+  if (cache == nullptr) return runner.runAll(scenarios);
+  std::vector<std::optional<exp::ScenarioResult>> slots(scenarios.size());
+  std::vector<exp::Scenario> missed;
+  std::vector<std::size_t> missedAt;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    slots[i] = cache->fetchResult(scenarios[i]);
+    if (!slots[i]) {
+      missed.push_back(scenarios[i]);
+      missedAt.push_back(i);
+    }
+  }
+  const std::vector<exp::ScenarioResult> fresh = runner.runAll(missed);
+  for (std::size_t j = 0; j < fresh.size(); ++j) {
+    cache->storeResult(fresh[j]);
+    slots[missedAt[j]] = fresh[j];
+  }
+  std::vector<exp::ScenarioResult> out;
+  out.reserve(slots.size());
+  for (auto& slot : slots) out.push_back(std::move(*slot));
+  return out;
+}
+
+}  // namespace ssno::serve

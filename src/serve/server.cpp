@@ -1,0 +1,304 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <streambuf>
+#include <thread>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "serve/json.hpp"
+
+namespace ssno::serve {
+namespace {
+
+void emitLine(std::ostream& out, const JsonValue::Object& fields) {
+  out << JsonValue(fields).dump() << "\n" << std::flush;
+}
+
+JsonValue::Object errorObject(const std::string& what) {
+  return {{"ok", false}, {"error", what}};
+}
+
+/// Applies exp_cli's override semantics (including the preset rate
+/// relabel) so a served sweep and a CLI sweep stay name-compatible.
+void applyOverrides(const JsonValue& req, std::vector<exp::Scenario>* out) {
+  const JsonValue* trials = req.find("trials");
+  const JsonValue* seed = req.find("seed");
+  const JsonValue* budget = req.find("budget");
+  const JsonValue* rate = req.find("rate");
+  for (exp::Scenario& s : *out) {
+    if (trials) s.trials = static_cast<int>(trials->asInt());
+    if (seed) s.seed = static_cast<std::uint64_t>(seed->asInt());
+    if (budget) s.budget = budget->asInt();
+    if (rate) {
+      s.faultRate = rate->asNumber();
+      if (const auto tag = s.name.rfind("/rate="); tag != std::string::npos) {
+        std::ostringstream label;
+        label << s.name.substr(0, tag) << "/rate=" << rate->asNumber();
+        s.name = label.str();
+      }
+    }
+  }
+}
+
+/// Minimal bidirectional streambuf over a connected socket fd.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) { setg(in_, in_, in_); }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, in_, sizeof in_);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::write(fd_, s + sent,
+                                static_cast<std::size_t>(n - sent));
+      if (w <= 0) return sent;
+      sent += w;
+    }
+    return sent;
+  }
+
+  int_type overflow(int_type ch) override {
+    if (ch == traits_type::eof()) return ch;
+    const char c = traits_type::to_char_type(ch);
+    return xsputn(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+};
+
+}  // namespace
+
+ExpServer::ExpServer(SchedulerOptions options)
+    : scheduler_(options), cache_(options.cache) {}
+
+void ExpServer::handleLine(const std::string& line, std::ostream& out) {
+  JsonValue req;
+  try {
+    req = JsonValue::parse(line);
+    const JsonValue* verb = req.find("verb");
+    if (verb == nullptr)
+      throw std::invalid_argument("request needs a \"verb\"");
+    const std::string& v = verb->asString();
+
+    if (v == "submit" || v == "resume") {
+      const int priority =
+          req.find("priority")
+              ? static_cast<int>(req.find("priority")->asInt())
+              : 0;
+      std::uint64_t job = 0;
+      std::size_t units = 0;
+      if (v == "resume") {
+        const JsonValue* ckpt = req.find("checkpoint");
+        if (ckpt == nullptr)
+          throw std::invalid_argument("resume needs a \"checkpoint\"");
+        job = scheduler_.resume(ckpt->asString(), priority);
+        units = static_cast<std::size_t>(scheduler_.status(job).total);
+      } else {
+        const JsonValue* target = req.find("target");
+        const JsonValue* lines = req.find("scenarios");
+        if ((target == nullptr) == (lines == nullptr))
+          throw std::invalid_argument(
+              "submit needs exactly one of \"target\" or \"scenarios\"");
+        std::vector<exp::Scenario> scenarios;
+        if (target != nullptr) {
+          scenarios = exp::resolve(target->asString());
+        } else {
+          std::string joined;
+          for (const JsonValue& item : lines->asArray())
+            joined += item.asString() + "\n";
+          std::istringstream stream(joined);
+          scenarios = exp::loadScenarios(stream);
+        }
+        applyOverrides(req, &scenarios);
+        if (const JsonValue* only = req.find("only"))
+          scenarios = exp::filterOnly(std::move(scenarios), only->asString());
+        const JsonValue* ckpt = req.find("checkpoint");
+        units = scenarios.size();
+        job = scheduler_.submit(std::move(scenarios), priority,
+                                ckpt ? ckpt->asString() : std::string{});
+      }
+      emitLine(out, {{"ok", true},
+                     {"job", job},
+                     {"units", static_cast<std::uint64_t>(units)}});
+      return;
+    }
+
+    if (v == "status" || v == "cancel" || v == "result") {
+      const JsonValue* jobField = req.find("job");
+      if (jobField == nullptr)
+        throw std::invalid_argument(v + " needs a \"job\"");
+      const auto job = static_cast<std::uint64_t>(jobField->asInt());
+      if (v == "cancel") {
+        const bool cancelled = scheduler_.cancel(job);
+        emitLine(out,
+                 {{"ok", true}, {"job", job}, {"cancelled", cancelled}});
+        return;
+      }
+      JobStatus st = scheduler_.status(job);
+      if (!st.exists) throw std::invalid_argument("unknown job");
+      if (v == "status") {
+        const char* state = st.cancelled    ? "cancelled"
+                            : st.complete   ? "complete"
+                            : st.done + st.failed > 0 ? "running"
+                                            : "queued";
+        emitLine(out, {{"ok", true},
+                       {"job", job},
+                       {"state", state},
+                       {"total", st.total},
+                       {"done", st.done},
+                       {"failed", st.failed},
+                       {"cached_hits", st.cachedHits}});
+        return;
+      }
+      // result: stream rows in completion order until end of stream.
+      std::size_t cursor = 0;
+      for (;;) {
+        const std::vector<RowEvent> events =
+            scheduler_.eventsSince(job, cursor);
+        if (events.empty()) break;
+        cursor += events.size();
+        for (const RowEvent& ev : events) {
+          JsonValue::Object row = {{"ok", true},
+                                   {"job", job},
+                                   {"unit", ev.unit},
+                                   {"scenario", ev.scenario.name},
+                                   {"cached", ev.cached},
+                                   {"failed", ev.failed}};
+          if (ev.failed)
+            row.emplace_back("error", ev.error);
+          else
+            row.emplace_back("csv", exp::csvRows(ev.result));
+          emitLine(out, row);
+        }
+      }
+      st = scheduler_.status(job);
+      emitLine(out, {{"ok", true},
+                     {"job", job},
+                     {"complete", st.complete},
+                     {"total", st.total},
+                     {"done", st.done},
+                     {"failed", st.failed},
+                     {"cancelled", st.cancelled}});
+      return;
+    }
+
+    if (v == "stats") {
+      const SchedulerStats ss = scheduler_.stats();
+      ResultCache::Counters cc;
+      if (cache_ != nullptr) cc = cache_->counters();
+      emitLine(out, {{"ok", true},
+                     {"cache", cache_ != nullptr},
+                     {"hits", cc.hits},
+                     {"misses", cc.misses},
+                     {"bad_records", cc.badRecords},
+                     {"stores", cc.stores},
+                     {"jobs", ss.submittedJobs},
+                     {"units", ss.submittedUnits},
+                     {"deduped_units", ss.dedupedUnits},
+                     {"computed", ss.computed},
+                     {"queue_depth", ss.queueDepth},
+                     {"workers", ss.workers},
+                     {"busy_workers", ss.busyWorkers}});
+      return;
+    }
+
+    if (v == "shutdown") {
+      requestShutdown();
+      emitLine(out, {{"ok", true}, {"shutdown", true}});
+      return;
+    }
+
+    throw std::invalid_argument("unknown verb '" + v + "'");
+  } catch (const std::exception& e) {
+    emitLine(out, errorObject(e.what()));
+  }
+}
+
+void ExpServer::serveStream(std::istream& in, std::ostream& out) {
+  std::string line;
+  while (!shutdownRequested() && std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    handleLine(line, out);
+  }
+}
+
+int ExpServer::listenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() + 1 > sizeof(addr.sun_path))
+    throw std::runtime_error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(): " + std::string(strerror(errno)));
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind(" + path + "): " + err);
+  }
+  if (::listen(fd, 16) < 0) {
+    const std::string err = strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("listen(" + path + "): " + err);
+  }
+  return fd;
+}
+
+void ExpServer::acceptLoop(int fd) {
+  std::mutex mu;
+  std::vector<int> sessionFds;
+  std::vector<std::thread> sessions;
+  while (!shutdownRequested()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout ms=*/200);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check shutdown
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      sessionFds.push_back(conn);
+    }
+    sessions.emplace_back([this, conn] {
+      FdStreamBuf buf(conn);
+      std::istream in(&buf);
+      std::ostream out(&buf);
+      serveStream(in, out);
+    });
+  }
+  // Unblock any session still parked in read() so the joins finish.
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    for (const int conn : sessionFds) ::shutdown(conn, SHUT_RDWR);
+  }
+  for (std::thread& th : sessions) th.join();
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    for (const int conn : sessionFds) ::close(conn);
+  }
+  ::close(fd);
+}
+
+}  // namespace ssno::serve

@@ -1,0 +1,179 @@
+// Persistent content-addressed result cache (serve/cache.hpp): hits
+// must be bit-identical, every flavour of damaged record must read as a
+// miss (never an exception), and concurrent writers of one key must
+// race benignly through the write-temp + atomic-rename protocol.
+#include "serve/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+
+namespace ssno::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("ssno-" + leaf);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+exp::Scenario smallScenario() {
+  exp::Scenario s = exp::parseScenario("dftc/central/ring:16");
+  s.trials = 2;
+  return s;
+}
+
+/// The single record file the cache wrote for `s`.
+fs::path recordFile(const ResultCache& cache, const exp::Scenario& s) {
+  const std::string key = cache.keyHex(s);
+  return fs::path(cache.dir()) / key.substr(0, 2) / (key + ".rec");
+}
+
+TEST(ResultCache, StoreThenFetchIsBitIdentical) {
+  ResultCache cache(freshDir("hit"));
+  const exp::Scenario s = smallScenario();
+  EXPECT_FALSE(cache.fetch(s).has_value());  // cold
+
+  const std::string payload = "nodes 16\nedges 16\ntrials 2\nfailed 0\n"
+                              "cores 1\n";
+  ASSERT_TRUE(cache.store(s, payload));
+  const auto back = cache.fetch(s);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.stores, 1u);
+  EXPECT_EQ(c.badRecords, 0u);
+}
+
+TEST(ResultCache, FetchResultReattachesTheCallersName) {
+  ResultCache cache(freshDir("rename"));
+  const exp::ExperimentRunner runner(1);
+  exp::Scenario s = smallScenario();
+  ASSERT_TRUE(cache.storeResult(runner.run(s)));
+
+  exp::Scenario relabeled = s;
+  relabeled.name = "my custom label";
+  const auto hit = cache.fetchResult(relabeled);
+  ASSERT_TRUE(hit.has_value());  // name is not part of the key
+  EXPECT_EQ(hit->scenario.name, "my custom label");
+  EXPECT_EQ(hit->nodeCount, 16);
+}
+
+TEST(ResultCache, TruncatedRecordIsAMissNotACrash) {
+  ResultCache cache(freshDir("trunc"));
+  const exp::Scenario s = smallScenario();
+  ASSERT_TRUE(cache.store(s, "nodes 16\nedges 16\ntrials 2\nfailed 0\n"
+                             "cores 1\n"));
+  const fs::path rec = recordFile(cache, s);
+  ASSERT_TRUE(fs::exists(rec));
+  fs::resize_file(rec, fs::file_size(rec) / 2);
+
+  EXPECT_FALSE(cache.fetch(s).has_value());
+  EXPECT_EQ(cache.counters().badRecords, 1u);
+}
+
+TEST(ResultCache, CorruptedPayloadByteFailsTheCrc) {
+  ResultCache cache(freshDir("crc"));
+  const exp::Scenario s = smallScenario();
+  const std::string payload = "nodes 16\nedges 16\ntrials 2\nfailed 0\n"
+                              "cores 1\n";
+  ASSERT_TRUE(cache.store(s, payload));
+  const fs::path rec = recordFile(cache, s);
+  {
+    std::fstream f(rec, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-3, std::ios::end);  // flip a byte inside the payload
+    f.put('X');
+  }
+  EXPECT_FALSE(cache.fetch(s).has_value());
+  EXPECT_EQ(cache.counters().badRecords, 1u);
+}
+
+TEST(ResultCache, ForeignSaltRecordsAreInvisible) {
+  const std::string dir = freshDir("salt");
+  const exp::Scenario s = smallScenario();
+  {
+    ResultCache old(dir, "ssno-serve-v0-obsolete");
+    ASSERT_TRUE(old.store(s, "nodes 16\nedges 16\ntrials 2\nfailed 0\n"
+                             "cores 1\n"));
+  }
+  ResultCache cache(dir);  // current salt
+  // A different salt changes the key, so this is a plain miss (the old
+  // record sits at a key the new cache never derives).
+  EXPECT_FALSE(cache.fetch(s).has_value());
+  EXPECT_EQ(cache.counters().hits, 0u);
+}
+
+TEST(ResultCache, GarbageAtTheRightPathIsABadRecordMiss) {
+  ResultCache cache(freshDir("garbage"));
+  const exp::Scenario s = smallScenario();
+  const fs::path rec = recordFile(cache, s);
+  fs::create_directories(rec.parent_path());
+  std::ofstream(rec) << "not a record at all\n";
+  EXPECT_FALSE(cache.fetch(s).has_value());
+  EXPECT_EQ(cache.counters().badRecords, 1u);
+}
+
+TEST(ResultCache, ConcurrentWritersOfOneKeyRaceBenignly) {
+  ResultCache cache(freshDir("race"));
+  const exp::Scenario s = smallScenario();
+  std::string payload = "nodes 16\nedges 16\ntrials 2\nfailed 0\ncores 1\n";
+  for (int i = 0; i < 200; ++i) payload += "metric pad 0 0 0 0 0 0 0\n";
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 8; ++t)
+    writers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) ASSERT_TRUE(cache.store(s, payload));
+    });
+  for (std::thread& th : writers) th.join();
+
+  const auto back = cache.fetch(s);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);  // some complete record won; none interleaved
+  // No temp droppings left behind.
+  for (const auto& entry : fs::recursive_directory_iterator(cache.dir())) {
+    if (entry.is_regular_file()) {
+      EXPECT_EQ(entry.path().extension(), ".rec") << entry.path();
+    }
+  }
+}
+
+TEST(RunAllCached, SecondSweepIsAllHitsAndByteIdentical) {
+  ResultCache cache(freshDir("runall"));
+  const exp::ExperimentRunner runner(1);
+  std::vector<exp::Scenario> sweep;
+  for (const char* triple :
+       {"dftc/central/ring:16", "space/central/ring:16",
+        "chordal-props/central/chordring:16:2,5"}) {
+    exp::Scenario s = exp::parseScenario(triple);
+    s.trials = 2;
+    sweep.push_back(std::move(s));
+  }
+
+  const auto cold = runAllCached(runner, sweep, &cache);
+  const auto warm = runAllCached(runner, sweep, &cache);
+  EXPECT_EQ(exp::toCsv(cold), exp::toCsv(warm));
+  EXPECT_EQ(exp::toJson(cold), exp::toJson(warm));
+
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(c.stores, sweep.size());
+  EXPECT_EQ(c.hits, sweep.size());
+
+  // nullptr cache degrades to plain runAll.
+  const auto direct = runAllCached(runner, sweep, nullptr);
+  EXPECT_EQ(exp::toCsv(direct), exp::toCsv(cold));
+}
+
+}  // namespace
+}  // namespace ssno::serve

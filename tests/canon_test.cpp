@@ -1,0 +1,157 @@
+// Canonical scenario serialization and content keys (exp/canon.hpp):
+// the result cache is only sound if (a) the canonical text round-trips
+// exactly, (b) defaults and explicitly-set defaults hash identically,
+// and (c) the display name never reaches the key.  The golden-text test
+// pins the field order and formats — if it fails, the on-disk cache
+// format changed and kCacheSalt must be bumped alongside.
+#include "exp/canon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.hpp"
+
+namespace ssno::exp {
+namespace {
+
+const char* const kTriples[] = {
+    "dftno/round-robin/ring:8",
+    "stno/distributed/torus:3x4",
+    "dftno-churn/round-robin/grid:3x4",
+    "stno-recovery/central/star:6",
+    "model-check:dftc/central/path:3",
+    "model-check:dftc-fault/central/ring:5",
+    "space/central/chordring:16:2,5",
+    "scheduler/central/ring:32",
+};
+
+TEST(Canon, RoundTripsEveryProtocolShape) {
+  for (const char* triple : kTriples) {
+    Scenario s = parseScenario(triple);
+    s.trials = 7;
+    s.seed = 42;
+    s.budget = 12345;
+    s.faultRate = 0.25;
+    s.faultK = 3;
+    s.mcThreads = 2;
+    const std::string text = canonicalScenario(s);
+    const Scenario back = parseCanonicalScenario(text);
+    EXPECT_EQ(canonicalScenario(back), text) << triple;
+    EXPECT_EQ(scenarioDigest(back, "salt"), scenarioDigest(s, "salt"))
+        << triple;
+  }
+}
+
+TEST(Canon, GoldenTextPinsFieldOrderAndDefaults) {
+  Scenario s = parseScenario("dftc/central/ring:64");
+  s.trials = 3;
+  EXPECT_EQ(canonicalScenario(s),
+            "canon=1 protocol=dftc mc-target=dftc daemon=central "
+            "topology=ring:64 trials=3 seed=0 budget=200000000 rate=0 "
+            "k=1 mc-threads=8");
+}
+
+TEST(Canon, DefaultAndExplicitDefaultShareOneKey) {
+  Scenario s = parseScenario("dftno/round-robin/ring:8");
+  Scenario t = s;
+  t.seed = 0;       // already the default
+  t.faultRate = 0;  // already the default
+  t.faultK = 1;     // already the default
+  EXPECT_EQ(canonicalScenario(s), canonicalScenario(t));
+}
+
+TEST(Canon, DisplayNameIsNotSemantics) {
+  Scenario s = parseScenario("dftno/round-robin/ring:8");
+  Scenario t = s;
+  t.name = "a completely different label";
+  EXPECT_EQ(canonicalScenario(s), canonicalScenario(t));
+  EXPECT_EQ(scenarioDigest(s, "x"), scenarioDigest(t, "x"));
+  // ...but the salt IS part of the key.
+  EXPECT_NE(scenarioDigest(s, "x").hex(), scenarioDigest(s, "y").hex());
+}
+
+TEST(Canon, ParseRejectsMalformedText) {
+  const std::string good =
+      canonicalScenario(parseScenario("dftc/central/ring:8"));
+  EXPECT_NO_THROW(parseCanonicalScenario(good));
+  EXPECT_THROW(parseCanonicalScenario(""), std::invalid_argument);
+  EXPECT_THROW(parseCanonicalScenario("canon=2" + good.substr(7)),
+               std::invalid_argument);
+  EXPECT_THROW(parseCanonicalScenario(good + " extra=1"),
+               std::invalid_argument);
+  EXPECT_THROW(parseCanonicalScenario(good + " trials=9"),
+               std::invalid_argument);  // duplicate key
+  // Missing a required key.
+  const auto at = good.find(" trials=");
+  const auto end = good.find(' ', at + 1);
+  EXPECT_THROW(parseCanonicalScenario(good.substr(0, at) + good.substr(end)),
+               std::invalid_argument);
+}
+
+TEST(Canon, Fnv1a128MatchesReferenceOffsetBasis) {
+  // FNV-1a of the empty string is the offset basis by definition.
+  EXPECT_EQ(fnv1a128("").hex(), "6c62272e07bb014262b821756295c58d");
+  EXPECT_EQ(fnv1a128("a").hex().size(), 32u);
+  EXPECT_NE(fnv1a128("a").hex(), fnv1a128("b").hex());
+}
+
+TEST(Canon, ResultPayloadRoundTrips) {
+  ScenarioResult r;
+  r.nodeCount = 64;
+  r.edgeCount = 64;
+  r.trials = 5;
+  r.failedTrials = 1;
+  r.cores = 8;
+  Summary moves;
+  moves.count = 4;
+  moves.min = 841;
+  moves.max = 959;
+  moves.mean = 898.3333333333334;  // needs shortest-round-trip printing
+  moves.stddev = 59.10160742314882;
+  moves.p50 = 894;
+  moves.p95 = 952.5;
+  r.metrics["substrate_moves"] = moves;
+  r.metrics["substrate_rounds"] = Summary{};
+
+  const std::string payload = resultPayload(r);
+  const ScenarioResult back = parseResultPayload(payload);
+  EXPECT_EQ(resultPayload(back), payload);
+  EXPECT_EQ(back.nodeCount, 64);
+  EXPECT_EQ(back.failedTrials, 1);
+  EXPECT_EQ(back.metric("substrate_moves").mean, moves.mean);
+  EXPECT_EQ(back.metric("substrate_moves").stddev, moves.stddev);
+
+  EXPECT_THROW(parseResultPayload(""), std::invalid_argument);
+  EXPECT_THROW(parseResultPayload(payload + "trailing\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parseResultPayload(payload.substr(0, payload.size() / 2)),
+               std::invalid_argument);
+}
+
+TEST(Canon, FilterOnlyKeepsTheNamedScenario) {
+  std::vector<Scenario> sweep = makePreset("dftno-scaling");
+  ASSERT_GT(sweep.size(), 1u);
+  const std::string pick = sweep[1].name;
+  const std::vector<Scenario> kept = filterOnly(sweep, pick);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].name, pick);
+}
+
+TEST(Canon, FilterOnlyErrorListsValidNames) {
+  std::vector<Scenario> sweep = makePreset("dftno-scaling");
+  const std::string valid = sweep.front().name;
+  try {
+    (void)filterOnly(std::move(sweep), "no-such-scenario");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no-such-scenario"), std::string::npos) << what;
+    EXPECT_NE(what.find(valid), std::string::npos) << what;
+  }
+}
+
+}  // namespace
+}  // namespace ssno::exp

@@ -1,0 +1,287 @@
+// The experiment service end to end (serve/scheduler + serve/server):
+// in-flight deduplication, cancel → checkpoint-resume with a byte-
+// identical final report, the line-delimited JSON protocol, and the
+// cold-miss/warm-hit determinism proof for the model-check and
+// scheduler presets — the served bytes equal what a direct exp_cli run
+// produces, even for wall-clock metrics, because both flow through one
+// content-addressed cache.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/canon.hpp"
+#include "exp/report.hpp"
+#include "exp/scenario.hpp"
+#include "serve/json.hpp"
+
+namespace ssno::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("ssno-" + leaf);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+exp::Scenario dftcRing(int n, const std::string& name = "") {
+  exp::Scenario s =
+      exp::parseScenario("dftc/central/ring:" + std::to_string(n));
+  s.trials = 2;
+  if (!name.empty()) s.name = name;
+  return s;
+}
+
+/// One pipe session: feed `requests`, return the parsed response lines.
+std::vector<JsonValue> session(ExpServer& server,
+                               const std::vector<std::string>& requests) {
+  std::stringstream in, out;
+  for (const std::string& r : requests) in << r << "\n";
+  server.serveStream(in, out);
+  std::vector<JsonValue> lines;
+  std::string line;
+  while (std::getline(out, line))
+    if (!line.empty()) lines.push_back(JsonValue::parse(line));
+  return lines;
+}
+
+/// Reassembles an exp_cli-identical CSV from `result` row lines:
+/// header + per-unit rows in submit order.
+std::string reassembleCsv(const std::vector<JsonValue>& lines) {
+  std::vector<std::pair<std::int64_t, std::string>> rows;
+  for (const JsonValue& line : lines)
+    if (const JsonValue* csv = line.find("csv"))
+      rows.emplace_back(line.find("unit")->asInt(), csv->asString());
+  std::sort(rows.begin(), rows.end());
+  std::string out = exp::csvHeader() + "\n";
+  for (const auto& [unit, csv] : rows) out += csv;
+  return out;
+}
+
+TEST(Scheduler, DuplicateUnitsShareOneComputation) {
+  SchedulerOptions opt;
+  opt.workers = 1;
+  JobScheduler sched(opt);
+  const exp::Scenario a = dftcRing(32);
+  const exp::Scenario b = dftcRing(32, "alias for the same work");
+  const std::uint64_t job = sched.submit({a, b});
+  const auto results = sched.wait(job);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].has_value());
+  ASSERT_TRUE(results[1].has_value());
+  // One computation, delivered to both units under their own names.
+  EXPECT_EQ(exp::resultPayload(*results[0]),
+            exp::resultPayload(*results[1]));
+  EXPECT_EQ(results[1]->scenario.name, "alias for the same work");
+  const SchedulerStats st = sched.stats();
+  EXPECT_EQ(st.submittedUnits, 2u);
+  EXPECT_EQ(st.dedupedUnits, 1u);
+  EXPECT_EQ(st.computed, 1u);
+}
+
+TEST(Scheduler, ConcurrentIdenticalJobsComputeOnce) {
+  SchedulerOptions opt;
+  opt.workers = 1;  // the filler unit pins the only worker
+  JobScheduler sched(opt);
+  const exp::Scenario filler = dftcRing(128);
+  const exp::Scenario target = dftcRing(48);
+  const std::uint64_t jobA = sched.submit({filler, target});
+  const std::uint64_t jobB = sched.submit({dftcRing(48, "second client")});
+  const auto resultsA = sched.wait(jobA);
+  const auto resultsB = sched.wait(jobB);
+  ASSERT_TRUE(resultsA[1].has_value());
+  ASSERT_TRUE(resultsB[0].has_value());
+  EXPECT_EQ(exp::resultPayload(*resultsA[1]),
+            exp::resultPayload(*resultsB[0]));
+  const SchedulerStats st = sched.stats();
+  EXPECT_EQ(st.dedupedUnits, 1u);  // jobB attached to jobA's queued unit
+  EXPECT_EQ(st.computed, 2u);      // filler + target, never target twice
+}
+
+TEST(Scheduler, CancelledSweepResumesByteIdentical) {
+  const std::string dir = freshDir("sched-resume");
+  std::vector<exp::Scenario> sweep;
+  for (const int n : {24, 32, 40, 48, 56}) sweep.push_back(dftcRing(n));
+  const exp::ExperimentRunner runner(1);
+  const std::string csvDirect = exp::toCsv(runner.runAll(sweep));
+
+  {
+    ResultCache cache(dir + "/cache");
+    SchedulerOptions opt;
+    opt.workers = 1;
+    opt.cache = &cache;
+    opt.checkpointDir = dir + "/ckpt";
+    JobScheduler sched(opt);
+    const std::uint64_t job = sched.submit(sweep, 0, "sweep");
+    // Let at least one unit settle (and land in the cache), then kill
+    // the sweep mid-flight.
+    (void)sched.eventsSince(job, 0);
+    EXPECT_TRUE(sched.cancel(job));
+    EXPECT_FALSE(sched.status(job).complete);
+  }  // scheduler torn down with queued units never run
+
+  ResultCache cache(dir + "/cache");
+  SchedulerOptions opt;
+  opt.workers = 1;
+  opt.cache = &cache;
+  opt.checkpointDir = dir + "/ckpt";
+  JobScheduler sched(opt);
+  const std::uint64_t job = sched.resume("sweep");
+  const auto results = sched.wait(job);
+  ASSERT_EQ(results.size(), sweep.size());
+  std::vector<exp::ScenarioResult> flat;
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.has_value());
+    flat.push_back(*r);
+  }
+  EXPECT_EQ(exp::toCsv(flat), csvDirect);
+  // The pre-cancel work was not wasted: it came back from the cache.
+  EXPECT_GE(sched.status(job).cachedHits, 1);
+}
+
+TEST(Server, ProtocolHandlesGoodAndBadRequestsInOneSession) {
+  SchedulerOptions opt;
+  opt.workers = 1;
+  ExpServer server(opt);
+  const auto lines = session(
+      server,
+      {"this is not json",
+       R"({"noverb":1})",
+       R"({"verb":"frobnicate"})",
+       R"({"verb":"status","job":999})",
+       R"({"verb":"submit","target":"dftc/central/ring:24","trials":2})",
+       R"({"verb":"submit","scenarios":["dftc central ring:24 trials=2",)"
+       R"("dftc central ring:32 trials=2"],"only":"dftc/central/ring:32"})",
+       R"({"verb":"result","job":2})",
+       R"({"verb":"status","job":1})",
+       R"({"verb":"stats"})"});
+  ASSERT_EQ(lines.size(), 10u);  // result emits its row + a summary line
+  EXPECT_FALSE(lines[0].find("ok")->asBool());  // parse error
+  EXPECT_FALSE(lines[1].find("ok")->asBool());  // missing verb
+  EXPECT_FALSE(lines[2].find("ok")->asBool());  // unknown verb
+  EXPECT_FALSE(lines[3].find("ok")->asBool());  // unknown job
+  EXPECT_TRUE(lines[4].find("ok")->asBool());
+  EXPECT_EQ(lines[4].find("job")->asInt(), 1);
+  EXPECT_TRUE(lines[5].find("ok")->asBool());
+  EXPECT_EQ(lines[5].find("units")->asInt(), 1);  // "only" filtered
+  // result: one row + the final summary line.
+  EXPECT_EQ(lines[6].find("scenario")->asString(), "dftc/central/ring:32");
+  EXPECT_FALSE(lines[6].find("failed")->asBool());
+  EXPECT_TRUE(lines[7].find("complete")->asBool());
+  EXPECT_TRUE(lines[8].find("ok")->asBool());  // status of job 1
+  EXPECT_EQ(lines[9].find("computed")->asInt(), 2);
+}
+
+TEST(Server, SubmitRejectsUnknownOnlyNameListingCandidates) {
+  SchedulerOptions opt;
+  opt.workers = 1;
+  ExpServer server(opt);
+  const auto lines = session(
+      server, {R"({"verb":"submit","target":"dftc/central/ring:24",)"
+               R"("only":"typo-name"})"});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_FALSE(lines[0].find("ok")->asBool());
+  const std::string error = lines[0].find("error")->asString();
+  EXPECT_NE(error.find("typo-name"), std::string::npos) << error;
+  EXPECT_NE(error.find("dftc/central/ring:24"), std::string::npos) << error;
+}
+
+TEST(Server, KilledServerResumesFromCheckpointByteIdentical) {
+  const std::string dir = freshDir("srv-resume");
+  const std::vector<std::string> sweepLines = {
+      "dftc central ring:24 trials=2", "dftc central ring:32 trials=2",
+      "dftc central ring:40 trials=2"};
+  std::string joined;
+  for (const std::string& l : sweepLines) joined += l + "\n";
+  std::istringstream sweepStream(joined);
+  const exp::ExperimentRunner runner(1);
+  const std::string csvDirect =
+      exp::toCsv(runner.runAll(exp::loadScenarios(sweepStream)));
+
+  {
+    ResultCache cache(dir + "/cache");
+    SchedulerOptions opt;
+    opt.workers = 1;
+    opt.cache = &cache;
+    opt.checkpointDir = dir + "/ckpt";
+    ExpServer server(opt);
+    const auto lines = session(
+        server,
+        {R"({"verb":"submit","scenarios":["dftc central ring:24 trials=2",)"
+         R"("dftc central ring:32 trials=2","dftc central ring:40 )"
+         R"(trials=2"],"checkpoint":"sweep"})"});
+    ASSERT_TRUE(lines[0].find("ok")->asBool());
+  }  // server dies without the client ever reading results
+
+  ResultCache cache(dir + "/cache");
+  SchedulerOptions opt;
+  opt.workers = 1;
+  opt.cache = &cache;
+  opt.checkpointDir = dir + "/ckpt";
+  ExpServer server(opt);
+  const auto lines =
+      session(server, {R"({"verb":"resume","checkpoint":"sweep"})",
+                       R"({"verb":"result","job":1})"});
+  ASSERT_GE(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].find("ok")->asBool());
+  EXPECT_EQ(lines[0].find("units")->asInt(), 3);
+  EXPECT_TRUE(lines.back().find("complete")->asBool());
+  EXPECT_EQ(reassembleCsv(lines), csvDirect);
+}
+
+/// The acceptance proof: a preset scenario computed cold through the
+/// cache by the direct path (what `exp_cli --cache-dir` runs), then
+/// served warm by the service, is byte-identical — including wall-clock
+/// throughput metrics, which only determinism-via-cache can guarantee.
+void proveColdWarmIdentity(const std::string& preset, int trials,
+                           StepCount budget) {
+  const std::string dir = freshDir("e2e-" + preset);
+  std::vector<exp::Scenario> sweep = exp::makePreset(preset);
+  const std::string only = sweep.front().name;
+  sweep = exp::filterOnly(std::move(sweep), only);
+  for (exp::Scenario& s : sweep) {
+    s.trials = trials;
+    if (budget > 0) s.budget = budget;
+  }
+
+  ResultCache cache(dir);
+  const exp::ExperimentRunner runner(1);
+  const std::string csvDirect =
+      exp::toCsv(runAllCached(runner, sweep, &cache));
+  ASSERT_EQ(cache.counters().stores, 1u);  // cold miss, computed, stored
+
+  SchedulerOptions opt;
+  opt.workers = 1;
+  opt.cache = &cache;
+  ExpServer server(opt);
+  std::string submit = R"({"verb":"submit","target":")" + preset +
+                       R"(","only":")" + only + R"(","trials":)" +
+                       std::to_string(trials);
+  if (budget > 0) submit += ",\"budget\":" + std::to_string(budget);
+  submit += "}";
+  const auto lines =
+      session(server, {submit, R"({"verb":"result","job":1})"});
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_TRUE(lines[1].find("cached")->asBool());  // warm hit, no recompute
+  EXPECT_EQ(reassembleCsv(lines), csvDirect);
+}
+
+TEST(Server, ModelCheckPresetColdThenWarmIsByteIdentical) {
+  proveColdWarmIdentity("model-check", /*trials=*/1, /*budget=*/0);
+}
+
+TEST(Server, SchedulerPresetColdThenWarmIsByteIdentical) {
+  proveColdWarmIdentity("scheduler", /*trials=*/1, /*budget=*/2000);
+}
+
+}  // namespace
+}  // namespace ssno::serve

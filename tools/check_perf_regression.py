@@ -38,6 +38,12 @@ What is always gated for model-check rows is ``verdicts_agree`` (the
 parallel and sequential checkers must return the same verdict) and the
 failed-trial count.
 
+``serve/...`` rows (BENCH_serve.json, from tools/serve_smoke.py) are
+gated on CORRECTNESS fields only — ``byte_identity`` and
+``resume_identity`` must be exactly 1 and ``cache_hits`` nonzero in the
+fresh run; timing fields like ``smoke_seconds`` are trajectory-only,
+so a slow runner can never fail the serve smoke.
+
 Usage: check_perf_regression.py BASELINE.json FRESH.json [--min-ratio R]
 """
 import argparse
@@ -76,6 +82,21 @@ def main():
         fresh_row = fresh[name]
         if fresh_row.get("failed_trials", 0):
             failures.append(f"{name}: {fresh_row['failed_trials']} failed trials")
+        if name.startswith("serve/"):
+            hits = mean(fresh_row, "cache_hits") or 0
+            byte_id = mean(fresh_row, "byte_identity")
+            resume_id = mean(fresh_row, "resume_identity")
+            print(f"{name}: cache_hits {hits:.0f}  "
+                  f"byte_identity {byte_id}  resume_identity {resume_id}  "
+                  f"(correctness-gated; timing trajectory-only)")
+            if hits < 1:
+                failures.append(f"{name}: no cache hits in the smoke load")
+            if byte_id != 1:
+                failures.append(f"{name}: served bytes differ from exp_cli")
+            if resume_id != 1:
+                failures.append(
+                    f"{name}: SIGKILL-resumed report differs from reference")
+            continue
         if name.startswith("model-check"):
             agree = fresh_row["metrics"].get("verdicts_agree", {}).get("mean", 0)
             rate = mean(fresh_row, "mc_states_per_sec")

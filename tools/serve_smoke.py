@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Serve smoke: drive exp_serve over its unix socket with a mixed,
+repeating workload and prove the service's two load-bearing claims:
+
+  1. Byte identity — the CSV reassembled from served `result` rows
+     (header + per-unit rows in submit order) is byte-for-byte the file
+     a direct `exp_cli run --scenarios ... --cache-dir ... --csv` run
+     writes, and a repeat submission is served entirely from the cache
+     (hits > 0) with identical bytes.
+  2. Crash durability — a checkpointed sweep whose server is SIGKILLed
+     mid-flight resumes on a fresh server process and its final report
+     is byte-identical to an uninterrupted run computed without any
+     cache at all.
+
+Emits a BENCH_serve.json row (scenario "serve/smoke") whose gated
+metrics are correctness flags only — cache_hits, byte_identity,
+resume_identity — timing fields ride along for the trajectory but are
+never gated (see check_perf_regression.py).
+
+Usage: serve_smoke.py --exp-serve BIN --exp-cli BIN --scenarios FILE
+                      [--workdir DIR] [--json OUT]
+"""
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+RESUME_SWEEP = [
+    "dftc central ring:72 trials=2",
+    "dftc central ring:88 trials=2",
+    "dftc central ring:104 trials=2",
+    "space central ring:96 trials=1",
+]
+
+
+class Client:
+    def __init__(self, path):
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.connect(path)
+        self.f = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def call(self, **req):
+        self.f.write(json.dumps(req) + "\n")
+        self.f.flush()
+        return json.loads(self.f.readline())
+
+    def stream_result(self, job):
+        """All `result` lines for `job`: rows then the summary line."""
+        self.f.write(json.dumps({"verb": "result", "job": job}) + "\n")
+        self.f.flush()
+        lines = []
+        while True:
+            line = json.loads(self.f.readline())
+            lines.append(line)
+            if "complete" in line or not line.get("ok"):
+                return lines
+
+    def close(self):
+        self.f.close()
+        self.sock.close()
+
+
+def start_server(exp_serve, sock_path, cache_dir):
+    proc = subprocess.Popen(
+        [exp_serve, "--socket", sock_path, "--cache-dir", cache_dir,
+         "--workers", "1"])
+    for _ in range(200):
+        if os.path.exists(sock_path):
+            try:
+                Client(sock_path).close()
+                return proc
+            except OSError:
+                pass
+        if proc.poll() is not None:
+            raise SystemExit("exp_serve exited during startup")
+        time.sleep(0.05)
+    raise SystemExit(f"exp_serve never created {sock_path}")
+
+
+def reassemble_csv(lines, header):
+    rows = sorted((l["unit"], l["csv"]) for l in lines if "csv" in l)
+    for l in lines:
+        if l.get("failed"):
+            raise SystemExit(f"served unit failed: {l}")
+    return header + "\n" + "".join(csv for _, csv in rows)
+
+
+def run_cli_csv(exp_cli, scenarios_file, cache_dir, workdir):
+    out = os.path.join(workdir, "cli.csv")
+    cmd = [exp_cli, "run", "--scenarios", scenarios_file, "--threads", "1",
+           "--quiet", "--csv", out]
+    if cache_dir:
+        cmd += ["--cache-dir", cache_dir]
+    subprocess.run(cmd, check=True)
+    with open(out) as f:
+        return f.read()
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--exp-serve", required=True)
+    ap.add_argument("--exp-cli", required=True)
+    ap.add_argument("--scenarios", required=True,
+                    help="mixed-workload scenario file (the recorded load)")
+    ap.add_argument("--workdir", default=None)
+    ap.add_argument("--json", default=None, help="write BENCH row here")
+    args = ap.parse_args()
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="ssno-serve-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    sock_path = os.path.join(workdir, "serve.sock")
+    cache_dir = os.path.join(workdir, "cache")
+    with open(args.scenarios) as f:
+        sweep_lines = [l.strip() for l in f
+                       if l.strip() and not l.startswith("#")]
+    header = ("scenario,protocol,daemon,topology,nodes,edges,trials,"
+              "failed_trials,fault_rate,metric,count,min,max,mean,stddev,"
+              "p50,p95")
+
+    t0 = time.time()
+    server = start_server(args.exp_serve, sock_path, cache_dir)
+    try:
+        # --- Phase 1: cold sweep, then an immediate repeat. ---------------
+        c = Client(sock_path)
+        ack = c.call(verb="submit", scenarios=sweep_lines,
+                     checkpoint="smoke")
+        assert ack["ok"] and ack["units"] == len(sweep_lines), ack
+        cold = reassemble_csv(c.stream_result(ack["job"]), header)
+
+        ack2 = c.call(verb="submit", scenarios=sweep_lines)
+        warm_lines = c.stream_result(ack2["job"])
+        warm = reassemble_csv(warm_lines, header)
+        cached_rows = sum(1 for l in warm_lines if l.get("cached"))
+        stats = c.call(verb="stats")
+        assert stats["ok"], stats
+        hits = stats["hits"]
+
+        # Direct CLI over the same cache: warm, byte-identical.
+        cli_csv = run_cli_csv(args.exp_cli, args.scenarios, cache_dir,
+                              workdir)
+        byte_identity = int(cold == warm == cli_csv)
+        print(f"serve_smoke: {len(sweep_lines)} units, cache hits {hits}, "
+              f"repeat rows cached {cached_rows}/{len(sweep_lines)}, "
+              f"byte_identity {byte_identity}")
+
+        # --- Phase 2: SIGKILL mid-sweep, restart, resume. -----------------
+        resume_file = os.path.join(workdir, "resume.scenarios")
+        with open(resume_file, "w") as f:
+            f.write("\n".join(RESUME_SWEEP) + "\n")
+        ack3 = c.call(verb="submit", scenarios=RESUME_SWEEP,
+                      checkpoint="resume-sweep")
+        assert ack3["ok"], ack3
+        server.send_signal(signal.SIGKILL)
+        server.wait()
+        c.close()
+        print("serve_smoke: server SIGKILLed mid-sweep, restarting")
+
+        server = start_server(args.exp_serve, sock_path, cache_dir)
+        c = Client(sock_path)
+        ack4 = c.call(verb="resume", checkpoint="resume-sweep")
+        assert ack4["ok"] and ack4["units"] == len(RESUME_SWEEP), ack4
+        resumed = reassemble_csv(c.stream_result(ack4["job"]), header)
+        # Uninterrupted reference computed WITHOUT any cache: determinism
+        # alone must make the resumed report identical.
+        reference = run_cli_csv(args.exp_cli, resume_file, None, workdir)
+        resume_identity = int(resumed == reference)
+        print(f"serve_smoke: resume_identity {resume_identity}")
+
+        c.call(verb="shutdown")
+        c.close()
+        server.wait(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+    elapsed = time.time() - t0
+    row = {
+        "scenario": "serve/smoke",
+        "failed_trials": 0,
+        "metrics": {
+            "cache_hits": {"mean": float(hits)},
+            "byte_identity": {"mean": float(byte_identity)},
+            "resume_identity": {"mean": float(resume_identity)},
+            "smoke_seconds": {"mean": elapsed},  # trajectory only
+        },
+    }
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump([row], f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json}")
+
+    ok = byte_identity and resume_identity and hits > 0
+    print("serve_smoke:", "PASSED" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
