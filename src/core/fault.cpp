@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 
 #include "core/assert.hpp"
 
@@ -9,7 +11,10 @@ namespace ssno {
 
 std::vector<NodeId> FaultInjector::corruptK(int k, Rng& rng) {
   const int n = protocol_.graph().nodeCount();
-  SSNO_EXPECTS(k >= 0 && k <= n);
+  if (k < 0 || k > n)
+    throw std::invalid_argument("corruptK: k=" + std::to_string(k) +
+                                " out of range [0, n=" + std::to_string(n) +
+                                "]");
   std::vector<NodeId> ids(static_cast<std::size_t>(n));
   std::iota(ids.begin(), ids.end(), 0);
   // Partial Fisher-Yates: the first k entries become the victim set.
@@ -17,7 +22,11 @@ std::vector<NodeId> FaultInjector::corruptK(int k, Rng& rng) {
     std::swap(ids[static_cast<std::size_t>(i)],
               ids[static_cast<std::size_t>(rng.between(i, n - 1))]);
   ids.resize(static_cast<std::size_t>(k));
+  // Corruption happens in selection order — reordering it would change
+  // the RNG stream and with it every recorded recovery benchmark — but
+  // the *returned* victim list is sorted for deterministic reporting.
   for (NodeId p : ids) protocol_.randomizeNode(p, rng);
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 

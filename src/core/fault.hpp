@@ -25,7 +25,9 @@ class FaultInjector {
   void scrambleAll(Rng& rng) { protocol_.randomize(rng); }
 
   /// Corrupts exactly k distinct processors chosen uniformly; returns the
-  /// victims (for fault-containment measurements).
+  /// victims SORTED ascending (for deterministic reporting — the
+  /// corruption itself happens in selection order so RNG streams are
+  /// unchanged).  Throws std::invalid_argument when k < 0 or k > n.
   std::vector<NodeId> corruptK(int k, Rng& rng);
 
   /// Corrupts one given processor.

@@ -13,6 +13,16 @@ std::vector<Move> Protocol::enabledMoves() const {
   return moves;
 }
 
+double Protocol::potentialHint() const {
+  // Default adversarial potential: the enabled-move count.
+  int count = 0;
+  const int actions = actionCount();
+  for (NodeId p = 0; p < graph().nodeCount(); ++p)
+    for (int a = 0; a < actions; ++a)
+      if (enabled(p, a)) ++count;
+  return static_cast<double>(count);
+}
+
 std::vector<std::uint64_t> Protocol::encodeConfiguration() const {
   std::vector<std::uint64_t> codes;
   codes.reserve(static_cast<std::size_t>(graph().nodeCount()));

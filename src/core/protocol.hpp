@@ -144,6 +144,17 @@ class Protocol {
   /// All moves enabled in the current configuration (node-major order).
   [[nodiscard]] std::vector<Move> enabledMoves() const;
 
+  /// Potential the adversarial searching daemon (resil/search_daemon)
+  /// maximizes when hunting for slow schedules.  Higher = "further from
+  /// quiescence / more ways to stay busy".  The default — the number of
+  /// enabled moves — is a protocol-agnostic proxy; protocols with a
+  /// natural variant function (token distance, tree disagreement count)
+  /// may override with something sharper.  Must be a pure function of
+  /// the current configuration (no hidden state, no RNG): the search
+  /// replays bit-identically only if re-evaluating the potential on the
+  /// same configuration yields the same value.
+  [[nodiscard]] virtual double potentialHint() const;
+
   /// Whole-configuration encode/decode helpers built on the node codec.
   [[nodiscard]] std::vector<std::uint64_t> encodeConfiguration() const;
   void decodeConfiguration(const std::vector<std::uint64_t>& codes);

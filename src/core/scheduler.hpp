@@ -93,6 +93,12 @@ class Simulator {
   /// valid until the next step).
   const std::vector<Move>& stepOnce();
 
+  /// Rounds completed since construction / the last resetRound() (the
+  /// same counter runUntil reports).  Lets step-at-a-time drivers — the
+  /// resilience campaign runner firing fault-plan events at round
+  /// boundaries — read round progress without finishing a run.
+  [[nodiscard]] StepCount roundsSoFar() const { return roundsDone_; }
+
   void setMoveObserver(MoveObserver obs) { observer_ = std::move(obs); }
   void setStatusObserver(StatusObserver obs) {
     statusObserver_ = std::move(obs);

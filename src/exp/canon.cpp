@@ -55,8 +55,10 @@ Digest128 fnv1a128(std::string_view data) {
 
 std::string canonicalScenario(const Scenario& s) {
   // Fixed emission order; every field present; defaults written out.
-  // Adding a field here REQUIRES bumping "canon=1" and the cache salt.
-  std::string out = "canon=1";
+  // Adding a field here REQUIRES bumping "canon=2" and the cache salt.
+  // The fault plan is whitespace-free by grammar; an empty plan is the
+  // "-" sentinel so the token is never empty.
+  std::string out = "canon=2";
   out += " protocol=" + protocolKindName(s.protocol);
   out += " mc-target=" + mcTargetName(s.mcTarget);
   out += " daemon=" + daemonKindName(s.daemon);
@@ -67,15 +69,18 @@ std::string canonicalScenario(const Scenario& s) {
   out += " rate=" + shortestDouble(s.faultRate);
   out += " k=" + std::to_string(s.faultK);
   out += " mc-threads=" + std::to_string(s.mcThreads);
+  out += " fault-plan=" + (s.faultPlan.empty() ? "-" : s.faultPlan);
+  out += " adversary=" + s.adversary;
+  out += " lookahead=" + std::to_string(s.lookahead);
   return out;
 }
 
 Scenario parseCanonicalScenario(const std::string& text) {
   std::istringstream fields(text);
   std::string token;
-  if (!(fields >> token) || token != "canon=1")
+  if (!(fields >> token) || token != "canon=2")
     throw std::invalid_argument(
-        "canonical scenario: expected leading 'canon=1'");
+        "canonical scenario: expected leading 'canon=2'");
   std::map<std::string, std::string> kv;
   while (fields >> token) {
     const auto eq = token.find('=');
@@ -87,8 +92,9 @@ Scenario parseCanonicalScenario(const std::string& text) {
                                   token.substr(0, eq) + "'");
   }
   static constexpr const char* kKeys[] = {
-      "protocol", "mc-target", "daemon",     "topology", "trials",
-      "seed",     "budget",    "rate",       "k",        "mc-threads"};
+      "protocol", "mc-target", "daemon",     "topology",   "trials",
+      "seed",     "budget",    "rate",       "k",          "mc-threads",
+      "fault-plan", "adversary", "lookahead"};
   for (const char* key : kKeys)
     if (!kv.count(key))
       throw std::invalid_argument(std::string("canonical scenario: missing '") +
@@ -107,6 +113,9 @@ Scenario parseCanonicalScenario(const std::string& text) {
   s.faultRate = parseNumber<double>("rate", kv["rate"]);
   s.faultK = parseNumber<int>("k", kv["k"]);
   s.mcThreads = parseNumber<int>("mc-threads", kv["mc-threads"]);
+  s.faultPlan = kv["fault-plan"] == "-" ? std::string{} : kv["fault-plan"];
+  s.adversary = kv["adversary"];
+  s.lookahead = parseNumber<int>("lookahead", kv["lookahead"]);
   s.name = protocolKindName(s.protocol) +
            (s.protocol == ProtocolKind::kModelCheck
                 ? ":" + mcTargetName(s.mcTarget)

@@ -18,6 +18,9 @@
 #include "orientation/chordal.hpp"
 #include "orientation/dftno.hpp"
 #include "orientation/stno.hpp"
+#include "resil/campaign.hpp"
+#include "resil/fault_plan.hpp"
+#include "resil/search_daemon.hpp"
 #include "sptree/bfs_tree.hpp"
 #include "sptree/dfs_tree.hpp"
 #include "sptree/lex_dfs_tree.hpp"
@@ -545,6 +548,87 @@ TrialResult modelCheckTrial(const Graph& g, const Scenario& s,
   return r;
 }
 
+/// Adversarial resilience certification on DFTNO (src/resil).  One trial:
+///  * reference episode — the scenario's stock daemon samples a random
+///    schedule under the fault plan (the "average case"),
+///  * search episode — a SearchingDaemon (greedy or bounded-lookahead
+///    per Scenario::adversary) hunts a worst-case schedule on the SAME
+///    trial seed (the seed only drives scrambling and injections; the
+///    search itself is deterministic),
+///  * rerun — the search episode again from the same seed; every count
+///    and the schedule itself must be bit-identical,
+///  * replay — a ReplayDaemon re-drives the recorded schedule; again
+///    everything must reproduce exactly (the certification claim).
+/// The trial always "converges" as an experiment — whether the episodes
+/// themselves converged is a metric, so budget-exhausted adversarial
+/// runs are reported rather than dropped.
+TrialResult resilienceTrial(const Graph& g, const Scenario& s,
+                            std::uint64_t seed) {
+  if (s.adversary != "greedy" && s.adversary != "lookahead")
+    throw std::invalid_argument("resilience: unknown adversary '" +
+                                s.adversary + "'");
+  resil::EpisodeOptions eo;
+  eo.budget = s.budget;
+  eo.plan = resil::FaultPlan::parse(s.faultPlan);
+  const int lookahead = s.adversary == "lookahead" ? s.lookahead : 0;
+
+  const auto searchEpisode = [&] {
+    Dftno dftno(g);
+    resil::SearchingDaemon daemon(dftno, lookahead);
+    Rng rng(seed);
+    return resil::runEpisode(dftno, daemon, rng, eo,
+                             [&dftno] { return dftno.isLegitimate(); });
+  };
+
+  resil::EpisodeResult reference;
+  {
+    Dftno dftno(g);
+    auto daemon = makeDaemon(s.daemon);
+    Rng rng(seed);
+    reference = resil::runEpisode(dftno, *daemon, rng, eo,
+                                  [&dftno] { return dftno.isLegitimate(); });
+  }
+
+  const resil::EpisodeResult search = searchEpisode();
+  const resil::EpisodeResult rerun = searchEpisode();
+  const bool rerunIdentical = rerun.schedule == search.schedule &&
+                              rerun.moves == search.moves &&
+                              rerun.rounds == search.rounds &&
+                              rerun.converged == search.converged;
+
+  bool replayIdentical = false;
+  try {
+    Dftno dftno(g);
+    resil::ReplayDaemon daemon(search.schedule);
+    Rng rng(seed);
+    const resil::EpisodeResult replay = resil::runEpisode(
+        dftno, daemon, rng, eo, [&dftno] { return dftno.isLegitimate(); });
+    replayIdentical = replay.schedule == search.schedule &&
+                      replay.moves == search.moves &&
+                      replay.rounds == search.rounds &&
+                      replay.converged == search.converged;
+  } catch (const std::runtime_error&) {
+    replayIdentical = false;  // replay diverged or over-ran its schedule
+  }
+
+  TrialResult r;
+  r.metrics = {
+      {"random_moves", static_cast<double>(reference.moves)},
+      {"random_rounds", static_cast<double>(reference.rounds)},
+      {"random_converged", reference.converged ? 1.0 : 0.0},
+      {"search_moves", static_cast<double>(search.moves)},
+      {"search_rounds", static_cast<double>(search.rounds)},
+      {"search_converged", search.converged ? 1.0 : 0.0},
+      {"search_gain", static_cast<double>(search.moves) /
+                          std::max(1.0, static_cast<double>(reference.moves))},
+      {"rerun_identity", rerunIdentical ? 1.0 : 0.0},
+      {"replay_identity", replayIdentical ? 1.0 : 0.0},
+      {"footprint", static_cast<double>(search.footprintMax)},
+      {"injections", static_cast<double>(search.injections)},
+      {"schedule_len", static_cast<double>(search.schedule.size())}};
+  return r;
+}
+
 }  // namespace
 
 std::string protocolKindName(ProtocolKind kind) {
@@ -566,6 +650,7 @@ std::string protocolKindName(ProtocolKind kind) {
     case ProtocolKind::kRouting: return "routing";
     case ProtocolKind::kScheduler: return "scheduler";
     case ProtocolKind::kModelCheck: return "model-check";
+    case ProtocolKind::kResilience: return "resilience";
   }
   return "?";
 }
@@ -626,6 +711,7 @@ TrialResult runTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
     case ProtocolKind::kRouting: return routingTrial(g, s, seed);
     case ProtocolKind::kScheduler: return schedulerTrial(g, s, seed);
     case ProtocolKind::kModelCheck: return modelCheckTrial(g, s, seed);
+    case ProtocolKind::kResilience: return resilienceTrial(g, s, seed);
   }
   throw std::invalid_argument("runTrial: unknown protocol kind");
 }

@@ -47,6 +47,9 @@ enum class ProtocolKind {
   kModelCheck,     ///< exhaustive verification throughput: src/mc parallel
                    ///< explorer vs the sequential checker (pre-incremental
                    ///< expansion), plus a verdict-agreement check
+  kResilience,     ///< adversarial resilience campaign on DFTNO: worst-case
+                   ///< daemon search vs a random reference, fault-plan
+                   ///< injection, schedule replay certification (src/resil)
 };
 
 [[nodiscard]] std::string protocolKindName(ProtocolKind kind);
@@ -91,6 +94,10 @@ struct Scenario {
   int faultK = 1;          ///< recovery protocols: processors corrupted
   McTarget mcTarget = McTarget::kDftc;  ///< model-check: verified protocol
   int mcThreads = 8;       ///< model-check: explorer worker threads
+  /// Resilience scenarios (kResilience) only:
+  std::string faultPlan;   ///< resil::FaultPlan grammar text ("" = no faults)
+  std::string adversary = "greedy";  ///< "greedy" | "lookahead"
+  int lookahead = 2;       ///< rollout depth when adversary == "lookahead"
 };
 
 /// One trial's named metric samples, in a protocol-defined fixed order.

@@ -254,6 +254,36 @@ std::vector<Scenario> modelCheckPreset() {
   return out;
 }
 
+std::vector<Scenario> resiliencePreset() {
+  // Adversarial resilience campaigns (src/resil): the searching daemon
+  // hunts worst-case schedules on DFTNO rings — against the uniform
+  // central daemon as the random reference — under scripted fault
+  // plans.  Every row also certifies determinism: rerunning the search
+  // from the same seed and replaying the recorded schedule must both
+  // be bit-identical (rerun_identity / replay_identity metrics, gated
+  // by tools/check_perf_regression.py).
+  constexpr std::uint64_t kSeed = 0xAD7E;
+  std::vector<Scenario> out;
+  const auto add = [&out](const std::string& topo, const std::string& plan,
+                          const std::string& adversary, const char* tag) {
+    Scenario s = triple(ProtocolKind::kResilience, DaemonKind::kCentral,
+                        topo, 4, kSeed);
+    s.budget = 2'000'000;
+    s.faultPlan = plan;
+    s.adversary = adversary;
+    s.name += std::string("/") + tag;
+    out.push_back(s);
+  };
+  add("ring:16", "", "greedy", "adv=greedy");
+  add("ring:16", "", "lookahead", "adv=lookahead");
+  add("ring:16", "burst:k=4@round=2;burst:k=4@round=6", "greedy",
+      "burst/adv=greedy");
+  add("ring:24", "scramble@round=2;repeat:2@every=6", "greedy",
+      "scramble/adv=greedy");
+  add("ring:24", "crash:p=3@round=4", "lookahead", "crash/adv=lookahead");
+  return out;
+}
+
 std::vector<Scenario> daemonSweepPreset() {
   constexpr std::uint64_t kSeed = 0xDAE;
   std::vector<Scenario> out;
@@ -282,7 +312,7 @@ ProtocolKind parseProtocolKind(const std::string& name) {
         ProtocolKind::kStnoCrashReset, ProtocolKind::kAblationNaming,
         ProtocolKind::kSpace, ProtocolKind::kChordalProps,
         ProtocolKind::kRouting, ProtocolKind::kScheduler,
-        ProtocolKind::kModelCheck})
+        ProtocolKind::kModelCheck, ProtocolKind::kResilience})
     if (protocolKindName(kind) == name) return kind;
   throw std::invalid_argument("unknown protocol '" + name + "'");
 }
@@ -327,6 +357,10 @@ Scenario parseScenario(const std::string& name) {
   if (isChurnProtocol(s.protocol)) s.budget = kDefaultChurnHorizon;
   if (s.protocol == ProtocolKind::kModelCheck)
     s.budget = static_cast<StepCount>(1ull << 22);  // maxStates cap
+  if (s.protocol == ProtocolKind::kResilience)
+    s.budget = 2'000'000;  // per-episode move budget; search steps are
+                           // O(#enabled · n · actions), so the default
+                           // convergence budget would be far too large
   return s;
 }
 
@@ -334,7 +368,7 @@ std::vector<std::string> presetNames() {
   return {"dftno-scaling", "stno-height", "stno-star-control",
           "stno-scaling", "churn", "daemon-sweep", "substrate",
           "fault-recovery", "ablation-naming", "space", "chordal-props",
-          "routing", "scheduler", "model-check"};
+          "routing", "scheduler", "model-check", "resilience"};
 }
 
 std::vector<Scenario> makePreset(const std::string& name) {
@@ -352,6 +386,7 @@ std::vector<Scenario> makePreset(const std::string& name) {
   if (name == "routing") return routingPreset();
   if (name == "scheduler") return schedulerPreset();
   if (name == "model-check") return modelCheckPreset();
+  if (name == "resilience") return resiliencePreset();
   throw std::invalid_argument("unknown preset '" + name + "'");
 }
 
@@ -414,6 +449,12 @@ std::vector<Scenario> loadScenarios(std::istream& in) {
         else if (key == "rate") s.faultRate = std::stod(value, &used);
         else if (key == "k") s.faultK = std::stoi(value, &used);
         else if (key == "mc-threads") s.mcThreads = std::stoi(value, &used);
+        else if (key == "lookahead") s.lookahead = std::stoi(value, &used);
+        // String-valued keys consume the whole value by construction.
+        // A fault plan must be whitespace-free here (the canonical
+        // rendering is): the line is whitespace-tokenized.
+        else if (key == "fault-plan") { s.faultPlan = value; used = value.size(); }
+        else if (key == "adversary") { s.adversary = value; used = value.size(); }
         else known = false;
       } catch (const std::invalid_argument&) {
         throw fail("bad value in '" + kv + "'");

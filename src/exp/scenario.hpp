@@ -22,7 +22,9 @@
 //   dftno-churn round-robin grid:3x4 rate=0.002 budget=40000
 //   model-check:dftc central path:3 mc-threads=4
 //
-// Recognized keys: trials, seed, budget, rate, k (faultK), mc-threads.
+// Recognized keys: trials, seed, budget, rate, k (faultK), mc-threads,
+// fault-plan (resil::FaultPlan grammar, whitespace-free), adversary
+// ("greedy" | "lookahead"), lookahead (rollout depth).
 #ifndef SSNO_EXP_SCENARIO_HPP
 #define SSNO_EXP_SCENARIO_HPP
 

@@ -1,0 +1,159 @@
+#include "resil/campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/fault.hpp"
+#include "core/scheduler.hpp"
+
+namespace ssno::resil {
+
+EpisodeResult runEpisode(Protocol& protocol, Daemon& daemon, Rng& rng,
+                         const EpisodeOptions& options,
+                         const std::function<bool()>& goal) {
+  EpisodeResult r;
+  if (options.scrambleFirst) protocol.randomize(rng);
+
+  Simulator sim(protocol, daemon, rng);
+  FaultImpactTracker tracker(protocol.graph().nodeCount());
+  sim.setStatusObserver([&tracker](std::span<const NodeId> changed,
+                                   bool fullInvalidate,
+                                   const EnabledView& now) {
+    tracker.onStatusChanges(changed, fullInvalidate, now);
+  });
+
+  const std::vector<FaultEvent>& events = options.plan.events();
+  std::vector<char> fired(events.size(), 0);
+  std::size_t firedCount = 0;
+  const auto closeWindow = [&] {
+    r.footprintMax = std::max(r.footprintMax, tracker.footprintCount());
+  };
+  const auto fire = [&](std::size_t i) {
+    closeWindow();
+    tracker.resetFootprint();
+    applyEvent(events[i], protocol, rng);
+    fired[i] = 1;
+    ++firedCount;
+    ++r.injections;
+  };
+
+  while (true) {
+    // Fire every due event, in plan order (step triggers compare against
+    // daemon steps taken, round triggers against completed rounds).
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (fired[i]) continue;
+      const bool due = events[i].trigger == FaultEvent::Trigger::kStep
+                           ? r.steps >= events[i].at
+                           : sim.roundsSoFar() >= events[i].at;
+      if (due) fire(i);
+    }
+    if (firedCount == events.size() && goal()) {
+      r.converged = true;
+      break;
+    }
+    if (r.moves >= options.budget) break;
+    const std::vector<Move>& executed = sim.stepOnce();
+    if (executed.empty()) {
+      if (firedCount < events.size()) {
+        // Terminal with events pending: force-fire the earliest pending
+        // one so every plan completes (its trigger can never come due —
+        // no further steps or rounds will happen).
+        for (std::size_t i = 0; i < events.size(); ++i)
+          if (!fired[i]) {
+            fire(i);
+            break;
+          }
+        continue;
+      }
+      break;  // terminal and the goal does not hold
+    }
+    ++r.steps;
+    r.moves += static_cast<StepCount>(executed.size());
+    r.schedule.insert(r.schedule.end(), executed.begin(), executed.end());
+  }
+  closeWindow();
+  r.rounds = sim.roundsSoFar();
+  return r;
+}
+
+std::uint64_t campaignTrialSeed(std::uint64_t seed, int trial) {
+  // splitmix64 over seed + trial index (never returns zero).
+  std::uint64_t z =
+      seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(trial) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= z >> 31;
+  return z == 0 ? 0x9E3779B97F4A7C15ULL : z;
+}
+
+CampaignReport CampaignRunner::run(const CampaignOptions& options) const {
+  CampaignReport report;
+  report.trials = options.trials;
+  std::vector<double> moves, rounds, footprint;
+  moves.reserve(static_cast<std::size_t>(options.trials));
+  rounds.reserve(static_cast<std::size_t>(options.trials));
+  footprint.reserve(static_cast<std::size_t>(options.trials));
+  for (int t = 0; t < options.trials; ++t) {
+    const std::unique_ptr<Protocol> protocol = protocols_();
+    const std::unique_ptr<Daemon> daemon = daemons_(*protocol);
+    Rng rng(campaignTrialSeed(options.seed, t));
+    const std::function<bool()> goal = goals_(*protocol);
+    EpisodeOptions eo;
+    eo.budget = options.budget;
+    eo.plan = options.plan;
+    EpisodeResult er = runEpisode(*protocol, *daemon, rng, eo, goal);
+    if (er.converged) ++report.converged;
+    moves.push_back(static_cast<double>(er.moves));
+    rounds.push_back(static_cast<double>(er.rounds));
+    footprint.push_back(static_cast<double>(er.footprintMax));
+    if (report.worstTrial < 0 || er.moves > report.worstMoves) {
+      report.worstTrial = t;
+      report.worstMoves = er.moves;
+      report.worstSchedule = std::move(er.schedule);
+    }
+  }
+  report.moves = summarize(std::move(moves));
+  report.rounds = summarize(std::move(rounds));
+  report.footprint = summarize(std::move(footprint));
+  report.verdict = report.converged == report.trials ? "converged"
+                                                     : "budget-exhausted";
+  report.worstScheduleText = serializeSchedule(report.worstSchedule);
+  return report;
+}
+
+std::string serializeSchedule(const std::vector<Move>& s) {
+  std::string out;
+  for (const Move& m : s) {
+    if (!out.empty()) out.push_back(',');
+    out += std::to_string(m.node);
+    out.push_back(':');
+    out += std::to_string(m.action);
+  }
+  return out;
+}
+
+std::vector<Move> parseSchedule(const std::string& text) {
+  std::vector<Move> out;
+  if (text.empty()) return out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find(',', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(start, end - start);
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == item.size())
+      throw std::invalid_argument("parseSchedule: bad item '" + item + "'");
+    try {
+      out.push_back(Move{std::stoi(item.substr(0, colon)),
+                         std::stoi(item.substr(colon + 1))});
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("parseSchedule: bad item '" + item + "'");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("parseSchedule: bad item '" + item + "'");
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace ssno::resil

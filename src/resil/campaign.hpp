@@ -1,0 +1,120 @@
+// resil/campaign — resilience campaigns: drive a protocol from an
+// arbitrary initial configuration under a (possibly adversarial) daemon
+// while a FaultPlan injects mid-run faults, measure recovery cost and
+// disturbance footprint, and certify the outcome.
+//
+// An *episode* is one run: scramble → step under the daemon, firing
+// fault-plan events as their step/round triggers come due (each
+// injection closes the previous disturbance-footprint window) → stop
+// when the goal holds with every event fired (converged), the move
+// budget is spent, or the protocol goes terminal.  The executed moves
+// are recorded so a worst-case episode can be re-driven bit-identically
+// by a ReplayDaemon (see search_daemon.hpp) — the certification story:
+// a "this schedule takes M moves" claim ships the schedule.
+//
+// A *campaign* sweeps seeds: per trial a fresh protocol + trial RNG,
+// one episode, then worst/avg/p95 aggregation over moves, rounds, and
+// footprint.  The verdict is "converged" only when EVERY trial
+// converged; otherwise "budget-exhausted" and the offending trial's
+// schedule is serialized for replay.
+#ifndef SSNO_RESIL_CAMPAIGN_HPP
+#define SSNO_RESIL_CAMPAIGN_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/protocol.hpp"
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "resil/fault_plan.hpp"
+
+namespace ssno::resil {
+
+struct EpisodeOptions {
+  StepCount budget = 1'000'000;  ///< move budget per episode
+  FaultPlan plan;                ///< fired by step/round triggers
+  bool scrambleFirst = true;     ///< arbitrary initial configuration
+};
+
+struct EpisodeResult {
+  bool converged = false;   ///< goal held after every event fired
+  StepCount moves = 0;      ///< individual actions executed
+  StepCount steps = 0;      ///< daemon steps
+  StepCount rounds = 0;     ///< asynchronous rounds
+  int injections = 0;       ///< fault-plan events fired
+  std::size_t footprintMax = 0;  ///< largest disturbance footprint
+  /// Every executed move in order.  One entry per step under central-
+  /// style daemons (the replayable case); multi-move steps flatten.
+  std::vector<Move> schedule;
+};
+
+/// Runs one episode.  `goal` is checked before every step but only
+/// counts once all plan events have fired (a fault scheduled later must
+/// still get its chance to disturb the system).  If the protocol goes
+/// terminal while events are pending, the earliest pending event is
+/// force-fired so plans always complete.
+EpisodeResult runEpisode(Protocol& protocol, Daemon& daemon, Rng& rng,
+                         const EpisodeOptions& options,
+                         const std::function<bool()>& goal);
+
+struct CampaignOptions {
+  int trials = 8;
+  std::uint64_t seed = 1;
+  StepCount budget = 1'000'000;
+  FaultPlan plan;
+};
+
+struct CampaignReport {
+  int trials = 0;
+  int converged = 0;           ///< trials whose episode converged
+  Summary moves;               ///< per-trial stabilization moves
+  Summary rounds;              ///< per-trial rounds
+  Summary footprint;           ///< per-trial max disturbance footprint
+  std::string verdict;         ///< "converged" | "budget-exhausted"
+  int worstTrial = -1;         ///< trial index with the most moves
+  StepCount worstMoves = 0;
+  std::vector<Move> worstSchedule;
+  std::string worstScheduleText;  ///< serializeSchedule(worstSchedule)
+};
+
+class CampaignRunner {
+ public:
+  using ProtocolFactory = std::function<std::unique_ptr<Protocol>()>;
+  /// Builds the daemon for one trial (a SearchingDaemon needs the
+  /// protocol reference, hence the parameter).
+  using DaemonFactory = std::function<std::unique_ptr<Daemon>(Protocol&)>;
+  /// Builds the convergence predicate over the trial's protocol.
+  using GoalFactory = std::function<std::function<bool()>(Protocol&)>;
+
+  CampaignRunner(ProtocolFactory protocols, DaemonFactory daemons,
+                 GoalFactory goals)
+      : protocols_(std::move(protocols)),
+        daemons_(std::move(daemons)),
+        goals_(std::move(goals)) {}
+
+  [[nodiscard]] CampaignReport run(const CampaignOptions& options) const;
+
+ private:
+  ProtocolFactory protocols_;
+  DaemonFactory daemons_;
+  GoalFactory goals_;
+};
+
+/// Derives trial t's RNG seed from the campaign seed (splitmix64 over
+/// seed + t, never zero) — the same trial is reproducible in isolation.
+[[nodiscard]] std::uint64_t campaignTrialSeed(std::uint64_t seed, int trial);
+
+/// "node:action,node:action,..." — the replay wire format ("" for an
+/// empty schedule).  parseSchedule inverts it; throws
+/// std::invalid_argument on malformed text.
+[[nodiscard]] std::string serializeSchedule(const std::vector<Move>& s);
+[[nodiscard]] std::vector<Move> parseSchedule(const std::string& text);
+
+}  // namespace ssno::resil
+
+#endif  // SSNO_RESIL_CAMPAIGN_HPP

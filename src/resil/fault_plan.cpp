@@ -1,0 +1,193 @@
+#include "resil/fault_plan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace ssno::resil {
+namespace {
+
+std::string stripSpace(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s)
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  return out;
+}
+
+[[noreturn]] void fail(std::size_t item, const std::string& what) {
+  throw std::invalid_argument("fault plan item " + std::to_string(item) +
+                              ": " + what);
+}
+
+long long parseInt(std::size_t item, const std::string& text,
+                   const std::string& what) {
+  if (text.empty()) fail(item, what + " is empty");
+  std::size_t used = 0;
+  long long value = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    fail(item, what + " '" + text + "' is not an integer");
+  }
+  if (used != text.size())
+    fail(item, what + " '" + text + "' has trailing characters");
+  if (value < 0) fail(item, what + " must be >= 0, got " + text);
+  return value;
+}
+
+/// Splits "key=value" after a known prefix; returns the value text.
+std::string expectKeyValue(std::size_t item, const std::string& text,
+                           const std::string& key) {
+  if (text.rfind(key + "=", 0) != 0)
+    fail(item, "expected '" + key + "=<int>', got '" + text + "'");
+  return text.substr(key.size() + 1);
+}
+
+FaultEvent parseEvent(std::size_t item, const std::string& text) {
+  const std::size_t atPos = text.find('@');
+  if (atPos == std::string::npos)
+    fail(item, "missing '@step=' / '@round=' trigger in '" + text + "'");
+  const std::string spec = text.substr(0, atPos);
+  const std::string trig = text.substr(atPos + 1);
+
+  FaultEvent ev;
+  if (spec == "scramble") {
+    ev.kind = FaultEvent::Kind::kScramble;
+  } else if (spec.rfind("burst:", 0) == 0) {
+    ev.kind = FaultEvent::Kind::kBurst;
+    ev.k = static_cast<int>(
+        parseInt(item, expectKeyValue(item, spec.substr(6), "k"), "burst k"));
+  } else if (spec.rfind("crash:", 0) == 0) {
+    ev.kind = FaultEvent::Kind::kCrash;
+    ev.p = static_cast<NodeId>(
+        parseInt(item, expectKeyValue(item, spec.substr(6), "p"), "crash p"));
+  } else {
+    fail(item, "unknown fault '" + spec +
+                   "' (expected burst:k=<int>, crash:p=<int>, or scramble)");
+  }
+
+  if (trig.rfind("step=", 0) == 0) {
+    ev.trigger = FaultEvent::Trigger::kStep;
+    ev.at = static_cast<StepCount>(parseInt(item, trig.substr(5), "step"));
+  } else if (trig.rfind("round=", 0) == 0) {
+    ev.trigger = FaultEvent::Trigger::kRound;
+    ev.at = static_cast<StepCount>(parseInt(item, trig.substr(6), "round"));
+  } else {
+    fail(item, "unknown trigger '" + trig +
+                   "' (expected step=<int> or round=<int>)");
+  }
+  return ev;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  // Tokenize on ';' first, then strip whitespace per item so both
+  // "a; b" and "a;b" parse; wholly-blank items (trailing ';') are
+  // ignored.  Item numbers in errors are 1-based over non-blank items.
+  std::vector<std::string> items;
+  std::string current;
+  for (const char c : text) {
+    if (c == ';') {
+      items.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  items.push_back(current);
+
+  FaultPlan plan;
+  int repeatCount = 1;
+  long long repeatPeriod = -1;  // -1: derive from max trigger
+  bool sawRepeat = false;
+  std::size_t itemNo = 0;
+  for (const std::string& rawItem : items) {
+    const std::string item = stripSpace(rawItem);
+    if (item.empty()) continue;
+    ++itemNo;
+    if (sawRepeat) fail(itemNo, "'repeat' must be the last item");
+    if (item.rfind("repeat:", 0) == 0) {
+      sawRepeat = true;
+      std::string body = item.substr(7);
+      const std::size_t atPos = body.find('@');
+      if (atPos != std::string::npos) {
+        repeatPeriod = parseInt(
+            itemNo, expectKeyValue(itemNo, body.substr(atPos + 1), "every"),
+            "repeat period");
+        body = body.substr(0, atPos);
+      }
+      repeatCount =
+          static_cast<int>(parseInt(itemNo, body, "repeat count"));
+      if (repeatCount < 1) fail(itemNo, "repeat count must be >= 1");
+      continue;
+    }
+    plan.events_.push_back(parseEvent(itemNo, item));
+  }
+
+  if (sawRepeat && plan.events_.empty())
+    fail(1, "'repeat' needs at least one preceding event");
+  if (repeatCount > 1) {
+    if (repeatPeriod < 0) {
+      StepCount maxAt = 0;
+      for (const FaultEvent& ev : plan.events_)
+        maxAt = std::max(maxAt, ev.at);
+      repeatPeriod = static_cast<long long>(maxAt) + 1;
+    }
+    const std::size_t base = plan.events_.size();
+    plan.events_.reserve(base * static_cast<std::size_t>(repeatCount));
+    for (int copy = 1; copy < repeatCount; ++copy)
+      for (std::size_t i = 0; i < base; ++i) {
+        FaultEvent ev = plan.events_[i];
+        ev.at += static_cast<StepCount>(copy) *
+                 static_cast<StepCount>(repeatPeriod);
+        plan.events_.push_back(ev);
+      }
+  }
+  return plan;
+}
+
+std::string FaultPlan::render() const {
+  std::string out;
+  for (const FaultEvent& ev : events_) {
+    if (!out.empty()) out.push_back(';');
+    switch (ev.kind) {
+      case FaultEvent::Kind::kBurst:
+        out += "burst:k=" + std::to_string(ev.k);
+        break;
+      case FaultEvent::Kind::kCrash:
+        out += "crash:p=" + std::to_string(ev.p);
+        break;
+      case FaultEvent::Kind::kScramble:
+        out += "scramble";
+        break;
+    }
+    out += (ev.trigger == FaultEvent::Trigger::kStep ? "@step=" : "@round=");
+    out += std::to_string(ev.at);
+  }
+  return out;
+}
+
+void applyEvent(const FaultEvent& event, Protocol& protocol, Rng& rng) {
+  FaultInjector injector(protocol);
+  switch (event.kind) {
+    case FaultEvent::Kind::kBurst:
+      injector.corruptK(event.k, rng);  // validates k against n
+      break;
+    case FaultEvent::Kind::kCrash:
+      if (event.p < 0 || event.p >= protocol.graph().nodeCount())
+        throw std::invalid_argument(
+            "fault plan: crash target p=" + std::to_string(event.p) +
+            " out of range for n=" +
+            std::to_string(protocol.graph().nodeCount()));
+      injector.crashReset(event.p);
+      break;
+    case FaultEvent::Kind::kScramble:
+      injector.scrambleAll(rng);
+      break;
+  }
+}
+
+}  // namespace ssno::resil

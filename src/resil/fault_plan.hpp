@@ -1,0 +1,84 @@
+// resil/fault_plan — a small text grammar for scripted mid-run fault
+// campaigns, driving core/fault.hpp's injectors through the Simulator.
+//
+// A plan is a ';'-separated list of items (whitespace around items and
+// separators is ignored when parsing; the canonical rendering has none,
+// so a plan embeds as a single whitespace-free token in scenario files
+// and in the canonical scenario text):
+//
+//   plan    := item (';' item)* | ''          (empty plan: no events)
+//   item    := event | repeat
+//   event   := spec '@' trigger
+//   spec    := 'burst:k=' INT                  corruptK(k) — k random victims
+//            | 'crash:p=' INT                  crashReset(p) — all-zero state
+//            | 'scramble'                      scrambleAll — every processor
+//   trigger := 'step=' INT | 'round=' INT      daemon steps / async rounds
+//   repeat  := 'repeat:' INT ['@every=' INT]   (at most one, last item only)
+//
+// 'repeat:R' replicates the event list R times total; copy i (0-based)
+// shifts every trigger by i·period, where the period is '@every=P' when
+// given and otherwise the largest trigger value in the plan plus one
+// (so consecutive copies cannot collide).  parse() expands the repeat,
+// so events() is always the flat fired-in-this-order list and render()
+// emits the expanded canonical text — parse(render(p)) round-trips
+// exactly (pinned by tests/resil_test.cpp and fault_plan_test golden
+// text).  Parse errors carry the 1-based item number.
+#ifndef SSNO_RESIL_FAULT_PLAN_HPP
+#define SSNO_RESIL_FAULT_PLAN_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace ssno::resil {
+
+struct FaultEvent {
+  enum class Kind { kBurst, kCrash, kScramble };
+  enum class Trigger { kStep, kRound };
+
+  Kind kind = Kind::kScramble;
+  Trigger trigger = Trigger::kStep;
+  StepCount at = 0;  ///< fires once the step/round counter reaches this
+  int k = 0;         ///< kBurst: number of victims
+  NodeId p = 0;      ///< kCrash: the processor to reset
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parses the grammar above; throws std::invalid_argument with the
+  /// 1-based item number on malformed input ("fault plan item 3: ...").
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+  /// Canonical expanded text (no whitespace, no repeat item); the empty
+  /// string for an empty plan.  parse(render()) round-trips exactly.
+  [[nodiscard]] std::string render() const;
+
+  /// The expanded events, in the order they fire when due together.
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Fires one event against the protocol (through a FaultInjector).
+/// Burst victims and scramble states draw from `rng` (the same stream
+/// as the episode, keeping a whole campaign replayable from one seed);
+/// crash targets are fixed.  Throws std::invalid_argument when a
+/// crash/burst target is out of range for the protocol's graph.
+void applyEvent(const FaultEvent& event, Protocol& protocol, Rng& rng);
+
+}  // namespace ssno::resil
+
+#endif  // SSNO_RESIL_FAULT_PLAN_HPP

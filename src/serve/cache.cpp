@@ -1,5 +1,6 @@
 #include "serve/cache.hpp"
 
+#include <algorithm>
 #include <array>
 #include <filesystem>
 #include <fstream>
@@ -164,6 +165,53 @@ bool ResultCache::store(const exp::Scenario& s, std::string_view payload) {
 
 bool ResultCache::storeResult(const exp::ScenarioResult& r) {
   return store(r.scenario, exp::resultPayload(r));
+}
+
+ResultCache::PruneStats ResultCache::prune(std::uint64_t maxBytes) {
+  // Gather every record file with its mtime and size; all filesystem
+  // calls are non-throwing (error_code overloads) — a racing writer or
+  // deleter costs at most one skipped file.
+  struct Record {
+    fs::path path;
+    fs::file_time_type mtime;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Record> records;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir_, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec) || it->path().extension() != ".rec")
+      continue;
+    Record r;
+    r.path = it->path();
+    r.mtime = fs::last_write_time(r.path, ec);
+    if (ec) { ec.clear(); continue; }
+    r.bytes = fs::file_size(r.path, ec);
+    if (ec) { ec.clear(); continue; }
+    total += r.bytes;
+    records.push_back(std::move(r));
+  }
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.mtime != b.mtime ? a.mtime < b.mtime
+                                        : a.path < b.path;
+            });
+  PruneStats stats;
+  for (const Record& r : records) {
+    if (total > maxBytes) {
+      std::error_code rmEc;
+      if (fs::remove(r.path, rmEc) && !rmEc) {
+        total -= r.bytes;
+        ++stats.removed;
+        stats.bytesRemoved += r.bytes;
+        continue;
+      }
+    }
+    ++stats.kept;
+    stats.bytesKept += r.bytes;
+  }
+  return stats;
 }
 
 ResultCache::Counters ResultCache::counters() const {

@@ -49,7 +49,9 @@
 namespace ssno::serve {
 
 /// Code-version salt baked into every key (see header comment).
-inline constexpr std::string_view kCacheSalt = "ssno-serve-v1";
+/// v2: canonical scenario format gained fault-plan/adversary/lookahead
+/// (canon=2), so every v1 key would mismatch its stored scenario line.
+inline constexpr std::string_view kCacheSalt = "ssno-serve-v2";
 
 /// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `data`.
 [[nodiscard]] std::uint32_t crc32(std::string_view data);
@@ -90,6 +92,19 @@ class ResultCache {
     std::uint64_t storeFailures = 0;
   };
   [[nodiscard]] Counters counters() const;
+
+  struct PruneStats {
+    std::uint64_t removed = 0;       ///< record files deleted
+    std::uint64_t kept = 0;          ///< record files remaining
+    std::uint64_t bytesRemoved = 0;
+    std::uint64_t bytesKept = 0;
+  };
+  /// LRU prune: deletes the oldest record files (by mtime — readers
+  /// don't touch mtime, so this is write-recency LRU) until the total
+  /// record bytes fit in `maxBytes`.  Best effort like store(): files
+  /// that vanish or resist deletion are skipped, never thrown on.
+  /// Non-record files in the tree are left alone.
+  PruneStats prune(std::uint64_t maxBytes);
 
  private:
   [[nodiscard]] std::string recordPath(const std::string& key) const;

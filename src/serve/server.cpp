@@ -2,10 +2,12 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <istream>
 #include <mutex>
@@ -54,16 +56,33 @@ void applyOverrides(const JsonValue& req, std::vector<exp::Scenario>* out) {
 }
 
 /// Minimal bidirectional streambuf over a connected socket fd.
+/// Reads retry on EINTR; with a receive timeout on the fd (see
+/// acceptLoop), EAGAIN wakes the read up periodically to re-check the
+/// server's shutdown flag, so an idle client connection cannot park a
+/// session thread forever.
 class FdStreamBuf : public std::streambuf {
  public:
-  explicit FdStreamBuf(int fd) : fd_(fd) { setg(in_, in_, in_); }
+  explicit FdStreamBuf(int fd, const std::atomic<bool>* stop = nullptr)
+      : fd_(fd), stop_(stop) {
+    setg(in_, in_, in_);
+  }
 
  protected:
   int_type underflow() override {
-    const ssize_t n = ::read(fd_, in_, sizeof in_);
-    if (n <= 0) return traits_type::eof();
-    setg(in_, in_, in_ + n);
-    return traits_type::to_int_type(*gptr());
+    for (;;) {
+      const ssize_t n = ::read(fd_, in_, sizeof in_);
+      if (n > 0) {
+        setg(in_, in_, in_ + n);
+        return traits_type::to_int_type(*gptr());
+      }
+      if (n == 0) return traits_type::eof();
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (stop_ != nullptr && stop_->load()) return traits_type::eof();
+        continue;  // receive timeout tick: shutdown not requested, wait on
+      }
+      return traits_type::eof();
+    }
   }
 
   std::streamsize xsputn(const char* s, std::streamsize n) override {
@@ -85,6 +104,7 @@ class FdStreamBuf : public std::streambuf {
 
  private:
   int fd_;
+  const std::atomic<bool>* stop_;
   char in_[4096];
 };
 
@@ -224,6 +244,25 @@ void ExpServer::handleLine(const std::string& line, std::ostream& out) {
       return;
     }
 
+    if (v == "prune") {
+      if (cache_ == nullptr)
+        throw std::invalid_argument("prune needs a cache (--cache-dir)");
+      const JsonValue* maxBytes = req.find("max_bytes");
+      if (maxBytes == nullptr)
+        throw std::invalid_argument("prune needs \"max_bytes\"");
+      const long long budget = maxBytes->asInt();
+      if (budget < 0)
+        throw std::invalid_argument("max_bytes must be >= 0");
+      const ResultCache::PruneStats ps =
+          cache_->prune(static_cast<std::uint64_t>(budget));
+      emitLine(out, {{"ok", true},
+                     {"removed", ps.removed},
+                     {"kept", ps.kept},
+                     {"bytes_removed", ps.bytesRemoved},
+                     {"bytes_kept", ps.bytesKept}});
+      return;
+    }
+
     if (v == "shutdown") {
       requestShutdown();
       emitLine(out, {{"ok", true}, {"shutdown", true}});
@@ -276,16 +315,30 @@ void ExpServer::acceptLoop(int fd) {
     const int ready = ::poll(&pfd, 1, /*timeout ms=*/200);
     if (ready <= 0) continue;  // timeout or EINTR: re-check shutdown
     const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) continue;
+    if (conn < 0) continue;  // EINTR/ECONNABORTED etc.: keep accepting
+    // Receive timeout so a silent client's session thread wakes up
+    // periodically to notice a shutdown request (see FdStreamBuf).
+    timeval timeout{};
+    timeout.tv_usec = 500 * 1000;
+    (void)::setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                       sizeof(timeout));
     {
       std::lock_guard<std::mutex> lk(mu);
       sessionFds.push_back(conn);
     }
     sessions.emplace_back([this, conn] {
-      FdStreamBuf buf(conn);
-      std::istream in(&buf);
-      std::ostream out(&buf);
-      serveStream(in, out);
+      // Session isolation: an exception escaping a thread body would
+      // std::terminate the whole service.  handleLine already answers
+      // per-request errors; this guards everything else (stream-layer
+      // failures, bad_alloc during a burst) so one broken connection
+      // costs only that session.
+      try {
+        FdStreamBuf buf(conn, &shutdown_);
+        std::istream in(&buf);
+        std::ostream out(&buf);
+        serveStream(in, out);
+      } catch (...) {
+      }
     });
   }
   // Unblock any session still parked in read() so the joins finish.

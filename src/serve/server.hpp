@@ -25,6 +25,10 @@
 //          "failed":F,"cancelled":B}
 //   {"verb":"cancel","job":J}    → {"ok":true,"job":J,"cancelled":B}
 //   {"verb":"stats"}             → cache + scheduler counters
+//   {"verb":"prune","max_bytes":N}
+//       → {"ok":true,"removed":R,"kept":K,"bytes_removed":BR,
+//          "bytes_kept":BK}      (LRU-prunes the result cache to N
+//                                 bytes; error when no cache is wired)
 //   {"verb":"shutdown"}          → {"ok":true}; ends the session and,
 //                                  in socket mode, stops the server
 //

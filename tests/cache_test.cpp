@@ -6,9 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <thread>
 #include <vector>
 
@@ -147,6 +150,59 @@ TEST(ResultCache, ConcurrentWritersOfOneKeyRaceBenignly) {
       EXPECT_EQ(entry.path().extension(), ".rec") << entry.path();
     }
   }
+}
+
+TEST(ResultCache, PruneEvictsOldestRecordsFirst) {
+  ResultCache cache(freshDir("prune"));
+  // Four records with explicit, strictly increasing mtimes — same-second
+  // store times would otherwise make the LRU order depend on key hashes.
+  std::vector<exp::Scenario> stored;
+  const auto base = fs::file_time_type::clock::now();
+  for (int i = 0; i < 4; ++i) {
+    exp::Scenario s = smallScenario();
+    s.seed = static_cast<std::uint64_t>(i + 1);
+    const std::string payload(100, 'a' + static_cast<char>(i));
+    ASSERT_TRUE(cache.store(s, payload));
+    fs::last_write_time(recordFile(cache, s),
+                        base + std::chrono::seconds(i));
+    stored.push_back(std::move(s));
+  }
+  // A non-record file in the tree must survive any prune.
+  const fs::path stray = fs::path(cache.dir()) / "README.txt";
+  std::ofstream(stray) << "not a record\n";
+  // All four records are the same size (identical header shape, equal
+  // payload lengths, single-digit seeds).
+  const std::uint64_t size = fs::file_size(recordFile(cache, stored[0]));
+
+  // A generous budget removes nothing.
+  ResultCache::PruneStats none = cache.prune(5 * size);
+  EXPECT_EQ(none.removed, 0u);
+  EXPECT_EQ(none.kept, 4u);
+  EXPECT_EQ(none.bytesKept, 4 * size);
+  EXPECT_EQ(none.bytesRemoved, 0u);
+
+  // Room for two and a half records forces out the two oldest.
+  ResultCache::PruneStats stats = cache.prune(2 * size + size / 2);
+  EXPECT_EQ(stats.removed, 2u);
+  EXPECT_EQ(stats.kept, 2u);
+  EXPECT_EQ(stats.bytesRemoved, 2 * size);
+  EXPECT_EQ(stats.bytesKept, 2 * size);
+  EXPECT_FALSE(fs::exists(recordFile(cache, stored[0])));
+  EXPECT_FALSE(fs::exists(recordFile(cache, stored[1])));
+  EXPECT_TRUE(fs::exists(recordFile(cache, stored[2])));
+  EXPECT_TRUE(fs::exists(recordFile(cache, stored[3])));
+  EXPECT_TRUE(fs::exists(stray));
+
+  // The survivors still serve bit-identical hits.
+  const auto back = cache.fetch(stored[3]);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, std::string(100, 'd'));
+
+  // Budget zero clears every record (and only records).
+  ResultCache::PruneStats all = cache.prune(0);
+  EXPECT_EQ(all.kept, 0u);
+  EXPECT_EQ(all.removed, 2u);
+  EXPECT_TRUE(fs::exists(stray));
 }
 
 TEST(RunAllCached, SecondSweepIsAllHitsAndByteIdentical) {

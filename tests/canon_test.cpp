@@ -26,6 +26,7 @@ const char* const kTriples[] = {
     "model-check:dftc-fault/central/ring:5",
     "space/central/chordring:16:2,5",
     "scheduler/central/ring:32",
+    "resilience/central/ring:16",
 };
 
 TEST(Canon, RoundTripsEveryProtocolShape) {
@@ -37,6 +38,9 @@ TEST(Canon, RoundTripsEveryProtocolShape) {
     s.faultRate = 0.25;
     s.faultK = 3;
     s.mcThreads = 2;
+    s.faultPlan = "burst:k=2@round=1;scramble@step=40";
+    s.adversary = "lookahead";
+    s.lookahead = 3;
     const std::string text = canonicalScenario(s);
     const Scenario back = parseCanonicalScenario(text);
     EXPECT_EQ(canonicalScenario(back), text) << triple;
@@ -49,9 +53,9 @@ TEST(Canon, GoldenTextPinsFieldOrderAndDefaults) {
   Scenario s = parseScenario("dftc/central/ring:64");
   s.trials = 3;
   EXPECT_EQ(canonicalScenario(s),
-            "canon=1 protocol=dftc mc-target=dftc daemon=central "
+            "canon=2 protocol=dftc mc-target=dftc daemon=central "
             "topology=ring:64 trials=3 seed=0 budget=200000000 rate=0 "
-            "k=1 mc-threads=8");
+            "k=1 mc-threads=8 fault-plan=- adversary=greedy lookahead=2");
 }
 
 TEST(Canon, DefaultAndExplicitDefaultShareOneKey) {
@@ -60,6 +64,9 @@ TEST(Canon, DefaultAndExplicitDefaultShareOneKey) {
   t.seed = 0;       // already the default
   t.faultRate = 0;  // already the default
   t.faultK = 1;     // already the default
+  t.faultPlan = "";         // already the default
+  t.adversary = "greedy";   // already the default
+  t.lookahead = 2;          // already the default
   EXPECT_EQ(canonicalScenario(s), canonicalScenario(t));
 }
 
@@ -78,7 +85,8 @@ TEST(Canon, ParseRejectsMalformedText) {
       canonicalScenario(parseScenario("dftc/central/ring:8"));
   EXPECT_NO_THROW(parseCanonicalScenario(good));
   EXPECT_THROW(parseCanonicalScenario(""), std::invalid_argument);
-  EXPECT_THROW(parseCanonicalScenario("canon=2" + good.substr(7)),
+  // A v1 text (pre fault-plan fields) must be rejected, not guessed at.
+  EXPECT_THROW(parseCanonicalScenario("canon=1" + good.substr(7)),
                std::invalid_argument);
   EXPECT_THROW(parseCanonicalScenario(good + " extra=1"),
                std::invalid_argument);

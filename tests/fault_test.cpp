@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "core/graph.hpp"
 #include "toy_protocols.hpp"
@@ -36,6 +39,36 @@ TEST(FaultInjector, CorruptKTouchesExactlyKDistinctNodes) {
       EXPECT_LT(v, 10);
     }
   }
+}
+
+TEST(FaultInjector, CorruptKReturnsVictimsSorted) {
+  ZeroProtocol proto(Graph::ring(12), 50);
+  FaultInjector inj(proto);
+  Rng rng(5);
+  for (int i = 0; i < 20; ++i) {
+    const std::vector<NodeId> victims = inj.corruptK(7, rng);
+    EXPECT_TRUE(std::is_sorted(victims.begin(), victims.end()));
+  }
+}
+
+TEST(FaultInjector, CorruptKRejectsOutOfRangeCounts) {
+  ZeroProtocol proto(Graph::ring(4), 50);
+  for (NodeId p = 0; p < 4; ++p) proto.setValue(p, 0);
+  FaultInjector inj(proto);
+  Rng rng(6);
+  for (int bad : {-1, 5, 100}) {
+    try {
+      (void)inj.corruptK(bad, rng);
+      FAIL() << "expected std::invalid_argument for k=" << bad;
+    } catch (const std::invalid_argument& e) {
+      // The message names both the bad k and the node count.
+      const std::string what = e.what();
+      EXPECT_NE(what.find(std::to_string(bad)), std::string::npos) << what;
+      EXPECT_NE(what.find('4'), std::string::npos) << what;
+    }
+  }
+  // ...and the state was never touched by a rejected call.
+  for (NodeId p = 0; p < 4; ++p) EXPECT_EQ(proto.value(p), 0);
 }
 
 TEST(FaultInjector, CorruptKLeavesOthersUntouched) {

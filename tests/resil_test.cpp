@@ -1,0 +1,257 @@
+// Adversarial resilience (src/resil): the fault-plan grammar must
+// round-trip through its canonical rendering with item-numbered parse
+// errors, the searching daemon must be deterministic — same seed, same
+// schedule, bit-identical rerun AND replay — while staying weakly fair
+// (DFTNO still converges under it), and a campaign's worst trial can
+// never undercut its own average.
+#include "resil/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/daemon.hpp"
+#include "core/graph.hpp"
+#include "core/rng.hpp"
+#include "orientation/dftno.hpp"
+#include "resil/fault_plan.hpp"
+#include "resil/search_daemon.hpp"
+
+namespace ssno::resil {
+namespace {
+
+// ---------------------------------------------------------------- plans
+
+TEST(FaultPlan, GoldenCanonicalTextPinsTheGrammar) {
+  // Whitespace-tolerant in, canonical (whitespace-free) out.  This text
+  // is the wire format embedded in scenario files and canon=2 keys — if
+  // it changes, kCacheSalt must be bumped alongside.
+  const FaultPlan p =
+      FaultPlan::parse("burst:k=8@step=0; crash:p=3@round=5 ;scramble@step=100");
+  EXPECT_EQ(p.render(), "burst:k=8@step=0;crash:p=3@round=5;scramble@step=100");
+  ASSERT_EQ(p.events().size(), 3u);
+  EXPECT_EQ(p.events()[0].kind, FaultEvent::Kind::kBurst);
+  EXPECT_EQ(p.events()[0].k, 8);
+  EXPECT_EQ(p.events()[0].trigger, FaultEvent::Trigger::kStep);
+  EXPECT_EQ(p.events()[0].at, 0);
+  EXPECT_EQ(p.events()[1].kind, FaultEvent::Kind::kCrash);
+  EXPECT_EQ(p.events()[1].p, 3);
+  EXPECT_EQ(p.events()[1].trigger, FaultEvent::Trigger::kRound);
+  EXPECT_EQ(p.events()[1].at, 5);
+  EXPECT_EQ(p.events()[2].kind, FaultEvent::Kind::kScramble);
+}
+
+TEST(FaultPlan, RepeatExpandsWithTheDefaultPeriod) {
+  // Default period = largest trigger + 1 = 3: copies land at 2, 5, 8.
+  const FaultPlan p = FaultPlan::parse("scramble@step=2;repeat:3");
+  EXPECT_EQ(p.render(), "scramble@step=2;scramble@step=5;scramble@step=8");
+}
+
+TEST(FaultPlan, RepeatHonorsAnExplicitPeriod) {
+  const FaultPlan p = FaultPlan::parse("burst:k=1@round=1;repeat:2@every=10");
+  EXPECT_EQ(p.render(), "burst:k=1@round=1;burst:k=1@round=11");
+}
+
+TEST(FaultPlan, ParseRenderRoundTripsExactly) {
+  for (const char* text :
+       {"", "scramble@step=0", "burst:k=2@round=3;crash:p=0@step=9",
+        "crash:p=1@round=2;scramble@round=4;repeat:2",
+        "burst:k=8@step=0;crash:p=3@round=5;scramble@step=100"}) {
+    const FaultPlan p = FaultPlan::parse(text);
+    EXPECT_EQ(FaultPlan::parse(p.render()), p) << text;
+  }
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_EQ(FaultPlan::parse("").render(), "");
+}
+
+TEST(FaultPlan, ParseErrorsCarryTheItemNumber) {
+  const struct {
+    const char* text;
+    const char* fragment;
+  } kCases[] = {
+      {"scramble@step=1;bogus@step=2", "fault plan item 2"},
+      {"burst:k=nope@step=0", "fault plan item 1"},
+      {"crash:p=2", "fault plan item 1"},          // missing trigger
+      {"scramble@tick=3", "fault plan item 1"},    // unknown trigger
+      {"burst:k=-1@step=0", "fault plan item 1"},  // negative count
+      {"repeat:2", "fault plan item 1"},           // nothing to repeat
+      {"repeat:2;scramble@step=1", "last item"},   // repeat not last
+      {"scramble@step=1;repeat:0", "fault plan item 2"},
+  };
+  for (const auto& c : kCases) {
+    try {
+      (void)FaultPlan::parse(c.text);
+      FAIL() << "expected std::invalid_argument for: " << c.text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(c.fragment), std::string::npos)
+          << c.text << " -> " << e.what();
+    }
+  }
+}
+
+TEST(FaultPlan, ApplyEventRejectsOutOfRangeTargets) {
+  Dftno dftno(Graph::ring(4));
+  Rng rng(1);
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kCrash;
+  crash.p = 9;
+  EXPECT_THROW(applyEvent(crash, dftno, rng), std::invalid_argument);
+  FaultEvent burst;
+  burst.kind = FaultEvent::Kind::kBurst;
+  burst.k = 10;
+  EXPECT_THROW(applyEvent(burst, dftno, rng), std::invalid_argument);
+}
+
+// --------------------------------------------------- search and replay
+
+EpisodeResult searchEpisode(int n, std::uint64_t seed, int lookahead,
+                            const std::string& plan = "") {
+  Dftno dftno(Graph::ring(n));
+  SearchingDaemon daemon(dftno, lookahead);
+  Rng rng(seed);
+  EpisodeOptions eo;
+  eo.budget = 500'000;
+  eo.plan = FaultPlan::parse(plan);
+  return runEpisode(dftno, daemon, rng, eo,
+                    [&dftno] { return dftno.isLegitimate(); });
+}
+
+TEST(SearchingDaemon, StaysWeaklyFairSoDftnoStillConverges) {
+  // The whole point of the fairness bound: a pure greedy adversary
+  // could starve DFTNO forever; the bounded one may only delay it.
+  for (const int lookahead : {0, 2}) {
+    const EpisodeResult r = searchEpisode(8, 11, lookahead);
+    EXPECT_TRUE(r.converged) << "lookahead " << lookahead;
+    EXPECT_GT(r.moves, 0);
+  }
+}
+
+TEST(SearchingDaemon, SameSeedReproducesTheScheduleBitIdentically) {
+  for (const int lookahead : {0, 2}) {
+    const EpisodeResult a = searchEpisode(8, 42, lookahead);
+    const EpisodeResult b = searchEpisode(8, 42, lookahead);
+    EXPECT_EQ(a.schedule, b.schedule) << "lookahead " << lookahead;
+    EXPECT_EQ(a.moves, b.moves);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.converged, b.converged);
+    // ...and a different seed scrambles differently.
+    const EpisodeResult c = searchEpisode(8, 43, lookahead);
+    EXPECT_NE(a.schedule, c.schedule) << "lookahead " << lookahead;
+  }
+}
+
+TEST(ReplayDaemon, ReplaysTheRecordedScheduleToTheSameOutcome) {
+  const std::string plan = "burst:k=2@round=2";
+  const EpisodeResult search = searchEpisode(8, 7, /*lookahead=*/0, plan);
+  ASSERT_TRUE(search.converged);
+  ASSERT_GT(search.injections, 0);
+
+  Dftno dftno(Graph::ring(8));
+  ReplayDaemon daemon(search.schedule);
+  Rng rng(7);  // same seed: scramble + injections draw identical states
+  EpisodeOptions eo;
+  eo.budget = 500'000;
+  eo.plan = FaultPlan::parse(plan);
+  const EpisodeResult replay = runEpisode(
+      dftno, daemon, rng, eo, [&dftno] { return dftno.isLegitimate(); });
+  EXPECT_EQ(replay.schedule, search.schedule);
+  EXPECT_EQ(replay.moves, search.moves);
+  EXPECT_EQ(replay.rounds, search.rounds);
+  EXPECT_EQ(replay.converged, search.converged);
+  EXPECT_EQ(daemon.served(), search.schedule.size());
+}
+
+TEST(ReplayDaemon, DivergenceThrowsInsteadOfSilentlyImprovising) {
+  const EpisodeResult search = searchEpisode(8, 9, /*lookahead=*/0);
+  ASSERT_FALSE(search.schedule.empty());
+
+  // Same schedule, WRONG seed: the scrambled start differs, so the
+  // recorded moves stop matching the enabled set at some step.
+  Dftno dftno(Graph::ring(8));
+  ReplayDaemon daemon(search.schedule);
+  Rng rng(10);
+  EpisodeOptions eo;
+  eo.budget = 500'000;
+  EXPECT_THROW(runEpisode(dftno, daemon, rng, eo,
+                          [&dftno] { return dftno.isLegitimate(); }),
+               std::runtime_error);
+}
+
+TEST(SearchingDaemon, FindsCostlierSchedulesThanRandomOnAverage) {
+  // The bench gates the 2x adversary floor; here we only pin the sign:
+  // a worst-case SEARCH must not lose to blind random scheduling.
+  double randomTotal = 0;
+  const int kTrials = 5;
+  for (int t = 0; t < kTrials; ++t) {
+    Dftno dftno(Graph::ring(8));
+    CentralDaemon daemon;
+    Rng rng(100 + static_cast<std::uint64_t>(t));
+    EpisodeOptions eo;
+    eo.budget = 500'000;
+    const EpisodeResult r = runEpisode(
+        dftno, daemon, rng, eo, [&dftno] { return dftno.isLegitimate(); });
+    EXPECT_TRUE(r.converged);
+    randomTotal += static_cast<double>(r.moves);
+  }
+  const EpisodeResult search = searchEpisode(8, 100, /*lookahead=*/0);
+  EXPECT_TRUE(search.converged);
+  EXPECT_GE(static_cast<double>(search.moves), randomTotal / kTrials);
+}
+
+// ------------------------------------------------------------ campaigns
+
+TEST(Campaign, WorstTrialNeverUndercutsTheAverage) {
+  CampaignRunner runner(
+      [] { return std::make_unique<Dftno>(Graph::ring(8)); },
+      [](Protocol& p) { return std::make_unique<SearchingDaemon>(p); },
+      [](Protocol& p) {
+        auto& dftno = static_cast<Dftno&>(p);
+        return [&dftno] { return dftno.isLegitimate(); };
+      });
+  CampaignOptions opt;
+  opt.trials = 4;
+  opt.seed = 21;
+  opt.budget = 500'000;
+  opt.plan = FaultPlan::parse("burst:k=2@round=2");
+  const CampaignReport report = runner.run(opt);
+  EXPECT_EQ(report.trials, 4);
+  EXPECT_EQ(report.converged, 4);
+  EXPECT_EQ(report.verdict, "converged");
+  EXPECT_GE(report.worstTrial, 0);
+  EXPECT_GE(static_cast<double>(report.worstMoves), report.moves.mean);
+  EXPECT_EQ(static_cast<double>(report.worstMoves), report.moves.max);
+  // The offending schedule ships in replayable text form.
+  EXPECT_EQ(parseSchedule(report.worstScheduleText), report.worstSchedule);
+  EXPECT_EQ(report.worstSchedule.size(),
+            static_cast<std::size_t>(report.worstMoves));
+}
+
+TEST(Campaign, TrialSeedsAreDistinctAndNonZero) {
+  std::uint64_t prev = 0;
+  for (int t = 0; t < 16; ++t) {
+    const std::uint64_t s = campaignTrialSeed(77, t);
+    EXPECT_NE(s, 0u);
+    EXPECT_NE(s, prev);
+    EXPECT_EQ(s, campaignTrialSeed(77, t));  // stable
+    prev = s;
+  }
+}
+
+TEST(Campaign, ScheduleSerializationRoundTripsAndRejectsGarbage) {
+  const std::vector<Move> schedule = {{0, 3}, {5, 1}, {2, 0}};
+  const std::string text = serializeSchedule(schedule);
+  EXPECT_EQ(text, "0:3,5:1,2:0");
+  EXPECT_EQ(parseSchedule(text), schedule);
+  EXPECT_TRUE(parseSchedule("").empty());
+  EXPECT_EQ(serializeSchedule({}), "");
+  for (const char* bad : {"1", "1:", ":2", "1:2,x", "1:2,,3:4"}) {
+    EXPECT_THROW((void)parseSchedule(bad), std::invalid_argument) << bad;
+  }
+}
+
+}  // namespace
+}  // namespace ssno::resil

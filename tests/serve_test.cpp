@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <memory>
 #include <sstream>
@@ -273,6 +274,58 @@ void proveColdWarmIdentity(const std::string& preset, int trials,
   ASSERT_GE(lines.size(), 3u);
   EXPECT_TRUE(lines[1].find("cached")->asBool());  // warm hit, no recompute
   EXPECT_EQ(reassembleCsv(lines), csvDirect);
+}
+
+TEST(Server, PruneVerbEvictsOldRecordsAndReportsCounts) {
+  const std::string dir = freshDir("srv-prune");
+  ResultCache cache(dir);
+  // Two records with distinct mtimes so the LRU order is fixed.
+  exp::Scenario oldRec = dftcRing(24);
+  exp::Scenario newRec = dftcRing(32);
+  ASSERT_TRUE(cache.store(oldRec, "old payload"));
+  ASSERT_TRUE(cache.store(newRec, "new payload"));
+  const fs::path oldPath =
+      fs::path(dir) / cache.keyHex(oldRec).substr(0, 2) /
+      (cache.keyHex(oldRec) + ".rec");
+  const fs::path newPath =
+      fs::path(dir) / cache.keyHex(newRec).substr(0, 2) /
+      (cache.keyHex(newRec) + ".rec");
+  fs::last_write_time(oldPath, fs::last_write_time(oldPath) -
+                                   std::chrono::seconds(10));
+  // A budget that fits the newer record alone must evict only the older.
+  const auto budget = fs::file_size(newPath) + 8;
+
+  SchedulerOptions opt;
+  opt.workers = 1;
+  opt.cache = &cache;
+  ExpServer server(opt);
+  const auto lines = session(
+      server, {R"({"verb":"prune"})",                 // missing budget
+               R"({"verb":"prune","max_bytes":-5})",  // negative budget
+               R"({"verb":"prune","max_bytes":)" + std::to_string(budget) +
+                   "}"});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_FALSE(lines[0].find("ok")->asBool());
+  EXPECT_FALSE(lines[1].find("ok")->asBool());
+  EXPECT_TRUE(lines[2].find("ok")->asBool());
+  EXPECT_EQ(lines[2].find("removed")->asInt(), 1);
+  EXPECT_EQ(lines[2].find("kept")->asInt(), 1);
+  EXPECT_GT(lines[2].find("bytes_removed")->asInt(), 0);
+  EXPECT_GT(lines[2].find("bytes_kept")->asInt(), 0);
+  EXPECT_FALSE(fs::exists(oldPath));  // the older record was the victim
+  EXPECT_TRUE(fs::exists(newPath));
+}
+
+TEST(Server, PruneWithoutACacheIsAnErrorNotACrash) {
+  SchedulerOptions opt;
+  opt.workers = 1;
+  ExpServer server(opt);  // no cache wired
+  const auto lines =
+      session(server, {R"({"verb":"prune","max_bytes":1000})"});
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_FALSE(lines[0].find("ok")->asBool());
+  const std::string error = lines[0].find("error")->asString();
+  EXPECT_NE(error.find("cache"), std::string::npos) << error;
 }
 
 TEST(Server, ModelCheckPresetColdThenWarmIsByteIdentical) {

@@ -44,6 +44,18 @@ gated on CORRECTNESS fields only — ``byte_identity`` and
 fresh run; timing fields like ``smoke_seconds`` are trajectory-only,
 so a slow runner can never fail the serve smoke.
 
+``resilience/...`` rows (BENCH_resilience.json, the adversarial
+campaign preset) are likewise correctness-gated, hardware-independent:
+``rerun_identity`` and ``replay_identity`` must be exactly 1 (same seed
+reproduces the same schedule bit-for-bit; a recorded schedule replays
+to the identical outcome), ``search_converged`` must be 1 (the
+adversary may delay convergence, never defeat it within budget), and
+``search_gain`` — searching-daemon moves over the random-daemon
+average on the same instance — must stay at or above the ADVERSARY
+FLOOR of 2x on rows where the committed baseline reached 2x (a
+collapse toward 1x means the worst-case search degenerated into a
+random walk).  Raw move counts ride along for the trajectory.
+
 Usage: check_perf_regression.py BASELINE.json FRESH.json [--min-ratio R]
 """
 import argparse
@@ -96,6 +108,27 @@ def main():
             if resume_id != 1:
                 failures.append(
                     f"{name}: SIGKILL-resumed report differs from reference")
+            continue
+        if name.startswith("resilience/"):
+            rerun = mean(fresh_row, "rerun_identity")
+            replay = mean(fresh_row, "replay_identity")
+            conv = mean(fresh_row, "search_converged")
+            gain = mean(fresh_row, "search_gain") or 0.0
+            base_gain = mean(base_row, "search_gain") or 0.0
+            gate_gain = base_gain >= 2.0
+            note = ("gain gated >= 2x" if gate_gain else
+                    f"baseline gain x{base_gain:.2f} < 2, gain not gated")
+            print(f"{name}: rerun_identity {rerun}  replay_identity {replay}  "
+                  f"search_converged {conv}  search_gain x{gain:.2f} ({note})")
+            if rerun != 1:
+                failures.append(f"{name}: same-seed rerun not bit-identical")
+            if replay != 1:
+                failures.append(f"{name}: recorded schedule failed to replay")
+            if conv != 1:
+                failures.append(f"{name}: adversarial run did not converge")
+            if gate_gain and gain < 2.0:
+                failures.append(
+                    f"{name}: search_gain x{gain:.2f} below the 2x floor")
             continue
         if name.startswith("model-check"):
             agree = fresh_row["metrics"].get("verdicts_agree", {}).get("mean", 0)

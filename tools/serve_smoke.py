@@ -39,9 +39,23 @@ RESUME_SWEEP = [
 
 
 class Client:
-    def __init__(self, path):
-        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        self.sock.connect(path)
+    def __init__(self, path, retries=10, backoff=0.05):
+        # Connect with retry-and-backoff: a freshly exec'd server may
+        # have created the socket file but not called listen() yet, and
+        # a loaded runner can delay the accept thread.  Each failure
+        # doubles the wait (capped at 1s); the last error propagates.
+        delay = backoff
+        for attempt in range(retries):
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                self.sock.connect(path)
+                break
+            except OSError:
+                self.sock.close()
+                if attempt == retries - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
         self.f = self.sock.makefile("rw", encoding="utf-8", newline="\n")
 
     def call(self, **req):
