@@ -19,7 +19,7 @@
 #include "core/graph.hpp"
 #include "core/rng.hpp"
 #include "core/scheduler.hpp"
-#include "core/stats.hpp"
+#include "obs/stats.hpp"
 #include "exp/runner.hpp"
 #include "orientation/dftno.hpp"
 #include "orientation/stno.hpp"

@@ -21,6 +21,10 @@
 //   --cache-dir D memoize results in the content-addressed cache at D
 //   --csv FILE    write long-form CSV        (- for stdout)
 //   --json FILE   write JSON                 (- for stdout)
+//   --trace-out F record a Chrome trace-event JSON of the whole run to F
+//                 (load in Perfetto or chrome://tracing)
+//   --metrics F   write the Prometheus text exposition of every obs
+//                 counter/gauge/histogram after the run (- for stdout)
 //   --quiet       suppress the human-readable table
 #include <cstdio>
 #include <fstream>
@@ -35,6 +39,8 @@
 
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/cache.hpp"
 
 namespace {
@@ -50,7 +56,8 @@ int usage() {
                "       exp_cli run --scenarios FILE [options]\n"
                "options: [--trials N] [--threads N] [--seed S] [--budget B]\n"
                "         [--rate R] [--only NAME] [--cache-dir DIR]\n"
-               "         [--csv FILE] [--json FILE] [--quiet]\n");
+               "         [--csv FILE] [--json FILE] [--trace-out FILE]\n"
+               "         [--metrics FILE] [--quiet]\n");
   return 2;
 }
 
@@ -112,7 +119,7 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> seed;
   std::optional<ssno::StepCount> budget;
   std::optional<double> rate;
-  std::string csvPath, jsonPath, only, cacheDir;
+  std::string csvPath, jsonPath, only, cacheDir, tracePath, metricsPath;
   bool quiet = false;
   try {
     for (std::size_t i = optionsFrom; i < args.size(); ++i) {
@@ -130,6 +137,8 @@ int main(int argc, char** argv) {
       else if (args[i] == "--cache-dir") cacheDir = value();
       else if (args[i] == "--csv") csvPath = value();
       else if (args[i] == "--json") jsonPath = value();
+      else if (args[i] == "--trace-out") tracePath = value();
+      else if (args[i] == "--metrics") metricsPath = value();
       else if (args[i] == "--quiet") quiet = true;
       else if (args[i] == "--scenarios") scenarioFile = value();
       else throw std::invalid_argument("unknown option " + args[i]);
@@ -173,12 +182,23 @@ int main(int argc, char** argv) {
       cache = std::make_unique<ssno::serve::ResultCache>(cacheDir);
 
     const ExperimentRunner runner(threads.value_or(0));
+    if (!tracePath.empty()) ssno::obs::startTracing();
     const std::vector<ScenarioResult> results =
         ssno::serve::runAllCached(runner, scenarios, cache.get());
+    if (!tracePath.empty()) {
+      ssno::obs::stopTracing();
+      ssno::obs::writeTrace(tracePath);
+      std::fprintf(stderr, "wrote Chrome trace to %s\n", tracePath.c_str());
+    }
 
     if (!quiet) ssno::exp::printTable(std::cout, results);
     if (!csvPath.empty()) emit(csvPath, ssno::exp::toCsv(results), "CSV");
-    if (!jsonPath.empty()) emit(jsonPath, ssno::exp::toJson(results), "JSON");
+    if (!jsonPath.empty())
+      emit(jsonPath, ssno::exp::toJson(results, /*includeTiming=*/true),
+           "JSON");
+    if (!metricsPath.empty())
+      emit(metricsPath, ssno::obs::Registry::global().renderPrometheus(),
+           "metrics");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "exp_cli: %s\n", e.what());
     return 1;

@@ -9,6 +9,11 @@
 //                         dir's "checkpoints" subdir when caching)
 //   --workers N           worker threads (default: hardware)
 //   --trial-threads N     threads inside one unit (default: 1)
+//   --trace-out FILE      record a Chrome trace-event JSON for the whole
+//                         service lifetime, written at shutdown
+//   --metrics FILE        write the Prometheus text exposition at
+//                         shutdown (- for stderr); live values are
+//                         always available via the `metrics` verb
 //
 // The protocol (line-delimited JSON; submit/resume/status/result/
 // cancel/stats/shutdown) is documented in src/serve/server.hpp and the
@@ -19,12 +24,15 @@
 //       '{"verb":"result","job":1}'
 //       | exp_serve --pipe --cache-dir /tmp/ssno-cache
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -34,7 +42,8 @@ int usage() {
                "usage: exp_serve --socket PATH [options]\n"
                "       exp_serve --pipe [options]\n"
                "options: [--cache-dir DIR] [--checkpoint-dir DIR]\n"
-               "         [--workers N] [--trial-threads N]\n");
+               "         [--workers N] [--trial-threads N]\n"
+               "         [--trace-out FILE] [--metrics FILE]\n");
   return 2;
 }
 
@@ -42,7 +51,7 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  std::string socketPath, cacheDir, checkpointDir;
+  std::string socketPath, cacheDir, checkpointDir, tracePath, metricsPath;
   bool pipe = false;
   int workers = 0, trialThreads = 1;
   try {
@@ -58,6 +67,8 @@ int main(int argc, char** argv) {
       else if (args[i] == "--checkpoint-dir") checkpointDir = value();
       else if (args[i] == "--workers") workers = std::stoi(value());
       else if (args[i] == "--trial-threads") trialThreads = std::stoi(value());
+      else if (args[i] == "--trace-out") tracePath = value();
+      else if (args[i] == "--metrics") metricsPath = value();
       else throw std::invalid_argument("unknown option " + args[i]);
     }
     if (pipe == !socketPath.empty()) {
@@ -78,6 +89,7 @@ int main(int argc, char** argv) {
     opt.checkpointDir = checkpointDir;
     ssno::serve::ExpServer server(opt);
 
+    if (!tracePath.empty()) ssno::obs::startTracing();
     if (pipe) {
       server.serveStream(std::cin, std::cout);
     } else {
@@ -85,6 +97,26 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "exp_serve: listening on %s\n",
                    socketPath.c_str());
       server.acceptLoop(fd);
+    }
+    if (!tracePath.empty()) {
+      ssno::obs::stopTracing();
+      ssno::obs::writeTrace(tracePath);
+      std::fprintf(stderr, "exp_serve: wrote Chrome trace to %s\n",
+                   tracePath.c_str());
+    }
+    if (!metricsPath.empty()) {
+      const std::string text =
+          ssno::obs::Registry::global().renderPrometheus();
+      if (metricsPath == "-") {
+        std::fputs(text.c_str(), stderr);
+      } else {
+        std::ofstream out(metricsPath);
+        if (!out)
+          throw std::runtime_error("cannot open " + metricsPath);
+        out << text;
+        std::fprintf(stderr, "exp_serve: wrote metrics to %s\n",
+                     metricsPath.c_str());
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "exp_serve: %s\n", e.what());

@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "core/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace ssno {
+
+namespace {
+// Registry handles touched only by flushStats(): per-refresh telemetry
+// accumulates in plain EnabledCache members (even a relaxed atomic per
+// working refresh is a measurable fraction of a 3M moves/s hot loop)
+// and is published in batches of kStatFlushRefreshes.
+const obs::Counter kGuardRefreshes =
+    obs::Registry::global().counter("sim_guard_refresh_total");
+const obs::Counter kGuardEvals =
+    obs::Registry::global().counter("sim_guard_evals_total");
+const obs::Counter kCacheRebuilds =
+    obs::Registry::global().counter("sim_cache_rebuilds_total");
+constexpr std::uint64_t kStatFlushRefreshes = 1024;
+}  // namespace
+
+void EnabledCache::flushStats() {
+  if (statRefreshes_) kGuardRefreshes.inc(statRefreshes_);
+  if (statRebuilds_) kCacheRebuilds.inc(statRebuilds_);
+  if (statEvals_) kGuardEvals.inc(statEvals_);
+  statRefreshes_ = statRebuilds_ = statEvals_ = 0;
+}
 
 EnabledCache::EnabledCache(Protocol& protocol)
     : protocol_(protocol),
@@ -45,6 +67,9 @@ void EnabledCache::fenwickAdd(NodeId p, int delta) {
 }
 
 void EnabledCache::rebuildAll() {
+  statEvals_ += static_cast<std::uint64_t>(n_) *
+                static_cast<std::uint64_t>(actions_);
+  if (++statRebuilds_ >= kStatFlushRefreshes) flushStats();
   if (track_changes_) {
     full_invalidate_ = true;
     changed_.clear();
@@ -103,7 +128,15 @@ const EnabledView& EnabledCache::refreshView() {
     // naive mode is forced, in which case every refresh rescans.
     primed_ = !force_naive_;
   } else {
-    for (NodeId p : protocol_.dirtyNodes()) updateNode(p);
+    std::uint64_t dirty = 0;
+    for (NodeId p : protocol_.dirtyNodes()) {
+      updateNode(p);
+      ++dirty;
+    }
+    if (dirty > 0) {
+      statEvals_ += dirty * static_cast<std::uint64_t>(actions_);
+      if (++statRefreshes_ >= kStatFlushRefreshes) flushStats();
+    }
   }
   protocol_.clearDirty();
   makeView();

@@ -1,19 +1,52 @@
 #include "core/scheduler.hpp"
 
 #include "core/assert.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ssno {
 
+namespace {
+// Registry handles touched only by flushStats(): per-step counts batch
+// in plain Simulator members and publish every kStatFlushSteps steps,
+// at run end, and at destruction (see the header's cost note).
+const obs::Counter kSimSteps =
+    obs::Registry::global().counter("sim_steps_total");
+const obs::Counter kSimMoves =
+    obs::Registry::global().counter("sim_moves_total");
+constexpr std::uint64_t kStatFlushSteps = 1024;
+}  // namespace
+
+void Simulator::flushStats() {
+  if (statSteps_) kSimSteps.inc(statSteps_);
+  if (statMoves_) kSimMoves.inc(statMoves_);
+  statSteps_ = statMoves_ = 0;
+  cache_.flushStats();
+}
+
 const std::vector<Move>& Simulator::stepOnce() {
+  obs::TraceSpan stepSpan("sim_step");
   if (naiveScan_ || legacySelect_) {
-    const std::vector<Move>& enabled = cache_.refresh();
+    const std::vector<Move>* enabledPtr = nullptr;
+    {
+      obs::TraceSpan refreshSpan("sim_refresh");
+      enabledPtr = &cache_.refresh();
+    }
+    const std::vector<Move>& enabled = *enabledPtr;
     if (enabled.empty()) {
       selected_.clear();
       return selected_;
     }
+    obs::TraceSpan selectSpan("sim_select");
+    selectSpan.arg("enabled_moves", enabled.size());
     daemon_.legacySelect(enabled, rng_, selected_);
   } else {
-    const EnabledView& enabled = cache_.refreshView();
+    const EnabledView* viewPtr = nullptr;
+    {
+      obs::TraceSpan refreshSpan("sim_refresh");
+      viewPtr = &cache_.refreshView();
+    }
+    const EnabledView& enabled = *viewPtr;
     if (enabled.empty()) {
       selected_.clear();
       return selected_;
@@ -30,7 +63,12 @@ const std::vector<Move>& Simulator::stepOnce() {
     std::vector<Move> shadowOut;
     shadow->legacySelect(materialized, shadowRng, shadowOut);
 #endif
-    daemon_.selectInto(enabled, rng_, selected_);
+    {
+      obs::TraceSpan selectSpan("sim_select");
+      selectSpan.arg("enabled_moves",
+                     static_cast<std::uint64_t>(enabled.moveCount()));
+      daemon_.selectInto(enabled, rng_, selected_);
+    }
 #ifndef NDEBUG
     SSNO_ASSERT(shadowOut == selected_);
     SSNO_ASSERT(shadowRng.engine() == rng_.engine());
@@ -45,6 +83,9 @@ const std::vector<Move>& Simulator::stepOnce() {
   if (observer_) {
     for (const Move& m : selected_) observer_(m);
   }
+  statMoves_ += selected_.size();
+  if (++statSteps_ >= kStatFlushSteps) flushStats();
+  stepSpan.arg("moves", selected_.size());
   accountRound(selected_);
   return selected_;
 }
@@ -163,6 +204,7 @@ RunStats Simulator::runUntil(const Predicate& goal, StepCount maxMoves) {
   if (!stats.converged && !stats.terminal && goal && goal())
     stats.converged = true;
   stats.rounds = roundsDone_;
+  flushStats();
   return stats;
 }
 

@@ -81,6 +81,15 @@ class Simulator {
     cache_.setTrackStatusChanges(true);
   }
 
+  ~Simulator() { flushStats(); }
+
+  /// Publishes batched step/move telemetry (and the cache's) to the obs
+  /// registry.  Per-step counts accumulate in plain members — even a
+  /// relaxed atomic per step is a measurable fraction of a 3M moves/s
+  /// loop — and flush every ~1K steps, at the end of every run, and at
+  /// destruction, so live introspection lags by at most the batch.
+  void flushStats();
+
   /// Runs until `goal` holds (checked before every step), the protocol is
   /// terminal, or `maxMoves` moves have executed.
   RunStats runUntil(const Predicate& goal, StepCount maxMoves);
@@ -152,6 +161,10 @@ class Simulator {
   std::size_t pendingCount_ = 0;
   bool roundActive_ = false;
   StepCount roundsDone_ = 0;
+
+  // Telemetry accumulators (flushed to obs counters by flushStats()).
+  std::uint64_t statSteps_ = 0;
+  std::uint64_t statMoves_ = 0;
 };
 
 }  // namespace ssno

@@ -3,8 +3,22 @@
 #include <algorithm>
 
 #include "core/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace ssno {
+
+namespace {
+// All increments are batched per simultaneous step (O(1) atomics per
+// execute call), never per node.
+const obs::Counter kSyncSteps =
+    obs::Registry::global().counter("sync_steps_total");
+const obs::Counter kSyncSnapshotNodes =
+    obs::Registry::global().counter("sync_snapshot_nodes_total");
+const obs::Counter kSyncRollbacks =
+    obs::Registry::global().counter("sync_rollback_nodes_total");
+const obs::Counter kSyncUndos =
+    obs::Registry::global().counter("sync_undo_total");
+}  // namespace
 
 SimultaneousEngine::SimultaneousEngine(Protocol& protocol)
     : protocol_(protocol) {
@@ -98,6 +112,8 @@ void SimultaneousEngine::executeColumnar(std::span<const Move> moves) {
   postOff_.clear();
   captured_.clear();
   capturedFlag_.assign(k, 0);
+  kSyncSteps.inc();
+  kSyncSnapshotNodes.inc(k);
 
   protocol_.beginSimultaneousStep();
   for (std::size_t i = 0; i < k; ++i) {
@@ -125,6 +141,7 @@ void SimultaneousEngine::executeColumnar(std::span<const Move> moves) {
   // re-executed, so it currently holds its pre state: re-apply the post
   // captures.  Uncaptured actors already hold their post state.
   for (std::size_t ci = 0; ci < captured_.size(); ++ci) restoreCapture(ci);
+  kSyncRollbacks.inc(captured_.size());
   protocol_.endSimultaneousStep();
 
   for (std::size_t j = 0; j < k; ++j) {
@@ -150,6 +167,8 @@ void SimultaneousEngine::executeColumnarFull(std::span<const Move> moves) {
   }
   postOff_.clear();
   captured_.clear();
+  kSyncSteps.inc();
+  kSyncSnapshotNodes.inc(n);
 
   protocol_.beginSimultaneousStep();
   for (const Move& m : moves) {
@@ -162,6 +181,7 @@ void SimultaneousEngine::executeColumnarFull(std::span<const Move> moves) {
   for (std::size_t a = 0; a < arenas_.size(); ++a)
     arenas_[a]->restoreNodes(allNodes_, preFull_[a]);
   for (std::size_t ci = 0; ci < captured_.size(); ++ci) restoreCapture(ci);
+  kSyncRollbacks.inc(captured_.size());
   protocol_.endSimultaneousStep();
   last_ = Mode::kColumnarFull;
 }
@@ -231,6 +251,7 @@ void SimultaneousEngine::executeLegacyFull(std::span<const Move> moves) {
 }
 
 void SimultaneousEngine::undo() {
+  kSyncUndos.inc();
   switch (last_) {
     case Mode::kColumnar:
       for (std::size_t a = 0; a < arenas_.size(); ++a)

@@ -49,7 +49,7 @@ std::string csvField(const std::string& s) {
 }
 
 void writeScenarioJson(std::ostream& out, const ScenarioResult& r,
-                       const std::string& indent) {
+                       const std::string& indent, bool includeTiming) {
   const Scenario& s = r.scenario;
   out << indent << "{\n";
   out << indent << "  \"scenario\": \"" << jsonEscape(s.name) << "\",\n";
@@ -71,18 +71,31 @@ void writeScenarioJson(std::ostream& out, const ScenarioResult& r,
     out << indent << "  \"fault_k\": " << s.faultK << ",\n";
   out << indent << "  \"trials\": " << r.trials << ",\n";
   out << indent << "  \"failed_trials\": " << r.failedTrials << ",\n";
-  out << indent << "  \"metrics\": {";
-  bool firstMetric = true;
-  for (const auto& [name, m] : r.metrics) {
-    if (!firstMetric) out << ",";
-    firstMetric = false;
-    out << "\n" << indent << "    \"" << jsonEscape(name) << "\": {"
-        << "\"count\": " << m.count << ", \"min\": " << num(m.min)
-        << ", \"max\": " << num(m.max) << ", \"mean\": " << num(m.mean)
-        << ", \"stddev\": " << num(m.stddev) << ", \"p50\": " << num(m.p50)
-        << ", \"p95\": " << num(m.p95) << "}";
+  // One "{name: summary, ...}" object; shared by "metrics" and "timing".
+  const auto summaryMap =
+      [&out, &indent](const std::map<std::string, Summary>& entries) {
+        bool first = true;
+        for (const auto& [name, m] : entries) {
+          if (!first) out << ",";
+          first = false;
+          out << "\n" << indent << "    \"" << jsonEscape(name) << "\": {"
+              << "\"count\": " << m.count << ", \"min\": " << num(m.min)
+              << ", \"max\": " << num(m.max) << ", \"mean\": " << num(m.mean)
+              << ", \"stddev\": " << num(m.stddev) << ", \"p50\": " << num(m.p50)
+              << ", \"p95\": " << num(m.p95) << "}";
+        }
+        if (!first) out << "\n" << indent << "  ";
+      };
+  // Timing breakdown (runner-stamped wall clock per trial, and any
+  // phase timings a trial kind adds) — JSON-only observability data;
+  // CSV rows and cached payloads never carry it.
+  if (includeTiming && !r.timing.empty()) {
+    out << indent << "  \"timing\": {";
+    summaryMap(r.timing);
+    out << "},\n";
   }
-  if (!firstMetric) out << "\n" << indent << "  ";
+  out << indent << "  \"metrics\": {";
+  summaryMap(r.metrics);
   out << "}\n" << indent << "}";
 }
 
@@ -119,10 +132,11 @@ void writeCsv(std::ostream& out, const std::vector<ScenarioResult>& results) {
   for (const ScenarioResult& r : results) out << csvRows(r);
 }
 
-void writeJson(std::ostream& out, const std::vector<ScenarioResult>& results) {
+void writeJson(std::ostream& out, const std::vector<ScenarioResult>& results,
+               bool includeTiming) {
   out << "[\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
-    writeScenarioJson(out, results[i], "  ");
+    writeScenarioJson(out, results[i], "  ", includeTiming);
     if (i + 1 < results.size()) out << ",";
     out << "\n";
   }
@@ -135,9 +149,10 @@ std::string toCsv(const std::vector<ScenarioResult>& results) {
   return out.str();
 }
 
-std::string toJson(const std::vector<ScenarioResult>& results) {
+std::string toJson(const std::vector<ScenarioResult>& results,
+                   bool includeTiming) {
   std::ostringstream out;
-  writeJson(out, results);
+  writeJson(out, results, includeTiming);
   return out.str();
 }
 

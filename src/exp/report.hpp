@@ -25,10 +25,18 @@ namespace ssno::exp {
 [[nodiscard]] std::string csvRows(const ScenarioResult& r);
 
 void writeCsv(std::ostream& out, const std::vector<ScenarioResult>& results);
-void writeJson(std::ostream& out, const std::vector<ScenarioResult>& results);
+
+/// `includeTiming` adds each scenario's runner-stamped "timing" object
+/// (per-trial wall seconds) to the JSON.  Off by default: wall clock is
+/// inherently nondeterministic and cached results carry none, so the
+/// default output keeps the thread-count/byte-identity guarantees
+/// (runner_test, cache_test) while exp_cli opts in for BENCH files.
+void writeJson(std::ostream& out, const std::vector<ScenarioResult>& results,
+               bool includeTiming = false);
 
 [[nodiscard]] std::string toCsv(const std::vector<ScenarioResult>& results);
-[[nodiscard]] std::string toJson(const std::vector<ScenarioResult>& results);
+[[nodiscard]] std::string toJson(const std::vector<ScenarioResult>& results,
+                                 bool includeTiming = false);
 
 /// Human-readable fixed-width table (one line per scenario × metric),
 /// used by exp_cli and the ported benches.

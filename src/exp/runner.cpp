@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -14,6 +15,8 @@
 #include "core/scheduler.hpp"
 #include "dftc/dftc.hpp"
 #include "mc/explorer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "orientation/baseline.hpp"
 #include "orientation/chordal.hpp"
 #include "orientation/dftno.hpp"
@@ -629,6 +632,64 @@ TrialResult resilienceTrial(const Graph& g, const Scenario& s,
   return r;
 }
 
+/// Telemetry overhead proof (the <2% CI gate).  The same DFTNO hot loop
+/// as schedulerTrial's bitmask mode runs with obs enabled and disabled.
+/// Clock-frequency drift on a shared machine moves the absolute rate by
+/// several percent between runs seconds apart — more than the effect
+/// being measured — so the estimator is PAIRED: each rep times the two
+/// modes back to back (alternating which goes first to cancel ordering
+/// bias) and contributes one off/on ratio, and the trial reports the
+/// median ratio, which adjacent-in-time pairing plus the median makes
+/// robust to drift and scheduling outliers.  Tracing stays off in both
+/// modes: the gate certifies the *always-on* cost (batched per-thread
+/// counter flushes), not the opt-in trace cost.
+TrialResult obsOverheadTrial(const Graph& g, const Scenario& s,
+                             std::uint64_t seed) {
+  // The measurement toggles the process-wide obs flag, so concurrent
+  // overhead trials would flip it underneath each other's timed runs;
+  // serialize them (CI additionally runs the obs preset at --threads 1
+  // so no other trial kind shares the machine either).
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  constexpr int kReps = 15;
+  auto movesPerSec = [&](bool telemetryOn) {
+    obs::setEnabled(telemetryOn);
+    Dftno dftno(g);
+    Rng rng(seed);
+    dftno.randomize(rng);
+    auto daemon = makeDaemon(s.daemon);
+    Simulator sim(dftno, *daemon, rng);
+    const auto start = std::chrono::steady_clock::now();
+    const RunStats stats = sim.runToQuiescence(s.budget);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return static_cast<double>(stats.moves) / std::max(secs, 1e-9);
+  };
+  const bool wasEnabled = obs::enabled();
+  movesPerSec(wasEnabled);  // untimed warmup: page-faults, branch history
+  std::vector<double> ratios;
+  double bestOn = 0, bestOff = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const bool onFirst = (rep % 2) == 0;
+    const double first = movesPerSec(onFirst);
+    const double second = movesPerSec(!onFirst);
+    const double on = onFirst ? first : second;
+    const double off = onFirst ? second : first;
+    bestOn = std::max(bestOn, on);
+    bestOff = std::max(bestOff, off);
+    ratios.push_back(off / std::max(on, 1e-9));
+  }
+  obs::setEnabled(wasEnabled);
+  std::sort(ratios.begin(), ratios.end());
+  const double medianRatio = ratios[ratios.size() / 2];
+  TrialResult r;
+  r.metrics = {{"telemetry_on_moves_per_sec", bestOn},
+               {"telemetry_off_moves_per_sec", bestOff},
+               {"obs_overhead_pct", (medianRatio - 1.0) * 100.0}};
+  return r;
+}
+
 }  // namespace
 
 std::string protocolKindName(ProtocolKind kind) {
@@ -651,6 +712,7 @@ std::string protocolKindName(ProtocolKind kind) {
     case ProtocolKind::kScheduler: return "scheduler";
     case ProtocolKind::kModelCheck: return "model-check";
     case ProtocolKind::kResilience: return "resilience";
+    case ProtocolKind::kObsOverhead: return "obs-overhead";
   }
   return "?";
 }
@@ -712,6 +774,7 @@ TrialResult runTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
     case ProtocolKind::kScheduler: return schedulerTrial(g, s, seed);
     case ProtocolKind::kModelCheck: return modelCheckTrial(g, s, seed);
     case ProtocolKind::kResilience: return resilienceTrial(g, s, seed);
+    case ProtocolKind::kObsOverhead: return obsOverheadTrial(g, s, seed);
   }
   throw std::invalid_argument("runTrial: unknown protocol kind");
 }
@@ -727,6 +790,20 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
 }
 
 namespace {
+
+/// runTrial plus the runner's observability wrapper: a wall-clock stamp
+/// (feeding ScenarioResult::timing) and a trace span per trial.
+TrialResult timedTrial(const Graph& g, const Scenario& s, int trial,
+                       std::uint64_t seed) {
+  obs::TraceSpan span("exp_trial");
+  span.arg("trial", static_cast<std::uint64_t>(trial));
+  const auto start = std::chrono::steady_clock::now();
+  TrialResult r = runTrial(g, s, seed);
+  r.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return r;
+}
 
 /// Slot-order aggregation: walks trials in index order, so the result is
 /// independent of which worker finished which trial first.
@@ -752,6 +829,12 @@ ScenarioResult aggregate(const Scenario& s, const Graph& g,
   }
   for (auto& [name, values] : samples)
     res.metrics[name] = summarize(std::move(values));
+  // Timing breakdown over ALL trials (failed ones included — a trial
+  // that exhausted its budget still cost wall-clock time).
+  std::vector<double> wall;
+  wall.reserve(slots.size());
+  for (const TrialResult& trial : slots) wall.push_back(trial.wallSeconds);
+  res.timing["trial_seconds"] = summarize(std::move(wall));
   return res;
 }
 
@@ -769,7 +852,7 @@ ScenarioResult ExperimentRunner::runOnGraph(const Scenario& s,
   auto worker = [&] {
     for (int t = next.fetch_add(1); t < s.trials; t = next.fetch_add(1))
       slots[static_cast<std::size_t>(t)] =
-          runTrial(g, s, trialSeed(s.seed, t));
+          timedTrial(g, s, t, trialSeed(s.seed, t));
   };
   const int workers = std::min(threads_, s.trials);
   if (workers <= 1) {
@@ -818,8 +901,8 @@ std::vector<ScenarioResult> ExperimentRunner::runAll(
       const Scenario& s = scenarios[static_cast<std::size_t>(job.scenario)];
       slots[static_cast<std::size_t>(job.scenario)]
            [static_cast<std::size_t>(job.trial)] =
-               runTrial(graphs[static_cast<std::size_t>(job.scenario)], s,
-                        trialSeed(s.seed, job.trial));
+               timedTrial(graphs[static_cast<std::size_t>(job.scenario)], s,
+                          job.trial, trialSeed(s.seed, job.trial));
     }
   };
   const int workers = static_cast<int>(

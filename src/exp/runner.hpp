@@ -21,7 +21,7 @@
 #include <vector>
 
 #include "core/daemon.hpp"
-#include "core/stats.hpp"
+#include "obs/stats.hpp"
 #include "core/types.hpp"
 #include "exp/topology.hpp"
 
@@ -50,6 +50,9 @@ enum class ProtocolKind {
   kResilience,     ///< adversarial resilience campaign on DFTNO: worst-case
                    ///< daemon search vs a random reference, fault-plan
                    ///< injection, schedule replay certification (src/resil)
+  kObsOverhead,    ///< telemetry overhead proof: the ring:1e5 scheduler
+                   ///< hot loop timed with obs enabled vs disabled
+                   ///< (interleaved best-of reps; gated < 2% in CI)
 };
 
 [[nodiscard]] std::string protocolKindName(ProtocolKind kind);
@@ -104,6 +107,10 @@ struct Scenario {
 struct TrialResult {
   bool converged = true;
   std::vector<std::pair<std::string, double>> metrics;
+  /// Wall-clock seconds the trial took, stamped by the runner around
+  /// runTrial.  Feeds ScenarioResult::timing — observability data only,
+  /// never part of metrics, CSV rows, or cached result payloads.
+  double wallSeconds = 0;
 };
 
 struct ScenarioResult {
@@ -118,6 +125,11 @@ struct ScenarioResult {
   int cores = 0;
   /// Per-metric summaries over the converged trials only.
   std::map<std::string, Summary> metrics;
+  /// Timing breakdown over ALL trials (runner-stamped wall clock, plus
+  /// any future phase timings).  JSON reports emit it as a "timing"
+  /// object; it never enters CSV rows or cached result payloads, so
+  /// byte-identity of those artifacts is unaffected.
+  std::map<std::string, Summary> timing;
 
   /// Summary for `name`; an empty (count == 0) Summary if absent.
   [[nodiscard]] Summary metric(const std::string& name) const;

@@ -284,6 +284,25 @@ std::vector<Scenario> resiliencePreset() {
   return out;
 }
 
+std::vector<Scenario> obsPreset() {
+  // Telemetry overhead proof (CI gate): the ring:1e5 scheduler hot loop
+  // timed with obs enabled vs disabled, same budget and seed as the
+  // scheduler preset's large-n row.  The name carries the obs/ prefix
+  // so tools/check_perf_regression.py dispatches to its overhead gate
+  // (obs_overhead_pct < 2).
+  constexpr std::uint64_t kSeed = 0x5CED;
+  std::vector<Scenario> out;
+  // Budget 200k (not the scheduler row's 4k): a percent-level
+  // comparison needs each timed run to be ~60ms, not ~6ms, or scheduler
+  // jitter swamps the signal and the 2% gate flakes.
+  Scenario s = triple(ProtocolKind::kObsOverhead, DaemonKind::kRoundRobin,
+                      "ring:100000", 3, kSeed);
+  s.budget = 200'000;
+  s.name = "obs/overhead/ring:100000";
+  out.push_back(s);
+  return out;
+}
+
 std::vector<Scenario> daemonSweepPreset() {
   constexpr std::uint64_t kSeed = 0xDAE;
   std::vector<Scenario> out;
@@ -312,7 +331,8 @@ ProtocolKind parseProtocolKind(const std::string& name) {
         ProtocolKind::kStnoCrashReset, ProtocolKind::kAblationNaming,
         ProtocolKind::kSpace, ProtocolKind::kChordalProps,
         ProtocolKind::kRouting, ProtocolKind::kScheduler,
-        ProtocolKind::kModelCheck, ProtocolKind::kResilience})
+        ProtocolKind::kModelCheck, ProtocolKind::kResilience,
+        ProtocolKind::kObsOverhead})
     if (protocolKindName(kind) == name) return kind;
   throw std::invalid_argument("unknown protocol '" + name + "'");
 }
@@ -361,6 +381,8 @@ Scenario parseScenario(const std::string& name) {
     s.budget = 2'000'000;  // per-episode move budget; search steps are
                            // O(#enabled · n · actions), so the default
                            // convergence budget would be far too large
+  if (s.protocol == ProtocolKind::kObsOverhead)
+    s.budget = 200'000;  // moves measured per telemetry mode per rep
   return s;
 }
 
@@ -368,7 +390,7 @@ std::vector<std::string> presetNames() {
   return {"dftno-scaling", "stno-height", "stno-star-control",
           "stno-scaling", "churn", "daemon-sweep", "substrate",
           "fault-recovery", "ablation-naming", "space", "chordal-props",
-          "routing", "scheduler", "model-check", "resilience"};
+          "routing", "scheduler", "model-check", "resilience", "obs"};
 }
 
 std::vector<Scenario> makePreset(const std::string& name) {
@@ -387,6 +409,7 @@ std::vector<Scenario> makePreset(const std::string& name) {
   if (name == "scheduler") return schedulerPreset();
   if (name == "model-check") return modelCheckPreset();
   if (name == "resilience") return resiliencePreset();
+  if (name == "obs") return obsPreset();
   throw std::invalid_argument("unknown preset '" + name + "'");
 }
 

@@ -19,12 +19,30 @@
 #include "mc/spill.hpp"
 #include "mc/state_codec.hpp"
 #include "mc/store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ssno::mc {
 namespace {
 
 constexpr std::size_t kFrontierBatch = 1024;  // worker -> spill flush size
 constexpr std::size_t kWorkChunk = 64;        // frontier ids per claim
+
+// Batched per run / per level — never touched inside expand().
+const obs::Counter kMcStates =
+    obs::Registry::global().counter("mc_states_total");
+const obs::Counter kMcTransitions =
+    obs::Registry::global().counter("mc_transitions_total");
+const obs::Counter kMcLevels =
+    obs::Registry::global().counter("mc_levels_total");
+const obs::Histogram kMcLevelNs =
+    obs::Registry::global().histogram("mc_level_ns");
+const obs::Histogram kMcConvergenceNs =
+    obs::Registry::global().histogram("mc_convergence_ns");
+const obs::Gauge kMcStoreLoadPct =
+    obs::Registry::global().gauge("mc_store_load_pct");
+const obs::Gauge kMcStatesPerSec =
+    obs::Registry::global().gauge("mc_states_per_sec");
 
 /// Violation kinds, ranked for the canonical-min selection (the rank
 /// only breaks ties between different kinds at the same level; any
@@ -245,6 +263,11 @@ class Run {
     while (next_->size() > 0) {
       std::swap(current_, next_);
       next_->reset();
+      obs::TraceSpan levelSpan("mc_level");
+      obs::ScopedTimer levelTimer(kMcLevelNs);
+      const std::uint64_t statesBefore = store_->size();
+      levelSpan.arg("depth", depth);
+      levelSpan.arg("frontier", current_->size());
       res.peakFrontier = std::max(res.peakFrontier, current_->size());
       res.depthReached = static_cast<int>(depth);
       while (current_->drainChunk(wave, waveCap)) {
@@ -263,6 +286,11 @@ class Run {
       }
       res.spillRuns = current_->runsWritten() + next_->runsWritten();
       current_->reset();
+      kMcLevels.inc();
+      kMcStates.inc(store_->size() - statesBefore);
+      kMcStoreLoadPct.set(
+          static_cast<std::int64_t>(store_->loadFactor() * 100.0));
+      levelSpan.arg("states_added", store_->size() - statesBefore);
       if (store_->overflowed() || store_->size() > opt_.maxStates)
         return false;
       if (best_) break;  // violation level completed: canonical min final
@@ -349,6 +377,8 @@ class Run {
   /// Convergence: rebuild the illegitimate sub-digraph in canonical
   /// (key-sorted) order and look for a (fair-feasible) cycle.
   void checkConvergence() {
+    obs::TraceSpan span("mc_convergence");
+    obs::ScopedTimer timer(kMcConvergenceNs);
     std::vector<std::uint64_t> illegit;
     store_->forEach([&](std::uint64_t id) {
       if (!store_->legit(id)) illegit.push_back(id);
@@ -480,6 +510,8 @@ Result finish(Run& run, Result res,
           .count();
   res.statesPerSec =
       static_cast<double>(res.statesExplored) / std::max(res.seconds, 1e-9);
+  kMcTransitions.inc(res.transitions);
+  kMcStatesPerSec.set(static_cast<std::int64_t>(res.statesPerSec));
   return res;
 }
 

@@ -5,7 +5,18 @@
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace ssno::mc {
+
+namespace {
+const obs::Counter kFrontierIds =
+    obs::Registry::global().counter("mc_frontier_ids_total");
+const obs::Counter kSpillRuns =
+    obs::Registry::global().counter("mc_spill_runs_total");
+const obs::Counter kSpillBytes =
+    obs::Registry::global().counter("mc_spill_bytes_total");
+}  // namespace
 
 FrontierSpill::FrontierSpill(std::uint64_t memCapacity,
                              const std::string& dir)
@@ -36,6 +47,8 @@ void FrontierSpill::flushLocked() {
     throw std::runtime_error("FrontierSpill: short write to " + path);
   runs_.push_back(path);
   ++runsWritten_;
+  kSpillRuns.inc();
+  kSpillBytes.inc(mem_.size() * sizeof(std::uint64_t));
   mem_.clear();
 }
 
@@ -43,6 +56,7 @@ void FrontierSpill::append(const std::uint64_t* ids, std::size_t count) {
   std::lock_guard<std::mutex> lock(mu_);
   mem_.insert(mem_.end(), ids, ids + count);
   total_ += count;
+  kFrontierIds.inc(count);
   if (memCapacity_ > 0 && mem_.size() >= memCapacity_) flushLocked();
 }
 

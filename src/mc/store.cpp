@@ -4,11 +4,15 @@
 #include <cstring>
 
 #include "core/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace ssno::mc {
 namespace {
 
 constexpr std::size_t kInitialTable = 1024;
+
+const obs::Histogram kProbeLen =
+    obs::Registry::global().histogram("mc_store_probe_len");
 
 }  // namespace
 
@@ -76,10 +80,13 @@ StateStore::Ref StateStore::intern(const std::uint64_t* key,
 
   std::size_t mask = sh.table.size() - 1;
   std::size_t at = tableIndex(hash) & mask;
+  std::uint64_t probes = 0;
   while (sh.table[at].id != kNoId) {
+    ++probes;
     if (sh.table[at].hash == hash &&
         std::memcmp(keyOf(sh.table[at].id), key,
                     static_cast<std::size_t>(words_) * 8) == 0) {
+      kProbeLen.observe(probes);
       const std::uint64_t id = sh.table[at].id;
       Meta& m = metaOf(id);
       if (parentKey != nullptr && m.depth == depth) {
@@ -96,6 +103,8 @@ StateStore::Ref StateStore::intern(const std::uint64_t* key,
     }
     at = (at + 1) & mask;
   }
+
+  kProbeLen.observe(probes);
 
   // New state: claim the next arena slot.
   const std::size_t local = static_cast<std::size_t>(sh.count);
@@ -144,6 +153,18 @@ std::uint64_t StateStore::find(const std::uint64_t* key,
     at = (at + 1) & mask;
   }
   return kNoId;
+}
+
+double StateStore::loadFactor() const {
+  std::uint64_t states = 0;
+  std::uint64_t slots = 0;
+  for (const Shard& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    states += sh.count;
+    slots += sh.table.size();
+  }
+  return slots == 0 ? 0.0
+                    : static_cast<double>(states) / static_cast<double>(slots);
 }
 
 std::uint64_t StateStore::idBound() const {

@@ -100,6 +100,10 @@ class StateStore {
   /// Exclusive upper bound on assigned ids (for dense side arrays).
   [[nodiscard]] std::uint64_t idBound() const;
 
+  /// Occupancy of the probe tables (states / slots, 0..~0.7).  Takes
+  /// every shard lock; call at level barriers, not on the hot path.
+  [[nodiscard]] double loadFactor() const;
+
   /// Visits every stored id (shard-major, insertion order within a
   /// shard — NOT deterministic across thread counts).  Quiescent use
   /// only.
@@ -122,7 +126,7 @@ class StateStore {
   };
 
   struct Shard {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::vector<Slot> table;  // power-of-two open addressing
     std::uint64_t count = 0;
     std::unique_ptr<std::atomic<std::uint64_t*>[]> keyChunks;

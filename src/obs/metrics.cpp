@@ -1,0 +1,327 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ssno::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+
+// Registries are identified by (address, serial): an address can be
+// recycled after destruction, a serial cannot, so a stale thread-local
+// cache entry can never alias a different live registry.
+std::atomic<std::uint64_t> g_nextRegistrySerial{1};
+
+}  // namespace
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void setEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+int histogramBucket(std::uint64_t v) {
+  if (v == 0) return 0;
+  const int b = std::bit_width(v);  // 1..64
+  return b > kHistogramBuckets - 1 ? kHistogramBuckets - 1 : b;
+}
+
+// Fixed-geometry chunked slot array: slots are never moved once a chunk
+// is allocated, so the owning thread writes lock-free while merge reads
+// race benignly (a chunk pointer is published with release after its
+// zero-initialization; slot updates are relaxed and land in this
+// snapshot or the next).
+struct Registry::Slab {
+  static constexpr std::uint32_t kChunkSize = 1024;
+  static constexpr std::uint32_t kMaxChunks = 256;
+  std::atomic<std::atomic<std::uint64_t>*> chunks[kMaxChunks] = {};
+
+  ~Slab() {
+    for (auto& c : chunks) delete[] c.load(std::memory_order_relaxed);
+  }
+
+  void add(std::uint32_t slot, std::uint64_t n) {
+    auto& cell = chunks[slot / kChunkSize];
+    auto* chunk = cell.load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new std::atomic<std::uint64_t>[kChunkSize]();
+      cell.store(chunk, std::memory_order_release);
+    }
+    chunk[slot % kChunkSize].fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::uint64_t read(std::uint32_t slot) const {
+    const auto* chunk = chunks[slot / kChunkSize].load(std::memory_order_acquire);
+    if (chunk == nullptr) return 0;
+    return chunk[slot % kChunkSize].load(std::memory_order_relaxed);
+  }
+
+  void zero() {
+    for (auto& cell : chunks) {
+      auto* chunk = cell.load(std::memory_order_relaxed);
+      if (chunk == nullptr) continue;
+      for (std::uint32_t i = 0; i < kChunkSize; ++i)
+        chunk[i].store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+namespace {
+
+struct MetricDesc {
+  std::string name;
+  MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+  // Slab slot base for counters (1 slot) and histograms (buckets +
+  // count + sum); index into Impl::gauges for gauges.
+  std::uint32_t base = 0;
+};
+
+constexpr std::uint32_t kHistogramSlots =
+    static_cast<std::uint32_t>(kHistogramBuckets) + 2;
+constexpr std::uint32_t kCountSlot = kHistogramBuckets;
+constexpr std::uint32_t kSumSlot = kHistogramBuckets + 1;
+
+}  // namespace
+
+struct Registry::Impl {
+  std::uint64_t serial = 0;
+  mutable std::mutex mu;
+  std::vector<MetricDesc> metrics;
+  std::uint32_t nextSlot = 0;
+  std::vector<std::unique_ptr<Slab>> slabs;
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> gauges;
+
+  const MetricDesc& registerMetric(std::string_view name,
+                                   MetricSnapshot::Kind kind,
+                                   std::uint32_t slots) {
+    std::lock_guard<std::mutex> lk(mu);
+    for (const MetricDesc& m : metrics) {
+      if (m.name == name) {
+        if (m.kind != kind)
+          throw std::logic_error("obs: metric '" + m.name +
+                                 "' re-registered under a different kind");
+        return m;
+      }
+    }
+    MetricDesc d;
+    d.name = std::string(name);
+    d.kind = kind;
+    if (kind == MetricSnapshot::Kind::kGauge) {
+      d.base = static_cast<std::uint32_t>(gauges.size());
+      gauges.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+    } else {
+      constexpr std::uint32_t kCapacity = Slab::kChunkSize * Slab::kMaxChunks;
+      if (nextSlot + slots > kCapacity)
+        throw std::logic_error("obs: registry slot capacity exhausted");
+      d.base = nextSlot;
+      nextSlot += slots;
+    }
+    metrics.push_back(std::move(d));
+    return metrics.back();
+  }
+
+  std::uint64_t sumSlot(std::uint32_t slot) const {
+    std::uint64_t total = 0;
+    for (const auto& s : slabs) total += s->read(slot);
+    return total;
+  }
+};
+
+namespace {
+
+// POD thread-local cache mapping (registry, serial) -> this thread's
+// slab.  Trivially destructible on purpose: no TLS guard on the hot
+// path, and no destructor ordering hazards at thread exit (slabs are
+// owned by the registry, which outlives its writers).
+struct TlsEntry {
+  const void* reg;
+  std::uint64_t serial;
+  Registry::Slab* slab;
+};
+constexpr int kTlsEntries = 4;
+thread_local TlsEntry g_tlsSlabs[kTlsEntries];
+
+}  // namespace
+
+Registry& Registry::global() {
+  // Leaked on purpose: handles and thread-local slab pointers must stay
+  // valid through static destruction of other translation units.
+  static Registry* const g = new Registry();
+  return *g;
+}
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {
+  impl_->serial = g_nextRegistrySerial.fetch_add(1, std::memory_order_relaxed);
+}
+
+Registry::~Registry() = default;
+
+Registry::Slab* Registry::slabForCurrentThread() {
+  for (TlsEntry& e : g_tlsSlabs) {
+    if (e.reg == this && e.serial == impl_->serial) return e.slab;
+  }
+  Slab* slab = nullptr;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->slabs.push_back(std::make_unique<Slab>());
+    slab = impl_->slabs.back().get();
+  }
+  for (TlsEntry& e : g_tlsSlabs) {
+    if (e.reg == nullptr) {
+      e = TlsEntry{this, impl_->serial, slab};
+      return slab;
+    }
+  }
+  g_tlsSlabs[0] = TlsEntry{this, impl_->serial, slab};
+  return slab;
+}
+
+Counter Registry::counter(std::string_view name) {
+  const MetricDesc& d =
+      impl_->registerMetric(name, MetricSnapshot::Kind::kCounter, 1);
+  return Counter(this, d.base);
+}
+
+Gauge Registry::gauge(std::string_view name) {
+  const MetricDesc& d =
+      impl_->registerMetric(name, MetricSnapshot::Kind::kGauge, 0);
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return Gauge(impl_->gauges[d.base].get());
+}
+
+Histogram Registry::histogram(std::string_view name) {
+  const MetricDesc& d = impl_->registerMetric(
+      name, MetricSnapshot::Kind::kHistogram, kHistogramSlots);
+  return Histogram(this, d.base);
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  std::vector<MetricSnapshot> out;
+  out.reserve(impl_->metrics.size());
+  for (const MetricDesc& m : impl_->metrics) {
+    MetricSnapshot s;
+    s.name = m.name;
+    s.kind = m.kind;
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.value = impl_->sumSlot(m.base);
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.gaugeValue =
+            impl_->gauges[m.base]->load(std::memory_order_relaxed);
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        s.buckets.resize(kHistogramBuckets);
+        for (int b = 0; b < kHistogramBuckets; ++b)
+          s.buckets[static_cast<std::size_t>(b)] =
+              impl_->sumSlot(m.base + static_cast<std::uint32_t>(b));
+        s.count = impl_->sumSlot(m.base + kCountSlot);
+        s.sum = impl_->sumSlot(m.base + kSumSlot);
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Registry::renderPrometheus() const {
+  std::string out;
+  for (const MetricSnapshot& s : snapshot()) {
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        out += "# TYPE " + s.name + " counter\n";
+        out += s.name + " " + std::to_string(s.value) + "\n";
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        out += "# TYPE " + s.name + " gauge\n";
+        out += s.name + " " + std::to_string(s.gaugeValue) + "\n";
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        out += "# TYPE " + s.name + " histogram\n";
+        int top = kHistogramBuckets - 1;
+        while (top > 0 && s.buckets[static_cast<std::size_t>(top)] == 0) --top;
+        std::uint64_t cum = 0;
+        for (int b = 0; b <= top; ++b) {
+          cum += s.buckets[static_cast<std::size_t>(b)];
+          // Bucket b holds values with bit_width b: inclusive upper
+          // bound 2^b - 1 (bucket 0 holds only the value 0).
+          const std::uint64_t le =
+              b == 0 ? 0
+                     : (b >= 64 ? ~0ull : (std::uint64_t{1} << b) - 1);
+          out += s.name + "_bucket{le=\"" + std::to_string(le) + "\"} " +
+                 std::to_string(cum) + "\n";
+        }
+        out += s.name + "_bucket{le=\"+Inf\"} " + std::to_string(s.count) +
+               "\n";
+        out += s.name + "_sum " + std::to_string(s.sum) + "\n";
+        out += s.name + "_count " + std::to_string(s.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::uint64_t Registry::counterValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (const MetricDesc& m : impl_->metrics) {
+    if (m.name == name && m.kind == MetricSnapshot::Kind::kCounter)
+      return impl_->sumSlot(m.base);
+  }
+  return 0;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  for (const auto& s : impl_->slabs) s->zero();
+  for (const auto& g : impl_->gauges) g->store(0, std::memory_order_relaxed);
+}
+
+void Counter::inc(std::uint64_t n) const {
+  if (reg_ == nullptr || !enabled()) return;
+  reg_->slabForCurrentThread()->add(slot_, n);
+}
+
+void Gauge::set(std::int64_t v) const {
+  if (cell_ == nullptr || !enabled()) return;
+  cell_->store(v, std::memory_order_relaxed);
+}
+
+void Gauge::add(std::int64_t d) const {
+  if (cell_ == nullptr || !enabled()) return;
+  cell_->fetch_add(d, std::memory_order_relaxed);
+}
+
+std::int64_t Gauge::value() const {
+  return cell_ == nullptr ? 0 : cell_->load(std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::uint64_t v) const {
+  if (reg_ == nullptr || !enabled()) return;
+  Registry::Slab* slab = reg_->slabForCurrentThread();
+  slab->add(base_ + static_cast<std::uint32_t>(histogramBucket(v)), 1);
+  slab->add(base_ + kCountSlot, 1);
+  slab->add(base_ + kSumSlot, v);
+}
+
+ScopedTimer::ScopedTimer(Histogram h) : h_(h) {
+  if (h_.reg_ != nullptr && enabled()) {
+    armed_ = true;
+    start_ = std::chrono::steady_clock::now();
+  }
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!armed_) return;
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+  h_.observe(ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+}
+
+}  // namespace ssno::obs

@@ -1,0 +1,164 @@
+#ifndef SSNO_OBS_METRICS_HPP
+#define SSNO_OBS_METRICS_HPP
+
+// Low-overhead metrics registry: named counters, gauges and log2-bucket
+// histograms.  Hot-path writes go to per-thread slabs of relaxed atomics
+// (no locks, no false sharing with readers); reads merge every slab by
+// summation, which is associative and commutative, so a merged snapshot
+// is bit-identical regardless of thread count or interleaving.
+//
+// Naming convention (see README "Observability"): snake_case,
+// `<area>_<what>_total` for counters, `<area>_<what>` for gauges,
+// `<area>_<what>_ns` (or another explicit unit) for histograms.  Areas
+// in use: sim_, sync_, mc_, serve_, resil_, exp_.
+//
+// Cost model: `Counter::inc` on the hot path is one relaxed load of the
+// global enabled flag, a POD thread-local slab lookup, and one relaxed
+// fetch_add — a few ns.  Histogram::observe adds two more fetch_adds.
+// ScopedTimer reads the steady clock twice; keep it off per-step paths.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssno::obs {
+
+/// Global kill switch.  Disabled => every write is a single relaxed
+/// load-and-return.  Enabled by default (the <2% overhead budget is for
+/// the enabled-but-idle state; see BENCH_obs.json).
+bool enabled();
+void setEnabled(bool on);
+
+class Registry;
+
+/// Number of log2 histogram buckets.  Bucket 0 holds the value 0,
+/// bucket b (1..63) holds values with bit_width b, i.e. [2^(b-1), 2^b).
+inline constexpr int kHistogramBuckets = 64;
+
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::uint64_t value = 0;                // counter total
+  std::int64_t gaugeValue = 0;            // gauge value
+  std::vector<std::uint64_t> buckets;     // histogram per-bucket counts
+  std::uint64_t count = 0;                // histogram observation count
+  std::uint64_t sum = 0;                  // histogram sum of values
+};
+
+/// Cheap POD handle; copy freely.  Valid as long as its Registry lives
+/// (handles on Registry::global() are valid forever).
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t n = 1) const;
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, std::uint32_t slot) : reg_(reg), slot_(slot) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t slot_ = 0;
+};
+
+/// A single process-global cell (not sharded): gauges represent a
+/// current level, which does not merge by summation.  Set/add are
+/// relaxed atomics; intended for low-frequency updates (queue depth at
+/// render time, load factor at a level barrier), not per-step paths.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t v) const;
+  void add(std::int64_t d) const;
+  std::int64_t value() const;
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::atomic<std::int64_t>* cell) : cell_(cell) {}
+  std::atomic<std::int64_t>* cell_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::uint64_t v) const;
+
+ private:
+  friend class Registry;
+  friend class ScopedTimer;
+  Histogram(Registry* reg, std::uint32_t base) : reg_(reg), base_(base) {}
+  Registry* reg_ = nullptr;
+  std::uint32_t base_ = 0;
+};
+
+/// Feeds elapsed nanoseconds into a histogram on destruction.  Pays two
+/// steady_clock reads when telemetry is enabled; reads no clock at all
+/// when disabled.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram h);
+  ~ScopedTimer();
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram h_;
+  std::chrono::steady_clock::time_point start_{};
+  bool armed_ = false;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every engine instruments against.
+  /// Never destroyed (function-local static), so handles and cached
+  /// thread-local slab pointers stay valid for the process lifetime.
+  static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Idempotent: the same name always returns a handle onto the same
+  /// metric.  Registering a name under two different kinds throws.
+  Counter counter(std::string_view name);
+  Gauge gauge(std::string_view name);
+  Histogram histogram(std::string_view name);
+
+  /// Deterministic merged view, sorted by name.  Safe to call while
+  /// writers are active (relaxed reads; a racing increment lands in
+  /// this snapshot or the next, never torn).
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Prometheus text exposition built from snapshot().
+  std::string renderPrometheus() const;
+
+  /// Merged total for one counter (0 when never registered).
+  std::uint64_t counterValue(std::string_view name) const;
+
+  /// Zeroes every slab slot and gauge; keeps registrations and handles
+  /// valid.  Test / bench-rep helper — callers must be quiesced.
+  void reset();
+
+  /// Per-thread slot array (opaque; defined in metrics.cpp).  Public
+  /// only so the thread-local cache in metrics.cpp can name it.
+  struct Slab;
+
+ private:
+  friend class Counter;
+  friend class Histogram;
+  struct Impl;
+  Slab* slabForCurrentThread();
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Log2 bucket index for a histogram value (exposed for tests).
+int histogramBucket(std::uint64_t v);
+
+}  // namespace ssno::obs
+
+#endif  // SSNO_OBS_METRICS_HPP

@@ -1,4 +1,4 @@
-#include "core/stats.hpp"
+#include "obs/stats.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -1,8 +1,10 @@
-// Small statistics helpers for the benchmark harness: summary statistics
-// over repeated runs and a least-squares linear fit used to check the
-// paper's O(n) / O(h) scaling claims empirically.
-#ifndef SSNO_CORE_STATS_HPP
-#define SSNO_CORE_STATS_HPP
+// Offline statistics helpers for the observability/bench layer: summary
+// statistics over repeated runs and a least-squares linear fit used to
+// check the paper's O(n) / O(h) scaling claims empirically.  Online
+// (hot-path) accounting lives in obs/metrics.hpp; these helpers reduce
+// the collected samples after a run.
+#ifndef SSNO_OBS_STATS_HPP
+#define SSNO_OBS_STATS_HPP
 
 #include <vector>
 
@@ -27,4 +29,4 @@ struct LinearFit {
 
 }  // namespace ssno
 
-#endif  // SSNO_CORE_STATS_HPP
+#endif  // SSNO_OBS_STATS_HPP

@@ -1,0 +1,70 @@
+#ifndef SSNO_OBS_TRACE_HPP
+#define SSNO_OBS_TRACE_HPP
+
+// Phase tracer: scoped spans buffered per-thread and emitted as Chrome
+// trace-event JSON ("X" complete events), loadable in Perfetto or
+// chrome://tracing.  Tracing is a separate switch from the metrics
+// enabled flag because a span costs two steady_clock reads — when
+// tracing is off, constructing a TraceSpan is one relaxed load and
+// nothing else, so spans may sit on per-step paths.
+//
+// Span names must be string literals (the tracer stores the pointer).
+// Each span carries up to kMaxSpanArgs integer args (counter snapshots,
+// sizes, depths) shown in the viewer's args pane.
+
+#include <cstdint>
+#include <string>
+
+namespace ssno::obs {
+
+inline constexpr int kMaxSpanArgs = 3;
+
+bool tracingEnabled();
+
+/// Clears any previous trace and starts buffering events.  Times are
+/// relative to this call.
+void startTracing();
+
+/// Stops buffering; events stay available for traceJson()/writeTrace().
+void stopTracing();
+
+/// Drops all buffered events (implicit in startTracing()).
+void clearTrace();
+
+/// Merged Chrome trace JSON: {"traceEvents":[...]}.  Callable after
+/// stopTracing(), or live (captures events published so far).
+std::string traceJson();
+
+/// Writes traceJson() to a file; returns false on IO failure.
+bool writeTrace(const std::string& path);
+
+/// Events dropped because a thread hit its buffer cap (per session).
+std::uint64_t traceDroppedEvents();
+
+class TraceSpan {
+ public:
+  /// `name` must outlive the tracing session — pass a string literal.
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an integer arg (ignored past kMaxSpanArgs or when the
+  /// span is unarmed).  `key` must be a string literal too.
+  void arg(const char* key, std::uint64_t value);
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t t0_ = 0;
+  int argc_ = 0;
+  const char* argKeys_[kMaxSpanArgs] = {};
+  std::uint64_t argVals_[kMaxSpanArgs] = {};
+  bool armed_ = false;
+};
+
+/// Zero-duration instant event (viewer renders a vertical tick).
+void traceInstant(const char* name);
+
+}  // namespace ssno::obs
+
+#endif  // SSNO_OBS_TRACE_HPP

@@ -5,8 +5,22 @@
 
 #include "core/fault.hpp"
 #include "core/scheduler.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ssno::resil {
+
+namespace {
+const obs::Counter kEpisodes =
+    obs::Registry::global().counter("resil_episodes_total");
+const obs::Counter kInjections =
+    obs::Registry::global().counter("resil_injections_total");
+// Whole-step time inside an episode; together with resil_search_ns
+// (fed by SearchingDaemon::choose) this splits a trial into
+// search-the-adversary vs execute-the-protocol time.
+const obs::Histogram kStepNs =
+    obs::Registry::global().histogram("resil_step_ns");
+}  // namespace
 
 EpisodeResult runEpisode(Protocol& protocol, Daemon& daemon, Rng& rng,
                          const EpisodeOptions& options,
@@ -52,6 +66,7 @@ EpisodeResult runEpisode(Protocol& protocol, Daemon& daemon, Rng& rng,
       break;
     }
     if (r.moves >= options.budget) break;
+    const obs::ScopedTimer stepTimer(kStepNs);
     const std::vector<Move>& executed = sim.stepOnce();
     if (executed.empty()) {
       if (firedCount < events.size()) {
@@ -73,6 +88,8 @@ EpisodeResult runEpisode(Protocol& protocol, Daemon& daemon, Rng& rng,
   }
   closeWindow();
   r.rounds = sim.roundsSoFar();
+  kEpisodes.inc();
+  kInjections.inc(static_cast<std::uint64_t>(r.injections));
   return r;
 }
 
@@ -101,7 +118,14 @@ CampaignReport CampaignRunner::run(const CampaignOptions& options) const {
     EpisodeOptions eo;
     eo.budget = options.budget;
     eo.plan = options.plan;
-    EpisodeResult er = runEpisode(*protocol, *daemon, rng, eo, goal);
+    EpisodeResult er;
+    {
+      obs::TraceSpan trialSpan("resil_trial");
+      trialSpan.arg("trial", static_cast<std::uint64_t>(t));
+      er = runEpisode(*protocol, *daemon, rng, eo, goal);
+      trialSpan.arg("moves", static_cast<std::uint64_t>(er.moves));
+      trialSpan.arg("injections", static_cast<std::uint64_t>(er.injections));
+    }
     if (er.converged) ++report.converged;
     moves.push_back(static_cast<double>(er.moves));
     rounds.push_back(static_cast<double>(er.rounds));

@@ -29,7 +29,7 @@
 #include "core/daemon.hpp"
 #include "core/protocol.hpp"
 #include "core/rng.hpp"
-#include "core/stats.hpp"
+#include "obs/stats.hpp"
 #include "core/types.hpp"
 #include "resil/fault_plan.hpp"
 

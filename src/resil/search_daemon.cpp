@@ -5,8 +5,18 @@
 #include <stdexcept>
 
 #include "core/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace ssno::resil {
+
+namespace {
+const obs::Histogram kSearchNs =
+    obs::Registry::global().histogram("resil_search_ns");
+const obs::Counter kScoredMoves =
+    obs::Registry::global().counter("resil_scored_moves_total");
+const obs::Counter kRolloutMoves =
+    obs::Registry::global().counter("resil_rollout_moves_total");
+}  // namespace
 
 SearchingDaemon::SearchingDaemon(Protocol& protocol, int lookahead,
                                  int fairnessBound)
@@ -43,6 +53,8 @@ void SearchingDaemon::legacySelect(std::span<const Move> enabled,
 void SearchingDaemon::choose(std::span<const Move> enabled,
                              std::vector<Move>& out) {
   SSNO_EXPECTS(!enabled.empty());
+  const obs::ScopedTimer searchTimer(kSearchNs);
+  kScoredMoves.inc(enabled.size());
   const auto actions = static_cast<std::size_t>(protocol_->actionCount());
   const auto slots =
       static_cast<std::size_t>(protocol_->graph().nodeCount()) * actions;
@@ -112,6 +124,7 @@ double SearchingDaemon::scoreLookahead(const Move& m) {
   for (int depth = 0; depth < lookahead_; ++depth) {
     rollout_ = protocol_->enabledMoves();
     if (rollout_.empty()) break;
+    kRolloutMoves.inc(rollout_.size());
     Move inner{kNoNode, -1};
     double innerScore = 0.0;
     for (const Move& c : rollout_) {

@@ -7,10 +7,28 @@
 #include <stdexcept>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
+
 namespace ssno::serve {
 namespace {
 
 namespace fs = std::filesystem;
+
+// Mirrors of the cache's own atomics, incremented at the identical
+// sites, so the `metrics` exposition always agrees with the `stats`
+// verb / ResultCache::counters().
+const obs::Counter kCacheHits =
+    obs::Registry::global().counter("serve_cache_hits_total");
+const obs::Counter kCacheMisses =
+    obs::Registry::global().counter("serve_cache_misses_total");
+const obs::Counter kCacheBad =
+    obs::Registry::global().counter("serve_cache_bad_records_total");
+const obs::Counter kCacheStores =
+    obs::Registry::global().counter("serve_cache_stores_total");
+const obs::Counter kCacheStoreFailures =
+    obs::Registry::global().counter("serve_cache_store_failures_total");
+const obs::Counter kCachePruned =
+    obs::Registry::global().counter("serve_cache_pruned_total");
 
 constexpr const char* kMagic = "ssno-result-cache v1";
 
@@ -105,8 +123,17 @@ std::optional<std::string> ResultCache::readRecord(const exp::Scenario& s,
 std::optional<std::string> ResultCache::fetch(const exp::Scenario& s) {
   bool bad = false;
   auto payload = readRecord(s, keyHex(s), &bad);
-  if (bad) ++badRecords_;
-  if (payload) ++hits_; else ++misses_;
+  if (bad) {
+    ++badRecords_;
+    kCacheBad.inc();
+  }
+  if (payload) {
+    ++hits_;
+    kCacheHits.inc();
+  } else {
+    ++misses_;
+    kCacheMisses.inc();
+  }
   return payload;
 }
 
@@ -119,13 +146,18 @@ std::optional<exp::ScenarioResult> ResultCache::fetchResult(
       exp::ScenarioResult r = exp::parseResultPayload(*payload);
       r.scenario = s;
       ++hits_;
+      kCacheHits.inc();
       return r;
     } catch (const std::invalid_argument&) {
       bad = true;  // structurally sound record, semantically unusable
     }
   }
-  if (bad) ++badRecords_;
+  if (bad) {
+    ++badRecords_;
+    kCacheBad.inc();
+  }
   ++misses_;
+  kCacheMisses.inc();
   return std::nullopt;
 }
 
@@ -150,6 +182,7 @@ bool ResultCache::store(const exp::Scenario& s, std::string_view payload) {
     if (!out) {
       fs::remove(temp, ec);
       ++storeFailures_;
+      kCacheStoreFailures.inc();
       return false;
     }
   }
@@ -157,9 +190,11 @@ bool ResultCache::store(const exp::Scenario& s, std::string_view payload) {
   if (ec) {
     fs::remove(temp, ec);
     ++storeFailures_;
+    kCacheStoreFailures.inc();
     return false;
   }
   ++stores_;
+  kCacheStores.inc();
   return true;
 }
 
@@ -211,6 +246,7 @@ ResultCache::PruneStats ResultCache::prune(std::uint64_t maxBytes) {
     ++stats.kept;
     stats.bytesKept += r.bytes;
   }
+  kCachePruned.inc(stats.removed);
   return stats;
 }
 

@@ -20,10 +20,34 @@
 
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
+#include "obs/metrics.hpp"
 #include "serve/json.hpp"
 
 namespace ssno::serve {
 namespace {
+
+const obs::Counter kRequests =
+    obs::Registry::global().counter("serve_requests_total");
+const obs::Counter kErrors =
+    obs::Registry::global().counter("serve_errors_total");
+
+/// Per-verb latency histogram (ns), covering dispatch through the last
+/// byte written (so `result` includes streaming time).
+obs::Histogram verbHistogram(const std::string& v) {
+  obs::Registry& reg = obs::Registry::global();
+  static const obs::Histogram submit = reg.histogram("serve_verb_submit_ns");
+  static const obs::Histogram status = reg.histogram("serve_verb_status_ns");
+  static const obs::Histogram result = reg.histogram("serve_verb_result_ns");
+  static const obs::Histogram stats = reg.histogram("serve_verb_stats_ns");
+  static const obs::Histogram metrics = reg.histogram("serve_verb_metrics_ns");
+  static const obs::Histogram other = reg.histogram("serve_verb_other_ns");
+  if (v == "submit" || v == "resume") return submit;
+  if (v == "status" || v == "cancel") return status;
+  if (v == "result") return result;
+  if (v == "stats" || v == "prune") return stats;
+  if (v == "metrics") return metrics;
+  return other;
+}
 
 void emitLine(std::ostream& out, const JsonValue::Object& fields) {
   out << JsonValue(fields).dump() << "\n" << std::flush;
@@ -114,6 +138,7 @@ ExpServer::ExpServer(SchedulerOptions options)
     : scheduler_(options), cache_(options.cache) {}
 
 void ExpServer::handleLine(const std::string& line, std::ostream& out) {
+  kRequests.inc();
   JsonValue req;
   try {
     req = JsonValue::parse(line);
@@ -121,6 +146,7 @@ void ExpServer::handleLine(const std::string& line, std::ostream& out) {
     if (verb == nullptr)
       throw std::invalid_argument("request needs a \"verb\"");
     const std::string& v = verb->asString();
+    const obs::ScopedTimer verbTimer(verbHistogram(v));
 
     if (v == "submit" || v == "resume") {
       const int priority =
@@ -263,6 +289,20 @@ void ExpServer::handleLine(const std::string& line, std::ostream& out) {
       return;
     }
 
+    if (v == "metrics") {
+      // Level-style gauges are sampled here, at render time, so the
+      // worker pool pays nothing for them between metrics requests.
+      const SchedulerStats ss = scheduler_.stats();
+      obs::Registry& reg = obs::Registry::global();
+      reg.gauge("serve_queue_depth")
+          .set(static_cast<std::int64_t>(ss.queueDepth));
+      reg.gauge("serve_workers").set(static_cast<std::int64_t>(ss.workers));
+      reg.gauge("serve_busy_workers")
+          .set(static_cast<std::int64_t>(ss.busyWorkers));
+      emitLine(out, {{"ok", true}, {"metrics", reg.renderPrometheus()}});
+      return;
+    }
+
     if (v == "shutdown") {
       requestShutdown();
       emitLine(out, {{"ok", true}, {"shutdown", true}});
@@ -271,6 +311,7 @@ void ExpServer::handleLine(const std::string& line, std::ostream& out) {
 
     throw std::invalid_argument("unknown verb '" + v + "'");
   } catch (const std::exception& e) {
+    kErrors.inc();
     emitLine(out, errorObject(e.what()));
   }
 }

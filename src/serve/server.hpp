@@ -25,6 +25,11 @@
 //          "failed":F,"cancelled":B}
 //   {"verb":"cancel","job":J}    → {"ok":true,"job":J,"cancelled":B}
 //   {"verb":"stats"}             → cache + scheduler counters
+//   {"verb":"metrics"}
+//       → {"ok":true,"metrics":"<Prometheus text exposition>"}; the
+//         text is built from the process-wide obs::Registry (serve_*
+//         request/latency/cache series plus every instrumented engine)
+//         with queue-depth/worker gauges sampled at render time
 //   {"verb":"prune","max_bytes":N}
 //       → {"ok":true,"removed":R,"kept":K,"bytes_removed":BR,
 //          "bytes_kept":BK}      (LRU-prunes the result cache to N

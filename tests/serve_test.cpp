@@ -21,6 +21,7 @@
 #include "exp/canon.hpp"
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
+#include "obs/metrics.hpp"
 #include "serve/json.hpp"
 
 namespace ssno::serve {
@@ -314,6 +315,69 @@ TEST(Server, PruneVerbEvictsOldRecordsAndReportsCounts) {
   EXPECT_GT(lines[2].find("bytes_kept")->asInt(), 0);
   EXPECT_FALSE(fs::exists(oldPath));  // the older record was the victim
   EXPECT_TRUE(fs::exists(newPath));
+}
+
+/// "name value" lookup in a Prometheus text exposition (exact-name
+/// match; skips # comments, _bucket/_sum/_count series unless asked
+/// for explicitly).
+std::uint64_t promValue(const std::string& text, const std::string& name) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(name + " ", 0) == 0)
+      return std::stoull(line.substr(name.size() + 1));
+  }
+  ADD_FAILURE() << "metric '" << name << "' not in exposition";
+  return 0;
+}
+
+TEST(Server, MetricsVerbMatchesCacheCountersAndSurvivesBadRequests) {
+  const std::string dir = freshDir("srv-metrics");
+  ResultCache cache(dir);
+  SchedulerOptions opt;
+  opt.workers = 1;
+  opt.cache = &cache;
+  ExpServer server(opt);
+
+  // The process-wide registry accumulates across tests in this binary,
+  // so assert on deltas, not absolute values.
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t requests0 = reg.counterValue("serve_requests_total");
+  const std::uint64_t hits0 = reg.counterValue("serve_cache_hits_total");
+  const std::uint64_t misses0 = reg.counterValue("serve_cache_misses_total");
+
+  const auto lines = session(
+      server,
+      {R"({"verb":"submit","target":"dftc/central/ring:16","trials":2})",
+       R"({"verb":"result","job":1})",  // cold: one miss, one store
+       R"({"verb":"submit","target":"dftc/central/ring:16","trials":2})",
+       R"({"verb":"result","job":2})",  // warm: one hit
+       "definitely not json",           // malformed: ok:false, no crash
+       R"({"verb":"metrics"})"});       // still answered after the error
+  ASSERT_EQ(lines.size(), 8u);  // 2×(submit+row+summary) + err + metrics
+  EXPECT_FALSE(lines[6].find("ok")->asBool());
+  const JsonValue& last = lines.back();
+  ASSERT_TRUE(last.find("ok")->asBool());
+  const std::string text = last.find("metrics")->asString();
+
+  // Parseable exposition with the serve series present and counting.
+  EXPECT_NE(text.find("# TYPE serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_EQ(promValue(text, "serve_requests_total") - requests0, 6u);
+
+  // The cache series must agree exactly with the cache's own counters
+  // (they are incremented at the identical sites).
+  const ResultCache::Counters c = cache.counters();
+  EXPECT_EQ(promValue(text, "serve_cache_hits_total") - hits0, c.hits);
+  EXPECT_EQ(promValue(text, "serve_cache_misses_total") - misses0, c.misses);
+  EXPECT_GT(c.hits, 0u);
+  EXPECT_GT(c.misses, 0u);
+
+  // Per-verb latency histograms exist for the verbs this session used.
+  EXPECT_NE(text.find("# TYPE serve_verb_submit_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_verb_metrics_ns histogram"),
+            std::string::npos);
 }
 
 TEST(Server, PruneWithoutACacheIsAnErrorNotACrash) {

@@ -1,5 +1,5 @@
 // Unit tests for the statistics helpers used by the bench harness.
-#include "core/stats.hpp"
+#include "obs/stats.hpp"
 
 #include <gtest/gtest.h>
 

@@ -56,6 +56,17 @@ FLOOR of 2x on rows where the committed baseline reached 2x (a
 collapse toward 1x means the worst-case search degenerated into a
 random walk).  Raw move counts ride along for the trajectory.
 
+``obs/...`` rows (BENCH_obs.json, the telemetry-overhead preset) gate
+the always-on telemetry budget: ``obs_overhead_pct`` — how much faster
+the same ring:1e5 hot loop runs with telemetry disabled, in percent —
+must stay below the OVERHEAD CEILING (--max-obs-overhead, default 2.0).
+The on/off absolute rates ride along for the trajectory.
+
+A malformed BENCH file — a row without "scenario"/"metrics", or a
+committed baseline that lacks a gated field the fresh run records —
+fails with a clear message naming the file and field instead of a
+KeyError traceback; the fix for a stale baseline is to re-record it.
+
 Usage: check_perf_regression.py BASELINE.json FRESH.json [--min-ratio R]
 """
 import argparse
@@ -68,13 +79,32 @@ SCHEDULER_GATES = ("speedup", "bitmask_speedup", "sync_speedup",
 
 
 def by_scenario(path):
+    """{scenario name: row}, validating the shape every branch below
+    relies on — a malformed file must die with the path and the problem,
+    not a KeyError traceback deep inside a gate."""
     with open(path) as f:
-        return {row["scenario"]: row for row in json.load(f)}
+        rows = json.load(f)
+    if not isinstance(rows, list):
+        raise SystemExit(f"{path}: expected a JSON array of scenario rows")
+    out = {}
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict) or "scenario" not in row:
+            raise SystemExit(f"{path}: row {i} has no \"scenario\" field")
+        if not isinstance(row.get("metrics"), dict):
+            raise SystemExit(
+                f"{path}: row \"{row['scenario']}\" has no \"metrics\" object")
+        out[row["scenario"]] = row
+    return out
 
 
 def mean(row, metric):
     m = row["metrics"].get(metric)
-    return None if m is None else m["mean"]
+    return None if m is None else m.get("mean")
+
+
+def fmt(v, spec=".0f"):
+    """Format a possibly-missing number without a TypeError."""
+    return "missing" if v is None else format(v, spec)
 
 
 def main():
@@ -82,6 +112,8 @@ def main():
     ap.add_argument("baseline")
     ap.add_argument("fresh")
     ap.add_argument("--min-ratio", type=float, default=0.5)
+    ap.add_argument("--max-obs-overhead", type=float, default=2.0,
+                    help="ceiling for obs_overhead_pct on obs/ rows")
     args = ap.parse_args()
 
     baseline = by_scenario(args.baseline)
@@ -98,8 +130,10 @@ def main():
             hits = mean(fresh_row, "cache_hits") or 0
             byte_id = mean(fresh_row, "byte_identity")
             resume_id = mean(fresh_row, "resume_identity")
+            metrics_ok = mean(fresh_row, "metrics_ok")
             print(f"{name}: cache_hits {hits:.0f}  "
                   f"byte_identity {byte_id}  resume_identity {resume_id}  "
+                  f"metrics_ok {metrics_ok}  "
                   f"(correctness-gated; timing trajectory-only)")
             if hits < 1:
                 failures.append(f"{name}: no cache hits in the smoke load")
@@ -108,6 +142,25 @@ def main():
             if resume_id != 1:
                 failures.append(
                     f"{name}: SIGKILL-resumed report differs from reference")
+            if metrics_ok != 1:
+                failures.append(
+                    f"{name}: metrics verb exposition missing or inconsistent "
+                    "with the stats verb")
+            continue
+        if name.startswith("obs/"):
+            pct = mean(fresh_row, "obs_overhead_pct")
+            on = mean(fresh_row, "telemetry_on_moves_per_sec")
+            off = mean(fresh_row, "telemetry_off_moves_per_sec")
+            print(f"{name}: telemetry on {fmt(on)} moves/s, "
+                  f"off {fmt(off)} moves/s, overhead {fmt(pct, '.2f')}% "
+                  f"(ceiling {args.max_obs_overhead}%)")
+            if pct is None:
+                failures.append(
+                    f"{name}: obs_overhead_pct missing from fresh run")
+            elif pct > args.max_obs_overhead:
+                failures.append(
+                    f"{name}: telemetry overhead {pct:.2f}% exceeds the "
+                    f"{args.max_obs_overhead}% ceiling")
             continue
         if name.startswith("resilience/"):
             rerun = mean(fresh_row, "rerun_identity")
@@ -141,22 +194,37 @@ def main():
                     f"cores={base_cores or '?'}->{fresh_cores or '?'}: "
                     "single-core, speedup not gated")
             print(f"{name}: verdicts_agree {agree:.0f}  "
-                  f"mc_states_per_sec {rate:.0f}  speedup x{ratio:.2f} "
-                  f"({note})")
+                  f"mc_states_per_sec {fmt(rate)}  "
+                  f"speedup x{fmt(ratio, '.2f')} ({note})")
             if agree < 1:
                 failures.append(f"{name}: parallel/sequential verdicts disagree")
             if multi_core:
                 base = mean(base_row, "speedup")
-                r = ratio / base if base else float("inf")
-                if r < args.min_ratio:
+                if ratio is None:
+                    failures.append(f"{name}: speedup missing from fresh run")
+                elif base is None:
                     failures.append(
-                        f"{name}: model-check speedup regressed to x{r:.2f}")
+                        f"{name}: committed baseline lacks \"speedup\", which "
+                        "the fresh run records — re-record the baseline")
+                else:
+                    r = ratio / base if base else float("inf")
+                    if r < args.min_ratio:
+                        failures.append(
+                            f"{name}: model-check speedup regressed to x{r:.2f}")
             continue
         for gate in SCHEDULER_GATES:
             base = mean(base_row, gate)
             new = mean(fresh_row, gate)
+            if base is None and new is None:
+                continue  # metric not applicable to this row
             if base is None:
-                continue  # metric not recorded for this row
+                # The fresh build records a gate the committed baseline
+                # never saw: a silent skip here would leave the new gate
+                # permanently ungated.  Fail loudly instead.
+                failures.append(
+                    f"{name}: committed baseline lacks \"{gate}\", which the "
+                    "fresh run records — re-record the baseline")
+                continue
             if new is None:
                 failures.append(f"{name}: {gate} missing from fresh run")
                 continue
@@ -164,7 +232,7 @@ def main():
             status = "OK" if ratio >= args.min_ratio else "REGRESSION"
             print(f"{name}: {gate} {base:.1f}x -> {new:.1f}x "
                   f"(x{ratio:.2f} of baseline, floor x{args.min_ratio})  "
-                  f"{status};  {INFO} {mean(fresh_row, INFO):.0f}")
+                  f"{status};  {INFO} {fmt(mean(fresh_row, INFO))}")
             if ratio < args.min_ratio:
                 failures.append(f"{name}: {gate} regressed to x{ratio:.2f}")
     if failures:

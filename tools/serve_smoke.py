@@ -12,10 +12,15 @@ repeating workload and prove the service's two load-bearing claims:
      is byte-identical to an uninterrupted run computed without any
      cache at all.
 
+Also exercises the telemetry surface: the `metrics` verb must return a
+parseable Prometheus exposition with a live serve_requests_total and
+cache counters that agree with the `stats` verb, and a malformed
+request must answer ok:false without killing the session.
+
 Emits a BENCH_serve.json row (scenario "serve/smoke") whose gated
 metrics are correctness flags only — cache_hits, byte_identity,
-resume_identity — timing fields ride along for the trajectory but are
-never gated (see check_perf_regression.py).
+resume_identity, metrics_ok — timing fields ride along for the
+trajectory but are never gated (see check_perf_regression.py).
 
 Usage: serve_smoke.py --exp-serve BIN --exp-cli BIN --scenarios FILE
                       [--workdir DIR] [--json OUT]
@@ -63,6 +68,12 @@ class Client:
         self.f.flush()
         return json.loads(self.f.readline())
 
+    def raw_call(self, line):
+        """Send `line` verbatim (deliberately malformed requests)."""
+        self.f.write(line + "\n")
+        self.f.flush()
+        return json.loads(self.f.readline())
+
     def stream_result(self, job):
         """All `result` lines for `job`: rows then the summary line."""
         self.f.write(json.dumps({"verb": "result", "job": job}) + "\n")
@@ -94,6 +105,23 @@ def start_server(exp_serve, sock_path, cache_dir):
             raise SystemExit("exp_serve exited during startup")
         time.sleep(0.05)
     raise SystemExit(f"exp_serve never created {sock_path}")
+
+
+def parse_prometheus(text):
+    """Prometheus text exposition -> {metric_name: float}.  Series with
+    labels (histogram buckets) keep the label suffix in the key; a line
+    that fails to parse is a hard error (the exposition must be valid).
+    """
+    values = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise SystemExit(f"unparseable exposition line: {line!r}")
+        values[name] = float(value)
+    return values
 
 
 def reassemble_csv(lines, header):
@@ -154,6 +182,26 @@ def main():
         assert stats["ok"], stats
         hits = stats["hits"]
 
+        # --- Telemetry: the metrics verb must return a parseable
+        # Prometheus exposition whose serve counters are live, and whose
+        # cache series agree with the stats verb; a malformed metrics
+        # request answers ok:false without killing the session. --------
+        met = c.call(verb="metrics")
+        assert met["ok"], met
+        exposition = parse_prometheus(met["metrics"])
+        requests_total = exposition.get("serve_requests_total", 0)
+        metrics_ok = int(
+            requests_total > 0
+            and exposition.get("serve_cache_hits_total") == stats["hits"]
+            and exposition.get("serve_cache_misses_total") == stats["misses"])
+        bad = c.raw_call('{"verb":"metrics", this is not json}')
+        again = c.call(verb="metrics")
+        metrics_ok = int(metrics_ok
+                         and not bad.get("ok", True)   # malformed -> ok:false
+                         and again["ok"])              # session survived
+        print(f"serve_smoke: metrics verb requests_total {requests_total}, "
+              f"metrics_ok {metrics_ok}")
+
         # Direct CLI over the same cache: warm, byte-identical.
         cli_csv = run_cli_csv(args.exp_cli, args.scenarios, cache_dir,
                               workdir)
@@ -201,6 +249,7 @@ def main():
             "cache_hits": {"mean": float(hits)},
             "byte_identity": {"mean": float(byte_identity)},
             "resume_identity": {"mean": float(resume_identity)},
+            "metrics_ok": {"mean": float(metrics_ok)},
             "smoke_seconds": {"mean": elapsed},  # trajectory only
         },
     }
@@ -210,7 +259,7 @@ def main():
             f.write("\n")
         print(f"wrote {args.json}")
 
-    ok = byte_identity and resume_identity and hits > 0
+    ok = byte_identity and resume_identity and hits > 0 and metrics_ok
     print("serve_smoke:", "PASSED" if ok else "FAILED")
     return 0 if ok else 1
 
