@@ -25,6 +25,11 @@
 //                 (load in Perfetto or chrome://tracing)
 //   --metrics F   write the Prometheus text exposition of every obs
 //                 counter/gauge/histogram after the run (- for stdout)
+//   --timing      opt-in timing breakdown: stamp each trial's
+//                 sim_guard_evals_total delta and report a
+//                 guard_evals_per_sec rate in the JSON "timing" object
+//                 (counters are process-wide — meaningful at --threads 1;
+//                 default off, so reports stay byte-identical)
 //   --quiet       suppress the human-readable table
 #include <cstdio>
 #include <fstream>
@@ -57,7 +62,7 @@ int usage() {
                "options: [--trials N] [--threads N] [--seed S] [--budget B]\n"
                "         [--rate R] [--only NAME] [--cache-dir DIR]\n"
                "         [--csv FILE] [--json FILE] [--trace-out FILE]\n"
-               "         [--metrics FILE] [--quiet]\n");
+               "         [--metrics FILE] [--timing] [--quiet]\n");
   return 2;
 }
 
@@ -72,7 +77,7 @@ void listScenarios() {
       "  protocols: dftno stno stno-fixed-tree dftno-churn baseline-churn\n"
       "             dftc bfs-tree lex-dfs-tree dftno-recovery stno-recovery\n"
       "             stno-crash-reset ablation-naming space chordal-props\n"
-      "             routing scheduler\n"
+      "             routing scheduler guard-kernel\n"
       "             model-check[:dftc|:dftno|:dftc-fault]\n"
       "  daemons:   central distributed synchronous round-robin adversarial\n"
       "  topology:  ring:N path:N star:N complete:N hypercube:D grid:RxC\n"
@@ -121,6 +126,7 @@ int main(int argc, char** argv) {
   std::optional<double> rate;
   std::string csvPath, jsonPath, only, cacheDir, tracePath, metricsPath;
   bool quiet = false;
+  bool timing = false;
   try {
     for (std::size_t i = optionsFrom; i < args.size(); ++i) {
       auto value = [&]() -> std::string {
@@ -139,6 +145,7 @@ int main(int argc, char** argv) {
       else if (args[i] == "--json") jsonPath = value();
       else if (args[i] == "--trace-out") tracePath = value();
       else if (args[i] == "--metrics") metricsPath = value();
+      else if (args[i] == "--timing") timing = true;
       else if (args[i] == "--quiet") quiet = true;
       else if (args[i] == "--scenarios") scenarioFile = value();
       else throw std::invalid_argument("unknown option " + args[i]);
@@ -181,7 +188,8 @@ int main(int argc, char** argv) {
     if (!cacheDir.empty())
       cache = std::make_unique<ssno::serve::ResultCache>(cacheDir);
 
-    const ExperimentRunner runner(threads.value_or(0));
+    ExperimentRunner runner(threads.value_or(0));
+    runner.setTimingBreakdown(timing);
     if (!tracePath.empty()) ssno::obs::startTracing();
     const std::vector<ScenarioResult> results =
         ssno::serve::runAllCached(runner, scenarios, cache.get());

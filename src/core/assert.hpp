@@ -37,4 +37,14 @@ namespace ssno::detail {
           : ::ssno::detail::contract_violation("invariant", #cond,      \
                                                __FILE__, __LINE__))
 
+// Debug-only variant for checks that are NOT negligible — e.g. a full
+// scalar guard re-evaluation per move inside the batched execution
+// kernels, where the check would cost more than the code it guards.
+// Release builds compile the condition out entirely.
+#ifndef NDEBUG
+#define SSNO_DBG_ASSERT(cond) SSNO_ASSERT(cond)
+#else
+#define SSNO_DBG_ASSERT(cond) static_cast<void>(0)
+#endif
+
 #endif  // SSNO_CORE_ASSERT_HPP

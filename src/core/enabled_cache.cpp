@@ -48,6 +48,23 @@ std::uint64_t EnabledCache::guardMask(NodeId p) const {
   return mask;
 }
 
+void EnabledCache::evaluateBatch(std::span<const NodeId> nodes,
+                                 std::uint64_t* masks) {
+  if (scalar_guard_eval_) {
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+      masks[i] = guardMask(nodes[i]);
+    return;
+  }
+  protocol_.evaluateGuards(nodes, masks);
+#ifndef NDEBUG
+  // Cross-check: a protocol's batch kernel must be bit-identical to the
+  // scalar virtual path (same pattern as the incremental-vs-naive view
+  // cross-check in refreshView).
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    SSNO_ASSERT(masks[i] == guardMask(nodes[i]));
+#endif
+}
+
 void EnabledCache::rebuildFenwick() {
   // Linear build: seed each slot with its node's move count, then fold
   // every slot into its Fenwick parent.
@@ -77,9 +94,16 @@ void EnabledCache::rebuildAll() {
   nodeBits_.reset();
   moveCount_ = 0;
   nodeCount_ = 0;
+  // Full rescans batch the identity node list straight into mask_ —
+  // one evaluateGuards call instead of n virtual guardMask loops.
+  if (allNodes_.empty() && n_ > 0) {
+    allNodes_.resize(static_cast<std::size_t>(n_));
+    for (NodeId p = 0; p < n_; ++p)
+      allNodes_[static_cast<std::size_t>(p)] = p;
+  }
+  evaluateBatch(allNodes_, mask_.data());
   for (NodeId p = 0; p < n_; ++p) {
-    const std::uint64_t mask = guardMask(p);
-    mask_[static_cast<std::size_t>(p)] = mask;
+    const std::uint64_t mask = mask_[static_cast<std::size_t>(p)];
     if (mask != 0) {
       nodeBits_.set(static_cast<std::size_t>(p));
       ++nodeCount_;
@@ -90,8 +114,7 @@ void EnabledCache::rebuildAll() {
   movesStale_ = true;
 }
 
-void EnabledCache::updateNode(NodeId p) {
-  const std::uint64_t mask = guardMask(p);
+void EnabledCache::applyMask(NodeId p, std::uint64_t mask) {
   auto& cached = mask_[static_cast<std::size_t>(p)];
   if (mask == cached) return;
   const int delta = bits::popcount(mask) - bits::popcount(cached);
@@ -110,7 +133,7 @@ void EnabledCache::updateNode(NodeId p) {
   }
   if (delta != 0) {
     moveCount_ += delta;
-    fenwickAdd(p, delta);
+    if (!deferFenwick_) fenwickAdd(p, delta);
   }
   movesStale_ = true;
 }
@@ -128,13 +151,52 @@ const EnabledView& EnabledCache::refreshView() {
     // naive mode is forced, in which case every refresh rescans.
     primed_ = !force_naive_;
   } else {
-    std::uint64_t dirty = 0;
-    for (NodeId p : protocol_.dirtyNodes()) {
-      updateNode(p);
-      ++dirty;
-    }
-    if (dirty > 0) {
-      statEvals_ += dirty * static_cast<std::uint64_t>(actions_);
+    // Feed the dirty set through the protocol's batch evaluator in one
+    // node-sorted batch (the evaluateGuards ordering contract), then
+    // patch the representation mask by mask.
+    const std::vector<NodeId>& dirtyNodes = protocol_.dirtyNodes();
+    if (dirtyNodes.empty()) {
+      // nothing to patch
+    } else if (scalar_guard_eval_) {
+      // The historical refresh, step for step: an insertion-ordered
+      // per-node scalar guardMask loop with immediate Fenwick updates.
+      // This is the "before" side of the batch-kernel benchmarks, so it
+      // must not inherit the batch path's dense-refresh machinery.
+      for (const NodeId p : dirtyNodes) applyMask(p, guardMask(p));
+      statEvals_ += static_cast<std::uint64_t>(dirtyNodes.size()) *
+                    static_cast<std::uint64_t>(actions_);
+      if (++statRefreshes_ >= kStatFlushRefreshes) flushStats();
+    } else {
+      // Node-sorted batch (the evaluateGuards ordering contract).  A
+      // dense dirty set — a synchronous step dirties nearly every
+      // processor — recovers the order from the dirty flags with one
+      // sequential scan; sorting the insertion-ordered list would cost
+      // O(n log n) per step and dominates the refresh at large n.
+      const std::size_t n = protocol_.dirtyFlags().size();
+      const bool dense = dirtyNodes.size() >= n / 16;
+      if (dense) {
+        const std::uint8_t* flags = protocol_.dirtyFlags().data();
+        batch_.clear();
+        batch_.reserve(dirtyNodes.size());
+        for (std::size_t p = 0; p < n; ++p)
+          if (flags[p]) batch_.push_back(static_cast<NodeId>(p));
+      } else {
+        batch_.assign(dirtyNodes.begin(), dirtyNodes.end());
+        std::sort(batch_.begin(), batch_.end());
+      }
+      batchMasks_.resize(batch_.size());
+      evaluateBatch(batch_, batchMasks_.data());
+      // Dense patches rebuild the Fenwick tree once in O(n) instead of
+      // paying an O(log n) scattered update per changed node.
+      deferFenwick_ = dense;
+      for (std::size_t i = 0; i < batch_.size(); ++i)
+        applyMask(batch_[i], batchMasks_[i]);
+      if (dense) {
+        deferFenwick_ = false;
+        rebuildFenwick();
+      }
+      statEvals_ += static_cast<std::uint64_t>(batch_.size()) *
+                    static_cast<std::uint64_t>(actions_);
       if (++statRefreshes_ >= kStatFlushRefreshes) flushStats();
     }
   }

@@ -26,6 +26,7 @@
 #define SSNO_CORE_ENABLED_CACHE_HPP
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/bitwords.hpp"
@@ -55,6 +56,11 @@ class EnabledCache {
   /// (for equivalence testing and before/after benchmarking).  The
   /// bitmask view stays valid — it is rebuilt from the scan.
   void setForceNaive(bool force) { force_naive_ = force; }
+
+  /// Forces guard evaluation through the scalar virtual enabled() loop
+  /// instead of the protocol's batch evaluateGuards kernel (the pre-
+  /// batch-kernel behavior; equivalence testing, before/after benches).
+  void setScalarGuardEval(bool scalar) { scalar_guard_eval_ = scalar; }
 
   /// ---- Enabled-status change feed (single consumer) -----------------
   /// When enabled, refreshes record every node whose ANY-action-enabled
@@ -93,7 +99,8 @@ class EnabledCache {
 
  private:
   void rebuildAll();
-  void updateNode(NodeId p);
+  void applyMask(NodeId p, std::uint64_t mask);
+  void evaluateBatch(std::span<const NodeId> nodes, std::uint64_t* masks);
   void rebuildFenwick();
   void fenwickAdd(NodeId p, int delta);
   void makeView();
@@ -113,9 +120,16 @@ class EnabledCache {
   bool movesStale_ = true;
   bool primed_ = false;  // first refresh always rescans everything
   bool force_naive_ = false;
+  bool scalar_guard_eval_ = false;  // bypass batch kernels (old path)
+  bool deferFenwick_ = false;  // dense refresh: one O(n) rebuild instead
   bool track_changes_ = false;
   bool full_invalidate_ = true;
   std::vector<NodeId> changed_;  // status flips since last clear
+
+  // Reused batch-evaluation buffers (no allocations in steady state).
+  std::vector<NodeId> batch_;            // sorted dirty nodes per refresh
+  std::vector<std::uint64_t> batchMasks_;
+  std::vector<NodeId> allNodes_;         // identity list for rebuildAll
 
   // Telemetry accumulators (flushed to obs counters by flushStats()).
   std::uint64_t statRefreshes_ = 0;

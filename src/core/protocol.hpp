@@ -71,6 +71,26 @@ class Protocol {
   /// current configuration?
   [[nodiscard]] virtual bool enabled(NodeId p, int action) const = 0;
 
+  /// Batch guard evaluation: for every nodes[i], set masks[i] bit a iff
+  /// enabled(nodes[i], a).  `nodes` is sorted ascending and duplicate-
+  /// free; `masks` has nodes.size() writable slots.  The default loops
+  /// the virtual enabled() per (node, action); protocols whose guards
+  /// are straight column reads override with fused columnar kernels
+  /// (one neighborhood walk per node, autovectorizable inner scans) —
+  /// see README "Batch guard kernels" for the contract and when NOT to
+  /// override (LexDfsTree's VarColumn candidate walks).  Overrides must
+  /// be bit-identical to the scalar loop; Debug builds assert this on
+  /// every batched refresh (EnabledCache::evaluateBatch).
+  virtual void evaluateGuards(std::span<const NodeId> nodes,
+                              std::uint64_t* masks) const {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      std::uint64_t mask = 0;
+      for (int a = 0; a < actionCount(); ++a)
+        if (enabled(nodes[i], a)) mask |= (std::uint64_t{1} << a);
+      masks[i] = mask;
+    }
+  }
+
   /// Whether every guard and statement at p reads only N[p] state.  A
   /// protocol that overrides dirtyAfterWrite because a guard reads
   /// non-neighbor state must return false unless a concurrently enabled
@@ -88,6 +108,25 @@ class Protocol {
   void execute(NodeId p, int action) {
     doExecute(p, action);
     noteWrite(p);
+  }
+
+  /// Batched simultaneous execute: attempts to run a whole synchronous
+  /// step's moves with pre-step read semantics (every guard/statement
+  /// RHS sees the configuration at the beginning of the step) in one
+  /// call, without the engine's per-move snapshot/rollback schedule.
+  /// `moves` is node-ascending with all nodes distinct, every move
+  /// enabled, and the call must happen inside a simultaneous-step
+  /// bracket.  Returns false (the default) if the protocol cannot — the
+  /// caller falls back to the rollback pipeline; on true the step has
+  /// been fully executed and all writers recorded.  Implementations use
+  /// a two-phase compute-then-commit: phase 1 reads the (untouched)
+  /// pre-step state and performs no writes, so correctness is by
+  /// construction.
+  bool executeSimultaneousBatch(std::span<const Move> moves) {
+    SSNO_EXPECTS(defer_writes_);
+    if (!doExecuteSimultaneous(moves)) return false;
+    for (const Move& m : moves) noteWrite(m.node);
+    return true;
   }
 
   /// Replaces every processor's state with a uniformly arbitrary one
@@ -194,6 +233,20 @@ class Protocol {
   void endSimultaneousStep() {
     SSNO_EXPECTS(defer_writes_);
     defer_writes_ = false;
+    // Dense steps: once a quarter of the processors wrote, the exact
+    // dirty region (writers ∪ their dirtyAfterWrite fan-out) covers most
+    // of the configuration anyway.  Marking everything dirty is the
+    // always-safe over-approximation, skips the per-writer virtual
+    // fan-out here, and lets the consumer take its linear full-rescan
+    // path instead of patching ~n nodes one by one.
+    const auto n = static_cast<std::size_t>(graph_.nodeCount());
+    if (deferred_writers_.size() >= n / 4 + 1) {
+      for (NodeId p : deferred_writers_)
+        deferred_flag_[static_cast<std::size_t>(p)] = 0;
+      deferred_writers_.clear();
+      dirtyAll();
+      return;
+    }
     for (NodeId p : deferred_writers_) {
       deferred_flag_[static_cast<std::size_t>(p)] = 0;
       dirtyAfterWrite(p);
@@ -227,6 +280,12 @@ class Protocol {
   [[nodiscard]] const std::vector<NodeId>& dirtyNodes() const {
     return dirty_list_;
   }
+  /// Per-node dirty flags backing dirtyNodes() (1 = listed).  Lets a
+  /// dense consumer recover the dirty set in node order by scanning
+  /// instead of sorting the insertion-ordered list.
+  [[nodiscard]] const std::vector<std::uint8_t>& dirtyFlags() const {
+    return dirty_flag_;
+  }
   [[nodiscard]] bool hasDirtyState() const {
     return all_dirty_ || !dirty_list_.empty();
   }
@@ -243,6 +302,13 @@ class Protocol {
 
   /// ---- Mutation hooks implemented by protocols ------------------------
   virtual void doExecute(NodeId p, int action) = 0;
+  /// Batched simultaneous-execute hook (see executeSimultaneousBatch).
+  /// Contract: either return false having performed NO writes, or return
+  /// true having executed every move with pre-step read semantics.
+  virtual bool doExecuteSimultaneous(std::span<const Move> moves) {
+    (void)moves;
+    return false;
+  }
   virtual void doRandomizeNode(NodeId p, Rng& rng) = 0;
   virtual void doDecodeNode(NodeId p, std::uint64_t code) = 0;
   virtual void doSetRawNode(NodeId p, std::span<const int> values) = 0;

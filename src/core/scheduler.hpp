@@ -79,6 +79,9 @@ class Simulator {
     // Round accounting consumes the cache's status-change feed so
     // neutralization is O(#changed) per step instead of O(#pending).
     cache_.setTrackStatusChanges(true);
+    // The Simulator never exposes the engine's undo(), so the batched
+    // fast path need not keep a pre-step actor snapshot per dense step.
+    engine_.setUndoCapture(false);
   }
 
   ~Simulator() { flushStats(); }
@@ -131,6 +134,11 @@ class Simulator {
   /// columnar engine — the "before" side of the sync_speedup benchmark.
   /// (Naive-scan mode implies this, matching the historical stack.)
   void setLegacySimultaneous(bool legacy) { legacySim_ = legacy; }
+
+  /// Evaluates guards through the scalar virtual enabled() loop instead
+  /// of the protocol's batch evaluateGuards kernels — the pre-batch-
+  /// kernel refresh path (equivalence testing, before/after benches).
+  void setScalarGuardEval(bool scalar) { cache_.setScalarGuardEval(scalar); }
 
  private:
   void executeSimultaneously(const std::vector<Move>& moves);

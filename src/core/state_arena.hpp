@@ -344,42 +344,64 @@ class StateArena {
     const std::size_t k = nodes.size();
     out.nodes = k;
     out.bounds.resize(cols_.size() * (k + 1));
-    out.data.clear();
+    // Pass 1: prefix bounds only, so a single resize sizes the data
+    // buffer and the copy loops write through raw pointers — the
+    // per-element push_back/insert capacity checks otherwise dominate
+    // the snapshot on dense synchronous steps.
+    std::size_t total = 0;
     for (std::size_t ci = 0; ci < cols_.size(); ++ci) {
       const Col& c = cols_[ci];
       std::size_t* bounds = out.bounds.data() + ci * (k + 1);
       switch (c.kind) {
         case Kind::kNode:
-          for (std::size_t j = 0; j < k; ++j) {
-            bounds[j] = out.data.size();
-            out.data.push_back(
-                (*c.data)[static_cast<std::size_t>(nodes[j])]);
-          }
+          for (std::size_t j = 0; j < k; ++j) bounds[j] = total++;
           break;
         case Kind::kPort:
           for (std::size_t j = 0; j < k; ++j) {
-            bounds[j] = out.data.size();
-            const std::size_t base = graph_->portBase(nodes[j]);
-            const auto deg =
-                static_cast<std::size_t>(graph_->degree(nodes[j]));
-            out.data.insert(out.data.end(),
-                            c.data->begin() + static_cast<long>(base),
-                            c.data->begin() + static_cast<long>(base + deg));
+            bounds[j] = total;
+            total += static_cast<std::size_t>(graph_->degree(nodes[j]));
           }
           break;
         case Kind::kVar:
           for (std::size_t j = 0; j < k; ++j) {
-            bounds[j] = out.data.size();
-            const auto& s =
-                c.var->slots[static_cast<std::size_t>(nodes[j])];
-            out.data.insert(out.data.end(),
-                            c.var->pool.begin() + static_cast<long>(s.off),
-                            c.var->pool.begin() + static_cast<long>(s.off) +
-                                s.len);
+            bounds[j] = total;
+            total += static_cast<std::size_t>(
+                c.var->slots[static_cast<std::size_t>(nodes[j])].len);
           }
           break;
       }
-      bounds[k] = out.data.size();
+      bounds[k] = total;
+    }
+    out.data.resize(total);
+    int* dst = out.data.data();
+    for (std::size_t ci = 0; ci < cols_.size(); ++ci) {
+      const Col& c = cols_[ci];
+      const std::size_t* bounds = out.bounds.data() + ci * (k + 1);
+      switch (c.kind) {
+        case Kind::kNode: {
+          const int* src = c.data->data();
+          int* d = dst + bounds[0];
+          for (std::size_t j = 0; j < k; ++j)
+            d[j] = src[static_cast<std::size_t>(nodes[j])];
+          break;
+        }
+        case Kind::kPort: {
+          const int* src = c.data->data();
+          for (std::size_t j = 0; j < k; ++j)
+            std::copy_n(src + graph_->portBase(nodes[j]),
+                        bounds[j + 1] - bounds[j], dst + bounds[j]);
+          break;
+        }
+        case Kind::kVar: {
+          const int* pool = c.var->pool.data();
+          for (std::size_t j = 0; j < k; ++j) {
+            const auto& s = c.var->slots[static_cast<std::size_t>(nodes[j])];
+            std::copy_n(pool + s.off, bounds[j + 1] - bounds[j],
+                        dst + bounds[j]);
+          }
+          break;
+        }
+      }
     }
   }
 

@@ -25,7 +25,6 @@ SimultaneousEngine::SimultaneousEngine(Protocol& protocol)
   protocol.collectArenas(arenas_);
   pre_.resize(arenas_.size());
   postData_.resize(arenas_.size());
-  preFull_.resize(arenas_.size());
 }
 
 void SimultaneousEngine::execute(std::span<const Move> moves) {
@@ -35,10 +34,22 @@ void SimultaneousEngine::execute(std::span<const Move> moves) {
     SSNO_ASSERT(moves[i - 1].node < moves[i].node);  // node-ascending
 #endif
   if (!protocol_.guardsAreNeighborhoodLocal()) {
-    if (columnar())
-      executeColumnarFull(moves);
-    else
+    if (columnar()) {
+#ifndef NDEBUG
+      // Cross-check the write-logging path against the historical
+      // full-configuration-snapshot pipeline, same pattern as below.
+      const std::vector<int> preCheck = protocol_.rawConfiguration();
       executeLegacyFull(moves);
+      const std::vector<int> expected = protocol_.rawConfiguration();
+      protocol_.setRawConfiguration(preCheck);
+#endif
+      executeColumnarFull(moves);
+#ifndef NDEBUG
+      SSNO_ASSERT(protocol_.rawConfiguration() == expected);
+#endif
+    } else {
+      executeLegacyFull(moves);
+    }
     return;
   }
   if (!columnar()) {
@@ -98,6 +109,33 @@ void SimultaneousEngine::executeColumnar(std::span<const Move> moves) {
   const auto n = static_cast<std::size_t>(g.nodeCount());
   actors_.clear();
   for (const Move& m : moves) actors_.push_back(m.node);
+  kSyncSteps.inc();
+  const auto snapshotActors = [&] {
+    for (std::size_t a = 0; a < arenas_.size(); ++a) {
+      arenas_[a]->snapshotNodes(actors_, pre_[a]);
+      postData_[a].clear();
+    }
+    postOff_.clear();
+    captured_.clear();
+    kSyncSnapshotNodes.inc(k);
+  };
+  // Batched fast path: the protocol executes the whole step itself with
+  // two-phase compute/commit semantics (every move reads the pre-step
+  // configuration), so no neighborhood rollbacks or post captures are
+  // needed.  The actor snapshot exists only for undo() here — skipped
+  // entirely when the owner opted out (see setUndoCapture); a false
+  // return performed no writes, so snapshotting after the attempt is
+  // still pre-step.
+  if (undoCapture_) snapshotActors();
+  protocol_.beginSimultaneousStep();
+  if (protocol_.executeSimultaneousBatch(moves)) {
+    protocol_.endSimultaneousStep();
+    last_ = undoCapture_ ? Mode::kColumnar : Mode::kNone;
+    return;
+  }
+  // Rollback path: pre_ is read for the neighborhood rollbacks, so the
+  // snapshot is required regardless of undo capture.
+  if (!undoCapture_) snapshotActors();
   if (actorBits_.size() != n) actorBits_.resize(n);
   if (actorSlot_.size() != n) actorSlot_.assign(n, -1);
   for (std::size_t j = 0; j < k; ++j) {
@@ -105,17 +143,7 @@ void SimultaneousEngine::executeColumnar(std::span<const Move> moves) {
     actorSlot_[static_cast<std::size_t>(actors_[j])] =
         static_cast<std::int32_t>(j);
   }
-  for (std::size_t a = 0; a < arenas_.size(); ++a) {
-    arenas_[a]->snapshotNodes(actors_, pre_[a]);
-    postData_[a].clear();
-  }
-  postOff_.clear();
-  captured_.clear();
   capturedFlag_.assign(k, 0);
-  kSyncSteps.inc();
-  kSyncSnapshotNodes.inc(k);
-
-  protocol_.beginSimultaneousStep();
   for (std::size_t i = 0; i < k; ++i) {
     const NodeId p = moves[i].node;
     // Roll already-executed actors in N(p) back to their pre-step state
@@ -134,7 +162,7 @@ void SimultaneousEngine::executeColumnar(std::span<const Move> moves) {
           arenas_[a]->restoreNode(j, q, pre_[a]);
       }
     }
-    SSNO_ASSERT(protocol_.enabled(p, moves[i].action));
+    SSNO_DBG_ASSERT(protocol_.enabled(p, moves[i].action));
     protocol_.execute(p, moves[i].action);
   }
   // Every captured actor was rolled back after it executed and never
@@ -153,37 +181,39 @@ void SimultaneousEngine::executeColumnar(std::span<const Move> moves) {
 
 void SimultaneousEngine::executeColumnarFull(std::span<const Move> moves) {
   // Non-neighborhood-local guards: every move must read the full
-  // pre-step configuration, so snapshot all columns once and restore
-  // them before each execution.
-  const auto n = static_cast<std::size_t>(protocol_.graph().nodeCount());
-  if (allNodes_.size() != n) {
-    allNodes_.resize(n);
-    for (std::size_t p = 0; p < n; ++p)
-      allNodes_[p] = static_cast<NodeId>(p);
-  }
+  // pre-step configuration.  Statements still write only their own
+  // processor's variables, so it suffices to *write-log* the acting
+  // set: snapshot the actors once, and after each move log the actor's
+  // post state and put its pre state back — the configuration is
+  // inductively pre-step before every execution — then re-apply the
+  // logged post states at the end of the step.  Cost is O(k·state)
+  // instead of the former O(n·columns) full-configuration snapshot
+  // plus an O(n·columns) restore before every single move.
+  const std::size_t k = moves.size();
+  actors_.clear();
+  for (const Move& m : moves) actors_.push_back(m.node);
   for (std::size_t a = 0; a < arenas_.size(); ++a) {
-    arenas_[a]->snapshotNodes(allNodes_, preFull_[a]);
+    arenas_[a]->snapshotNodes(actors_, pre_[a]);
     postData_[a].clear();
   }
   postOff_.clear();
   captured_.clear();
   kSyncSteps.inc();
-  kSyncSnapshotNodes.inc(n);
+  kSyncSnapshotNodes.inc(k);
 
   protocol_.beginSimultaneousStep();
-  for (const Move& m : moves) {
-    for (std::size_t a = 0; a < arenas_.size(); ++a)
-      arenas_[a]->restoreNodes(allNodes_, preFull_[a]);
-    SSNO_ASSERT(protocol_.enabled(m.node, m.action));
+  for (std::size_t j = 0; j < k; ++j) {
+    const Move& m = moves[j];
+    SSNO_DBG_ASSERT(protocol_.enabled(m.node, m.action));
     protocol_.execute(m.node, m.action);
     capturePost(m.node);
+    for (std::size_t a = 0; a < arenas_.size(); ++a)
+      arenas_[a]->restoreNode(j, m.node, pre_[a]);
   }
-  for (std::size_t a = 0; a < arenas_.size(); ++a)
-    arenas_[a]->restoreNodes(allNodes_, preFull_[a]);
   for (std::size_t ci = 0; ci < captured_.size(); ++ci) restoreCapture(ci);
   kSyncRollbacks.inc(captured_.size());
   protocol_.endSimultaneousStep();
-  last_ = Mode::kColumnarFull;
+  last_ = Mode::kColumnar;  // undo() restores the actors from pre_
 }
 
 void SimultaneousEngine::executeLegacyNeighborhood(
@@ -211,7 +241,7 @@ void SimultaneousEngine::executeLegacyNeighborhood(
       if (j >= 0 && static_cast<std::size_t>(j) < i)
         protocol_.setRawNode(q, preVec_[static_cast<std::size_t>(j)]);
     }
-    SSNO_ASSERT(protocol_.enabled(p, moves[i].action));
+    SSNO_DBG_ASSERT(protocol_.enabled(p, moves[i].action));
     protocol_.execute(p, moves[i].action);
     postVec_[i] = protocol_.rawNode(p);
   }
@@ -233,7 +263,7 @@ void SimultaneousEngine::executeLegacyFull(std::span<const Move> moves) {
   postOff_.clear();
   for (const Move& m : moves) {
     protocol_.setRawConfiguration(preConfig_);
-    SSNO_ASSERT(protocol_.enabled(m.node, m.action));
+    SSNO_DBG_ASSERT(protocol_.enabled(m.node, m.action));
     protocol_.execute(m.node, m.action);
     postOff_.push_back(post.size());
     const std::vector<int> node = protocol_.rawNode(m.node);
@@ -254,14 +284,13 @@ void SimultaneousEngine::undo() {
   kSyncUndos.inc();
   switch (last_) {
     case Mode::kColumnar:
+      // Covers the neighborhood-local, batched, and full-configuration
+      // columnar paths alike: statements write only their own
+      // processor's variables, so restoring the acting set from pre_
+      // rewinds the whole step.
       for (std::size_t a = 0; a < arenas_.size(); ++a)
         arenas_[a]->restoreNodes(actors_, pre_[a]);
       for (const NodeId p : actors_) protocol_.noteExternalWrite(p);
-      break;
-    case Mode::kColumnarFull:
-      for (std::size_t a = 0; a < arenas_.size(); ++a)
-        arenas_[a]->restoreNodes(allNodes_, preFull_[a]);
-      for (const NodeId p : allNodes_) protocol_.noteExternalWrite(p);
       break;
     case Mode::kLegacy:
       for (std::size_t i = 0; i < lastMoves_.size(); ++i)

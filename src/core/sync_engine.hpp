@@ -34,11 +34,20 @@
 // neighbor rolls it back, and re-applied at the end of the step —
 // actors without later-acting neighbors are never copied at all.
 //
+// Protocols that implement Protocol::doExecuteSimultaneous skip the
+// rollback machinery entirely: after the actor snapshot (kept so undo()
+// works unchanged) the whole move set is handed to the protocol, which
+// computes every outcome against the pre-step columns and commits them
+// in a second phase — no neighborhood rollbacks, no post captures.
+//
 // Protocols whose guards read beyond N[p] (guardsAreNeighborhoodLocal()
-// == false) take the full-configuration path instead: the whole column
-// set is snapshotted once and every move executes from the restored
-// pre-step configuration (columnar when the protocol opts in, reused
-// raw-vector scratch otherwise).
+// == false) take the full-configuration path instead.  Columnar
+// protocols write-log the acting set: snapshot the actors once, and
+// after each move capture the actor's post state and put its pre state
+// back — the configuration is inductively pre-step before every
+// execution — then re-apply the logged post states at the end (O(k·
+// state) instead of snapshotting and restoring every column per move).
+// Protocols without arenas use the reused raw-vector scratch.
 //
 // executeLegacy() preserves the PR 4 per-node-vector pipeline with
 // immediate dirtying — the "before" side of the sync_speedup benchmark
@@ -83,8 +92,16 @@ class SimultaneousEngine {
   /// rollback.  Valid once per step.
   void undo();
 
+  /// When off, the batched fast path skips the actor pre-state snapshot
+  /// it keeps only for undo() — the rollback and write-logging paths
+  /// still capture, since they read pre_ for correctness.  undo() after
+  /// an uncaptured step traps.  The Simulator turns this off for its
+  /// internal engine (it never exposes undo); standalone engines — the
+  /// model checkers' in-place successor expansion — keep the default.
+  void setUndoCapture(bool on) { undoCapture_ = on; }
+
  private:
-  enum class Mode { kNone, kColumnar, kColumnarFull, kLegacy, kLegacyFull };
+  enum class Mode { kNone, kColumnar, kLegacy, kLegacyFull };
 
   void executeColumnar(std::span<const Move> moves);
   void executeColumnarFull(std::span<const Move> moves);
@@ -99,6 +116,7 @@ class SimultaneousEngine {
   Protocol& protocol_;
   std::vector<StateArena*> arenas_;
   Mode last_ = Mode::kNone;
+  bool undoCapture_ = true;
 
   // Columnar-path scratch (reused; no steady-state allocations).
   std::vector<NodeId> actors_;
@@ -111,10 +129,8 @@ class SimultaneousEngine {
   std::vector<NodeId> captured_;              // capture order
   std::vector<std::uint8_t> capturedFlag_;    // per actor slot
 
-  // Full-configuration scratch.
-  std::vector<NodeId> allNodes_;
-  std::vector<StateArena::Scratch> preFull_;
-  std::vector<int> preConfig_;  // raw-vector fallback
+  // Full-configuration raw-vector fallback scratch.
+  std::vector<int> preConfig_;
   std::vector<int> postFlat_;   // raw-vector fallback post states
 
   // Legacy-path scratch (the historical buffers).

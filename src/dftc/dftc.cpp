@@ -38,9 +38,13 @@ std::string Dftc::actionName(int action) const {
 }
 
 Port Dftc::firstUnvisitedPort(NodeId p) const {
+  return firstUnvisitedPortWithColor(p, col_[p]);
+}
+
+Port Dftc::firstUnvisitedPortWithColor(NodeId p, int ownCol) const {
   for (Port l = 0; l < graph().degree(p); ++l) {
     const NodeId q = graph().neighborAt(p, l);
-    if (col_[q] != col_[p] && s_[q] == kIdle) return l;
+    if (col_[q] != ownCol && s_[q] == kIdle) return l;
   }
   return kNoPort;
 }
@@ -119,6 +123,95 @@ bool Dftc::enabled(NodeId p, int action) const {
   }
 }
 
+void Dftc::evaluateGuards(std::span<const NodeId> nodes,
+                          std::uint64_t* masks) const {
+  const NodeId root = graph().root();
+  const int maxDepth = graph().nodeCount() - 1;
+  // Whole-configuration batches — the dense-refresh / full-rescan path —
+  // precompute one token-offer byte per node in a single sequential
+  // sweep: bit c of offers_[x] says some neighbor q offers x the token
+  // (q points at x, q's depth is below the cap) with col_q != c.  The
+  // Forward guard of an idle node then reads one byte instead of
+  // walking its neighborhood.  The batch contract (node-sorted,
+  // deduplicated) makes size == n the identity list, so every offer
+  // source is scanned exactly once.
+  const auto n = static_cast<std::size_t>(graph().nodeCount());
+  const bool offersPass = nodes.size() == n;
+  if (offersPass) {
+    offers_.assign(n, 0);
+    const int* s = s_.data().data();
+    const int* col = col_.data().data();
+    const int* d = d_.data().data();
+    for (std::size_t q = 0; q < n; ++q) {
+      const int sq = s[q];
+      if (sq == kIdle) continue;
+      const int dq = q == static_cast<std::size_t>(root) ? 0 : d[q];
+      if (dq >= maxDepth) continue;
+      const NodeId x = graph().neighborAt(static_cast<NodeId>(q),
+                                          static_cast<Port>(sq));
+      // Bit c records an offer valid for a receiver of color c, i.e.
+      // col_q != c; out-of-range colors (transient faults) offer both.
+      offers_[static_cast<std::size_t>(x)] |= static_cast<std::uint8_t>(
+          (col[q] != 0 ? 1u : 0u) | (col[q] != 1 ? 2u : 0u));
+    }
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId p = nodes[i];
+    const int sp = s_[p];
+    const int cp = col_[p];
+    std::uint64_t mask = 0;
+    if (sp == kIdle) {
+      if (p == root) {
+        // Start and Resume share one neighborhood walk: Start ⇔ all
+        // neighbors carry our color; Resume ⇔ ¬Start ∧ some unvisited-
+        // looking (differently colored, idle) neighbor exists.
+        bool allSame = true;
+        bool anyUnvisited = false;
+        for (const NodeId q : graph().neighbors(p)) {
+          if (col_[q] != cp) {
+            allSame = false;
+            if (s_[q] == kIdle) anyUnvisited = true;
+          }
+        }
+        if (allSame)
+          mask = std::uint64_t{1} << kStart;
+        else if (anyUnvisited)
+          mask = std::uint64_t{1} << kResume;
+      } else if (offersPass && (cp == 0 || cp == 1)) {
+        // Forward ⇔ the precomputed offer byte has our color's bit
+        // (out-of-range own colors keep the exact walk below).
+        if (offers_[static_cast<std::size_t>(p)] & (1u << cp))
+          mask = std::uint64_t{1} << kForward;
+      } else {
+        // Forward ⇔ some neighbor offers the token (condition order
+        // matches firstOfferingParentPort exactly).
+        for (const NodeId q : graph().neighbors(p)) {
+          if (s_[q] != kIdle && target(q) == p && col_[q] != cp &&
+              depth(q) < maxDepth) {
+            mask = std::uint64_t{1} << kForward;
+            break;
+          }
+        }
+      }
+    } else {
+      // Pointer-holding nodes are O(1): exactly one of Advance /
+      // StaleChild / Error can be enabled, discriminated by the parent
+      // link and the target's state.
+      if (p != root && !validParent(p)) {
+        mask = std::uint64_t{1} << kError;
+      } else {
+        const NodeId x = target(p);
+        if (s_[x] == kIdle) {
+          if (col_[x] == cp) mask = std::uint64_t{1} << kAdvance;
+        } else if (x == root || graph().neighborAt(x, par_[x]) != p) {
+          mask = std::uint64_t{1} << kStaleChild;
+        }
+      }
+    }
+    masks[i] = mask;
+  }
+}
+
 void Dftc::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   switch (action) {
@@ -169,6 +262,75 @@ void Dftc::doExecute(NodeId p, int action) {
     default:
       SSNO_ASSERT(false);
   }
+}
+
+Dftc::SimOutcome Dftc::computeSimultaneous(NodeId p, int action) const {
+  SimOutcome o;
+  o.s = s_[p];
+  o.col = col_[p];
+  o.d = d_[p];
+  o.par = par_[p];
+  switch (action) {
+    case kStart: {
+      o.col = col_[p] ^ 1;
+      const Port l = firstUnvisitedPortWithColor(p, o.col);
+      o.s = l == kNoPort ? kIdle : l;
+      o.event = SimOutcome::Event::kRoundStart;
+      break;
+    }
+    case kResume: {
+      o.s = firstUnvisitedPort(p);
+      break;
+    }
+    case kForward: {
+      const Port fromPort = firstOfferingParentPort(p);
+      const NodeId parent = graph().neighborAt(p, fromPort);
+      o.par = fromPort;
+      o.col = col_[parent];
+      const int cap = graph().nodeCount() - 1;
+      o.d = std::min(depth(parent) + 1, cap);
+      const Port next = firstUnvisitedPortWithColor(p, o.col);
+      o.s = next == kNoPort ? kIdle : next;
+      o.event = SimOutcome::Event::kForward;
+      o.peer = parent;
+      break;
+    }
+    case kAdvance: {
+      o.peer = target(p);
+      const Port next = firstUnvisitedPort(p);
+      o.s = next == kNoPort ? kIdle : next;
+      o.event = SimOutcome::Event::kBacktrack;
+      break;
+    }
+    case kStaleChild: {
+      const Port next = firstUnvisitedPort(p);
+      o.s = next == kNoPort ? kIdle : next;
+      break;
+    }
+    case kError: {
+      o.s = kIdle;
+      break;
+    }
+    default:
+      SSNO_ASSERT(false);
+  }
+  return o;
+}
+
+bool Dftc::doExecuteSimultaneous(std::span<const Move> moves) {
+  if (hooks_.onRoundStart || hooks_.onForward || hooks_.onBacktrack)
+    return false;
+  simScratch_.clear();
+  simScratch_.reserve(moves.size());
+  for (const Move& m : moves) {
+    // Per-move enabledness is the caller's precondition; re-deriving it
+    // here is a full scalar guard evaluation per move — Debug-only.
+    SSNO_DBG_ASSERT(enabled(m.node, m.action));
+    simScratch_.push_back(computeSimultaneous(m.node, m.action));
+  }
+  for (std::size_t i = 0; i < moves.size(); ++i)
+    commitSimultaneous(moves[i].node, simScratch_[i]);
+  return true;
 }
 
 bool Dftc::holdsToken(NodeId p) const {

@@ -121,6 +121,12 @@ class Dftc final : public Protocol {
   [[nodiscard]] int actionCount() const override { return kActionCount; }
   [[nodiscard]] std::string actionName(int action) const override;
   [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  /// Fused columnar kernel: one neighborhood walk per idle node, O(1)
+  /// for pointer-holding nodes — vs up to six virtual enabled() calls
+  /// each re-walking the neighborhood.  Bit-identical to the scalar
+  /// guards (asserted per batch in Debug by EnabledCache).
+  void evaluateGuards(std::span<const NodeId> nodes,
+                      std::uint64_t* masks) const override;
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
@@ -164,9 +170,44 @@ class Dftc final : public Protocol {
   /// S: log(Δp+1), col: 1, d: log N, par: log Δp  (non-root).
   [[nodiscard]] double stateBits(NodeId p) const;
 
+  /// ---- Batched simultaneous execution (two-phase compute/commit) -----
+  /// Post-state of one substrate move evaluated against the CURRENT
+  /// (pre-step) configuration, plus the hook event the move would fire,
+  /// so an overlay protocol (DFTNO) can inline its macro against the
+  /// same pre-step state.  computeSimultaneous performs no writes;
+  /// commitSimultaneous installs the outcome without firing hooks or
+  /// dirtying (the batch driver records writers).
+  struct SimOutcome {
+    enum class Event { kNone, kRoundStart, kForward, kBacktrack };
+    int s = -1;
+    int col = 0;
+    int d = 0;
+    int par = 0;
+    Event event = Event::kNone;
+    NodeId peer = kNoNode;  ///< onForward's parent / onBacktrack's child
+  };
+  [[nodiscard]] SimOutcome computeSimultaneous(NodeId p, int action) const;
+  // Inline: called once per move inside the dense-step commit loops.
+  void commitSimultaneous(NodeId p, const SimOutcome& o) {
+    s_[p] = o.s;
+    col_[p] = o.col;
+    d_[p] = o.d;
+    par_[p] = o.par;
+  }
+  /// Error's simultaneous outcome in full: s := idle, everything else
+  /// unchanged (same write discipline as commitSimultaneous — the batch
+  /// driver records writers, no hooks, no dirtying).
+  void commitIdle(NodeId p) { s_[p] = kIdle; }
+
  protected:
   // ---- Protocol mutation hooks ----
   void doExecute(NodeId p, int action) override;
+  /// Batched synchronous step, Jacobi-style: phase 1 computes every
+  /// move's outcome against the untouched pre-step state, phase 2
+  /// commits.  Declines (false) when external hooks are installed: a
+  /// hook firing after commits would read post-step state.  (DFTNO
+  /// batches its own overlay instead of delegating here.)
+  bool doExecuteSimultaneous(std::span<const Move> moves) override;
   void doRandomizeNode(NodeId p, Rng& rng) override;
   void doDecodeNode(NodeId p, std::uint64_t code) override;
   void doSetRawNode(NodeId p, std::span<const int> values) override;
@@ -182,6 +223,10 @@ class Dftc final : public Protocol {
   /// advances cannot re-select a stale target; in clean rounds unvisited
   /// neighbors are always idle).
   [[nodiscard]] Port firstUnvisitedPort(NodeId p) const;
+  /// firstUnvisitedPort against an explicit own color — the pre-step
+  /// form used by computeSimultaneous, where kStart/kForward compare
+  /// neighbors against the color p WILL have without writing it first.
+  [[nodiscard]] Port firstUnvisitedPortWithColor(NodeId p, int ownCol) const;
   /// Smallest port of a neighbor that points at p with a different color.
   [[nodiscard]] Port firstOfferingParentPort(NodeId p) const;
   [[nodiscard]] bool validParent(NodeId p) const;
@@ -195,6 +240,11 @@ class Dftc final : public Protocol {
   NodeColumn d_;     // 0..N-1 (root entry unused, kept 0)
   NodeColumn par_;   // port (root entry unused, kept 0)
   TokenHooks hooks_;
+  std::vector<SimOutcome> simScratch_;  // reused phase-1 buffer
+  // Whole-configuration evaluateGuards scratch: per-node token-offer
+  // bytes (see the offers pass in evaluateGuards).  Mutable because the
+  // evaluator is const; reused across calls, no steady-state allocation.
+  mutable std::vector<std::uint8_t> offers_;
   // Exact raw configurations of the legitimate orbit (computed once).
   std::optional<std::set<std::vector<int>>> orbit_;
 };

@@ -358,11 +358,13 @@ TrialResult routingTrial(const Graph& g, const Scenario&, std::uint64_t) {
 ///                    columnar simultaneous steps (the default path;
 ///                    reported as incremental_moves_per_sec for baseline
 ///                    continuity),
-///   * legacy-sim   — columnar selection, but simultaneous steps run the
+///   * legacy-sim   — scalar per-node virtual guard evaluation
+///                    (setScalarGuardEval) and simultaneous steps on the
 ///                    PR-4-era per-node-vector snapshot/restore pipeline
 ///                    (setLegacySimultaneous; measured only under the
 ///                    synchronous daemon, where executeSimultaneously is
-///                    the hot path — the "before" side of sync_speedup),
+///                    the hot path) — the full pre-batch-kernel stack,
+///                    the "before" side of dftno_sync_speedup,
 ///   * legacy-vector — incremental cache, but the O(#enabled) node-major
 ///                    move vector is materialized per step and handed to
 ///                    Daemon::legacySelect (the PR-3-era pipeline),
@@ -386,7 +388,10 @@ TrialResult schedulerTrial(const Graph& g, const Scenario& s,
     Simulator sim(dftno, *daemon, rng);
     if (mode == Mode::kNaive) sim.setNaiveEnabledScan(true);
     if (mode == Mode::kLegacyVector) sim.setLegacyVectorSelect(true);
-    if (mode == Mode::kLegacySim) sim.setLegacySimultaneous(true);
+    if (mode == Mode::kLegacySim) {
+      sim.setLegacySimultaneous(true);
+      sim.setScalarGuardEval(true);
+    }
     const auto start = std::chrono::steady_clock::now();
     const RunStats stats = sim.runToQuiescence(s.budget);
     const double secs =
@@ -450,8 +455,13 @@ TrialResult schedulerTrial(const Graph& g, const Scenario& s,
                {"legacy_vector_moves_per_sec", legacyVector},
                {"bitmask_speedup", bitmask / std::max(legacyVector, 1e-9)}};
   if (s.daemon == DaemonKind::kSynchronous) {
-    // DFTNO pipeline ratio (thin 8-int state: shared guard re-evaluation
-    // and statement execution dominate, so the honest ceiling is low).
+    // DFTNO pipeline ratio.  Thin 8-int state means shared guard
+    // re-evaluation and statement execution dominate, which is exactly
+    // what the batch kernels attack: the default path refreshes guards
+    // through the columnar evaluateGuards kernels and executes dense
+    // steps through doExecuteSimultaneous, while the legacy-sim side
+    // runs the full pre-batch stack (scalar virtual guard evaluation +
+    // per-node-vector simultaneous pipeline).
     const double legacySim = movesPerSec(Mode::kLegacySim);
     r.metrics.emplace_back("legacy_sim_moves_per_sec", legacySim);
     r.metrics.emplace_back("dftno_sync_speedup",
@@ -690,6 +700,72 @@ TrialResult obsOverheadTrial(const Graph& g, const Scenario& s,
   return r;
 }
 
+/// Raw guard-kernel throughput on DFTNO: full-configuration batch
+/// evaluation through the columnar Protocol::evaluateGuards overrides
+/// vs the scalar per-node virtual enabled() loop (the Protocol default,
+/// reached by a qualified call), on identical scrambled state.  Rates
+/// count node x action guard evaluations, the sim_guard_evals_total
+/// convention.  Clock drift on a shared runner moves absolute rates by
+/// several percent between runs, so guard_batch_speedup is PAIRED per
+/// rep (alternating which side runs first) and reports the median
+/// ratio — hardware-independent and CI-gated, like obsOverheadTrial.
+/// Best-of absolute rates ride along; guard_evals_per_sec is gated too
+/// (ratio-to-baseline with the usual floor).  The budget is the number
+/// of per-node evaluations each timed side performs per rep.
+TrialResult guardKernelTrial(const Graph& g, const Scenario& s,
+                             std::uint64_t seed) {
+  constexpr int kReps = 7;
+  Dftno dftno(g);
+  Rng rng(seed);
+  dftno.randomize(rng);
+  const int n = g.nodeCount();
+  const double evalsPerPass =
+      static_cast<double>(n) * static_cast<double>(dftno.actionCount());
+  std::vector<NodeId> nodes(static_cast<std::size_t>(n));
+  for (NodeId p = 0; p < n; ++p) nodes[static_cast<std::size_t>(p)] = p;
+  std::vector<std::uint64_t> masks(nodes.size());
+  const int passes = static_cast<int>(
+      std::max<StepCount>(1, s.budget / std::max(1, n)));
+  auto evalsPerSec = [&](bool scalar) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int pass = 0; pass < passes; ++pass) {
+      if (scalar)
+        dftno.Protocol::evaluateGuards(nodes, masks.data());
+      else
+        dftno.evaluateGuards(nodes, masks.data());
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return static_cast<double>(passes) * evalsPerPass / std::max(secs, 1e-9);
+  };
+  evalsPerSec(false);  // untimed warmup: page-faults, branch history
+  std::vector<double> ratios;
+  double bestBatch = 0, bestScalar = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const bool batchFirst = (rep % 2) == 0;
+    const double first = evalsPerSec(!batchFirst);
+    const double second = evalsPerSec(batchFirst);
+    const double batch = batchFirst ? first : second;
+    const double scalar = batchFirst ? second : first;
+    bestBatch = std::max(bestBatch, batch);
+    bestScalar = std::max(bestScalar, scalar);
+    ratios.push_back(batch / std::max(scalar, 1e-9));
+  }
+  std::sort(ratios.begin(), ratios.end());
+  // Release-mode equivalence signal (Debug builds assert this in the
+  // cache on every refresh): the kernel masks must equal the scalar ones.
+  std::vector<std::uint64_t> ref(nodes.size());
+  dftno.evaluateGuards(nodes, masks.data());
+  dftno.Protocol::evaluateGuards(nodes, ref.data());
+  TrialResult r;
+  r.metrics = {{"guard_evals_per_sec", bestBatch},
+               {"scalar_guard_evals_per_sec", bestScalar},
+               {"guard_batch_speedup", ratios[ratios.size() / 2]},
+               {"kernel_matches_scalar", masks == ref ? 1.0 : 0.0}};
+  return r;
+}
+
 }  // namespace
 
 std::string protocolKindName(ProtocolKind kind) {
@@ -713,6 +789,7 @@ std::string protocolKindName(ProtocolKind kind) {
     case ProtocolKind::kModelCheck: return "model-check";
     case ProtocolKind::kResilience: return "resilience";
     case ProtocolKind::kObsOverhead: return "obs-overhead";
+    case ProtocolKind::kGuardKernel: return "guard-kernel";
   }
   return "?";
 }
@@ -775,6 +852,7 @@ TrialResult runTrial(const Graph& g, const Scenario& s, std::uint64_t seed) {
     case ProtocolKind::kModelCheck: return modelCheckTrial(g, s, seed);
     case ProtocolKind::kResilience: return resilienceTrial(g, s, seed);
     case ProtocolKind::kObsOverhead: return obsOverheadTrial(g, s, seed);
+    case ProtocolKind::kGuardKernel: return guardKernelTrial(g, s, seed);
   }
   throw std::invalid_argument("runTrial: unknown protocol kind");
 }
@@ -792,16 +870,27 @@ ScenarioResult ExperimentRunner::run(const Scenario& s) const {
 namespace {
 
 /// runTrial plus the runner's observability wrapper: a wall-clock stamp
-/// (feeding ScenarioResult::timing) and a trace span per trial.
+/// (feeding ScenarioResult::timing) and a trace span per trial.  With
+/// the opt-in timing breakdown, also the trial's sim_guard_evals_total
+/// delta (process-wide counters: meaningful only at --threads 1, and
+/// only when obs is enabled).
 TrialResult timedTrial(const Graph& g, const Scenario& s, int trial,
-                       std::uint64_t seed) {
+                       std::uint64_t seed, bool timingBreakdown) {
   obs::TraceSpan span("exp_trial");
   span.arg("trial", static_cast<std::uint64_t>(trial));
+  const std::uint64_t evalsBefore =
+      timingBreakdown
+          ? obs::Registry::global().counterValue("sim_guard_evals_total")
+          : 0;
   const auto start = std::chrono::steady_clock::now();
   TrialResult r = runTrial(g, s, seed);
   r.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  if (timingBreakdown)
+    r.guardEvals = static_cast<double>(
+        obs::Registry::global().counterValue("sim_guard_evals_total") -
+        evalsBefore);
   return r;
 }
 
@@ -835,6 +924,15 @@ ScenarioResult aggregate(const Scenario& s, const Graph& g,
   wall.reserve(slots.size());
   for (const TrialResult& trial : slots) wall.push_back(trial.wallSeconds);
   res.timing["trial_seconds"] = summarize(std::move(wall));
+  // Opt-in guards-per-second breakdown: present only when the runner's
+  // timing breakdown stamped sim_guard_evals_total deltas (guardEvals
+  // >= 0), so default reports stay byte-identical.
+  std::vector<double> guardRates;
+  for (const TrialResult& trial : slots)
+    if (trial.guardEvals >= 0 && trial.wallSeconds > 0)
+      guardRates.push_back(trial.guardEvals / trial.wallSeconds);
+  if (!guardRates.empty())
+    res.timing["guard_evals_per_sec"] = summarize(std::move(guardRates));
   return res;
 }
 
@@ -852,7 +950,7 @@ ScenarioResult ExperimentRunner::runOnGraph(const Scenario& s,
   auto worker = [&] {
     for (int t = next.fetch_add(1); t < s.trials; t = next.fetch_add(1))
       slots[static_cast<std::size_t>(t)] =
-          timedTrial(g, s, t, trialSeed(s.seed, t));
+          timedTrial(g, s, t, trialSeed(s.seed, t), timing_);
   };
   const int workers = std::min(threads_, s.trials);
   if (workers <= 1) {
@@ -902,7 +1000,7 @@ std::vector<ScenarioResult> ExperimentRunner::runAll(
       slots[static_cast<std::size_t>(job.scenario)]
            [static_cast<std::size_t>(job.trial)] =
                timedTrial(graphs[static_cast<std::size_t>(job.scenario)], s,
-                          job.trial, trialSeed(s.seed, job.trial));
+                          job.trial, trialSeed(s.seed, job.trial), timing_);
     }
   };
   const int workers = static_cast<int>(

@@ -53,6 +53,10 @@ enum class ProtocolKind {
   kObsOverhead,    ///< telemetry overhead proof: the ring:1e5 scheduler
                    ///< hot loop timed with obs enabled vs disabled
                    ///< (interleaved best-of reps; gated < 2% in CI)
+  kGuardKernel,    ///< raw guard-evaluation throughput: the columnar
+                   ///< Protocol::evaluateGuards kernels vs the scalar
+                   ///< per-node virtual enabled() loop on identical
+                   ///< DFTNO state (paired reps, median ratio)
 };
 
 [[nodiscard]] std::string protocolKindName(ProtocolKind kind);
@@ -111,6 +115,10 @@ struct TrialResult {
   /// runTrial.  Feeds ScenarioResult::timing — observability data only,
   /// never part of metrics, CSV rows, or cached result payloads.
   double wallSeconds = 0;
+  /// sim_guard_evals_total delta across the trial, stamped only when the
+  /// runner's timing breakdown is on (-1 = not measured).  Process-wide
+  /// counters make the delta meaningful only at --threads 1.
+  double guardEvals = -1;
 };
 
 struct ScenarioResult {
@@ -151,6 +159,14 @@ class ExperimentRunner {
 
   [[nodiscard]] int threads() const { return threads_; }
 
+  /// Opt-in timing breakdown (exp_cli --timing): every trial additionally
+  /// records its sim_guard_evals_total delta, and aggregation derives a
+  /// guards-per-second rate into ScenarioResult::timing.  Default OFF —
+  /// the timing map is JSON-only, and with the flag off reports stay
+  /// byte-identical.  The counters are process-wide, so the per-trial
+  /// deltas are only meaningful at --threads 1.
+  void setTimingBreakdown(bool on) { timing_ = on; }
+
   /// Builds the scenario's topology and fans its trials over the pool.
   [[nodiscard]] ScenarioResult run(const Scenario& s) const;
 
@@ -169,6 +185,7 @@ class ExperimentRunner {
 
  private:
   int threads_;
+  bool timing_ = false;
 };
 
 }  // namespace ssno::exp

@@ -234,6 +234,17 @@ std::vector<Scenario> schedulerPreset() {
     s.budget = 200'000;
     out.push_back(s);
   }
+  {
+    // Guard-kernel row: raw batch-vs-scalar guard evaluation throughput
+    // on the same dense ring:1e5 DFTNO state the synchronous row steps.
+    // Gated: guard_batch_speedup (paired within-trial median ratio,
+    // hardware-independent) and guard_evals_per_sec (ratio to the
+    // committed baseline with the usual floor).
+    Scenario s = triple(ProtocolKind::kGuardKernel, DaemonKind::kCentral,
+                        "ring:100000", 3, kSeed);
+    s.budget = 2'000'000;  // per-node evaluations per timed side per rep
+    out.push_back(s);
+  }
   out.push_back(
       modelCheckScenario(McTarget::kDftcFault, "ring:10", 3, 8'000'000));
   return out;
@@ -332,7 +343,7 @@ ProtocolKind parseProtocolKind(const std::string& name) {
         ProtocolKind::kSpace, ProtocolKind::kChordalProps,
         ProtocolKind::kRouting, ProtocolKind::kScheduler,
         ProtocolKind::kModelCheck, ProtocolKind::kResilience,
-        ProtocolKind::kObsOverhead})
+        ProtocolKind::kObsOverhead, ProtocolKind::kGuardKernel})
     if (protocolKindName(kind) == name) return kind;
   throw std::invalid_argument("unknown protocol '" + name + "'");
 }
@@ -383,6 +394,10 @@ Scenario parseScenario(const std::string& name) {
                            // convergence budget would be far too large
   if (s.protocol == ProtocolKind::kObsOverhead)
     s.budget = 200'000;  // moves measured per telemetry mode per rep
+  if (s.protocol == ProtocolKind::kGuardKernel)
+    s.budget = 2'000'000;  // per-node guard evaluations per timed side
+                           // per rep (the default convergence budget
+                           // would make a single rep run for minutes)
   return s;
 }
 

@@ -1,10 +1,12 @@
 #include "orientation/dftno.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <sstream>
 
 #include "core/assert.hpp"
+#include "orientation/chordal_kernel.hpp"
 
 namespace ssno {
 
@@ -63,6 +65,23 @@ bool Dftno::enabled(NodeId p, int action) const {
   return invalidEdgeLabel(p);
 }
 
+void Dftno::evaluateGuards(std::span<const NodeId> nodes,
+                           std::uint64_t* masks) const {
+  dftc_.evaluateGuards(nodes, masks);  // substrate bits 0..5
+  const int n = modulus();
+  const int* eta = eta_.data().data();
+  const int* pi = pi_.data().data();
+  const Graph& g = graph();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId p = nodes[i];
+    // ¬Token(p) ⇔ no substrate action enabled ⇔ masks[i] == 0 here.
+    if (guard_ == EdgeLabelGuard::kPaperFaithful && masks[i] != 0) continue;
+    if (chordalRowMismatch(pi + g.portBase(p), g.neighbors(p).data(), eta,
+                           eta[p], g.degree(p), n))
+      masks[i] |= std::uint64_t{1} << kEdgeLabel;
+  }
+}
+
 void Dftno::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   if (action < Dftc::kActionCount) {
@@ -72,6 +91,78 @@ void Dftno::doExecute(NodeId p, int action) {
   for (Port l = 0; l < graph().degree(p); ++l)
     pi_.at(p, l) =
         chordal(p, graph().neighborAt(p, l));
+}
+
+bool Dftno::doExecuteSimultaneous(std::span<const Move> moves) {
+  // Phase 1: every outcome — substrate post-state and the composed
+  // Nodelabel/UpdateMax macro values — is computed against the
+  // untouched pre-step configuration.  Two moves commit early, inside
+  // phase 1, because doing so cannot be observed by any other move's
+  // compute:
+  //   * EdgeLabel writes only π, and no phase-1 computation reads π
+  //     (the corrected rows derive from η alone, substrate outcomes
+  //     from {s, col, d, par, η, Max}), so the corrected row goes
+  //     straight into the live column;
+  //   * Error's entire outcome is s := idle with everything else
+  //     unchanged, recorded as a one-store commit for phase 2 without
+  //     the generic SimOutcome round-trip.
+  simSteps_.clear();
+  simSteps_.reserve(moves.size());
+  const int n = modulus();
+  for (const Move& m : moves) {
+    // Enabledness is the caller's precondition (see Dftc note) —
+    // re-deriving it per move is Debug-only.
+    SSNO_DBG_ASSERT(enabled(m.node, m.action));
+    const NodeId p = m.node;
+    SimStep step;
+    if (m.action == Dftc::kError) {
+      step.substrate = SimStep::kIdleOnly;
+    } else if (m.action < Dftc::kActionCount) {
+      step.substrate = SimStep::kSubstrate;
+      step.eta = eta_[p];
+      step.max = max_[p];
+      const Dftc::SimOutcome sub = dftc_.computeSimultaneous(p, m.action);
+      step.s = sub.s;
+      step.col = sub.col;
+      step.d = sub.d;
+      step.par = sub.par;
+      switch (sub.event) {
+        case Dftc::SimOutcome::Event::kRoundStart:
+          step.eta = 0;
+          step.max = 0;
+          break;
+        case Dftc::SimOutcome::Event::kForward:
+          step.eta = (max_[sub.peer] + 1) % n;
+          step.max = step.eta;
+          break;
+        case Dftc::SimOutcome::Event::kBacktrack:
+          step.max = max_[sub.peer];
+          break;
+        case Dftc::SimOutcome::Event::kNone:
+          break;
+      }
+    } else {
+      auto row = pi_.row(p);
+      chordalRowFill(row.data(), graph().neighbors(p).data(),
+                     eta_.data().data(), eta_[p], graph().degree(p), n);
+      step.substrate = SimStep::kCommitted;
+    }
+    simSteps_.push_back(step);
+  }
+  // Phase 2: commit.
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const NodeId p = moves[i].node;
+    const SimStep& step = simSteps_[i];
+    if (step.substrate == SimStep::kSubstrate) {
+      dftc_.commitSimultaneous(
+          p, Dftc::SimOutcome{step.s, step.col, step.d, step.par});
+      eta_[p] = step.eta;
+      max_[p] = step.max;
+    } else if (step.substrate == SimStep::kIdleOnly) {
+      dftc_.commitIdle(p);
+    }
+  }
+  return true;
 }
 
 void Dftno::doRandomizeNode(NodeId p, Rng& rng) {

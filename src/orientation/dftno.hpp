@@ -66,6 +66,13 @@ class Dftno final : public Protocol {
   [[nodiscard]] int actionCount() const override { return kActionCount; }
   [[nodiscard]] std::string actionName(int action) const override;
   [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  /// Columnar kernel: substrate bits via Dftc's fused walk, EdgeLabel
+  /// via a contiguous chordal-row scan (π row + CSR adjacency row + η
+  /// gather — AVX2 under SSNO_NATIVE_ARCH).  ¬Token(p) for the paper-
+  /// faithful guard is read off the substrate mask instead of six more
+  /// guard evaluations.
+  void evaluateGuards(std::span<const NodeId> nodes,
+                      std::uint64_t* masks) const override;
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;
@@ -123,6 +130,12 @@ class Dftno final : public Protocol {
  protected:
   // ---- Protocol mutation hooks ----
   void doExecute(NodeId p, int action) override;
+  /// Batched synchronous step: phase 1 computes substrate outcomes
+  /// (Dftc::computeSimultaneous) and inlines the Nodelabel/UpdateMax
+  /// macros against pre-step η/Max (plus fresh π rows for EdgeLabel
+  /// moves), phase 2 commits — the whole dense step without the
+  /// engine's per-move snapshot/rollback schedule.
+  bool doExecuteSimultaneous(std::span<const Move> moves) override;
   void doRandomizeNode(NodeId p, Rng& rng) override;
   void doDecodeNode(NodeId p, std::uint64_t code) override;
   void doSetRawNode(NodeId p, std::span<const int> values) override;
@@ -142,6 +155,25 @@ class Dftno final : public Protocol {
   NodeColumn eta_;   // η_p ∈ 0..N−1
   NodeColumn max_;   // Max_p ∈ 0..N−1
   PortColumn pi_;    // π_p[l] ∈ 0..N−1
+  // Reused phase-1 buffer for doExecuteSimultaneous.  A dense step
+  // buffers one SimStep per move, so the layout is kept to 32 bytes —
+  // only the committed values, not the whole SimOutcome (its event/peer
+  // fields are consumed during phase 1 when the macro values compose).
+  struct SimStep {
+    enum Kind : std::uint32_t {
+      kCommitted = 0,  // already applied in phase 1 (EdgeLabel π rows)
+      kSubstrate = 1,  // generic substrate commit below
+      kIdleOnly = 2,   // Error: the whole outcome is s := idle
+    };
+    std::int32_t s = 0;      // substrate commit values (substrate moves)
+    std::int32_t col = 0;
+    std::int32_t d = 0;
+    std::int32_t par = 0;
+    std::int32_t eta = 0;
+    std::int32_t max = 0;
+    std::uint32_t substrate = kCommitted;
+  };
+  std::vector<SimStep> simSteps_;
   // Exact raw configurations of the composed steady-state orbit.
   std::optional<std::set<std::vector<int>>> orbit_;
 };

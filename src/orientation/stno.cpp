@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "core/assert.hpp"
+#include "orientation/chordal_kernel.hpp"
 
 namespace ssno {
 
@@ -99,6 +100,60 @@ bool Stno::invalidEdgeLabel(NodeId p) const {
       return true;
   }
   return false;
+}
+
+void Stno::evaluateGuards(std::span<const NodeId> nodes,
+                          std::uint64_t* masks) const {
+  if (bfs_) {
+    // BfsTree::kFix and kTreeFix are both bit 0, so the substrate's
+    // batch kernel writes the tree bit directly into our masks.
+    bfs_->evaluateGuards(nodes, masks);
+  } else {
+    for (std::size_t i = 0; i < nodes.size(); ++i) masks[i] = 0;
+  }
+  const int n = modulus();
+  const int* eta = eta_.data().data();
+  const int* weight = weight_.data().data();
+  const int* start = start_.data().data();
+  const int* pi = pi_.data().data();
+  const Graph& g = graph();
+  const NodeId root = g.root();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId p = nodes[i];
+    const auto nbrs = g.neighbors(p);
+    const std::size_t base = g.portBase(p);
+    // One fused child walk: CalcWeight's Σ and the Start-row
+    // consistency check (erratum fix 1) share the iteration.
+    int given = eta[p];
+    int sum = 1;  // the node itself
+    bool startBad = false;
+    for (std::size_t l = 0; l < nbrs.size(); ++l) {
+      const NodeId q = nbrs[l];
+      if (!isChild(p, q)) continue;
+      if (!startBad) {
+        if (start[base + l] != (given + 1) % n)
+          startBad = true;
+        else
+          given = (given + weight[q]) % n;
+      }
+      sum += weight[q];
+    }
+    // For a leaf startBad is vacuously false, so the non-root leaf and
+    // interior forms of InvalidNodelabel collapse into one expression.
+    const bool invalidNode =
+        p == root ? (eta[p] != 0 || startBad)
+                  : (eta[p] != startFromParent(p) || startBad);
+    std::uint64_t mask = masks[i] & 1;  // substrate TreeFix bit
+    if (invalidNode) {
+      mask |= std::uint64_t{1} << kNodeLabel;
+    } else if (chordalRowMismatch(pi + base, nbrs.data(), eta, eta[p],
+                                  static_cast<int>(nbrs.size()), n)) {
+      mask |= std::uint64_t{1} << kEdgeLabel;
+    }
+    if (weight[p] != std::min(sum, g.nodeCount()))
+      mask |= std::uint64_t{1} << kWeight;
+    masks[i] = mask;
+  }
 }
 
 bool Stno::enabled(NodeId p, int action) const {

@@ -71,6 +71,12 @@ class Stno final : public Protocol {
   [[nodiscard]] int actionCount() const override { return kActionCount; }
   [[nodiscard]] std::string actionName(int action) const override;
   [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  /// Columnar kernel: the tree bit via BfsTree's batch kernel, then one
+  /// fused child walk per node shared by the Weight sum and the Start-
+  /// row consistency check, and the SP2 row via the shared chordal-row
+  /// scan — vs four virtual enabled() calls each re-walking children.
+  void evaluateGuards(std::span<const NodeId> nodes,
+                      std::uint64_t* masks) const override;
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;

@@ -49,6 +49,30 @@ bool BfsTree::enabled(NodeId p, int action) const {
   return distOf(parent) != m;
 }
 
+void BfsTree::evaluateGuards(std::span<const NodeId> nodes,
+                             std::uint64_t* masks) const {
+  const NodeId root = graph().root();
+  const int n = graph().nodeCount();
+  const int* dist = dist_.data().data();
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const NodeId p = nodes[i];
+    if (p == root) {
+      masks[i] = 0;
+      continue;
+    }
+    int m = n;  // above any stored value
+    for (const NodeId q : graph().neighbors(p))
+      m = std::min(m, q == root ? 0 : dist[q]);
+    const int want = std::min(m + 1, n - 1);
+    bool fix = dist[p] != want;
+    if (!fix) {
+      const NodeId parent = graph().neighborAt(p, par_[p]);
+      fix = (parent == root ? 0 : dist[parent]) != m;
+    }
+    masks[i] = fix ? std::uint64_t{1} : std::uint64_t{0};
+  }
+}
+
 void BfsTree::doExecute(NodeId p, int action) {
   SSNO_EXPECTS(enabled(p, action));
   const int m = minNeighborDist(p);

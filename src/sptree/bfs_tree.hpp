@@ -38,6 +38,11 @@ class BfsTree final : public Protocol, public TreeView {
   [[nodiscard]] int actionCount() const override { return kActionCount; }
   [[nodiscard]] std::string actionName(int action) const override;
   [[nodiscard]] bool enabled(NodeId p, int action) const override;
+  /// Columnar kernel: one fused min-distance walk per node over the
+  /// dist_ column (vs enabled()'s separate min + parent lookups through
+  /// the virtual call).  Bit-identical to enabled() per Debug asserts.
+  void evaluateGuards(std::span<const NodeId> nodes,
+                      std::uint64_t* masks) const override;
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;
   [[nodiscard]] std::vector<int> rawNode(NodeId p) const override;

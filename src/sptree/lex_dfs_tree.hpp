@@ -46,6 +46,12 @@ class LexDfsTree final : public Protocol, public TreeView {
   // ---- Protocol interface ----
   [[nodiscard]] int actionCount() const override { return kActionCount; }
   [[nodiscard]] std::string actionName(int action) const override;
+  // Deliberately NOT overriding evaluateGuards: the guard compares
+  // variable-length lexicographic candidate words held in paged
+  // VarColumn rows, so there is no fixed-stride column layout to scan —
+  // each comparison is a data-dependent word walk with early exit, and
+  // a "batch" version would just re-run the scalar comparisons with no
+  // shared loads to fuse.  The scalar default is the right path here.
   [[nodiscard]] bool enabled(NodeId p, int action) const override;
   [[nodiscard]] std::uint64_t localStateCount(NodeId p) const override;
   [[nodiscard]] std::uint64_t encodeNode(NodeId p) const override;

@@ -16,15 +16,28 @@ same trial on the same machine and therefore hardware-independent:
     padded raw vectors are Theta(n) ints per actor — the engine's
     headline ratio;
   * ``dftno_sync_speedup`` — the same engine ratio on DFTNO's thin
-    8-int state, where shared guard re-evaluation and statement
-    execution dominate (honest ceiling ~1.5x — gated so the columnar
-    path can never silently fall BEHIND the legacy one).
+    8-int state.  The "before" side runs the full pre-batch-kernel
+    stack (scalar virtual guard evaluation + per-node-vector
+    simultaneous pipeline), so this now measures the columnar
+    evaluateGuards kernels and the batched doExecuteSimultaneous path
+    together;
+  * ``guard_batch_speedup`` — (guard-kernel rows) batch evaluateGuards
+    kernels over the scalar per-node virtual enabled() loop on
+    identical state, a paired within-trial median ratio;
+  * ``guard_evals_per_sec`` — (guard-kernel rows) absolute batch-kernel
+    guard evaluations per second, gated as a ratio to the committed
+    baseline like the rest.
 
-An accidental O(n)-per-step reintroduction on the simulator hot path
-collapses these toward 1x regardless of runner speed, so each is gated:
-fail (exit 1) if a fresh ratio drops below --min-ratio (default 0.5,
-i.e. a >2x regression) of the committed value.  Absolute steps/sec are
-printed for the trajectory but not gated.
+The gate set is DECLARATIVE per row: a row is gated on exactly the
+RATIO_GATES fields its committed baseline row records (plus a loud
+failure when the fresh run records a gate the baseline lacks — the fix
+is to re-record the baseline), so kernel rows carry only their own
+fields and never need dummy speedup entries.  An accidental
+O(n)-per-step reintroduction on the simulator hot path collapses the
+ratios toward 1x regardless of runner speed; each gated field fails
+(exit 1) if the fresh value drops below --min-ratio (default 0.5, i.e.
+a >2x regression) of the committed value.  Ungated absolutes are
+printed for the trajectory.
 
 ``model-check/...`` rows also carry a ``speedup`` (parallel explorer
 states/sec over the naive sequential checker), but that ratio scales
@@ -73,9 +86,12 @@ import argparse
 import json
 import sys
 
-INFO = "incremental_moves_per_sec"
-SCHEDULER_GATES = ("speedup", "bitmask_speedup", "sync_speedup",
-                   "dftno_sync_speedup")
+# Per-row info metric: the first of these the fresh row records rides
+# along in the gate printout (trajectory only, never gated).
+INFO_FIELDS = ("incremental_moves_per_sec", "scalar_guard_evals_per_sec")
+RATIO_GATES = ("speedup", "bitmask_speedup", "sync_speedup",
+               "dftno_sync_speedup", "guard_batch_speedup",
+               "guard_evals_per_sec")
 
 
 def by_scenario(path):
@@ -212,11 +228,13 @@ def main():
                         failures.append(
                             f"{name}: model-check speedup regressed to x{r:.2f}")
             continue
-        for gate in SCHEDULER_GATES:
+        info = next((f for f in INFO_FIELDS
+                     if mean(fresh_row, f) is not None), INFO_FIELDS[0])
+        for gate in RATIO_GATES:
             base = mean(base_row, gate)
             new = mean(fresh_row, gate)
             if base is None and new is None:
-                continue  # metric not applicable to this row
+                continue  # gate not declared by this row
             if base is None:
                 # The fresh build records a gate the committed baseline
                 # never saw: a silent skip here would leave the new gate
@@ -230,9 +248,9 @@ def main():
                 continue
             ratio = new / base if base > 0 else float("inf")
             status = "OK" if ratio >= args.min_ratio else "REGRESSION"
-            print(f"{name}: {gate} {base:.1f}x -> {new:.1f}x "
+            print(f"{name}: {gate} {fmt(base, '.4g')} -> {fmt(new, '.4g')} "
                   f"(x{ratio:.2f} of baseline, floor x{args.min_ratio})  "
-                  f"{status};  {INFO} {fmt(mean(fresh_row, INFO))}")
+                  f"{status};  {info} {fmt(mean(fresh_row, info))}")
             if ratio < args.min_ratio:
                 failures.append(f"{name}: {gate} regressed to x{ratio:.2f}")
     if failures:
