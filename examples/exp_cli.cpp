@@ -3,6 +3,7 @@
 //   exp_cli list
 //   exp_cli run <scenario-or-preset> [options]
 //   exp_cli run --scenarios FILE [options]
+//   exp_cli spill-probe --ids N --capacity C [options]
 //
 // A scenario is either a preset name (see `list`) or a dynamic triple
 // "protocol/daemon/topology", e.g. stno/distributed/torus:4x4 or
@@ -31,7 +32,19 @@
 //                 (counters are process-wide — meaningful at --threads 1;
 //                 default off, so reports stay byte-identical)
 //   --quiet       suppress the human-readable table
+//   --io-faults S install a deterministic I/O fault schedule before the
+//                 run (grammar in src/io/fault.hpp)
+//
+// `spill-probe` exercises the mc/spill run-file path end to end for the
+// chaos harness: append `--ids N` deterministic ids through a
+// FrontierSpill with `--capacity C` (forcing ceil(N/C) run files in
+// `--dir`, default the system temp dir), drain everything back, and
+// verify the multiset matches exactly.  Exit 0 = exact drain, 3 = a
+// named spill error (CRC/magic/truncation — the detected-loss path),
+// 4 = silent mismatch (must never happen), 86 = an injected crash.
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -44,6 +57,8 @@
 
 #include "exp/report.hpp"
 #include "exp/scenario.hpp"
+#include "io/fault.hpp"
+#include "mc/spill.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/cache.hpp"
@@ -59,11 +74,89 @@ int usage() {
                "usage: exp_cli list\n"
                "       exp_cli run <scenario-or-preset> [options]\n"
                "       exp_cli run --scenarios FILE [options]\n"
+               "       exp_cli spill-probe --ids N --capacity C [--dir D]\n"
+               "           [--io-faults SPEC] [--metrics FILE]\n"
                "options: [--trials N] [--threads N] [--seed S] [--budget B]\n"
                "         [--rate R] [--only NAME] [--cache-dir DIR]\n"
                "         [--csv FILE] [--json FILE] [--trace-out FILE]\n"
-               "         [--metrics FILE] [--timing] [--quiet]\n");
+               "         [--metrics FILE] [--timing] [--quiet]\n"
+               "         [--io-faults SPEC]\n");
   return 2;
+}
+
+void writeMetrics(const std::string& path) {
+  if (path.empty()) return;
+  const std::string text = ssno::obs::Registry::global().renderPrometheus();
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    return;
+  }
+  std::ofstream out(path);
+  out << text;
+}
+
+/// See the header comment for the exit-code taxonomy.
+int spillProbe(const std::vector<std::string>& args) {
+  std::uint64_t ids = 0, capacity = 0;
+  std::string dir, ioFaults, metricsPath;
+  try {
+    for (std::size_t i = 1; i < args.size(); ++i) {
+      auto value = [&]() -> std::string {
+        if (i + 1 >= args.size())
+          throw std::invalid_argument(args[i] + " needs a value");
+        return args[++i];
+      };
+      if (args[i] == "--ids") ids = std::stoull(value());
+      else if (args[i] == "--capacity") capacity = std::stoull(value());
+      else if (args[i] == "--dir") dir = value();
+      else if (args[i] == "--io-faults") ioFaults = value();
+      else if (args[i] == "--metrics") metricsPath = value();
+      else throw std::invalid_argument("unknown option " + args[i]);
+    }
+    if (ids == 0 || capacity == 0)
+      throw std::invalid_argument("spill-probe needs --ids and --capacity");
+    // Probe setup, not probed state — so before the schedule installs.
+    if (!dir.empty()) std::filesystem::create_directories(dir);
+    if (!ioFaults.empty())
+      ssno::io::installFaultSchedule(ssno::io::FaultSchedule::parse(ioFaults));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "exp_cli: %s\n", e.what());
+    return 2;
+  }
+  try {
+    ssno::mc::FrontierSpill spill(capacity, dir);
+    // Deterministic, order-insensitive payload: id i carries a golden-
+    // ratio hash so torn bytes can't alias a valid permutation.
+    std::vector<std::uint64_t> expected(ids);
+    for (std::uint64_t i = 0; i < ids; ++i)
+      expected[i] = (i + 1) * 0x9E3779B97F4A7C15ULL;
+    constexpr std::size_t kBatch = 17;  // exercise partial appends
+    for (std::uint64_t at = 0; at < ids; at += kBatch)
+      spill.append(expected.data() + at,
+                   std::min<std::size_t>(kBatch, ids - at));
+    std::vector<std::uint64_t> drained, chunk;
+    while (spill.drainChunk(chunk, 64))
+      drained.insert(drained.end(), chunk.begin(), chunk.end());
+    std::sort(expected.begin(), expected.end());
+    std::sort(drained.begin(), drained.end());
+    writeMetrics(metricsPath);
+    if (drained != expected) {
+      std::fprintf(stderr,
+                   "exp_cli: spill-probe SILENT MISMATCH: %zu ids out, "
+                   "%zu expected\n",
+                   drained.size(), expected.size());
+      return 4;
+    }
+    std::fprintf(stderr, "exp_cli: spill-probe ok (%llu ids, %llu runs)\n",
+                 static_cast<unsigned long long>(ids),
+                 static_cast<unsigned long long>(spill.runsWritten()));
+    return 0;
+  } catch (const std::exception& e) {
+    // Detected loss: the named-error contract.
+    std::fprintf(stderr, "exp_cli: spill-probe error: %s\n", e.what());
+    writeMetrics(metricsPath);
+    return 3;
+  }
 }
 
 void listScenarios() {
@@ -109,6 +202,7 @@ int main(int argc, char** argv) {
     listScenarios();
     return 0;
   }
+  if (args[0] == "spill-probe") return spillProbe(args);
   if (args[0] != "run" || args.size() < 2) return usage();
 
   std::string target, scenarioFile;
@@ -124,7 +218,8 @@ int main(int argc, char** argv) {
   std::optional<std::uint64_t> seed;
   std::optional<ssno::StepCount> budget;
   std::optional<double> rate;
-  std::string csvPath, jsonPath, only, cacheDir, tracePath, metricsPath;
+  std::string csvPath, jsonPath, only, cacheDir, tracePath, metricsPath,
+      ioFaults;
   bool quiet = false;
   bool timing = false;
   try {
@@ -148,8 +243,11 @@ int main(int argc, char** argv) {
       else if (args[i] == "--timing") timing = true;
       else if (args[i] == "--quiet") quiet = true;
       else if (args[i] == "--scenarios") scenarioFile = value();
+      else if (args[i] == "--io-faults") ioFaults = value();
       else throw std::invalid_argument("unknown option " + args[i]);
     }
+    if (!ioFaults.empty())
+      ssno::io::installFaultSchedule(ssno::io::FaultSchedule::parse(ioFaults));
 
     if (!target.empty() && !scenarioFile.empty())
       throw std::invalid_argument(

@@ -14,6 +14,16 @@
 //   --metrics FILE        write the Prometheus text exposition at
 //                         shutdown (- for stderr); live values are
 //                         always available via the `metrics` verb
+//   --io-faults SPEC      install a deterministic I/O fault schedule
+//                         (grammar in src/io/fault.hpp) — the chaos
+//                         harness's hook for torn writes, ENOSPC, and
+//                         injected crashes on every durable-state path
+//
+// When the cache directory cannot be created (full/unwritable disk),
+// the service starts CACHELESS instead of dying: a warning goes to
+// stderr, the serve_degraded gauge reads 1 in the metrics verb, and
+// every unit recomputes.  Checkpoints keep working if their own dir is
+// writable.
 //
 // The protocol (line-delimited JSON; submit/resume/status/result/
 // cancel/stats/shutdown) is documented in src/serve/server.hpp and the
@@ -31,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "io/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/server.hpp"
@@ -43,7 +54,8 @@ int usage() {
                "       exp_serve --pipe [options]\n"
                "options: [--cache-dir DIR] [--checkpoint-dir DIR]\n"
                "         [--workers N] [--trial-threads N]\n"
-               "         [--trace-out FILE] [--metrics FILE]\n");
+               "         [--trace-out FILE] [--metrics FILE]\n"
+               "         [--io-faults SPEC]\n");
   return 2;
 }
 
@@ -51,7 +63,8 @@ int usage() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  std::string socketPath, cacheDir, checkpointDir, tracePath, metricsPath;
+  std::string socketPath, cacheDir, checkpointDir, tracePath, metricsPath,
+      ioFaults;
   bool pipe = false;
   int workers = 0, trialThreads = 1;
   try {
@@ -69,17 +82,31 @@ int main(int argc, char** argv) {
       else if (args[i] == "--trial-threads") trialThreads = std::stoi(value());
       else if (args[i] == "--trace-out") tracePath = value();
       else if (args[i] == "--metrics") metricsPath = value();
+      else if (args[i] == "--io-faults") ioFaults = value();
       else throw std::invalid_argument("unknown option " + args[i]);
     }
     if (pipe == !socketPath.empty()) {
       usage();
       throw std::invalid_argument("give exactly one of --pipe or --socket");
     }
+    if (!ioFaults.empty())
+      ssno::io::installFaultSchedule(ssno::io::FaultSchedule::parse(ioFaults));
 
     std::unique_ptr<ssno::serve::ResultCache> cache;
-    if (!cacheDir.empty())
-      cache = std::make_unique<ssno::serve::ResultCache>(cacheDir);
-    if (checkpointDir.empty() && !cacheDir.empty())
+    if (!cacheDir.empty()) {
+      try {
+        cache = std::make_unique<ssno::serve::ResultCache>(cacheDir);
+      } catch (const std::runtime_error& e) {
+        // Degrade, don't die: an unusable cache dir costs recomputes,
+        // not availability.  The gauge makes the state observable.
+        std::fprintf(stderr, "exp_serve: %s; serving cacheless\n", e.what());
+        ssno::obs::Registry::global().gauge("serve_degraded").set(1);
+      }
+    }
+    // Default the checkpoint dir under the cache dir only when the
+    // cache actually came up — a failed cache dir would fail here too,
+    // and checkpoints are optional.
+    if (checkpointDir.empty() && cache != nullptr)
       checkpointDir = cacheDir + "/checkpoints";
 
     ssno::serve::SchedulerOptions opt;

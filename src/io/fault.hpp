@@ -1,0 +1,125 @@
+// io/fault — deterministic fault injection for the durable-I/O layer.
+//
+// Every durable-state writer in the tree (serve/cache record writes,
+// serve/scheduler checkpoint appends, mc/spill run files) routes its
+// filesystem mutations through the io::File / io::atomicReplace wrappers
+// in io/file.hpp.  Each wrapped operation consults the process-wide
+// FaultSchedule installed here before touching the real filesystem, so
+// a test, the chaos harness, or an `--io-faults` flag can make any
+// write fail, tear, or crash the process at an exact, reproducible
+// point — the crash-consistency analogue of the protocol-level
+// adversarial daemons in src/resil.
+//
+// Schedule grammar (semicolon-separated directives):
+//
+//   <fault>@<op>                fire on EVERY matching call
+//   <fault>@<op>:<n>            fire once, on the Nth matching call
+//   <fault>@<op>:p=<prob>       fire per matching call with probability p
+//   <fault>:p=<prob>            fire on ANY op with probability p
+//   ...@<op>:...:path=<substr>  restrict to paths containing <substr>
+//   seed=<n>                    seed for the probabilistic draws
+//
+//   faults: enospc eio eintr short torn crash
+//   ops:    open write fsync rename mkdir close
+//
+// Examples: "enospc@write:7; torn@rename:2; eintr:p=0.1; crash@fsync:3"
+//           "enospc@write:path=.rec"  (only cache records hit ENOSPC)
+//
+// Fault semantics (applied by the io/file.hpp wrappers):
+//   enospc/eio  the call fails with that errno; nothing happens on disk
+//   eintr       the call fails with EINTR (write loops must retry)
+//   short       write: only half the buffer is written, the short count
+//               is returned (success — callers must loop); other ops
+//               behave like eio
+//   torn        write: half the buffer reaches the fd, then the call
+//               FAILS with ENOSPC — a torn record is now on disk;
+//               rename: the source file is truncated to half before the
+//               real rename (models data blocks lost to a crash after
+//               an un-fsynced rename was committed); other ops like eio
+//   crash       write: half the buffer reaches the fd, then the process
+//               _exit(kCrashExitCode)s on the spot (no destructors, no
+//               flush — a real crash); other ops crash before acting
+//
+// Nth-call counters are per rule and count MATCHING calls (after op and
+// path filters), so "crash@fsync:3" is the third fsync issued by any
+// routed writer.  Rules are evaluated in directive order; the first one
+// that fires wins.  Matching and counter advance are serialized under
+// one mutex, so single-threaded writers get bit-reproducible schedules.
+#ifndef SSNO_IO_FAULT_HPP
+#define SSNO_IO_FAULT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssno::io {
+
+enum class Op { kOpen, kWrite, kFsync, kRename, kMkdir, kClose };
+inline constexpr int kOpCount = 6;
+
+enum class Fault { kNone, kEnospc, kEio, kEintr, kShort, kTorn, kCrash };
+
+/// Exit code used by an injected crash (distinct from common signals'
+/// 128+N codes only by convention; harnesses match on it exactly).
+inline constexpr int kCrashExitCode = 86;
+
+[[nodiscard]] std::string_view opName(Op op);
+[[nodiscard]] std::string_view faultName(Fault f);
+
+/// What the wrapper must do for one operation.
+struct Decision {
+  Fault fault = Fault::kNone;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Parses the grammar above; throws std::invalid_argument naming the
+  /// offending directive (1-based) and what was wrong with it.
+  static FaultSchedule parse(std::string_view spec);
+
+  /// Decision for the next call of `op` on `path`; advances matching
+  /// rules' counters and the probabilistic stream.  Not thread-safe on
+  /// its own — the process-wide installer serializes calls.
+  Decision decide(Op op, std::string_view path);
+
+  [[nodiscard]] bool empty() const { return rules_.empty(); }
+  [[nodiscard]] std::string render() const;  ///< parseable round-trip
+
+ private:
+  struct Rule {
+    Fault fault = Fault::kNone;
+    std::optional<Op> op;       // nullopt = any op
+    std::uint64_t nth = 0;      // 1-based one-shot; 0 = not count-based
+    double p = -1.0;            // per-call probability; < 0 = not used
+    std::string pathSub;        // "" = any path
+    std::uint64_t matched = 0;  // matching calls seen so far
+    bool fired = false;         // one-shot latch for nth rules
+  };
+  std::vector<Rule> rules_;
+  std::uint64_t seed_ = 0x53534e4f696f31ULL;  // "SSNOio1"
+  std::uint64_t rngState_ = 0;
+  bool rngInit_ = false;
+
+  double nextUniform();
+};
+
+/// Installs `sched` process-wide (replacing any previous schedule); the
+/// io/file.hpp wrappers consult it under an internal mutex.  An empty
+/// schedule (or clearFaultSchedule) restores direct passthrough.
+void installFaultSchedule(FaultSchedule sched);
+void clearFaultSchedule();
+[[nodiscard]] bool faultInjectionActive();
+
+/// One decision for an op about to run on `path`; passthrough (kNone)
+/// when no schedule is installed.  Increments the io_<op>_total counter
+/// always and io_faults_injected_total when a fault fires.
+Decision consultFaults(Op op, std::string_view path);
+
+}  // namespace ssno::io
+
+#endif  // SSNO_IO_FAULT_HPP

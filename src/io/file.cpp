@@ -1,0 +1,293 @@
+#include "io/file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "io/fault.hpp"
+
+namespace ssno::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// CRC-32 lookup table (reflected 0xEDB88320), built once.
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t crcUpdate(std::uint32_t state, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = crcTable();
+  for (std::size_t i = 0; i < n; ++i)
+    state = table[(state ^ bytes[i]) & 0xFFu] ^ (state >> 8);
+  return state;
+}
+
+/// Applies an injected fault to a pending write of `n` bytes on `fd`.
+/// Returns the value the raw ::write would have returned (with errno
+/// set on -1); may _exit for crash faults.
+ssize_t applyWriteFault(Fault fault, int fd, const void* data, std::size_t n) {
+  const std::size_t half = n / 2;
+  switch (fault) {
+    case Fault::kEnospc:
+      errno = ENOSPC;
+      return -1;
+    case Fault::kEio:
+      errno = EIO;
+      return -1;
+    case Fault::kEintr:
+      errno = EINTR;
+      return -1;
+    case Fault::kShort:
+      if (half == 0) return static_cast<ssize_t>(n == 0 ? 0 : ::write(fd, data, n));
+      return ::write(fd, data, half);
+    case Fault::kTorn:
+      // Half the bytes land, then the device "fills": a torn record is
+      // now on disk and the caller sees a hard failure.
+      if (half > 0) (void)::write(fd, data, half);
+      errno = ENOSPC;
+      return -1;
+    case Fault::kCrash:
+      if (half > 0) (void)::write(fd, data, half);
+      ::_exit(kCrashExitCode);
+    case Fault::kNone:
+      break;
+  }
+  return static_cast<ssize_t>(n);  // unreachable for kNone (handled by caller)
+}
+
+/// Non-write ops: map the injected fault to an errno (or crash).
+/// Returns 0 when no fault fires, else the errno to report.
+int applyPlainFault(Fault fault) {
+  switch (fault) {
+    case Fault::kNone:
+      return 0;
+    case Fault::kEintr:
+      return EINTR;
+    case Fault::kEnospc:
+      return ENOSPC;
+    case Fault::kCrash:
+      ::_exit(kCrashExitCode);
+    case Fault::kEio:
+    case Fault::kShort:
+    case Fault::kTorn:
+      return EIO;
+  }
+  return EIO;
+}
+
+/// fsync through the fault schedule, EINTR-retried.
+bool syncFd(int fd, const std::string& path, int& errnoOut) {
+  for (;;) {
+    const Decision d = consultFaults(Op::kFsync, path);
+    if (d.fault != Fault::kNone) {
+      const int e = applyPlainFault(d.fault);
+      if (e == EINTR) continue;  // injected EINTR: retry loop absorbs it
+      errnoOut = e;
+      return false;
+    }
+    if (::fsync(fd) == 0) return true;
+    if (errno == EINTR) continue;
+    errnoOut = errno;
+    return false;
+  }
+}
+
+bool closeFd(int fd, const std::string& path, int& errnoOut) {
+  const Decision d = consultFaults(Op::kClose, path);
+  // The fd is released regardless of any injected error — mirroring
+  // POSIX close(), which leaves the fd unusable even on failure.
+  const int real = ::close(fd);
+  const int injected = applyPlainFault(d.fault);
+  if (injected != 0 && injected != EINTR) {
+    errnoOut = injected;
+    return false;
+  }
+  if (real != 0 && errno != EINTR) {
+    errnoOut = errno;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  return crcUpdate(0xFFFFFFFFu, data.data(), data.size()) ^ 0xFFFFFFFFu;
+}
+
+void Crc32::update(const void* data, std::size_t n) {
+  state_ = crcUpdate(state_, data, n);
+}
+
+File::~File() {
+  if (fd_ >= 0) (void)close();
+}
+
+File::File(File&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)), errno_(other.errno_) {
+  other.fd_ = -1;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) (void)close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    errno_ = other.errno_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+File File::openWith(const std::string& path, int flags) {
+  File f(-1, path);
+  const Decision d = consultFaults(Op::kOpen, path);
+  const int injected = applyPlainFault(d.fault);
+  if (injected != 0 && injected != EINTR) {
+    f.errno_ = injected;
+    return f;
+  }
+  for (;;) {
+    const int fd = ::open(path.c_str(), flags, 0644);
+    if (fd >= 0) {
+      f.fd_ = fd;
+      return f;
+    }
+    if (errno == EINTR) continue;
+    f.errno_ = errno;
+    return f;
+  }
+}
+
+File File::createTrunc(const std::string& path) {
+  return openWith(path, O_WRONLY | O_CREAT | O_TRUNC);
+}
+
+File File::openAppend(const std::string& path) {
+  return openWith(path, O_WRONLY | O_CREAT | O_APPEND);
+}
+
+bool File::writeAll(std::string_view data) {
+  return writeAll(data.data(), data.size());
+}
+
+bool File::writeAll(const void* data, std::size_t n) {
+  if (fd_ < 0) {
+    if (errno_ == 0) errno_ = EBADF;
+    return false;
+  }
+  const auto* cursor = static_cast<const unsigned char*>(data);
+  std::size_t left = n;
+  while (left > 0) {
+    const Decision d = consultFaults(Op::kWrite, path_);
+    ssize_t wrote;
+    if (d.fault != Fault::kNone) {
+      wrote = applyWriteFault(d.fault, fd_, cursor, left);
+    } else {
+      wrote = ::write(fd_, cursor, left);
+    }
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      errno_ = errno;
+      return false;
+    }
+    cursor += wrote;
+    left -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+bool File::sync() {
+  if (fd_ < 0) {
+    if (errno_ == 0) errno_ = EBADF;
+    return false;
+  }
+  return syncFd(fd_, path_, errno_);
+}
+
+bool File::close() {
+  if (fd_ < 0) return true;
+  const int fd = fd_;
+  fd_ = -1;
+  return closeFd(fd, path_, errno_);
+}
+
+std::string File::error() const {
+  return errno_ == 0 ? std::string() : std::string(std::strerror(errno_));
+}
+
+bool atomicReplace(const std::string& temp, const std::string& finalPath,
+                   int* errnoOut) {
+  const auto fail = [&](int e) {
+    if (errnoOut) *errnoOut = e;
+    return false;
+  };
+  const Decision d = consultFaults(Op::kRename, finalPath);
+  if (d.fault == Fault::kCrash) ::_exit(kCrashExitCode);
+  if (d.fault == Fault::kTorn) {
+    // Model a crash right after an un-fsynced rename: the directory
+    // entry moved but half the data blocks never hit the platter.
+    std::error_code ec;
+    const auto size = fs::file_size(temp, ec);
+    if (!ec) fs::resize_file(temp, size / 2, ec);
+  } else if (d.fault != Fault::kNone) {
+    return fail(applyPlainFault(d.fault));
+  }
+  if (::rename(temp.c_str(), finalPath.c_str()) != 0) return fail(errno);
+
+  // Durability of the rename itself: fsync the parent directory.
+  const std::string dir = fs::path(finalPath).parent_path().string();
+  if (dir.empty()) return true;
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return fail(errno);
+  int e = 0;
+  const bool synced = syncFd(dfd, dir, e);
+  ::close(dfd);
+  return synced ? true : fail(e);
+}
+
+bool createDirectories(const std::string& dir, std::error_code& ec) {
+  const Decision d = consultFaults(Op::kMkdir, dir);
+  const int injected = applyPlainFault(d.fault);
+  if (injected != 0 && injected != EINTR) {
+    ec = std::error_code(injected, std::generic_category());
+    return false;
+  }
+  fs::create_directories(dir, ec);
+  return !ec;
+}
+
+bool writeFileDurable(const std::string& finalPath,
+                      const std::string& tempSuffix, std::string_view data) {
+  const std::string temp = finalPath + tempSuffix;
+  bool ok = false;
+  {
+    File f = File::createTrunc(temp);
+    ok = f.valid() && f.writeAll(data) && f.sync() && f.close();
+  }
+  if (ok) ok = atomicReplace(temp, finalPath);
+  if (!ok) {
+    std::error_code ec;
+    fs::remove(temp, ec);
+  }
+  return ok;
+}
+
+}  // namespace ssno::io

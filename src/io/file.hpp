@@ -1,0 +1,116 @@
+// io/file — the durable-I/O primitives every durable-state writer uses.
+//
+// A thin fd-level layer (no stdio buffering: what writeAll reports
+// written has reached the kernel) whose every mutation consults the
+// fault schedule in io/fault.hpp, so the chaos harness can fail, tear,
+// or crash any write at an exact call index.  The contract writers get:
+//
+//   File::createTrunc/openAppend  open through the schedule (op open)
+//   File::writeAll                loops over short writes and EINTR
+//                                 (op write, once per underlying call)
+//   File::sync                    fsync, EINTR-retried (op fsync)
+//   File::close                   close (op close); also run by ~File
+//   atomicReplace(temp, final)    rename(temp, final) + fsync of the
+//                                 parent directory (ops rename, open,
+//                                 fsync, close), so the rename itself
+//                                 is durable — callers must writeAll +
+//                                 sync the temp file FIRST, making the
+//                                 sequence crash-safe: after any crash
+//                                 the final path holds either the old
+//                                 bytes or the complete new bytes
+//   createDirectories             fs::create_directories (op mkdir)
+//
+// Every operation is best-effort at this layer: failures return false
+// (errno preserved in errnoValue()/error()) and the CALLER decides
+// whether that is a counted degradation (serve/cache), a warning
+// counter (scheduler checkpoint appends), or a named error (mc/spill).
+//
+// The CRC-32 used by record/run integrity headers lives here too so
+// serve/cache and mc/spill share one implementation.
+#ifndef SSNO_IO_FILE_HPP
+#define SSNO_IO_FILE_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <system_error>
+
+namespace ssno::io {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320).
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// Incremental CRC-32 over a byte stream (same polynomial/final xor as
+/// crc32(); value() may be read at any point).
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t n);
+  [[nodiscard]] std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+class File {
+ public:
+  File() = default;
+  ~File();
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  /// O_WRONLY|O_CREAT|O_TRUNC — a fresh temp file about to be filled.
+  static File createTrunc(const std::string& path);
+  /// O_WRONLY|O_CREAT|O_APPEND — checkpoint-style line appends.
+  static File openAppend(const std::string& path);
+
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Writes all of `data`, looping over short writes and EINTR.  False
+  /// on the first hard failure (some prefix may already be on disk —
+  /// exactly the torn state readers must detect).
+  bool writeAll(std::string_view data);
+  bool writeAll(const void* data, std::size_t n);
+
+  /// fsync, EINTR-retried.
+  bool sync();
+
+  /// Explicit close so callers can sequence it before a rename; false
+  /// when close reports an error (the fd is released either way).
+  bool close();
+
+  [[nodiscard]] int errnoValue() const { return errno_; }
+  /// strerror text of the last failure ("" when none).
+  [[nodiscard]] std::string error() const;
+
+ private:
+  File(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  static File openWith(const std::string& path, int flags);
+
+  int fd_ = -1;
+  std::string path_;
+  int errno_ = 0;
+};
+
+/// Durable atomic replace: rename(temp, final), then open + fsync +
+/// close the parent directory of `final` so the directory entry itself
+/// survives a crash.  The temp file must already be written and synced.
+/// False (errno in `ec`-style via errnoOut when non-null) on failure;
+/// the temp file is left for the caller to clean up.
+bool atomicReplace(const std::string& temp, const std::string& finalPath,
+                   int* errnoOut = nullptr);
+
+/// fs::create_directories routed through the fault schedule (op mkdir).
+bool createDirectories(const std::string& dir, std::error_code& ec);
+
+/// Convenience: createTrunc + writeAll + sync + close + atomicReplace.
+/// The temp path is `finalPath` + tempSuffix.  On any failure the temp
+/// file is removed (best effort) and false returned.
+bool writeFileDurable(const std::string& finalPath,
+                      const std::string& tempSuffix, std::string_view data);
+
+}  // namespace ssno::io
+
+#endif  // SSNO_IO_FILE_HPP

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <stdexcept>
 
@@ -16,6 +17,16 @@ const obs::Counter kSpillRuns =
     obs::Registry::global().counter("mc_spill_runs_total");
 const obs::Counter kSpillBytes =
     obs::Registry::global().counter("mc_spill_bytes_total");
+const obs::Counter kSpillCorrupt =
+    obs::Registry::global().counter("mc_spill_corrupt_runs_total");
+
+constexpr char kRunMagic[8] = {'S', 'S', 'N', 'O', 'R', 'U', 'N', '1'};
+constexpr std::size_t kRunHeaderBytes = 24;  // magic + u64 count + u32 crc + pad
+
+[[noreturn]] void failCorrupt(const std::string& run, const char* what) {
+  kSpillCorrupt.inc();
+  throw std::runtime_error("FrontierSpill: corrupt run " + run + ": " + what);
+}
 }  // namespace
 
 FrontierSpill::FrontierSpill(std::uint64_t memCapacity,
@@ -37,14 +48,24 @@ FrontierSpill::~FrontierSpill() { reset(); }
 
 void FrontierSpill::flushLocked() {
   const std::string path = prefix_ + std::to_string(runSerial_++) + ".run";
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr)
-    throw std::runtime_error("FrontierSpill: cannot create run file " + path);
-  const std::size_t wrote =
-      std::fwrite(mem_.data(), sizeof(std::uint64_t), mem_.size(), f);
-  std::fclose(f);
-  if (wrote != mem_.size())
-    throw std::runtime_error("FrontierSpill: short write to " + path);
+  const std::size_t payloadBytes = mem_.size() * sizeof(std::uint64_t);
+  io::Crc32 crc;
+  crc.update(mem_.data(), payloadBytes);
+  char header[kRunHeaderBytes] = {};
+  std::memcpy(header, kRunMagic, sizeof(kRunMagic));
+  const std::uint64_t count = mem_.size();
+  const std::uint32_t sum = crc.value();
+  std::memcpy(header + 8, &count, sizeof(count));
+  std::memcpy(header + 16, &sum, sizeof(sum));
+  io::File f = io::File::createTrunc(path);
+  if (!f.valid())
+    throw std::runtime_error("FrontierSpill: cannot create run file " + path +
+                             ": " + f.error());
+  // No sync(): runs are scratch, see the header comment.
+  if (!f.writeAll(header, kRunHeaderBytes) ||
+      !f.writeAll(mem_.data(), payloadBytes) || !f.close())
+    throw std::runtime_error("FrontierSpill: cannot write run file " + path +
+                             ": " + f.error());
   runs_.push_back(path);
   ++runsWritten_;
   kSpillRuns.inc();
@@ -66,22 +87,42 @@ bool FrontierSpill::drainChunk(std::vector<std::uint64_t>& out,
   // Stream run files first, then the RAM tail.
   while (out.size() < chunk) {
     if (readFile_ == nullptr && readRun_ < runs_.size()) {
-      readFile_ = std::fopen(runs_[readRun_].c_str(), "rb");
+      const std::string& run = runs_[readRun_];
+      readFile_ = std::fopen(run.c_str(), "rb");
       if (readFile_ == nullptr)
-        throw std::runtime_error("FrontierSpill: cannot reopen run " +
-                                 runs_[readRun_]);
+        throw std::runtime_error("FrontierSpill: cannot reopen run " + run);
+      char header[kRunHeaderBytes];
+      if (std::fread(header, 1, kRunHeaderBytes,
+                     static_cast<std::FILE*>(readFile_)) != kRunHeaderBytes)
+        failCorrupt(run, "short header");
+      if (std::memcmp(header, kRunMagic, sizeof(kRunMagic)) != 0)
+        failCorrupt(run, "bad magic");
+      std::memcpy(&runIdsLeft_, header + 8, sizeof(runIdsLeft_));
+      std::memcpy(&runCrcExpected_, header + 16, sizeof(runCrcExpected_));
+      runCrc_ = io::Crc32();
     }
     if (readFile_ != nullptr) {
-      const std::size_t want = chunk - out.size();
+      const std::string& run = runs_[readRun_];
+      const std::size_t want = std::min<std::size_t>(
+          chunk - out.size(), static_cast<std::size_t>(runIdsLeft_));
       const std::size_t base = out.size();
       out.resize(base + want);
       const std::size_t got =
           std::fread(out.data() + base, sizeof(std::uint64_t), want,
                      static_cast<std::FILE*>(readFile_));
       out.resize(base + got);
-      if (got < want) {
+      runCrc_.update(out.data() + base, got * sizeof(std::uint64_t));
+      runIdsLeft_ -= got;
+      if (got < want) failCorrupt(run, "truncated payload");
+      if (runIdsLeft_ == 0) {
+        // Header count satisfied: the payload must check out exactly —
+        // no CRC mismatch, no trailing bytes.
+        if (runCrc_.value() != runCrcExpected_)
+          failCorrupt(run, "crc mismatch");
+        if (std::fgetc(static_cast<std::FILE*>(readFile_)) != EOF)
+          failCorrupt(run, "trailing bytes");
         std::fclose(static_cast<std::FILE*>(readFile_));
-        std::remove(runs_[readRun_].c_str());
+        std::remove(run.c_str());
         readFile_ = nullptr;
         ++readRun_;
       }

@@ -4,9 +4,19 @@
 // irrelevant: verdict determinism comes from canonical-min selection,
 // not processing order), so spilling is trivial run-file management in
 // the fsais external-memory style: when the in-RAM buffer exceeds the
-// capacity, it is flushed as one binary run file of raw u64 ids, and
-// draining streams the runs back chunk by chunk.  With capacity 0 the
-// frontier stays entirely in RAM and no files are touched.
+// capacity, it is flushed as one binary run file, and draining streams
+// the runs back chunk by chunk.  With capacity 0 the frontier stays
+// entirely in RAM and no files are touched.
+//
+// Run file format: a 24-byte header — 8-byte magic "SSNORUN1", u64 id
+// count, u32 CRC-32 of the payload, u32 zero pad — then `count` raw
+// u64 ids.  drainChunk() verifies magic, count, and CRC as it streams;
+// any mismatch (torn write, truncation, foreign file) is a NAMED
+// std::runtime_error — detected state loss, never a silently shrunken
+// frontier.  Runs are written through io/file.hpp (fault-injectable)
+// but deliberately NOT fsynced: they are scratch state scoped to one
+// checker run — a machine crash loses the whole exploration anyway, so
+// durability would buy nothing and cost a sync per run.
 //
 // append() is thread-safe (workers flush local batches during a level);
 // drainChunk() is single-consumer and must not overlap appends to the
@@ -21,6 +31,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "io/file.hpp"
 
 namespace ssno::mc {
 
@@ -42,7 +54,8 @@ class FrontierSpill {
   [[nodiscard]] std::uint64_t runsWritten() const { return runsWritten_; }
 
   /// Moves up to `chunk` ids into `out` (cleared first); false once
-  /// everything has been drained.
+  /// everything has been drained.  Throws std::runtime_error naming the
+  /// run file when a run fails header or CRC validation.
   bool drainChunk(std::vector<std::uint64_t>& out, std::size_t chunk);
 
   /// Clears all content (drained or not) and deletes remaining runs,
@@ -65,6 +78,9 @@ class FrontierSpill {
   std::size_t memAt_ = 0;
   void* readFile_ = nullptr;  // FILE* of the run currently streamed
   std::size_t readRun_ = 0;
+  std::uint64_t runIdsLeft_ = 0;     // ids the current run's header promised
+  std::uint32_t runCrcExpected_ = 0;
+  io::Crc32 runCrc_;                 // accumulated over streamed payload
 };
 
 }  // namespace ssno::mc

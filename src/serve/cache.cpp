@@ -1,12 +1,13 @@
 #include "serve/cache.hpp"
 
 #include <algorithm>
-#include <array>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <unistd.h>
 
+#include "io/fault.hpp"
+#include "io/file.hpp"
 #include "obs/metrics.hpp"
 
 namespace ssno::serve {
@@ -30,18 +31,12 @@ const obs::Counter kCacheStoreFailures =
 const obs::Counter kCachePruned =
     obs::Registry::global().counter("serve_cache_pruned_total");
 
-constexpr const char* kMagic = "ssno-result-cache v1";
+// 1 while the service is running without a working cache (store failed
+// or startup fell back to cacheless); 0 once a store succeeds again.
+const obs::Gauge kServeDegraded =
+    obs::Registry::global().gauge("serve_degraded");
 
-std::array<std::uint32_t, 256> makeCrcTable() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t c = i;
-    for (int k = 0; k < 8; ++k)
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    table[i] = c;
-  }
-  return table;
-}
+constexpr const char* kMagic = "ssno-result-cache v1";
 
 std::string hex32(std::uint32_t v) {
   static constexpr char kHex[] = "0123456789abcdef";
@@ -63,17 +58,12 @@ bool headerLine(std::istream& in, const char* key, std::string* value) {
 
 }  // namespace
 
-std::uint32_t crc32(std::string_view data) {
-  static const std::array<std::uint32_t, 256> kTable = makeCrcTable();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (const unsigned char byte : data) c = kTable[(c ^ byte) & 0xFF] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
+std::uint32_t crc32(std::string_view data) { return io::crc32(data); }
 
 ResultCache::ResultCache(std::string dir, std::string salt)
     : dir_(std::move(dir)), salt_(std::move(salt)) {
   std::error_code ec;
-  fs::create_directories(dir_, ec);
+  io::createDirectories(dir_, ec);
   if (ec || !fs::is_directory(dir_))
     throw std::runtime_error("ResultCache: cannot create directory " + dir_);
 }
@@ -167,34 +157,35 @@ bool ResultCache::store(const exp::Scenario& s, std::string_view payload) {
   const std::string temp =
       path + ".tmp." + std::to_string(::getpid()) + "." +
       std::to_string(tempSeq_.fetch_add(1));
-  std::error_code ec;
-  fs::create_directories(fs::path(path).parent_path(), ec);
-  {
-    std::ofstream out(temp, std::ios::binary | std::ios::trunc);
-    out << kMagic << "\n"
-        << "salt " << salt_ << "\n"
-        << "key " << key << "\n"
-        << "scenario " << exp::canonicalScenario(s) << "\n"
-        << "bytes " << payload.size() << "\n"
-        << "crc32 " << hex32(crc32(payload)) << "\n";
-    out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
-    out.flush();
-    if (!out) {
-      fs::remove(temp, ec);
-      ++storeFailures_;
-      kCacheStoreFailures.inc();
-      return false;
-    }
-  }
-  fs::rename(temp, path, ec);
-  if (ec) {
-    fs::remove(temp, ec);
+  const auto failed = [&] {
+    std::error_code rmEc;
+    fs::remove(temp, rmEc);
     ++storeFailures_;
     kCacheStoreFailures.inc();
+    kServeDegraded.set(1);
     return false;
+  };
+  std::error_code ec;
+  io::createDirectories(fs::path(path).parent_path().string(), ec);
+  std::string record = kMagic;
+  record += "\nsalt " + salt_ + "\nkey " + key + "\nscenario " +
+            exp::canonicalScenario(s) + "\nbytes " +
+            std::to_string(payload.size()) + "\ncrc32 " +
+            hex32(crc32(payload)) + "\n";
+  record.append(payload.data(), payload.size());
+  {
+    // The full crash-consistency sequence: write, fsync the FILE, close,
+    // rename, fsync the parent DIRECTORY — a crash at any point leaves
+    // either no record or a complete one at the final path (anything
+    // torn sits in a .tmp the reader never opens).
+    io::File out = io::File::createTrunc(temp);
+    if (!out.valid() || !out.writeAll(record) || !out.sync() || !out.close())
+      return failed();
   }
+  if (!io::atomicReplace(temp, path)) return failed();
   ++stores_;
   kCacheStores.inc();
+  kServeDegraded.set(0);
   return true;
 }
 

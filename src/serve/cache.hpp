@@ -25,9 +25,13 @@
 // that fails to parse — as a miss and never throw: a corrupt or
 // truncated record costs a recompute, not an outage.  Writers never
 // update in place: the record goes to a unique temp file in the final
-// directory and is atomically renamed over the destination, so
-// concurrent writers of one key race benignly (either complete record
-// wins; both are byte-identical by determinism).
+// directory (written, fsynced, closed), is atomically renamed over the
+// destination, and the parent directory is fsynced — so after a crash
+// at ANY point the final path holds either nothing or a complete
+// record, and concurrent writers of one key race benignly (either
+// complete record wins; both are byte-identical by determinism).  All
+// writes route through io/file.hpp, so the io/fault.hpp schedule can
+// fail or crash any of them deterministically.
 //
 // WHEN TO BUMP kCacheSalt: any change that alters result bytes for an
 // unchanged canonical scenario — trial semantics, RNG streams, metric
@@ -80,7 +84,9 @@ class ResultCache {
 
   /// Best effort: returns false (and counts a storeFailure) instead of
   /// throwing when the filesystem misbehaves — an always-on service
-  /// must survive a full disk with degraded caching, not crash.
+  /// must survive a full disk with degraded caching, not crash.  A
+  /// failure also raises the `serve_degraded` gauge; the next
+  /// successful store clears it.
   bool store(const exp::Scenario& s, std::string_view payload);
   bool storeResult(const exp::ScenarioResult& r);
 

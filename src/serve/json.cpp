@@ -51,11 +51,22 @@ class Parser {
     return true;
   }
 
+  // Bounds recursion so adversarial input like "[[[[..." fails with a
+  // byte-offset error instead of overflowing the stack (UB).  128 is
+  // far beyond any protocol message (depth <= 3) and well inside the
+  // default stack even with this parser's frame sizes.
+  static constexpr std::size_t kMaxDepth = 128;
+
   JsonValue parseValue() {
     skipWs();
     const char c = peek();
-    if (c == '{') return parseObject();
-    if (c == '[') return parseArray();
+    if (c == '{' || c == '[') {
+      if (depth_ >= kMaxDepth) fail(pos_, "nesting too deep");
+      ++depth_;
+      JsonValue v = c == '{' ? parseObject() : parseArray();
+      --depth_;
+      return v;
+    }
     if (c == '"') return JsonValue(parseString());
     if (consumeWord("true")) return JsonValue(true);
     if (consumeWord("false")) return JsonValue(false);
@@ -182,6 +193,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;  // open containers; capped at kMaxDepth
 };
 
 }  // namespace

@@ -8,7 +8,9 @@
 // budgets) is well inside the 2^53 exact range.  parse() is strict —
 // trailing bytes after the value are an error — and throws
 // std::invalid_argument with a byte offset.  String escapes cover the
-// JSON basics plus non-surrogate \uXXXX (encoded as UTF-8).
+// JSON basics plus non-surrogate \uXXXX (encoded as UTF-8).  Container
+// nesting is capped at 128 levels, so adversarial "[[[[..." input is a
+// byte-offset error, never a stack overflow.
 #ifndef SSNO_SERVE_JSON_HPP
 #define SSNO_SERVE_JSON_HPP
 

@@ -6,10 +6,22 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/file.hpp"
+#include "obs/metrics.hpp"
+
 namespace ssno::serve {
 namespace {
 
 constexpr const char* kCheckpointMagic = "ssno-checkpoint v1";
+
+// A partial final line (crash mid-append) skipped by resume().
+const obs::Counter kCkptTruncatedLines =
+    obs::Registry::global().counter("serve_ckpt_truncated_lines_total");
+// done/complete appends that failed to reach disk.  Advisory lines:
+// losing one costs a recompute on resume, never correctness — so the
+// failure is counted, not thrown.
+const obs::Counter kCkptAppendFailures =
+    obs::Registry::global().counter("serve_ckpt_append_failures_total");
 
 bool pathSafeName(const std::string& name) {
   if (name.empty() || name[0] == '.') return false;
@@ -28,7 +40,7 @@ JobScheduler::JobScheduler(SchedulerOptions opt) : opt_(std::move(opt)) {
   if (opt_.trialThreads <= 0) opt_.trialThreads = 1;
   if (!opt_.checkpointDir.empty()) {
     std::error_code ec;
-    std::filesystem::create_directories(opt_.checkpointDir, ec);
+    io::createDirectories(opt_.checkpointDir, ec);
     if (ec || !std::filesystem::is_directory(opt_.checkpointDir))
       throw std::runtime_error("JobScheduler: cannot create checkpoint dir " +
                                opt_.checkpointDir);
@@ -57,8 +69,13 @@ std::string JobScheduler::checkpointPath(const std::string& name) const {
 
 void JobScheduler::appendCheckpoint(Job& job, const std::string& line) {
   if (job.checkpoint.empty()) return;
-  std::ofstream out(checkpointPath(job.checkpoint), std::ios::app);
-  out << line << "\n" << std::flush;
+  io::File out = io::File::openAppend(checkpointPath(job.checkpoint));
+  // One writeAll per line: a crash tears at most the line being
+  // appended, which resume() skips.  fsync before close so "done" lines
+  // survive a post-append power cut.
+  if (!out.valid() || !out.writeAll(line + "\n") || !out.sync() ||
+      !out.close())
+    kCkptAppendFailures.inc();
 }
 
 std::uint64_t JobScheduler::submit(std::vector<exp::Scenario> sweep,
@@ -87,13 +104,15 @@ std::uint64_t JobScheduler::submit(std::vector<exp::Scenario> sweep,
   submittedUnits_ += job.scenarios.size();
 
   if (!ckptPath.empty()) {
-    std::ofstream out(ckptPath, std::ios::trunc);
-    out << kCheckpointMagic << "\n"
-        << "name " << checkpoint << "\n";
+    // The unit list is the sweep's source of truth — written durably
+    // (temp + fsync + atomic rename + dir fsync) so a crash during
+    // submit leaves either no checkpoint or a complete unit list, never
+    // a torn one.  Appended done/complete lines are advisory on top.
+    std::string body = kCheckpointMagic;
+    body += "\nname " + checkpoint + "\n";
     for (const exp::Scenario& s : job.scenarios)
-      out << "unit\t" << s.name << "\t" << exp::canonicalScenario(s) << "\n";
-    out << std::flush;
-    if (!out)
+      body += "unit\t" + s.name + "\t" + exp::canonicalScenario(s) + "\n";
+    if (!io::writeFileDurable(ckptPath, ".tmp", body))
       throw std::runtime_error("cannot write checkpoint " + ckptPath);
   }
 
@@ -121,13 +140,27 @@ std::uint64_t JobScheduler::submit(std::vector<exp::Scenario> sweep,
 std::uint64_t JobScheduler::resume(const std::string& checkpoint,
                                    int priority) {
   const std::string path = checkpointPath(checkpoint);
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open checkpoint " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  // Crash-mid-append leaves a final line with no terminating '\n'.
+  // That partial line is untrustworthy by construction (the append was
+  // torn), so it is skipped — counted, never a parse failure that
+  // would lose the whole sweep.  Everything before it is intact: the
+  // unit list was written atomically and appends are one line each.
+  if (!text.empty() && text.back() != '\n') {
+    const auto lastNl = text.find_last_of('\n');
+    text.resize(lastNl == std::string::npos ? 0 : lastNl + 1);
+    kCkptTruncatedLines.inc();
+  }
+  std::istringstream lines(text);
   std::string line;
-  if (!std::getline(in, line) || line != kCheckpointMagic)
+  if (!std::getline(lines, line) || line != kCheckpointMagic)
     throw std::runtime_error("checkpoint " + path + ": bad magic");
   std::vector<exp::Scenario> sweep;
-  while (std::getline(in, line)) {
+  while (std::getline(lines, line)) {
     if (line.rfind("unit\t", 0) != 0) continue;  // name/done/complete lines
     const auto second = line.find('\t', 5);
     if (second == std::string::npos)

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -238,6 +239,57 @@ TEST(Server, KilledServerResumesFromCheckpointByteIdentical) {
   EXPECT_EQ(lines[0].find("units")->asInt(), 3);
   EXPECT_TRUE(lines.back().find("complete")->asBool());
   EXPECT_EQ(reassembleCsv(lines), csvDirect);
+}
+
+TEST(Server, TruncatedCheckpointTailResumesByteIdentical) {
+  // A crash mid-append leaves a final line with no '\n'.  resume()
+  // must skip it (counted), keep every intact line, and produce the
+  // same final report as an uninterrupted run.
+  const std::string dir = freshDir("srv-torn-tail");
+  std::istringstream sweepStream(
+      "dftc central ring:24 trials=2\ndftc central ring:32 trials=2\n");
+  const exp::ExperimentRunner runner(1);
+  const std::string csvDirect =
+      exp::toCsv(runner.runAll(exp::loadScenarios(sweepStream)));
+
+  {
+    ResultCache cache(dir + "/cache");
+    SchedulerOptions opt;
+    opt.workers = 1;
+    opt.cache = &cache;
+    opt.checkpointDir = dir + "/ckpt";
+    ExpServer server(opt);
+    const auto lines = session(
+        server,
+        {R"({"verb":"submit","scenarios":["dftc central ring:24 trials=2",)"
+         R"("dftc central ring:32 trials=2"],"checkpoint":"sweep"})"});
+    ASSERT_TRUE(lines[0].find("ok")->asBool());
+  }
+  // Tear the tail: a half-written "done" line with no newline.
+  {
+    std::ofstream tear(dir + "/ckpt/sweep.ckpt",
+                       std::ios::app | std::ios::binary);
+    tear << "done 1 0123456";  // no '\n' — torn mid-append
+  }
+
+  const std::uint64_t skippedBefore = obs::Registry::global().counterValue(
+      "serve_ckpt_truncated_lines_total");
+  ResultCache cache(dir + "/cache");
+  SchedulerOptions opt;
+  opt.workers = 1;
+  opt.cache = &cache;
+  opt.checkpointDir = dir + "/ckpt";
+  ExpServer server(opt);
+  const auto lines =
+      session(server, {R"({"verb":"resume","checkpoint":"sweep"})",
+                       R"({"verb":"result","job":1})"});
+  EXPECT_TRUE(lines[0].find("ok")->asBool());
+  EXPECT_EQ(lines[0].find("units")->asInt(), 2);
+  EXPECT_TRUE(lines.back().find("complete")->asBool());
+  EXPECT_EQ(reassembleCsv(lines), csvDirect);
+  EXPECT_EQ(obs::Registry::global().counterValue(
+                "serve_ckpt_truncated_lines_total"),
+            skippedBefore + 1);
 }
 
 /// The acceptance proof: a preset scenario computed cold through the

@@ -1,0 +1,532 @@
+#!/usr/bin/env python3
+"""Chaos smoke: crash-point certification for every durable-state path.
+
+Sweeps the deterministic I/O fault schedule (src/io/fault.hpp) across
+all fault sites the durable-state writers issue — cache record stores,
+scheduler checkpoint writes/appends, mc/spill run files — killing or
+failing the process at each site, restarting, and asserting the
+recovery invariants:
+
+  cache    a crash at ANY store site leaves the next (fault-free) run
+           byte-identical to the uninterrupted reference: a torn record
+           is a counted miss, never a throw or wrong bytes
+  ckpt     a crash at ANY checkpoint write/append site leaves a file
+           that either resumes byte-identically or fails with a clean
+           error a client recovers from by resubmitting
+  spill    every injected fault yields exit 0 (exact drain), 3 (named
+           error — detected loss), or 86 (the injected crash); never a
+           silent mismatch (4)
+  enospc   a server whose cache writes all hit ENOSPC serves degraded
+           (serve_degraded=1, io_faults_injected_total>0 in the metrics
+           verb), survives a real SIGKILL mid-sweep, and resumes
+           byte-identically from its still-writable checkpoint
+  dir      an unusable cache DIRECTORY degrades startup to cacheless
+           (stats cache:false, serve_degraded=1) instead of dying
+
+Fault-site counts are read from the io_<op>_total counters of an
+instrumented clean run, so the sweep can't silently under-cover: every
+counted call gets a crash injected at exactly its index (exit code 86,
+src/io/fault.hpp kCrashExitCode).
+
+Emits a BENCH_chaos.json row (scenario "chaos/smoke") of correctness
+flags gated by check_perf_regression.py's chaos/ branch.
+
+Usage: chaos_smoke.py --exp-serve BIN --exp-cli BIN --scenarios FILE
+                      [--workdir DIR] [--json OUT]
+"""
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+CRASH_EXIT = 86          # io::kCrashExitCode
+SPILL_NAMED_ERROR = 3    # exp_cli spill-probe detected-loss exit
+# Ops the cache-store sweep crashes at (order matches one store()).
+CACHE_OPS = ["mkdir", "open", "write", "fsync", "rename", "close"]
+
+
+def parse_prometheus(text):
+    values = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            raise SystemExit(f"unparseable exposition line: {line!r}")
+        values[name] = float(value)
+    return values
+
+
+def read_metrics_file(path):
+    with open(path) as f:
+        return parse_prometheus(f.read())
+
+
+class Check:
+    """Tallies assertions without dying on the first failure, so one
+    run reports every broken invariant at once."""
+
+    def __init__(self):
+        self.failures = []
+        self.sites_swept = 0
+        self.unclean_exits = 0
+
+    def expect(self, cond, what):
+        if not cond:
+            self.failures.append(what)
+            print(f"chaos_smoke: FAIL {what}")
+        return bool(cond)
+
+    def flag(self, *failures_matching):
+        """1 when no recorded failure mentions any of the substrings."""
+        return int(not any(any(m in f for m in failures_matching)
+                           for f in self.failures))
+
+
+# --------------------------------------------------------------------------
+# Phase 1: cache store crash-point sweep (exp_cli runs)
+
+def run_cli(exp_cli, scenarios, workdir, cache_dir=None, io_faults=None,
+            metrics=None, csv=None):
+    cmd = [exp_cli, "run", "--scenarios", scenarios, "--threads", "1",
+           "--quiet"]
+    if cache_dir:
+        cmd += ["--cache-dir", cache_dir]
+    if io_faults:
+        cmd += ["--io-faults", io_faults]
+    if metrics:
+        cmd += ["--metrics", metrics]
+    if csv:
+        cmd += ["--csv", csv]
+    return subprocess.run(cmd, cwd=workdir, capture_output=True, text=True)
+
+
+def read_csv(path):
+    with open(path) as f:
+        return f.read()
+
+
+def cache_sweep(args, workdir, check):
+    ref_csv_path = os.path.join(workdir, "ref.csv")
+    r = run_cli(args.exp_cli, args.scenarios, workdir, csv=ref_csv_path)
+    check.expect(r.returncode == 0, f"reference run failed: {r.stderr}")
+    reference = read_csv(ref_csv_path)
+
+    # Instrumented clean run on a cold cache: the per-op counters tell
+    # us exactly how many fault sites the store path has.
+    met_path = os.path.join(workdir, "clean.metrics")
+    clean_dir = os.path.join(workdir, "cache-clean")
+    r = run_cli(args.exp_cli, args.scenarios, workdir, cache_dir=clean_dir,
+                metrics=met_path, csv=os.path.join(workdir, "clean.csv"))
+    check.expect(r.returncode == 0, f"instrumented run failed: {r.stderr}")
+    counts = read_metrics_file(met_path)
+
+    for op in CACHE_OPS:
+        sites = int(counts.get(f"io_{op}_total", 0))
+        check.expect(sites > 0, f"cache sweep: no {op} sites counted")
+        for n in range(1, sites + 1):
+            site = f"crash@{op}:{n}"
+            site_dir = os.path.join(workdir, f"cache-{op}-{n}")
+            out_csv = os.path.join(workdir, "site.csv")
+            r = run_cli(args.exp_cli, args.scenarios, workdir,
+                        cache_dir=site_dir, io_faults=site, csv=out_csv)
+            check.sites_swept += 1
+            check.expect(r.returncode == CRASH_EXIT,
+                         f"cache {site}: expected crash exit {CRASH_EXIT}, "
+                         f"got {r.returncode}")
+            # Recovery: a fault-free rerun over the crashed cache dir
+            # must be byte-identical to the uninterrupted reference.
+            r = run_cli(args.exp_cli, args.scenarios, workdir,
+                        cache_dir=site_dir, csv=out_csv)
+            if not check.expect(r.returncode == 0,
+                                f"cache {site}: recovery exited "
+                                f"{r.returncode}: {r.stderr}"):
+                check.unclean_exits += 1
+                continue
+            check.expect(read_csv(out_csv) == reference,
+                         f"cache {site}: recovery CSV differs")
+
+    # Non-crash faults: ENOSPC on record writes and a torn rename are
+    # absorbed in-run — exit 0, identical bytes, and (for torn) the
+    # damaged record reads as a counted bad-record miss on reuse.
+    for spec, name in [("enospc@write:path=.rec", "enospc-rec"),
+                       ("torn@rename:1", "torn-rename")]:
+        site_dir = os.path.join(workdir, f"cache-{name}")
+        out_csv = os.path.join(workdir, "site.csv")
+        met = os.path.join(workdir, f"{name}.metrics")
+        r = run_cli(args.exp_cli, args.scenarios, workdir,
+                    cache_dir=site_dir, io_faults=spec, csv=out_csv,
+                    metrics=met)
+        check.sites_swept += 1
+        check.expect(r.returncode == 0,
+                     f"cache {spec}: exited {r.returncode}: {r.stderr}")
+        check.expect(read_csv(out_csv) == reference,
+                     f"cache {spec}: CSV differs under injected faults")
+        check.expect(read_metrics_file(met).get(
+            "io_faults_injected_total", 0) > 0,
+            f"cache {spec}: no fault actually injected")
+        r = run_cli(args.exp_cli, args.scenarios, workdir,
+                    cache_dir=site_dir, csv=out_csv, metrics=met)
+        check.expect(r.returncode == 0 and read_csv(out_csv) == reference,
+                     f"cache {spec}: recovery differs")
+        if spec.startswith("torn@rename"):
+            check.expect(read_metrics_file(met).get(
+                "serve_cache_bad_records_total", 0) > 0,
+                f"cache {spec}: torn record not counted as bad")
+    return reference
+
+
+# --------------------------------------------------------------------------
+# Phase 2: checkpoint crash-point sweep (exp_serve pipe runs)
+
+def run_pipe(args, workdir, requests, io_faults=None):
+    cache_dir = os.path.join(workdir, "cache")
+    cmd = [args.exp_serve, "--pipe", "--cache-dir", cache_dir,
+           "--workers", "1"]
+    if io_faults:
+        cmd += ["--io-faults", io_faults]
+    lines_in = "".join(json.dumps(r) + "\n" for r in requests)
+    r = subprocess.run(cmd, input=lines_in, capture_output=True, text=True)
+    lines = []
+    for line in r.stdout.splitlines():
+        if line.strip():
+            lines.append(json.loads(line))
+    return r.returncode, lines
+
+
+def reassemble(lines, header):
+    rows = sorted((l["unit"], l["csv"]) for l in lines if "csv" in l)
+    return header + "\n" + "".join(csv for _, csv in rows)
+
+
+CKPT_SWEEP = [
+    "dftc central ring:16 trials=2",
+    "dftc central ring:24 trials=2",
+]
+SUBMIT = {"verb": "submit", "scenarios": CKPT_SWEEP, "checkpoint": "sweep"}
+RESUME = {"verb": "resume", "checkpoint": "sweep"}
+RESULT = {"verb": "result", "job": 1}
+
+
+def ckpt_sweep(args, workdir, header, check):
+    code, lines = run_pipe(args, os.path.join(workdir, "ckpt-ref"),
+                           [SUBMIT, RESULT])
+    check.expect(code == 0, f"ckpt reference run exited {code}")
+    reference = reassemble(lines, header)
+
+    # Sweep each op until a site index never fires (exit 0): that index
+    # is past the last real site, so coverage is complete by
+    # construction.  path=.ckpt scopes the crashes to checkpoint I/O.
+    for op in ["write", "fsync", "rename"]:
+        n = 0
+        while True:
+            n += 1
+            site = f"crash@{op}:{n}:path=.ckpt"
+            site_dir = os.path.join(workdir, f"ckpt-{op}-{n}")
+            code, _ = run_pipe(args, site_dir, [SUBMIT, RESULT],
+                               io_faults=site)
+            if code == 0:
+                break  # site n doesn't exist; ops 1..n-1 all swept
+            check.sites_swept += 1
+            if not check.expect(code == CRASH_EXIT,
+                                f"ckpt {site}: expected {CRASH_EXIT}, "
+                                f"got {code}"):
+                check.unclean_exits += 1
+                break
+            # Recovery: resume if the checkpoint landed, else resubmit.
+            code, lines = run_pipe(args, site_dir, [RESUME, RESULT])
+            check.expect(code == 0, f"ckpt {site}: recovery exited {code}")
+            if lines and lines[0].get("ok"):
+                check.expect(reassemble(lines, header) == reference,
+                             f"ckpt {site}: resumed CSV differs")
+            else:
+                # Clean refusal (checkpoint never written): the client
+                # recovers by resubmitting.
+                code, lines = run_pipe(args, site_dir, [SUBMIT, RESULT])
+                check.expect(
+                    code == 0 and reassemble(lines, header) == reference,
+                    f"ckpt {site}: resubmit after clean refusal differs")
+            if n > 32:
+                check.expect(False, f"ckpt {op}: runaway sweep (>32 sites)")
+                break
+    return reference
+
+
+# --------------------------------------------------------------------------
+# Phase 3: SIGKILL under injected ENOSPC (socket server), degraded metrics
+
+class Client:
+    def __init__(self, path, retries=10, backoff=0.05):
+        delay = backoff
+        for attempt in range(retries):
+            self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                self.sock.connect(path)
+                break
+            except OSError:
+                self.sock.close()
+                if attempt == retries - 1:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+        self.f = self.sock.makefile("rw", encoding="utf-8", newline="\n")
+
+    def call(self, **req):
+        self.f.write(json.dumps(req) + "\n")
+        self.f.flush()
+        return json.loads(self.f.readline())
+
+    def stream_result(self, job):
+        self.f.write(json.dumps({"verb": "result", "job": job}) + "\n")
+        self.f.flush()
+        lines = []
+        while True:
+            line = json.loads(self.f.readline())
+            lines.append(line)
+            if "complete" in line or not line.get("ok"):
+                return lines
+
+    def close(self):
+        self.f.close()
+        self.sock.close()
+
+
+def start_server(exp_serve, sock_path, cache_dir, io_faults=None):
+    cmd = [exp_serve, "--socket", sock_path, "--cache-dir", cache_dir,
+           "--workers", "1"]
+    if io_faults:
+        cmd += ["--io-faults", io_faults]
+    proc = subprocess.Popen(cmd, stderr=subprocess.PIPE, text=True)
+    for _ in range(200):
+        if os.path.exists(sock_path):
+            try:
+                Client(sock_path).close()
+                return proc
+            except OSError:
+                pass
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"exp_serve exited during startup: {proc.stderr.read()}")
+        time.sleep(0.05)
+    raise SystemExit(f"exp_serve never created {sock_path}")
+
+
+ENOSPC_SWEEP = [
+    "dftc central ring:32 trials=2",
+    "dftc central ring:40 trials=2",
+    "space central ring:32 trials=1",
+]
+
+
+def enospc_sigkill_resume(args, workdir, header, check):
+    # Reference computed cacheless and uninterrupted.
+    ref_file = os.path.join(workdir, "enospc.scenarios")
+    with open(ref_file, "w") as f:
+        f.write("\n".join(ENOSPC_SWEEP) + "\n")
+    ref_csv = os.path.join(workdir, "enospc-ref.csv")
+    r = run_cli(args.exp_cli, ref_file, workdir, csv=ref_csv)
+    check.expect(r.returncode == 0, "enospc reference run failed")
+    reference = read_csv(ref_csv)
+
+    sock = os.path.join(workdir, "chaos.sock")
+    cache_dir = os.path.join(workdir, "enospc-cache")
+    # Every cache RECORD write hits ENOSPC; checkpoint appends (no .rec
+    # in their paths) keep working — exactly a full data disk whose
+    # metadata partition survives.
+    server = start_server(args.exp_serve, sock, cache_dir,
+                          io_faults="enospc@write:path=.rec")
+    try:
+        c = Client(sock)
+        ack = c.call(verb="submit", scenarios=ENOSPC_SWEEP,
+                     checkpoint="enospc")
+        check.expect(ack.get("ok"), f"enospc submit failed: {ack}")
+        # Wait for at least one unit (=> one failed store) so the
+        # degraded gauge is observably set before we sample metrics.
+        for _ in range(200):
+            st = c.call(verb="status", job=ack["job"])
+            if st.get("done", 0) >= 1:
+                break
+            time.sleep(0.05)
+        met = c.call(verb="metrics")
+        exposition = parse_prometheus(met.get("metrics", ""))
+        check.expect(exposition.get("serve_degraded") == 1,
+                     "enospc: serve_degraded gauge not raised")
+        check.expect(exposition.get("io_faults_injected_total", 0) > 0,
+                     "enospc: no faults counted as injected")
+        check.expect(exposition.get(
+            "serve_cache_store_failures_total", 0) > 0,
+            "enospc: store failures not counted")
+        server.send_signal(signal.SIGKILL)
+        server.wait()
+        c.close()
+        print("chaos_smoke: SIGKILLed server under injected ENOSPC")
+
+        # Restart with a healthy "disk": resume must be byte-identical.
+        server = start_server(args.exp_serve, sock, cache_dir)
+        c = Client(sock)
+        ack = c.call(verb="resume", checkpoint="enospc")
+        check.expect(ack.get("ok") and ack.get("units") == len(ENOSPC_SWEEP),
+                     f"enospc resume refused: {ack}")
+        resumed = reassemble(c.stream_result(ack["job"]), header)
+        check.expect(resumed == reference,
+                     "enospc: resumed CSV differs from reference")
+        c.call(verb="shutdown")
+        c.close()
+        server.wait(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+def degraded_dir_startup(args, workdir, header, check):
+    # The cache dir path is occupied by a FILE: create_directories can
+    # never succeed, so startup must degrade to cacheless, not die.
+    cache_dir = os.path.join(workdir, "not-a-dir")
+    with open(cache_dir, "w") as f:
+        f.write("occupied\n")
+    sock = os.path.join(workdir, "degraded.sock")
+    server = start_server(args.exp_serve, sock, cache_dir)
+    try:
+        c = Client(sock)
+        stats = c.call(verb="stats")
+        check.expect(stats.get("ok") and stats.get("cache") is False,
+                     f"degraded: server still claims a cache: {stats}")
+        met = c.call(verb="metrics")
+        exposition = parse_prometheus(met.get("metrics", ""))
+        check.expect(exposition.get("serve_degraded") == 1,
+                     "degraded: serve_degraded gauge not set at startup")
+        ack = c.call(verb="submit", scenarios=CKPT_SWEEP)
+        check.expect(ack.get("ok"), f"degraded submit failed: {ack}")
+        lines = c.stream_result(ack["job"])
+        check.expect(all(l.get("ok") for l in lines),
+                     "degraded: malformed response while cacheless")
+        c.call(verb="shutdown")
+        c.close()
+        server.wait(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+# --------------------------------------------------------------------------
+# Phase 4: spill run-file sweep (exp_cli spill-probe)
+
+def run_probe(args, workdir, io_faults=None, metrics=None):
+    cmd = [args.exp_cli, "spill-probe", "--ids", "300", "--capacity", "100",
+           "--dir", os.path.join(workdir, "spill")]
+    if io_faults:
+        cmd += ["--io-faults", io_faults]
+    if metrics:
+        cmd += ["--metrics", metrics]
+    return subprocess.run(cmd, capture_output=True, text=True)
+
+
+def spill_sweep(args, workdir, check):
+    met = os.path.join(workdir, "spill.metrics")
+    r = run_probe(args, workdir, metrics=met)
+    check.expect(r.returncode == 0, f"clean spill probe failed: {r.stderr}")
+    writes = int(read_metrics_file(met).get("io_write_total", 0))
+    check.expect(writes > 0, "spill probe counted no writes")
+
+    for n in range(1, writes + 1):
+        site = f"crash@write:{n}"
+        r = run_probe(args, workdir, io_faults=site)
+        check.sites_swept += 1
+        check.expect(r.returncode == CRASH_EXIT,
+                     f"spill {site}: expected {CRASH_EXIT}, "
+                     f"got {r.returncode}")
+        # Restart invariant: a fresh probe over the same dir (with the
+        # crashed run's orphan files still present) drains exactly.
+        r = run_probe(args, workdir)
+        if not check.expect(r.returncode == 0,
+                            f"spill {site}: recovery probe exited "
+                            f"{r.returncode}: {r.stderr}"):
+            check.unclean_exits += 1
+
+    # Non-crash faults: detected loss must be the NAMED error exit,
+    # never the silent-mismatch exit (4).
+    for spec in ["enospc@write:2", "torn@write:4", "eio@open:2"]:
+        r = run_probe(args, workdir, io_faults=spec)
+        check.sites_swept += 1
+        check.expect(r.returncode == SPILL_NAMED_ERROR,
+                     f"spill {spec}: expected named-error exit "
+                     f"{SPILL_NAMED_ERROR}, got {r.returncode}")
+    # EINTR is absorbed by the retry loops: exact drain.
+    r = run_probe(args, workdir, io_faults="eintr:p=0.2; seed=11")
+    check.sites_swept += 1
+    check.expect(r.returncode == 0,
+                 f"spill eintr: expected clean exit, got {r.returncode}")
+
+
+# --------------------------------------------------------------------------
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--exp-serve", required=True)
+    ap.add_argument("--exp-cli", required=True)
+    ap.add_argument("--scenarios", required=True)
+    ap.add_argument("--workdir", default=None)
+    ap.add_argument("--json", default=None, help="write BENCH row here")
+    args = ap.parse_args()
+    # Child runs use cwd=workdir, so every path argument must survive
+    # the directory change.
+    args.exp_serve = os.path.abspath(args.exp_serve)
+    args.exp_cli = os.path.abspath(args.exp_cli)
+    args.scenarios = os.path.abspath(args.scenarios)
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="ssno-chaos-smoke-")
+    os.makedirs(workdir, exist_ok=True)
+    header = ("scenario,protocol,daemon,topology,nodes,edges,trials,"
+              "failed_trials,fault_rate,metric,count,min,max,mean,stddev,"
+              "p50,p95")
+    check = Check()
+    t0 = time.time()
+
+    cache_sweep(args, workdir, check)
+    print(f"chaos_smoke: cache sweep done ({check.sites_swept} sites)")
+    ckpt_sweep(args, workdir, header, check)
+    print(f"chaos_smoke: checkpoint sweep done ({check.sites_swept} sites)")
+    spill_sweep(args, workdir, check)
+    print(f"chaos_smoke: spill sweep done ({check.sites_swept} sites)")
+    enospc_sigkill_resume(args, workdir, header, check)
+    degraded_dir_startup(args, workdir, header, check)
+    elapsed = time.time() - t0
+
+    row = {
+        "scenario": "chaos/smoke",
+        "failed_trials": 0,
+        "metrics": {
+            "sites_swept": {"mean": float(check.sites_swept)},
+            "unclean_exits": {"mean": float(check.unclean_exits)},
+            "cache_identity": {"mean": float(check.flag("cache "))},
+            "resume_identity": {"mean": float(check.flag("ckpt "))},
+            "spill_ok": {"mean": float(check.flag("spill "))},
+            "enospc_resume_identity": {"mean": float(check.flag("enospc"))},
+            "degraded_ok": {"mean": float(check.flag("degraded"))},
+            "chaos_seconds": {"mean": elapsed},  # trajectory only
+        },
+    }
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump([row], f, indent=2)
+            f.write("\n")
+        print(f"wrote {args.json}")
+
+    print(f"chaos_smoke: {check.sites_swept} fault sites swept, "
+          f"{len(check.failures)} invariant failures, "
+          f"{check.unclean_exits} unclean exits, {elapsed:.1f}s")
+    print("chaos_smoke:", "PASSED" if not check.failures else "FAILED")
+    return 0 if not check.failures else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -52,10 +52,20 @@ parallel and sequential checkers must return the same verdict) and the
 failed-trial count.
 
 ``serve/...`` rows (BENCH_serve.json, from tools/serve_smoke.py) are
-gated on CORRECTNESS fields only — ``byte_identity`` and
-``resume_identity`` must be exactly 1 and ``cache_hits`` nonzero in the
-fresh run; timing fields like ``smoke_seconds`` are trajectory-only,
-so a slow runner can never fail the serve smoke.
+gated on CORRECTNESS fields only — ``byte_identity``,
+``resume_identity``, ``metrics_ok`` and ``concurrent_ok`` (N parallel
+clients with interleaved cancels see only well-formed responses and
+deduplicated computation) must be exactly 1 and ``cache_hits`` nonzero
+in the fresh run; timing fields like ``smoke_seconds`` are
+trajectory-only, so a slow runner can never fail the serve smoke.
+
+``chaos/...`` rows (BENCH_chaos.json, from tools/chaos_smoke.py) are
+the crash-point certification: every correctness flag
+(``cache_identity``, ``resume_identity``, ``spill_ok``,
+``enospc_resume_identity``, ``degraded_ok``) must be exactly 1,
+``unclean_exits`` exactly 0, and ``sites_swept`` must not shrink below
+the committed baseline (a smaller sweep means fault sites silently
+lost coverage).  ``chaos_seconds`` is trajectory-only.
 
 ``resilience/...`` rows (BENCH_resilience.json, the adversarial
 campaign preset) are likewise correctness-gated, hardware-independent:
@@ -147,9 +157,10 @@ def main():
             byte_id = mean(fresh_row, "byte_identity")
             resume_id = mean(fresh_row, "resume_identity")
             metrics_ok = mean(fresh_row, "metrics_ok")
+            concurrent_ok = mean(fresh_row, "concurrent_ok")
             print(f"{name}: cache_hits {hits:.0f}  "
                   f"byte_identity {byte_id}  resume_identity {resume_id}  "
-                  f"metrics_ok {metrics_ok}  "
+                  f"metrics_ok {metrics_ok}  concurrent_ok {concurrent_ok}  "
                   f"(correctness-gated; timing trajectory-only)")
             if hits < 1:
                 failures.append(f"{name}: no cache hits in the smoke load")
@@ -162,6 +173,34 @@ def main():
                 failures.append(
                     f"{name}: metrics verb exposition missing or inconsistent "
                     "with the stats verb")
+            if concurrent_ok != 1:
+                failures.append(
+                    f"{name}: concurrent clients saw malformed responses or "
+                    "non-deduplicated computation")
+            continue
+        if name.startswith("chaos/"):
+            swept = mean(fresh_row, "sites_swept") or 0
+            base_swept = mean(base_row, "sites_swept") or 0
+            unclean = mean(fresh_row, "unclean_exits")
+            flags = ("cache_identity", "resume_identity", "spill_ok",
+                     "enospc_resume_identity", "degraded_ok")
+            shown = "  ".join(f"{f} {mean(fresh_row, f)}" for f in flags)
+            print(f"{name}: sites_swept {swept:.0f} (baseline "
+                  f"{base_swept:.0f})  unclean_exits {fmt(unclean)}  {shown}  "
+                  f"(correctness-gated; timing trajectory-only)")
+            if swept < base_swept:
+                failures.append(
+                    f"{name}: sites_swept shrank {base_swept:.0f} -> "
+                    f"{swept:.0f} — fault sites lost certification coverage")
+            if unclean != 0:
+                failures.append(
+                    f"{name}: {fmt(unclean)} unclean exits during recovery "
+                    "from injected faults")
+            for f in flags:
+                if mean(fresh_row, f) != 1:
+                    failures.append(
+                        f"{name}: {f} invariant violated under fault "
+                        "injection")
             continue
         if name.startswith("obs/"):
             pct = mean(fresh_row, "obs_overhead_pct")

@@ -17,10 +17,16 @@ parseable Prometheus exposition with a live serve_requests_total and
 cache counters that agree with the `stats` verb, and a malformed
 request must answer ok:false without killing the session.
 
+A concurrent-socket slice then runs N parallel clients submitting one
+identical fresh sweep with an interleaved partial `result`/`cancel`,
+asserting the sweep computes exactly once (cross-connection dedup), no
+connection ever observes a malformed response, and every client's
+reassembled CSV is byte-identical to a direct CLI run.
+
 Emits a BENCH_serve.json row (scenario "serve/smoke") whose gated
 metrics are correctness flags only — cache_hits, byte_identity,
-resume_identity, metrics_ok — timing fields ride along for the
-trajectory but are never gated (see check_perf_regression.py).
+resume_identity, metrics_ok, concurrent_ok — timing fields ride along
+for the trajectory but are never gated (see check_perf_regression.py).
 
 Usage: serve_smoke.py --exp-serve BIN --exp-cli BIN --scenarios FILE
                       [--workdir DIR] [--json OUT]
@@ -33,6 +39,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 
 RESUME_SWEEP = [
@@ -41,6 +48,16 @@ RESUME_SWEEP = [
     "dftc central ring:104 trials=2",
     "space central ring:96 trials=1",
 ]
+
+# Fresh scenarios for the concurrent-socket slice: disjoint from the
+# scenario file and RESUME_SWEEP so the dedup assertion (computed ==
+# len(CONCURRENT_SWEEP) across all clients) is airtight.
+CONCURRENT_SWEEP = [
+    "dftc central ring:120 trials=2",
+    "dftc central ring:136 trials=2",
+    "space central ring:80 trials=1",
+]
+CONCURRENT_CLIENTS = 4
 
 
 class Client:
@@ -233,6 +250,63 @@ def main():
         resume_identity = int(resumed == reference)
         print(f"serve_smoke: resume_identity {resume_identity}")
 
+        # --- Phase 3: concurrent sockets (ROADMAP 4c). --------------------
+        # N parallel clients submit the SAME fresh sweep; one of them also
+        # interleaves a partial `result` read with a `cancel`.  Claims:
+        # every connection sees only well-formed responses, the sweep is
+        # computed once (cross-connection dedup), and every client's
+        # reassembled CSV is byte-identical.
+        computed_before = c.call(verb="stats")["computed"]
+        results = [None] * CONCURRENT_CLIENTS
+        errors = []
+
+        def concurrent_client(slot):
+            try:
+                cc = Client(sock_path)
+                ack = cc.call(verb="submit", scenarios=CONCURRENT_SWEEP)
+                assert ack["ok"] and ack["units"] == len(CONCURRENT_SWEEP), ack
+                if slot == 0:
+                    # Interleaved cancel: submit a duplicate job, queue a
+                    # partial result read and a cancel behind it, then
+                    # consume both streams — each line must still be a
+                    # complete, well-formed response.
+                    extra = cc.call(verb="submit",
+                                    scenarios=CONCURRENT_SWEEP[:2])
+                    assert extra["ok"], extra
+                    cancel = cc.call(verb="cancel", job=extra["job"])
+                    assert cancel["ok"], cancel
+                    tail = cc.stream_result(extra["job"])
+                    assert all("ok" in l for l in tail), tail
+                lines = cc.stream_result(ack["job"])
+                assert all("ok" in l and l["ok"] for l in lines), lines
+                results[slot] = reassemble_csv(lines, header)
+                cc.close()
+            except Exception as e:  # surfaced after join
+                errors.append(f"client {slot}: {e!r}")
+
+        threads = [threading.Thread(target=concurrent_client, args=(i,))
+                   for i in range(CONCURRENT_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        computed_after = c.call(verb="stats")["computed"]
+        computed_delta = computed_after - computed_before
+        conc_file = os.path.join(workdir, "concurrent.scenarios")
+        with open(conc_file, "w") as f:
+            f.write("\n".join(CONCURRENT_SWEEP) + "\n")
+        conc_reference = run_cli_csv(args.exp_cli, conc_file, cache_dir,
+                                     workdir)
+        concurrent_ok = int(
+            not errors
+            and all(r == conc_reference for r in results)
+            and computed_delta == len(CONCURRENT_SWEEP))
+        for e in errors:
+            print(f"serve_smoke: concurrent client error: {e}")
+        print(f"serve_smoke: {CONCURRENT_CLIENTS} concurrent clients, "
+              f"computed {computed_delta}/{len(CONCURRENT_SWEEP)} "
+              f"(deduped), concurrent_ok {concurrent_ok}")
+
         c.call(verb="shutdown")
         c.close()
         server.wait(timeout=30)
@@ -250,6 +324,7 @@ def main():
             "byte_identity": {"mean": float(byte_identity)},
             "resume_identity": {"mean": float(resume_identity)},
             "metrics_ok": {"mean": float(metrics_ok)},
+            "concurrent_ok": {"mean": float(concurrent_ok)},
             "smoke_seconds": {"mean": elapsed},  # trajectory only
         },
     }
@@ -259,7 +334,8 @@ def main():
             f.write("\n")
         print(f"wrote {args.json}")
 
-    ok = byte_identity and resume_identity and hits > 0 and metrics_ok
+    ok = (byte_identity and resume_identity and hits > 0 and metrics_ok
+          and concurrent_ok)
     print("serve_smoke:", "PASSED" if ok else "FAILED")
     return 0 if ok else 1
 
